@@ -1,0 +1,38 @@
+(* Bench/experiment harness entry point.
+
+   dune exec bench/main.exe                 -- every experiment + microbenches
+   dune exec bench/main.exe -- msg          -- one section (see DESIGN.md)
+   dune exec bench/main.exe -- --csv out .. -- also dump each table as CSV   *)
+
+let usage () =
+  print_endline "usage: main.exe [--csv DIR] [section...]";
+  print_endline "sections:";
+  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Dsm_experiments.Experiments.all;
+  print_endline "  micro"
+
+let run_section section =
+  if section = "micro" then Micro.run ()
+  else begin
+    match List.assoc_opt section Dsm_experiments.Experiments.all with
+    | Some run -> run ()
+    | None ->
+        Printf.printf "unknown section %S\n\n" section;
+        usage ();
+        exit 1
+  end
+
+let () =
+  let rec parse args =
+    match args with
+    | "--csv" :: dir :: rest ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Dsm_experiments.Experiments.set_csv_dir (Some dir);
+        parse rest
+    | other -> other
+  in
+  match parse (List.tl (Array.to_list Sys.argv)) with
+  | [] ->
+      List.iter (fun (_, run) -> run ()) Dsm_experiments.Experiments.all;
+      Micro.run ()
+  | [ "--help" ] | [ "-h" ] -> usage ()
+  | sections -> List.iter run_section sections

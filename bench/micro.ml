@@ -1,0 +1,117 @@
+(* B-MICRO: bechamel microbenchmarks of the hot paths — one Test.make per
+   operation, results printed as a table of ns/op. *)
+
+open Bechamel
+open Toolkit
+
+let vclock_pair =
+  let a = Vclock.of_array (Array.init 16 (fun i -> i * 3 mod 7)) in
+  let b = Vclock.of_array (Array.init 16 (fun i -> (i * 5) + (2 mod 9))) in
+  (a, b)
+
+let bench_vclock_update =
+  let a, b = vclock_pair in
+  Test.make ~name:"vclock.update (dim 16)" (Staged.stage (fun () -> ignore (Vclock.update a b)))
+
+let bench_vclock_compare =
+  let a, b = vclock_pair in
+  Test.make ~name:"vclock.compare (dim 16)"
+    (Staged.stage (fun () -> ignore (Vclock.compare_vt a b)))
+
+let bench_vclock_increment =
+  let a, _ = vclock_pair in
+  Test.make ~name:"vclock.increment (dim 16)"
+    (Staged.stage (fun () -> ignore (Vclock.increment a 3)))
+
+let bench_heap =
+  Test.make ~name:"heap push+pop x64"
+    (Staged.stage (fun () ->
+         let h = Dsm_util.Heap.create ~cmp:Int.compare () in
+         for i = 63 downto 0 do
+           Dsm_util.Heap.push h i i
+         done;
+         for _ = 0 to 63 do
+           ignore (Dsm_util.Heap.pop h)
+         done))
+
+let bench_closure =
+  Test.make ~name:"bitrel closure (80-node chain+skips)"
+    (Staged.stage (fun () ->
+         let r = Dsm_util.Bitrel.create 80 in
+         for i = 0 to 78 do
+           Dsm_util.Bitrel.add r i (i + 1);
+           if i + 5 < 80 then Dsm_util.Bitrel.add r i (i + 5)
+         done;
+         Dsm_util.Bitrel.transitive_closure r))
+
+let bench_checker_fig2 =
+  Test.make ~name:"causal check (figure 2)"
+    (Staged.stage (fun () ->
+         ignore (Dsm_checker.Causal_check.is_correct Dsm_checker.Histories.fig2)))
+
+let bench_sc_fig5 =
+  Test.make ~name:"SC search (figure 5)"
+    (Staged.stage (fun () ->
+         ignore (Dsm_checker.Consistency.is_sc Dsm_checker.Histories.fig5)))
+
+let bench_protocol_roundtrip =
+  Test.make ~name:"protocol: write+read remote (2 nodes)"
+    (Staged.stage (fun () ->
+         let engine = Dsm_sim.Engine.create () in
+         let sched = Dsm_runtime.Proc.scheduler engine in
+         let cluster =
+           Dsm_causal.Cluster.create ~sched
+             ~owner:(Dsm_memory.Owner.by_index ~nodes:2)
+             ~latency:(Dsm_net.Latency.Constant 1.0) ()
+         in
+         ignore
+           (Dsm_runtime.Proc.spawn sched (fun () ->
+                let h = Dsm_causal.Cluster.handle cluster 0 in
+                Dsm_causal.Cluster.write h (Dsm_memory.Loc.indexed "v" 1)
+                  (Dsm_memory.Value.Int 1);
+                ignore (Dsm_causal.Cluster.read h (Dsm_memory.Loc.indexed "v" 1))));
+         Dsm_sim.Engine.run engine))
+
+let tests =
+  [
+    bench_vclock_update;
+    bench_vclock_compare;
+    bench_vclock_increment;
+    bench_heap;
+    bench_closure;
+    bench_checker_fig2;
+    bench_sc_fig5;
+    bench_protocol_roundtrip;
+  ]
+
+let run () =
+  print_endline (String.make 72 '=');
+  print_endline "B-MICRO  bechamel microbenchmarks";
+  print_endline (String.make 72 '=');
+  print_newline ();
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let table = Dsm_util.Table.create ~headers:[ "operation"; "ns/op"; "r^2" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+      in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (est :: _) -> Printf.sprintf "%.1f" est
+            | Some [] | None -> "n/a"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> Printf.sprintf "%.3f" r
+            | None -> "n/a"
+          in
+          Dsm_util.Table.add_row table [ name; ns; r2 ])
+        analysis)
+    tests;
+  Dsm_util.Table.print table

@@ -1,0 +1,69 @@
+(* A causal message board: why causal memory is the right consistency level
+   for conversation-shaped data.
+
+   Run with:  dune exec examples/message_board.exe
+
+   Three processes share a board; replies reference their parents.  Causal
+   memory guarantees a reader never sees an orphan reply — the replier read
+   the parent before replying, so the parent is in the reply's causal past,
+   and the protocol's invalidation rule forces the reader's stale "no parent
+   yet" cache entry out the moment the reply is installed.  The same
+   schedule on FIFO-only broadcast replicas shows the orphan. *)
+
+module Engine = Dsm_sim.Engine
+module Proc = Dsm_runtime.Proc
+module Cluster = Dsm_causal.Cluster
+module Board = Dsm_apps.Board
+module B = Dsm_apps.Board.Make (Dsm_causal.Cluster.Mem)
+module Scenarios = Dsm_apps.Scenarios
+
+let () =
+  let processes = 3 in
+  let engine = Engine.create () in
+  let sched = Proc.scheduler engine in
+  let cluster =
+    Cluster.create ~sched
+      ~owner:(Dsm_memory.Owner.by_index ~nodes:processes)
+      ~latency:(Dsm_net.Latency.Constant 1.0) ()
+  in
+  let run body =
+    ignore (Proc.spawn sched body);
+    Engine.run engine;
+    Proc.check sched
+  in
+  let boards = Array.init processes (fun i -> B.attach (Cluster.handle cluster i) ~slots:8) in
+
+  print_endline "A conversation across three nodes:";
+  run (fun () -> ignore (B.post boards.(0) "Anyone tried causal memory?"));
+  run (fun () ->
+      B.refresh boards.(1);
+      match B.read_board boards.(1) with
+      | q :: _ -> ignore (B.post boards.(1) ~reply_to:q.Board.id "Yes! No global sync needed.")
+      | [] -> ());
+  run (fun () ->
+      B.refresh boards.(2);
+      match List.rev (B.read_board boards.(2)) with
+      | a :: _ -> ignore (B.post boards.(2) ~reply_to:a.Board.id "How do reads stay consistent?")
+      | [] -> ());
+  run (fun () ->
+      B.refresh boards.(0);
+      let posts = B.read_board boards.(0) in
+      List.iter (fun p -> Format.printf "  %a@." Board.pp_post p) posts;
+      Printf.printf "  (orphan replies: %d)\n" (List.length (Board.orphans posts)));
+
+  print_newline ();
+  print_endline "The reply-overtakes-parent schedule on three memories:";
+  print_endline "(a reply races ahead of its parent toward a third reader)";
+  print_newline ();
+  let show name (r : Scenarios.board_result) =
+    Printf.printf "  %-28s early view: %d post(s), %d orphan(s); final: %d, %d\n" name
+      r.Scenarios.br_early_posts r.Scenarios.br_early_orphans r.Scenarios.br_final_posts
+      r.Scenarios.br_final_orphans
+  in
+  show "causal DSM (owner protocol):" (Scenarios.board_on_causal_dsm ());
+  show "causal broadcast replicas:" (Scenarios.board_on_broadcast ~mode:`Causal);
+  show "FIFO broadcast replicas:" (Scenarios.board_on_broadcast ~mode:`Fifo);
+  print_newline ();
+  print_endline "Only the FIFO replicas ever show an orphan: causal memory (either the";
+  print_endline "owner protocol's pull model or causally-ordered delivery) protects the";
+  print_endline "reply-implies-parent invariant without any synchronisation."

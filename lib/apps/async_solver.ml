@@ -1,0 +1,71 @@
+module Value = Dsm_memory.Value
+module Cluster = Dsm_causal.Cluster
+
+let x_loc = Solver.x_loc
+
+let owner_map ~workers = Dsm_memory.Owner.by_index ~nodes:workers
+
+let worker h problem ~me ~sweeps ~refresh_every =
+  if refresh_every < 1 then invalid_arg "Async_solver.worker: refresh_every must be >= 1";
+  let n = Linalg.dim problem in
+  let row = problem.Linalg.a.(me) in
+  for sweep = 0 to sweeps - 1 do
+    (* Periodically drop the cache so subsequent reads refetch current
+       values from their owners; staleness in between is tolerated by
+       chaotic relaxation. *)
+    if sweep mod refresh_every = 0 then Cluster.discard h;
+    let acc = ref problem.Linalg.b.(me) in
+    for j = 0 to n - 1 do
+      if j <> me then acc := !acc -. (row.(j) *. Value.to_float (Cluster.read h (x_loc j)))
+    done;
+    Cluster.write h (x_loc me) (Value.Float (!acc /. row.(me)));
+    Cluster.Mem.yield h
+  done
+
+let read_solution h ~n =
+  Cluster.discard h;
+  Array.init n (fun i -> Value.to_float (Cluster.read h (x_loc i)))
+
+let delta_loc i = Dsm_memory.Loc.indexed "delta" i
+
+let worker_until h problem ~me ~tolerance ~refresh_every ~max_sweeps =
+  if refresh_every < 1 then invalid_arg "Async_solver.worker_until: refresh_every must be >= 1";
+  if tolerance <= 0.0 then invalid_arg "Async_solver.worker_until: tolerance must be positive";
+  let n = Linalg.dim problem in
+  let row = problem.Linalg.a.(me) in
+  let current = ref 0.0 in
+  let quiet_checks = ref 0 in
+  let sweeps = ref 0 in
+  let all_deltas_small () =
+    let small = ref true in
+    for j = 0 to n - 1 do
+      Cluster.Mem.refresh h (delta_loc j);
+      match Cluster.read h (delta_loc j) with
+      | Value.Float d -> if d >= tolerance then small := false
+      | Value.Int 0 ->
+          (* Worker j has not published yet. *)
+          small := false
+      | _ -> small := false
+    done;
+    !small
+  in
+  let continue_ = ref true in
+  while !continue_ && !sweeps < max_sweeps do
+    incr sweeps;
+    if (!sweeps - 1) mod refresh_every = 0 then Cluster.discard h;
+    let acc = ref problem.Linalg.b.(me) in
+    for j = 0 to n - 1 do
+      if j <> me then acc := !acc -. (row.(j) *. Value.to_float (Cluster.read h (x_loc j)))
+    done;
+    let next = !acc /. row.(me) in
+    let delta = Float.abs (next -. !current) in
+    current := next;
+    Cluster.write h (x_loc me) (Value.Float next);
+    Cluster.write h (delta_loc me) (Value.Float delta);
+    (* Termination: everyone's published delta under tolerance on two
+       consecutive looks. *)
+    if all_deltas_small () then incr quiet_checks else quiet_checks := 0;
+    if !quiet_checks >= 2 then continue_ := false;
+    Cluster.Mem.yield h
+  done;
+  !sweeps

@@ -1,0 +1,47 @@
+(** The asynchronous (chaotic relaxation) solver — the extension the paper
+    defers to its tech report: "It is possible to eliminate the
+    synchronization entirely by using an asynchronous algorithm".
+
+    No coordinator and no barriers: each worker repeatedly recomputes its
+    element from whatever (possibly stale) values of the other elements it
+    currently sees, writes its own element (an owner write — zero
+    messages), and periodically discards its cache so fresh values flow in.
+    For diagonally dominant systems chaotic relaxation still converges; the
+    message count collapses because the only traffic is the periodic
+    refresh, which is the E-ASYNC experiment.
+
+    Causal-memory-specific (uses [discard]); runs on {!Dsm_causal.Cluster}
+    handles directly. *)
+
+val owner_map : workers:int -> Dsm_memory.Owner.t
+(** [workers] nodes, worker [i] owning [x_i]; no coordinator node. *)
+
+val worker :
+  Dsm_causal.Cluster.handle ->
+  Linalg.problem ->
+  me:int ->
+  sweeps:int ->
+  refresh_every:int ->
+  unit
+(** Run [sweeps] local relaxation sweeps, discarding the cache every
+    [refresh_every] sweeps (and on the first sweep). *)
+
+val read_solution : Dsm_causal.Cluster.handle -> n:int -> float array
+(** Fetch the converged vector with freshness refreshes. *)
+
+val worker_until :
+  Dsm_causal.Cluster.handle ->
+  Linalg.problem ->
+  me:int ->
+  tolerance:float ->
+  refresh_every:int ->
+  max_sweeps:int ->
+  int
+(** Self-terminating variant: each worker publishes its per-sweep change
+    ([delta.i], an owner write) and stops once every published delta has
+    been below [tolerance] on two consecutive checks (with freshness
+    refreshes in between).  Exact distributed termination detection on a
+    weakly consistent memory needs stronger machinery; this double-check
+    heuristic is sound for contracting iterations like diagonally dominant
+    Jacobi, where deltas decrease geometrically.  Returns the number of
+    sweeps executed (at most [max_sweeps]). *)

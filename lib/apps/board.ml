@@ -1,0 +1,125 @@
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+
+type post_id = { author : int; seq : int }
+
+type post = { id : post_id; text : string; reply_to : post_id option }
+
+let pp_post ppf p =
+  let parent =
+    match p.reply_to with
+    | None -> ""
+    | Some pid -> Printf.sprintf " (re: %d.%d)" pid.author pid.seq
+  in
+  Format.fprintf ppf "[%d.%d]%s %s" p.id.author p.id.seq parent p.text
+
+let orphans posts =
+  let present id = List.exists (fun p -> p.id = id) posts in
+  List.filter
+    (fun p -> match p.reply_to with Some parent -> not (present parent) | None -> false)
+    posts
+
+module Make (M : Dsm_memory.Memory_intf.MEMORY) = struct
+  type t = { handle : M.handle; authors : int; slots : int }
+
+  let text_cell a k = Loc.cell "bpost" a k
+
+  let ref_cell a k = Loc.cell "bref" a k
+
+  let attach handle ~slots =
+    if slots < 1 then invalid_arg "Board.attach: slots must be >= 1";
+    { handle; authors = M.processes handle; slots }
+
+  (* Parent references are encoded into the integer ref cell: 0 = slot
+     unused, 1 = root post, 2 + author * slots + seq = reply. *)
+  let encode_ref t = function
+    | None -> 1
+    | Some { author; seq } -> 2 + (author * t.slots) + seq
+
+  let decode_ref t = function
+    | 0 | 1 -> None
+    | code ->
+        let code = code - 2 in
+        Some { author = code / t.slots; seq = code mod t.slots }
+
+  let is_empty = function Value.Int 0 -> true | _ -> false
+
+  let post t ?reply_to text =
+    let me = M.pid t.handle in
+    let rec free k =
+      if k = t.slots then None
+      else if is_empty (M.read t.handle (text_cell me k)) then Some k
+      else free (k + 1)
+    in
+    match free 0 with
+    | None -> None
+    | Some k ->
+        (* Reference first, text second: anyone who sees the text has the
+           reference write in its causal past. *)
+        M.write t.handle (ref_cell me k) (Value.Int (encode_ref t reply_to));
+        M.write t.handle (text_cell me k) (Value.Str text);
+        Some { author = me; seq = k }
+
+  let read_slot t a k =
+    match M.read t.handle (text_cell a k) with
+    | Value.Str text ->
+        let reference =
+          match M.read t.handle (ref_cell a k) with
+          | Value.Int 0 ->
+              (* Torn read: the text is visible but the (earlier) reference
+                 write is not.  On causal memory this cannot survive a
+                 refresh — installing the text invalidated the stale
+                 reference — so one retry resolves it. *)
+              M.refresh t.handle (ref_cell a k);
+              M.read t.handle (ref_cell a k)
+          | v -> v
+        in
+        (match reference with
+        | Value.Int code -> Some { id = { author = a; seq = k }; text; reply_to = decode_ref t code }
+        | _ -> Some { id = { author = a; seq = k }; text; reply_to = None })
+    | _ -> None
+
+  let lookup t id = read_slot t id.author id.seq
+
+  let read_board t =
+    let scan () =
+      let acc = ref [] in
+      for a = t.authors - 1 downto 0 do
+        for k = t.slots - 1 downto 0 do
+          match read_slot t a k with Some p -> acc := p :: !acc | None -> ()
+        done
+      done;
+      !acc
+    in
+    let posts = scan () in
+    (* Resolve pass: refresh and re-read the parents of any visible orphan
+       replies; on causal memory this is guaranteed to find them. *)
+    let missing = orphans posts in
+    if missing = [] then posts
+    else begin
+      let resolved =
+        List.filter_map
+          (fun p ->
+            match p.reply_to with
+            | None -> None
+            | Some parent ->
+                M.refresh t.handle (text_cell parent.author parent.seq);
+                M.refresh t.handle (ref_cell parent.author parent.seq);
+                lookup t parent)
+          missing
+      in
+      let known = posts @ resolved in
+      (* Deduplicate by id, keeping scan order then resolutions. *)
+      List.fold_left
+        (fun acc p -> if List.exists (fun q -> q.id = p.id) acc then acc else acc @ [ p ])
+        [] known
+    end
+
+  let refresh t =
+    for a = 0 to t.authors - 1 do
+      for k = 0 to t.slots - 1 do
+        M.refresh t.handle (text_cell a k);
+        M.refresh t.handle (ref_cell a k)
+      done
+    done
+end

@@ -1,0 +1,50 @@
+(** A shared message board: the classic causal-consistency application.
+
+    Each process posts to its own row of a shared array (no write conflicts,
+    like the dictionary's insert).  A reply names its parent post; the
+    invariant causal memory buys is {e no orphan replies}: a reader that
+    sees a reply can always resolve its parent, because the replier read the
+    parent before writing the reply, so the parent is in the reply's causal
+    past — a reader that cached "no parent yet" has that stale entry
+    invalidated the moment it installs the reply, and the re-read is
+    guaranteed to find the parent at its owner.
+
+    The functor runs on any {!Dsm_memory.Memory_intf.MEMORY}: on the causal
+    DSM (and on causally-delivered broadcast memory) {!orphans} is always
+    empty after {!read_board}; on FIFO-only broadcast memory a reply can
+    overtake its parent and orphans become visible — experiment E-BOARD
+    shows the separation. *)
+
+type post_id = { author : int; seq : int }
+
+type post = { id : post_id; text : string; reply_to : post_id option }
+
+val pp_post : Format.formatter -> post -> unit
+
+module Make (M : Dsm_memory.Memory_intf.MEMORY) : sig
+  type t
+
+  val attach : M.handle -> slots:int -> t
+  (** Bind a board view; [slots] is the per-author row capacity (all
+      processes must agree on it). *)
+
+  val post : t -> ?reply_to:post_id -> string -> post_id option
+  (** Publish into the caller's own row; [None] when the row is full.
+      The parent reference is written before the text, so a visible post
+      always has a resolvable reference. *)
+
+  val read_board : t -> post list
+  (** Scan every row (author-major), resolving each visible post's parent
+      reference; includes one freshness refresh per stale reference — on
+      causal memory that single retry is guaranteed sufficient. *)
+
+  val lookup : t -> post_id -> post option
+
+  val refresh : t -> unit
+  (** Freshness-refresh the whole board so the next [read_board] observes
+      remote progress. *)
+end
+
+val orphans : post list -> post list
+(** Replies whose parent is not in the list — the anomaly causal memory
+    prevents. *)

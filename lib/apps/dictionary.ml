@@ -1,0 +1,74 @@
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module Cluster = Dsm_causal.Cluster
+module Config = Dsm_causal.Config
+
+type t = { handle : Cluster.handle; rows : int; cols : int }
+
+let cell i j = Loc.cell "dict" i j
+
+let owner_map ~processes = Dsm_memory.Owner.by_index ~nodes:processes
+
+let config =
+  Config.default
+  |> Config.with_policy Dsm_causal.Policy.Owner_favored
+  |> Config.with_init (fun loc ->
+         match loc with Loc.Cell ("dict", _, _) -> Value.Free | _ -> Value.initial)
+
+let attach handle ~cols =
+  if cols < 1 then invalid_arg "Dictionary.attach: cols must be >= 1";
+  { handle; rows = Cluster.Mem.processes handle; cols }
+
+let pid t = Cluster.pid t.handle
+
+let is_free = function Value.Free | Value.Int 0 -> true | _ -> false
+
+let insert t item =
+  let me = pid t in
+  let rec find j =
+    if j = t.cols then None
+    else if is_free (Cluster.read t.handle (cell me j)) then Some j
+    else find (j + 1)
+  in
+  match find 0 with
+  | None -> false
+  | Some j ->
+      Cluster.write t.handle (cell me j) (Value.Str item);
+      true
+
+(* Row-major scan for the cell currently showing [item] in this process's
+   view. *)
+let locate t item =
+  let rec go i j =
+    if i = t.rows then None
+    else if j = t.cols then go (i + 1) 0
+    else begin
+      match Cluster.read t.handle (cell i j) with
+      | Value.Str s when String.equal s item -> Some (i, j)
+      | _ -> go i (j + 1)
+    end
+  in
+  go 0 0
+
+let delete t item =
+  match locate t item with
+  | None -> `Not_found
+  | Some (i, j) -> (
+      match Cluster.write_resolved t.handle (cell i j) Value.Free with
+      | `Accepted -> `Deleted
+      | `Rejected -> `Rejected)
+
+let lookup t item = Option.is_some (locate t item)
+
+let items t =
+  let acc = ref [] in
+  for i = t.rows - 1 downto 0 do
+    for j = t.cols - 1 downto 0 do
+      match Cluster.read t.handle (cell i j) with
+      | Value.Str s -> acc := s :: !acc
+      | Value.Free | Value.Int _ | Value.Float _ | Value.Bool _ -> ()
+    done
+  done;
+  !acc
+
+let refresh t = Cluster.discard t.handle

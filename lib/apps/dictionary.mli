@@ -1,0 +1,56 @@
+(** The distributed dictionary of Section 4.2 (the Fischer-Michael
+    dictionary problem on causal memory).
+
+    The dictionary is a two-dimensional array [dict] with one row per
+    process and [cols] columns.  Process [i] owns row [i]; it inserts only
+    into its own row (so concurrent inserts never conflict), while any
+    process may delete any item by writing the free marker λ into the cell
+    holding it.  A concurrent delete racing with the owner's re-insert into
+    the same cell is resolved by the {e owner-favored} policy: the owner's
+    write survives, the late delete is rejected, and the dictionary stays
+    correct (the paper's argument at the end of Section 4.2).
+
+    Restrictions inherited from the paper (and Fischer-Michael): (R1) each
+    inserted item is unique; (R2) a delete follows the corresponding insert
+    in its issuer's view.  [insert] enforces neither globally — tests and
+    examples respect them.
+
+    Causal-memory-specific: relies on [write_resolved] and [discard], so it
+    works on {!Dsm_causal.Cluster} handles (the paper's point is precisely
+    that this elegance needs a causal memory with a resolution policy). *)
+
+type t
+
+val owner_map : processes:int -> Dsm_memory.Owner.t
+(** Row [i] (and any scalar helpers) owned by process [i]. *)
+
+val config : Dsm_causal.Config.t
+(** Protocol configuration with the owner-favored resolution policy and
+    free-marker initial values for dictionary cells. *)
+
+val attach : Dsm_causal.Cluster.handle -> cols:int -> t
+(** Bind a dictionary view to one process's memory handle.  All processes
+    must use the same [cols]. *)
+
+val pid : t -> int
+
+val insert : t -> string -> bool
+(** Write the item into the first free cell of the caller's own row;
+    [false] when the row is full. *)
+
+val delete : t -> string -> [ `Deleted | `Rejected | `Not_found ]
+(** Scan for the item and write λ into its cell.  [`Rejected] means the
+    cell's owner had concurrently overwritten the cell and favored its own
+    write — the delete lost, exactly the paper's scenario; the target item
+    was already gone from the current row state, so the dictionary remains
+    correct. *)
+
+val lookup : t -> string -> bool
+(** Item visible in this process's view? *)
+
+val items : t -> string list
+(** All items visible in this process's view, row-major order. *)
+
+val refresh : t -> unit
+(** Drop this process's cache so the next scans see current rows; drives
+    the convergence (liveness) requirement of the dictionary problem. *)

@@ -1,0 +1,90 @@
+type problem = { a : float array array; b : float array }
+
+let dim p = Array.length p.b
+
+let random_diagonally_dominant prng ~n =
+  if n < 1 then invalid_arg "Linalg.random_diagonally_dominant: n must be >= 1";
+  let a =
+    Array.init n (fun _ -> Array.init n (fun _ -> Dsm_util.Prng.float prng 2.0 -. 1.0))
+  in
+  (* Make each diagonal strictly dominate its row so Jacobi converges. *)
+  for i = 0 to n - 1 do
+    let off_diag = ref 0.0 in
+    for j = 0 to n - 1 do
+      if j <> i then off_diag := !off_diag +. Float.abs a.(i).(j)
+    done;
+    let sign = if a.(i).(i) >= 0.0 then 1.0 else -1.0 in
+    a.(i).(i) <- sign *. (!off_diag +. 1.0 +. Dsm_util.Prng.float prng 1.0)
+  done;
+  let b = Array.init n (fun _ -> Dsm_util.Prng.float prng 10.0 -. 5.0) in
+  { a; b }
+
+let jacobi_step p x =
+  let n = dim p in
+  Array.init n (fun i ->
+      let acc = ref p.b.(i) in
+      for j = 0 to n - 1 do
+        if j <> i then acc := !acc -. (p.a.(i).(j) *. x.(j))
+      done;
+      !acc /. p.a.(i).(i))
+
+let jacobi p ~iters =
+  let rec go x k = if k = 0 then x else go (jacobi_step p x) (k - 1) in
+  go (Array.make (dim p) 0.0) iters
+
+let residual p x =
+  let n = dim p in
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    let row = ref 0.0 in
+    for j = 0 to n - 1 do
+      row := !row +. (p.a.(i).(j) *. x.(j))
+    done;
+    worst := Float.max !worst (Float.abs (!row -. p.b.(i)))
+  done;
+  !worst
+
+let max_diff x y =
+  if Array.length x <> Array.length y then invalid_arg "Linalg.max_diff: length mismatch";
+  let worst = ref 0.0 in
+  Array.iteri (fun i xi -> worst := Float.max !worst (Float.abs (xi -. y.(i)))) x;
+  !worst
+
+let solve_exact p =
+  let n = dim p in
+  let a = Array.map Array.copy p.a in
+  let b = Array.copy p.b in
+  for col = 0 to n - 1 do
+    (* Partial pivoting. *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs a.(!pivot).(col) < 1e-12 then failwith "Linalg.solve_exact: singular system";
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = a.(row).(col) /. a.(col).(col) in
+      if factor <> 0.0 then begin
+        for k = col to n - 1 do
+          a.(row).(k) <- a.(row).(k) -. (factor *. a.(col).(k))
+        done;
+        b.(row) <- b.(row) -. (factor *. b.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let acc = ref b.(row) in
+    for k = row + 1 to n - 1 do
+      acc := !acc -. (a.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !acc /. a.(row).(row)
+  done;
+  x

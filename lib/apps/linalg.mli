@@ -1,0 +1,31 @@
+(** Dense linear-algebra support for the solver experiments: problem
+    generation, the sequential Jacobi reference, and residuals. *)
+
+type problem = { a : float array array; b : float array }
+(** A square system [Ax = b]. *)
+
+val dim : problem -> int
+
+val random_diagonally_dominant : Dsm_util.Prng.t -> n:int -> problem
+(** Random system with [|a_ii| > Σ_j≠i |a_ij|], so Jacobi iteration
+    converges (also under chaotic relaxation). *)
+
+val jacobi_step : problem -> float array -> float array
+(** One synchronous Jacobi sweep:
+    [x_i' = (b_i - Σ_{j≠i} a_ij x_j) / a_ii]. *)
+
+val jacobi : problem -> iters:int -> float array
+(** [iters] synchronous sweeps from the zero vector: the sequential
+    reference the distributed solvers must reproduce exactly (synchronous)
+    or converge to (asynchronous). *)
+
+val residual : problem -> float array -> float
+(** Max-norm of [Ax - b]. *)
+
+val max_diff : float array -> float array -> float
+(** Max-norm of the difference; raises on length mismatch. *)
+
+val solve_exact : problem -> float array
+(** Gaussian elimination with partial pivoting; the ground truth for
+    convergence checks.  Raises [Failure] on a (numerically) singular
+    system. *)

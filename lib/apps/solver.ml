@@ -1,0 +1,117 @@
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+
+let x_loc i = Loc.indexed "x" i
+
+let complete_loc i = Loc.indexed "complete" i
+
+let changed_loc i = Loc.indexed "changed" i
+
+let owner_map ~workers =
+  (* Worker i owns x_i, complete_i, changed_i; the coordinator (node
+     [workers]) owns nothing.  [Owner.by_index] maps Indexed (_, i) to
+     i mod nodes = i for i < workers. *)
+  Dsm_memory.Owner.by_index ~nodes:(workers + 1)
+
+(* Element i belongs to worker (i * workers / n): contiguous blocks of size
+   n/workers (the last block absorbs the remainder). *)
+let block_of ~workers ~n i = min (workers - 1) (i * workers / n)
+
+let block_owner_map ~workers ~n =
+  Dsm_memory.Owner.make ~nodes:(workers + 1) (fun loc ->
+      match loc with
+      | Loc.Indexed ("x", i) -> block_of ~workers ~n i
+      | Loc.Indexed ("complete", w) | Loc.Indexed ("changed", w) -> w
+      | Loc.Indexed (_, i) -> i mod (workers + 1)
+      | Loc.Named _ | Loc.Cell (_, _, _) -> 0)
+
+module Make (M : Dsm_memory.Memory_intf.MEMORY) = struct
+  let read_flag h loc =
+    match M.read h loc with
+    | Value.Bool b -> b
+    | Value.Int 0 -> false (* uninitialised flags read as the initial 0 *)
+    | v ->
+        invalid_arg
+          (Printf.sprintf "solver: flag %s holds %s" (Loc.to_string loc) (Value.to_string v))
+
+  (* "wait (B)" of Figure 6: while (not B) skip.  Locally owned flags become
+     visible when the protocol services the remote write, so plain polling
+     suffices; flags cached from elsewhere additionally need a freshness
+     refresh per probe (causal memory's discard). *)
+  let wait h loc expected =
+    let rec poll () =
+      if read_flag h loc <> expected then begin
+        M.refresh h loc;
+        M.yield h;
+        poll ()
+      end
+    in
+    poll ()
+
+  let worker h problem ~me ~iters =
+    let n = Linalg.dim problem in
+    let row = problem.Linalg.a.(me) in
+    for _phase = 1 to iters do
+      (* Compute the new element from the previous phase's global vector. *)
+      let acc = ref problem.Linalg.b.(me) in
+      for j = 0 to n - 1 do
+        if j <> me then acc := !acc -. (row.(j) *. Value.to_float (M.read h (x_loc j)))
+      done;
+      let t = !acc /. row.(me) in
+      (* First barrier: everyone has finished computing. *)
+      M.write h (complete_loc me) (Value.Bool true);
+      wait h (complete_loc me) false;
+      (* Publish, then second barrier: everyone has published. *)
+      M.write h (x_loc me) (Value.Float t);
+      M.write h (changed_loc me) (Value.Bool true);
+      wait h (changed_loc me) false
+    done
+
+  let worker_block h problem ~me ~workers ~iters =
+    let n = Linalg.dim problem in
+    let mine i = block_of ~workers ~n i = me in
+    for _phase = 1 to iters do
+      (* Compute every owned element from the previous phase's vector.
+         Reads of own-block elements are owner-local and still return the
+         previous phase's values: publication happens after the first
+         barrier. *)
+      let results = ref [] in
+      for i = 0 to n - 1 do
+        if mine i then begin
+          let row = problem.Linalg.a.(i) in
+          let acc = ref problem.Linalg.b.(i) in
+          for j = 0 to n - 1 do
+            if j <> i then acc := !acc -. (row.(j) *. Value.to_float (M.read h (x_loc j)))
+          done;
+          results := (i, !acc /. row.(i)) :: !results
+        end
+      done;
+      M.write h (complete_loc me) (Value.Bool true);
+      wait h (complete_loc me) false;
+      List.iter (fun (i, t) -> M.write h (x_loc i) (Value.Float t)) (List.rev !results);
+      M.write h (changed_loc me) (Value.Bool true);
+      wait h (changed_loc me) false
+    done
+
+  let coordinator h ~workers ~iters =
+    for _phase = 1 to iters do
+      for i = 0 to workers - 1 do
+        wait h (complete_loc i) true
+      done;
+      for i = 0 to workers - 1 do
+        M.write h (complete_loc i) (Value.Bool false)
+      done;
+      for i = 0 to workers - 1 do
+        wait h (changed_loc i) true
+      done;
+      for i = 0 to workers - 1 do
+        M.write h (changed_loc i) (Value.Bool false)
+      done
+    done
+
+  let read_solution h ~n =
+    Array.init n (fun i ->
+        let loc = x_loc i in
+        M.refresh h loc;
+        Value.to_float (M.read h loc))
+end

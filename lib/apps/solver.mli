@@ -1,0 +1,51 @@
+(** The synchronous iterative linear solver of Figure 6.
+
+    [n] worker processes (one per vector element, worker [i] on node [i],
+    owning [x_i] and its handshake bits [complete_i]/[changed_i]) plus a
+    coordinator on node [n].  Each phase: a worker computes its new element
+    into a private [t_i], handshakes ([complete_i] T / wait F), copies [t_i]
+    to the global [x_i], handshakes ([changed_i] T / wait F).  The
+    coordinator drives both barriers.
+
+    The module is a functor over {!Dsm_memory.Memory_intf.MEMORY}: the exact
+    same code runs on the causal DSM and the atomic baseline — the paper's
+    claim that "several applications written for atomic memory run without
+    modification on causal memory" made literal.  The paper proves the
+    causal execution returns phase-[k-1] values exactly, so both memories
+    compute the same iterates as sequential Jacobi. *)
+
+val x_loc : int -> Dsm_memory.Loc.t
+(** The global vector element [x_i]. *)
+
+val complete_loc : int -> Dsm_memory.Loc.t
+
+val changed_loc : int -> Dsm_memory.Loc.t
+
+val owner_map : workers:int -> Dsm_memory.Owner.t
+(** The paper's layout: node [i < workers] owns [x_i] and its bits; the
+    coordinator is node [workers] (owning nothing). *)
+
+val block_owner_map : workers:int -> n:int -> Dsm_memory.Owner.t
+(** Ownership for the block-distributed variant: worker [w] owns the
+    contiguous elements [x_i] with [i * workers / n = w] plus its handshake
+    bits; the coordinator is node [workers]. *)
+
+module Make (M : Dsm_memory.Memory_intf.MEMORY) : sig
+  val worker : M.handle -> Linalg.problem -> me:int -> iters:int -> unit
+  (** Body of worker [me]; run it inside a spawned process on node [me]. *)
+
+  val worker_block :
+    M.handle -> Linalg.problem -> me:int -> workers:int -> iters:int -> unit
+  (** The paper's "each process computes a set of elements": worker [me]
+      of [workers] computes the contiguous block of elements it owns under
+      {!block_owner_map}.  Same double-handshake structure, so the iterates
+      are still exactly sequential Jacobi; the per-phase read traffic drops
+      to the elements outside the worker's own block. *)
+
+  val coordinator : M.handle -> workers:int -> iters:int -> unit
+  (** Body of the coordinator process. *)
+
+  val read_solution : M.handle -> n:int -> float array
+  (** Fetch the final vector (with freshness refreshes); call after the
+      run quiesces. *)
+end

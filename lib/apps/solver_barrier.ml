@@ -1,0 +1,31 @@
+module Value = Dsm_memory.Value
+
+let owner_map ~workers = Dsm_memory.Owner.by_index ~nodes:workers
+
+module Make (M : Dsm_memory.Memory_intf.MEMORY) = struct
+  module Sync = Sync.Make (M)
+
+  let worker h problem ~me ~workers ~iters =
+    let n = Linalg.dim problem in
+    let row = problem.Linalg.a.(me) in
+    let compute_barrier = Sync.Barrier.create ~name:"bar_compute" ~parties:workers in
+    let publish_barrier = Sync.Barrier.create ~name:"bar_publish" ~parties:workers in
+    for _phase = 1 to iters do
+      let acc = ref problem.Linalg.b.(me) in
+      for j = 0 to n - 1 do
+        if j <> me then acc := !acc -. (row.(j) *. Value.to_float (M.read h (Solver.x_loc j)))
+      done;
+      let t = !acc /. row.(me) in
+      (* Everyone has finished computing from the old vector... *)
+      Sync.Barrier.enter compute_barrier h ~me;
+      (* ...publish, then wait for everyone else's publication. *)
+      M.write h (Solver.x_loc me) (Value.Float t);
+      Sync.Barrier.enter publish_barrier h ~me
+    done
+
+  let read_solution h ~n =
+    Array.init n (fun i ->
+        let loc = Solver.x_loc i in
+        M.refresh h loc;
+        Value.to_float (M.read h loc))
+end

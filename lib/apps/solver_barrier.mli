@@ -1,0 +1,20 @@
+(** Coordinator-free synchronous solver: Figure 6's computation with the
+    central coordinator replaced by the all-to-all event-count barrier of
+    {!Sync}.
+
+    Same double-barrier structure per phase (compute barrier, publish
+    barrier), so the same correctness argument applies: a phase-[k+1] read
+    of [x_j] causally follows [w_j(x_j)] of phase [k] through the barrier's
+    event counts, and both memories compute sequential Jacobi exactly.  The
+    message shape differs from Figure 6's: each participant polls [n-1]
+    peers per barrier instead of handshaking with one coordinator —
+    compared in experiment E-BARRIER. *)
+
+val owner_map : workers:int -> Dsm_memory.Owner.t
+(** [workers] nodes; worker [i] owns [x_i] and its barrier slots. *)
+
+module Make (M : Dsm_memory.Memory_intf.MEMORY) : sig
+  val worker : M.handle -> Linalg.problem -> me:int -> workers:int -> iters:int -> unit
+
+  val read_solution : M.handle -> n:int -> float array
+end

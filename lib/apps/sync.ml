@@ -1,0 +1,47 @@
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+
+module Make (M : Dsm_memory.Memory_intf.MEMORY) = struct
+  module Eventcount = struct
+    let value h loc =
+      match M.read h loc with
+      | Value.Int n -> n
+      | v ->
+          invalid_arg
+            (Printf.sprintf "Eventcount: %s holds %s" (Loc.to_string loc) (Value.to_string v))
+
+    let advance h loc = M.write h loc (Value.Int (value h loc + 1))
+
+    let await h loc target =
+      let rec poll () =
+        if value h loc < target then begin
+          M.refresh h loc;
+          M.yield h;
+          poll ()
+        end
+      in
+      poll ()
+  end
+
+  module Barrier = struct
+    type t = { name : string; parties : int }
+
+    let create ~name ~parties =
+      if parties < 1 then invalid_arg "Barrier.create: parties must be >= 1";
+      { name; parties }
+
+    let slot t i = Loc.indexed t.name i
+
+    let generation t h ~me = Eventcount.value h (slot t me)
+
+    let enter t h ~me =
+      if me < 0 || me >= t.parties then invalid_arg "Barrier.enter: bad participant";
+      (* Advance own count (an owner write: local), then wait for everyone
+         to reach the same generation. *)
+      Eventcount.advance h (slot t me);
+      let generation = Eventcount.value h (slot t me) in
+      for j = 0 to t.parties - 1 do
+        if j <> me then Eventcount.await h (slot t j) generation
+      done
+  end
+end

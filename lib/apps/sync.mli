@@ -1,0 +1,49 @@
+(** Synchronisation variables on weakly consistent memory.
+
+    Section 4.1: "Special synchronization variables such as semaphores or
+    event counts may be used on causal memory but we prefer a simpler
+    approach".  This module supplies the event counts — monotone counters
+    that are safe to poll on causal memory precisely because they only grow
+    and causal memory respects each writer's program order — and an
+    all-to-all sense-style barrier built from one event count per
+    participant.  The barrier gives the solver a coordinator-free variant
+    (see {!Solver_barrier}) whose cost shape differs from Figure 6's
+    central-coordinator handshake.
+
+    A functor over {!Dsm_memory.Memory_intf.MEMORY}: works unchanged on the
+    causal DSM (polls pay a freshness refresh) and the atomic baseline
+    (polls ride on invalidations). *)
+
+module Make (M : Dsm_memory.Memory_intf.MEMORY) : sig
+  module Eventcount : sig
+    val advance : M.handle -> Dsm_memory.Loc.t -> unit
+    (** Increment the counter.  Only one process (in practice: the owner)
+        may advance a given counter — event counts are single-writer. *)
+
+    val value : M.handle -> Dsm_memory.Loc.t -> int
+    (** Current count in this process's view (0 if never advanced). *)
+
+    val await : M.handle -> Dsm_memory.Loc.t -> int -> unit
+    (** Block (cooperatively) until the counter reaches at least the given
+        value in this process's view; polls with freshness refreshes.
+        Monotonicity makes the stale reads harmless: the counter can only
+        be under-read, never over-read. *)
+  end
+
+  module Barrier : sig
+    type t
+    (** A reusable all-to-all barrier for a fixed set of participants. *)
+
+    val create : name:string -> parties:int -> t
+    (** Participant [i] must run on the node owning [Indexed (name, i)] —
+        with {!Dsm_memory.Owner.by_index} that is node [i mod nodes]. *)
+
+    val enter : t -> M.handle -> me:int -> unit
+    (** Advance own event count and wait until every participant's count
+        reaches this participant's current generation.  The [k]-th [enter]
+        by each participant synchronises generation [k]. *)
+
+    val generation : t -> M.handle -> me:int -> int
+    (** How many times [me] has entered (own count in own view). *)
+  end
+end

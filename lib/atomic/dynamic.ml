@@ -1,0 +1,288 @@
+module Loc = Dsm_memory.Loc
+module Wid = Dsm_memory.Wid
+module History = Dsm_memory.History
+module Owner = Dsm_memory.Owner
+module Proc = Dsm_runtime.Proc
+module Network = Dsm_net.Network
+
+module Int_set = Set.Make (Int)
+
+type node = {
+  id : int;
+  store : Message.entry Loc.Table.t;
+  owned : unit Loc.Table.t;
+  prob_owner : int Loc.Table.t; (* hints; fall back to the initial map *)
+  copysets : Int_set.t ref Loc.Table.t;
+  pending : (int, Message.t Proc.ivar) Hashtbl.t;
+  mutable wseq : int;
+  mutable reqseq : int;
+}
+
+type t = {
+  sched : Proc.sched;
+  net : Message.t Network.t;
+  initial_owner : Owner.t;
+  init : Loc.t -> Dsm_memory.Value.t;
+  nodes : node array;
+  recorder : History.Recorder.t;
+  mutable forwards : int;
+}
+
+type handle = { cluster : t; node : node }
+
+let owns node loc = Loc.Table.mem node.owned loc
+
+let hint t node loc =
+  match Loc.Table.find_opt node.prob_owner loc with
+  | Some n -> n
+  | None -> Owner.owner t.initial_owner loc
+
+let set_hint node loc target = Loc.Table.replace node.prob_owner loc target
+
+let current_entry t node loc =
+  match Loc.Table.find_opt node.store loc with
+  | Some entry -> entry
+  | None ->
+      let entry = { Message.value = t.init loc; wid = Wid.initial } in
+      Loc.Table.replace node.store loc entry;
+      entry
+
+let copyset node loc =
+  match Loc.Table.find_opt node.copysets loc with
+  | Some set -> set
+  | None ->
+      let set = ref Int_set.empty in
+      Loc.Table.replace node.copysets loc set;
+      set
+
+let send t ~src ~dst ?(size = 2) msg =
+  Network.send t.net ~src ~dst ~kind:(Message.kind msg) ~size msg
+
+(* Invalidate every cached copy (fire-and-forget), sparing [keep]. *)
+let invalidate_copies t node loc ~keep =
+  let set = copyset node loc in
+  Int_set.iter
+    (fun holder ->
+      if holder <> keep && holder <> node.id then
+        send t ~src:node.id ~dst:holder ~size:1 (Message.Invalidate { loc; token = -1 }))
+    !set;
+  set := Int_set.empty
+
+(* Initial ownership is lazy: the first touch of a location at its initial
+   owner materialises it, unless ownership already migrated away (the hint
+   table records that). *)
+let ensure_initial_ownership t node loc =
+  if
+    (not (owns node loc))
+    && Owner.owner t.initial_owner loc = node.id
+    && not (Loc.Table.mem node.prob_owner loc)
+  then begin
+    Loc.Table.replace node.owned loc ();
+    ignore (current_entry t node loc)
+  end
+
+let handle_message t ~me ~src msg =
+  let node = t.nodes.(me) in
+  (match (msg : Message.t) with
+  | Message.Dyn_read { loc; _ } | Message.Dyn_write { loc; _ } ->
+      ensure_initial_ownership t node loc
+  | _ -> ());
+  match (msg : Message.t) with
+  | Message.Dyn_read { req; requester; loc } ->
+      if owns node loc then begin
+        let entry = current_entry t node loc in
+        let set = copyset node loc in
+        set := Int_set.add requester !set;
+        send t ~src:me ~dst:requester (Message.Dyn_read_reply { req; loc; entry })
+      end
+      else begin
+        (* Forward along the chain.  Read forwards must NOT repoint the hint
+           at the requester (a reader never becomes owner); the requester
+           learns the true owner from the reply instead. *)
+        let next = hint t node loc in
+        if next = me then failwith "Dynamic: probable-owner chain is broken";
+        t.forwards <- t.forwards + 1;
+        send t ~src:me ~dst:next ~size:1 (Message.Dyn_read { req; requester; loc })
+      end
+  | Message.Dyn_write { req; requester; loc } ->
+      if owns node loc then begin
+        (* Relinquish ownership: kill every cached copy (including our own
+           storage), hand the location to the requester. *)
+        invalidate_copies t node loc ~keep:requester;
+        Loc.Table.remove node.store loc;
+        Loc.Table.remove node.owned loc;
+        set_hint node loc requester;
+        send t ~src:me ~dst:requester ~size:1 (Message.Dyn_grant { req; loc })
+      end
+      else begin
+        (* Write forwards repoint the hint at the requester: it is about to
+           become the owner (Li-Hudak path compression). *)
+        let next = hint t node loc in
+        if next = me then failwith "Dynamic: probable-owner chain is broken";
+        t.forwards <- t.forwards + 1;
+        set_hint node loc requester;
+        send t ~src:me ~dst:next ~size:1 (Message.Dyn_write { req; requester; loc })
+      end
+  | Message.Dyn_read_reply { req; loc; _ } -> (
+      (* The reply comes from the true owner: remember it. *)
+      set_hint node loc src;
+      match Hashtbl.find_opt node.pending req with
+      | Some ivar ->
+          Hashtbl.remove node.pending req;
+          Proc.fill ivar msg
+      | None -> failwith (Printf.sprintf "dynamic node %d: stray reply %d" me req))
+  | Message.Dyn_grant { req; _ } -> (
+      match Hashtbl.find_opt node.pending req with
+      | Some ivar ->
+          Hashtbl.remove node.pending req;
+          Proc.fill ivar msg
+      | None -> failwith (Printf.sprintf "dynamic node %d: stray grant %d" me req))
+  | Message.Invalidate { loc; _ } -> Loc.Table.remove node.store loc
+  | Message.Read_req _ | Message.Read_reply _ | Message.Write_req _ | Message.Write_reply _
+  | Message.Inv_ack _ ->
+      failwith "Dynamic: static-protocol message on a dynamic cluster"
+
+let create ~sched ~initial_owner ?(init = fun _ -> Dsm_memory.Value.initial) ?latency
+    ?(seed = 47L) () =
+  let processes = Owner.nodes initial_owner in
+  let engine = Proc.engine sched in
+  let net = Network.create engine ~nodes:processes ?latency ~seed () in
+  let nodes =
+    Array.init processes (fun id ->
+        {
+          id;
+          store = Loc.Table.create 64;
+          owned = Loc.Table.create 32;
+          prob_owner = Loc.Table.create 32;
+          copysets = Loc.Table.create 32;
+          pending = Hashtbl.create 8;
+          wseq = 0;
+          reqseq = 0;
+        })
+  in
+  let t =
+    {
+      sched;
+      net;
+      initial_owner;
+      init;
+      nodes;
+      recorder = History.Recorder.create ~processes;
+      forwards = 0;
+    }
+  in
+  for me = 0 to processes - 1 do
+    Network.set_handler net ~node:me (fun ~src msg -> handle_message t ~me ~src msg)
+  done;
+  t
+
+let handle t pid = { cluster = t; node = t.nodes.(pid) }
+
+let handles t = Array.init (Array.length t.nodes) (handle t)
+
+let processes t = Array.length t.nodes
+
+let net t = t.net
+
+let history t = History.Recorder.history t.recorder
+
+let owner_now t loc =
+  let found = ref (-1) in
+  Array.iter
+    (fun node ->
+      ensure_initial_ownership t node loc;
+      if owns node loc then found := node.id)
+    t.nodes;
+  !found
+
+let forwards t = t.forwards
+
+let pid h = h.node.id
+
+let fresh_wid node =
+  let seq = node.wseq in
+  node.wseq <- seq + 1;
+  Wid.make ~node:node.id ~seq
+
+let rendezvous h make_msg ~dst =
+  let t = h.cluster in
+  let node = h.node in
+  let req = node.reqseq in
+  node.reqseq <- req + 1;
+  let ivar = Proc.ivar t.sched in
+  Hashtbl.replace node.pending req ivar;
+  let msg = make_msg req in
+  Network.send t.net ~src:node.id ~dst ~kind:(Message.kind msg) ~size:1 msg;
+  Proc.await ivar
+
+let record_read t node loc (entry : Message.entry) =
+  ignore
+    (History.Recorder.record_read t.recorder ~pid:node.id ~loc ~value:entry.Message.value
+       ~from:entry.Message.wid)
+
+let read h loc =
+  let t = h.cluster in
+  let node = h.node in
+  ensure_initial_ownership t node loc;
+  match Loc.Table.find_opt node.store loc with
+  | Some entry ->
+      record_read t node loc entry;
+      entry.Message.value
+  | None ->
+      if owns node loc then begin
+        let entry = current_entry t node loc in
+        record_read t node loc entry;
+        entry.Message.value
+      end
+      else begin
+        match
+          rendezvous h ~dst:(hint t node loc) (fun req ->
+              Message.Dyn_read { req; requester = node.id; loc })
+        with
+        | Message.Dyn_read_reply { entry; _ } ->
+            Loc.Table.replace node.store loc entry;
+            record_read t node loc entry;
+            entry.Message.value
+        | _ -> assert false
+      end
+
+let apply_own_write t node loc value =
+  let entry = { Message.value; wid = fresh_wid node } in
+  invalidate_copies t node loc ~keep:node.id;
+  Loc.Table.replace node.store loc entry;
+  ignore
+    (History.Recorder.record_write t.recorder ~pid:node.id ~loc ~value ~wid:entry.Message.wid)
+
+let write h loc value =
+  let t = h.cluster in
+  let node = h.node in
+  ensure_initial_ownership t node loc;
+  if owns node loc then apply_own_write t node loc value
+  else begin
+    match
+      rendezvous h ~dst:(hint t node loc) (fun req ->
+          Message.Dyn_write { req; requester = node.id; loc })
+    with
+    | Message.Dyn_grant _ ->
+        (* We are the owner now; the old owner already cleared the copies. *)
+        Loc.Table.replace node.owned loc ();
+        Loc.Table.remove node.copysets loc;
+        apply_own_write t node loc value
+    | _ -> assert false
+  end
+
+module Mem = struct
+  type nonrec handle = handle
+
+  let pid = pid
+
+  let processes h = Array.length h.cluster.nodes
+
+  let read = read
+
+  let write = write
+
+  let yield (_ : handle) = Proc.yield ()
+
+  let refresh (_ : handle) (_ : Loc.t) = ()
+end

@@ -1,0 +1,55 @@
+(** Dynamic distributed ownership: Li & Hudak's "dynamic distributed
+    manager" algorithm, the real protocol behind the paper's atomic-DSM
+    comparator [15].
+
+    The static baseline ({!Cluster}) fixes each location's owner forever;
+    here ownership {e migrates to writers}.  Every node keeps a
+    probable-owner hint per location; requests are forwarded along the hint
+    chain until they reach the true owner (each hop updates its hint to the
+    requester, compressing future chains).  A write request transfers
+    ownership: the old owner hands over the current value and copyset, the
+    new owner invalidates the copies and writes locally — so a node that
+    writes a location repeatedly pays for the first write only.
+
+    Invalidations are fire-and-forget (the paper's `Counted` accounting);
+    the consistency level matches the static baseline's counted mode.
+    Compared in experiment E-DYN on a writer-migration workload. *)
+
+type t
+
+type handle
+
+val create :
+  sched:Dsm_runtime.Proc.sched ->
+  initial_owner:Dsm_memory.Owner.t ->
+  ?init:(Dsm_memory.Loc.t -> Dsm_memory.Value.t) ->
+  ?latency:Dsm_net.Latency.t ->
+  ?seed:int64 ->
+  unit ->
+  t
+(** [initial_owner] seeds every node's probable-owner hints (and decides who
+    actually owns each location at the start). *)
+
+val handle : t -> int -> handle
+
+val handles : t -> handle array
+
+val processes : t -> int
+
+val net : t -> Message.t Dsm_net.Network.t
+
+val history : t -> Dsm_memory.History.t
+
+val owner_now : t -> Dsm_memory.Loc.t -> int
+(** The node that currently owns the location (for tests). *)
+
+val forwards : t -> int
+(** Requests forwarded along probable-owner chains so far. *)
+
+val pid : handle -> int
+
+val read : handle -> Dsm_memory.Loc.t -> Dsm_memory.Value.t
+
+val write : handle -> Dsm_memory.Loc.t -> Dsm_memory.Value.t -> unit
+
+module Mem : Dsm_memory.Memory_intf.MEMORY with type handle = handle

@@ -1,0 +1,39 @@
+(** Wire messages of the write-invalidate atomic DSM baseline.
+
+    This is the comparator the paper's Section 4.1 assumes: "a comparable
+    owner protocol for atomic memory where locations are stored at the owner
+    and cached at other nodes.  An atomic write requires that all cached
+    copies in the system be invalidated", with the owner maintaining the
+    read set (copyset), as in Li & Hudak's shared virtual memory. *)
+
+type entry = { value : Dsm_memory.Value.t; wid : Dsm_memory.Wid.t }
+
+type t =
+  | Read_req of { req : int; loc : Dsm_memory.Loc.t }
+  | Read_reply of { req : int; loc : Dsm_memory.Loc.t; entry : entry }
+  | Write_req of { req : int; loc : Dsm_memory.Loc.t; entry : entry }
+  | Write_reply of { req : int; loc : Dsm_memory.Loc.t }
+  | Invalidate of { loc : Dsm_memory.Loc.t; token : int }
+      (** [token] identifies the owner-side write waiting for this round of
+          acknowledgements (meaningful only in acknowledged mode) *)
+  | Inv_ack of { loc : Dsm_memory.Loc.t; token : int }
+  (* Dynamic-ownership (Li-Hudak distributed manager) messages; forwarded
+     along probable-owner chains until they reach the true owner. *)
+  | Dyn_read of { req : int; requester : int; loc : Dsm_memory.Loc.t }
+  | Dyn_read_reply of { req : int; loc : Dsm_memory.Loc.t; entry : entry }
+  | Dyn_write of { req : int; requester : int; loc : Dsm_memory.Loc.t }
+  | Dyn_grant of { req : int; loc : Dsm_memory.Loc.t }
+      (** ownership transfer: the old owner has already invalidated every
+          cached copy; the requester becomes owner and applies its write *)
+
+let kind = function
+  | Read_req _ -> "READ"
+  | Read_reply _ -> "R_REPLY"
+  | Write_req _ -> "WRITE"
+  | Write_reply _ -> "W_REPLY"
+  | Invalidate _ -> "INVAL"
+  | Inv_ack _ -> "INV_ACK"
+  | Dyn_read _ -> "DREAD"
+  | Dyn_read_reply _ -> "DR_REPLY"
+  | Dyn_write _ -> "DWRITE"
+  | Dyn_grant _ -> "DGRANT"

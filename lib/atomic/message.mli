@@ -1,0 +1,31 @@
+(** Wire messages of the atomic DSM baselines.
+
+    The static protocol ({!Cluster}) uses the request/reply/invalidation
+    kinds; the dynamic-ownership protocol ({!Dynamic}) uses the [Dyn_*]
+    kinds, forwarded along probable-owner chains.  One shared message type
+    keeps both baselines on one transport; each cluster rejects the other
+    family at delivery time. *)
+
+type entry = { value : Dsm_memory.Value.t; wid : Dsm_memory.Wid.t }
+(** A value with its unique write identity (no vector clocks: the strong
+    baselines order writes at owners, not with stamps). *)
+
+type t =
+  | Read_req of { req : int; loc : Dsm_memory.Loc.t }
+  | Read_reply of { req : int; loc : Dsm_memory.Loc.t; entry : entry }
+  | Write_req of { req : int; loc : Dsm_memory.Loc.t; entry : entry }
+  | Write_reply of { req : int; loc : Dsm_memory.Loc.t }
+  | Invalidate of { loc : Dsm_memory.Loc.t; token : int }
+      (** [token >= 0] requests an acknowledgement (acknowledged mode);
+          [-1] is fire-and-forget (counted mode) *)
+  | Inv_ack of { loc : Dsm_memory.Loc.t; token : int }
+  | Dyn_read of { req : int; requester : int; loc : Dsm_memory.Loc.t }
+      (** forwarded until it reaches the true owner *)
+  | Dyn_read_reply of { req : int; loc : Dsm_memory.Loc.t; entry : entry }
+  | Dyn_write of { req : int; requester : int; loc : Dsm_memory.Loc.t }
+      (** ownership request; the requester becomes owner on grant *)
+  | Dyn_grant of { req : int; loc : Dsm_memory.Loc.t }
+      (** the old owner has invalidated every cached copy and relinquished *)
+
+val kind : t -> string
+(** Counter bucket, e.g. ["READ"], ["INVAL"], ["DGRANT"]. *)

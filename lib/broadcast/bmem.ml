@@ -1,0 +1,95 @@
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module Wid = Dsm_memory.Wid
+module History = Dsm_memory.History
+module Proc = Dsm_runtime.Proc
+
+type payload = { loc : Loc.t; value : Value.t; wid : Wid.t }
+
+type entry = { e_value : Value.t; e_wid : Wid.t }
+
+type t = {
+  sched : Proc.sched;
+  bcast : payload Cbcast.t;
+  stores : entry Loc.Table.t array;
+  recorder : History.Recorder.t;
+  wseq : int array;
+}
+
+type handle = { cluster : t; me : int }
+
+let apply t ~node (p : payload) =
+  Loc.Table.replace t.stores.(node) p.loc { e_value = p.value; e_wid = p.wid }
+
+let create ~sched ~processes ?(mode = `Causal) ?latency ?(seed = 11L) () =
+  if processes < 1 then invalid_arg "Bmem.create: need at least one process";
+  let engine = Proc.engine sched in
+  let stores = Array.init processes (fun _ -> Loc.Table.create 64) in
+  let recorder = History.Recorder.create ~processes in
+  let rec t =
+    lazy
+      {
+        sched;
+        bcast =
+          Cbcast.create engine ~nodes:processes ~mode ?latency ~seed
+            ~deliver:(fun ~node ~src:_ p -> apply (Lazy.force t) ~node p)
+            ();
+        stores;
+        recorder;
+        wseq = Array.make processes 0;
+      }
+  in
+  Lazy.force t
+
+let handle t me = { cluster = t; me }
+
+let handles t = Array.init (Array.length t.stores) (handle t)
+
+let processes t = Array.length t.stores
+
+let bcast t = t.bcast
+
+let history t = History.Recorder.history t.recorder
+
+let messages t = (Cbcast.counters t.bcast).Dsm_net.Network.total
+
+let pid h = h.me
+
+let read h loc =
+  let t = h.cluster in
+  match Loc.Table.find_opt t.stores.(h.me) loc with
+  | Some entry ->
+      ignore
+        (History.Recorder.record_read t.recorder ~pid:h.me ~loc ~value:entry.e_value
+           ~from:entry.e_wid);
+      entry.e_value
+  | None ->
+      ignore
+        (History.Recorder.record_read t.recorder ~pid:h.me ~loc ~value:Value.initial
+           ~from:Wid.initial);
+      Value.initial
+
+let write h loc value =
+  let t = h.cluster in
+  let seq = t.wseq.(h.me) in
+  t.wseq.(h.me) <- seq + 1;
+  let wid = Wid.make ~node:h.me ~seq in
+  ignore (History.Recorder.record_write t.recorder ~pid:h.me ~loc ~value ~wid);
+  Cbcast.broadcast t.bcast ~src:h.me { loc; value; wid }
+
+module Mem = struct
+  type nonrec handle = handle
+
+  let pid = pid
+
+  let processes h = processes h.cluster
+
+  let read = read
+
+  let write = write
+
+  let yield (_ : handle) = Proc.yield ()
+
+  (* Every node holds a full replica kept fresh by deliveries. *)
+  let refresh (_ : handle) (_ : Loc.t) = ()
+end

@@ -1,0 +1,52 @@
+(** "Memory as causal broadcast" — the strawman of the paper's Figure 3.
+
+    Each node keeps a full copy of the memory; a write is applied locally
+    and broadcast with causal ordering; delivery stores the value; a read
+    returns the local copy.  Section 2 shows this is {e not} causal memory:
+    concurrent writes of the same location may be applied in different
+    orders at different nodes, and a reader can return a value the causal
+    past of its own earlier reads has already overwritten.
+
+    The recorded histories let the checker demonstrate the violation
+    mechanically (experiment E-FIG3). *)
+
+type t
+
+type handle
+
+type payload
+(** The broadcast message: one (location, value, write-identity) update. *)
+
+val create :
+  sched:Dsm_runtime.Proc.sched ->
+  processes:int ->
+  ?mode:Cbcast.mode ->
+  ?latency:Dsm_net.Latency.t ->
+  ?seed:int64 ->
+  unit ->
+  t
+
+val handle : t -> int -> handle
+
+val handles : t -> handle array
+
+val processes : t -> int
+
+val bcast : t -> payload Cbcast.t
+(** The underlying broadcast engine (tests shape link latencies through
+    [Cbcast.set_link_latency]). *)
+
+val history : t -> Dsm_memory.History.t
+
+val messages : t -> int
+(** Broadcast messages sent so far. *)
+
+val pid : handle -> int
+
+val read : handle -> Dsm_memory.Loc.t -> Dsm_memory.Value.t
+
+val write : handle -> Dsm_memory.Loc.t -> Dsm_memory.Value.t -> unit
+(** Non-blocking: applies locally (via self-delivery) and broadcasts the
+    update. *)
+
+module Mem : Dsm_memory.Memory_intf.MEMORY with type handle = handle

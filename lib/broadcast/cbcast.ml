@@ -1,0 +1,102 @@
+type mode = [ `Causal | `Fifo ]
+
+type 'payload tagged = { tag : int array; sender : int; payload : 'payload }
+
+type 'payload node_state = {
+  delivered : int array; (* D_j: broadcasts delivered, per sender *)
+  mutable held : 'payload tagged list; (* delay queue, arrival order (oldest first) *)
+}
+
+type 'payload t = {
+  mode : mode;
+  node_count : int;
+  net : 'payload tagged Dsm_net.Network.t;
+  states : 'payload node_state array;
+  deliver : node:int -> src:int -> 'payload -> unit;
+  mutable delayed_total : int;
+}
+
+let deliverable t ~node (m : _ tagged) =
+  let d = t.states.(node).delivered in
+  match t.mode with
+  | `Fifo -> m.tag.(m.sender) = d.(m.sender) + 1
+  | `Causal ->
+      m.tag.(m.sender) = d.(m.sender) + 1
+      && begin
+           let ok = ref true in
+           for k = 0 to t.node_count - 1 do
+             if k <> m.sender && m.tag.(k) > d.(k) then ok := false
+           done;
+           !ok
+         end
+
+let rec deliver_now t ~node (m : _ tagged) =
+  let state = t.states.(node) in
+  state.delivered.(m.sender) <- state.delivered.(m.sender) + 1;
+  t.deliver ~node ~src:m.sender m.payload;
+  (* Delivery may unblock held messages; drain to fixpoint. *)
+  drain t ~node
+
+and drain t ~node =
+  let state = t.states.(node) in
+  let rec find_ready before = function
+    | [] -> None
+    | m :: rest ->
+        if deliverable t ~node m then Some (m, List.rev_append before rest)
+        else find_ready (m :: before) rest
+  in
+  match find_ready [] state.held with
+  | None -> ()
+  | Some (m, rest) ->
+      state.held <- rest;
+      t.delayed_total <- t.delayed_total - 1;
+      deliver_now t ~node m
+
+let on_receive t ~node ~src:_ (m : _ tagged) =
+  if deliverable t ~node m then deliver_now t ~node m
+  else begin
+    t.states.(node).held <- t.states.(node).held @ [ m ];
+    t.delayed_total <- t.delayed_total + 1
+  end
+
+let create engine ~nodes ?(mode = `Causal) ?latency ?(seed = 7L) ~deliver () =
+  if nodes < 1 then invalid_arg "Cbcast.create: need at least one node";
+  let net = Dsm_net.Network.create engine ~nodes ?latency ~seed () in
+  let t =
+    {
+      mode;
+      node_count = nodes;
+      net;
+      states = Array.init nodes (fun _ -> { delivered = Array.make nodes 0; held = [] });
+      deliver;
+      delayed_total = 0;
+    }
+  in
+  for node = 0 to nodes - 1 do
+    Dsm_net.Network.set_handler net ~node (fun ~src m -> on_receive t ~node ~src m)
+  done;
+  t
+
+let broadcast t ~src ?(size = 2) payload =
+  (* The tag is the sender's delivered vector with its own component bumped:
+     "I have delivered these; my message is my next one."  Receivers hold the
+     message until they have caught up with that causal past. *)
+  let tag = Array.copy t.states.(src).delivered in
+  tag.(src) <- tag.(src) + 1;
+  let m = { tag; sender = src; payload } in
+  for dst = 0 to t.node_count - 1 do
+    if dst <> src then Dsm_net.Network.send t.net ~src ~dst ~kind:"CBCAST" ~size m
+  done;
+  (* The sender delivers its own broadcast immediately. *)
+  deliver_now t ~node:src m
+
+let nodes t = t.node_count
+
+let set_link_latency t ~src ~dst latency =
+  Dsm_net.Network.set_link_latency t.net ~src ~dst latency
+
+let counters t = Dsm_net.Network.counters t.net
+
+let delayed t = t.delayed_total
+
+let delivered_counts t node = Vclock.of_array t.states.(node).delivered

@@ -1,0 +1,295 @@
+module Op = Dsm_memory.Op
+module Wid = Dsm_memory.Wid
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module History = Dsm_memory.History
+module Bitrel = Dsm_util.Bitrel
+
+type live = { wid : Wid.t; value : Value.t }
+
+type violation = { read : Op.t; live : live list; reason : string }
+
+type verdict = Correct | Violations of violation list
+
+(* Does some access of [x] associated with a write other than [cand_wid]
+   sit causally strictly between the candidate write and the read [io]?
+   [cand_idx = None] stands for the virtual initial write, which precedes
+   every operation. *)
+let intervenes g ~ops_x ~io ~cand_wid ~cand_idx =
+  List.exists
+    (fun i'' ->
+      i'' <> io
+      && (match cand_idx with Some iw -> i'' <> iw | None -> true)
+      && (not (Wid.equal (Causality.op g i'').Op.wid cand_wid))
+      && (match cand_idx with
+         | Some iw -> Causality.precedes g iw i''
+         | None -> true)
+      && Causality.precedes_excl_rf g i'' ~reader:io)
+    ops_x
+
+let live_of g idx =
+  let op = Causality.op g idx in
+  { wid = op.Op.wid; value = op.Op.value }
+
+let alpha g io =
+  let o = Causality.op g io in
+  if not (Op.is_read o) then invalid_arg "Causal_check.alpha: not a read";
+  let x = o.Op.loc in
+  let ops_x = Causality.ops_on g x in
+  let writes_x = Causality.writes_to g x in
+  let initial_live =
+    if intervenes g ~ops_x ~io ~cand_wid:Wid.initial ~cand_idx:None then []
+    else [ { wid = Wid.initial; value = Value.initial } ]
+  in
+  let write_live iw =
+    let w = Causality.op g iw in
+    if Causality.precedes_excl_rf g iw ~reader:io then
+      (* Candidate causally precedes the read: live unless overwritten. *)
+      if intervenes g ~ops_x ~io ~cand_wid:w.Op.wid ~cand_idx:(Some iw) then None
+      else Some (live_of g iw)
+    else if Causality.precedes g io iw then
+      (* Writes that causally follow the read are never live for it. *)
+      None
+    else
+      (* Concurrent writes are always live. *)
+      Some (live_of g iw)
+  in
+  initial_live @ List.filter_map write_live writes_x
+
+let check_read g io =
+  let o = Causality.op g io in
+  let live = alpha g io in
+  if List.exists (fun l -> Wid.equal l.wid o.Op.wid) live then None
+  else
+    Some
+      {
+        read = o;
+        live;
+        reason =
+          Printf.sprintf "%s returned %s (from %s), not live for this read"
+            (Op.to_string o)
+            (Value.to_string o.Op.value)
+            (Wid.to_string o.Op.wid);
+      }
+
+let check_graph g =
+  let violations = ref [] in
+  for io = Causality.op_count g - 1 downto 0 do
+    if Op.is_read (Causality.op g io) then
+      match check_read g io with Some v -> violations := v :: !violations | None -> ()
+  done;
+  match !violations with [] -> Correct | vs -> Violations vs
+
+let check history =
+  match Causality.build history with
+  | Error e -> Error e
+  | Ok g -> Ok (check_graph g)
+
+let is_correct history = match check history with Ok Correct -> true | Ok (Violations _) | Error _ -> false
+
+let violations history =
+  match check history with
+  | Ok Correct -> []
+  | Ok (Violations vs) -> vs
+  | Error e -> failwith ("Causal_check.violations: malformed history: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Violation explanations                                              *)
+(* ------------------------------------------------------------------ *)
+
+type explanation = {
+  x_read : Op.t;
+  x_reason : [ `Overwritten of Op.t | `Future_write ];
+  x_chain : Op.t list;
+  x_rendered : string;
+}
+
+(* Stitch BFS paths into one chain of global indices (segments share their
+   junction op). *)
+let stitch segments =
+  List.fold_left
+    (fun acc seg ->
+      match (acc, seg) with
+      | [], s -> s
+      | acc, x :: rest when List.nth acc (List.length acc - 1) = x -> acc @ rest
+      | acc, s -> acc @ s)
+    [] segments
+
+let render g chain =
+  let rec go = function
+    | [] -> []
+    | [ last ] -> [ Op.to_string (Causality.op g last) ]
+    | a :: (b :: _ as rest) ->
+        let arrow =
+          match Causality.edge_kind g a b with
+          | `Program_order -> " -po-> "
+          | `Reads_from -> " -rf-> "
+          | `None -> " ->* "
+        in
+        (Op.to_string (Causality.op g a) ^ arrow) :: go rest
+  in
+  String.concat "" (go chain)
+
+(* The intervening access (if any) that kills candidate [cand_wid] for the
+   read at [io]: same location, different associated write, causally after
+   the candidate and before the read (excluding the read's own rf edge). *)
+let find_intervening g ~io ~cand_wid ~cand_idx =
+  let x = (Causality.op g io).Op.loc in
+  List.find_opt
+    (fun i'' ->
+      i'' <> io
+      && (match cand_idx with Some iw -> i'' <> iw | None -> true)
+      && (not (Wid.equal (Causality.op g i'').Op.wid cand_wid))
+      && (match cand_idx with Some iw -> Causality.precedes g iw i'' | None -> true)
+      && Causality.precedes_excl_rf g i'' ~reader:io)
+    (Causality.ops_on g x)
+
+let path_exn g a b =
+  match Causality.shortest_path g a b with
+  | Some p -> p
+  | None -> [ a; b ] (* closure says reachable; direct edges must witness it *)
+
+let explain g io =
+  let o = Causality.op g io in
+  if not (Op.is_read o) then invalid_arg "Causal_check.explain: not a read";
+  if check_read g io = None then None
+  else begin
+    let source = Causality.writer_of g o.Op.wid in
+    match source with
+    | Some iw when Causality.precedes g io iw ->
+        (* The read's source causally follows the read itself. *)
+        let chain_idx = path_exn g io iw in
+        Some
+          {
+            x_read = o;
+            x_reason = `Future_write;
+            x_chain = List.map (Causality.op g) chain_idx;
+            x_rendered =
+              Printf.sprintf "%s reads from its own causal future: %s" (Op.to_string o)
+                (render g chain_idx);
+          }
+    | _ -> (
+        (* Overwritten: find the intervening access and build
+           source ->* intervening ->* predecessor(read) -> read. *)
+        let cand_idx = source in
+        match find_intervening g ~io ~cand_wid:o.Op.wid ~cand_idx with
+        | None -> None (* violation without witness should not happen *)
+        | Some i'' ->
+            let tail =
+              match Causality.program_pred g io with
+              | Some pred when pred <> i'' -> path_exn g i'' pred @ [ io ]
+              | Some _ | None -> [ i''; io ]
+            in
+            let chain_idx =
+              match cand_idx with
+              | Some iw -> stitch [ path_exn g iw i''; tail ]
+              | None -> stitch [ [ i'' ]; tail ]
+            in
+            Some
+              {
+                x_read = o;
+                x_reason = `Overwritten (Causality.op g i'');
+                x_chain = List.map (Causality.op g) chain_idx;
+                x_rendered =
+                  Printf.sprintf "%s returned an overwritten value; witness: %s"
+                    (Op.to_string o) (render g chain_idx);
+              })
+  end
+
+let explain_all history =
+  match Causality.build history with
+  | Error _ -> []
+  | Ok g ->
+      let acc = ref [] in
+      for io = Causality.op_count g - 1 downto 0 do
+        if Op.is_read (Causality.op g io) then
+          match explain g io with Some e -> acc := e :: !acc | None -> ()
+      done;
+      !acc
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementation                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Naive = struct
+  (* Rebuild the relation from scratch with one read's reads-from edge
+     removed, exactly as Definition 1 prescribes, and close it.  Quadratic in
+     history size per read; for validation only. *)
+
+  let flatten history =
+    let rows = (history : History.t :> Op.t array array) in
+    Array.to_list rows |> List.concat_map Array.to_list |> Array.of_list
+
+  let minus_closure ops ~skip =
+    let n = Array.length ops in
+    let rel = Bitrel.create n in
+    let writers = Hashtbl.create 32 in
+    Array.iteri (fun i (o : Op.t) -> if Op.is_write o then Hashtbl.replace writers o.Op.wid i) ops;
+    Array.iteri
+      (fun i (o : Op.t) ->
+        if i + 1 < n && ops.(i + 1).Op.pid = o.Op.pid then Bitrel.add rel i (i + 1);
+        if Op.is_read o && i <> skip && not (Wid.is_initial o.Op.wid) then
+          match Hashtbl.find_opt writers o.Op.wid with
+          | Some w -> Bitrel.add rel w i
+          | None -> failwith "Naive: dangling reads-from")
+      ops;
+    Bitrel.transitive_closure rel;
+    rel
+
+  let alpha_at ops io =
+    let o = ops.(io) in
+    if not (Op.is_read o) then invalid_arg "Naive.alpha: not a read";
+    let rel = minus_closure ops ~skip:io in
+    let reach a b = Bitrel.mem rel a b in
+    let x = o.Op.loc in
+    let on_x i = Loc.equal ops.(i).Op.loc x in
+    let indices = List.init (Array.length ops) Fun.id in
+    let ops_x = List.filter on_x indices in
+    let intervening ~cand_wid ~cand_idx =
+      List.exists
+        (fun i'' ->
+          i'' <> io
+          && (match cand_idx with Some iw -> i'' <> iw | None -> true)
+          && (not (Wid.equal ops.(i'').Op.wid cand_wid))
+          && (match cand_idx with Some iw -> reach iw i'' | None -> true)
+          && reach i'' io)
+        ops_x
+    in
+    let initial_live =
+      if intervening ~cand_wid:Wid.initial ~cand_idx:None then []
+      else [ { wid = Wid.initial; value = Value.initial } ]
+    in
+    let write_live iw =
+      if not (Op.is_write ops.(iw) && on_x iw) then None
+      else begin
+        let w = ops.(iw) in
+        if reach iw io then
+          if intervening ~cand_wid:w.Op.wid ~cand_idx:(Some iw) then None
+          else Some { wid = w.Op.wid; value = w.Op.value }
+        else if reach io iw then None
+        else Some { wid = w.Op.wid; value = w.Op.value }
+      end
+    in
+    initial_live @ List.filter_map write_live indices
+
+  let alpha history ~pid ~index =
+    let ops = flatten history in
+    let io = ref (-1) in
+    Array.iteri
+      (fun i (o : Op.t) -> if o.Op.pid = pid && o.Op.index = index then io := i)
+      ops;
+    if !io < 0 then invalid_arg "Naive.alpha: no such operation";
+    alpha_at ops !io
+
+  let is_correct history =
+    let ops = flatten history in
+    let ok = ref true in
+    Array.iteri
+      (fun io (o : Op.t) ->
+        if Op.is_read o then begin
+          let live = alpha_at ops io in
+          if not (List.exists (fun l -> Wid.equal l.wid o.Op.wid) live) then ok := false
+        end)
+      ops;
+    !ok
+end

@@ -1,0 +1,76 @@
+(** The causal-memory correctness checker (Definitions 1 and 2).
+
+    For every read [o = r(x)v] in a history, computes the live set α(o) —
+    the identities of writes whose value the read may legally return — and
+    verifies the write [o] reads from is in it.
+
+    Definition 1 (live values), for [o' = w(x)v]:
+    - [o'] concurrent with [o] (excluding [o]'s own reads-from edge): live;
+    - [o' ->* o] with no intervening access of [x] associated with a
+      different write: live;
+    - otherwise ([o] causally precedes [o'], or [o'] was overwritten):
+      not live.
+
+    The implementation uses one global transitive closure plus the
+    program-predecessor reduction for the excluded edge (see
+    {!Causality.precedes_excl_rf}); {!Naive} re-closes the graph per read,
+    following the definition literally, and exists to cross-validate the
+    fast checker in tests. *)
+
+type live = { wid : Dsm_memory.Wid.t; value : Dsm_memory.Value.t }
+
+type violation = {
+  read : Dsm_memory.Op.t;
+  live : live list;  (** what the read could legally have returned *)
+  reason : string;
+}
+
+type verdict = Correct | Violations of violation list
+
+val alpha : Causality.t -> int -> live list
+(** Live set of the read at a global index; raises [Invalid_argument] if the
+    index is not a read.  The virtual initial write appears with the read's
+    location's recorded initial value. *)
+
+val check_graph : Causality.t -> verdict
+
+val check : Dsm_memory.History.t -> (verdict, string) result
+(** [Error] when the history is malformed (dangling reads-from). *)
+
+val is_correct : Dsm_memory.History.t -> bool
+(** [true] iff [check] says [Correct]; malformed histories are [false]. *)
+
+val violations : Dsm_memory.History.t -> violation list
+(** Empty iff correct; malformed histories raise [Failure]. *)
+
+(** {1 Violation explanations} *)
+
+type explanation = {
+  x_read : Dsm_memory.Op.t;  (** the illegal read *)
+  x_reason :
+    [ `Overwritten of Dsm_memory.Op.t
+      (** the intervening access that proves the read's source dead *)
+    | `Future_write  (** the read's source causally follows the read *) ];
+  x_chain : Dsm_memory.Op.t list;
+      (** a concrete witness chain of program-order / reads-from edges
+          ending at (or starting from, for [`Future_write]) the read *)
+  x_rendered : string;  (** human-readable one-liner, e.g.
+          [w2(x)2 -po-> r2(y)3 -po-> w2(z)4 -rf-> r3(z)4 -po-> r3(x)2] *)
+}
+
+val explain : Causality.t -> int -> explanation option
+(** Why the read at this global index is illegal; [None] when it is
+    correct.  Raises [Invalid_argument] if the index is not a read. *)
+
+val explain_all : Dsm_memory.History.t -> explanation list
+(** Explanations for every violating read; empty iff the history is
+    causally correct (or malformed). *)
+
+(** Reference implementation: per-read graph reconstruction. *)
+module Naive : sig
+  val alpha : Dsm_memory.History.t -> pid:int -> index:int -> live list
+  (** Live set of one read, recomputing the closure without that read's
+      reads-from edge. *)
+
+  val is_correct : Dsm_memory.History.t -> bool
+end

@@ -1,0 +1,188 @@
+module Op = Dsm_memory.Op
+module Wid = Dsm_memory.Wid
+module Loc = Dsm_memory.Loc
+module History = Dsm_memory.History
+module Bitrel = Dsm_util.Bitrel
+
+type t = {
+  ops : Op.t array; (* global index -> op *)
+  first_of_pid : int array; (* global index of each process's first op *)
+  writers : (Wid.t, int) Hashtbl.t; (* write identity -> global index *)
+  closed : Bitrel.t; (* ->* over all edges *)
+  adjacency : int list array; (* direct successors (program order + reads-from) *)
+}
+
+let flatten history =
+  let rows = (history : History.t :> Op.t array array) in
+  let total = Array.fold_left (fun acc row -> acc + Array.length row) 0 rows in
+  let ops = Array.make total (Op.write ~pid:0 ~index:0 ~loc:(Loc.named "_") ~value:Dsm_memory.Value.initial ~wid:Wid.initial) in
+  let first_of_pid = Array.make (Array.length rows) 0 in
+  let cursor = ref 0 in
+  Array.iteri
+    (fun pid row ->
+      first_of_pid.(pid) <- !cursor;
+      Array.iter
+        (fun op ->
+          ops.(!cursor) <- op;
+          incr cursor)
+        row)
+    rows;
+  (ops, first_of_pid)
+
+(* Close the edge list into a reachability relation.  Acyclic graphs (every
+   protocol history) get a single pass in reverse topological order:
+   reach(u) = U over edges u->v of ({v} + reach(v)).  Cyclic (adversarial)
+   graphs fall back to the generic fixpoint. *)
+let close_edges n edges =
+  let rel = Bitrel.create n in
+  let adj = Array.make n [] in
+  let indeg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      indeg.(v) <- indeg.(v) + 1)
+    edges;
+  (* Kahn's algorithm. *)
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let topo = Array.make n 0 in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    topo.(!filled) <- u;
+    incr filled;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      adj.(u)
+  done;
+  if !filled = n then
+    for k = n - 1 downto 0 do
+      let u = topo.(k) in
+      List.iter
+        (fun v ->
+          Bitrel.add rel u v;
+          Bitrel.union_row_into rel ~src:v ~dst:u)
+        adj.(u)
+    done
+  else begin
+    List.iter (fun (u, v) -> Bitrel.add rel u v) edges;
+    Bitrel.transitive_closure rel
+  end;
+  rel
+
+let build history =
+  let ops, first_of_pid = flatten history in
+  let n = Array.length ops in
+  let writers = Hashtbl.create (max 16 n) in
+  Array.iteri
+    (fun idx (op : Op.t) -> if Op.is_write op then Hashtbl.replace writers op.Op.wid idx)
+    ops;
+  let edges = ref [] in
+  (* Program order: consecutive operations of the same process. *)
+  Array.iteri
+    (fun idx (op : Op.t) ->
+      if idx + 1 < n && ops.(idx + 1).Op.pid = op.Op.pid then edges := (idx, idx + 1) :: !edges)
+    ops;
+  (* Reads-from: the write an operation reads from precedes it. *)
+  let missing = ref None in
+  Array.iteri
+    (fun idx (op : Op.t) ->
+      if Op.is_read op && not (Wid.is_initial op.Op.wid) then begin
+        match Hashtbl.find_opt writers op.Op.wid with
+        | Some widx -> edges := (widx, idx) :: !edges
+        | None ->
+            missing :=
+              Some
+                (Printf.sprintf "read %s reads from %s which is not in the history"
+                   (Op.to_string op) (Wid.to_string op.Op.wid))
+      end)
+    ops;
+  match !missing with
+  | Some msg -> Error msg
+  | None ->
+      let adjacency = Array.make n [] in
+      List.iter (fun (u, v) -> adjacency.(u) <- v :: adjacency.(u)) !edges;
+      Ok { ops; first_of_pid; writers; closed = close_edges n !edges; adjacency }
+
+let build_exn history =
+  match build history with Ok t -> t | Error e -> failwith ("Causality.build: " ^ e)
+
+let op_count t = Array.length t.ops
+
+let op t idx = t.ops.(idx)
+
+let index_of t (target : Op.t) = t.first_of_pid.(target.Op.pid) + target.Op.index
+
+let writer_of t wid = if Wid.is_initial wid then None else Hashtbl.find_opt t.writers wid
+
+let precedes t a b = Bitrel.mem t.closed a b
+
+let concurrent t a b = a <> b && (not (precedes t a b)) && not (precedes t b a)
+
+let program_pred t idx =
+  let op = t.ops.(idx) in
+  if op.Op.index = 0 then None else Some (idx - 1)
+
+let precedes_excl_rf t a ~reader =
+  match program_pred t reader with
+  | None -> false
+  | Some pred -> a = pred || precedes t a pred
+
+let writes_to t loc =
+  let acc = ref [] in
+  for idx = Array.length t.ops - 1 downto 0 do
+    let op = t.ops.(idx) in
+    if Op.is_write op && Loc.equal op.Op.loc loc then acc := idx :: !acc
+  done;
+  !acc
+
+let ops_on t loc =
+  let acc = ref [] in
+  for idx = Array.length t.ops - 1 downto 0 do
+    if Loc.equal t.ops.(idx).Op.loc loc then acc := idx :: !acc
+  done;
+  !acc
+
+let acyclic t =
+  let n = Array.length t.ops in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if Bitrel.mem t.closed i i then ok := false
+  done;
+  !ok
+
+let relation t = t.closed
+
+let shortest_path t a b =
+  let n = Array.length t.ops in
+  if a < 0 || a >= n || b < 0 || b >= n then invalid_arg "Causality.shortest_path";
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(a) <- true;
+  Queue.add a queue;
+  let found = ref (a = b) in
+  while (not !found) && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          parent.(v) <- u;
+          if v = b then found := true else Queue.add v queue
+        end)
+      t.adjacency.(u)
+  done;
+  if not !found then None
+  else begin
+    let rec walk v acc = if v = a then a :: acc else walk parent.(v) (v :: acc) in
+    Some (walk b [])
+  end
+
+let edge_kind t a b =
+  let oa = t.ops.(a) and ob = t.ops.(b) in
+  if oa.Op.pid = ob.Op.pid && ob.Op.index = oa.Op.index + 1 then `Program_order
+  else if Op.is_write oa && Op.is_read ob && Wid.equal oa.Op.wid ob.Op.wid then `Reads_from
+  else `None

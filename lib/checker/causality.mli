@@ -1,0 +1,70 @@
+(** The potential-causality relation of an execution history (Section 2).
+
+    Operations are numbered globally; the relation [->] is the union of
+    program order (consecutive operations of one process) and reads-from
+    (a read is causally after the write it reads from); [->*] is its
+    transitive closure, computed once over the whole history.
+
+    The paper's α(o) definition excludes "the reads-from ordering established
+    by o itself".  Because a read's only incoming edges are its program
+    predecessor and its reads-from edge, reachability-minus-that-edge reduces
+    to reachability to the program predecessor, which {!precedes_excl_rf}
+    exploits; the naive checker re-closes the graph per read to validate this
+    reduction. *)
+
+type t
+
+val build : Dsm_memory.History.t -> (t, string) result
+(** Fails when a read's reads-from identity matches no write in the
+    history. *)
+
+val build_exn : Dsm_memory.History.t -> t
+
+val op_count : t -> int
+
+val op : t -> int -> Dsm_memory.Op.t
+(** Global index to operation. *)
+
+val index_of : t -> Dsm_memory.Op.t -> int
+(** Inverse of [op] (by pid/index position). *)
+
+val writer_of : t -> Dsm_memory.Wid.t -> int option
+(** Global index of the write with this identity; [None] for the virtual
+    initial write. *)
+
+val precedes : t -> int -> int -> bool
+(** [precedes t a b] iff [a ->* b] (strict: [precedes t a a = false] unless
+    the history is cyclic). *)
+
+val concurrent : t -> int -> int -> bool
+(** Neither precedes the other (and [a <> b]). *)
+
+val program_pred : t -> int -> int option
+(** The immediately preceding operation of the same process. *)
+
+val precedes_excl_rf : t -> int -> reader:int -> bool
+(** [precedes_excl_rf t a ~reader] iff [a ->* reader] in the relation with
+    [reader]'s own reads-from edge removed. *)
+
+val writes_to : t -> Dsm_memory.Loc.t -> int list
+(** Global indices of all (real) writes to the location, ascending. *)
+
+val ops_on : t -> Dsm_memory.Loc.t -> int list
+(** Global indices of all operations on the location, ascending. *)
+
+val acyclic : t -> bool
+(** True when no operation causally precedes itself (protocol histories
+    always are; adversarial parsed histories may not be). *)
+
+val relation : t -> Dsm_util.Bitrel.t
+(** The closed relation itself (read-only use; for tests and the naive
+    checker). *)
+
+val shortest_path : t -> int -> int -> int list option
+(** [shortest_path t a b] is a minimal-length chain
+    [a = o_1 -> o_2 -> ... -> o_k = b] of direct program-order/reads-from
+    edges witnessing [a ->* b]; [None] when [b] is unreachable.  Used to
+    explain checker verdicts with concrete causal chains. *)
+
+val edge_kind : t -> int -> int -> [ `Program_order | `Reads_from | `None ]
+(** How two operations are {e directly} related (for rendering chains). *)

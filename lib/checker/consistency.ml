@@ -1,0 +1,134 @@
+module Op = Dsm_memory.Op
+module Wid = Dsm_memory.Wid
+module Loc = Dsm_memory.Loc
+module History = Dsm_memory.History
+
+(* ------------------------------------------------------------------ *)
+(* Core: is there a legal interleaving of the given rows?              *)
+(* ------------------------------------------------------------------ *)
+
+(* A state is the per-row position vector plus the store (last write per
+   location).  A read is enabled when the store holds exactly the write it
+   read from (the virtual initial write when the location is untouched).
+   Memoising expanded states keeps the search tractable on the history
+   sizes the experiments classify. *)
+
+let store_key store =
+  Loc.Map.fold (fun loc wid acc -> (Loc.to_string loc ^ "=" ^ Wid.to_string wid) :: acc) store []
+  |> String.concat ";"
+
+let state_key positions store =
+  String.concat "," (Array.to_list (Array.map string_of_int positions)) ^ "|" ^ store_key store
+
+let sc_of_rows (rows : Op.t array array) : Op.t list option =
+  let n = Array.length rows in
+  let total = Array.fold_left (fun acc r -> acc + Array.length r) 0 rows in
+  let visited = Hashtbl.create 1024 in
+  let rec go positions store acc =
+    if List.length acc = total then Some (List.rev acc)
+    else begin
+      let key = state_key positions store in
+      if Hashtbl.mem visited key then None
+      else begin
+        Hashtbl.replace visited key ();
+        let rec try_row p =
+          if p = n then None
+          else begin
+            let pos = positions.(p) in
+            if pos >= Array.length rows.(p) then try_row (p + 1)
+            else begin
+              let op = rows.(p).(pos) in
+              let attempt =
+                match op.Op.kind with
+                | Op.Write ->
+                    let store' = Loc.Map.add op.Op.loc op.Op.wid store in
+                    Some store'
+                | Op.Read ->
+                    let current =
+                      match Loc.Map.find_opt op.Op.loc store with
+                      | Some wid -> wid
+                      | None -> Wid.initial
+                    in
+                    if Wid.equal current op.Op.wid then Some store else None
+              in
+              match attempt with
+              | None -> try_row (p + 1)
+              | Some store' ->
+                  positions.(p) <- pos + 1;
+                  let result = go positions store' (op :: acc) in
+                  positions.(p) <- pos;
+                  (match result with Some _ -> result | None -> try_row (p + 1))
+            end
+          end
+        in
+        try_row 0
+      end
+    end
+  in
+  go (Array.make n 0) Loc.Map.empty []
+
+let rows_of history = (history : History.t :> Op.t array array)
+
+let sc_witness history = sc_of_rows (rows_of history)
+
+let is_sc history = Option.is_some (sc_witness history)
+
+(* PRAM: per reader, all its ops + everyone else's writes. *)
+let pram_rows rows reader =
+  Array.mapi
+    (fun pid row -> if pid = reader then row else Array.of_seq (Seq.filter Op.is_write (Array.to_seq row)))
+    rows
+
+let is_pram history =
+  let rows = rows_of history in
+  let ok = ref true in
+  Array.iteri (fun reader _ -> if Option.is_none (sc_of_rows (pram_rows rows reader)) then ok := false) rows;
+  !ok
+
+let locations rows =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun acc (op : Op.t) -> Loc.Set.add op.Op.loc acc) acc row)
+    Loc.Set.empty rows
+
+let restrict_loc rows loc =
+  Array.map
+    (fun row -> Array.of_seq (Seq.filter (fun (o : Op.t) -> Loc.equal o.Op.loc loc) (Array.to_seq row)))
+    rows
+
+let is_slow history =
+  let rows = rows_of history in
+  let locs = locations rows in
+  Loc.Set.for_all
+    (fun loc ->
+      let per_loc = restrict_loc rows loc in
+      Array.to_list per_loc
+      |> List.mapi (fun reader _ -> reader)
+      |> List.for_all (fun reader -> Option.is_some (sc_of_rows (pram_rows per_loc reader))))
+    locs
+
+let is_coherent history =
+  let rows = rows_of history in
+  let locs = locations rows in
+  Loc.Set.for_all (fun loc -> Option.is_some (sc_of_rows (restrict_loc rows loc))) locs
+
+type classification = {
+  causal : bool;
+  sc : bool;
+  pram : bool;
+  slow : bool;
+  coherent : bool;
+}
+
+let classify history =
+  {
+    causal = Causal_check.is_correct history;
+    sc = is_sc history;
+    pram = is_pram history;
+    slow = is_slow history;
+    coherent = is_coherent history;
+  }
+
+let pp_classification ppf c =
+  let mark b = if b then "yes" else "no" in
+  Format.fprintf ppf "causal=%s sc=%s pram=%s slow=%s coherent=%s" (mark c.causal) (mark c.sc)
+    (mark c.pram) (mark c.slow) (mark c.coherent)

@@ -1,0 +1,40 @@
+(** Checkers for the stronger and weaker consistency conditions around
+    causal memory, used to place executions in the consistency hierarchy
+    (atomic/SC ⊂ causal ⊂ PRAM ⊂ slow).
+
+    Sequential consistency is decided by an explicit-state search over
+    interleavings (memoised on (positions, store) states) — exponential in
+    the worst case, so intended for the small histories the experiments
+    classify.  PRAM and slow memory are decided by the classic reductions:
+
+    - PRAM: for each process [i], the sub-history containing {e all} of
+      [i]'s operations but only the {e writes} of everyone else must be
+      sequentially consistent (every process sees all writes in an order
+      consistent with program order).
+    - Slow memory: the same, but additionally restricted to one location at
+      a time.
+    - Coherence (per-location SC): all operations, restricted to one
+      location at a time. *)
+
+val is_sc : Dsm_memory.History.t -> bool
+
+val sc_witness : Dsm_memory.History.t -> Dsm_memory.Op.t list option
+(** A legal total order (interleaving) when one exists. *)
+
+val is_pram : Dsm_memory.History.t -> bool
+
+val is_slow : Dsm_memory.History.t -> bool
+
+val is_coherent : Dsm_memory.History.t -> bool
+
+type classification = {
+  causal : bool;
+  sc : bool;
+  pram : bool;
+  slow : bool;
+  coherent : bool;
+}
+
+val classify : Dsm_memory.History.t -> classification
+
+val pp_classification : Format.formatter -> classification -> unit

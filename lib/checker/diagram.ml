@@ -1,0 +1,132 @@
+module Op = Dsm_memory.Op
+module Wid = Dsm_memory.Wid
+module History = Dsm_memory.History
+
+(* Short alphabetic tags: a..z, aa, ab, ... *)
+let tag_of_int i =
+  let rec go i acc =
+    let letter = Char.chr (Char.code 'a' + (i mod 26)) in
+    let acc = String.make 1 letter ^ acc in
+    if i < 26 then acc else go ((i / 26) - 1) acc
+  in
+  go i ""
+
+(* Topological order over program-order + reads-from edges; None if cyclic. *)
+let topo_order (ops : Op.t array) =
+  let n = Array.length ops in
+  let writers = Hashtbl.create 16 in
+  Array.iteri (fun i (o : Op.t) -> if Op.is_write o then Hashtbl.replace writers o.Op.wid i) ops;
+  let adj = Array.make n [] in
+  let indeg = Array.make n 0 in
+  let add u v =
+    adj.(u) <- v :: adj.(u);
+    indeg.(v) <- indeg.(v) + 1
+  in
+  Array.iteri
+    (fun i (o : Op.t) ->
+      if i + 1 < n && ops.(i + 1).Op.pid = o.Op.pid then add i (i + 1);
+      if Op.is_read o && not (Wid.is_initial o.Op.wid) then
+        match Hashtbl.find_opt writers o.Op.wid with
+        | Some w when w <> i -> add w i
+        | Some _ | None -> ())
+    ops;
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    incr count;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      adj.(u)
+  done;
+  if !count = n then Some (List.rev !order) else None
+
+let cell_text tags (o : Op.t) =
+  let body =
+    Printf.sprintf "%s(%s)%s"
+      (if Op.is_write o then "w" else "r")
+      (Dsm_memory.Loc.to_string o.Op.loc)
+      (Dsm_memory.Value.to_string o.Op.value)
+  in
+  if Op.is_write o then
+    match Hashtbl.find_opt tags o.Op.wid with
+    | Some tag -> Printf.sprintf "%s [%s]" body tag
+    | None -> body
+  else if Wid.is_initial o.Op.wid then body ^ " <-init"
+  else
+    match Hashtbl.find_opt tags o.Op.wid with
+    | Some tag -> Printf.sprintf "%s <-[%s]" body tag
+    | None -> body ^ " <-?"
+
+let render history =
+  let rows = (history : History.t :> Op.t array array) in
+  let processes = Array.length rows in
+  let ops = Array.concat (Array.to_list rows) in
+  let order, warning =
+    match topo_order ops with
+    | Some order -> (order, None)
+    | None ->
+        (List.init (Array.length ops) Fun.id, Some "(cyclic reads-from: program-order rows)")
+  in
+  (* Tag writes in display order so tags read top-to-bottom. *)
+  let tags = Hashtbl.create 16 in
+  let next_tag = ref 0 in
+  List.iter
+    (fun i ->
+      let o = ops.(i) in
+      if Op.is_write o then begin
+        Hashtbl.replace tags o.Op.wid (tag_of_int !next_tag);
+        incr next_tag
+      end)
+    order;
+  let cells = List.map (fun i -> (ops.(i).Op.pid, cell_text tags ops.(i))) order in
+  let width = Array.make processes 4 in
+  Array.iteri (fun p _ -> width.(p) <- max width.(p) (String.length (Printf.sprintf "P%d" p))) rows;
+  List.iter
+    (fun (p, text) -> if String.length text > width.(p) then width.(p) <- String.length text)
+    cells;
+  let line_number_width = max 2 (String.length (string_of_int (List.length cells))) in
+  let buf = Buffer.create 1024 in
+  (match warning with
+  | Some w ->
+      Buffer.add_string buf w;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  (* Header. *)
+  Buffer.add_string buf (String.make line_number_width ' ');
+  Array.iteri
+    (fun p _ ->
+      Buffer.add_string buf "  ";
+      let label = Printf.sprintf "P%d" p in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.make (width.(p) - String.length label) ' '))
+    rows;
+  while Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) = ' ' do
+    Buffer.truncate buf (Buffer.length buf - 1)
+  done;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun row (p, text) ->
+      Buffer.add_string buf (Printf.sprintf "%*d" line_number_width (row + 1));
+      for col = 0 to processes - 1 do
+        Buffer.add_string buf "  ";
+        if col = p then begin
+          Buffer.add_string buf text;
+          Buffer.add_string buf (String.make (width.(col) - String.length text) ' ')
+        end
+        else Buffer.add_string buf (String.make width.(col) ' ')
+      done;
+      (* Trim trailing spaces for clean output. *)
+      while Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) = ' ' do
+        Buffer.truncate buf (Buffer.length buf - 1)
+      done;
+      Buffer.add_char buf '\n')
+    cells;
+  Buffer.contents buf
+
+let print history = print_string (render history)

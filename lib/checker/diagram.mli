@@ -1,0 +1,21 @@
+(** ASCII space-time diagrams of execution histories.
+
+    One column per process, one row per operation, rows in a causal
+    (topological) order so an operation never appears above something in its
+    causal past.  Writes are tagged [\[a\]], [\[b\]], ...; each read shows
+    the tag of the write it reads from ([<-\[a\]], or [<-init] for the
+    virtual initial write), making the reads-from relation visible at a
+    glance:
+
+    {v
+        P1               P2
+    1   w(x)1 [a]
+    2                    r(x)1 <-[a]
+    3                    w(y)2 [b]
+    v} *)
+
+val render : Dsm_memory.History.t -> string
+(** Cyclic (malformed) histories fall back to program-order rows with a
+    warning line. *)
+
+val print : Dsm_memory.History.t -> unit

@@ -1,0 +1,41 @@
+let fig1 =
+  Dsm_memory.History.parse_exn
+    {|
+      # Figure 1: Example of Causal Relations
+      P1: w(x)1 w(y)2 r(y)2 r(x)1
+      P2: w(z)1 r(y)2 r(x)1
+    |}
+
+let fig2 =
+  Dsm_memory.History.parse_exn
+    {|
+      # Figure 2: A Correct Execution on Causal Memory
+      P1: w(x)2 w(y)2 w(y)3 r(z)5 w(x)4
+      P2: w(x)1 r(y)3 w(x)7 w(z)5 r(x)4 r(x)9
+      P3: r(z)5 w(x)9
+    |}
+
+let fig3 =
+  Dsm_memory.History.parse_exn
+    {|
+      # Figure 3: Causal Broadcasting is Not Causal Memory
+      P1: w(x)5 w(y)3
+      P2: w(x)2 r(y)3 r(x)5 w(z)4
+      P3: r(z)4 r(x)2
+    |}
+
+let fig5 =
+  Dsm_memory.History.parse_exn
+    {|
+      # Figure 5: A Weakly Consistent Execution
+      P1: r(y)0 w(x)1 r(y)0
+      P2: r(x)0 w(y)1 r(x)0
+    |}
+
+let all =
+  [
+    ("fig1", fig1, `Causal_ok);
+    ("fig2", fig2, `Causal_ok);
+    ("fig3", fig3, `Causal_violation);
+    ("fig5", fig5, `Causal_ok);
+  ]

@@ -1,0 +1,23 @@
+(** The paper's worked example executions (Figures 1, 2, 3 and 5), parsed
+    from the paper's own notation, with the verdicts the paper assigns.
+
+    These anchor the test suite and the E-FIG* experiments: the checker must
+    accept Figures 1, 2 and 5 and reject Figure 3, must compute exactly the
+    α sets Section 2 derives for Figure 2, and must find Figure 5 causally
+    correct but not sequentially consistent. *)
+
+val fig1 : Dsm_memory.History.t
+(** "Example of Causal Relations" — correct on causal memory. *)
+
+val fig2 : Dsm_memory.History.t
+(** "A Correct Execution on Causal Memory". *)
+
+val fig3 : Dsm_memory.History.t
+(** "Causal Broadcasting is Not Causal Memory" — {e not} correct on causal
+    memory (the read [r3(x)2] returns an overwritten value). *)
+
+val fig5 : Dsm_memory.History.t
+(** "A Weakly Consistent Execution" — correct on causal memory, not
+    sequentially consistent. *)
+
+val all : (string * Dsm_memory.History.t * [ `Causal_ok | `Causal_violation ]) list

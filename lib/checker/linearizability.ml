@@ -1,0 +1,94 @@
+module Op = Dsm_memory.Op
+module Wid = Dsm_memory.Wid
+module Loc = Dsm_memory.Loc
+
+type timed_op = { op : Op.t; start_time : float; end_time : float }
+
+let make op ~start_time ~end_time =
+  if start_time > end_time then invalid_arg "Linearizability.make: interval ends before it starts";
+  { op; start_time; end_time }
+
+(* Canonical state key: which ops are done plus the store contents the
+   prefix produced. *)
+let state_key done_mask store =
+  let buf = Buffer.create 64 in
+  Array.iter (fun d -> Buffer.add_char buf (if d then '1' else '0')) done_mask;
+  Buffer.add_char buf '|';
+  Loc.Map.iter
+    (fun loc wid ->
+      Buffer.add_string buf (Loc.to_string loc);
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (Wid.to_string wid);
+      Buffer.add_char buf ';')
+    store;
+  Buffer.contents buf
+
+let search ~respect_time ops =
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  let done_mask = Array.make n false in
+  let visited = Hashtbl.create 1024 in
+  (* [o] may linearise now iff every operation forced before it is done:
+     real-time predecessors (ended strictly before [o] started) and
+     program-order predecessors. *)
+  let enabled i =
+    (not done_mask.(i))
+    && begin
+         let o = ops.(i) in
+         let ok = ref true in
+         for j = 0 to n - 1 do
+           if j <> i && not done_mask.(j) then begin
+             let q = ops.(j) in
+             if respect_time && q.end_time < o.start_time then ok := false;
+             if
+               q.op.Op.pid = o.op.Op.pid
+               && q.op.Op.index < o.op.Op.index
+             then ok := false
+           end
+         done;
+         !ok
+       end
+  in
+  let rec go remaining store acc =
+    if remaining = 0 then Some (List.rev acc)
+    else begin
+      let key = state_key done_mask store in
+      if Hashtbl.mem visited key then None
+      else begin
+        Hashtbl.replace visited key ();
+        let rec try_op i =
+          if i = n then None
+          else if not (enabled i) then try_op (i + 1)
+          else begin
+            let o = ops.(i) in
+            let attempt =
+              match o.op.Op.kind with
+              | Op.Write -> Some (Loc.Map.add o.op.Op.loc o.op.Op.wid store)
+              | Op.Read ->
+                  let current =
+                    match Loc.Map.find_opt o.op.Op.loc store with
+                    | Some wid -> wid
+                    | None -> Wid.initial
+                  in
+                  if Wid.equal current o.op.Op.wid then Some store else None
+            in
+            match attempt with
+            | None -> try_op (i + 1)
+            | Some store' ->
+                done_mask.(i) <- true;
+                let result = go (remaining - 1) store' (o.op :: acc) in
+                done_mask.(i) <- false;
+                (match result with Some _ -> result | None -> try_op (i + 1))
+          end
+        in
+        try_op 0
+      end
+    end
+  in
+  go n Loc.Map.empty []
+
+let witness ops = search ~respect_time:true ops
+
+let is_linearizable ops = Option.is_some (witness ops)
+
+let ignore_time ops = Option.is_some (search ~respect_time:false ops)

@@ -1,0 +1,34 @@
+(** Linearizability (atomicity) checking with real-time operation intervals.
+
+    The paper's strong baseline is {e atomic} memory in the register sense
+    of [17]: operations are intervals on a global time line and must appear
+    to take effect at a single point within their interval.  Unlike the
+    order-theoretic checkers ({!Consistency}), this one needs each
+    operation's start and end times, which the simulator provides.
+
+    The checker searches for a linearisation: a total order of operations
+    that (a) respects real time (if a ends before b starts, a comes first),
+    (b) respects each process's program order, and (c) satisfies register
+    semantics (every read returns the latest preceding write, with unique
+    writes identified by {!Dsm_memory.Wid}).  Worst case exponential;
+    memoised on (completed-set, store) states, fine for the histories the
+    tests and experiments classify. *)
+
+type timed_op = {
+  op : Dsm_memory.Op.t;
+  start_time : float;  (** when the operation was invoked *)
+  end_time : float;  (** when it returned *)
+}
+
+val make : Dsm_memory.Op.t -> start_time:float -> end_time:float -> timed_op
+(** Validates [start_time <= end_time]. *)
+
+val is_linearizable : timed_op list -> bool
+
+val witness : timed_op list -> Dsm_memory.Op.t list option
+(** A legal linearisation if one exists. *)
+
+val ignore_time : timed_op list -> bool
+(** The same search with the real-time constraint dropped — this is
+    sequential consistency; exposed so tests can confirm an execution that
+    is SC but not linearizable (order matters, time does not). *)

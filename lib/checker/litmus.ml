@@ -1,0 +1,166 @@
+module History = Dsm_memory.History
+
+type expectation = {
+  causal : bool;
+  sc : bool;
+  pram : bool;
+  slow : bool;
+  coherent : bool;
+}
+
+type case = {
+  name : string;
+  description : string;
+  history : History.t;
+  expected : expectation;
+}
+
+let store_buffering =
+  {
+    name = "SB (store buffering)";
+    description =
+      "Both processes write their own location then miss the other's write: \
+       the paper's Figure 5.  Causal memory allows it (the writes are \
+       concurrent); sequential consistency forbids it.";
+    history = History.parse_exn {|
+      P0: w(x)1 r(y)0
+      P1: w(y)1 r(x)0
+    |};
+    expected = { causal = true; sc = false; pram = true; slow = true; coherent = true };
+  }
+
+let message_passing =
+  {
+    name = "MP (message passing, stale data)";
+    description =
+      "Reader sees the flag but stale data.  Forbidden by causal memory: \
+       reading the flag pulls the data write into the causal past, so the \
+       initial value is overwritten.  PRAM also forbids it (writer order); \
+       slow memory, which is per-location, does not.";
+    history = History.parse_exn {|
+      P0: w(d)1 w(f)1
+      P1: r(f)1 r(d)0
+    |};
+    expected = { causal = false; sc = false; pram = false; slow = true; coherent = true };
+  }
+
+let message_passing_ok =
+  {
+    name = "MP (message passing, fresh data)";
+    description = "The same shape with fresh data: legal everywhere.";
+    history = History.parse_exn {|
+      P0: w(d)1 w(f)1
+      P1: r(f)1 r(d)1
+    |};
+    expected = { causal = true; sc = true; pram = true; slow = true; coherent = true };
+  }
+
+let write_read_causality =
+  {
+    name = "WRC (write-read causality)";
+    description =
+      "Causality flows through a middleman: P1 reads x then writes y; P2 \
+       reads y then stale x.  This is THE shape separating causal memory \
+       from PRAM: PRAM allows it (no inter-writer order), causal forbids it.";
+    history = History.parse_exn {|
+      P0: w(x)1
+      P1: r(x)1 w(y)1
+      P2: r(y)1 r(x)0
+    |};
+    expected = { causal = false; sc = false; pram = true; slow = true; coherent = true };
+  }
+
+let iriw =
+  {
+    name = "IRIW (independent reads of independent writes)";
+    description =
+      "Two readers observe two concurrent writes in opposite orders.  \
+       Causal memory allows the disagreement; SC forbids it.";
+    history = History.parse_exn {|
+      P0: w(x)1
+      P1: w(y)1
+      P2: r(x)1 r(y)0
+      P3: r(y)1 r(x)0
+    |};
+    expected = { causal = true; sc = false; pram = true; slow = true; coherent = true };
+  }
+
+let load_buffering =
+  {
+    name = "LB (load buffering)";
+    description =
+      "Each process reads the value the OTHER is about to write: the \
+       reads-from relation is cyclic, which no memory whose reads return \
+       already-written values allows.  Causal memory rejects it (a read's \
+       source may not causally follow the read); PRAM's per-reader view \
+       can still order each write before the read that uses it, so the \
+       per-reader conditions are blind to the cycle.";
+    history = History.parse_exn {|
+      P0: r(x)1 w(y)1
+      P1: r(y)1 w(x)1
+    |};
+    expected = { causal = false; sc = false; pram = true; slow = true; coherent = true };
+  }
+
+let coherence_violation =
+  {
+    name = "same-writer reorder";
+    description =
+      "Two readers see one writer's two writes to one location in opposite \
+       orders: violates everything down to slow memory.";
+    history = History.parse_exn {|
+      P0: w(x)1 w(x)2
+      P1: r(x)1 r(x)2
+      P2: r(x)2 r(x)1
+    |};
+    expected = { causal = false; sc = false; pram = false; slow = false; coherent = false };
+  }
+
+let read_own_writes =
+  {
+    name = "read own writes";
+    description = "A process reading its own overwritten value: nothing allows it.";
+    history = History.parse_exn {|
+      P0: w(x)1 w(x)2 r(x)1
+    |};
+    expected = { causal = false; sc = false; pram = false; slow = false; coherent = false };
+  }
+
+let fresh_never_stale =
+  {
+    name = "fresh-then-stale (strict rule)";
+    description =
+      "After reading the concurrent 2, returning to one's own 1 is a \
+       violation of this paper's STRICT causal memory (the intervening read \
+       'serves notice'); it also fails the per-location conditions.";
+    history = History.parse_exn {|
+      P0: w(x)1 r(x)2 r(x)1
+      P1: w(x)2
+    |};
+    expected = { causal = false; sc = false; pram = false; slow = false; coherent = false };
+  }
+
+let all =
+  [
+    store_buffering;
+    message_passing;
+    message_passing_ok;
+    write_read_causality;
+    iriw;
+    load_buffering;
+    coherence_violation;
+    read_own_writes;
+    fresh_never_stale;
+  ]
+
+let check case =
+  let c = Consistency.classify case.history in
+  [
+    ("causal", case.expected.causal, c.Consistency.causal);
+    ("sc", case.expected.sc, c.Consistency.sc);
+    ("pram", case.expected.pram, c.Consistency.pram);
+    ("slow", case.expected.slow, c.Consistency.slow);
+    ("coherent", case.expected.coherent, c.Consistency.coherent);
+  ]
+
+let passes case = List.for_all (fun (_, expected, measured) -> expected = measured) (check case)

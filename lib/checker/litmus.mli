@@ -1,0 +1,67 @@
+(** Classic consistency litmus tests, expressed as histories in the paper's
+    notation and classified against the checker hierarchy.
+
+    These place causal memory among its neighbours on standard shapes from
+    the memory-model literature: store buffering (the paper's own Figure 5),
+    message passing, write-read causality, independent reads of independent
+    writes, and coherence shapes.  Each case records the expected verdict of
+    every checker, so the suite doubles as a regression oracle for all five
+    checkers at once. *)
+
+type expectation = {
+  causal : bool;
+  sc : bool;
+  pram : bool;
+  slow : bool;
+  coherent : bool;
+}
+
+type case = {
+  name : string;
+  description : string;  (** what the shape probes *)
+  history : Dsm_memory.History.t;
+  expected : expectation;
+}
+
+val store_buffering : case
+(** SB / Dekker: both processes miss the other's write.  Allowed by causal
+    memory (= the paper's Figure 5), forbidden by SC. *)
+
+val message_passing : case
+(** MP: see the flag, must see the data.  Forbidden even by causal memory —
+    reading the flag pulls the data write into the causal past. *)
+
+val message_passing_ok : case
+(** MP with the data read returning the new value: fine everywhere. *)
+
+val write_read_causality : case
+(** WRC: transitive visibility through a third process.  Forbidden by causal
+    memory, the defining shape that separates it from PRAM. *)
+
+val iriw : case
+(** IRIW: two readers disagree on the order of two independent writes.
+    Allowed by causal memory (writes are concurrent), forbidden by SC. *)
+
+val load_buffering : case
+(** LB: cyclic reads-from ("reading the future").  Rejected by causal
+    memory and SC; invisible to the per-reader PRAM/slow conditions. *)
+
+val coherence_violation : case
+(** Same-location reordering: one process sees w1 then w2, another w2 then
+    w1, with both writes by one writer: violates everything down to slow
+    memory. *)
+
+val read_own_writes : case
+(** A process must see its own writes in order: violated history. *)
+
+val fresh_never_stale : case
+(** After reading a newer value a process may not fall back to an older one
+    of the same location (the paper's "serves notice" rule). *)
+
+val all : case list
+
+val check : case -> (string * bool * bool) list
+(** [(checker-name, expected, measured)] triples for one case. *)
+
+val passes : case -> bool
+(** All five checkers agree with the expectation. *)

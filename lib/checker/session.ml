@@ -1,0 +1,144 @@
+module Op = Dsm_memory.Op
+module Wid = Dsm_memory.Wid
+module Loc = Dsm_memory.Loc
+module History = Dsm_memory.History
+
+type report = { ryw : bool; mr : bool; mw : bool; wfr : bool }
+
+let all_hold r = r.ryw && r.mr && r.mw && r.wfr
+
+(* "Source a strictly causally precedes source b" where either source may be
+   the virtual initial write (which precedes every real write and equals
+   itself). *)
+let source_precedes g a b =
+  match (Causality.writer_of g a, Causality.writer_of g b) with
+  | None, None -> false (* initial = initial *)
+  | None, Some _ -> true (* initial precedes every real write *)
+  | Some _, None -> false
+  | Some ia, Some ib -> Causality.precedes g ia ib
+
+let rows_of history = (history : History.t :> Op.t array array)
+
+(* RYW: a read must not return a source strictly older than one of the
+   reader's own earlier writes to the same location. *)
+let check_ryw g rows =
+  let ok = ref true in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun k (r : Op.t) ->
+          if Op.is_read r then
+            for j = 0 to k - 1 do
+              let w = row.(j) in
+              if Op.is_write w && Loc.equal w.Op.loc r.Op.loc then
+                if (not (Wid.equal r.Op.wid w.Op.wid)) && source_precedes g r.Op.wid w.Op.wid
+                then ok := false
+            done)
+        row)
+    rows;
+  !ok
+
+(* MR: successive reads of a location by one process never regress. *)
+let check_mr g rows =
+  let ok = ref true in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun k (r2 : Op.t) ->
+          if Op.is_read r2 then
+            for j = 0 to k - 1 do
+              let r1 = row.(j) in
+              if Op.is_read r1 && Loc.equal r1.Op.loc r2.Op.loc then
+                if source_precedes g r2.Op.wid r1.Op.wid then ok := false
+            done)
+        row)
+    rows;
+  !ok
+
+(* MW: one process's two ordered writes to a location may never be observed
+   in reverse by any single process. *)
+let check_mw rows =
+  let ok = ref true in
+  (* Ordered same-process same-location write pairs. *)
+  let write_pairs =
+    Array.to_list rows
+    |> List.concat_map (fun row ->
+           let writes = Array.to_list row |> List.filter Op.is_write in
+           List.concat_map
+             (fun (w1 : Op.t) ->
+               List.filter_map
+                 (fun (w2 : Op.t) ->
+                   if w1.Op.index < w2.Op.index && Loc.equal w1.Op.loc w2.Op.loc then
+                     Some (w1, w2)
+                   else None)
+                 writes)
+             writes)
+  in
+  Array.iter
+    (fun row ->
+      List.iter
+        (fun ((w1 : Op.t), (w2 : Op.t)) ->
+          Array.iteri
+            (fun k (r2 : Op.t) ->
+              if Op.is_read r2 && Wid.equal r2.Op.wid w1.Op.wid then
+                (* Saw the older write... after having seen the newer one? *)
+                for j = 0 to k - 1 do
+                  let r1 = row.(j) in
+                  if Op.is_read r1 && Wid.equal r1.Op.wid w2.Op.wid then ok := false
+                done)
+            row)
+        write_pairs)
+    rows;
+  !ok
+
+(* WFR: if the author of w2 had read source w1 at location x before writing
+   w2, then any process that observes w2 must not subsequently read, at x, a
+   source strictly older than w1. *)
+let check_wfr g rows =
+  let ok = ref true in
+  (* (x, w1, w2) dependencies: author read (x, w1) and later wrote w2. *)
+  let dependencies =
+    Array.to_list rows
+    |> List.concat_map (fun row ->
+           Array.to_list row
+           |> List.concat_map (fun (r : Op.t) ->
+                  if not (Op.is_read r) then []
+                  else
+                    Array.to_list row
+                    |> List.filter_map (fun (w2 : Op.t) ->
+                           if Op.is_write w2 && r.Op.index < w2.Op.index then
+                             Some (r.Op.loc, r.Op.wid, w2.Op.wid)
+                           else None)))
+  in
+  Array.iter
+    (fun row ->
+      List.iter
+        (fun (x, w1, w2) ->
+          Array.iteri
+            (fun k (later : Op.t) ->
+              if Op.is_read later && Loc.equal later.Op.loc x then
+                (* Did this process observe w2 earlier? *)
+                for j = 0 to k - 1 do
+                  let earlier = row.(j) in
+                  if Op.is_read earlier && Wid.equal earlier.Op.wid w2 then
+                    if source_precedes g later.Op.wid w1 then ok := false
+                done)
+            row)
+        dependencies)
+    rows;
+  !ok
+
+let check history =
+  match Causality.build history with
+  | Error e -> Error e
+  | Ok g ->
+      let rows = rows_of history in
+      Ok { ryw = check_ryw g rows; mr = check_mr g rows; mw = check_mw rows; wfr = check_wfr g rows }
+
+let check_exn history =
+  match check history with Ok r -> r | Error e -> failwith ("Session.check: " ^ e)
+
+let pp ppf r =
+  let mark b = if b then "ok" else "VIOLATED" in
+  Format.fprintf ppf "ryw=%s mr=%s mw=%s wfr=%s" (mark r.ryw) (mark r.mr) (mark r.mw)
+    (mark r.wfr)

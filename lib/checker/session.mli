@@ -1,0 +1,34 @@
+(** The four session guarantees (Terry et al.) as definitional checkers.
+
+    Follow-on work on causal stores decomposes causal consistency into
+    PRAM plus these per-session guarantees; checking them separately shows
+    {e which} promise an execution breaks.  All four are implied by the
+    paper's (strict) causal memory — the property tests confirm every
+    protocol history satisfies them — while the converse fails: Figure 3's
+    broadcast anomaly satisfies all four and still violates causal memory,
+    which is precisely why the paper needs its stronger live-set definition.
+
+    Writes are unique and the reads-from relation explicit, so each
+    guarantee is a direct graph query over {!Causality}; ≺ below is the
+    causal order, and the virtual initial write precedes every real one. *)
+
+type report = {
+  ryw : bool;  (** read-your-writes: a process never reads a value causally
+                   older than its own earlier write to that location *)
+  mr : bool;  (** monotonic reads: successive reads of a location never go
+                  causally backwards *)
+  mw : bool;  (** monotonic writes: two same-process writes to a location
+                  are never observed in reverse order by any one process *)
+  wfr : bool;  (** writes-follow-reads: observing a write implies never
+                   subsequently reading, at the location that write's author
+                   had read, a value causally older than what the author saw *)
+}
+
+val all_hold : report -> bool
+
+val check : Dsm_memory.History.t -> (report, string) result
+(** [Error] on malformed histories (dangling reads-from). *)
+
+val check_exn : Dsm_memory.History.t -> report
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,246 @@
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module History = Dsm_memory.History
+module Owner = Dsm_memory.Owner
+module Proc = Dsm_runtime.Proc
+module Network = Dsm_net.Network
+
+type t = {
+  sched : Proc.sched;
+  net : Message.t Network.t;
+  nodes : Node.t array;
+  owner : Owner.t;
+  config : Config.t;
+  recorder : History.Recorder.t;
+  pending : (int, Message.t Proc.ivar) Hashtbl.t array;
+  mutable timers_stopped : bool;
+  mutable timed : (Dsm_memory.Op.t * float * float) list; (* newest first *)
+}
+
+type handle = { cluster : t; node : Node.t }
+
+let entry_wire_size t (count : int) =
+  count * t.config.Config.entry_size (Owner.nodes t.owner)
+
+let digest_wire_size t digest =
+  Write_digest.wire_size digest ~dim:(Owner.nodes t.owner)
+
+(* The owner-side services of Figure 4.  These run atomically as delivery
+   events; replies go back over the same reliable FIFO transport. *)
+let handle_message t ~me ~src msg =
+  let node = t.nodes.(me) in
+  match (msg : Message.t) with
+  | Message.Read_req { req; loc } ->
+      let entry =
+        match Node.lookup node loc with
+        | Some e -> e
+        | None ->
+            failwith
+              (Printf.sprintf "node %d received READ for %s it does not own" me
+                 (Loc.to_string loc))
+      in
+      let page = Node.page_entries node loc in
+      let digest = Node.digest_export node in
+      Network.send t.net ~src:me ~dst:src ~kind:"R_REPLY"
+        ~size:(entry_wire_size t (1 + List.length page) + digest_wire_size t digest)
+        (Message.Read_reply { req; loc; entry; page; digest })
+  | Message.Write_req { req; loc; entry; digest } ->
+      Node.digest_merge node digest;
+      let accepted = ref false in
+      let stored = Node.certify_write node loc entry ~accepted in
+      let digest = Node.digest_export node in
+      Network.send t.net ~src:me ~dst:src ~kind:"W_REPLY"
+        ~size:(entry_wire_size t 1 + digest_wire_size t digest)
+        (Message.Write_reply { req; loc; accepted = !accepted; entry = stored; digest })
+  | Message.Read_reply { req; _ } | Message.Write_reply { req; _ } -> (
+      match Hashtbl.find_opt t.pending.(me) req with
+      | Some ivar ->
+          Hashtbl.remove t.pending.(me) req;
+          Proc.fill ivar msg
+      | None -> failwith (Printf.sprintf "node %d: reply for unknown request %d" me req))
+
+let start_discard_timer t node =
+  match (Node.config node).Config.discard with
+  | Config.No_discard | Config.Capacity _ -> ()
+  | Config.Periodic period ->
+      let engine = Proc.engine t.sched in
+      let rec tick () =
+        if not t.timers_stopped then begin
+          ignore (Node.discard_all node);
+          Dsm_sim.Engine.schedule engine ~delay:period tick
+        end
+      in
+      Dsm_sim.Engine.schedule engine ~delay:period tick
+
+let create ~sched ~owner ?(config = Config.default) ?latency ?(seed = 42L) () =
+  Config.validate config;
+  let processes = Owner.nodes owner in
+  let engine = Proc.engine sched in
+  let net = Network.create engine ~nodes:processes ?latency ~seed () in
+  let nodes = Array.init processes (fun id -> Node.create ~id ~owner ~config) in
+  let t =
+    {
+      sched;
+      net;
+      nodes;
+      owner;
+      config;
+      recorder = History.Recorder.create ~processes;
+      pending = Array.init processes (fun _ -> Hashtbl.create 8);
+      timers_stopped = false;
+      timed = [];
+    }
+  in
+  for me = 0 to processes - 1 do
+    Network.set_handler net ~node:me (fun ~src msg -> handle_message t ~me ~src msg)
+  done;
+  Array.iter (fun node -> start_discard_timer t node) nodes;
+  t
+
+let handle t pid = { cluster = t; node = t.nodes.(pid) }
+
+let handles t = Array.init (Array.length t.nodes) (handle t)
+
+let processes t = Array.length t.nodes
+
+let sched t = t.sched
+
+let net t = t.net
+
+let node t pid = t.nodes.(pid)
+
+let history t = History.Recorder.history t.recorder
+
+let timed_history t = List.rev t.timed
+
+let sim_now t = Dsm_sim.Engine.now (Proc.engine t.sched)
+
+let log_timed t op start_time = t.timed <- (op, start_time, sim_now t) :: t.timed
+
+let stats t = Array.to_list (Array.map Node.stats t.nodes)
+
+let total_stats t = Node_stats.total (stats t)
+
+let shutdown t = t.timers_stopped <- true
+
+let pid h = Node.id h.node
+
+(* Round-trip a request to [dst] and block until its reply arrives. *)
+let rendezvous h ~dst ~kind ~size make_msg =
+  let t = h.cluster in
+  let me = Node.id h.node in
+  let req = Node.next_req h.node in
+  let ivar = Proc.ivar t.sched in
+  Hashtbl.replace t.pending.(me) req ivar;
+  Network.send t.net ~src:me ~dst ~kind ~size (make_msg req);
+  Proc.await ivar
+
+let read_stamped h loc =
+  let t = h.cluster in
+  let node = h.node in
+  let stats = Node.stats node in
+  let start_time = sim_now t in
+  match Node.lookup node loc with
+  | Some entry ->
+      (* Owned or cached: the read completes locally. *)
+      stats.Node_stats.read_hits <- stats.Node_stats.read_hits + 1;
+      let op =
+        History.Recorder.record_read t.recorder ~pid:(Node.id node) ~loc
+          ~value:entry.Stamped.value ~from:entry.Stamped.wid
+      in
+      log_timed t op start_time;
+      entry
+  | None -> (
+      (* Read miss: fetch a current copy from the owner and install it,
+         invalidating everything causally older (Figure 4, r_i(x)v). *)
+      stats.Node_stats.read_misses <- stats.Node_stats.read_misses + 1;
+      let dst = Node.owner_of node loc in
+      (* Snapshot the clock: if it grows while we are blocked (this node
+         certified writes meanwhile), the reply may be stale relative to
+         what we now know and must not be retained in the cache. *)
+      let vt_at_request = Node.vt node in
+      let reply =
+        rendezvous h ~dst ~kind:"READ" ~size:t.config.Config.read_request_size (fun req ->
+            Message.Read_req { req; loc })
+      in
+      match reply with
+      | Message.Read_reply { entry; page; digest; _ } ->
+          Node.digest_merge node digest;
+          if Vclock.equal vt_at_request (Node.vt node) then
+            Node.install_batch node ((loc, entry) :: page)
+          else Node.install_transient node ((loc, entry) :: page);
+          Node.enforce_capacity node;
+          let op =
+            History.Recorder.record_read t.recorder ~pid:(Node.id node) ~loc
+              ~value:entry.Stamped.value ~from:entry.Stamped.wid
+          in
+          log_timed t op start_time;
+          entry
+      | Message.Read_req _ | Message.Write_req _ | Message.Write_reply _ ->
+          assert false)
+
+let read h loc = (read_stamped h loc).Stamped.value
+
+let write_resolved h loc value =
+  let t = h.cluster in
+  let node = h.node in
+  let stats = Node.stats node in
+  let start_time = sim_now t in
+  if Node.owns node loc then begin
+    let entry = Node.local_write node loc value in
+    let op =
+      History.Recorder.record_write t.recorder ~pid:(Node.id node) ~loc ~value
+        ~wid:entry.Stamped.wid
+    in
+    log_timed t op start_time;
+    `Accepted
+  end
+  else begin
+    (* w_i(x)v, non-owner branch: increment, ship to the owner for
+       certification, then adopt the owner's clock and entry. *)
+    Node.set_vt node (Vclock.increment (Node.vt node) (Node.id node));
+    let wid = Node.fresh_wid node in
+    let entry = Stamped.make ~value ~stamp:(Node.vt node) ~wid in
+    let digest = Node.digest_export node in
+    let reply =
+      rendezvous h ~dst:(Node.owner_of node loc) ~kind:"WRITE"
+        ~size:(entry_wire_size t 1 + digest_wire_size t digest)
+        (fun req -> Message.Write_req { req; loc; entry; digest })
+    in
+    match reply with
+    | Message.Write_reply { accepted; entry = stored; digest; _ } ->
+        (* Figure 4 performs no invalidation on the writer's reply path;
+           the digest is still merged so later introductions act on it. *)
+        Node.digest_merge node digest;
+        Node.adopt_write_reply node loc stored;
+        Node.enforce_capacity node;
+        stats.Node_stats.writes_remote <- stats.Node_stats.writes_remote + 1;
+        let op = History.Recorder.record_write t.recorder ~pid:(Node.id node) ~loc ~value ~wid in
+        log_timed t op start_time;
+        if accepted then `Accepted
+        else begin
+          stats.Node_stats.writes_rejected <- stats.Node_stats.writes_rejected + 1;
+          `Rejected
+        end
+    | Message.Read_req _ | Message.Write_req _ | Message.Read_reply _ -> assert false
+  end
+
+let write h loc value = ignore (write_resolved h loc value)
+
+let discard h = ignore (Node.discard_all h.node)
+
+module Mem = struct
+  type nonrec handle = handle
+
+  let pid = pid
+
+  let processes h = Node.processes h.node
+
+  let read = read
+
+  let write = write
+
+  let yield (_ : handle) = Proc.yield ()
+
+  let refresh h loc = ignore (Node.discard_one h.node loc)
+end

@@ -1,0 +1,78 @@
+(** A causal DSM: the owner protocol of Figure 4 over the simulated network.
+
+    [create] builds one protocol node per process, installs the message
+    handlers (the [READ]/[WRITE] services of Figure 4), and returns a
+    cluster.  Application processes obtain a per-process {!handle} and
+    issue blocking [read]/[write] operations; every operation is recorded in
+    an execution history for the checker.
+
+    Message handlers run atomically at delivery time even while the node's
+    application process is blocked, which is the paper's requirement that
+    owners "fairly alternate between issuing reads and writes and responding
+    to READ and WRITE messages". *)
+
+type t
+
+type handle
+
+val create :
+  sched:Dsm_runtime.Proc.sched ->
+  owner:Dsm_memory.Owner.t ->
+  ?config:Config.t ->
+  ?latency:Dsm_net.Latency.t ->
+  ?seed:int64 ->
+  unit ->
+  t
+
+val handle : t -> int -> handle
+(** The memory handle of process [pid]. *)
+
+val handles : t -> handle array
+
+val processes : t -> int
+
+val sched : t -> Dsm_runtime.Proc.sched
+
+val net : t -> Message.t Dsm_net.Network.t
+
+val node : t -> int -> Node.t
+(** Direct access to protocol state, for tests and ablations. *)
+
+val history : t -> Dsm_memory.History.t
+(** Everything recorded so far. *)
+
+val timed_history : t -> (Dsm_memory.Op.t * float * float) list
+(** Every application operation with its (start, end) simulated times —
+    input to the linearizability checker; causal memory's weak executions
+    show up here as non-linearizable interval sets. *)
+
+val stats : t -> Node_stats.t list
+(** Per-node counters, pid order. *)
+
+val total_stats : t -> Node_stats.t
+
+val shutdown : t -> unit
+(** Stop periodic discard timers so the engine can quiesce. *)
+
+(** {1 Operations (must run inside a spawned process)} *)
+
+val pid : handle -> int
+
+val read : handle -> Dsm_memory.Loc.t -> Dsm_memory.Value.t
+
+val write : handle -> Dsm_memory.Loc.t -> Dsm_memory.Value.t -> unit
+
+val write_resolved :
+  handle -> Dsm_memory.Loc.t -> Dsm_memory.Value.t -> [ `Accepted | `Rejected ]
+(** Like [write] but reports whether the owner's resolution policy kept the
+    write; the dictionary's delete path cares. *)
+
+val read_stamped : handle -> Dsm_memory.Loc.t -> Stamped.t
+(** [read] exposing the writestamp; recorded as an ordinary read. *)
+
+val discard : handle -> unit
+(** Voluntarily drop this node's whole cache (the paper's [discard]). *)
+
+(** The {!Dsm_memory.Memory_intf.MEMORY} instance applications are
+    functorised over. *)
+module Mem : Dsm_memory.Memory_intf.MEMORY with type handle = handle

@@ -1,0 +1,65 @@
+(** Protocol configuration: the §3.2 enhancement knobs.
+
+    The basic algorithm of Figure 4 is [default].  The enhancements the
+    paper defers to its tech report are exposed as configuration:
+    page-granularity sharing, cache replacement ([discard]) policies, and
+    the concurrent-write resolution policy of Section 4.2. *)
+
+type granularity =
+  | Word  (** the basic algorithm: one location per transfer *)
+  | Page of int
+      (** a read miss returns every co-paged location the owner holds;
+          pages group [Page of k] consecutive indices of the same array *)
+
+type discard =
+  | No_discard  (** cache grows without bound; the basic algorithm *)
+  | Periodic of float
+      (** every period (simulated time), drop all cached copies — the
+          paper's liveness device ("occasional execution of discard can ...
+          ensure eventual communication") *)
+  | Capacity of int  (** LRU eviction beyond this many cached locations *)
+
+type invalidation =
+  | Coarse
+      (** Figure 4's rule: invalidate every cached value older than the
+          incoming writestamp — cheap, over-approximate *)
+  | Precise
+      (** the [3]-style bookkeeping the paper declines: piggyback a
+          per-location newest-write digest on replies and invalidate a
+          cached copy only when a newer write of that location is actually
+          known; costs digest bytes on every reply (see {!Write_digest}) *)
+
+type t = {
+  granularity : granularity;
+  discard : discard;
+  invalidation : invalidation;
+  policy : Policy.t;
+  init : Dsm_memory.Loc.t -> Dsm_memory.Value.t;
+      (** initial value of owned locations (default: [Value.initial]) *)
+  read_request_size : int;
+  entry_size : int -> int;
+      (** wire size of a stamped entry as a function of the vector-clock
+          dimension; used only for byte accounting *)
+}
+
+val default : t
+(** Word granularity, no discard, last-writer-wins, all-zero initial
+    values. *)
+
+val with_policy : Policy.t -> t -> t
+
+val with_granularity : granularity -> t -> t
+
+val with_discard : discard -> t -> t
+
+val with_invalidation : invalidation -> t -> t
+
+val with_init : (Dsm_memory.Loc.t -> Dsm_memory.Value.t) -> t -> t
+
+val page_of : granularity -> Dsm_memory.Loc.t -> (string * int) option
+(** The page a location belongs to under the given granularity; [None] for
+    word granularity or unpageable (named scalar) locations. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsensical settings (page size < 2,
+    capacity < 1, period <= 0). *)

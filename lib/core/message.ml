@@ -1,0 +1,50 @@
+(** Wire messages of the owner protocol (Figure 4).
+
+    [req] tags match a reply to the blocked operation that issued the
+    request; the paper's processes block on at most one operation, but the
+    tag keeps the protocol robust to any request interleaving. *)
+
+type digest = (Dsm_memory.Loc.t * Write_digest.entry) list
+(** Piggybacked newest-known-write table; non-empty only under
+    [Config.Precise] invalidation. *)
+
+type t =
+  | Read_req of { req : int; loc : Dsm_memory.Loc.t }  (** [READ, x] *)
+  | Read_reply of {
+      req : int;
+      loc : Dsm_memory.Loc.t;
+      entry : Stamped.t;
+      page : (Dsm_memory.Loc.t * Stamped.t) list;
+      digest : digest;
+    }
+      (** [R_REPLY, x, v', VT']; [page] carries co-paged entries under page
+          granularity (empty under word granularity) *)
+  | Write_req of { req : int; loc : Dsm_memory.Loc.t; entry : Stamped.t; digest : digest }
+      (** [WRITE, x, v, VT] — [entry.stamp] is the writer's incremented clock *)
+  | Write_reply of {
+      req : int;
+      loc : Dsm_memory.Loc.t;
+      accepted : bool;
+      entry : Stamped.t;
+          (** the entry now stored at the owner: the certified write, or the
+              surviving current value when the policy rejected the write *)
+      digest : digest;
+    }  (** [W_REPLY, x, v, VT'] *)
+
+let kind = function
+  | Read_req _ -> "READ"
+  | Read_reply _ -> "R_REPLY"
+  | Write_req _ -> "WRITE"
+  | Write_reply _ -> "W_REPLY"
+
+let pp ppf t =
+  match t with
+  | Read_req { req; loc } -> Format.fprintf ppf "READ#%d(%a)" req Dsm_memory.Loc.pp loc
+  | Read_reply { req; loc; entry; page; _ } ->
+      Format.fprintf ppf "R_REPLY#%d(%a=%a,+%d)" req Dsm_memory.Loc.pp loc Stamped.pp entry
+        (List.length page)
+  | Write_req { req; loc; entry; _ } ->
+      Format.fprintf ppf "WRITE#%d(%a=%a)" req Dsm_memory.Loc.pp loc Stamped.pp entry
+  | Write_reply { req; loc; accepted; entry; _ } ->
+      Format.fprintf ppf "W_REPLY#%d(%a=%a,%s)" req Dsm_memory.Loc.pp loc Stamped.pp entry
+        (if accepted then "accepted" else "rejected")

@@ -1,0 +1,42 @@
+(** Wire messages of the owner protocol (Figure 4).
+
+    Four message kinds, exactly the paper's: [READ, x] requesting a current
+    copy, [R_REPLY, x, v', VT'] carrying it, [WRITE, x, v, VT] shipping a
+    write for certification, and [W_REPLY, x, v, VT'] completing it.  The
+    [req] tags match replies to the blocked operation that issued the
+    request; [page] and [digest] carry the §3.2 enhancements (page-granular
+    transfer and precise-invalidation bookkeeping) and are empty under the
+    basic configuration. *)
+
+type digest = (Dsm_memory.Loc.t * Write_digest.entry) list
+(** Piggybacked newest-known-write table; non-empty only under
+    [Config.Precise] invalidation. *)
+
+type t =
+  | Read_req of { req : int; loc : Dsm_memory.Loc.t }  (** [READ, x] *)
+  | Read_reply of {
+      req : int;
+      loc : Dsm_memory.Loc.t;
+      entry : Stamped.t;
+      page : (Dsm_memory.Loc.t * Stamped.t) list;
+          (** co-paged entries under page granularity *)
+      digest : digest;
+    }  (** [R_REPLY, x, v', VT'] *)
+  | Write_req of { req : int; loc : Dsm_memory.Loc.t; entry : Stamped.t; digest : digest }
+      (** [WRITE, x, v, VT] — [entry.stamp] is the writer's incremented
+          clock *)
+  | Write_reply of {
+      req : int;
+      loc : Dsm_memory.Loc.t;
+      accepted : bool;
+          (** [false] when the owner's resolution policy rejected the write *)
+      entry : Stamped.t;
+          (** the entry now stored at the owner: the certified write, or the
+              surviving current value on rejection *)
+      digest : digest;
+    }  (** [W_REPLY, x, v, VT'] *)
+
+val kind : t -> string
+(** Counter bucket: ["READ"], ["R_REPLY"], ["WRITE"] or ["W_REPLY"]. *)
+
+val pp : Format.formatter -> t -> unit

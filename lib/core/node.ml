@@ -1,0 +1,307 @@
+module Loc = Dsm_memory.Loc
+module Wid = Dsm_memory.Wid
+
+type slot = { mutable entry : Stamped.t; mutable last_touch : int }
+
+type t = {
+  id : int;
+  owner : Dsm_memory.Owner.t;
+  config : Config.t;
+  memory : slot Loc.Table.t;
+  (* What the causality rule last invalidated per location, to detect
+     refetches of the very same write (over-invalidation accounting). *)
+  last_invalidated : Wid.t Loc.Table.t;
+  (* Newest known write per location; only consulted (and shipped) under
+     Config.Precise invalidation. *)
+  digest : Write_digest.t;
+  mutable clock : Vclock.t;
+  mutable wseq : int;
+  mutable reqseq : int;
+  mutable touch_counter : int;
+  stats : Node_stats.t;
+}
+
+let create ~id ~owner ~config =
+  Config.validate config;
+  let processes = Dsm_memory.Owner.nodes owner in
+  if id < 0 || id >= processes then invalid_arg "Node.create: id out of range";
+  {
+    id;
+    owner;
+    config;
+    memory = Loc.Table.create 64;
+    last_invalidated = Loc.Table.create 16;
+    digest = Write_digest.create ();
+    clock = Vclock.zero processes;
+    wseq = 0;
+    reqseq = 0;
+    touch_counter = 0;
+    stats = Node_stats.create ();
+  }
+
+let id t = t.id
+
+let processes t = Dsm_memory.Owner.nodes t.owner
+
+let vt t = t.clock
+
+let set_vt t clock =
+  if not (Vclock.leq t.clock clock) then failwith "Node.set_vt: clock would shrink";
+  t.clock <- clock
+
+let stats t = t.stats
+
+let config t = t.config
+
+let owner_of t loc = Dsm_memory.Owner.owner t.owner loc
+
+let owns t loc = owner_of t loc = t.id
+
+let touch t slot =
+  t.touch_counter <- t.touch_counter + 1;
+  slot.last_touch <- t.touch_counter
+
+let store t loc entry =
+  match Loc.Table.find_opt t.memory loc with
+  | Some slot ->
+      slot.entry <- entry;
+      touch t slot
+  | None ->
+      let slot = { entry; last_touch = 0 } in
+      touch t slot;
+      Loc.Table.replace t.memory loc slot
+
+let lookup t loc =
+  match Loc.Table.find_opt t.memory loc with
+  | Some slot ->
+      touch t slot;
+      Some slot.entry
+  | None ->
+      if owns t loc then begin
+        (* Owned locations are born holding the initial value with a zero
+           writestamp: the virtual initial write precedes everything. *)
+        let entry = Stamped.initial ~processes:(processes t) (t.config.Config.init loc) in
+        store t loc entry;
+        Some entry
+      end
+      else None
+
+let fresh_wid t =
+  let seq = t.wseq in
+  t.wseq <- seq + 1;
+  Wid.make ~node:t.id ~seq
+
+let next_req t =
+  let r = t.reqseq in
+  t.reqseq <- r + 1;
+  r
+
+(* Invalidate every cached (non-owned) entry whose writestamp is strictly
+   older than [threshold]: the rule of Figure 4.  Owned locations are never
+   invalidated. *)
+let drop_invalidated t loc (slot : slot) =
+  Loc.Table.remove t.memory loc;
+  Loc.Table.replace t.last_invalidated loc slot.entry.Stamped.wid;
+  t.stats.Node_stats.invalidations <- t.stats.Node_stats.invalidations + 1
+
+(* On (re)introducing a value, check whether the causality rule had thrown
+   away this very write earlier: if so the invalidation bought nothing. *)
+let note_refetch t loc (entry : Stamped.t) =
+  match Loc.Table.find_opt t.last_invalidated loc with
+  | Some wid ->
+      Loc.Table.remove t.last_invalidated loc;
+      if Wid.equal wid entry.Stamped.wid then
+        t.stats.Node_stats.redundant_fetches <- t.stats.Node_stats.redundant_fetches + 1
+  | None -> ()
+
+let precise t = t.config.Config.invalidation = Config.Precise
+
+let digest_observe t loc (entry : Stamped.t) =
+  if precise t then
+    Write_digest.observe t.digest loc
+      { Write_digest.stamp = entry.Stamped.stamp; wid = entry.Stamped.wid }
+
+(* Precise rule: a cached copy dies only when the digest proves a strictly
+   newer write of the same location. *)
+let invalidate_per_digest t =
+  let stale = ref [] in
+  Loc.Table.iter
+    (fun loc slot ->
+      if not (owns t loc) then begin
+        match Write_digest.find t.digest loc with
+        | Some { Write_digest.stamp; _ } when Vclock.lt slot.entry.Stamped.stamp stamp ->
+            stale := (loc, slot) :: !stale
+        | Some _ | None -> ()
+      end)
+    t.memory;
+  List.iter (fun (loc, slot) -> drop_invalidated t loc slot) !stale
+
+let invalidate_older t threshold =
+  if precise t then invalidate_per_digest t
+  else begin
+    let stale = ref [] in
+    Loc.Table.iter
+      (fun loc slot ->
+        if (not (owns t loc)) && Vclock.lt slot.entry.Stamped.stamp threshold then
+          stale := (loc, slot) :: !stale)
+      t.memory;
+    List.iter (fun (loc, slot) -> drop_invalidated t loc slot) !stale
+  end
+
+let digest_export t = if precise t then Write_digest.export t.digest else []
+
+let digest_merge t entries = if precise t then Write_digest.merge t.digest entries
+
+let local_write t loc value =
+  if not (owns t loc) then invalid_arg "Node.local_write: location not owned";
+  t.clock <- Vclock.increment t.clock t.id;
+  let entry = Stamped.make ~value ~stamp:t.clock ~wid:(fresh_wid t) in
+  store t loc entry;
+  digest_observe t loc entry;
+  t.stats.Node_stats.writes_owned <- t.stats.Node_stats.writes_owned + 1;
+  entry
+
+let certify_write t loc (incoming : Stamped.t) ~accepted =
+  if not (owns t loc) then invalid_arg "Node.certify_write: location not owned";
+  (* [WRITE, x, v, VT] handler: VT_i := update(VT_i, VT), then resolve. *)
+  t.clock <- Vclock.update t.clock incoming.stamp;
+  let current =
+    match lookup t loc with
+    | Some e -> e
+    | None -> assert false (* owned locations always present after lookup *)
+  in
+  let decision = Policy.decide t.config.Config.policy ~owner:t.id ~current ~incoming in
+  t.stats.Node_stats.writes_certified <- t.stats.Node_stats.writes_certified + 1;
+  let stored =
+    match decision with
+    | Policy.Accept ->
+        (* The certified writestamp is the owner's merged clock, as in
+           Figure 4's [M_i[x] := (v, VT_i)]. *)
+        let entry = Stamped.make ~value:incoming.value ~stamp:t.clock ~wid:incoming.wid in
+        store t loc entry;
+        digest_observe t loc entry;
+        accepted := true;
+        entry
+    | Policy.Reject ->
+        accepted := false;
+        current
+  in
+  invalidate_older t t.clock;
+  stored
+
+let adopt_write_reply t loc (entry : Stamped.t) =
+  if owns t loc then invalid_arg "Node.adopt_write_reply: location is owned";
+  t.clock <- Vclock.update t.clock entry.stamp;
+  store t loc entry
+
+let install_remote t loc (entry : Stamped.t) =
+  if owns t loc then invalid_arg "Node.install_remote: location is owned";
+  (* R_REPLY path: VT_i := update(VT_i, VT'); M_i[x] := (v', VT');
+     invalidate cached y with M_i[y].VT < VT'. *)
+  note_refetch t loc entry;
+  t.clock <- Vclock.update t.clock entry.stamp;
+  store t loc entry;
+  digest_observe t loc entry;
+  invalidate_older t entry.stamp
+
+let install_batch t entries =
+  (* Keep only entries we may cache: not locally owned, and not already
+     cached at least as new. *)
+  let installable =
+    List.filter
+      (fun (loc, (entry : Stamped.t)) ->
+        (not (owns t loc))
+        &&
+        match Loc.Table.find_opt t.memory loc with
+        | None -> true
+        | Some slot -> Vclock.lt slot.entry.Stamped.stamp entry.stamp)
+      entries
+  in
+  List.iter
+    (fun (loc, (entry : Stamped.t)) ->
+      note_refetch t loc entry;
+      t.clock <- Vclock.update t.clock entry.stamp;
+      store t loc entry;
+      digest_observe t loc entry)
+    installable;
+  if precise t then invalidate_per_digest t
+  else begin
+    (* One invalidation pass over the rest of the cache: anything strictly
+       older than some installed stamp goes, but the batch spares itself. *)
+    let in_batch loc = List.exists (fun (l, _) -> Loc.equal l loc) installable in
+    let stale = ref [] in
+    Loc.Table.iter
+      (fun loc slot ->
+        if (not (owns t loc)) && not (in_batch loc) then
+          if
+            List.exists
+              (fun (_, (entry : Stamped.t)) -> Vclock.lt slot.entry.Stamped.stamp entry.stamp)
+              installable
+          then stale := (loc, slot) :: !stale)
+      t.memory;
+    List.iter (fun (loc, slot) -> drop_invalidated t loc slot) !stale
+  end
+
+let page_entries t loc =
+  match Config.page_of t.config.Config.granularity loc with
+  | None -> []
+  | Some page ->
+      let same_page other = Config.page_of t.config.Config.granularity other = Some page in
+      Loc.Table.fold
+        (fun other slot acc ->
+          if (not (Loc.equal other loc)) && owns t other && same_page other then
+            (other, slot.entry) :: acc
+          else acc)
+        t.memory []
+
+let install_transient t entries =
+  List.iter
+    (fun (loc, (entry : Stamped.t)) ->
+      if not (owns t loc) then begin
+        t.clock <- Vclock.update t.clock entry.stamp;
+        digest_observe t loc entry;
+        t.stats.Node_stats.stale_drops <- t.stats.Node_stats.stale_drops + 1
+      end)
+    entries;
+  (* The reply still carries knowledge: run the usual invalidation pass so
+     anything older than what we just learned is dropped. *)
+  if precise t then invalidate_per_digest t
+  else
+    List.iter (fun (_, (entry : Stamped.t)) -> invalidate_older t entry.stamp) entries
+
+let cached_locs t =
+  Loc.Table.fold (fun loc _ acc -> if owns t loc then acc else loc :: acc) t.memory []
+
+let cache_size t = List.length (cached_locs t)
+
+let discard_all t =
+  let cached = cached_locs t in
+  List.iter
+    (fun loc ->
+      Loc.Table.remove t.memory loc;
+      t.stats.Node_stats.discards <- t.stats.Node_stats.discards + 1)
+    cached;
+  List.length cached
+
+let discard_one t loc =
+  match Loc.Table.find_opt t.memory loc with
+  | Some _ when not (owns t loc) ->
+      Loc.Table.remove t.memory loc;
+      t.stats.Node_stats.discards <- t.stats.Node_stats.discards + 1;
+      true
+  | Some _ | None -> false
+
+let enforce_capacity t =
+  match t.config.Config.discard with
+  | Config.No_discard | Config.Periodic _ -> ()
+  | Config.Capacity cap ->
+      let cached =
+        Loc.Table.fold
+          (fun loc slot acc -> if owns t loc then acc else (loc, slot.last_touch) :: acc)
+          t.memory []
+      in
+      let excess = List.length cached - cap in
+      if excess > 0 then begin
+        let by_age = List.sort (fun (_, a) (_, b) -> Int.compare a b) cached in
+        List.iteri (fun i (loc, _) -> if i < excess then ignore (discard_one t loc)) by_age
+      end

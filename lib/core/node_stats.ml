@@ -1,0 +1,61 @@
+type t = {
+  mutable read_hits : int;
+  mutable read_misses : int;
+  mutable writes_owned : int;
+  mutable writes_remote : int;
+  mutable writes_rejected : int;
+  mutable writes_certified : int;
+  mutable invalidations : int;
+  mutable discards : int;
+  mutable redundant_fetches : int;
+  mutable stale_drops : int;
+}
+
+let create () =
+  {
+    read_hits = 0;
+    read_misses = 0;
+    writes_owned = 0;
+    writes_remote = 0;
+    writes_rejected = 0;
+    writes_certified = 0;
+    invalidations = 0;
+    discards = 0;
+    redundant_fetches = 0;
+    stale_drops = 0;
+  }
+
+let reset t =
+  t.read_hits <- 0;
+  t.read_misses <- 0;
+  t.writes_owned <- 0;
+  t.writes_remote <- 0;
+  t.writes_rejected <- 0;
+  t.writes_certified <- 0;
+  t.invalidations <- 0;
+  t.discards <- 0;
+  t.redundant_fetches <- 0;
+  t.stale_drops <- 0
+
+let total stats =
+  let acc = create () in
+  List.iter
+    (fun s ->
+      acc.read_hits <- acc.read_hits + s.read_hits;
+      acc.read_misses <- acc.read_misses + s.read_misses;
+      acc.writes_owned <- acc.writes_owned + s.writes_owned;
+      acc.writes_remote <- acc.writes_remote + s.writes_remote;
+      acc.writes_rejected <- acc.writes_rejected + s.writes_rejected;
+      acc.writes_certified <- acc.writes_certified + s.writes_certified;
+      acc.invalidations <- acc.invalidations + s.invalidations;
+      acc.discards <- acc.discards + s.discards;
+      acc.redundant_fetches <- acc.redundant_fetches + s.redundant_fetches;
+      acc.stale_drops <- acc.stale_drops + s.stale_drops)
+    stats;
+  acc
+
+let pp ppf t =
+  Format.fprintf ppf
+    "hits=%d misses=%d w_owned=%d w_remote=%d w_rejected=%d certified=%d inval=%d discard=%d redundant=%d stale=%d"
+    t.read_hits t.read_misses t.writes_owned t.writes_remote t.writes_rejected
+    t.writes_certified t.invalidations t.discards t.redundant_fetches t.stale_drops

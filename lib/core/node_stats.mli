@@ -1,0 +1,30 @@
+(** Per-node protocol statistics, aggregated by the experiment harness. *)
+
+type t = {
+  mutable read_hits : int;  (** reads served from owned or cached copies *)
+  mutable read_misses : int;  (** reads that required a READ round trip *)
+  mutable writes_owned : int;  (** writes to locations this node owns *)
+  mutable writes_remote : int;  (** writes certified via the owner *)
+  mutable writes_rejected : int;  (** remote writes the owner's policy rejected *)
+  mutable writes_certified : int;  (** WRITE requests this node certified as owner *)
+  mutable invalidations : int;  (** cached entries invalidated by the causality rule *)
+  mutable discards : int;  (** cached entries dropped by the discard policy *)
+  mutable redundant_fetches : int;
+      (** refetches that returned the very write that had been invalidated —
+          a proxy for how over-approximate the coarse invalidation rule of
+          Figure 4 is (experiment E-ABL-INV) *)
+  mutable stale_drops : int;
+      (** fetched entries not retained in the cache because the node's clock
+          grew while the request was in flight — the guard that patches the
+          stale-install race in Figure 4's literal pseudocode (see
+          DESIGN.md, "Findings") *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val total : t list -> t
+(** Component-wise sum (a fresh accumulator). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type outcome = Accept | Reject
+
+type t =
+  | Last_writer_wins
+  | Owner_favored
+  | Custom of (owner:int -> current:Stamped.t -> incoming:Stamped.t -> outcome)
+
+let resolve t ~owner ~current ~incoming =
+  match t with
+  | Last_writer_wins -> Accept
+  | Owner_favored ->
+      if (current : Stamped.t).wid.node = owner then Reject else Accept
+  | Custom f -> f ~owner ~current ~incoming
+
+let decide t ~owner ~current ~incoming =
+  match Vclock.compare_vt (incoming : Stamped.t).stamp (current : Stamped.t).stamp with
+  | Vclock.After -> Accept
+  | Vclock.Concurrent -> resolve t ~owner ~current ~incoming
+  | Vclock.Before | Vclock.Equal -> Reject
+
+let pp ppf = function
+  | Last_writer_wins -> Format.pp_print_string ppf "last-writer-wins"
+  | Owner_favored -> Format.pp_print_string ppf "owner-favored"
+  | Custom _ -> Format.pp_print_string ppf "custom"

@@ -1,0 +1,32 @@
+(** Resolution policies for concurrent writes to the same location.
+
+    Causal memory does not totally order writes to a location, so the owner
+    may receive a write request whose writestamp is concurrent with the value
+    it currently stores.  Section 2 notes that "allowing the programmer to
+    select among such policies can significantly simplify programming"; the
+    dictionary of Section 4.2 relies on the policy that "writes by the owner
+    are always favored when resolving concurrent writes".
+
+    The policy is consulted {e only} when the incoming write is concurrent
+    with the stored value; a causally newer write always overwrites. *)
+
+type outcome = Accept | Reject
+
+type t =
+  | Last_writer_wins
+      (** accept every certified write (arrival order at the owner wins) *)
+  | Owner_favored
+      (** reject an incoming write concurrent with a value the owner itself
+          wrote; accept otherwise *)
+  | Custom of (owner:int -> current:Stamped.t -> incoming:Stamped.t -> outcome)
+
+val resolve : t -> owner:int -> current:Stamped.t -> incoming:Stamped.t -> outcome
+(** Decide an incoming write that is {e concurrent} with [current]. *)
+
+val decide : t -> owner:int -> current:Stamped.t -> incoming:Stamped.t -> outcome
+(** Full decision: [Accept] when [incoming] causally overwrites [current],
+    the policy's answer when they are concurrent, [Reject] when [incoming]
+    is causally older (cannot happen with the owner protocol's stamping, but
+    the rule is total for robustness). *)
+
+val pp : Format.formatter -> t -> unit

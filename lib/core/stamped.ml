@@ -1,0 +1,14 @@
+type t = { value : Dsm_memory.Value.t; stamp : Vclock.t; wid : Dsm_memory.Wid.t }
+
+let make ~value ~stamp ~wid = { value; stamp; wid }
+
+let initial ~processes value =
+  { value; stamp = Vclock.zero processes; wid = Dsm_memory.Wid.initial }
+
+let newer_than a b = Vclock.lt b.stamp a.stamp
+
+let concurrent a b = Vclock.concurrent a.stamp b.stamp
+
+let pp ppf t =
+  Format.fprintf ppf "(%a, %a, %a)" Dsm_memory.Value.pp t.value Vclock.pp t.stamp
+    Dsm_memory.Wid.pp t.wid

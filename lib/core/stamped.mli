@@ -1,0 +1,20 @@
+(** A value-writestamp pair, the unit the protocol stores and ships.
+
+    Section 3.1: "each location x in a processor's local memory M_i contains
+    a value-writestamp pair M_i[x] = (v, VT)".  We additionally carry the
+    write identity so recorded histories have an explicit reads-from
+    relation. *)
+
+type t = { value : Dsm_memory.Value.t; stamp : Vclock.t; wid : Dsm_memory.Wid.t }
+
+val make : value:Dsm_memory.Value.t -> stamp:Vclock.t -> wid:Dsm_memory.Wid.t -> t
+
+val initial : processes:int -> Dsm_memory.Value.t -> t
+(** The virtual initial write: zero stamp, initial write identity. *)
+
+val newer_than : t -> t -> bool
+(** [newer_than a b] iff [b.stamp < a.stamp]: [a] causally overwrites [b]. *)
+
+val concurrent : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

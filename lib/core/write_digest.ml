@@ -1,0 +1,36 @@
+module Loc = Dsm_memory.Loc
+
+type entry = { stamp : Vclock.t; wid : Dsm_memory.Wid.t }
+
+type t = entry Loc.Table.t
+
+let create () = Loc.Table.create 32
+
+let find t loc = Loc.Table.find_opt t loc
+
+let observe t loc (incoming : entry) =
+  match Loc.Table.find_opt t loc with
+  | None -> Loc.Table.replace t loc incoming
+  | Some current -> (
+      match Vclock.compare_vt incoming.stamp current.stamp with
+      | Vclock.After -> Loc.Table.replace t loc incoming
+      | Vclock.Before | Vclock.Equal -> ()
+      | Vclock.Concurrent ->
+          (* Keep a single safe upper bound: the merged stamp with the
+             deterministically larger identity (ties cannot matter for the
+             "is there a newer write than mine" test, which only compares
+             stamps). *)
+          let stamp = Vclock.update current.stamp incoming.stamp in
+          let wid =
+            if Dsm_memory.Wid.compare incoming.wid current.wid > 0 then incoming.wid
+            else current.wid
+          in
+          Loc.Table.replace t loc { stamp; wid })
+
+let merge t entries = List.iter (fun (loc, entry) -> observe t loc entry) entries
+
+let export t = Loc.Table.fold (fun loc entry acc -> (loc, entry) :: acc) t []
+
+let size t = Loc.Table.length t
+
+let wire_size entries ~dim = List.length entries * (dim + 2)

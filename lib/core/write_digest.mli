@@ -1,0 +1,39 @@
+(** Per-location newest-known-write tracking for the precise invalidation
+    variant.
+
+    Section 3.1 notes that "identifying precisely the values that may violate
+    correctness ... requires more overhead than we are willing to pay in our
+    simple owner protocol" and cites the companion paper [3].  This module is
+    that overhead, made concrete: each node remembers, per location, the
+    newest write (stamp and identity) it has evidence of, and piggybacks the
+    table on protocol replies.  A cached copy then needs invalidating only
+    when the digest proves a newer write of {e that} location exists in the
+    node's past — instead of Figure 4's "anything older than the incoming
+    stamp" rule.
+
+    The cost is message growth proportional to the digest (accounted in the
+    byte counters), which is exactly the trade-off the paper refuses. *)
+
+type entry = { stamp : Vclock.t; wid : Dsm_memory.Wid.t }
+
+type t
+
+val create : unit -> t
+
+val find : t -> Dsm_memory.Loc.t -> entry option
+
+val observe : t -> Dsm_memory.Loc.t -> entry -> unit
+(** Record a write if it is newer (by stamp) than what is already known;
+    concurrent entries keep the first recorded one merged by
+    componentwise-max of stamps (a safe upper bound). *)
+
+val merge : t -> (Dsm_memory.Loc.t * entry) list -> unit
+(** Fold a peer's exported digest in via {!observe}. *)
+
+val export : t -> (Dsm_memory.Loc.t * entry) list
+(** The full table, for piggybacking; order unspecified. *)
+
+val size : t -> int
+
+val wire_size : (Dsm_memory.Loc.t * entry) list -> dim:int -> int
+(** Abstract byte cost of a piggybacked digest. *)

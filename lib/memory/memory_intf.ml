@@ -1,0 +1,37 @@
+(** The programming interface applications are written against.
+
+    Both DSM implementations (the causal owner protocol and the atomic
+    write-invalidate baseline) expose a per-process handle satisfying
+    [MEMORY], so the paper's point — "similar code may be used to program
+    applications on both atomic and causal memories" — is literal here: the
+    solver and the dictionary are functors over this signature and run
+    unchanged on either memory. *)
+
+module type MEMORY = sig
+  type handle
+  (** One process's view of the shared memory. *)
+
+  val pid : handle -> int
+  (** The process identifier (also the node it runs on). *)
+
+  val processes : handle -> int
+  (** Total number of processes sharing the memory. *)
+
+  val read : handle -> Loc.t -> Value.t
+  (** May block the calling process (remote read miss). *)
+
+  val write : handle -> Loc.t -> Value.t -> unit
+  (** May block the calling process (write to a location owned elsewhere). *)
+
+  val yield : handle -> unit
+  (** Cooperative pause; busy-wait loops must call this between polls. *)
+
+  val refresh : handle -> Loc.t -> unit
+  (** Freshness hint for polling loops: ensure a subsequent [read] of the
+      location can observe remote progress.  On causal memory this is the
+      paper's [discard] applied to one cached location (the next read
+      misses and refetches from the owner) — without it two processes that
+      cache everything and write only their own locations "need never
+      communicate" (Section 3.1).  On invalidation-based memories staleness
+      is pushed by the protocol, so this is a no-op. *)
+end

@@ -1,0 +1,25 @@
+type kind = Read | Write [@@deriving eq]
+
+type t = {
+  pid : int;
+  index : int;
+  kind : kind;
+  loc : Loc.t;
+  value : Value.t;
+  wid : Wid.t;
+}
+[@@deriving eq]
+
+let read ~pid ~index ~loc ~value ~from = { pid; index; kind = Read; loc; value; wid = from }
+
+let write ~pid ~index ~loc ~value ~wid = { pid; index; kind = Write; loc; value; wid }
+
+let is_read t = t.kind = Read
+
+let is_write t = t.kind = Write
+
+let to_string t =
+  let tag = match t.kind with Read -> "r" | Write -> "w" in
+  Printf.sprintf "%s%d(%s)%s" tag t.pid (Loc.to_string t.loc) (Value.to_string t.value)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,32 @@
+(** Read and write operations as recorded in an execution history.
+
+    A write [w(x)v] carries its own identity; a read [r(x)v] carries the
+    identity of the write it read from, so the reads-from relation is
+    explicit in the history and the checker never has to guess it from
+    values. *)
+
+type kind = Read | Write
+
+type t = {
+  pid : int;  (** issuing process *)
+  index : int;  (** position in that process's program order, from 0 *)
+  kind : kind;
+  loc : Loc.t;
+  value : Value.t;
+  wid : Wid.t;  (** own identity for writes; reads-from identity for reads *)
+}
+
+val read : pid:int -> index:int -> loc:Loc.t -> value:Value.t -> from:Wid.t -> t
+
+val write : pid:int -> index:int -> loc:Loc.t -> value:Value.t -> wid:Wid.t -> t
+
+val is_read : t -> bool
+
+val is_write : t -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Paper notation: [w2(x.1)5] / [r2(x.1)5]. *)
+
+val to_string : t -> string

@@ -1,0 +1,28 @@
+type t = { nodes : int; assign : Loc.t -> int }
+
+let owner t loc =
+  let node = t.assign loc in
+  if node < 0 || node >= t.nodes then
+    failwith
+      (Printf.sprintf "Owner: assignment maps %s to node %d (out of %d)" (Loc.to_string loc)
+         node t.nodes)
+  else node
+
+let nodes t = t.nodes
+
+let make ~nodes assign =
+  if nodes < 1 then invalid_arg "Owner.make: need at least one node";
+  { nodes; assign }
+
+let by_hash ~nodes = make ~nodes (fun loc -> Loc.hash loc mod nodes)
+
+let by_index ~nodes =
+  make ~nodes (fun loc ->
+      match loc with
+      | Loc.Indexed (_, i) -> abs i mod nodes
+      | Loc.Cell (_, i, _) -> abs i mod nodes
+      | Loc.Named _ -> Loc.hash loc mod nodes)
+
+let all_to ~nodes node =
+  if node < 0 || node >= nodes then invalid_arg "Owner.all_to: node out of range";
+  make ~nodes (fun _ -> node)

@@ -1,0 +1,27 @@
+(** Owner maps: the static partition of the namespace among processors.
+
+    Section 3.1: "The shared causal memory is partitioned among the
+    processors in the system.  The locations assigned to a processor are
+    owned by that processor." *)
+
+type t
+(** Total function from locations to owning node. *)
+
+val owner : t -> Loc.t -> int
+
+val nodes : t -> int
+
+val make : nodes:int -> (Loc.t -> int) -> t
+(** Wrap an arbitrary assignment; results are range-checked on use. *)
+
+val by_hash : nodes:int -> t
+(** Deterministic hash of the location modulo [nodes]. *)
+
+val by_index : nodes:int -> t
+(** [Indexed (_, i)] and [Cell (_, i, _)] belong to node [i mod nodes];
+    named scalars hash.  This gives the paper's solver and dictionary
+    layouts: process [i] owns [x_i], its handshake bits, and row [i]. *)
+
+val all_to : nodes:int -> int -> t
+(** Every location owned by one node (a "server" layout, useful in tests
+    and ablations). *)

@@ -1,0 +1,26 @@
+type t = Int of int | Float of float | Bool of bool | Str of string | Free
+[@@deriving eq, ord]
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> if b then "T" else "F"
+  | Str s -> Printf.sprintf "%S" s
+  | Free -> "λ"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let initial = Int 0
+
+let type_error expected got =
+  invalid_arg (Printf.sprintf "Value: expected %s, got %s" expected (to_string got))
+
+let to_int = function Int i -> i | v -> type_error "Int" v
+
+let to_float = function Float f -> f | Int i -> float_of_int i | v -> type_error "Float" v
+
+let to_bool = function Bool b -> b | v -> type_error "Bool" v
+
+let to_str = function Str s -> s | v -> type_error "Str" v
+
+let is_free = function Free -> true | Int _ | Float _ | Bool _ | Str _ -> false

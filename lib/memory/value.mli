@@ -1,0 +1,39 @@
+(** Values storable in the shared memory.
+
+    A small dynamic value type so all the paper's programs share one memory
+    implementation: the solver stores floats, the handshake flags booleans,
+    the dictionary strings with [Free] playing the paper's λ ("location is
+    free / value deleted"). *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+  | Free  (** the dictionary's λ: previously held value was deleted *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val initial : t
+(** The distinguished initial value every location is born with; the paper's
+    examples assume initial writes of 0, so this is [Int 0]. *)
+
+(** Coercions raise [Invalid_argument] on a type mismatch — an application
+    reading a location it never wrote with the expected type is a bug. *)
+
+val to_int : t -> int
+
+val to_float : t -> float
+(** Accepts [Int] (promoted) and [Float]: locations start life as [Int 0]. *)
+
+val to_bool : t -> bool
+
+val to_str : t -> string
+
+val is_free : t -> bool

@@ -1,0 +1,15 @@
+type t = { node : int; seq : int } [@@deriving eq, ord]
+
+let make ~node ~seq =
+  if node < 0 then invalid_arg "Wid.make: negative node";
+  { node; seq }
+
+let initial = { node = -1; seq = 0 }
+
+let is_initial t = t.node < 0
+
+let hash = Hashtbl.hash
+
+let to_string t = if is_initial t then "w#init" else Printf.sprintf "w#%d.%d" t.node t.seq
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

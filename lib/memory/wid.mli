@@ -1,0 +1,27 @@
+(** Write identities.
+
+    The paper assumes "all writes are unique (easily implemented by
+    associating a timestamp with writes)" so each read can be identified with
+    the unique write it reads from.  A [Wid.t] is that timestamp: the writing
+    node plus a per-node sequence number.  The distinguished [initial]
+    identity stands for the virtual initial write of every location. *)
+
+type t = { node : int; seq : int }
+
+val make : node:int -> seq:int -> t
+
+val initial : t
+(** The virtual write that initialises every location; causally precedes all
+    operations. *)
+
+val is_initial : t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

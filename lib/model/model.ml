@@ -1,0 +1,459 @@
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module Wid = Dsm_memory.Wid
+module Op = Dsm_memory.Op
+module History = Dsm_memory.History
+
+type op = Read of Loc.t | Write of Loc.t * Value.t
+
+type program = op list
+
+type policy = Lww | Owner_favored
+
+type config = { owner_of : Loc.t -> int; programs : program list; policy : policy }
+
+let config ?(policy = Lww) ~owner_of programs = { owner_of; programs; policy }
+
+type variant =
+  | Faithful
+  | Figure4_literal
+  | Skip_invalidation
+  | Skip_certify_merge
+  | Skip_install_merge
+
+(* ------------------------------------------------------------------ *)
+(* Pure protocol state (structural equality is state identity)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Writestamps as int lists, write ids as (node, seq): plain data so the
+   whole state hashes and compares structurally. *)
+type entry = { e_value : Value.t; e_stamp : int list; e_wid : int * int }
+
+type logged =
+  | Lread of Loc.t * Value.t * (int * int)
+  | Lwrite of Loc.t * Value.t * (int * int)
+
+type blocked = Bread of Loc.t * int list (* clock at request time *) | Bwrite of Loc.t
+
+type node = {
+  mem : (Loc.t * entry) list; (* sorted by Loc.compare *)
+  clock : int list;
+  prog : op list;
+  blocked : blocked option;
+  log : logged list; (* newest first *)
+  wseq : int;
+}
+
+type msg =
+  | Mread of Loc.t
+  | Mread_reply of Loc.t * entry
+  | Mwrite of Loc.t * entry
+  | Mwrite_reply of Loc.t * entry
+
+type state = {
+  nodes : node list;
+  links : ((int * int) * msg list) list; (* sorted keys; queues oldest-first; no empties *)
+}
+
+let initial_wid = (-1, 0)
+
+(* --- small pure helpers ------------------------------------------- *)
+
+let rec mem_find mem loc =
+  match mem with
+  | [] -> None
+  | (l, e) :: rest ->
+      let c = Loc.compare l loc in
+      if c = 0 then Some e else if c > 0 then None else mem_find rest loc
+
+let rec mem_set mem loc entry =
+  match mem with
+  | [] -> [ (loc, entry) ]
+  | ((l, _) as hd) :: rest ->
+      let c = Loc.compare l loc in
+      if c = 0 then (loc, entry) :: rest
+      else if c > 0 then (loc, entry) :: mem
+      else hd :: mem_set rest loc entry
+
+let clock_merge a b = List.map2 max a b
+
+let clock_bump clock i = List.mapi (fun k c -> if k = i then c + 1 else c) clock
+
+(* strict vector-clock less-than on int lists *)
+let stamp_lt a b =
+  List.for_all2 ( <= ) a b && List.exists2 ( < ) a b
+
+(* Drop cached (non-owned) entries strictly older than [threshold]. *)
+let invalidate variant owner_of me mem threshold =
+  if variant = Skip_invalidation then mem
+  else
+    List.filter
+      (fun (loc, e) -> owner_of loc = me || not (stamp_lt e.e_stamp threshold))
+      mem
+
+let rec link_get links key =
+  match links with
+  | [] -> []
+  | (k, q) :: rest -> if k = key then q else link_get rest key
+
+let rec link_set links key queue =
+  match links with
+  | [] -> if queue = [] then [] else [ (key, queue) ]
+  | ((k, _) as hd) :: rest ->
+      if k = key then if queue = [] then rest else (key, queue) :: rest
+      else if k > key then if queue = [] then links else (key, queue) :: links
+      else hd :: link_set rest key queue
+
+let link_push links key m = link_set links key (link_get links key @ [ m ])
+
+let nth_node state i = List.nth state.nodes i
+
+let set_node state i node =
+  { state with nodes = List.mapi (fun k n -> if k = i then node else n) state.nodes }
+
+(* ------------------------------------------------------------------ *)
+(* Transitions (Figure 4 as pure functions)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One node issues its next program operation.  Returns None if the node is
+   blocked or done. *)
+let issue cfg state i =
+  let n = nth_node state i in
+  match (n.blocked, n.prog) with
+  | Some _, _ | None, [] -> None
+  | None, op :: rest -> (
+      match op with
+      | Read loc -> (
+          match mem_find n.mem loc with
+          | Some e ->
+              (* Local read (owned or cached). *)
+              let n' =
+                { n with prog = rest; log = Lread (loc, e.e_value, e.e_wid) :: n.log }
+              in
+              Some (set_node state i n')
+          | None ->
+              (* Read miss: request a copy from the owner and block. *)
+              let owner = cfg.owner_of loc in
+              let state =
+                set_node state i { n with prog = rest; blocked = Some (Bread (loc, n.clock)) }
+              in
+              Some { state with links = link_push state.links (i, owner) (Mread loc) })
+      | Write (loc, value) ->
+          let clock = clock_bump n.clock i in
+          let wid = (i, n.wseq) in
+          if cfg.owner_of loc = i then begin
+            (* Owner write: store locally, no invalidations (Figure 4). *)
+            let entry = { e_value = value; e_stamp = clock; e_wid = wid } in
+            let n' =
+              {
+                n with
+                clock;
+                wseq = n.wseq + 1;
+                prog = rest;
+                mem = mem_set n.mem loc entry;
+                log = Lwrite (loc, value, wid) :: n.log;
+              }
+            in
+            Some (set_node state i n')
+          end
+          else begin
+            (* Remote write: ship to the owner for certification and block. *)
+            let entry = { e_value = value; e_stamp = clock; e_wid = wid } in
+            let owner = cfg.owner_of loc in
+            let state =
+              set_node state i
+                { n with clock; wseq = n.wseq + 1; prog = rest; blocked = Some (Bwrite loc) }
+            in
+            Some { state with links = link_push state.links (i, owner) (Mwrite (loc, entry)) }
+          end)
+
+(* Deliver the head message of link (src, dst). *)
+let deliver variant cfg state (src, dst) =
+  match link_get state.links (src, dst) with
+  | [] -> None
+  | m :: queue -> (
+      let state = { state with links = link_set state.links (src, dst) queue } in
+      let n = nth_node state dst in
+      match m with
+      | Mread loc ->
+          (* Owner service: reply with the current entry. *)
+          let entry =
+            match mem_find n.mem loc with
+            | Some e -> e
+            | None -> failwith "model: owner lost an owned location"
+          in
+          Some { state with links = link_push state.links (dst, src) (Mread_reply (loc, entry)) }
+      | Mwrite (loc, incoming) ->
+          (* Owner certification: merge clocks, resolve against the current
+             entry per the configured policy, store with the merged clock as
+             writestamp, invalidate older cache. *)
+          let clock =
+            if variant = Skip_certify_merge then n.clock
+            else clock_merge n.clock incoming.e_stamp
+          in
+          let current =
+            match mem_find n.mem loc with
+            | Some e -> e
+            | None -> failwith "model: owner lost an owned location"
+          in
+          let concurrent =
+            (not (stamp_lt current.e_stamp incoming.e_stamp))
+            && not (stamp_lt incoming.e_stamp current.e_stamp)
+            && current.e_stamp <> incoming.e_stamp
+          in
+          let accept =
+            match cfg.policy with
+            | Lww -> true
+            | Owner_favored -> not (concurrent && fst current.e_wid = dst)
+          in
+          let stored =
+            if accept then { incoming with e_stamp = clock_merge clock incoming.e_stamp }
+            else current
+          in
+          let mem = mem_set n.mem loc stored in
+          let mem = invalidate variant cfg.owner_of dst mem clock in
+          let state = set_node state dst { n with clock; mem } in
+          Some
+            { state with links = link_push state.links (dst, src) (Mwrite_reply (loc, stored)) }
+      | Mread_reply (loc, entry) -> (
+          match n.blocked with
+          | Some (Bread (l, clock_at_request)) when Loc.equal l loc ->
+              (* Complete the read: merge, install, invalidate older.  The
+                 stale-install guard: if our clock grew while the request
+                 was in flight (we certified writes meanwhile), the fetched
+                 entry may predate what we now know — use it for this read
+                 but do not retain it.  Figure4_literal skips the guard,
+                 exhibiting the violation in the published pseudocode. *)
+              let clock =
+                if variant = Skip_install_merge then n.clock
+                else clock_merge n.clock entry.e_stamp
+              in
+              let retain = variant <> Faithful || n.clock = clock_at_request in
+              let mem = if retain then mem_set n.mem loc entry else n.mem in
+              let mem = invalidate variant cfg.owner_of dst mem entry.e_stamp in
+              let n' =
+                {
+                  n with
+                  clock;
+                  mem;
+                  blocked = None;
+                  log = Lread (loc, entry.e_value, entry.e_wid) :: n.log;
+                }
+              in
+              Some (set_node state dst n')
+          | _ -> failwith "model: R_REPLY for a node not blocked on that read")
+      | Mwrite_reply (loc, stored) -> (
+          match n.blocked with
+          | Some (Bwrite l) when Loc.equal l loc ->
+              (* Complete the write: adopt the certified entry, no
+                 invalidation on this path (Figure 4). *)
+              let clock = clock_merge n.clock stored.e_stamp in
+              let mem = mem_set n.mem loc stored in
+              let n' =
+                {
+                  n with
+                  clock;
+                  mem;
+                  blocked = None;
+                  log = Lwrite (loc, stored.e_value, stored.e_wid) :: n.log;
+                }
+              in
+              Some (set_node state dst n')
+          | _ -> failwith "model: W_REPLY for a node not blocked on that write"))
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let locations_of cfg =
+  List.concat_map
+    (List.map (function Read l -> l | Write (l, _) -> l))
+    cfg.programs
+  |> List.sort_uniq Loc.compare
+
+let initial_state cfg =
+  let n = List.length cfg.programs in
+  let locs = locations_of cfg in
+  let zero = List.init n (fun _ -> 0) in
+  let nodes =
+    List.mapi
+      (fun i prog ->
+        (* Pre-materialise owned locations so lazy initialisation cannot
+           make equal states look different. *)
+        let mem =
+          List.filter_map
+            (fun loc ->
+              if cfg.owner_of loc = i then
+                Some (loc, { e_value = Value.initial; e_stamp = zero; e_wid = initial_wid })
+              else None)
+            locs
+        in
+        { mem; clock = zero; prog; blocked = None; log = []; wseq = 0 })
+      cfg.programs
+  in
+  { nodes; links = [] }
+
+let successors variant cfg state =
+  let n = List.length state.nodes in
+  let issues = List.filter_map (fun i -> issue cfg state i) (List.init n Fun.id) in
+  let deliveries =
+    List.filter_map (fun (key, _) -> deliver variant cfg state key) state.links
+  in
+  issues @ deliveries
+
+let is_terminal state =
+  state.links = []
+  && List.for_all (fun n -> n.prog = [] && n.blocked = None) state.nodes
+
+let check_invariants cfg state =
+  List.iteri
+    (fun i n ->
+      List.iter
+        (fun loc ->
+          if cfg.owner_of loc = i && mem_find n.mem loc = None then
+            failwith "model invariant: owned location invalidated")
+        (locations_of cfg))
+    state.nodes
+
+let history_of_state state =
+  let rows =
+    List.mapi
+      (fun pid n ->
+        let ops = List.rev n.log in
+        Array.of_list
+          (List.mapi
+             (fun index logged ->
+               match logged with
+               | Lread (loc, value, (wn, ws)) ->
+                   let from =
+                     if (wn, ws) = initial_wid then Wid.initial else Wid.make ~node:wn ~seq:ws
+                   in
+                   Op.read ~pid ~index ~loc ~value ~from
+               | Lwrite (loc, value, (wn, ws)) ->
+                   Op.write ~pid ~index ~loc ~value ~wid:(Wid.make ~node:wn ~seq:ws))
+             ops))
+      state.nodes
+  in
+  History.of_ops (Array.of_list rows)
+
+type stats = {
+  states_explored : int;
+  terminal_histories : int;
+  violations : (History.t * string) list;
+  max_frontier : int;
+}
+
+let explore ?(state_limit = 2_000_000) ?(variant = Faithful) cfg =
+  (match cfg.programs with [] -> invalid_arg "Model.explore: no programs" | _ -> ());
+  let visited : (state, unit) Hashtbl.t = Hashtbl.create 65_536 in
+  let terminals : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let violations = ref [] in
+  let explored = ref 0 in
+  let max_frontier = ref 0 in
+  let stack = ref [ initial_state cfg ] in
+  let frontier_size = ref 1 in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | state :: rest ->
+        stack := rest;
+        decr frontier_size;
+        if not (Hashtbl.mem visited state) then begin
+          Hashtbl.replace visited state ();
+          incr explored;
+          if !explored > state_limit then failwith "Model.explore: state limit exceeded";
+          check_invariants cfg state;
+          if is_terminal state then begin
+            let history = history_of_state state in
+            let key = History.to_string history in
+            if not (Hashtbl.mem terminals key) then begin
+              Hashtbl.replace terminals key ();
+              match Dsm_checker.Causal_check.check history with
+              | Ok Dsm_checker.Causal_check.Correct -> ()
+              | Ok (Dsm_checker.Causal_check.Violations (v :: _)) ->
+                  violations := (history, v.Dsm_checker.Causal_check.reason) :: !violations
+              | Ok (Dsm_checker.Causal_check.Violations []) -> ()
+              | Error e -> violations := (history, "malformed: " ^ e) :: !violations
+            end
+          end
+          else begin
+            let succs = successors variant cfg state in
+            List.iter
+              (fun s ->
+                stack := s :: !stack;
+                incr frontier_size)
+              succs;
+            if !frontier_size > !max_frontier then max_frontier := !frontier_size
+          end
+        end
+  done;
+  {
+    states_explored = !explored;
+    terminal_histories = Hashtbl.length terminals;
+    violations = !violations;
+    max_frontier = !max_frontier;
+  }
+
+let final_values cfg state =
+  let locs = locations_of cfg in
+  List.map
+    (fun loc ->
+      let owner = cfg.owner_of loc in
+      let n = List.nth state.nodes owner in
+      match mem_find n.mem loc with
+      | Some e -> (loc, e.e_value)
+      | None -> failwith "model: owned location missing at terminal state")
+    locs
+
+let distinct_terminals ?(state_limit = 2_000_000) cfg =
+  let visited : (state, unit) Hashtbl.t = Hashtbl.create 65_536 in
+  let terminals : (string, History.t * (Loc.t * Value.t) list) Hashtbl.t = Hashtbl.create 256 in
+  let explored = ref 0 in
+  let stack = ref [ initial_state cfg ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | state :: rest ->
+        stack := rest;
+        if not (Hashtbl.mem visited state) then begin
+          Hashtbl.replace visited state ();
+          incr explored;
+          if !explored > state_limit then failwith "Model: state limit exceeded";
+          if is_terminal state then begin
+            let history = history_of_state state in
+            let key =
+              History.to_string history ^ "//"
+              ^ String.concat ";"
+                  (List.map
+                     (fun (l, v) -> Loc.to_string l ^ "=" ^ Value.to_string v)
+                     (final_values cfg state))
+            in
+            Hashtbl.replace terminals key (history, final_values cfg state)
+          end
+          else List.iter (fun s -> stack := s :: !stack) (successors Faithful cfg state)
+        end
+  done;
+  Hashtbl.fold (fun _ entry acc -> entry :: acc) terminals []
+
+let distinct_terminal_histories ?(state_limit = 2_000_000) cfg =
+  let visited : (state, unit) Hashtbl.t = Hashtbl.create 65_536 in
+  let terminals : (string, History.t) Hashtbl.t = Hashtbl.create 1024 in
+  let explored = ref 0 in
+  let stack = ref [ initial_state cfg ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | state :: rest ->
+        stack := rest;
+        if not (Hashtbl.mem visited state) then begin
+          Hashtbl.replace visited state ();
+          incr explored;
+          if !explored > state_limit then failwith "Model: state limit exceeded";
+          if is_terminal state then begin
+            let history = history_of_state state in
+            Hashtbl.replace terminals (History.to_string history) history
+          end
+          else List.iter (fun s -> stack := s :: !stack) (successors Faithful cfg state)
+        end
+  done;
+  Hashtbl.fold (fun _ h acc -> h :: acc) terminals []

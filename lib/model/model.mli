@@ -1,0 +1,87 @@
+(** Exhaustive small-scope model checking of the Figure 4 owner protocol.
+
+    The simulator executes one schedule per seed; this module executes
+    {e all} of them.  The protocol is re-expressed as a pure transition
+    system — node states are immutable values, the nondeterministic choices
+    are "some non-blocked node issues its next operation" and "the head
+    message of some FIFO link is delivered" — and the state space is
+    explored exhaustively with memoisation.  Every terminal state's recorded
+    history is checked against the causal-memory definition, and structural
+    invariants (owners never invalidated, clocks monotone, blocked nodes
+    have exactly one pending request) are asserted at every state.
+
+    This is deliberately an independent re-implementation of the algorithm:
+    agreement between the model, the simulator protocol and the paper's
+    pseudocode is checked by the test suite. *)
+
+type op =
+  | Read of Dsm_memory.Loc.t
+  | Write of Dsm_memory.Loc.t * Dsm_memory.Value.t
+
+type program = op list
+(** One process's straight-line program. *)
+
+type policy = Lww | Owner_favored
+(** Concurrent-write resolution at the owner (see {!Dsm_causal.Policy}). *)
+
+type config = {
+  owner_of : Dsm_memory.Loc.t -> int;  (** static ownership map *)
+  programs : program list;  (** one per node; node count = length *)
+  policy : policy;  (** how the owner resolves concurrent writes *)
+}
+
+val config : ?policy:policy -> owner_of:(Dsm_memory.Loc.t -> int) -> program list -> config
+(** Convenience constructor; [policy] defaults to [Lww]. *)
+
+type variant =
+  | Faithful
+      (** Figure 4 plus the stale-install guard: a fetched entry is not
+          retained in the cache when the reader's clock grew while the
+          request was in flight.  This is what the library implements. *)
+  | Figure4_literal
+      (** the published pseudocode verbatim: always cache the fetched
+          entry.  Exploration finds causal violations — the owner can
+          certify a write (merging causal knowledge) while its own read
+          request is in flight, then cache the stale reply and later read
+          an overwritten value.  See DESIGN.md, "Findings". *)
+  | Skip_invalidation
+      (** mutation: install fetched values without invalidating older cached
+          copies — the explorer must find causal violations, demonstrating
+          the invalidation rule is load-bearing *)
+  | Skip_certify_merge
+      (** mutation: the owner certifies writes without merging the writer's
+          clock into its own *)
+  | Skip_install_merge
+      (** mutation: a reader installs a fetched value without merging its
+          writestamp into the local clock *)
+
+type stats = {
+  states_explored : int;  (** distinct states visited *)
+  terminal_histories : int;  (** complete executions reached *)
+  violations : (Dsm_memory.History.t * string) list;
+      (** terminal histories rejected by the causal checker (empty iff the
+          protocol is correct on this configuration) *)
+  max_frontier : int;  (** peak depth of the DFS stack *)
+}
+
+val explore : ?state_limit:int -> ?variant:variant -> config -> stats
+(** Exhaustively explore the configuration (default variant [Faithful]).
+    [state_limit] (default [2_000_000]) aborts with [Failure] if the space
+    is unexpectedly large.  Raises [Failure] on any internal invariant
+    violation. *)
+
+val distinct_terminal_histories : ?state_limit:int -> config -> Dsm_memory.History.t list
+(** The set of distinct complete executions the protocol can produce on
+    this configuration (deduplicated); useful to confirm a particular
+    execution — e.g. the paper's Figure 5 — is reachable. *)
+
+val distinct_terminals :
+  ?state_limit:int ->
+  config ->
+  (Dsm_memory.History.t * (Dsm_memory.Loc.t * Dsm_memory.Value.t) list) list
+(** Like {!distinct_terminal_histories} but each execution is paired with
+    the final value of every location at its owner — the state the history
+    alone cannot show (rejected writes leave no trace in it).  Used to
+    verify the Section 4.2 dictionary-race argument exhaustively: under
+    [Owner_favored], in every schedule where the deleter's read saw the old
+    value, the re-inserted value survives. *)

@@ -1,0 +1,22 @@
+type t =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of { base : float; mean : float }
+
+let positive x = if x <= 0.0 then 1e-9 else x
+
+let sample t prng =
+  match t with
+  | Constant d -> positive d
+  | Uniform (lo, hi) ->
+      if hi < lo then invalid_arg "Latency.sample: hi < lo";
+      positive (lo +. Dsm_util.Prng.float prng (hi -. lo))
+  | Exponential { base; mean } ->
+      positive (base +. Dsm_util.Prng.exponential prng ~mean)
+
+let lan = Uniform (0.9, 1.1)
+
+let pp ppf = function
+  | Constant d -> Format.fprintf ppf "constant(%g)" d
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%g,%g)" lo hi
+  | Exponential { base; mean } -> Format.fprintf ppf "exp(base=%g,mean=%g)" base mean

@@ -1,0 +1,20 @@
+(** Link latency models for the simulated network.
+
+    The owner protocol's correctness does not depend on timing, but the
+    experiments need realistic and adversarially controllable delays: message
+    counting (E-MSG) uses any model, while the Figure 3 broadcast anomaly is
+    reproduced by slowing one specific link. *)
+
+type t =
+  | Constant of float  (** every message takes exactly this long *)
+  | Uniform of float * float  (** uniform in [\[lo, hi\]] *)
+  | Exponential of { base : float; mean : float }
+      (** [base] plus an exponential tail with the given mean *)
+
+val sample : t -> Dsm_util.Prng.t -> float
+(** Draw one delay; always [> 0.]. *)
+
+val lan : t
+(** A LAN-ish default: 1.0 base plus small jitter. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,167 @@
+type counters = {
+  total : int;
+  local : int;
+  bytes : int;
+  by_kind : (string * int) list;
+  sent_by : int array;
+  received_by : int array;
+}
+
+type 'msg t = {
+  engine : Dsm_sim.Engine.t;
+  node_count : int;
+  default_latency : Latency.t;
+  link_latency : (int * int, Latency.t) Hashtbl.t;
+  down_links : (int * int, unit) Hashtbl.t;
+  mutable dropped : int;
+  prng : Dsm_util.Prng.t;
+  handlers : (src:int -> 'msg -> unit) option array;
+  last_delivery : float array; (* indexed by src * node_count + dst *)
+  (* window counters *)
+  mutable total : int;
+  mutable local : int;
+  mutable bytes : int;
+  by_kind : (string, int) Hashtbl.t;
+  sent_by : int array;
+  received_by : int array;
+  mutable lifetime_total : int;
+  mutable in_flight : int;
+  mutable tracer : (time:float -> src:int -> dst:int -> kind:string -> 'msg -> unit) option;
+}
+
+let fifo_epsilon = 1e-9
+
+let create engine ~nodes ?(latency = Latency.lan) ?(seed = 1L) () =
+  if nodes < 1 then invalid_arg "Network.create: need at least one node";
+  {
+    engine;
+    node_count = nodes;
+    default_latency = latency;
+    link_latency = Hashtbl.create 16;
+    down_links = Hashtbl.create 4;
+    dropped = 0;
+    prng = Dsm_util.Prng.create seed;
+    handlers = Array.make nodes None;
+    last_delivery = Array.make (nodes * nodes) neg_infinity;
+    total = 0;
+    local = 0;
+    bytes = 0;
+    by_kind = Hashtbl.create 16;
+    sent_by = Array.make nodes 0;
+    received_by = Array.make nodes 0;
+    lifetime_total = 0;
+    in_flight = 0;
+    tracer = None;
+  }
+
+let engine t = t.engine
+
+let nodes t = t.node_count
+
+let check_node t node label =
+  if node < 0 || node >= t.node_count then
+    invalid_arg (Printf.sprintf "Network: %s node %d out of range" label node)
+
+let set_handler t ~node handler =
+  check_node t node "handler";
+  t.handlers.(node) <- Some handler
+
+let set_link_latency t ~src ~dst latency =
+  check_node t src "src";
+  check_node t dst "dst";
+  Hashtbl.replace t.link_latency (src, dst) latency
+
+let set_link_down t ~src ~dst down =
+  check_node t src "src";
+  check_node t dst "dst";
+  if down then Hashtbl.replace t.down_links (src, dst) ()
+  else Hashtbl.remove t.down_links (src, dst)
+
+let partition t group_a group_b =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          set_link_down t ~src:a ~dst:b true;
+          set_link_down t ~src:b ~dst:a true)
+        group_b)
+    group_a
+
+let heal_all t = Hashtbl.reset t.down_links
+
+let dropped t = t.dropped
+
+let latency_for t ~src ~dst =
+  match Hashtbl.find_opt t.link_latency (src, dst) with
+  | Some l -> l
+  | None -> t.default_latency
+
+let deliver t ~src ~dst msg =
+  t.in_flight <- t.in_flight - 1;
+  t.received_by.(dst) <- t.received_by.(dst) + 1;
+  match t.handlers.(dst) with
+  | Some handler -> handler ~src msg
+  | None -> failwith (Printf.sprintf "Network: node %d has no handler installed" dst)
+
+let send_live t ~src ~dst ~kind ~size msg =
+  if src = dst then begin
+    t.local <- t.local + 1;
+    Dsm_sim.Engine.schedule t.engine ~delay:fifo_epsilon (fun () -> deliver t ~src ~dst msg)
+  end
+  else begin
+    t.total <- t.total + 1;
+    t.lifetime_total <- t.lifetime_total + 1;
+    t.bytes <- t.bytes + size;
+    t.sent_by.(src) <- t.sent_by.(src) + 1;
+    (match Hashtbl.find_opt t.by_kind kind with
+    | Some n -> Hashtbl.replace t.by_kind kind (n + 1)
+    | None -> Hashtbl.replace t.by_kind kind 1);
+    let now = Dsm_sim.Engine.now t.engine in
+    let sampled = Latency.sample (latency_for t ~src ~dst) t.prng in
+    let link = (src * t.node_count) + dst in
+    (* Reliable FIFO: never deliver before (or at the same instant as) the
+       previous message on this directed link. *)
+    let at = Float.max (now +. sampled) (t.last_delivery.(link) +. fifo_epsilon) in
+    t.last_delivery.(link) <- at;
+    Dsm_sim.Engine.schedule_at t.engine at (fun () -> deliver t ~src ~dst msg)
+  end
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let send t ~src ~dst ?(kind = "msg") ?(size = 1) msg =
+  check_node t src "src";
+  check_node t dst "dst";
+  (match t.tracer with
+  | Some trace -> trace ~time:(Dsm_sim.Engine.now t.engine) ~src ~dst ~kind msg
+  | None -> ());
+  if Hashtbl.mem t.down_links (src, dst) then t.dropped <- t.dropped + 1
+  else begin
+    t.in_flight <- t.in_flight + 1;
+    send_live t ~src ~dst ~kind ~size msg
+  end
+
+let counters t =
+  let by_kind =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_kind []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    total = t.total;
+    local = t.local;
+    bytes = t.bytes;
+    by_kind;
+    sent_by = Array.copy t.sent_by;
+    received_by = Array.copy t.received_by;
+  }
+
+let reset_counters t =
+  t.total <- 0;
+  t.local <- 0;
+  t.bytes <- 0;
+  Hashtbl.reset t.by_kind;
+  Array.fill t.sent_by 0 t.node_count 0;
+  Array.fill t.received_by 0 t.node_count 0
+
+let lifetime_total t = t.lifetime_total
+
+let in_flight t = t.in_flight

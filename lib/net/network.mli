@@ -1,0 +1,84 @@
+(** Reliable, per-link FIFO point-to-point messaging over the event engine.
+
+    This is the transport the owner protocol assumes (Section 3: "local
+    memory accesses and reliable, ordered message passing between any two
+    processors").  Delivery is exactly-once and per-(src,dst) FIFO: a
+    message's delivery time is forced to be strictly after the previous
+    delivery on the same link even if its sampled latency would reorder it.
+
+    The network also carries the bookkeeping the evaluation needs: per-node
+    and per-kind message counters with resettable measurement windows, byte
+    accounting, and per-link latency overrides for adversarial schedules
+    (used to reproduce the paper's Figure 3). *)
+
+type 'msg t
+
+val create :
+  Dsm_sim.Engine.t ->
+  nodes:int ->
+  ?latency:Latency.t ->
+  ?seed:int64 ->
+  unit ->
+  'msg t
+(** [nodes >= 1]; default latency is {!Latency.lan}; default seed 1. *)
+
+val engine : 'msg t -> Dsm_sim.Engine.t
+
+val nodes : 'msg t -> int
+
+val set_handler : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
+(** Install the delivery handler for [node]; replaces any previous handler.
+    Messages delivered to a node with no handler raise at delivery time. *)
+
+val set_link_latency : 'msg t -> src:int -> dst:int -> Latency.t -> unit
+(** Override the latency model of one directed link. *)
+
+val set_link_down : 'msg t -> src:int -> dst:int -> bool -> unit
+(** Fail (or heal) one directed link: messages sent while it is down are
+    silently dropped and counted in {!dropped}.  The owner protocol assumes
+    reliable links, so this exists for failure-injection tests: a process
+    blocked on a reply that was dropped stays blocked, which
+    [Dsm_runtime.Proc.unfinished] surfaces after the engine quiesces. *)
+
+val partition : 'msg t -> int list -> int list -> unit
+(** Fail every directed link between the two node groups (both ways). *)
+
+val heal_all : 'msg t -> unit
+(** Bring every downed link back up (messages already dropped stay lost). *)
+
+val dropped : 'msg t -> int
+(** Messages dropped on downed links since creation. *)
+
+val set_tracer :
+  'msg t -> (time:float -> src:int -> dst:int -> kind:string -> 'msg -> unit) option -> unit
+(** Observe every network send (at send time, before latency); used by the
+    protocol-trace example and debugging.  [None] removes the tracer. *)
+
+val send : 'msg t -> src:int -> dst:int -> ?kind:string -> ?size:int -> 'msg -> unit
+(** Enqueue a message.  [kind] (default ["msg"]) buckets the counter
+    statistics; [size] (default 1) is an abstract byte cost.  A self-send
+    ([src = dst]) is delivered through the engine with negligible delay and
+    counted separately as local traffic, not as a network message. *)
+
+(** {1 Accounting} *)
+
+type counters = {
+  total : int;  (** network messages sent (self-sends excluded) *)
+  local : int;  (** self-sends *)
+  bytes : int;
+  by_kind : (string * int) list;  (** sorted by kind *)
+  sent_by : int array;  (** per source node *)
+  received_by : int array;  (** per destination node, at delivery *)
+}
+
+val counters : 'msg t -> counters
+(** Snapshot of the current measurement window. *)
+
+val reset_counters : 'msg t -> unit
+(** Start a new measurement window (e.g. per solver iteration). *)
+
+val lifetime_total : 'msg t -> int
+(** Messages sent since creation, unaffected by [reset_counters]. *)
+
+val in_flight : 'msg t -> int
+(** Messages sent but not yet delivered. *)

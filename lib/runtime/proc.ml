@@ -1,0 +1,110 @@
+type sched = {
+  engine : Dsm_sim.Engine.t;
+  poll_interval : float;
+  mutable failed : (string * exn) list; (* newest first *)
+  mutable spawned : spawned list; (* newest first *)
+}
+
+and spawned = { spawned_name : string; finished_check : unit -> bool }
+
+type 'a ivar_state =
+  | Empty of ('a -> unit) list (* waiters, newest first *)
+  | Full of 'a
+
+type 'a ivar = { sched : sched; mutable state : 'a ivar_state }
+
+type handle = { proc_name : string; done_ivar : unit ivar }
+
+type _ Effect.t +=
+  | Await : 'a ivar -> 'a Effect.t
+  | Sleep : float -> unit Effect.t
+  | Yield : unit Effect.t
+
+let scheduler ?(poll_interval = 0.5) engine =
+  if poll_interval <= 0.0 then invalid_arg "Proc.scheduler: poll_interval must be positive";
+  { engine; poll_interval; failed = []; spawned = [] }
+
+let engine sched = sched.engine
+
+let ivar sched = { sched; state = Empty [] }
+
+let is_filled iv = match iv.state with Full _ -> true | Empty _ -> false
+
+let peek iv = match iv.state with Full v -> Some v | Empty _ -> None
+
+let fill iv v =
+  match iv.state with
+  | Full _ -> invalid_arg "Proc.fill: ivar already filled"
+  | Empty waiters ->
+      iv.state <- Full v;
+      (* Wake in arrival order; each waiter resumes as its own engine event so
+         handlers stay atomic. *)
+      List.iter
+        (fun waiter -> Dsm_sim.Engine.schedule iv.sched.engine ~delay:0.0 (fun () -> waiter v))
+        (List.rev waiters)
+
+let await iv = Effect.perform (Await iv)
+
+let sleep duration = Effect.perform (Sleep duration)
+
+let yield () = Effect.perform Yield
+
+let finished handle = is_filled handle.done_ivar
+
+let name handle = handle.proc_name
+
+let join handle = await handle.done_ivar
+
+let check sched =
+  match List.rev sched.failed with
+  | [] -> ()
+  | (proc, exn) :: _ ->
+      raise (Failure (Printf.sprintf "process %s failed: %s" proc (Printexc.to_string exn)))
+
+let failures sched = List.rev sched.failed
+
+let unfinished sched =
+  List.rev sched.spawned
+  |> List.filter_map (fun s -> if s.finished_check () then None else Some s.spawned_name)
+
+let spawn sched ?(name = "proc") ?(delay = 0.0) body =
+  let handle = { proc_name = name; done_ivar = ivar sched } in
+  sched.spawned <-
+    { spawned_name = name; finished_check = (fun () -> is_filled handle.done_ivar) }
+    :: sched.spawned;
+  let run () =
+    Effect.Deep.match_with body ()
+      {
+        retc = (fun () -> fill handle.done_ivar ());
+        exnc =
+          (fun exn ->
+            sched.failed <- (name, exn) :: sched.failed;
+            fill handle.done_ivar ());
+        effc =
+          (fun (type b) (eff : b Effect.t) ->
+            match eff with
+            | Await iv ->
+                Some
+                  (fun (k : (b, _) Effect.Deep.continuation) ->
+                    match iv.state with
+                    | Full v -> Effect.Deep.continue k v
+                    | Empty waiters ->
+                        iv.state <- Empty ((fun v -> Effect.Deep.continue k v) :: waiters))
+            | Sleep duration ->
+                Some
+                  (fun k ->
+                    if duration < 0.0 then
+                      Effect.Deep.discontinue k (Invalid_argument "Proc.sleep: negative duration")
+                    else
+                      Dsm_sim.Engine.schedule sched.engine ~delay:duration (fun () ->
+                          Effect.Deep.continue k ()))
+            | Yield ->
+                Some
+                  (fun k ->
+                    Dsm_sim.Engine.schedule sched.engine ~delay:sched.poll_interval (fun () ->
+                        Effect.Deep.continue k ()))
+            | _ -> None);
+      }
+  in
+  Dsm_sim.Engine.schedule sched.engine ~delay run;
+  handle

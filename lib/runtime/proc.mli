@@ -1,0 +1,78 @@
+(** Cooperative simulated processes over OCaml 5 effect handlers.
+
+    The paper's model is one application process per node that may {e block}
+    on memory operations (remote reads and writes wait for the owner's
+    reply) while the node's protocol engine keeps servicing incoming
+    messages.  We get exactly that by running each application process as an
+    effect-handled coroutine over the discrete-event engine: performing
+    [await]/[sleep]/[yield] suspends only the issuing process; message
+    handlers are plain engine events and run atomically at delivery time.
+
+    Processes must only perform these operations from within a function
+    passed to [spawn]; calling them elsewhere raises
+    [Effect.Unhandled]. *)
+
+type sched
+(** A scheduler bound to an engine. *)
+
+type handle
+(** A spawned process. *)
+
+type 'a ivar
+(** Write-once synchronisation cell. *)
+
+val scheduler : ?poll_interval:float -> Dsm_sim.Engine.t -> sched
+(** [poll_interval] (default [0.5] simulated time units) is the delay a
+    [yield] costs; busy-wait loops ("while not flag do skip") must yield so
+    simulated time advances between polls. *)
+
+val engine : sched -> Dsm_sim.Engine.t
+
+val spawn : sched -> ?name:string -> ?delay:float -> (unit -> unit) -> handle
+(** Schedule a new process to start after [delay] (default [0.]).  Exceptions
+    escaping the process body are recorded on the scheduler and re-raised by
+    [check]. *)
+
+val finished : handle -> bool
+
+val name : handle -> string
+
+val check : sched -> unit
+(** Re-raise the first exception recorded from any spawned process;
+    call after the engine quiesces. *)
+
+val failures : sched -> (string * exn) list
+(** All recorded process failures, oldest first. *)
+
+val unfinished : sched -> string list
+(** Names of spawned processes that have not finished, spawn order.  If the
+    engine has quiesced and this is non-empty, those processes are stuck
+    forever (e.g. blocked on a reply that a failed link dropped) — the
+    deadlock-detection hook for failure-injection tests. *)
+
+(** {1 Operations available inside a process} *)
+
+val ivar : sched -> 'a ivar
+(** Fresh empty cell. May be created anywhere. *)
+
+val fill : 'a ivar -> 'a -> unit
+(** Fill the cell and wake all awaiting processes (each resumes as a fresh
+    engine event at the current simulated time).  Filling twice raises
+    [Invalid_argument].  May be called from anywhere, including plain message
+    handlers. *)
+
+val is_filled : 'a ivar -> bool
+
+val peek : 'a ivar -> 'a option
+
+val await : 'a ivar -> 'a
+(** Block the current process until the cell is filled. *)
+
+val sleep : float -> unit
+(** Suspend the current process for the given simulated duration. *)
+
+val yield : unit -> unit
+(** Suspend for the scheduler's poll interval; use inside spin loops. *)
+
+val join : handle -> unit
+(** Block until the given process finishes (normally or with an error). *)

@@ -1,0 +1,71 @@
+type t = {
+  queue : (float, unit -> unit) Dsm_util.Heap.t;
+  mutable clock : float;
+  mutable dispatched : int;
+  mutable stopping : bool;
+  step_limit : int;
+}
+
+let create ?(step_limit = 10_000_000) () =
+  {
+    queue = Dsm_util.Heap.create ~cmp:Float.compare ();
+    clock = 0.0;
+    dispatched = 0;
+    stopping = false;
+    step_limit;
+  }
+
+let now t = t.clock
+
+let schedule_at t time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time t.clock);
+  Dsm_util.Heap.push t.queue time f
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t (t.clock +. delay) f
+
+let dispatch t time f =
+  t.clock <- time;
+  t.dispatched <- t.dispatched + 1;
+  if t.dispatched > t.step_limit then
+    failwith "Engine: step limit exceeded (livelock or runaway simulation?)";
+  f ()
+
+let step t =
+  match Dsm_util.Heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      dispatch t time f;
+      true
+
+let run t =
+  t.stopping <- false;
+  let rec loop () =
+    if t.stopping then ()
+    else if step t then loop ()
+  in
+  loop ()
+
+let run_until t deadline =
+  t.stopping <- false;
+  let rec loop () =
+    if t.stopping then ()
+    else begin
+      match Dsm_util.Heap.peek t.queue with
+      | Some (time, _) when time <= deadline ->
+          ignore (step t);
+          loop ()
+      | Some _ | None -> ()
+    end
+  in
+  loop ();
+  if Dsm_util.Heap.length t.queue > 0 && t.clock < deadline then t.clock <- deadline
+
+let stop t = t.stopping <- true
+
+let pending t = Dsm_util.Heap.length t.queue
+
+let events_processed t = t.dispatched

@@ -1,0 +1,73 @@
+type t = { n : int; words : int; rows : Bytes.t array }
+
+let bits_per_word = 8
+
+let create n =
+  let words = (n + bits_per_word - 1) / bits_per_word in
+  let words = max words 1 in
+  { n; words; rows = Array.init n (fun _ -> Bytes.make words '\000') }
+
+let size t = t.n
+
+let check t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then invalid_arg "Bitrel: index out of range"
+
+let add t i j =
+  check t i j;
+  let row = t.rows.(i) in
+  let byte = j / 8 and bit = j mod 8 in
+  Bytes.unsafe_set row byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get row byte) lor (1 lsl bit)))
+
+let mem t i j =
+  check t i j;
+  let row = t.rows.(i) in
+  let byte = j / 8 and bit = j mod 8 in
+  Char.code (Bytes.unsafe_get row byte) land (1 lsl bit) <> 0
+
+let copy t = { t with rows = Array.map Bytes.copy t.rows }
+
+let union_row_into t ~src ~dst =
+  let s = t.rows.(src) and d = t.rows.(dst) in
+  for b = 0 to t.words - 1 do
+    Bytes.unsafe_set d b
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get d b) lor Char.code (Bytes.unsafe_get s b)))
+  done
+
+let row_equal a b = Bytes.equal a b
+
+(* Warshall-style fixpoint: repeatedly OR successor rows into each row until
+   nothing changes.  O(n^3 / word) worst case, plenty fast for the execution
+   sizes the checker sees. *)
+let transitive_closure t =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to t.n - 1 do
+      let before = Bytes.copy t.rows.(i) in
+      for j = 0 to t.n - 1 do
+        if mem t i j then union_row_into t ~src:j ~dst:i
+      done;
+      if not (row_equal before t.rows.(i)) then changed := true
+    done
+  done
+
+let successors t i =
+  let acc = ref [] in
+  for j = t.n - 1 downto 0 do
+    if mem t i j then acc := j :: !acc
+  done;
+  !acc
+
+let count_pairs t =
+  let total = ref 0 in
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.n - 1 do
+      if mem t i j then incr total
+    done
+  done;
+  !total
+
+let equal a b =
+  a.n = b.n
+  && Array.for_all2 (fun ra rb -> row_equal ra rb) a.rows b.rows

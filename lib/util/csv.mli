@@ -1,0 +1,14 @@
+(** Minimal CSV emission for experiment artefacts.
+
+    Only what the bench harness needs: quoting of cells containing commas,
+    quotes, or newlines, and writing a row list to a file. *)
+
+val escape_cell : string -> string
+(** RFC-4180 quoting when required, identity otherwise. *)
+
+val row_to_string : string list -> string
+
+val to_string : string list list -> string
+(** Rows joined with ["\n"], trailing newline included. *)
+
+val write_file : string -> string list list -> unit

@@ -1,0 +1,87 @@
+type ('k, 'v) entry = { key : 'k; seq : int; value : 'v }
+
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  mutable data : ('k, 'v) entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp () = { cmp; data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+(* Entries compare first by key, then by insertion sequence so that equal
+   keys pop in FIFO order. *)
+let entry_lt t a b =
+  let c = t.cmp a.key b.key in
+  c < 0 || (c = 0 && a.seq < b.seq)
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let capacity' = if capacity = 0 then 16 else capacity * 2 in
+    let data' = Array.make capacity' entry in
+    Array.blit t.data 0 data' 0 t.size;
+    t.data <- data'
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt t t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_lt t t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && entry_lt t t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t key value =
+  let entry = { key; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).value)
+
+let clear t =
+  t.size <- 0;
+  t.data <- [||]
+
+let to_sorted_list t =
+  let copy =
+    { cmp = t.cmp; data = Array.sub t.data 0 t.size; size = t.size; next_seq = t.next_seq }
+  in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some kv -> drain (kv :: acc)
+  in
+  drain []

@@ -1,0 +1,28 @@
+(** Binary min-heap keyed by a totally ordered priority.
+
+    Used as the event queue of the discrete-event engine.  Entries with equal
+    priority are returned in insertion order (the heap stores an insertion
+    sequence number as a tie-breaker), which is what makes simulations
+    deterministic. *)
+
+type ('k, 'v) t
+
+val create : cmp:('k -> 'k -> int) -> unit -> ('k, 'v) t
+(** Empty heap ordered by [cmp] on keys. *)
+
+val length : ('k, 'v) t -> int
+
+val is_empty : ('k, 'v) t -> bool
+
+val push : ('k, 'v) t -> 'k -> 'v -> unit
+
+val pop : ('k, 'v) t -> ('k * 'v) option
+(** Remove and return the minimum entry; ties broken by insertion order. *)
+
+val peek : ('k, 'v) t -> ('k * 'v) option
+
+val clear : ('k, 'v) t -> unit
+
+val to_sorted_list : ('k, 'v) t -> ('k * 'v) list
+(** Non-destructive sorted drain (copies the heap); intended for tests and
+    debugging dumps. *)

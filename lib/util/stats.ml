@@ -1,0 +1,81 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable total : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; min = nan; max = nan; total = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if t.n = 1 then begin
+    t.min <- x;
+    t.max <- x
+  end
+  else begin
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+  end
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0.0 else t.mean
+
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let min t = t.min
+
+let max t = t.max
+
+let total t = t.total
+
+let percentile samples p =
+  let n = Array.length samples in
+  if n = 0 then nan
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+    end
+  end
+
+let mean_of samples =
+  let n = Array.length samples in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 samples /. float_of_int n
+
+let histogram samples ~buckets =
+  let n = Array.length samples in
+  if n = 0 || buckets <= 0 then [||]
+  else begin
+    let lo = Array.fold_left Float.min samples.(0) samples in
+    let hi = Array.fold_left Float.max samples.(0) samples in
+    let width = if hi = lo then 1.0 else (hi -. lo) /. float_of_int buckets in
+    let counts = Array.make buckets 0 in
+    Array.iter
+      (fun x ->
+        let idx = int_of_float ((x -. lo) /. width) in
+        let idx = if idx >= buckets then buckets - 1 else if idx < 0 then 0 else idx in
+        counts.(idx) <- counts.(idx) + 1)
+      samples;
+    Array.mapi
+      (fun i c ->
+        let b_lo = lo +. (float_of_int i *. width) in
+        (b_lo, b_lo +. width, c))
+      counts
+  end

@@ -1,0 +1,35 @@
+(** Running summary statistics (Welford) and small sample helpers. *)
+
+type t
+(** Accumulator for a stream of float observations. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0. when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0. with fewer than two observations. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** [nan] when empty. *)
+
+val max : t -> float
+(** [nan] when empty. *)
+
+val total : t -> float
+
+val percentile : float array -> float -> float
+(** [percentile samples p] with [p] in [\[0,100\]]; sorts a copy and uses
+    linear interpolation.  [nan] on the empty array. *)
+
+val mean_of : float array -> float
+
+val histogram : float array -> buckets:int -> (float * float * int) array
+(** [(lo, hi, count)] rows covering the sample range. *)

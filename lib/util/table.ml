@@ -1,0 +1,71 @@
+type align = Left | Right
+
+type t = {
+  headers : string array;
+  mutable rows : string array list; (* reverse order *)
+  mutable align : align array;
+}
+
+let default_align n = Array.init n (fun i -> if i = 0 then Left else Right)
+
+let create ~headers =
+  let headers = Array.of_list headers in
+  { headers; rows = []; align = default_align (Array.length headers) }
+
+let add_row t cells =
+  let width = Array.length t.headers in
+  let cells = Array.of_list cells in
+  if Array.length cells > width then invalid_arg "Table.add_row: too many cells";
+  let padded = Array.make width "" in
+  Array.blit cells 0 padded 0 (Array.length cells);
+  t.rows <- padded :: t.rows
+
+let set_align t aligns =
+  let a = Array.of_list aligns in
+  if Array.length a <> Array.length t.headers then
+    invalid_arg "Table.set_align: arity mismatch";
+  t.align <- a
+
+let headers t = Array.to_list t.headers
+
+(* t.rows is newest-first; rev_map restores insertion order. *)
+let rows t = List.rev_map Array.to_list t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row)
+    rows;
+  let pad align width s =
+    let gap = width - String.length s in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+  in
+  let line row align_for =
+    let cells = Array.mapi (fun i cell -> pad (align_for i) widths.(i) cell) row in
+    "| " ^ String.concat " | " (Array.to_list cells) ^ " |"
+  in
+  let rule =
+    let dashes = Array.map (fun w -> String.make (w + 2) '-') widths in
+    "+" ^ String.concat "+" (Array.to_list dashes) ^ "+"
+  in
+  let header = line t.headers (fun _ -> Left) in
+  let body = List.map (fun row -> line row (fun i -> t.align.(min i (ncols - 1)))) rows in
+  String.concat "\n" (rule :: header :: rule :: (body @ [ rule ]))
+
+let print ?title t =
+  (match title with
+  | None -> ()
+  | Some s ->
+      print_endline s;
+      print_endline (String.make (String.length s) '='));
+  print_endline (render t);
+  print_newline ()
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_int n = string_of_int n

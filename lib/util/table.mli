@@ -1,0 +1,36 @@
+(** ASCII table rendering for experiment output.
+
+    Every experiment in [bench/main.exe] prints its rows through this module
+    so the harness output is uniform and diffable. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows are
+    rejected with [Invalid_argument]. *)
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; default is [Left] for the first column and [Right]
+    elsewhere (experiment tables are label + numbers). *)
+
+val render : t -> string
+(** Multi-line string with a ruled header, no trailing newline. *)
+
+val headers : t -> string list
+
+val rows : t -> string list list
+(** Rows in insertion order, padded to the header width — the structured
+    data behind [render], e.g. for CSV export. *)
+
+val print : ?title:string -> t -> unit
+(** [render] to stdout, optionally preceded by an underlined title and
+    followed by a blank line. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper (default 2 decimals). *)
+
+val cell_int : int -> string

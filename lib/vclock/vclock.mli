@@ -1,0 +1,66 @@
+(** Vector clocks: the writestamps of the owner protocol.
+
+    Section 3.1 of the paper: "A simple vector timestamp protocol may be used
+    to capture precisely the evolving partial ordering of events in a
+    distributed system".  A clock over [n] processes is a vector of [n]
+    non-negative counters.  Process [i] increments component [i] on every
+    write attempt; merging ([update]) takes the component-wise maximum; the
+    comparison is the usual product partial order.
+
+    Values are immutable; all operations return fresh clocks.  Clocks of
+    different dimensions never compare and may not be merged. *)
+
+type t
+
+val zero : int -> t
+(** [zero n] is the all-zero clock over [n] processes.  [n >= 1]. *)
+
+val dim : t -> int
+
+val get : t -> int -> int
+(** Component accessor; raises [Invalid_argument] out of range. *)
+
+val increment : t -> int -> t
+(** [increment vt i] bumps component [i]: the paper's
+    [VT_i := increment(VT_i)]. *)
+
+val update : t -> t -> t
+(** Component-wise maximum: the paper's [update(VT, VT')].  Raises
+    [Invalid_argument] on dimension mismatch. *)
+
+val of_array : int array -> t
+(** Copies its argument. *)
+
+val to_array : t -> int array
+(** Fresh array. *)
+
+type order = Before | After | Equal | Concurrent
+
+val compare_vt : t -> t -> order
+(** Partial-order comparison.  [Before] means strictly less on the product
+    order ([VT < VT'] in the paper: less-or-equal everywhere and strictly less
+    somewhere). *)
+
+val lt : t -> t -> bool
+(** [lt a b] iff [compare_vt a b = Before]. *)
+
+val leq : t -> t -> bool
+(** [lt a b || equal a b]. *)
+
+val equal : t -> t -> bool
+
+val concurrent : t -> t -> bool
+
+val sum : t -> int
+(** Total of all components: a cheap measure of "how much history" a stamp
+    carries; used by statistics and tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [\[a;b;c\]]. *)
+
+val to_string : t -> string
+
+val total_compare : t -> t -> int
+(** An arbitrary total order extending the partial order (lexicographic);
+    usable as a [Map]/[Set] comparator and for deterministic tie-breaking
+    between concurrent stamps. *)

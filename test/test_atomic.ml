@@ -1,0 +1,153 @@
+(* Tests for the atomic (write-invalidate) DSM baseline. *)
+
+module Engine = Dsm_sim.Engine
+module Proc = Dsm_runtime.Proc
+module Network = Dsm_net.Network
+module Latency = Dsm_net.Latency
+module Cluster = Dsm_atomic.Cluster
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module Owner = Dsm_memory.Owner
+
+let v i = Loc.indexed "v" i
+
+let setup ?(nodes = 3) ?(mode = `Acknowledged) () =
+  let e = Engine.create () in
+  let s = Proc.scheduler e in
+  let c =
+    Cluster.create ~sched:s ~owner:(Owner.by_index ~nodes) ~mode
+      ~latency:(Latency.Constant 1.0) ()
+  in
+  (e, s, c)
+
+let run_proc e s body =
+  ignore (Proc.spawn s body);
+  Engine.run e;
+  Proc.check s
+
+let test_local_ops () =
+  let e, s, c = setup () in
+  let got = ref Value.Free in
+  run_proc e s (fun () ->
+      let h = Cluster.handle c 0 in
+      Cluster.write h (v 0) (Value.Int 5);
+      got := Cluster.read h (v 0));
+  Alcotest.(check bool) "own write" true (Value.equal !got (Value.Int 5));
+  Alcotest.(check int) "no messages" 0 (Network.lifetime_total (Cluster.net c))
+
+let test_remote_read_joins_copyset () =
+  let e, s, c = setup () in
+  run_proc e s (fun () -> ignore (Cluster.read (Cluster.handle c 0) (v 1)));
+  Alcotest.(check int) "copyset grew" 1 (Cluster.copyset_size c (v 1));
+  Alcotest.(check int) "two messages" 2 (Network.lifetime_total (Cluster.net c))
+
+let test_owner_write_invalidates_copies () =
+  let e, s, c = setup () in
+  (* Nodes 0 and 2 cache v.1; owner (node 1) writes: both copies must go. *)
+  run_proc e s (fun () -> ignore (Cluster.read (Cluster.handle c 0) (v 1)));
+  run_proc e s (fun () -> ignore (Cluster.read (Cluster.handle c 2) (v 1)));
+  Alcotest.(check int) "two cachers" 2 (Cluster.copyset_size c (v 1));
+  run_proc e s (fun () -> Cluster.write (Cluster.handle c 1) (v 1) (Value.Int 9));
+  Alcotest.(check int) "copyset emptied" 0 (Cluster.copyset_size c (v 1));
+  Alcotest.(check int) "two invalidations" 2 (Cluster.invalidations_sent c);
+  (* Readers refetch the new value. *)
+  let a = ref Value.Free and b = ref Value.Free in
+  run_proc e s (fun () -> a := Cluster.read (Cluster.handle c 0) (v 1));
+  run_proc e s (fun () -> b := Cluster.read (Cluster.handle c 2) (v 1));
+  Alcotest.(check bool) "fresh at 0" true (Value.equal !a (Value.Int 9));
+  Alcotest.(check bool) "fresh at 2" true (Value.equal !b (Value.Int 9))
+
+let test_remote_write_via_owner () =
+  let e, s, c = setup () in
+  let got = ref Value.Free in
+  run_proc e s (fun () -> Cluster.write (Cluster.handle c 0) (v 1) (Value.Int 3));
+  run_proc e s (fun () -> got := Cluster.read (Cluster.handle c 1) (v 1));
+  Alcotest.(check bool) "owner sees value" true (Value.equal !got (Value.Int 3));
+  (* Writer stays in the copyset and keeps a valid copy. *)
+  Alcotest.(check int) "writer cached" 1 (Cluster.copyset_size c (v 1))
+
+let test_acknowledged_blocks_until_acks () =
+  let e, s, c = setup ~mode:`Acknowledged () in
+  run_proc e s (fun () -> ignore (Cluster.read (Cluster.handle c 0) (v 1)));
+  let wrote_at = ref 0.0 in
+  run_proc e s (fun () ->
+      Cluster.write (Cluster.handle c 1) (v 1) (Value.Int 1);
+      wrote_at := Engine.now e);
+  (* Invalidate (1) + ack (1) = one round trip before the write returns. *)
+  Alcotest.(check bool) "waited for ack" true (!wrote_at >= 2.0)
+
+let test_counted_mode_fire_and_forget () =
+  let e, s, c = setup ~mode:`Counted () in
+  run_proc e s (fun () -> ignore (Cluster.read (Cluster.handle c 0) (v 1)));
+  Network.reset_counters (Cluster.net c);
+  run_proc e s (fun () -> Cluster.write (Cluster.handle c 1) (v 1) (Value.Int 1));
+  let counters = Network.counters (Cluster.net c) in
+  Alcotest.(check (list (pair string int))) "only INVAL" [ ("INVAL", 1) ]
+    counters.Network.by_kind
+
+let test_histories_sequentially_consistent () =
+  (* Random workloads in acknowledged mode must be SC (hence causal). *)
+  for seed = 1 to 8 do
+    let spec =
+      { Dsm_apps.Workload.default_spec with processes = 3; ops_per_process = 6 }
+    in
+    let outcome = Dsm_apps.Workload.run_atomic ~seed:(Int64.of_int seed) ~mode:`Acknowledged spec in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d sc" seed)
+      true
+      (Dsm_checker.Consistency.is_sc outcome.history);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d causal" seed)
+      true
+      (Dsm_checker.Causal_check.is_correct outcome.history)
+  done
+
+let test_counted_histories_causal () =
+  (* Even fire-and-forget invalidation keeps executions causally correct in
+     practice on these workloads (staleness windows are raced rarely); we
+     assert causal correctness which the solver relies on. *)
+  for seed = 1 to 8 do
+    let spec = { Dsm_apps.Workload.default_spec with processes = 3; ops_per_process = 8 } in
+    let outcome = Dsm_apps.Workload.run_atomic ~seed:(Int64.of_int seed) ~mode:`Counted spec in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d causal" seed)
+      true
+      (Dsm_checker.Causal_check.is_correct outcome.history)
+  done
+
+let test_queued_requests_during_inflight_write () =
+  let e, s, c = setup ~mode:`Acknowledged () in
+  (* Fill the copyset so the owner's write has outstanding invalidations,
+     then race a read from another node; it must see either old or new value
+     and never deadlock. *)
+  run_proc e s (fun () -> ignore (Cluster.read (Cluster.handle c 0) (v 1)));
+  run_proc e s (fun () -> ignore (Cluster.read (Cluster.handle c 2) (v 1)));
+  let read_value = ref Value.Free in
+  ignore
+    (Proc.spawn s ~name:"writer" (fun () ->
+         Cluster.write (Cluster.handle c 1) (v 1) (Value.Int 5)));
+  ignore
+    (Proc.spawn s ~name:"reader" (fun () ->
+         (* Invalidate our copy race: drop directly by re-reading after the
+            engine handles the invalidation. *)
+         Proc.sleep 1.5;
+         read_value := Cluster.read (Cluster.handle c 0) (v 1)));
+  Engine.run e;
+  Proc.check s;
+  Alcotest.(check bool) "read old or new" true
+    (Value.equal !read_value (Value.Int 5) || Value.equal !read_value Value.initial);
+  Alcotest.(check bool) "history sc" true
+    (Dsm_checker.Consistency.is_sc (Cluster.history c))
+
+let suite =
+  [
+    Alcotest.test_case "local ops" `Quick test_local_ops;
+    Alcotest.test_case "read joins copyset" `Quick test_remote_read_joins_copyset;
+    Alcotest.test_case "owner write invalidates" `Quick test_owner_write_invalidates_copies;
+    Alcotest.test_case "remote write" `Quick test_remote_write_via_owner;
+    Alcotest.test_case "acknowledged blocks" `Quick test_acknowledged_blocks_until_acks;
+    Alcotest.test_case "counted fire-and-forget" `Quick test_counted_mode_fire_and_forget;
+    Alcotest.test_case "acked histories SC" `Slow test_histories_sequentially_consistent;
+    Alcotest.test_case "counted histories causal" `Slow test_counted_histories_causal;
+    Alcotest.test_case "queued during inflight" `Quick test_queued_requests_during_inflight_write;
+  ]

@@ -1,0 +1,158 @@
+(* Tests for the message board and its no-orphan-replies guarantee. *)
+
+module Engine = Dsm_sim.Engine
+module Proc = Dsm_runtime.Proc
+module Cluster = Dsm_causal.Cluster
+module Latency = Dsm_net.Latency
+module Owner = Dsm_memory.Owner
+module Board = Dsm_apps.Board
+module B = Dsm_apps.Board.Make (Dsm_causal.Cluster.Mem)
+module Scenarios = Dsm_apps.Scenarios
+
+let setup ?(nodes = 3) () =
+  let e = Engine.create () in
+  let s = Proc.scheduler e in
+  let c =
+    Cluster.create ~sched:s ~owner:(Owner.by_index ~nodes) ~latency:(Latency.Constant 1.0) ()
+  in
+  (e, s, c)
+
+let run e s body =
+  ignore (Proc.spawn s body);
+  Engine.run e;
+  Proc.check s
+
+let test_post_and_read_own () =
+  let e, s, c = setup () in
+  let posts = ref [] in
+  run e s (fun () ->
+      let b = B.attach (Cluster.handle c 0) ~slots:4 in
+      ignore (B.post b "hello");
+      posts := B.read_board b);
+  match !posts with
+  | [ p ] ->
+      Alcotest.(check string) "text" "hello" p.Board.text;
+      Alcotest.(check bool) "root" true (p.Board.reply_to = None);
+      Alcotest.(check int) "author" 0 p.Board.id.Board.author
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 post, got %d" (List.length other))
+
+let test_reply_references_parent () =
+  let e, s, c = setup () in
+  let seen = ref [] in
+  run e s (fun () ->
+      let b = B.attach (Cluster.handle c 0) ~slots:4 in
+      match B.post b "parent" with
+      | None -> Alcotest.fail "row full?"
+      | Some parent -> ignore (B.post b ~reply_to:parent "child"));
+  run e s (fun () ->
+      let b = B.attach (Cluster.handle c 1) ~slots:4 in
+      seen := B.read_board b);
+  Alcotest.(check int) "two posts" 2 (List.length !seen);
+  let child = List.find (fun p -> p.Board.text = "child") !seen in
+  Alcotest.(check bool) "parent ref" true
+    (child.Board.reply_to = Some { Board.author = 0; seq = 0 })
+
+let test_row_capacity () =
+  let e, s, c = setup () in
+  let last = ref (Some { Board.author = 0; seq = 0 }) in
+  run e s (fun () ->
+      let b = B.attach (Cluster.handle c 0) ~slots:2 in
+      ignore (B.post b "a");
+      ignore (B.post b "b");
+      last := B.post b "c");
+  Alcotest.(check bool) "row full" true (!last = None)
+
+let test_lookup () =
+  let e, s, c = setup () in
+  let found = ref None and missing = ref (Some ()) in
+  run e s (fun () ->
+      let b = B.attach (Cluster.handle c 0) ~slots:4 in
+      (match B.post b "here" with
+      | Some id -> found := Option.map (fun p -> p.Board.text) (B.lookup b id)
+      | None -> ());
+      missing := Option.map (fun _ -> ()) (B.lookup b { Board.author = 1; seq = 3 }));
+  Alcotest.(check (option string)) "found" (Some "here") !found;
+  Alcotest.(check bool) "missing" true (!missing = None)
+
+let test_cross_author_threads () =
+  let e, s, c = setup () in
+  run e s (fun () ->
+      let b = B.attach (Cluster.handle c 0) ~slots:4 in
+      ignore (B.post b "root"));
+  run e s (fun () ->
+      let b = B.attach (Cluster.handle c 1) ~slots:4 in
+      B.refresh b;
+      match B.read_board b with
+      | root :: _ -> ignore (B.post b ~reply_to:root.Board.id "re: root")
+      | [] -> Alcotest.fail "root not visible");
+  let seen = ref [] in
+  run e s (fun () ->
+      let b = B.attach (Cluster.handle c 2) ~slots:4 in
+      B.refresh b;
+      seen := B.read_board b);
+  Alcotest.(check int) "thread visible" 2 (List.length !seen);
+  Alcotest.(check int) "no orphans" 0 (List.length (Board.orphans !seen))
+
+let test_orphans_helper () =
+  let root = { Board.id = { Board.author = 0; seq = 0 }; text = "r"; reply_to = None } in
+  let child =
+    { Board.id = { Board.author = 1; seq = 0 }; text = "c"; reply_to = Some root.Board.id }
+  in
+  let stranger =
+    {
+      Board.id = { Board.author = 2; seq = 0 };
+      text = "s";
+      reply_to = Some { Board.author = 9; seq = 9 };
+    }
+  in
+  Alcotest.(check int) "no orphan with parent" 0 (List.length (Board.orphans [ root; child ]));
+  Alcotest.(check int) "orphan without parent" 1 (List.length (Board.orphans [ child ]));
+  Alcotest.(check int) "dangling ref" 1 (List.length (Board.orphans [ root; stranger ]))
+
+let test_no_orphans_on_causal_dsm () =
+  let r = Scenarios.board_on_causal_dsm () in
+  Alcotest.(check int) "early orphans" 0 r.Scenarios.br_early_orphans;
+  Alcotest.(check int) "early sees whole thread" 2 r.Scenarios.br_early_posts;
+  Alcotest.(check int) "final orphans" 0 r.Scenarios.br_final_orphans
+
+let test_no_orphans_on_causal_broadcast () =
+  let r = Scenarios.board_on_broadcast ~mode:`Causal in
+  Alcotest.(check int) "early orphans" 0 r.Scenarios.br_early_orphans;
+  Alcotest.(check int) "final posts" 2 r.Scenarios.br_final_posts;
+  Alcotest.(check int) "final orphans" 0 r.Scenarios.br_final_orphans
+
+let test_orphan_on_fifo_broadcast () =
+  (* The separation: FIFO-only delivery lets the reply overtake its parent. *)
+  let r = Scenarios.board_on_broadcast ~mode:`Fifo in
+  Alcotest.(check int) "early orphan visible" 1 r.Scenarios.br_early_orphans;
+  Alcotest.(check int) "eventually converges" 0 r.Scenarios.br_final_orphans
+
+let test_board_history_causal () =
+  let e, s, c = setup () in
+  run e s (fun () ->
+      let b = B.attach (Cluster.handle c 0) ~slots:4 in
+      ignore (B.post b "one");
+      ignore (B.post b "two"));
+  run e s (fun () ->
+      let b = B.attach (Cluster.handle c 1) ~slots:4 in
+      B.refresh b;
+      (match B.read_board b with
+      | p :: _ -> ignore (B.post b ~reply_to:p.Board.id "three")
+      | [] -> ());
+      ignore (B.read_board b));
+  Alcotest.(check bool) "history causal" true
+    (Dsm_checker.Causal_check.is_correct (Cluster.history c))
+
+let suite =
+  [
+    Alcotest.test_case "post and read own" `Quick test_post_and_read_own;
+    Alcotest.test_case "reply references parent" `Quick test_reply_references_parent;
+    Alcotest.test_case "row capacity" `Quick test_row_capacity;
+    Alcotest.test_case "lookup" `Quick test_lookup;
+    Alcotest.test_case "cross-author threads" `Quick test_cross_author_threads;
+    Alcotest.test_case "orphans helper" `Quick test_orphans_helper;
+    Alcotest.test_case "no orphans on causal DSM" `Quick test_no_orphans_on_causal_dsm;
+    Alcotest.test_case "no orphans on causal bcast" `Quick test_no_orphans_on_causal_broadcast;
+    Alcotest.test_case "orphan on fifo bcast" `Quick test_orphan_on_fifo_broadcast;
+    Alcotest.test_case "board history causal" `Quick test_board_history_causal;
+  ]

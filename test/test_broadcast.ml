@@ -1,0 +1,164 @@
+(* Tests for causal broadcast and the broadcast-memory strawman. *)
+
+module Engine = Dsm_sim.Engine
+module Proc = Dsm_runtime.Proc
+module Latency = Dsm_net.Latency
+module Cbcast = Dsm_broadcast.Cbcast
+module Bmem = Dsm_broadcast.Bmem
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+
+let test_broadcast_reaches_everyone () =
+  let e = Engine.create () in
+  let log = Array.make 3 [] in
+  let b =
+    Cbcast.create e ~nodes:3 ~latency:(Latency.Constant 1.0)
+      ~deliver:(fun ~node ~src:_ payload -> log.(node) <- payload :: log.(node))
+      ()
+  in
+  Cbcast.broadcast b ~src:0 "m1";
+  Engine.run e;
+  Array.iteri
+    (fun i received ->
+      Alcotest.(check (list string)) (Printf.sprintf "node %d" i) [ "m1" ] received)
+    log
+
+let test_sender_delivers_immediately () =
+  let e = Engine.create () in
+  let local = ref false in
+  let b =
+    Cbcast.create e ~nodes:2
+      ~deliver:(fun ~node ~src:_ _ -> if node = 0 then local := true)
+      ()
+  in
+  Cbcast.broadcast b ~src:0 ();
+  Alcotest.(check bool) "before engine runs" true !local;
+  Engine.run e
+
+let test_causal_delivery_holds_back () =
+  (* m2 from node 1 depends on m1 from node 0; node 2 receives m2 first but
+     must deliver m1 before m2. *)
+  let e = Engine.create () in
+  let order = ref [] in
+  let b = ref None in
+  let deliver ~node ~src:_ payload =
+    if node = 2 then order := payload :: !order
+    else if node = 1 && payload = "m1" then Cbcast.broadcast (Option.get !b) ~src:1 "m2"
+  in
+  let cb = Cbcast.create e ~nodes:3 ~latency:(Latency.Constant 1.0) ~deliver () in
+  b := Some cb;
+  (* m1 takes 10 to reach node 2 but 1 to reach node 1; m2 then reaches
+     node 2 at ~2, before m1 — and must be held. *)
+  Cbcast.set_link_latency cb ~src:0 ~dst:2 (Latency.Constant 10.0);
+  Cbcast.broadcast cb ~src:0 "m1";
+  Engine.run e;
+  Alcotest.(check (list string)) "causal order" [ "m1"; "m2" ] (List.rev !order);
+  Alcotest.(check int) "nothing held at quiescence" 0 (Cbcast.delayed cb)
+
+let test_fifo_mode_allows_causal_reorder () =
+  (* Same setup in FIFO mode: m2 (from node 1) may overtake m1 (node 0). *)
+  let e = Engine.create () in
+  let order = ref [] in
+  let b = ref None in
+  let deliver ~node ~src:_ payload =
+    if node = 2 then order := payload :: !order
+    else if node = 1 && payload = "m1" then Cbcast.broadcast (Option.get !b) ~src:1 "m2"
+  in
+  let cb = Cbcast.create e ~nodes:3 ~mode:`Fifo ~latency:(Latency.Constant 1.0) ~deliver () in
+  b := Some cb;
+  Cbcast.set_link_latency cb ~src:0 ~dst:2 (Latency.Constant 10.0);
+  Cbcast.broadcast cb ~src:0 "m1";
+  Engine.run e;
+  Alcotest.(check (list string)) "fifo reorders across senders" [ "m2"; "m1" ] (List.rev !order)
+
+let test_per_sender_fifo_always () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let deliver ~node ~src:_ payload = if node = 1 then order := payload :: !order in
+  let cb = Cbcast.create e ~nodes:2 ~mode:`Fifo ~latency:(Latency.Uniform (0.5, 5.0)) ~deliver () in
+  for i = 1 to 10 do
+    Cbcast.broadcast cb ~src:0 i
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "sender order kept" (List.init 10 (fun i -> i + 1)) (List.rev !order)
+
+let test_delivered_counts () =
+  let e = Engine.create () in
+  let cb = Cbcast.create e ~nodes:2 ~deliver:(fun ~node:_ ~src:_ () -> ()) () in
+  Cbcast.broadcast cb ~src:0 ();
+  Cbcast.broadcast cb ~src:0 ();
+  Engine.run e;
+  Alcotest.(check int) "node1 delivered 2 from node0" 2
+    (Vclock.get (Cbcast.delivered_counts cb 1) 0)
+
+let test_bmem_read_write () =
+  let e = Engine.create () in
+  let s = Proc.scheduler e in
+  let b = Bmem.create ~sched:s ~processes:2 ~latency:(Latency.Constant 1.0) () in
+  let got0 = ref Value.Free and got1 = ref Value.Free in
+  ignore
+    (Proc.spawn s (fun () ->
+         Bmem.write (Bmem.handle b 0) (Loc.named "x") (Value.Int 5);
+         got0 := Bmem.read (Bmem.handle b 0) (Loc.named "x")));
+  Engine.run e;
+  Proc.check s;
+  ignore (Proc.spawn s (fun () -> got1 := Bmem.read (Bmem.handle b 1) (Loc.named "x")));
+  Engine.run e;
+  Proc.check s;
+  Alcotest.(check bool) "writer sees it" true (Value.equal !got0 (Value.Int 5));
+  Alcotest.(check bool) "peer converged" true (Value.equal !got1 (Value.Int 5));
+  Alcotest.(check bool) "history causal here" true
+    (Dsm_checker.Causal_check.is_correct (Bmem.history b))
+
+let test_bmem_unwritten_reads_initial () =
+  let e = Engine.create () in
+  let s = Proc.scheduler e in
+  let b = Bmem.create ~sched:s ~processes:1 () in
+  let got = ref Value.Free in
+  ignore (Proc.spawn s (fun () -> got := Bmem.read (Bmem.handle b 0) (Loc.named "nope")));
+  Engine.run e;
+  Alcotest.(check bool) "initial" true (Value.equal !got Value.initial)
+
+let test_fig3_scenario () =
+  let r = Dsm_apps.Scenarios.fig3_broadcast () in
+  Alcotest.(check bool) "violates causal memory" false r.f3_causal_ok;
+  Alcotest.(check bool) "still PRAM" true r.f3_pram_ok;
+  (* Nodes end up disagreeing on x forever: the heart of Figure 3. *)
+  Alcotest.(check bool) "P2 and P3 disagree on x" true
+    (not (Value.equal r.f3_final_x.(1) r.f3_final_x.(2)))
+
+let test_fig3_read_values_match_paper () =
+  let r = Dsm_apps.Scenarios.fig3_broadcast () in
+  let ops = Dsm_memory.History.ops r.f3_history in
+  let reads_of_x =
+    List.filter
+      (fun (o : Dsm_memory.Op.t) ->
+        Dsm_memory.Op.is_read o && Loc.equal o.Dsm_memory.Op.loc (Loc.named "x"))
+      ops
+  in
+  (* P2 reads x=5, P3 reads x=2, exactly as in the paper's figure. *)
+  let by_pid pid =
+    List.filter (fun (o : Dsm_memory.Op.t) -> o.Dsm_memory.Op.pid = pid) reads_of_x
+  in
+  Alcotest.(check bool) "P2 read 5" true
+    (List.for_all
+       (fun (o : Dsm_memory.Op.t) -> Value.equal o.Dsm_memory.Op.value (Value.Int 5))
+       (by_pid 1));
+  Alcotest.(check bool) "P3 read 2" true
+    (List.for_all
+       (fun (o : Dsm_memory.Op.t) -> Value.equal o.Dsm_memory.Op.value (Value.Int 2))
+       (by_pid 2))
+
+let suite =
+  [
+    Alcotest.test_case "broadcast reaches all" `Quick test_broadcast_reaches_everyone;
+    Alcotest.test_case "sender immediate" `Quick test_sender_delivers_immediately;
+    Alcotest.test_case "causal hold-back" `Quick test_causal_delivery_holds_back;
+    Alcotest.test_case "fifo mode reorders" `Quick test_fifo_mode_allows_causal_reorder;
+    Alcotest.test_case "per-sender fifo" `Quick test_per_sender_fifo_always;
+    Alcotest.test_case "delivered counts" `Quick test_delivered_counts;
+    Alcotest.test_case "bmem read/write" `Quick test_bmem_read_write;
+    Alcotest.test_case "bmem initial" `Quick test_bmem_unwritten_reads_initial;
+    Alcotest.test_case "fig3 scenario" `Quick test_fig3_scenario;
+    Alcotest.test_case "fig3 values" `Quick test_fig3_read_values_match_paper;
+  ]

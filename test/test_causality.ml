@@ -1,0 +1,125 @@
+(* Tests for Dsm_checker.Causality: the happens-before relation. *)
+
+module Causality = Dsm_checker.Causality
+module Histories = Dsm_checker.Histories
+module History = Dsm_memory.History
+module Op = Dsm_memory.Op
+module Loc = Dsm_memory.Loc
+module Wid = Dsm_memory.Wid
+
+(* Global indices in fig1 (P0 empty, P1 at 0..3, P2 at 4..6):
+   P1: w(x)1 w(y)2 r(y)2 r(x)1
+   P2: w(z)1 r(y)2 r(x)1 *)
+let g1 = Causality.build_exn Histories.fig1
+
+let idx_p1 k = k
+
+let idx_p2 k = 4 + k
+
+let test_program_order () =
+  Alcotest.(check bool) "w(x)1 -> w(y)2" true (Causality.precedes g1 (idx_p1 0) (idx_p1 1));
+  Alcotest.(check bool) "transitive" true (Causality.precedes g1 (idx_p1 0) (idx_p1 3));
+  Alcotest.(check bool) "not backwards" false (Causality.precedes g1 (idx_p1 3) (idx_p1 0))
+
+let test_reads_from_edges () =
+  (* P2's r(y)2 reads from P1's w(y)2. *)
+  Alcotest.(check bool) "w(y)2 -> r2(y)2" true (Causality.precedes g1 (idx_p1 1) (idx_p2 1))
+
+let test_paper_claims_on_fig1 () =
+  (* "the writes of x and z are concurrent" *)
+  Alcotest.(check bool) "w(x)1 || w(z)1" true (Causality.concurrent g1 (idx_p1 0) (idx_p2 0));
+  (* "w(x)1 ->* r1(y)2"?  The paper states w(x)1 ->* r_1(y)2 via program
+     order (subscript denotes P1's own read of y at index 2). *)
+  Alcotest.(check bool) "w(x)1 ->* r1(y)2" true (Causality.precedes g1 (idx_p1 0) (idx_p1 2))
+
+let test_cross_process_chain () =
+  (* w(x)1 ->* r2(x)1 via the reads-from edge. *)
+  Alcotest.(check bool) "chain" true (Causality.precedes g1 (idx_p1 0) (idx_p2 2))
+
+let test_op_accessors () =
+  Alcotest.(check int) "count" 7 (Causality.op_count g1);
+  let op = Causality.op g1 (idx_p2 0) in
+  Alcotest.(check string) "op at index" "w2(z)1" (Op.to_string op);
+  Alcotest.(check int) "index_of inverse" (idx_p2 0) (Causality.index_of g1 op)
+
+let test_writer_of () =
+  Alcotest.(check bool) "initial is virtual" true (Causality.writer_of g1 Wid.initial = None);
+  Alcotest.(check bool) "real write found" true
+    (Causality.writer_of g1 (Wid.make ~node:1 ~seq:0) = Some (idx_p1 0))
+
+let test_writes_to_and_ops_on () =
+  Alcotest.(check (list int)) "writes to y" [ idx_p1 1 ] (Causality.writes_to g1 (Loc.named "y"));
+  Alcotest.(check (list int)) "ops on y" [ idx_p1 1; idx_p1 2; idx_p2 1 ]
+    (Causality.ops_on g1 (Loc.named "y"))
+
+let test_program_pred () =
+  Alcotest.(check bool) "first has none" true (Causality.program_pred g1 (idx_p1 0) = None);
+  Alcotest.(check bool) "p2 first has none" true (Causality.program_pred g1 (idx_p2 0) = None);
+  Alcotest.(check bool) "middle" true (Causality.program_pred g1 (idx_p1 2) = Some (idx_p1 1))
+
+let test_precedes_excl_rf () =
+  (* For P2's r(y)2 (idx_p2 1): excluding its own reads-from edge, w(y)2
+     does NOT precede it (only path was the rf edge). *)
+  Alcotest.(check bool) "rf edge excluded" false
+    (Causality.precedes_excl_rf g1 (idx_p1 1) ~reader:(idx_p2 1));
+  (* But P2's own w(z)1 still precedes it via program order. *)
+  Alcotest.(check bool) "program order kept" true
+    (Causality.precedes_excl_rf g1 (idx_p2 0) ~reader:(idx_p2 1));
+  (* For P2's r(x)1 (idx_p2 2): w(x)1 precedes even excluding its rf edge,
+     via the earlier r(y)2's reads-from. *)
+  Alcotest.(check bool) "indirect path survives" true
+    (Causality.precedes_excl_rf g1 (idx_p1 0) ~reader:(idx_p2 2))
+
+let test_acyclic () =
+  Alcotest.(check bool) "fig1 acyclic" true (Causality.acyclic g1);
+  (* An adversarial cyclic history: two processes each read the other's
+     future write. *)
+  let cyclic =
+    History.parse_exn {|
+      P0: r(x)2 w(y)1
+      P1: r(y)1 w(x)2
+    |}
+  in
+  let g = Causality.build_exn cyclic in
+  Alcotest.(check bool) "cycle detected" false (Causality.acyclic g)
+
+let test_build_error_dangling () =
+  let rows =
+    [|
+      [|
+        Op.read ~pid:0 ~index:0 ~loc:(Loc.named "x") ~value:(Dsm_memory.Value.Int 7)
+          ~from:(Wid.make ~node:5 ~seq:5);
+      |];
+    |]
+  in
+  match Causality.build (History.of_ops rows) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected dangling reads-from error"
+
+let test_closure_matches_generic_fixpoint () =
+  (* The fast topological closure must agree with Bitrel's fixpoint on the
+     paper histories. *)
+  List.iter
+    (fun (_, h, _) ->
+      let g = Causality.build_exn h in
+      let slow = Dsm_util.Bitrel.copy (Causality.relation g) in
+      Dsm_util.Bitrel.transitive_closure slow;
+      Alcotest.(check bool) "already closed" true
+        (Dsm_util.Bitrel.equal slow (Causality.relation g)))
+    Histories.all
+
+let suite =
+  [
+    Alcotest.test_case "program order" `Quick test_program_order;
+    Alcotest.test_case "reads-from edges" `Quick test_reads_from_edges;
+    Alcotest.test_case "paper claims on fig1" `Quick test_paper_claims_on_fig1;
+    Alcotest.test_case "cross-process chain" `Quick test_cross_process_chain;
+    Alcotest.test_case "op accessors" `Quick test_op_accessors;
+    Alcotest.test_case "writer_of" `Quick test_writer_of;
+    Alcotest.test_case "writes_to / ops_on" `Quick test_writes_to_and_ops_on;
+    Alcotest.test_case "program_pred" `Quick test_program_pred;
+    Alcotest.test_case "precedes_excl_rf" `Quick test_precedes_excl_rf;
+    Alcotest.test_case "acyclic" `Quick test_acyclic;
+    Alcotest.test_case "dangling rf" `Quick test_build_error_dangling;
+    Alcotest.test_case "closure correct" `Quick test_closure_matches_generic_fixpoint;
+  ]

@@ -1,0 +1,121 @@
+(* Conformance across the whole configuration matrix: every combination of
+   granularity, discard policy, resolution policy, invalidation mode and
+   latency model must still produce causally correct executions. *)
+
+module Config = Dsm_causal.Config
+module Policy = Dsm_causal.Policy
+module Latency = Dsm_net.Latency
+module Workload = Dsm_apps.Workload
+module Check = Dsm_checker.Causal_check
+
+let granularities = [ ("word", Config.Word); ("page2", Config.Page 2); ("page4", Config.Page 4) ]
+
+let discards =
+  [
+    ("no-discard", Config.No_discard);
+    ("capacity2", Config.Capacity 2);
+    ("capacity5", Config.Capacity 5);
+  ]
+
+let policies = [ ("lww", Policy.Last_writer_wins); ("owner", Policy.Owner_favored) ]
+
+let invalidations = [ ("coarse", Config.Coarse); ("precise", Config.Precise) ]
+
+let latencies =
+  [
+    ("constant", Latency.Constant 1.0);
+    ("jittery", Latency.Uniform (0.2, 3.0));
+    ("heavy-tail", Latency.Exponential { base = 0.5; mean = 2.0 });
+  ]
+
+let spec =
+  { Workload.default_spec with Workload.processes = 3; ops_per_process = 10; locations = 4 }
+
+let conformant config latency seed =
+  let outcome, _ = Workload.run_causal ~seed ~config ~latency spec in
+  Check.is_correct outcome.Workload.history
+
+(* The full cross product is 3*3*2*2*3 = 108 configurations; each runs two
+   seeds. *)
+let test_full_matrix () =
+  List.iter
+    (fun (gn, g) ->
+      List.iter
+        (fun (dn, d) ->
+          List.iter
+            (fun (pn, p) ->
+              List.iter
+                (fun (inn, inv) ->
+                  List.iter
+                    (fun (ln, l) ->
+                      let config =
+                        Config.default |> Config.with_granularity g |> Config.with_discard d
+                        |> Config.with_policy p |> Config.with_invalidation inv
+                      in
+                      List.iter
+                        (fun seed ->
+                          Alcotest.(check bool)
+                            (Printf.sprintf "%s/%s/%s/%s/%s seed %Ld" gn dn pn inn ln seed)
+                            true
+                            (conformant config l seed))
+                        [ 3L; 17L ])
+                    latencies)
+                invalidations)
+            policies)
+        discards)
+    granularities
+
+(* Periodic discard keeps the engine alive; exercise it separately with an
+   explicit horizon. *)
+let test_periodic_discard_conformant () =
+  let module Engine = Dsm_sim.Engine in
+  let module Proc = Dsm_runtime.Proc in
+  let module Cluster = Dsm_causal.Cluster in
+  let config = Config.with_discard (Config.Periodic 3.0) Config.default in
+  let engine = Engine.create () in
+  let sched = Proc.scheduler engine in
+  let cluster =
+    Cluster.create ~sched ~owner:(Dsm_memory.Owner.by_index ~nodes:3) ~config
+      ~latency:(Latency.Constant 1.0) ()
+  in
+  let prng = Dsm_util.Prng.create 5L in
+  for pid = 0 to 2 do
+    let prng = Dsm_util.Prng.split prng in
+    ignore
+      (Proc.spawn sched (fun () ->
+           for k = 1 to 12 do
+             Proc.sleep (Dsm_util.Prng.float prng 2.0);
+             let loc = Workload.loc (Dsm_util.Prng.int prng 4) in
+             if Dsm_util.Prng.bool prng then
+               Dsm_causal.Cluster.write (Cluster.handle cluster pid) loc
+                 (Dsm_memory.Value.Int ((pid * 1000) + k))
+             else ignore (Dsm_causal.Cluster.read (Cluster.handle cluster pid) loc)
+           done))
+  done;
+  Engine.run_until engine 200.0;
+  Proc.check sched;
+  Alcotest.(check (list string)) "all finished" [] (Proc.unfinished sched);
+  Cluster.shutdown cluster;
+  Engine.run engine;
+  Alcotest.(check bool) "causal under periodic discard" true
+    (Check.is_correct (Cluster.history cluster))
+
+let prop_random_config =
+  QCheck.Test.make ~name:"random configuration stays causal" ~count:40
+    QCheck.(quad (int_range 0 2) (int_range 0 2) (int_range 0 1) (int_range 1 5000))
+    (fun (gi, di, ii, seed) ->
+      let _, g = List.nth granularities gi in
+      let _, d = List.nth discards di in
+      let _, inv = List.nth invalidations ii in
+      let config =
+        Config.default |> Config.with_granularity g |> Config.with_discard d
+        |> Config.with_invalidation inv
+      in
+      conformant config (Latency.Uniform (0.2, 3.0)) (Int64.of_int seed))
+
+let suite =
+  [
+    Alcotest.test_case "full matrix (108 configs)" `Slow test_full_matrix;
+    Alcotest.test_case "periodic discard" `Quick test_periodic_discard_conformant;
+    QCheck_alcotest.to_alcotest prop_random_config;
+  ]

@@ -1,0 +1,65 @@
+(* Tests for the space-time diagram renderer. *)
+
+module Diagram = Dsm_checker.Diagram
+module History = Dsm_memory.History
+module Histories = Dsm_checker.Histories
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let test_row_count () =
+  (* One header row plus one row per operation. *)
+  let rendered = Diagram.render Histories.fig2 in
+  Alcotest.(check int) "rows" (1 + History.op_count Histories.fig2) (List.length (lines rendered))
+
+let test_reads_show_sources () =
+  let rendered = Diagram.render Histories.fig1 in
+  (* Both r(y)2 reads must point at the same tag as w(y)2. *)
+  let tagged = lines rendered |> List.filter (fun l -> Str_contains.contains l "r(y)2 <-[") in
+  Alcotest.(check int) "two tagged reads of y" 2 (List.length tagged)
+
+let test_initial_reads_marked () =
+  let rendered = Diagram.render Histories.fig5 in
+  let inits = lines rendered |> List.filter (fun l -> Str_contains.contains l "<-init") in
+  Alcotest.(check int) "four initial reads" 4 (List.length inits)
+
+let test_topological_rows () =
+  (* In fig3 the read of z=4 must appear strictly below the write of z=4. *)
+  let rendered = Diagram.render Histories.fig3 in
+  let rows = lines rendered in
+  let find needle =
+    let rec go i = function
+      | [] -> -1
+      | l :: rest -> if Str_contains.contains l needle then i else go (i + 1) rest
+    in
+    go 0 rows
+  in
+  Alcotest.(check bool) "w(z)4 above r(z)4" true (find "w(z)4" < find "r(z)4");
+  Alcotest.(check bool) "w(y)3 above r(y)3" true (find "w(y)3" < find "r(y)3")
+
+let test_cyclic_fallback () =
+  let h = History.parse_exn "P0: r(y)1 w(x)1\nP1: r(x)1 w(y)1" in
+  let rendered = Diagram.render h in
+  Alcotest.(check bool) "warns" true (Str_contains.contains rendered "cyclic")
+
+let test_no_trailing_whitespace () =
+  List.iter
+    (fun (name, h, _) ->
+      let rendered = Diagram.render h in
+      List.iter
+        (fun l ->
+          Alcotest.(check bool)
+            (name ^ ": no trailing space")
+            false
+            (String.length l > 0 && l.[String.length l - 1] = ' '))
+        (lines rendered))
+    Histories.all
+
+let suite =
+  [
+    Alcotest.test_case "row count" `Quick test_row_count;
+    Alcotest.test_case "reads show sources" `Quick test_reads_show_sources;
+    Alcotest.test_case "initial reads marked" `Quick test_initial_reads_marked;
+    Alcotest.test_case "topological rows" `Quick test_topological_rows;
+    Alcotest.test_case "cyclic fallback" `Quick test_cyclic_fallback;
+    Alcotest.test_case "no trailing whitespace" `Quick test_no_trailing_whitespace;
+  ]

@@ -1,0 +1,199 @@
+(* Tests for the Section 4.2 distributed dictionary. *)
+
+module Engine = Dsm_sim.Engine
+module Proc = Dsm_runtime.Proc
+module Latency = Dsm_net.Latency
+module Cluster = Dsm_causal.Cluster
+module Dictionary = Dsm_apps.Dictionary
+module Scenarios = Dsm_apps.Scenarios
+module Policy = Dsm_causal.Policy
+
+let setup ?(processes = 3) ?(cols = 4) () =
+  let e = Engine.create () in
+  let s = Proc.scheduler e in
+  let c =
+    Cluster.create ~sched:s ~owner:(Dictionary.owner_map ~processes)
+      ~config:Dictionary.config ~latency:(Latency.Constant 1.0) ()
+  in
+  let dicts = Array.init processes (fun i -> Dictionary.attach (Cluster.handle c i) ~cols) in
+  (e, s, c, dicts)
+
+let run e s body =
+  ignore (Proc.spawn s body);
+  Engine.run e;
+  Proc.check s
+
+let test_insert_lookup_local () =
+  let e, s, _, d = setup () in
+  let found = ref false in
+  run e s (fun () ->
+      Alcotest.(check bool) "insert ok" true (Dictionary.insert d.(0) "apple");
+      found := Dictionary.lookup d.(0) "apple");
+  Alcotest.(check bool) "found" true !found
+
+let test_lookup_cross_process () =
+  let e, s, _, d = setup () in
+  run e s (fun () -> ignore (Dictionary.insert d.(0) "apple"));
+  let found = ref false in
+  run e s (fun () -> found := Dictionary.lookup d.(1) "apple");
+  Alcotest.(check bool) "visible remotely" true !found
+
+let test_delete_own () =
+  let e, s, _, d = setup () in
+  let outcome = ref `Not_found in
+  let still = ref true in
+  run e s (fun () ->
+      ignore (Dictionary.insert d.(0) "apple");
+      outcome := Dictionary.delete d.(0) "apple";
+      still := Dictionary.lookup d.(0) "apple");
+  Alcotest.(check bool) "deleted" true (!outcome = `Deleted);
+  Alcotest.(check bool) "gone" false !still
+
+let test_delete_remote () =
+  let e, s, _, d = setup () in
+  run e s (fun () -> ignore (Dictionary.insert d.(0) "apple"));
+  let outcome = ref `Not_found in
+  run e s (fun () -> outcome := Dictionary.delete d.(1) "apple");
+  Alcotest.(check bool) "deleted" true (!outcome = `Deleted);
+  (* Owner converges. *)
+  let still = ref true in
+  run e s (fun () ->
+      Dictionary.refresh d.(0);
+      still := Dictionary.lookup d.(0) "apple");
+  Alcotest.(check bool) "owner sees deletion" false !still
+
+let test_delete_not_found () =
+  let e, s, _, d = setup () in
+  let outcome = ref `Deleted in
+  run e s (fun () -> outcome := Dictionary.delete d.(0) "ghost");
+  Alcotest.(check bool) "not found" true (!outcome = `Not_found)
+
+let test_row_full () =
+  let e, s, _, d = setup ~cols:2 () in
+  let third = ref true in
+  run e s (fun () ->
+      ignore (Dictionary.insert d.(0) "a");
+      ignore (Dictionary.insert d.(0) "b");
+      third := Dictionary.insert d.(0) "c");
+  Alcotest.(check bool) "row full" false !third
+
+let test_cell_reuse_after_delete () =
+  let e, s, _, d = setup ~cols:1 () in
+  let ok = ref false in
+  run e s (fun () ->
+      ignore (Dictionary.insert d.(0) "a");
+      ignore (Dictionary.delete d.(0) "a");
+      ok := Dictionary.insert d.(0) "b");
+  Alcotest.(check bool) "slot reused" true !ok
+
+let test_items_view () =
+  let e, s, _, d = setup () in
+  let items = ref [] in
+  run e s (fun () ->
+      ignore (Dictionary.insert d.(0) "a0"));
+  run e s (fun () ->
+      ignore (Dictionary.insert d.(1) "b0");
+      ignore (Dictionary.insert d.(1) "b1"));
+  run e s (fun () ->
+      Dictionary.refresh d.(2);
+      items := Dictionary.items d.(2));
+  Alcotest.(check (list string)) "row-major view" [ "a0"; "b0"; "b1" ]
+    (List.sort compare !items)
+
+let test_views_converge () =
+  (* The dictionary problem's liveness clause: after activity quiesces and
+     caches refresh, all views agree. *)
+  let e, s, c, d = setup () in
+  run e s (fun () -> ignore (Dictionary.insert d.(0) "x0"));
+  run e s (fun () -> ignore (Dictionary.insert d.(1) "x1"));
+  run e s (fun () -> ignore (Dictionary.delete d.(2) "x0"));
+  let views = Array.make 3 [] in
+  for i = 0 to 2 do
+    run e s (fun () ->
+        Dictionary.refresh d.(i);
+        views.(i) <- List.sort compare (Dictionary.items d.(i)))
+  done;
+  Alcotest.(check (list string)) "view 0" [ "x1" ] views.(0);
+  Alcotest.(check (list string)) "view 1" [ "x1" ] views.(1);
+  Alcotest.(check (list string)) "view 2" [ "x1" ] views.(2);
+  Alcotest.(check bool) "history causal" true
+    (Dsm_checker.Causal_check.is_correct (Cluster.history c))
+
+let test_race_owner_favored () =
+  let r = Scenarios.dictionary_race ~policy:Policy.Owner_favored in
+  Alcotest.(check bool) "delete rejected" true (r.Scenarios.dr_delete_outcome = `Rejected);
+  Alcotest.(check (list string)) "b survives" [ "b" ] r.Scenarios.dr_items_at_owner;
+  Alcotest.(check bool) "history causal" true r.Scenarios.dr_history_causal_ok
+
+let test_race_lww_loses_insert () =
+  let r = Scenarios.dictionary_race ~policy:Policy.Last_writer_wins in
+  Alcotest.(check bool) "delete applied" true (r.Scenarios.dr_delete_outcome = `Deleted);
+  Alcotest.(check (list string)) "b lost (the ablation)" [] r.Scenarios.dr_items_at_owner
+
+let test_random_workload_converges () =
+  (* R1/R2-respecting random inserts/deletes from all processes; after
+     quiescence and refresh every view equals the reference set. *)
+  let processes = 4 in
+  let e, s, c, d = setup ~processes ~cols:16 () in
+  let prng = Dsm_util.Prng.create 123L in
+  let reference = Hashtbl.create 32 in
+  let all_items = ref [] in
+  for p = 0 to processes - 1 do
+    for k = 0 to 7 do
+      let item = Printf.sprintf "p%d-%d" p k in
+      all_items := (p, item) :: !all_items;
+      Hashtbl.replace reference item ()
+    done
+  done;
+  (* Inserts from owners (R1: unique items). *)
+  List.iter
+    (fun (p, item) ->
+      ignore
+        (Proc.spawn s ~delay:(Dsm_util.Prng.float prng 5.0) (fun () ->
+             ignore (Dictionary.insert d.(p) item))))
+    !all_items;
+  Engine.run e;
+  Proc.check s;
+  (* Deletes of a third of the items, from random processes (R2: inserts
+     already done). *)
+  List.iteri
+    (fun i (_, item) ->
+      if i mod 3 = 0 then begin
+        Hashtbl.remove reference item;
+        let deleter = Dsm_util.Prng.int prng processes in
+        ignore
+          (Proc.spawn s ~delay:(Dsm_util.Prng.float prng 5.0) (fun () ->
+               Dictionary.refresh d.(deleter);
+               match Dictionary.delete d.(deleter) item with
+               | `Deleted -> ()
+               | `Rejected | `Not_found -> failwith ("delete failed for " ^ item)))
+      end)
+    !all_items;
+  Engine.run e;
+  Proc.check s;
+  let expected = Hashtbl.fold (fun k () acc -> k :: acc) reference [] |> List.sort compare in
+  for i = 0 to processes - 1 do
+    let view = ref [] in
+    run e s (fun () ->
+        Dictionary.refresh d.(i);
+        view := List.sort compare (Dictionary.items d.(i)));
+    Alcotest.(check (list string)) (Printf.sprintf "view %d converged" i) expected !view
+  done;
+  Alcotest.(check bool) "history causal" true
+    (Dsm_checker.Causal_check.is_correct (Cluster.history c))
+
+let suite =
+  [
+    Alcotest.test_case "insert/lookup local" `Quick test_insert_lookup_local;
+    Alcotest.test_case "lookup cross-process" `Quick test_lookup_cross_process;
+    Alcotest.test_case "delete own" `Quick test_delete_own;
+    Alcotest.test_case "delete remote" `Quick test_delete_remote;
+    Alcotest.test_case "delete not found" `Quick test_delete_not_found;
+    Alcotest.test_case "row full" `Quick test_row_full;
+    Alcotest.test_case "cell reuse" `Quick test_cell_reuse_after_delete;
+    Alcotest.test_case "items view" `Quick test_items_view;
+    Alcotest.test_case "views converge" `Quick test_views_converge;
+    Alcotest.test_case "race owner-favored" `Quick test_race_owner_favored;
+    Alcotest.test_case "race lww ablation" `Quick test_race_lww_loses_insert;
+    Alcotest.test_case "random workload converges" `Slow test_random_workload_converges;
+  ]

@@ -1,0 +1,123 @@
+(* Tests for Dsm_sim.Engine: event ordering, determinism, limits. *)
+
+module Engine = Dsm_sim.Engine
+
+let test_runs_in_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e 3.0 (fun () -> log := "c" :: !log);
+  Engine.schedule_at e 1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule_at e 2.0 (fun () -> log := "b" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule_at e 1.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_now_advances () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  Engine.schedule_at e 2.5 (fun () -> seen := Engine.now e :: !seen);
+  Engine.schedule_at e 5.0 (fun () -> seen := Engine.now e :: !seen);
+  Engine.run e;
+  Alcotest.(check (list (float 0.0))) "times" [ 2.5; 5.0 ] (List.rev !seen)
+
+let test_schedule_relative () =
+  let e = Engine.create () in
+  let fired_at = ref 0.0 in
+  Engine.schedule_at e 10.0 (fun () ->
+      Engine.schedule e ~delay:5.0 (fun () -> fired_at := Engine.now e));
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "relative" 15.0 !fired_at
+
+let test_schedule_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule_at e 10.0 (fun () ->
+      try
+        Engine.schedule_at e 5.0 (fun () -> ());
+        Alcotest.fail "expected rejection"
+      with Invalid_argument _ -> ());
+  Engine.run e
+
+let test_negative_delay_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> Engine.schedule e ~delay:(-1.0) (fun () -> ()))
+
+let test_run_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter (fun t -> Engine.schedule_at e t (fun () -> fired := t :: !fired)) [ 1.0; 2.0; 3.0 ];
+  Engine.run_until e 2.0;
+  Alcotest.(check (list (float 0.0))) "only <= 2" [ 1.0; 2.0 ] (List.rev !fired);
+  Alcotest.(check int) "one pending" 1 (Engine.pending e);
+  Alcotest.(check (float 0.0)) "clock at deadline" 2.0 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Engine.pending e)
+
+let test_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    Engine.schedule_at e 1.0 (fun () ->
+        incr count;
+        if !count = 3 then Engine.stop e)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "stopped after 3" 3 !count;
+  Alcotest.(check int) "rest pending" 7 (Engine.pending e)
+
+let test_step () =
+  let e = Engine.create () in
+  let hit = ref false in
+  Engine.schedule_at e 1.0 (fun () -> hit := true);
+  Alcotest.(check bool) "stepped" true (Engine.step e);
+  Alcotest.(check bool) "fired" true !hit;
+  Alcotest.(check bool) "empty now" false (Engine.step e)
+
+let test_step_limit () =
+  let e = Engine.create ~step_limit:100 () in
+  let rec forever () = Engine.schedule e ~delay:1.0 forever in
+  Engine.schedule e ~delay:1.0 forever;
+  Alcotest.check_raises "limit"
+    (Failure "Engine: step limit exceeded (livelock or runaway simulation?)") (fun () ->
+      Engine.run e)
+
+let test_events_processed () =
+  let e = Engine.create () in
+  for i = 1 to 4 do
+    Engine.schedule_at e (float_of_int i) (fun () -> ())
+  done;
+  Engine.run e;
+  Alcotest.(check int) "count" 4 (Engine.events_processed e)
+
+let test_cascading_events () =
+  let e = Engine.create () in
+  let depth = ref 0 in
+  let rec cascade n = if n > 0 then Engine.schedule e ~delay:0.5 (fun () -> incr depth; cascade (n - 1)) in
+  cascade 10;
+  Engine.run e;
+  Alcotest.(check int) "all cascaded" 10 !depth;
+  Alcotest.(check (float 1e-9)) "time accumulated" 5.0 (Engine.now e)
+
+let suite =
+  [
+    Alcotest.test_case "time order" `Quick test_runs_in_time_order;
+    Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+    Alcotest.test_case "now advances" `Quick test_now_advances;
+    Alcotest.test_case "relative schedule" `Quick test_schedule_relative;
+    Alcotest.test_case "past rejected" `Quick test_schedule_past_rejected;
+    Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
+    Alcotest.test_case "run_until" `Quick test_run_until;
+    Alcotest.test_case "stop" `Quick test_stop;
+    Alcotest.test_case "step" `Quick test_step;
+    Alcotest.test_case "step limit" `Quick test_step_limit;
+    Alcotest.test_case "events processed" `Quick test_events_processed;
+    Alcotest.test_case "cascading" `Quick test_cascading_events;
+  ]

@@ -1,0 +1,43 @@
+(* Smoke coverage of the experiment harness: every cheap section must run to
+   completion (the expensive sweeps are exercised by `bench/main.exe`, whose
+   output is a deliverable of its own).  Output is diverted to a buffer file
+   so the test log stays readable. *)
+
+module Experiments = Dsm_experiments.Experiments
+
+let with_silenced_stdout f =
+  let devnull = open_out (Filename.concat (Filename.get_temp_dir_name ()) "dsm_bench_smoke.out") in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 (Unix.descr_of_out_channel devnull) Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      close_out devnull)
+    f
+
+let cheap_sections =
+  [ "fig1"; "fig2"; "fig3"; "fig5"; "litmus"; "session"; "weak"; "lat"; "model"; "board" ]
+
+let test_section name () =
+  match List.assoc_opt name Experiments.all with
+  | None -> Alcotest.fail ("unknown section " ^ name)
+  | Some run -> with_silenced_stdout run
+
+let test_all_sections_registered () =
+  (* Every section named in DESIGN.md's index exists in the registry. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true
+        (List.mem_assoc name Experiments.all))
+    [
+      "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "msg"; "dict"; "weak"; "lat";
+      "litmus"; "session"; "bytes"; "scale"; "atomicity"; "abl-inv"; "abl-precise";
+      "abl-page"; "abl-discard"; "block"; "barrier"; "board"; "dyn"; "model"; "async";
+    ]
+
+let suite =
+  List.map (fun name -> Alcotest.test_case ("section " ^ name) `Slow (test_section name)) cheap_sections
+  @ [ Alcotest.test_case "registry complete" `Quick test_all_sections_registered ]

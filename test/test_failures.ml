@@ -1,0 +1,144 @@
+(* Failure injection: the protocol assumes reliable links (Section 3); these
+   tests show what the harness surfaces when that assumption is broken, and
+   that detection hooks (dropped counters, stuck-process reporting) work. *)
+
+module Engine = Dsm_sim.Engine
+module Proc = Dsm_runtime.Proc
+module Network = Dsm_net.Network
+module Latency = Dsm_net.Latency
+module Cluster = Dsm_causal.Cluster
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module Owner = Dsm_memory.Owner
+
+let v i = Loc.indexed "v" i
+
+let setup () =
+  let e = Engine.create () in
+  let s = Proc.scheduler e in
+  let c =
+    Cluster.create ~sched:s ~owner:(Owner.by_index ~nodes:3)
+      ~latency:(Latency.Constant 1.0) ()
+  in
+  (e, s, c)
+
+let test_down_link_drops () =
+  let e = Engine.create () in
+  let net = Network.create e ~nodes:2 () in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> ());
+  Network.set_link_down net ~src:0 ~dst:1 true;
+  Network.send net ~src:0 ~dst:1 "lost";
+  Engine.run e;
+  Alcotest.(check int) "dropped" 1 (Network.dropped net);
+  Alcotest.(check int) "never sent" 0 (Network.lifetime_total net)
+
+let test_heal_restores () =
+  let e = Engine.create () in
+  let net = Network.create e ~nodes:2 () in
+  let got = ref 0 in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> incr got);
+  Network.set_link_down net ~src:0 ~dst:1 true;
+  Network.send net ~src:0 ~dst:1 "lost";
+  Network.heal_all net;
+  Network.send net ~src:0 ~dst:1 "arrives";
+  Engine.run e;
+  Alcotest.(check int) "one arrived" 1 !got;
+  Alcotest.(check int) "one dropped" 1 (Network.dropped net)
+
+let test_partition_is_bidirectional () =
+  let e = Engine.create () in
+  let net = Network.create e ~nodes:4 () in
+  for n = 0 to 3 do
+    Network.set_handler net ~node:n (fun ~src:_ _ -> ())
+  done;
+  Network.partition net [ 0; 1 ] [ 2; 3 ];
+  Network.send net ~src:0 ~dst:2 "x";
+  Network.send net ~src:3 ~dst:1 "y";
+  Network.send net ~src:0 ~dst:1 "ok";
+  Engine.run e;
+  Alcotest.(check int) "cross-partition dropped" 2 (Network.dropped net);
+  Alcotest.(check int) "intra-partition flows" 1 (Network.lifetime_total net)
+
+let test_blocked_reader_is_detected () =
+  (* Node 0 reads a location owned by node 1 while the link is down: the
+     READ is dropped, the reader blocks forever, and [unfinished] names it
+     after the engine quiesces. *)
+  let e, s, c = setup () in
+  Network.set_link_down (Cluster.net c) ~src:0 ~dst:1 true;
+  ignore
+    (Proc.spawn s ~name:"reader" (fun () ->
+         ignore (Cluster.read (Cluster.handle c 0) (v 1))));
+  Engine.run e;
+  Alcotest.(check (list string)) "stuck process reported" [ "reader" ] (Proc.unfinished s);
+  Alcotest.(check int) "the READ was dropped" 1 (Network.dropped (Cluster.net c))
+
+let test_lost_reply_also_blocks () =
+  let e, s, c = setup () in
+  (* Request gets through; the reply is dropped. *)
+  Network.set_link_down (Cluster.net c) ~src:1 ~dst:0 true;
+  ignore
+    (Proc.spawn s ~name:"writer" (fun () ->
+         Cluster.write (Cluster.handle c 0) (v 1) (Value.Int 5)));
+  Engine.run e;
+  Alcotest.(check (list string)) "stuck on lost W_REPLY" [ "writer" ] (Proc.unfinished s);
+  (* The owner still applied the write — certified state and blocked writer
+     can diverge under message loss, which is why the paper assumes
+     reliability. *)
+  let seen = ref Value.Free in
+  ignore (Proc.spawn s ~name:"probe" (fun () -> seen := Cluster.read (Cluster.handle c 1) (v 1)));
+  Engine.run e;
+  Alcotest.(check bool) "owner applied the write" true (Value.equal !seen (Value.Int 5))
+
+let test_unaffected_nodes_progress () =
+  let e, s, c = setup () in
+  Network.partition (Cluster.net c) [ 0 ] [ 1 ];
+  let ok = ref false in
+  ignore
+    (Proc.spawn s ~name:"victim" (fun () ->
+         ignore (Cluster.read (Cluster.handle c 0) (v 1))));
+  ignore
+    (Proc.spawn s ~name:"bystander" (fun () ->
+         Cluster.write (Cluster.handle c 2) (v 2) (Value.Int 1);
+         ignore (Cluster.read (Cluster.handle c 2) (v 1));
+         ok := true));
+  Engine.run e;
+  Alcotest.(check bool) "bystander finished" true !ok;
+  Alcotest.(check (list string)) "only victim stuck" [ "victim" ] (Proc.unfinished s)
+
+let test_unfinished_empty_on_clean_run () =
+  let e, s, c = setup () in
+  ignore
+    (Proc.spawn s ~name:"fine" (fun () ->
+         Cluster.write (Cluster.handle c 0) (v 1) (Value.Int 1)));
+  Engine.run e;
+  Proc.check s;
+  Alcotest.(check (list string)) "none stuck" [] (Proc.unfinished s)
+
+let test_history_remains_causal_under_partition () =
+  (* Whatever completes before/despite the partition is still causally
+     correct — safety is unaffected by message loss, only liveness. *)
+  let e, s, c = setup () in
+  ignore
+    (Proc.spawn s ~name:"a" (fun () ->
+         Cluster.write (Cluster.handle c 0) (v 0) (Value.Int 1);
+         ignore (Cluster.read (Cluster.handle c 0) (v 2))));
+  ignore
+    (Proc.spawn s ~name:"b" (fun () ->
+         Proc.sleep 5.0;
+         Network.partition (Cluster.net c) [ 0 ] [ 1; 2 ];
+         Cluster.write (Cluster.handle c 1) (v 1) (Value.Int 2)));
+  Engine.run e;
+  Alcotest.(check bool) "recorded prefix causal" true
+    (Dsm_checker.Causal_check.is_correct (Cluster.history c))
+
+let suite =
+  [
+    Alcotest.test_case "down link drops" `Quick test_down_link_drops;
+    Alcotest.test_case "heal restores" `Quick test_heal_restores;
+    Alcotest.test_case "partition bidirectional" `Quick test_partition_is_bidirectional;
+    Alcotest.test_case "blocked reader detected" `Quick test_blocked_reader_is_detected;
+    Alcotest.test_case "lost reply blocks" `Quick test_lost_reply_also_blocks;
+    Alcotest.test_case "bystanders progress" `Quick test_unaffected_nodes_progress;
+    Alcotest.test_case "clean run: none stuck" `Quick test_unfinished_empty_on_clean_run;
+    Alcotest.test_case "safety under partition" `Quick test_history_remains_causal_under_partition;
+  ]

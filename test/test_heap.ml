@@ -1,0 +1,96 @@
+(* Tests for Dsm_util.Heap: ordering, FIFO tie-breaking, capacity growth. *)
+
+module Heap = Dsm_util.Heap
+
+let make () = Heap.create ~cmp:Int.compare ()
+
+let test_empty () =
+  let h = make () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length 0" 0 (Heap.length h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None)
+
+let test_ordering () =
+  let h = make () in
+  List.iter (fun k -> Heap.push h k (string_of_int k)) [ 5; 1; 4; 2; 3 ];
+  let order = List.init 5 (fun _ -> fst (Option.get (Heap.pop h))) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] order
+
+let test_fifo_ties () =
+  let h = make () in
+  Heap.push h 1 "first";
+  Heap.push h 1 "second";
+  Heap.push h 0 "zero";
+  Heap.push h 1 "third";
+  Alcotest.(check string) "min first" "zero" (snd (Option.get (Heap.pop h)));
+  Alcotest.(check string) "tie 1" "first" (snd (Option.get (Heap.pop h)));
+  Alcotest.(check string) "tie 2" "second" (snd (Option.get (Heap.pop h)));
+  Alcotest.(check string) "tie 3" "third" (snd (Option.get (Heap.pop h)))
+
+let test_peek_keeps () =
+  let h = make () in
+  Heap.push h 2 "x";
+  Alcotest.(check bool) "peek some" true (Heap.peek h = Some (2, "x"));
+  Alcotest.(check int) "still there" 1 (Heap.length h)
+
+let test_interleaved () =
+  let h = make () in
+  Heap.push h 3 "c";
+  Heap.push h 1 "a";
+  Alcotest.(check string) "pop a" "a" (snd (Option.get (Heap.pop h)));
+  Heap.push h 2 "b";
+  Alcotest.(check string) "pop b" "b" (snd (Option.get (Heap.pop h)));
+  Alcotest.(check string) "pop c" "c" (snd (Option.get (Heap.pop h)))
+
+let test_clear () =
+  let h = make () in
+  for i = 1 to 10 do
+    Heap.push h i i
+  done;
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let test_growth () =
+  let h = make () in
+  for i = 1000 downto 1 do
+    Heap.push h i i
+  done;
+  Alcotest.(check int) "all in" 1000 (Heap.length h);
+  let prev = ref 0 in
+  for _ = 1 to 1000 do
+    let k, _ = Option.get (Heap.pop h) in
+    Alcotest.(check bool) "monotone" true (k > !prev);
+    prev := k
+  done
+
+let test_to_sorted_list () =
+  let h = make () in
+  List.iter (fun k -> Heap.push h k ()) [ 9; 4; 6; 1 ];
+  let keys = List.map fst (Heap.to_sorted_list h) in
+  Alcotest.(check (list int)) "sorted view" [ 1; 4; 6; 9 ] keys;
+  Alcotest.(check int) "non destructive" 4 (Heap.length h)
+
+let prop_heapsort =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = make () in
+      List.iter (fun x -> Heap.push h x ()) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (k, ()) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+    Alcotest.test_case "peek keeps" `Quick test_peek_keeps;
+    Alcotest.test_case "interleaved" `Quick test_interleaved;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "growth" `Quick test_growth;
+    Alcotest.test_case "to_sorted_list" `Quick test_to_sorted_list;
+    QCheck_alcotest.to_alcotest prop_heapsort;
+  ]

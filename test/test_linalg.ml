@@ -1,0 +1,90 @@
+(* Tests for Dsm_apps.Linalg. *)
+
+module Linalg = Dsm_apps.Linalg
+module Prng = Dsm_util.Prng
+
+let small_problem () =
+  (* 2x2 diagonally dominant system with known solution (1, 2):
+     4x + y = 6; x + 3y = 7. *)
+  { Linalg.a = [| [| 4.0; 1.0 |]; [| 1.0; 3.0 |] |]; b = [| 6.0; 7.0 |] }
+
+let test_solve_exact_known () =
+  let x = Linalg.solve_exact (small_problem ()) in
+  Alcotest.(check (float 1e-9)) "x0" 1.0 x.(0);
+  Alcotest.(check (float 1e-9)) "x1" 2.0 x.(1)
+
+let test_solve_exact_pivots () =
+  (* Requires row exchange: zero pivot in the corner. *)
+  let p = { Linalg.a = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |]; b = [| 2.0; 3.0 |] } in
+  let x = Linalg.solve_exact p in
+  Alcotest.(check (float 1e-9)) "x0" 3.0 x.(0);
+  Alcotest.(check (float 1e-9)) "x1" 2.0 x.(1)
+
+let test_solve_exact_singular () =
+  let p = { Linalg.a = [| [| 1.0; 1.0 |]; [| 2.0; 2.0 |] |]; b = [| 1.0; 2.0 |] } in
+  Alcotest.(check bool) "singular detected" true
+    (try
+       ignore (Linalg.solve_exact p);
+       false
+     with Failure _ -> true)
+
+let test_jacobi_converges () =
+  let p = small_problem () in
+  let x = Linalg.jacobi p ~iters:60 in
+  let exact = Linalg.solve_exact p in
+  Alcotest.(check bool) "close" true (Linalg.max_diff x exact < 1e-10)
+
+let test_jacobi_zero_iters () =
+  let x = Linalg.jacobi (small_problem ()) ~iters:0 in
+  Alcotest.(check (array (float 0.0))) "zero vector" [| 0.0; 0.0 |] x
+
+let test_random_problems_converge () =
+  let prng = Prng.create 5L in
+  for _ = 1 to 5 do
+    let p = Linalg.random_diagonally_dominant prng ~n:8 in
+    let x = Linalg.jacobi p ~iters:120 in
+    Alcotest.(check bool) "residual small" true (Linalg.residual p x < 1e-8)
+  done
+
+let test_diagonal_dominance () =
+  let prng = Prng.create 9L in
+  let p = Linalg.random_diagonally_dominant prng ~n:10 in
+  Array.iteri
+    (fun i row ->
+      let off = ref 0.0 in
+      Array.iteri (fun j v -> if j <> i then off := !off +. Float.abs v) row;
+      Alcotest.(check bool) "dominant" true (Float.abs row.(i) > !off))
+    p.Linalg.a
+
+let test_residual_zero_for_exact () =
+  let p = small_problem () in
+  Alcotest.(check bool) "exact has ~0 residual" true
+    (Linalg.residual p (Linalg.solve_exact p) < 1e-9)
+
+let test_max_diff () =
+  Alcotest.(check (float 0.0)) "diff" 3.0 (Linalg.max_diff [| 1.0; 5.0 |] [| 1.0; 2.0 |]);
+  Alcotest.(check bool) "mismatch rejected" true
+    (try
+       ignore (Linalg.max_diff [| 1.0 |] [| 1.0; 2.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_jacobi_step_formula () =
+  let p = small_problem () in
+  let x1 = Linalg.jacobi_step p [| 0.0; 0.0 |] in
+  Alcotest.(check (float 1e-12)) "x0 = b0/a00" 1.5 x1.(0);
+  Alcotest.(check (float 1e-12)) "x1 = b1/a11" (7.0 /. 3.0) x1.(1)
+
+let suite =
+  [
+    Alcotest.test_case "solve_exact known" `Quick test_solve_exact_known;
+    Alcotest.test_case "solve_exact pivots" `Quick test_solve_exact_pivots;
+    Alcotest.test_case "solve_exact singular" `Quick test_solve_exact_singular;
+    Alcotest.test_case "jacobi converges" `Quick test_jacobi_converges;
+    Alcotest.test_case "jacobi zero iters" `Quick test_jacobi_zero_iters;
+    Alcotest.test_case "random problems" `Quick test_random_problems_converge;
+    Alcotest.test_case "diagonal dominance" `Quick test_diagonal_dominance;
+    Alcotest.test_case "residual" `Quick test_residual_zero_for_exact;
+    Alcotest.test_case "max_diff" `Quick test_max_diff;
+    Alcotest.test_case "jacobi step" `Quick test_jacobi_step_formula;
+  ]

@@ -1,0 +1,56 @@
+(* Litmus-test classifications: every classic shape must land exactly where
+   the literature (and the paper's strict definition) places it. *)
+
+module Litmus = Dsm_checker.Litmus
+
+let case_test (c : Litmus.case) () =
+  List.iter
+    (fun (checker, expected, measured) ->
+      Alcotest.(check bool) (c.Litmus.name ^ " / " ^ checker) expected measured)
+    (Litmus.check c)
+
+let test_wrc_separates_causal_from_pram () =
+  (* The defining separation: WRC is PRAM-legal but causally illegal. *)
+  let c = Litmus.write_read_causality in
+  Alcotest.(check bool) "pram allows" true
+    (Dsm_checker.Consistency.is_pram c.Litmus.history);
+  Alcotest.(check bool) "causal forbids" false
+    (Dsm_checker.Causal_check.is_correct c.Litmus.history)
+
+let test_sb_separates_sc_from_causal () =
+  let c = Litmus.store_buffering in
+  Alcotest.(check bool) "causal allows" true
+    (Dsm_checker.Causal_check.is_correct c.Litmus.history);
+  Alcotest.(check bool) "sc forbids" false (Dsm_checker.Consistency.is_sc c.Litmus.history)
+
+let test_hierarchy_is_respected () =
+  (* On every litmus case: sc => causal => pram => slow. *)
+  List.iter
+    (fun (c : Litmus.case) ->
+      let cl = Dsm_checker.Consistency.classify c.Litmus.history in
+      let imp a b = (not a) || b in
+      Alcotest.(check bool) (c.Litmus.name ^ " sc=>causal") true
+        (imp cl.Dsm_checker.Consistency.sc cl.Dsm_checker.Consistency.causal);
+      Alcotest.(check bool) (c.Litmus.name ^ " causal=>pram") true
+        (imp cl.Dsm_checker.Consistency.causal cl.Dsm_checker.Consistency.pram);
+      Alcotest.(check bool) (c.Litmus.name ^ " pram=>slow") true
+        (imp cl.Dsm_checker.Consistency.pram cl.Dsm_checker.Consistency.slow))
+    Litmus.all
+
+let test_naive_checker_agrees_on_litmus () =
+  List.iter
+    (fun (c : Litmus.case) ->
+      Alcotest.(check bool) c.Litmus.name c.Litmus.expected.Litmus.causal
+        (Dsm_checker.Causal_check.Naive.is_correct c.Litmus.history))
+    Litmus.all
+
+let suite =
+  List.map
+    (fun (c : Litmus.case) -> Alcotest.test_case c.Litmus.name `Quick (case_test c))
+    Litmus.all
+  @ [
+      Alcotest.test_case "WRC separates causal/PRAM" `Quick test_wrc_separates_causal_from_pram;
+      Alcotest.test_case "SB separates SC/causal" `Quick test_sb_separates_sc_from_causal;
+      Alcotest.test_case "hierarchy respected" `Quick test_hierarchy_is_respected;
+      Alcotest.test_case "naive agrees" `Quick test_naive_checker_agrees_on_litmus;
+    ]

@@ -1,0 +1,316 @@
+(* Exhaustive small-scope verification of the Figure 4 protocol, plus
+   mutation testing: breaking any of the algorithm's rules must produce a
+   causal violation the explorer finds. *)
+
+module Model = Dsm_model.Model
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module History = Dsm_memory.History
+
+let x = Loc.named "x"
+
+let y = Loc.named "y"
+
+let v i = Loc.indexed "v" i
+
+(* P0 owns x, P1 owns y: the Figure 5 layout. *)
+let fig5_cfg =
+  {
+    Model.owner_of = (fun loc -> if Loc.equal loc x then 0 else 1);
+    policy = Model.Lww;
+    programs =
+      [
+        [ Model.Read y; Model.Write (x, Value.Int 1); Model.Read y ];
+        [ Model.Read x; Model.Write (y, Value.Int 1); Model.Read x ];
+      ];
+  }
+
+(* A single-owner publication shape: P0 owns both locations and publishes
+   data-then-flag; P1 polls.  The invalidation rule is what keeps P1 from
+   reading stale data after seeing the new flag. *)
+let publication_cfg =
+  {
+    Model.owner_of = (fun _ -> 0);
+    policy = Model.Lww;
+    programs =
+      [
+        [ Model.Write (y, Value.Int 1); Model.Write (x, Value.Int 2) ];
+        [ Model.Read y; Model.Read x; Model.Read y ];
+      ];
+  }
+
+let three_node_cfg =
+  {
+    Model.owner_of = (fun loc -> match loc with Loc.Indexed (_, i) -> i mod 3 | _ -> 0);
+    policy = Model.Lww;
+    programs =
+      [
+        [ Model.Write (v 1, Value.Int 10); Model.Read (v 2) ];
+        [ Model.Write (v 2, Value.Int 20); Model.Read (v 1) ];
+        [ Model.Read (v 1); Model.Read (v 2) ];
+      ];
+  }
+
+(* Remote writers contending on one owner. *)
+let contention_cfg =
+  {
+    Model.owner_of = (fun _ -> 0);
+    policy = Model.Lww;
+    programs =
+      [
+        [ Model.Read x ];
+        [ Model.Write (x, Value.Int 1); Model.Read x ];
+        [ Model.Write (x, Value.Int 2); Model.Read x ];
+      ];
+  }
+
+let all_faithful_configs =
+  [
+    ("fig5", fig5_cfg);
+    ("publication", publication_cfg);
+    ("three-node", three_node_cfg);
+    ("contention", contention_cfg);
+  ]
+
+let test_faithful_protocol_never_violates () =
+  List.iter
+    (fun (name, cfg) ->
+      let stats = Model.explore cfg in
+      Alcotest.(check int) (name ^ ": no violations") 0 (List.length stats.Model.violations);
+      Alcotest.(check bool) (name ^ ": explored something") true
+        (stats.Model.states_explored > 0);
+      Alcotest.(check bool) (name ^ ": reached terminals") true
+        (stats.Model.terminal_histories > 0))
+    all_faithful_configs
+
+let test_fig5_weak_execution_reachable () =
+  let histories = Model.distinct_terminal_histories fig5_cfg in
+  let fig5_text = "P0: r(y)0 w(x)1 r(y)0\nP1: r(x)0 w(y)1 r(x)0" in
+  Alcotest.(check bool) "paper's weak execution among them" true
+    (List.exists (fun h -> History.to_string h = fig5_text) histories);
+  (* Every reachable execution is causally correct. *)
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) (History.to_string h) true (Dsm_checker.Causal_check.is_correct h))
+    histories
+
+let test_fig5_exactly_three_executions () =
+  (* The blocking protocol narrows the space: both remote first reads return
+     0, both re-reads return cached 0; only the relative order of the two
+     remote writes' certifications can vary, collapsing to 3 distinct
+     histories.  A regression guard on the explorer itself. *)
+  let histories = Model.distinct_terminal_histories fig5_cfg in
+  Alcotest.(check int) "distinct executions" 3 (List.length histories)
+
+let test_skip_invalidation_found () =
+  let stats = Model.explore ~variant:Model.Skip_invalidation publication_cfg in
+  Alcotest.(check bool) "mutation caught" true (List.length stats.Model.violations > 0)
+
+(* The configuration on which the model checker originally found the
+   stale-install race in the published pseudocode: P2 owns y and overwrites
+   it; P0 reads the new y and writes x at owner P1; P1's own read of y is in
+   flight while it certifies P0's write. *)
+let race_probe =
+  {
+    Model.owner_of =
+      (fun loc -> if Loc.equal loc x then 1 else if Loc.equal loc y then 2 else 0);
+    policy = Model.Lww;
+    programs =
+      [
+        [ Model.Read y; Model.Write (x, Value.Int 5) ];
+        [ Model.Read y; Model.Read x; Model.Read y ];
+        [ Model.Write (y, Value.Int 1); Model.Write (y, Value.Int 3) ];
+      ];
+  }
+
+let test_figure4_literal_admits_violations () =
+  (* The finding: the published pseudocode, with owners servicing requests
+     while blocked (which deadlock-freedom forces), caches a reply that
+     raced with a write certification and later reads an overwritten
+     value. *)
+  let literal = Model.explore ~variant:Model.Figure4_literal race_probe in
+  Alcotest.(check bool) "literal Figure 4 violates" true (literal.Model.violations <> []);
+  (* The patched algorithm (stale-install guard) is exhaustively clean. *)
+  let patched = Model.explore race_probe in
+  Alcotest.(check int) "patched is clean" 0 (List.length patched.Model.violations)
+
+let test_skip_certify_merge_found () =
+  (* Without the owner's clock merge, servicing a WRITE no longer
+     invalidates the owner's stale cache, and the owner can later read its
+     own copy of the certified write (a reads-from edge!) and then a value
+     that write's causal past overwrites. *)
+  let mutant = Model.explore ~variant:Model.Skip_certify_merge race_probe in
+  Alcotest.(check bool) "mutation caught" true (mutant.Model.violations <> [])
+
+let test_skip_install_merge_found () =
+  (* Without merging fetched stamps, a reader's later writes carry stamps
+     that do not dominate what it read, so downstream consumers keep stale
+     caches.  Shape: P0 overwrites x; P1 reads the new x and writes y; P2
+     cached the old x, reads y, then re-reads x. *)
+  let probe =
+    {
+      Model.owner_of =
+        (fun loc -> if Loc.equal loc x then 0 else if Loc.equal loc y then 1 else 2);
+      policy = Model.Lww;
+      programs =
+        [
+          [ Model.Write (x, Value.Int 1); Model.Write (x, Value.Int 3) ];
+          [ Model.Read x; Model.Write (y, Value.Int 2) ];
+          [ Model.Read x; Model.Read y; Model.Read x ];
+        ];
+    }
+  in
+  let patched = Model.explore probe in
+  Alcotest.(check int) "patched is clean on the probe" 0
+    (List.length patched.Model.violations);
+  let mutant = Model.explore ~variant:Model.Skip_install_merge probe in
+  Alcotest.(check bool) "mutation caught" true (mutant.Model.violations <> [])
+
+let test_empty_config_rejected () =
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Model.explore { Model.owner_of = (fun _ -> 0); programs = []; policy = Model.Lww });
+       false
+     with Invalid_argument _ -> true)
+
+let test_state_limit () =
+  Alcotest.(check bool) "limit enforced" true
+    (try
+       ignore (Model.explore ~state_limit:5 three_node_cfg);
+       false
+     with Failure _ -> true)
+
+(* Exhaustive verification of the Section 4.2 dictionary-race argument.
+   P0 owns the cell: it inserts "a" (1) then re-inserts "b" (2) over a
+   delete; P1 reads the cell and then blind-writes the free marker (99).
+   The paper's guarantee: a delete based on a stale view never kills the
+   newer insert — in every schedule where P1's read saw the OLD value (or
+   the initial one), the owner's final value is 2 under owner-favored
+   resolution. *)
+let race_model policy =
+  {
+    Model.owner_of = (fun _ -> 0);
+    policy;
+    programs =
+      [
+        [ Model.Write (x, Value.Int 1); Model.Write (x, Value.Int 2) ];
+        [ Model.Read x; Model.Write (x, Value.Int 99) ];
+      ];
+  }
+
+let stale_delete_lost_insert (history, finals) =
+  let rows = (history : History.t :> Dsm_memory.Op.t array array) in
+  let p1_read = rows.(1).(0) in
+  let read_stale =
+    not (Dsm_memory.Value.equal p1_read.Dsm_memory.Op.value (Value.Int 2))
+  in
+  let final_x = List.assoc x finals in
+  read_stale && Dsm_memory.Value.equal final_x (Value.Int 99)
+
+let test_dictionary_race_exhaustive_owner_favored () =
+  let terminals = Model.distinct_terminals (race_model Model.Owner_favored) in
+  Alcotest.(check bool) "some schedules exist" true (List.length terminals > 0);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "stale delete never kills the re-insert" false
+        (stale_delete_lost_insert t))
+    terminals
+
+let test_dictionary_race_exhaustive_lww_fails () =
+  (* The ablation, exhaustively: under last-writer-wins SOME schedule loses
+     the re-insert to a stale delete. *)
+  let terminals = Model.distinct_terminals (race_model Model.Lww) in
+  Alcotest.(check bool) "a losing schedule exists" true
+    (List.exists stale_delete_lost_insert terminals)
+
+let test_policy_affects_only_concurrent () =
+  (* When the deleter's read saw the NEW value, its delete causally follows
+     and must be applied under both policies in some schedule. *)
+  List.iter
+    (fun policy ->
+      let terminals = Model.distinct_terminals (race_model policy) in
+      Alcotest.(check bool) "an ordered delete applies" true
+        (List.exists
+           (fun (history, finals) ->
+             let rows = (history : History.t :> Dsm_memory.Op.t array array) in
+             let saw_new =
+               Dsm_memory.Value.equal rows.(1).(0).Dsm_memory.Op.value (Value.Int 2)
+             in
+             saw_new && Dsm_memory.Value.equal (List.assoc x finals) (Value.Int 99))
+           terminals))
+    [ Model.Lww; Model.Owner_favored ]
+
+(* Cross-validation: the simulator protocol and the model are independent
+   implementations of the same algorithm.  Any history the simulator
+   produces for a configuration (under any latency schedule) must be among
+   the model's exhaustively enumerated terminal histories. *)
+let run_config_on_simulator cfg ~seed =
+  let module Engine = Dsm_sim.Engine in
+  let module Proc = Dsm_runtime.Proc in
+  let module Cluster = Dsm_causal.Cluster in
+  let nodes = List.length cfg.Model.programs in
+  let owner = Dsm_memory.Owner.make ~nodes cfg.Model.owner_of in
+  let engine = Engine.create () in
+  let sched = Proc.scheduler engine in
+  let cluster =
+    Cluster.create ~sched ~owner
+      ~latency:(Dsm_net.Latency.Uniform (0.1, 10.0))
+      ~seed ()
+  in
+  let prng = Dsm_util.Prng.create seed in
+  List.iteri
+    (fun i program ->
+      let start = Dsm_util.Prng.float prng 5.0 in
+      ignore
+        (Proc.spawn sched ~delay:start (fun () ->
+             List.iter
+               (fun op ->
+                 match op with
+                 | Model.Read loc -> ignore (Cluster.read (Cluster.handle cluster i) loc)
+                 | Model.Write (loc, v) -> Cluster.write (Cluster.handle cluster i) loc v)
+               program)))
+    cfg.Model.programs;
+  Engine.run engine;
+  Proc.check sched;
+  History.to_string (Cluster.history cluster)
+
+let test_simulator_subset_of_model () =
+  List.iter
+    (fun (name, cfg) ->
+      let model_set =
+        Model.distinct_terminal_histories cfg |> List.map History.to_string
+      in
+      for seed = 1 to 25 do
+        let history = run_config_on_simulator cfg ~seed:(Int64.of_int seed) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s seed %d: simulator history known to model" name seed)
+          true
+          (List.mem history model_set)
+      done)
+    [ ("fig5", fig5_cfg); ("contention", contention_cfg); ("publication", publication_cfg) ]
+
+let test_deterministic () =
+  let a = Model.explore fig5_cfg and b = Model.explore fig5_cfg in
+  Alcotest.(check int) "states" a.Model.states_explored b.Model.states_explored;
+  Alcotest.(check int) "terminals" a.Model.terminal_histories b.Model.terminal_histories
+
+let suite =
+  [
+    Alcotest.test_case "faithful never violates" `Quick test_faithful_protocol_never_violates;
+    Alcotest.test_case "fig5 weak execution reachable" `Quick test_fig5_weak_execution_reachable;
+    Alcotest.test_case "fig5 execution count" `Quick test_fig5_exactly_three_executions;
+    Alcotest.test_case "FINDING: literal Figure 4 violates" `Quick
+      test_figure4_literal_admits_violations;
+    Alcotest.test_case "mutation: skip invalidation" `Quick test_skip_invalidation_found;
+    Alcotest.test_case "mutation: skip certify merge" `Quick test_skip_certify_merge_found;
+    Alcotest.test_case "mutation: skip install merge" `Quick test_skip_install_merge_found;
+    Alcotest.test_case "empty config" `Quick test_empty_config_rejected;
+    Alcotest.test_case "state limit" `Quick test_state_limit;
+    Alcotest.test_case "dict race exhaustive (owner-favored)" `Quick
+      test_dictionary_race_exhaustive_owner_favored;
+    Alcotest.test_case "dict race exhaustive (lww ablation)" `Quick
+      test_dictionary_race_exhaustive_lww_fails;
+    Alcotest.test_case "policy only on concurrent" `Quick test_policy_affects_only_concurrent;
+    Alcotest.test_case "simulator subset of model" `Slow test_simulator_subset_of_model;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+  ]

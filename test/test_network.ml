@@ -1,0 +1,163 @@
+(* Tests for Dsm_net: latency models and the FIFO reliable transport. *)
+
+module Engine = Dsm_sim.Engine
+module Latency = Dsm_net.Latency
+module Network = Dsm_net.Network
+module Prng = Dsm_util.Prng
+
+let test_latency_constant () =
+  let p = Prng.create 1L in
+  Alcotest.(check (float 0.0)) "constant" 2.0 (Latency.sample (Latency.Constant 2.0) p)
+
+let test_latency_positive () =
+  let p = Prng.create 1L in
+  Alcotest.(check bool) "clamped" true (Latency.sample (Latency.Constant (-5.0)) p > 0.0)
+
+let test_latency_uniform () =
+  let p = Prng.create 2L in
+  for _ = 1 to 1000 do
+    let v = Latency.sample (Latency.Uniform (1.0, 3.0)) p in
+    Alcotest.(check bool) "in range" true (v >= 1.0 && v <= 3.0)
+  done
+
+let test_latency_exponential () =
+  let p = Prng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Latency.sample (Latency.Exponential { base = 2.0; mean = 1.0 }) p in
+    Alcotest.(check bool) "above base" true (v >= 2.0)
+  done
+
+let setup ?(nodes = 3) ?latency () =
+  let e = Engine.create () in
+  let net = Network.create e ~nodes ?latency () in
+  (e, net)
+
+let test_delivery () =
+  let e, net = setup ~latency:(Latency.Constant 1.0) () in
+  let got = ref [] in
+  Network.set_handler net ~node:1 (fun ~src msg -> got := (src, msg) :: !got);
+  Network.send net ~src:0 ~dst:1 "hello";
+  Engine.run e;
+  Alcotest.(check bool) "delivered" true (!got = [ (0, "hello") ])
+
+let test_fifo_per_link_even_with_reordering_latency () =
+  (* A huge latency spread would reorder messages; FIFO must prevail. *)
+  let e = Engine.create () in
+  let net = Network.create e ~nodes:2 ~latency:(Latency.Uniform (0.1, 50.0)) () in
+  let got = ref [] in
+  Network.set_handler net ~node:1 (fun ~src:_ msg -> got := msg :: !got);
+  for i = 1 to 50 do
+    Network.send net ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "in order" (List.init 50 (fun i -> i + 1)) (List.rev !got)
+
+let test_counters () =
+  let e, net = setup ~latency:(Latency.Constant 1.0) () in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> ());
+  Network.set_handler net ~node:2 (fun ~src:_ _ -> ());
+  Network.send net ~src:0 ~dst:1 ~kind:"A" ~size:10 "x";
+  Network.send net ~src:0 ~dst:2 ~kind:"B" ~size:5 "y";
+  Network.send net ~src:1 ~dst:2 ~kind:"A" ~size:1 "z";
+  Engine.run e;
+  let c = Network.counters net in
+  Alcotest.(check int) "total" 3 c.Network.total;
+  Alcotest.(check int) "bytes" 16 c.Network.bytes;
+  Alcotest.(check (list (pair string int))) "kinds" [ ("A", 2); ("B", 1) ] c.Network.by_kind;
+  Alcotest.(check (array int)) "sent_by" [| 2; 1; 0 |] c.Network.sent_by;
+  Alcotest.(check (array int)) "received_by" [| 0; 1; 2 |] c.Network.received_by
+
+let test_reset_counters () =
+  let e, net = setup () in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> ());
+  Network.send net ~src:0 ~dst:1 "x";
+  Engine.run e;
+  Network.reset_counters net;
+  let c = Network.counters net in
+  Alcotest.(check int) "window empty" 0 c.Network.total;
+  Alcotest.(check int) "lifetime kept" 1 (Network.lifetime_total net)
+
+let test_self_send_is_local () =
+  let e, net = setup () in
+  let got = ref false in
+  Network.set_handler net ~node:0 (fun ~src msg ->
+      got := src = 0 && msg = "me");
+  Network.send net ~src:0 ~dst:0 "me";
+  Engine.run e;
+  Alcotest.(check bool) "delivered locally" true !got;
+  let c = Network.counters net in
+  Alcotest.(check int) "not a network message" 0 c.Network.total;
+  Alcotest.(check int) "counted as local" 1 c.Network.local
+
+let test_link_override () =
+  let e = Engine.create () in
+  let net = Network.create e ~nodes:2 ~latency:(Latency.Constant 1.0) () in
+  Network.set_link_latency net ~src:0 ~dst:1 (Latency.Constant 10.0);
+  let at = ref 0.0 in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> at := Engine.now e);
+  Network.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check (float 1e-6)) "slow link" 10.0 !at
+
+let test_missing_handler () =
+  let e, net = setup () in
+  Network.send net ~src:0 ~dst:1 "x";
+  Alcotest.check_raises "fails at delivery" (Failure "Network: node 1 has no handler installed")
+    (fun () -> Engine.run e)
+
+let test_bad_node () =
+  let _, net = setup () in
+  Alcotest.check_raises "src oob" (Invalid_argument "Network: src node 9 out of range")
+    (fun () -> Network.send net ~src:9 ~dst:0 "x")
+
+let test_in_flight () =
+  let e, net = setup ~latency:(Latency.Constant 1.0) () in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> ());
+  Network.send net ~src:0 ~dst:1 "x";
+  Alcotest.(check int) "one in flight" 1 (Network.in_flight net);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Network.in_flight net)
+
+let test_handlers_can_reply () =
+  let e, net = setup ~latency:(Latency.Constant 1.0) () in
+  let finished = ref 0.0 in
+  Network.set_handler net ~node:1 (fun ~src msg ->
+      if msg = "ping" then Network.send net ~src:1 ~dst:src "pong");
+  Network.set_handler net ~node:0 (fun ~src:_ msg ->
+      if msg = "pong" then finished := Engine.now e);
+  Network.send net ~src:0 ~dst:1 "ping";
+  Engine.run e;
+  Alcotest.(check (float 1e-6)) "round trip" 2.0 !finished
+
+let test_tracer () =
+  let e, net = setup ~latency:(Latency.Constant 1.0) () in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> ());
+  let seen = ref [] in
+  Network.set_tracer net (Some (fun ~time ~src ~dst ~kind msg ->
+      seen := (time, src, dst, kind, msg) :: !seen));
+  Network.send net ~src:0 ~dst:1 ~kind:"PING" "a";
+  Network.set_tracer net None;
+  Network.send net ~src:0 ~dst:1 ~kind:"PING" "b";
+  Engine.run e;
+  match !seen with
+  | [ (time, 0, 1, "PING", "a") ] -> Alcotest.(check (float 0.0)) "at send time" 0.0 time
+  | _ -> Alcotest.fail "tracer saw the wrong events"
+
+let suite =
+  [
+    Alcotest.test_case "latency constant" `Quick test_latency_constant;
+    Alcotest.test_case "latency positive" `Quick test_latency_positive;
+    Alcotest.test_case "latency uniform" `Quick test_latency_uniform;
+    Alcotest.test_case "latency exponential" `Quick test_latency_exponential;
+    Alcotest.test_case "delivery" `Quick test_delivery;
+    Alcotest.test_case "fifo per link" `Quick test_fifo_per_link_even_with_reordering_latency;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "reset counters" `Quick test_reset_counters;
+    Alcotest.test_case "self send" `Quick test_self_send_is_local;
+    Alcotest.test_case "link override" `Quick test_link_override;
+    Alcotest.test_case "missing handler" `Quick test_missing_handler;
+    Alcotest.test_case "bad node" `Quick test_bad_node;
+    Alcotest.test_case "in flight" `Quick test_in_flight;
+    Alcotest.test_case "handler replies" `Quick test_handlers_can_reply;
+    Alcotest.test_case "tracer" `Quick test_tracer;
+  ]

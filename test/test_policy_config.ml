@@ -1,0 +1,100 @@
+(* Tests for Dsm_causal.Stamped, Policy and Config. *)
+
+module Stamped = Dsm_causal.Stamped
+module Policy = Dsm_causal.Policy
+module Config = Dsm_causal.Config
+module Value = Dsm_memory.Value
+module Wid = Dsm_memory.Wid
+module Loc = Dsm_memory.Loc
+
+let entry ?(node = 0) ?(seq = 0) value stamp =
+  Stamped.make ~value:(Value.Int value) ~stamp:(Vclock.of_array stamp)
+    ~wid:(Wid.make ~node ~seq)
+
+let test_stamped_relations () =
+  let a = entry 1 [| 1; 0 |] and b = entry ~seq:1 2 [| 2; 1 |] in
+  Alcotest.(check bool) "b newer" true (Stamped.newer_than b a);
+  Alcotest.(check bool) "a not newer" false (Stamped.newer_than a b);
+  let c = entry ~node:1 3 [| 0; 1 |] in
+  Alcotest.(check bool) "concurrent" true (Stamped.concurrent a c)
+
+let test_stamped_initial () =
+  let i = Stamped.initial ~processes:3 (Value.Int 9) in
+  Alcotest.(check bool) "initial wid" true (Wid.is_initial i.Stamped.wid);
+  Alcotest.(check int) "zero stamp" 0 (Vclock.sum i.Stamped.stamp)
+
+let test_policy_lww_accepts_concurrent () =
+  let current = entry ~node:0 1 [| 1; 0 |] in
+  let incoming = entry ~node:1 2 [| 0; 1 |] in
+  Alcotest.(check bool) "accept" true
+    (Policy.decide Policy.Last_writer_wins ~owner:0 ~current ~incoming = Policy.Accept)
+
+let test_policy_owner_favored_rejects () =
+  (* Current value written by the owner itself; concurrent incoming loses. *)
+  let current = entry ~node:0 1 [| 1; 0 |] in
+  let incoming = entry ~node:1 2 [| 0; 1 |] in
+  Alcotest.(check bool) "reject" true
+    (Policy.decide Policy.Owner_favored ~owner:0 ~current ~incoming = Policy.Reject)
+
+let test_policy_owner_favored_accepts_third_party () =
+  (* Current value written by someone other than the owner. *)
+  let current = entry ~node:2 1 [| 0; 0; 1 |] in
+  let incoming = entry ~node:1 2 [| 0; 1; 0 |] in
+  Alcotest.(check bool) "accept" true
+    (Policy.decide Policy.Owner_favored ~owner:0 ~current ~incoming = Policy.Accept)
+
+let test_policy_causally_newer_always_wins () =
+  let current = entry ~node:0 1 [| 1; 0 |] in
+  let incoming = entry ~node:1 2 [| 1; 1 |] in
+  Alcotest.(check bool) "newer accepted even against owner" true
+    (Policy.decide Policy.Owner_favored ~owner:0 ~current ~incoming = Policy.Accept)
+
+let test_policy_custom () =
+  let veto = Policy.Custom (fun ~owner:_ ~current:_ ~incoming:_ -> Policy.Reject) in
+  let current = entry ~node:0 1 [| 1; 0 |] in
+  let incoming = entry ~node:1 2 [| 0; 1 |] in
+  Alcotest.(check bool) "custom consulted" true
+    (Policy.decide veto ~owner:0 ~current ~incoming = Policy.Reject);
+  Alcotest.(check bool) "custom not consulted when newer" true
+    (Policy.decide veto ~owner:0 ~current ~incoming:(entry ~node:1 2 [| 1; 1 |])
+    = Policy.Accept)
+
+let test_config_validate () =
+  Config.validate Config.default;
+  Alcotest.check_raises "page too small" (Invalid_argument "Config: page size must be >= 2")
+    (fun () -> Config.validate (Config.with_granularity (Config.Page 1) Config.default));
+  Alcotest.check_raises "bad period"
+    (Invalid_argument "Config: discard period must be positive") (fun () ->
+      Config.validate (Config.with_discard (Config.Periodic 0.0) Config.default));
+  Alcotest.check_raises "bad capacity" (Invalid_argument "Config: cache capacity must be >= 1")
+    (fun () -> Config.validate (Config.with_discard (Config.Capacity 0) Config.default))
+
+let test_config_page_of () =
+  let g = Config.Page 4 in
+  Alcotest.(check bool) "same page" true
+    (Config.page_of g (Loc.indexed "x" 0) = Config.page_of g (Loc.indexed "x" 3));
+  Alcotest.(check bool) "different page" true
+    (Config.page_of g (Loc.indexed "x" 3) <> Config.page_of g (Loc.indexed "x" 4));
+  Alcotest.(check bool) "different array" true
+    (Config.page_of g (Loc.indexed "x" 0) <> Config.page_of g (Loc.indexed "y" 0));
+  Alcotest.(check bool) "named unpageable" true (Config.page_of g (Loc.named "s") = None);
+  Alcotest.(check bool) "word has no pages" true
+    (Config.page_of Config.Word (Loc.indexed "x" 0) = None);
+  (* Cells page along the column dimension within one row. *)
+  Alcotest.(check bool) "cell same row pages" true
+    (Config.page_of g (Loc.cell "d" 1 0) = Config.page_of g (Loc.cell "d" 1 3));
+  Alcotest.(check bool) "cell rows differ" true
+    (Config.page_of g (Loc.cell "d" 1 0) <> Config.page_of g (Loc.cell "d" 2 0))
+
+let suite =
+  [
+    Alcotest.test_case "stamped relations" `Quick test_stamped_relations;
+    Alcotest.test_case "stamped initial" `Quick test_stamped_initial;
+    Alcotest.test_case "lww concurrent" `Quick test_policy_lww_accepts_concurrent;
+    Alcotest.test_case "owner-favored rejects" `Quick test_policy_owner_favored_rejects;
+    Alcotest.test_case "owner-favored third party" `Quick test_policy_owner_favored_accepts_third_party;
+    Alcotest.test_case "newer always wins" `Quick test_policy_causally_newer_always_wins;
+    Alcotest.test_case "custom policy" `Quick test_policy_custom;
+    Alcotest.test_case "config validate" `Quick test_config_validate;
+    Alcotest.test_case "config page_of" `Quick test_config_page_of;
+  ]

@@ -1,0 +1,163 @@
+(* Tests for Dsm_runtime.Proc: coroutine scheduling, ivars, failures. *)
+
+module Engine = Dsm_sim.Engine
+module Proc = Dsm_runtime.Proc
+
+let setup () =
+  let e = Engine.create () in
+  (e, Proc.scheduler e)
+
+let test_spawn_runs () =
+  let e, s = setup () in
+  let ran = ref false in
+  ignore (Proc.spawn s (fun () -> ran := true));
+  Engine.run e;
+  Alcotest.(check bool) "ran" true !ran
+
+let test_spawn_delay () =
+  let e, s = setup () in
+  let at = ref 0.0 in
+  ignore (Proc.spawn s ~delay:4.0 (fun () -> at := Engine.now e));
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "delayed start" 4.0 !at
+
+let test_sleep () =
+  let e, s = setup () in
+  let at = ref 0.0 in
+  ignore
+    (Proc.spawn s (fun () ->
+         Proc.sleep 2.0;
+         Proc.sleep 3.0;
+         at := Engine.now e));
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "slept" 5.0 !at
+
+let test_ivar_await_then_fill () =
+  let e, s = setup () in
+  let iv = Proc.ivar s in
+  let got = ref 0 in
+  ignore (Proc.spawn s (fun () -> got := Proc.await iv));
+  ignore (Proc.spawn s ~delay:1.0 (fun () -> Proc.fill iv 42));
+  Engine.run e;
+  Alcotest.(check int) "value" 42 !got
+
+let test_ivar_fill_then_await () =
+  let e, s = setup () in
+  let iv = Proc.ivar s in
+  Proc.fill iv "hello";
+  let got = ref "" in
+  ignore (Proc.spawn s (fun () -> got := Proc.await iv));
+  Engine.run e;
+  Alcotest.(check string) "value" "hello" !got
+
+let test_ivar_multiple_waiters () =
+  let e, s = setup () in
+  let iv = Proc.ivar s in
+  let sum = ref 0 in
+  for _ = 1 to 3 do
+    ignore (Proc.spawn s (fun () -> sum := !sum + Proc.await iv))
+  done;
+  ignore (Proc.spawn s ~delay:1.0 (fun () -> Proc.fill iv 5));
+  Engine.run e;
+  Alcotest.(check int) "all woken" 15 !sum
+
+let test_ivar_double_fill () =
+  let _, s = setup () in
+  let iv = Proc.ivar s in
+  Proc.fill iv 1;
+  Alcotest.check_raises "double" (Invalid_argument "Proc.fill: ivar already filled") (fun () ->
+      Proc.fill iv 2)
+
+let test_ivar_peek () =
+  let _, s = setup () in
+  let iv = Proc.ivar s in
+  Alcotest.(check bool) "empty" false (Proc.is_filled iv);
+  Alcotest.(check bool) "peek none" true (Proc.peek iv = None);
+  Proc.fill iv 9;
+  Alcotest.(check bool) "filled" true (Proc.is_filled iv);
+  Alcotest.(check bool) "peek some" true (Proc.peek iv = Some 9)
+
+let test_yield_interleaves () =
+  let e, s = setup () in
+  let log = ref [] in
+  let worker tag () =
+    for _ = 1 to 3 do
+      log := tag :: !log;
+      Proc.yield ()
+    done
+  in
+  ignore (Proc.spawn s ~name:"a" (worker "a"));
+  ignore (Proc.spawn s ~name:"b" (worker "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "interleaved" [ "a"; "b"; "a"; "b"; "a"; "b" ] (List.rev !log)
+
+let test_join () =
+  let e, s = setup () in
+  let order = ref [] in
+  let h =
+    Proc.spawn s ~name:"worker" (fun () ->
+        Proc.sleep 3.0;
+        order := "worker" :: !order)
+  in
+  ignore
+    (Proc.spawn s ~name:"joiner" (fun () ->
+         Proc.join h;
+         order := "joiner" :: !order));
+  Engine.run e;
+  Alcotest.(check (list string)) "join waits" [ "worker"; "joiner" ] (List.rev !order);
+  Alcotest.(check bool) "finished" true (Proc.finished h)
+
+let test_failure_recorded () =
+  let e, s = setup () in
+  ignore (Proc.spawn s ~name:"bad" (fun () -> failwith "boom"));
+  Engine.run e;
+  Alcotest.(check int) "one failure" 1 (List.length (Proc.failures s));
+  Alcotest.check_raises "check re-raises" (Failure "process bad failed: Failure(\"boom\")")
+    (fun () -> Proc.check s)
+
+let test_failure_does_not_kill_others () =
+  let e, s = setup () in
+  let ok = ref false in
+  ignore (Proc.spawn s ~name:"bad" (fun () -> failwith "boom"));
+  ignore (Proc.spawn s ~name:"good" (fun () -> Proc.sleep 1.0; ok := true));
+  Engine.run e;
+  Alcotest.(check bool) "good survived" true !ok
+
+let test_await_outside_process () =
+  let _, s = setup () in
+  let iv : int Proc.ivar = Proc.ivar s in
+  Alcotest.(check bool) "raises Unhandled" true
+    (try
+       ignore (Proc.await iv);
+       false
+     with Effect.Unhandled _ -> true)
+
+let test_name () =
+  let _, s = setup () in
+  let h = Proc.spawn s ~name:"xyz" (fun () -> ()) in
+  Alcotest.(check string) "name" "xyz" (Proc.name h)
+
+let test_bad_poll_interval () =
+  let e = Engine.create () in
+  Alcotest.check_raises "bad poll"
+    (Invalid_argument "Proc.scheduler: poll_interval must be positive") (fun () ->
+      ignore (Proc.scheduler ~poll_interval:0.0 e))
+
+let suite =
+  [
+    Alcotest.test_case "spawn runs" `Quick test_spawn_runs;
+    Alcotest.test_case "spawn delay" `Quick test_spawn_delay;
+    Alcotest.test_case "sleep" `Quick test_sleep;
+    Alcotest.test_case "await then fill" `Quick test_ivar_await_then_fill;
+    Alcotest.test_case "fill then await" `Quick test_ivar_fill_then_await;
+    Alcotest.test_case "multiple waiters" `Quick test_ivar_multiple_waiters;
+    Alcotest.test_case "double fill" `Quick test_ivar_double_fill;
+    Alcotest.test_case "peek" `Quick test_ivar_peek;
+    Alcotest.test_case "yield interleaves" `Quick test_yield_interleaves;
+    Alcotest.test_case "join" `Quick test_join;
+    Alcotest.test_case "failure recorded" `Quick test_failure_recorded;
+    Alcotest.test_case "failure isolated" `Quick test_failure_does_not_kill_others;
+    Alcotest.test_case "await outside" `Quick test_await_outside_process;
+    Alcotest.test_case "name" `Quick test_name;
+    Alcotest.test_case "bad poll interval" `Quick test_bad_poll_interval;
+  ]

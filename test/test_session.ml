@@ -1,0 +1,123 @@
+(* Tests for the session-guarantee checkers. *)
+
+module Session = Dsm_checker.Session
+module History = Dsm_memory.History
+module Histories = Dsm_checker.Histories
+
+let parse = History.parse_exn
+
+let test_clean_history_all_hold () =
+  let r = Session.check_exn (parse "P0: w(x)1 r(x)1\nP1: r(x)1 w(y)2\nP2: r(y)2 r(x)1") in
+  Alcotest.(check bool) "all hold" true (Session.all_hold r)
+
+let test_ryw_violation () =
+  (* P0 writes then reads the initial value back. *)
+  let r = Session.check_exn (parse "P0: w(x)1 r(x)0") in
+  Alcotest.(check bool) "ryw violated" false r.Session.ryw;
+  Alcotest.(check bool) "mr unaffected" true r.Session.mr
+
+let test_ryw_overwritten_own () =
+  (* Reading one's own OLDER write after a newer own write. *)
+  let r = Session.check_exn (parse "P0: w(x)1 w(x)2 r(x)1") in
+  Alcotest.(check bool) "ryw violated" false r.Session.ryw
+
+let test_ryw_concurrent_ok () =
+  (* Reading a CONCURRENT foreign write after an own write is allowed. *)
+  let r = Session.check_exn (parse "P0: w(x)1 r(x)2\nP1: w(x)2") in
+  Alcotest.(check bool) "ryw holds" true r.Session.ryw
+
+let test_mr_violation () =
+  (* Successive reads regress: new value then causally-older initial. *)
+  let r = Session.check_exn (parse "P0: w(x)1\nP1: r(x)1 r(x)0") in
+  Alcotest.(check bool) "mr violated" false r.Session.mr;
+  Alcotest.(check bool) "ryw unaffected" true r.Session.ryw
+
+let test_mr_concurrent_ok () =
+  (* Flipping between concurrent sources does not violate MR. *)
+  let r = Session.check_exn (parse "P0: w(x)1\nP1: w(x)2\nP2: r(x)1 r(x)2 r(x)1") in
+  Alcotest.(check bool) "mr holds" true r.Session.mr
+
+let test_mw_violation () =
+  let r = Session.check_exn (parse "P0: w(x)1 w(x)2\nP1: r(x)2 r(x)1") in
+  Alcotest.(check bool) "mw violated" false r.Session.mw
+
+let test_mw_in_order_ok () =
+  let r = Session.check_exn (parse "P0: w(x)1 w(x)2\nP1: r(x)1 r(x)2") in
+  Alcotest.(check bool) "mw holds" true r.Session.mw
+
+let test_wfr_violation () =
+  (* P1 reads x=1, writes y=2; P2 sees y=2 then reads x older than 1. *)
+  let r = Session.check_exn (parse "P0: w(x)1\nP1: r(x)1 w(y)2\nP2: r(y)2 r(x)0") in
+  Alcotest.(check bool) "wfr violated" false r.Session.wfr
+
+let test_wfr_fresh_ok () =
+  let r = Session.check_exn (parse "P0: w(x)1\nP1: r(x)1 w(y)2\nP2: r(y)2 r(x)1") in
+  Alcotest.(check bool) "wfr holds" true r.Session.wfr
+
+let test_fig3_satisfies_all_four () =
+  (* The centrepiece: Figure 3 breaks STRICT causal memory while satisfying
+     every classic session guarantee — the paper's definition is genuinely
+     stronger than PRAM + sessions. *)
+  let r = Session.check_exn Histories.fig3 in
+  Alcotest.(check bool) "all four hold" true (Session.all_hold r);
+  Alcotest.(check bool) "yet not causal" false
+    (Dsm_checker.Causal_check.is_correct Histories.fig3)
+
+let test_figures_all_hold () =
+  List.iter
+    (fun (name, h, _) ->
+      Alcotest.(check bool) name true (Session.all_hold (Session.check_exn h)))
+    Histories.all
+
+let test_malformed () =
+  let rows =
+    [|
+      [|
+        Dsm_memory.Op.read ~pid:0 ~index:0 ~loc:(Dsm_memory.Loc.named "x")
+          ~value:(Dsm_memory.Value.Int 9)
+          ~from:(Dsm_memory.Wid.make ~node:4 ~seq:4);
+      |];
+    |]
+  in
+  match Session.check (History.of_ops rows) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected malformed error"
+
+let prop_causal_implies_sessions =
+  QCheck.Test.make ~name:"protocol histories satisfy all session guarantees" ~count:20
+    QCheck.(int_range 1 5000)
+    (fun seed ->
+      let outcome, _ =
+        Dsm_apps.Workload.run_causal ~seed:(Int64.of_int seed)
+          { Dsm_apps.Workload.default_spec with Dsm_apps.Workload.ops_per_process = 12 }
+      in
+      Session.all_hold (Session.check_exn outcome.Dsm_apps.Workload.history))
+
+let prop_atomic_and_broadcast_satisfy_sessions =
+  QCheck.Test.make ~name:"atomic and broadcast memories satisfy session guarantees" ~count:10
+    QCheck.(int_range 1 5000)
+    (fun seed ->
+      let spec = { Dsm_apps.Workload.default_spec with Dsm_apps.Workload.ops_per_process = 8 } in
+      let atomic = Dsm_apps.Workload.run_atomic ~seed:(Int64.of_int seed) spec in
+      let bmem = Dsm_apps.Workload.run_bmem ~seed:(Int64.of_int seed) spec in
+      Session.all_hold (Session.check_exn atomic.Dsm_apps.Workload.history)
+      && Session.all_hold (Session.check_exn bmem.Dsm_apps.Workload.history))
+
+let suite =
+  [
+    Alcotest.test_case "clean history" `Quick test_clean_history_all_hold;
+    Alcotest.test_case "ryw violation" `Quick test_ryw_violation;
+    Alcotest.test_case "ryw own overwrite" `Quick test_ryw_overwritten_own;
+    Alcotest.test_case "ryw concurrent ok" `Quick test_ryw_concurrent_ok;
+    Alcotest.test_case "mr violation" `Quick test_mr_violation;
+    Alcotest.test_case "mr concurrent ok" `Quick test_mr_concurrent_ok;
+    Alcotest.test_case "mw violation" `Quick test_mw_violation;
+    Alcotest.test_case "mw in order" `Quick test_mw_in_order_ok;
+    Alcotest.test_case "wfr violation" `Quick test_wfr_violation;
+    Alcotest.test_case "wfr fresh ok" `Quick test_wfr_fresh_ok;
+    Alcotest.test_case "fig3 satisfies sessions" `Quick test_fig3_satisfies_all_four;
+    Alcotest.test_case "figures hold" `Quick test_figures_all_hold;
+    Alcotest.test_case "malformed" `Quick test_malformed;
+    QCheck_alcotest.to_alcotest prop_causal_implies_sessions;
+    QCheck_alcotest.to_alcotest prop_atomic_and_broadcast_satisfy_sessions;
+  ]

@@ -1,0 +1,79 @@
+(* Soak tests: larger clusters, longer runs, hostile latency — everything
+   must stay causally correct, deadlock-free and deterministic. *)
+
+module Engine = Dsm_sim.Engine
+module Proc = Dsm_runtime.Proc
+module Cluster = Dsm_causal.Cluster
+module Config = Dsm_causal.Config
+module Latency = Dsm_net.Latency
+module Workload = Dsm_apps.Workload
+module Check = Dsm_checker.Causal_check
+
+let big_spec =
+  {
+    Workload.processes = 8;
+    locations = 12;
+    ops_per_process = 50;
+    write_ratio = 0.4;
+    refresh_ratio = 0.3;
+    think_time = 1.0;
+  }
+
+let test_big_cluster_basic () =
+  let outcome, cluster =
+    Workload.run_causal ~seed:2024L ~latency:(Latency.Exponential { base = 0.2; mean = 4.0 })
+      big_spec
+  in
+  Alcotest.(check int) "all ops recorded" (8 * 50)
+    (Dsm_memory.History.op_count outcome.Workload.history);
+  Alcotest.(check bool) "causally correct" true (Check.is_correct outcome.Workload.history);
+  let stats = Cluster.total_stats cluster in
+  Alcotest.(check bool) "protocol active" true (stats.Dsm_causal.Node_stats.read_misses > 0)
+
+let test_big_cluster_exotic_config () =
+  let config =
+    Config.default
+    |> Config.with_granularity (Config.Page 4)
+    |> Config.with_invalidation Config.Precise
+    |> Config.with_discard (Config.Capacity 3)
+    |> Config.with_policy Dsm_causal.Policy.Owner_favored
+  in
+  let outcome, _ =
+    Workload.run_causal ~seed:7L ~config ~latency:(Latency.Uniform (0.1, 8.0)) big_spec
+  in
+  Alcotest.(check bool) "causally correct" true (Check.is_correct outcome.Workload.history)
+
+let test_determinism_at_scale () =
+  let run () =
+    let outcome, cluster = Workload.run_causal ~seed:99L big_spec in
+    ( Dsm_memory.History.to_string outcome.Workload.history,
+      outcome.Workload.messages,
+      (Cluster.total_stats cluster).Dsm_causal.Node_stats.invalidations )
+  in
+  let h1, m1, i1 = run () in
+  let h2, m2, i2 = run () in
+  Alcotest.(check string) "same history" h1 h2;
+  Alcotest.(check int) "same messages" m1 m2;
+  Alcotest.(check int) "same invalidations" i1 i2
+
+let test_solver_scale () =
+  (* A bigger solver instance end-to-end, still bit-exact Jacobi. *)
+  let r = Dsm_apps.Harness.solver_causal ~n:24 ~iters:8 () in
+  Alcotest.(check (float 0.0)) "bit-identical" 0.0 r.Dsm_apps.Harness.max_diff
+
+let test_checker_scale () =
+  (* The optimised checker digests a ~1500-op protocol history. *)
+  let spec = { big_spec with Workload.processes = 6; ops_per_process = 250 } in
+  let outcome, _ = Workload.run_causal ~seed:5L spec in
+  Alcotest.(check int) "size as expected" 1500
+    (Dsm_memory.History.op_count outcome.Workload.history);
+  Alcotest.(check bool) "checked correct" true (Check.is_correct outcome.Workload.history)
+
+let suite =
+  [
+    Alcotest.test_case "8-node random workload" `Slow test_big_cluster_basic;
+    Alcotest.test_case "exotic config" `Slow test_big_cluster_exotic_config;
+    Alcotest.test_case "determinism at scale" `Slow test_determinism_at_scale;
+    Alcotest.test_case "solver n=24" `Slow test_solver_scale;
+    Alcotest.test_case "checker on 1500 ops" `Slow test_checker_scale;
+  ]

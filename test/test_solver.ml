@@ -1,0 +1,191 @@
+(* Tests for the Figure 6 solver on both memories (E-FIG6) and the
+   message-count claim (E-MSG). *)
+
+module Harness = Dsm_apps.Harness
+module Linalg = Dsm_apps.Linalg
+
+let test_causal_matches_sequential_jacobi () =
+  (* The paper proves phase-k reads return exactly the phase-(k-1) values,
+     so the distributed iterates are bit-identical to sequential Jacobi. *)
+  let r = Harness.solver_causal ~n:4 ~iters:6 () in
+  Alcotest.(check (float 0.0)) "bit-identical" 0.0 r.Harness.max_diff;
+  Alcotest.(check bool) "history causal" true r.Harness.history_correct
+
+let test_atomic_matches_sequential_jacobi () =
+  let r = Harness.solver_atomic ~n:4 ~iters:6 () in
+  Alcotest.(check (float 0.0)) "bit-identical" 0.0 r.Harness.max_diff;
+  Alcotest.(check bool) "history causal" true r.Harness.history_correct
+
+let test_atomic_acknowledged_matches () =
+  let r = Harness.solver_atomic ~mode:`Acknowledged ~n:3 ~iters:5 () in
+  Alcotest.(check (float 0.0)) "bit-identical" 0.0 r.Harness.max_diff
+
+let test_solver_converges () =
+  let r = Harness.solver_causal ~n:5 ~iters:60 () in
+  Alcotest.(check bool) "residual tiny" true (r.Harness.residual < 1e-9)
+
+let test_same_code_same_results_both_memories () =
+  let rc = Harness.solver_causal ~n:4 ~iters:8 () in
+  let ra = Harness.solver_atomic ~n:4 ~iters:8 () in
+  Alcotest.(check (float 0.0)) "identical solutions" 0.0
+    (Linalg.max_diff rc.Harness.solution ra.Harness.solution)
+
+let test_message_rate_causal_matches_analysis () =
+  (* Paper: 2n+6 messages per processor per iteration on causal memory.
+     Polling adds a little noise; allow 15%. *)
+  List.iter
+    (fun n ->
+      let rate =
+        Harness.steady_rate
+          ~run:(fun ~iters -> Harness.solver_causal ~n ~iters ())
+          ~iters_lo:5 ~iters_hi:15
+      in
+      let analytic = float_of_int ((2 * n) + 6) in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d rate %.2f vs %.0f" n rate analytic)
+        true
+        (Float.abs (rate -. analytic) /. analytic < 0.15))
+    [ 2; 4; 8 ]
+
+let test_message_rate_atomic_at_least_paper_bound () =
+  (* Paper: at least 3n+5 on atomic memory. *)
+  List.iter
+    (fun n ->
+      let rate =
+        Harness.steady_rate
+          ~run:(fun ~iters -> Harness.solver_atomic ~n ~iters ())
+          ~iters_lo:5 ~iters_hi:15
+      in
+      let bound = float_of_int ((3 * n) + 5) in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d rate %.2f >= %.0f" n rate bound)
+        true
+        (rate >= bound -. 0.5))
+    [ 2; 4; 8 ]
+
+let test_causal_beats_atomic () =
+  List.iter
+    (fun n ->
+      let causal =
+        Harness.steady_rate
+          ~run:(fun ~iters -> Harness.solver_causal ~n ~iters ())
+          ~iters_lo:5 ~iters_hi:12
+      in
+      let atomic =
+        Harness.steady_rate
+          ~run:(fun ~iters -> Harness.solver_atomic ~n ~iters ())
+          ~iters_lo:5 ~iters_hi:12
+      in
+      Alcotest.(check bool) (Printf.sprintf "n=%d causal < atomic" n) true (causal < atomic))
+    [ 4; 8 ]
+
+let test_async_solver_converges () =
+  let r = Harness.solver_async ~n:4 ~sweeps:80 ~refresh_every:2 () in
+  Alcotest.(check bool) "converged" true (r.Harness.a_error < 1e-6);
+  Alcotest.(check bool) "history causal" true r.Harness.a_history_correct
+
+let test_async_uses_fewer_messages () =
+  (* For comparable accuracy the asynchronous solver needs far fewer
+     messages than the synchronous one. *)
+  let sync = Harness.solver_causal ~n:4 ~iters:40 () in
+  let async = Harness.solver_async ~n:4 ~sweeps:80 ~refresh_every:2 () in
+  Alcotest.(check bool) "async converged" true (async.Harness.a_error < 1e-6);
+  Alcotest.(check bool) "async cheaper" true
+    (async.Harness.a_messages_total < sync.Harness.messages_total)
+
+let test_solver_various_sizes () =
+  List.iter
+    (fun n ->
+      let r = Harness.solver_causal ~n ~iters:5 () in
+      Alcotest.(check (float 0.0)) (Printf.sprintf "n=%d exact" n) 0.0 r.Harness.max_diff)
+    [ 1; 2; 3; 6 ]
+
+let test_async_self_termination () =
+  (* The self-terminating variant: every worker stops on its own, the
+     solution is converged, and nobody runs to the sweep cap. *)
+  let module Engine = Dsm_sim.Engine in
+  let module Proc = Dsm_runtime.Proc in
+  let module Causal = Dsm_causal.Cluster in
+  let n = 4 in
+  let problem = Dsm_apps.Linalg.random_diagonally_dominant (Dsm_util.Prng.create 42L) ~n in
+  let engine = Engine.create () in
+  let sched = Proc.scheduler engine in
+  let c =
+    Causal.create ~sched
+      ~owner:(Dsm_apps.Async_solver.owner_map ~workers:n)
+      ~latency:(Dsm_net.Latency.Constant 1.0) ()
+  in
+  let sweeps = Array.make n 0 in
+  for i = 0 to n - 1 do
+    ignore
+      (Proc.spawn sched (fun () ->
+           sweeps.(i) <-
+             Dsm_apps.Async_solver.worker_until (Causal.handle c i) problem ~me:i
+               ~tolerance:1e-9 ~refresh_every:2 ~max_sweeps:500))
+  done;
+  Engine.run engine;
+  Proc.check sched;
+  Alcotest.(check (list string)) "all stopped" [] (Proc.unfinished sched);
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check bool) (Printf.sprintf "worker %d under cap" i) true (s < 500);
+      Alcotest.(check bool) (Printf.sprintf "worker %d did work" i) true (s > 3))
+    sweeps;
+  let solution = ref [||] in
+  ignore
+    (Proc.spawn sched (fun () ->
+         solution := Dsm_apps.Async_solver.read_solution (Causal.handle c 0) ~n));
+  Engine.run engine;
+  Proc.check sched;
+  let exact = Dsm_apps.Linalg.solve_exact problem in
+  Alcotest.(check bool) "converged" true
+    (Dsm_apps.Linalg.max_diff !solution exact < 1e-6)
+
+let test_block_solver_exact () =
+  (* "Each process computes a set of elements": still bit-exact Jacobi for
+     every block arrangement and protocol configuration. *)
+  List.iter
+    (fun workers ->
+      let r = Harness.solver_causal_blocks ~n:12 ~workers ~iters:6 () in
+      Alcotest.(check (float 0.0)) (Printf.sprintf "w=%d exact" workers) 0.0 r.Harness.max_diff;
+      Alcotest.(check bool) (Printf.sprintf "w=%d causal" workers) true r.Harness.history_correct)
+    [ 1; 2; 3; 4; 12 ]
+
+let test_block_solver_precise_and_page_exact () =
+  let precise = Dsm_causal.Config.(with_invalidation Precise default) in
+  let page = Dsm_causal.Config.(with_granularity (Page 4) default) in
+  List.iter
+    (fun config ->
+      let r = Harness.solver_causal_blocks ~config ~n:8 ~workers:2 ~iters:5 () in
+      Alcotest.(check (float 0.0)) "exact" 0.0 r.Harness.max_diff)
+    [ precise; page ]
+
+let test_block_solver_precise_beats_coarse () =
+  let coarse = Harness.solver_causal_blocks ~n:16 ~workers:2 ~iters:8 () in
+  let precise =
+    Harness.solver_causal_blocks
+      ~config:Dsm_causal.Config.(with_invalidation Precise default)
+      ~n:16 ~workers:2 ~iters:8 ()
+  in
+  Alcotest.(check bool) "precise far cheaper on blocks" true
+    (precise.Harness.messages_total * 2 < coarse.Harness.messages_total)
+
+let suite =
+  [
+    Alcotest.test_case "causal == jacobi" `Quick test_causal_matches_sequential_jacobi;
+    Alcotest.test_case "atomic == jacobi" `Quick test_atomic_matches_sequential_jacobi;
+    Alcotest.test_case "acked atomic == jacobi" `Quick test_atomic_acknowledged_matches;
+    Alcotest.test_case "converges" `Slow test_solver_converges;
+    Alcotest.test_case "same code both memories" `Quick test_same_code_same_results_both_memories;
+    Alcotest.test_case "causal rate = 2n+6" `Slow test_message_rate_causal_matches_analysis;
+    Alcotest.test_case "atomic rate >= 3n+5" `Slow test_message_rate_atomic_at_least_paper_bound;
+    Alcotest.test_case "causal beats atomic" `Slow test_causal_beats_atomic;
+    Alcotest.test_case "async converges" `Quick test_async_solver_converges;
+    Alcotest.test_case "async cheaper" `Slow test_async_uses_fewer_messages;
+    Alcotest.test_case "async self-termination" `Quick test_async_self_termination;
+    Alcotest.test_case "various sizes" `Slow test_solver_various_sizes;
+    Alcotest.test_case "block solver exact" `Quick test_block_solver_exact;
+    Alcotest.test_case "block solver configs" `Quick test_block_solver_precise_and_page_exact;
+    Alcotest.test_case "block precise beats coarse" `Slow test_block_solver_precise_beats_coarse;
+  ]
+

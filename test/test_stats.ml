@@ -1,0 +1,89 @@
+(* Tests for Dsm_util.Stats: Welford accumulation, percentiles, histograms. *)
+
+module Stats = Dsm_util.Stats
+
+let feed xs =
+  let s = Stats.create () in
+  List.iter (Stats.add s) xs;
+  s
+
+let test_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Stats.mean s);
+  Alcotest.(check (float 0.0)) "variance" 0.0 (Stats.variance s);
+  Alcotest.(check bool) "min nan" true (Float.is_nan (Stats.min s))
+
+let test_known_values () =
+  let s = feed [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check int) "count" 8 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean s);
+  (* Sample variance with Bessel's correction: 32/7. *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.variance s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max s);
+  Alcotest.(check (float 1e-9)) "total" 40.0 (Stats.total s)
+
+let test_single () =
+  let s = feed [ 3.5 ] in
+  Alcotest.(check (float 0.0)) "mean" 3.5 (Stats.mean s);
+  Alcotest.(check (float 0.0)) "variance" 0.0 (Stats.variance s);
+  Alcotest.(check (float 0.0)) "min=max" (Stats.min s) (Stats.max s)
+
+let test_percentile () =
+  let samples = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile samples 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.percentile samples 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile samples 100.0);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 2.0 (Stats.percentile samples 25.0);
+  Alcotest.(check (float 1e-9)) "p10" 1.4 (Stats.percentile samples 10.0)
+
+let test_percentile_unsorted_input () =
+  let samples = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "sorts internally" 3.0 (Stats.percentile samples 50.0)
+
+let test_percentile_empty () =
+  Alcotest.(check bool) "nan" true (Float.is_nan (Stats.percentile [||] 50.0))
+
+let test_percentile_clamps () =
+  let samples = [| 1.0; 2.0 |] in
+  Alcotest.(check (float 1e-9)) "below" 1.0 (Stats.percentile samples (-5.0));
+  Alcotest.(check (float 1e-9)) "above" 2.0 (Stats.percentile samples 150.0)
+
+let test_mean_of () =
+  Alcotest.(check (float 1e-9)) "mean_of" 2.0 (Stats.mean_of [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Stats.mean_of [||])
+
+let test_histogram () =
+  let h = Stats.histogram [| 0.0; 1.0; 2.0; 3.0; 4.0 |] ~buckets:5 in
+  Alcotest.(check int) "buckets" 5 (Array.length h);
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all counted" 5 total
+
+let test_histogram_flat () =
+  let h = Stats.histogram [| 2.0; 2.0; 2.0 |] ~buckets:3 in
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all in one place" 3 total
+
+let prop_welford_matches_direct =
+  QCheck.Test.make ~name:"welford mean matches direct computation" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = feed xs in
+      let direct = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.mean s -. direct) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "known values" `Quick test_known_values;
+    Alcotest.test_case "single" `Quick test_single;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile unsorted" `Quick test_percentile_unsorted_input;
+    Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+    Alcotest.test_case "percentile clamps" `Quick test_percentile_clamps;
+    Alcotest.test_case "mean_of" `Quick test_mean_of;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram flat" `Quick test_histogram_flat;
+    QCheck_alcotest.to_alcotest prop_welford_matches_direct;
+  ]

@@ -1,0 +1,176 @@
+(* Tests for the event-count/barrier synchronisation library and the
+   coordinator-free barrier solver. *)
+
+module Engine = Dsm_sim.Engine
+module Proc = Dsm_runtime.Proc
+module Cluster = Dsm_causal.Cluster
+module Latency = Dsm_net.Latency
+module Loc = Dsm_memory.Loc
+module Owner = Dsm_memory.Owner
+module Sync = Dsm_apps.Sync.Make (Dsm_causal.Cluster.Mem)
+module Harness = Dsm_apps.Harness
+
+let setup ?(nodes = 3) () =
+  let e = Engine.create () in
+  let s = Proc.scheduler e in
+  let c =
+    Cluster.create ~sched:s ~owner:(Owner.by_index ~nodes) ~latency:(Latency.Constant 1.0) ()
+  in
+  (e, s, c)
+
+let test_eventcount_advance_value () =
+  let e, s, c = setup () in
+  let got = ref (-1) in
+  ignore
+    (Proc.spawn s (fun () ->
+         let h = Cluster.handle c 0 in
+         let loc = Loc.indexed "ec" 0 in
+         Sync.Eventcount.advance h loc;
+         Sync.Eventcount.advance h loc;
+         got := Sync.Eventcount.value h loc));
+  Engine.run e;
+  Proc.check s;
+  Alcotest.(check int) "count" 2 !got
+
+let test_eventcount_await_cross_node () =
+  let e, s, c = setup () in
+  let woke_at = ref 0.0 in
+  let loc = Loc.indexed "ec" 1 in
+  ignore
+    (Proc.spawn s ~name:"waiter" (fun () ->
+         Sync.Eventcount.await (Cluster.handle c 0) loc 3;
+         woke_at := Engine.now e));
+  ignore
+    (Proc.spawn s ~name:"advancer" (fun () ->
+         let h = Cluster.handle c 1 in
+         for _ = 1 to 3 do
+           Proc.sleep 5.0;
+           Sync.Eventcount.advance h loc
+         done));
+  Engine.run e;
+  Proc.check s;
+  Alcotest.(check bool) "woke after third advance" true (!woke_at >= 15.0)
+
+let test_eventcount_await_already_met () =
+  let e, s, c = setup () in
+  let ok = ref false in
+  ignore
+    (Proc.spawn s (fun () ->
+         let h = Cluster.handle c 0 in
+         let loc = Loc.indexed "ec" 0 in
+         Sync.Eventcount.advance h loc;
+         Sync.Eventcount.await h loc 1;
+         ok := true));
+  Engine.run e;
+  Proc.check s;
+  Alcotest.(check bool) "no deadlock" true !ok
+
+let test_barrier_synchronises () =
+  let parties = 3 in
+  let e, s, c = setup ~nodes:parties () in
+  let barrier = Sync.Barrier.create ~name:"b" ~parties in
+  let order = ref [] in
+  for i = 0 to parties - 1 do
+    ignore
+      (Proc.spawn s
+         ~name:(Printf.sprintf "p%d" i)
+         (fun () ->
+           (* Stagger arrivals; nobody may pass before the last arrives. *)
+           Proc.sleep (float_of_int (i * 10));
+           order := (`Arrive i, Engine.now e) :: !order;
+           Sync.Barrier.enter barrier (Cluster.handle c i) ~me:i;
+           order := (`Pass i, Engine.now e) :: !order))
+  done;
+  Engine.run e;
+  Proc.check s;
+  let last_arrival =
+    List.fold_left
+      (fun acc (ev, t) -> match ev with `Arrive _ -> Float.max acc t | `Pass _ -> acc)
+      0.0 !order
+  in
+  List.iter
+    (fun (ev, t) ->
+      match ev with
+      | `Pass i ->
+          Alcotest.(check bool) (Printf.sprintf "p%d passed after last arrival" i) true
+            (t >= last_arrival)
+      | `Arrive _ -> ())
+    !order
+
+let test_barrier_reusable () =
+  let parties = 2 in
+  let e, s, c = setup ~nodes:parties () in
+  let barrier = Sync.Barrier.create ~name:"b" ~parties in
+  let generations = Array.make parties 0 in
+  for i = 0 to parties - 1 do
+    ignore
+      (Proc.spawn s (fun () ->
+           let h = Cluster.handle c i in
+           for _ = 1 to 4 do
+             Sync.Barrier.enter barrier h ~me:i
+           done;
+           generations.(i) <- Sync.Barrier.generation barrier h ~me:i))
+  done;
+  Engine.run e;
+  Proc.check s;
+  Alcotest.(check (array int)) "four generations each" [| 4; 4 |] generations
+
+let test_barrier_validates () =
+  Alcotest.(check bool) "zero parties" true
+    (try
+       ignore (Sync.Barrier.create ~name:"b" ~parties:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_barrier_solver_exact () =
+  let r = Harness.solver_causal_barrier ~n:4 ~iters:8 () in
+  Alcotest.(check (float 0.0)) "bit-identical to jacobi" 0.0 r.Harness.max_diff;
+  Alcotest.(check bool) "history causal" true r.Harness.history_correct
+
+let test_barrier_solver_on_atomic_memory () =
+  (* The barrier solver is a MEMORY functor: it runs unchanged on the
+     atomic baseline and computes the same iterates. *)
+  let n = 3 and iters = 5 in
+  let problem = Dsm_apps.Linalg.random_diagonally_dominant (Dsm_util.Prng.create 42L) ~n in
+  let e = Engine.create () in
+  let s = Proc.scheduler ~poll_interval:2.0 e in
+  let c =
+    Dsm_atomic.Cluster.create ~sched:s
+      ~owner:(Dsm_apps.Solver_barrier.owner_map ~workers:n)
+      ~latency:(Latency.Constant 1.0) ()
+  in
+  let module SB = Dsm_apps.Solver_barrier.Make (Dsm_atomic.Cluster.Mem) in
+  for i = 0 to n - 1 do
+    ignore
+      (Proc.spawn s (fun () ->
+           SB.worker (Dsm_atomic.Cluster.handle c i) problem ~me:i ~workers:n ~iters))
+  done;
+  Engine.run e;
+  Proc.check s;
+  let solution = ref [||] in
+  ignore
+    (Proc.spawn s (fun () -> solution := SB.read_solution (Dsm_atomic.Cluster.handle c 0) ~n));
+  Engine.run e;
+  Proc.check s;
+  let reference = Dsm_apps.Linalg.jacobi problem ~iters in
+  Alcotest.(check (float 0.0)) "exact on atomic too" 0.0
+    (Dsm_apps.Linalg.max_diff !solution reference)
+
+let test_barrier_solver_matches_coordinator () =
+  let b = Harness.solver_causal_barrier ~n:3 ~iters:6 () in
+  let c = Harness.solver_causal ~n:3 ~iters:6 () in
+  Alcotest.(check (float 0.0)) "same iterates" 0.0
+    (Dsm_apps.Linalg.max_diff b.Harness.solution c.Harness.solution)
+
+let suite =
+  [
+    Alcotest.test_case "eventcount advance/value" `Quick test_eventcount_advance_value;
+    Alcotest.test_case "eventcount await" `Quick test_eventcount_await_cross_node;
+    Alcotest.test_case "eventcount await met" `Quick test_eventcount_await_already_met;
+    Alcotest.test_case "barrier synchronises" `Quick test_barrier_synchronises;
+    Alcotest.test_case "barrier reusable" `Quick test_barrier_reusable;
+    Alcotest.test_case "barrier validates" `Quick test_barrier_validates;
+    Alcotest.test_case "barrier solver exact" `Quick test_barrier_solver_exact;
+    Alcotest.test_case "barrier == coordinator" `Quick test_barrier_solver_matches_coordinator;
+    Alcotest.test_case "barrier solver on atomic" `Quick test_barrier_solver_on_atomic_memory;
+  ]

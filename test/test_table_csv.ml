@@ -1,0 +1,84 @@
+(* Tests for Dsm_util.Table and Dsm_util.Csv rendering. *)
+
+module Table = Dsm_util.Table
+module Csv = Dsm_util.Csv
+
+let test_render_golden () =
+  let t = Table.create ~headers:[ "name"; "count" ] in
+  Table.add_row t [ "alpha"; "10" ];
+  Table.add_row t [ "b"; "2" ];
+  let expected =
+    String.concat "\n"
+      [
+        "+-------+-------+";
+        "| name  | count |";
+        "+-------+-------+";
+        "| alpha |    10 |";
+        "| b     |     2 |";
+        "+-------+-------+";
+      ]
+  in
+  Alcotest.(check string) "golden" expected (Table.render t)
+
+let test_pads_short_rows () =
+  let t = Table.create ~headers:[ "a"; "b"; "c" ] in
+  Table.add_row t [ "x" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "renders" true (String.length rendered > 0)
+
+let test_rejects_long_rows () =
+  let t = Table.create ~headers:[ "a" ] in
+  Alcotest.check_raises "too many" (Invalid_argument "Table.add_row: too many cells")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let test_set_align () =
+  let t = Table.create ~headers:[ "l"; "r" ] in
+  Table.set_align t [ Table.Right; Table.Left ];
+  Table.add_row t [ "x"; "y" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "contains right-padded y" true
+    (String.length rendered > 0 && String.contains rendered 'y')
+
+let test_set_align_arity () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.set_align: arity mismatch")
+    (fun () -> Table.set_align t [ Table.Left ])
+
+let test_cell_helpers () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "float default" "2.50" (Table.cell_float 2.5);
+  Alcotest.(check string) "int" "42" (Table.cell_int 42)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape_cell "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape_cell "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape_cell "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape_cell "a\nb")
+
+let test_csv_rows () =
+  Alcotest.(check string) "row" "a,b,c" (Csv.row_to_string [ "a"; "b"; "c" ]);
+  Alcotest.(check string) "doc" "a,b\nc,d\n" (Csv.to_string [ [ "a"; "b" ]; [ "c"; "d" ] ])
+
+let test_csv_write_file () =
+  let path = Filename.temp_file "dsm_csv" ".csv" in
+  Csv.write_file path [ [ "h1"; "h2" ]; [ "1"; "2" ] ];
+  let ic = open_in path in
+  let line1 = input_line ic in
+  let line2 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "line1" "h1,h2" line1;
+  Alcotest.(check string) "line2" "1,2" line2
+
+let suite =
+  [
+    Alcotest.test_case "render golden" `Quick test_render_golden;
+    Alcotest.test_case "pads short rows" `Quick test_pads_short_rows;
+    Alcotest.test_case "rejects long rows" `Quick test_rejects_long_rows;
+    Alcotest.test_case "set_align" `Quick test_set_align;
+    Alcotest.test_case "set_align arity" `Quick test_set_align_arity;
+    Alcotest.test_case "cell helpers" `Quick test_cell_helpers;
+    Alcotest.test_case "csv escape" `Quick test_csv_escape;
+    Alcotest.test_case "csv rows" `Quick test_csv_rows;
+    Alcotest.test_case "csv write file" `Quick test_csv_write_file;
+  ]

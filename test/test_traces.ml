@@ -1,0 +1,66 @@
+(* The traces/ corpus must stay parseable and classified as documented. *)
+
+module History = Dsm_memory.History
+module Check = Dsm_checker.Causal_check
+
+let traces_dir =
+  (* dune runs tests from _build/default/test; the corpus is source data. *)
+  let rec find dir =
+    let candidate = Filename.concat dir "traces" in
+    if Sys.file_exists candidate && Sys.is_directory candidate then Some candidate
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find parent
+  in
+  find (Sys.getcwd ())
+
+let load name =
+  match traces_dir with
+  | None -> Alcotest.fail "traces/ directory not found"
+  | Some dir ->
+      let path = Filename.concat dir name in
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+
+let expectations =
+  [
+    ("fig1_causal_relations.txt", true);
+    ("fig2_correct_execution.txt", true);
+    ("fig3_broadcast_anomaly.txt", false);
+    ("fig5_weakly_consistent.txt", true);
+    ("litmus_store_buffering.txt", true);
+    ("litmus_message_passing_stale.txt", false);
+    ("litmus_wrc.txt", false);
+    ("litmus_iriw.txt", true);
+    ("protocol_run.txt", true);
+  ]
+
+let test_corpus () =
+  List.iter
+    (fun (name, expect_causal) ->
+      match History.parse (load name) with
+      | Error e -> Alcotest.fail (Printf.sprintf "%s: parse error %s" name e)
+      | Ok h ->
+          Alcotest.(check bool) name expect_causal (Check.is_correct h))
+    expectations
+
+let test_corpus_complete () =
+  (* Every .txt in traces/ is covered by an expectation. *)
+  match traces_dir with
+  | None -> Alcotest.fail "traces/ directory not found"
+  | Some dir ->
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".txt")
+      |> List.iter (fun f ->
+             Alcotest.(check bool)
+               (f ^ " has an expectation")
+               true
+               (List.mem_assoc f expectations))
+
+let suite =
+  [
+    Alcotest.test_case "corpus verdicts" `Quick test_corpus;
+    Alcotest.test_case "corpus coverage" `Quick test_corpus_complete;
+  ]
