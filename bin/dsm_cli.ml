@@ -7,6 +7,7 @@
      dict      run the distributed-dictionary demo
      anomaly   reproduce the Figure 3 broadcast anomaly
      workload  run a random workload and classify its execution
+     chaos     run a workload over lossy links with the reliable transport
 *)
 
 open Cmdliner
@@ -238,6 +239,54 @@ let workload_cmd =
     Term.(const run $ seed $ memory $ processes $ ops $ writes)
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let module Chaos = Dsm_apps.Chaos in
+  let scenario =
+    let all = List.map (fun s -> (s, s)) Chaos.scenarios in
+    Arg.(value & pos 0 (enum all) "mix"
+         & info [] ~docv:"SCENARIO"
+             ~doc:(Printf.sprintf "Scenario to run: %s." (String.concat ", " Chaos.scenarios)))
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let drop =
+    Arg.(value & opt float 0.05
+         & info [ "drop" ] ~doc:"Per-message loss probability (default 0.05).")
+  in
+  let duplicate =
+    Arg.(value & opt float 0.01
+         & info [ "dup" ] ~doc:"Per-message duplication probability (default 0.01).")
+  in
+  let timeout =
+    Arg.(value & opt float 100.0
+         & info [ "timeout" ] ~doc:"RPC timeout in simulated time (default 100.0).")
+  in
+  let retries =
+    Arg.(value & opt int 5 & info [ "retries" ] ~doc:"RPC retries per operation (default 5).")
+  in
+  let run scenario seed drop duplicate timeout retries =
+    let knobs =
+      {
+        Chaos.default_knobs with
+        Chaos.drop;
+        duplicate;
+        rpc = Some { Dsm_causal.Cluster.timeout; retries };
+      }
+    in
+    let r = Chaos.run ~knobs ~seed:(Int64.of_int seed) scenario in
+    Format.printf "%a" Chaos.pp_report r;
+    if Chaos.healthy r then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run a workload over lossy, duplicating links with the reliable transport, \
+             RPC timeouts and (for crash-restart) crash-stop recovery; exits nonzero if \
+             the recorded history is not causally correct or a process is left blocked")
+    Term.(const run $ scenario $ seed $ drop $ duplicate $ timeout $ retries)
+
+(* ------------------------------------------------------------------ *)
 (* alpha                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -418,4 +467,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; alpha_cmd; diagram_cmd; fig_cmd; solver_cmd; dict_cmd; anomaly_cmd; workload_cmd; model_cmd ]))
+          [ check_cmd; alpha_cmd; diagram_cmd; fig_cmd; solver_cmd; dict_cmd; anomaly_cmd; workload_cmd; chaos_cmd; model_cmd ]))

@@ -1,0 +1,326 @@
+module Engine = Dsm_sim.Engine
+module Proc = Dsm_runtime.Proc
+module Network = Dsm_net.Network
+module Reliable = Dsm_net.Reliable
+module Latency = Dsm_net.Latency
+module Causal = Dsm_causal.Cluster
+module Owner = Dsm_memory.Owner
+module History = Dsm_memory.History
+module Value = Dsm_memory.Value
+module Check = Dsm_checker.Causal_check
+module Prng = Dsm_util.Prng
+
+type knobs = {
+  drop : float;
+  duplicate : float;
+  latency : Latency.t;
+  reliability : Reliable.config;
+  rpc : Causal.rpc option;
+}
+
+let default_knobs =
+  {
+    drop = 0.05;
+    duplicate = 0.01;
+    latency = Latency.lan;
+    reliability = Reliable.default_config;
+    rpc = Some { Causal.timeout = 100.0; retries = 5 };
+  }
+
+type report = {
+  scenario : string;
+  processes : int;
+  ops : int;
+  causal_ok : bool;
+  sim_time : float;
+  messages : int;
+  dropped : int;
+  duplicated : int;
+  transport : Reliable.counters;
+  rpc_timeouts : int;
+  stale_replies : int;
+  crashes : int;
+  unfinished : (string * float) list;
+  notes : (string * string) list;
+}
+
+(* Checking a recorded history is quadratic; cap like Harness does. *)
+let history_check_cutoff = 6_000
+
+let check_history history =
+  if History.op_count history > history_check_cutoff then true
+  else Check.is_correct history
+
+let make_cluster ~knobs ~seed ~owner ?config sched =
+  Causal.create ~sched ~owner ?config ~latency:knobs.latency
+    ~fault:(Network.fault ~drop:knobs.drop ~duplicate:knobs.duplicate ())
+    ~reliability:knobs.reliability ?rpc:knobs.rpc ~seed ()
+
+let build_report ~scenario ~sched ~engine ~crashes ~notes c =
+  Causal.shutdown c;
+  let history = Causal.history c in
+  {
+    scenario;
+    processes = Causal.processes c;
+    ops = History.op_count history;
+    causal_ok = check_history history;
+    sim_time = Engine.now engine;
+    messages = Causal.messages_total c;
+    dropped = Causal.wire_dropped c;
+    duplicated = Causal.wire_duplicated c;
+    transport =
+      (match Causal.reliable c with
+      | Some r -> Reliable.counters r
+      | None ->
+          {
+            Reliable.payloads = 0;
+            retransmissions = 0;
+            acks = 0;
+            dup_dropped = 0;
+            reordered = 0;
+            gave_up = 0;
+          });
+    rpc_timeouts = Causal.rpc_timeouts c;
+    stale_replies = Causal.stale_replies c;
+    crashes;
+    unfinished = Proc.unfinished_since sched;
+    notes;
+  }
+
+(* Run spawned processes to quiescence; unlike [Proc.check] we do not raise
+   on process failure — chaos runs report what happened instead. *)
+let run_to_quiescence engine sched =
+  Engine.run engine;
+  match Proc.failures sched with
+  | [] -> []
+  | fs -> List.map (fun (name, exn) -> (name, Printexc.to_string exn)) fs
+
+(* {1 Scenario: random read/write mix} *)
+
+let mix ?(knobs = default_knobs) ?(seed = 1L) ?(spec = Workload.default_spec) () =
+  Workload.validate spec;
+  let engine = Engine.create () in
+  let sched = Proc.scheduler engine in
+  let owner = Owner.by_index ~nodes:spec.Workload.processes in
+  let c = make_cluster ~knobs ~seed ~owner sched in
+  let master = Prng.create seed in
+  for pid = 0 to spec.Workload.processes - 1 do
+    let prng = Prng.split master in
+    let h = Causal.handle c pid in
+    ignore
+      (Proc.spawn sched
+         ~name:(Printf.sprintf "client%d" pid)
+         (Workload.client ~spec ~prng ~pid
+            ~read:(fun l -> Causal.read h l)
+            ~write:(fun l v -> Causal.write h l v)
+            ~refresh:(fun l -> Causal.Mem.refresh h l)))
+  done;
+  let failures = run_to_quiescence engine sched in
+  let notes = List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures in
+  build_report ~scenario:"mix" ~sched ~engine ~crashes:0 ~notes c
+
+(* {1 Scenario: the Section 4.2 dictionary under loss} *)
+
+let dictionary ?(knobs = default_knobs) ?(seed = 2L) ?(processes = 4) ?(rounds = 6) () =
+  if processes < 2 then invalid_arg "Chaos.dictionary: processes must be >= 2";
+  if rounds < 1 then invalid_arg "Chaos.dictionary: rounds must be >= 1";
+  let engine = Engine.create () in
+  let sched = Proc.scheduler engine in
+  let owner = Dictionary.owner_map ~processes in
+  let cols = rounds + 2 in
+  let c = make_cluster ~knobs ~seed ~owner ~config:Dictionary.config sched in
+  let master = Prng.create seed in
+  (* Each process inserts unique items into its own row, looks up and
+     occasionally deletes a neighbour's earlier item, and refreshes so its
+     view converges — the paper's usage pattern, now over lossy links. *)
+  let client pid () =
+    let prng = Prng.split master in
+    let dict = Dictionary.attach (Causal.handle c pid) ~cols in
+    for round = 1 to rounds do
+      Proc.sleep (Prng.exponential prng ~mean:2.0);
+      ignore (Dictionary.insert dict (Printf.sprintf "item-%d-%d" pid round));
+      if round > 1 then begin
+        let neighbour = (pid + 1) mod processes in
+        let target = Printf.sprintf "item-%d-%d" neighbour (round - 1) in
+        Dictionary.refresh dict;
+        if Dictionary.lookup dict target && Prng.chance prng 0.5 then
+          ignore (Dictionary.delete dict target)
+      end
+    done
+  in
+  for pid = 0 to processes - 1 do
+    ignore (Proc.spawn sched ~name:(Printf.sprintf "dict%d" pid) (client pid))
+  done;
+  let failures = run_to_quiescence engine sched in
+  (* After quiescence, every process refreshes and reads the full dictionary:
+     all views must agree on the final contents. *)
+  let views = Array.make processes [] in
+  ignore
+    (Proc.spawn sched ~name:"collect" (fun () ->
+         for pid = 0 to processes - 1 do
+           let dict = Dictionary.attach (Causal.handle c pid) ~cols in
+           Dictionary.refresh dict;
+           views.(pid) <- Dictionary.items dict
+         done));
+  Engine.run engine;
+  let converged =
+    Array.for_all (fun v -> List.sort compare v = List.sort compare views.(0)) views
+  in
+  let notes =
+    ("final_items", string_of_int (List.length views.(0)))
+    :: ("views_converged", string_of_bool converged)
+    :: List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures
+  in
+  build_report ~scenario:"dictionary" ~sched ~engine ~crashes:0 ~notes c
+
+(* {1 Scenario: the Figure 6 solver under loss} *)
+
+module Solver_on_causal = Solver.Make (Causal.Mem)
+
+let solver ?(knobs = default_knobs) ?(seed = 3L) ?(n = 6) ?(iters = 4) () =
+  let problem = Linalg.random_diagonally_dominant (Prng.create seed) ~n in
+  let owner = Solver.owner_map ~workers:n in
+  let engine = Engine.create () in
+  let sched = Proc.scheduler engine in
+  let c = make_cluster ~knobs ~seed ~owner sched in
+  for i = 0 to n - 1 do
+    ignore
+      (Proc.spawn sched
+         ~name:(Printf.sprintf "worker%d" i)
+         (fun () -> Solver_on_causal.worker (Causal.handle c i) problem ~me:i ~iters))
+  done;
+  ignore
+    (Proc.spawn sched ~name:"coordinator" (fun () ->
+         Solver_on_causal.coordinator (Causal.handle c n) ~workers:n ~iters));
+  let failures = run_to_quiescence engine sched in
+  let solution = ref [||] in
+  ignore
+    (Proc.spawn sched ~name:"collect" (fun () ->
+         solution := Solver_on_causal.read_solution (Causal.handle c n) ~n));
+  Engine.run engine;
+  let reference = Linalg.jacobi problem ~iters in
+  let max_diff =
+    if Array.length !solution = n then Linalg.max_diff !solution reference else infinity
+  in
+  let notes =
+    ("max_diff", Printf.sprintf "%g" max_diff)
+    :: ("bit_exact", string_of_bool (max_diff = 0.0))
+    :: List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures
+  in
+  build_report ~scenario:"solver" ~sched ~engine ~crashes:0 ~notes c
+
+(* {1 Scenario: crash-stop restart of a non-owner node}
+
+   [clients] nodes own the namespace between them; one extra node (the
+   victim, pid = clients) owns nothing and can therefore crash and restart
+   with its volatile state discarded.  The victim warms its cache, sleeps
+   across a crash/restart window injected by a supervisor, then resumes
+   reading and writing — everything it sees afterwards must still be
+   causally consistent with its pre-crash operations. *)
+
+let crash_restart ?(knobs = default_knobs) ?(seed = 4L) ?(clients = 3)
+    ?(ops_per_client = 10) () =
+  if clients < 1 then invalid_arg "Chaos.crash_restart: clients must be >= 1";
+  let processes = clients + 1 in
+  let victim = clients in
+  let engine = Engine.create () in
+  let sched = Proc.scheduler engine in
+  let inner = Owner.by_index ~nodes:clients in
+  let owner = Owner.make ~nodes:processes (fun loc -> Owner.owner inner loc) in
+  let c = make_cluster ~knobs ~seed ~owner sched in
+  let master = Prng.create seed in
+  let spec =
+    {
+      Workload.default_spec with
+      Workload.processes;
+      ops_per_process = ops_per_client;
+      locations = 2 * clients;
+    }
+  in
+  for pid = 0 to clients - 1 do
+    let prng = Prng.split master in
+    let h = Causal.handle c pid in
+    ignore
+      (Proc.spawn sched
+         ~name:(Printf.sprintf "client%d" pid)
+         (Workload.client ~spec ~prng ~pid
+            ~read:(fun l -> Causal.read h l)
+            ~write:(fun l v -> Causal.write h l v)
+            ~refresh:(fun l -> Causal.Mem.refresh h l)))
+  done;
+  let crashes = ref 0 in
+  ignore
+    (Proc.spawn sched ~name:"victim" (fun () ->
+         let prng = Prng.split master in
+         let h = Causal.handle c victim in
+         let one_op k =
+           let target = Workload.loc (Prng.int prng spec.Workload.locations) in
+           if Prng.chance prng 0.5 then
+             Causal.write h target (Value.Int ((victim * 1_000_000) + k))
+           else ignore (Causal.read h target)
+         in
+         (* Phase 1: warm the cache before the crash window. *)
+         for k = 1 to ops_per_client do
+           one_op k;
+           Proc.sleep 1.0
+         done;
+         (* Schedule the crash/restart window inside the victim's own sleep,
+            so the crash never interrupts an operation in flight (a crashed
+            node runs no application code) and phase 2 starts with the
+            discarded volatile state of a fresh restart. *)
+         let now = Engine.now engine in
+         Engine.schedule_at engine (now +. 5.0) (fun () ->
+             Causal.crash c victim;
+             incr crashes);
+         Engine.schedule_at engine (now +. 35.0) (fun () -> Causal.restart c victim);
+         Proc.sleep 50.0;
+         for k = ops_per_client + 1 to 2 * ops_per_client do
+           one_op k;
+           Proc.sleep 1.0
+         done));
+  let failures = run_to_quiescence engine sched in
+  let notes =
+    ("victim", string_of_int victim)
+    :: ("victim_cache_after", string_of_int (Dsm_causal.Node.cache_size (Causal.node c victim)))
+    :: ("dropped_at_crashed", string_of_int (Causal.dropped_at_crashed c))
+    :: List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures
+  in
+  build_report ~scenario:"crash-restart" ~sched ~engine ~crashes:!crashes ~notes c
+
+let scenarios = [ "mix"; "dictionary"; "solver"; "crash-restart" ]
+
+let run ?knobs ?seed name =
+  match name with
+  | "mix" -> mix ?knobs ?seed ()
+  | "dictionary" -> dictionary ?knobs ?seed ()
+  | "solver" -> solver ?knobs ?seed ()
+  | "crash-restart" -> crash_restart ?knobs ?seed ()
+  | other ->
+      invalid_arg
+        (Printf.sprintf "Chaos.run: unknown scenario %s (expected one of %s)" other
+           (String.concat ", " scenarios))
+
+let pp_report ppf r =
+  let line fmt = Format.fprintf ppf fmt in
+  line "scenario:          %s (%d processes)@." r.scenario r.processes;
+  line "recorded ops:      %d@." r.ops;
+  line "causally correct:  %b@." r.causal_ok;
+  line "sim time:          %.1f@." r.sim_time;
+  line "wire messages:     %d (dropped %d, duplicated %d)@." r.messages r.dropped
+    r.duplicated;
+  line "transport:         %d payloads, %d rexmit, %d acks, %d dup-dropped, %d reordered, %d gave up@."
+    r.transport.Reliable.payloads r.transport.Reliable.retransmissions
+    r.transport.Reliable.acks r.transport.Reliable.dup_dropped
+    r.transport.Reliable.reordered r.transport.Reliable.gave_up;
+  line "rpc timeouts:      %d (stale replies %d)@." r.rpc_timeouts r.stale_replies;
+  if r.crashes > 0 then line "crashes injected:  %d@." r.crashes;
+  (match r.unfinished with
+  | [] -> line "unfinished procs:  none@."
+  | stuck ->
+      line "unfinished procs:  %d@." (List.length stuck);
+      List.iter
+        (fun (name, since) -> line "  %s (blocked since t=%.1f)@." name since)
+        stuck);
+  List.iter (fun (k, v) -> line "%-18s %s@." (k ^ ":") v) r.notes
+
+let healthy r = r.causal_ok && r.unfinished = []

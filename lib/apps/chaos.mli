@@ -1,0 +1,83 @@
+(** Seeded fault-injection ("chaos") harness for the causal DSM.
+
+    Each scenario builds a cluster over a lossy, duplicating network with
+    the {!Dsm_net.Reliable} sliding-window transport and RPC timeouts
+    interposed, runs a workload to quiescence, and reports what happened:
+    whether the recorded history is still causally correct, how hard the
+    reliability machinery worked (retransmissions, duplicate suppression,
+    RPC timeouts), and whether any process was left blocked forever.
+
+    Everything is driven by the seeded simulation PRNG, so a given
+    [(scenario, knobs, seed)] triple reproduces bit-identically — the same
+    history, the same retransmission count.  The [chaos] subcommand of
+    [dsm_cli] is a thin wrapper over {!run}. *)
+
+type knobs = {
+  drop : float;  (** per-message loss probability, both directions *)
+  duplicate : float;  (** per-message duplication probability *)
+  latency : Dsm_net.Latency.t;
+  reliability : Dsm_net.Reliable.config;
+  rpc : Dsm_causal.Cluster.rpc option;  (** [None] = unbounded blocking *)
+}
+
+val default_knobs : knobs
+(** 5% loss, 1% duplication, LAN latency, {!Dsm_net.Reliable.default_config},
+    RPC timeout 100.0 with 5 retries. *)
+
+type report = {
+  scenario : string;
+  processes : int;
+  ops : int;  (** operations in the recorded history *)
+  causal_ok : bool;  (** {!Dsm_checker.Causal_check} verdict (histories over
+                         6000 ops are assumed correct, as in {!Harness}) *)
+  sim_time : float;
+  messages : int;  (** wire messages, including acks and retransmissions *)
+  dropped : int;
+  duplicated : int;
+  transport : Dsm_net.Reliable.counters;
+  rpc_timeouts : int;
+  stale_replies : int;
+  crashes : int;  (** crash-stop events injected *)
+  unfinished : (string * float) list;
+      (** processes left blocked at quiescence, with blocked-since times —
+          must be empty for a healthy run *)
+  notes : (string * string) list;  (** scenario-specific facts, including
+                                       ["failed:<proc>"] entries for any
+                                       process that raised *)
+}
+
+val mix :
+  ?knobs:knobs -> ?seed:int64 -> ?spec:Workload.spec -> unit -> report
+(** The standard random read/write mix under faults. *)
+
+val dictionary :
+  ?knobs:knobs -> ?seed:int64 -> ?processes:int -> ?rounds:int -> unit -> report
+(** The Section 4.2 dictionary: concurrent inserts, cross-process deletes
+    and refreshes under loss; notes record whether all final views agree
+    (["views_converged"]) and the final item count. *)
+
+val solver :
+  ?knobs:knobs -> ?seed:int64 -> ?n:int -> ?iters:int -> unit -> report
+(** The Figure 6 synchronous Jacobi solver under loss; notes record the
+    max difference against the sequential reference (["max_diff"],
+    ["bit_exact"] — the handshake protocol must still compute exact
+    phase-[k-1] values whatever the network does). *)
+
+val crash_restart :
+  ?knobs:knobs -> ?seed:int64 -> ?clients:int -> ?ops_per_client:int -> unit -> report
+(** Crash-stop and restart a non-owner node mid-run: [clients] owner nodes
+    run the random mix while an extra cache-only node warms its cache,
+    crashes (losing all volatile state), restarts, and resumes.  The
+    combined history must remain causally correct across the discard. *)
+
+val scenarios : string list
+(** Names accepted by {!run}, in presentation order. *)
+
+val run : ?knobs:knobs -> ?seed:int64 -> string -> report
+(** Run a scenario by name with default sizes; [Invalid_argument] on an
+    unknown name. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val healthy : report -> bool
+(** [causal_ok && unfinished = []] — the chaos pass/fail criterion. *)

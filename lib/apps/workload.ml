@@ -65,12 +65,15 @@ let run_clients ~spec ~seed ~make =
   Proc.check sched;
   finish engine
 
-let run_causal ?(seed = 1L) ?config ?latency spec =
+let run_causal ?(seed = 1L) ?config ?latency ?fault ?reliability ?rpc spec =
   let owner = Dsm_memory.Owner.by_index ~nodes:spec.processes in
   let cluster = ref None in
   let outcome =
     run_clients ~spec ~seed ~make:(fun _engine sched ->
-        let c = Dsm_causal.Cluster.create ~sched ~owner ?config ?latency ~seed () in
+        let c =
+          Dsm_causal.Cluster.create ~sched ~owner ?config ?latency ?fault ?reliability ?rpc
+            ~seed ()
+        in
         cluster := Some c;
         let read pid l = Dsm_causal.Cluster.read (Dsm_causal.Cluster.handle c pid) l in
         let write pid l v = Dsm_causal.Cluster.write (Dsm_causal.Cluster.handle c pid) l v in
@@ -81,7 +84,7 @@ let run_causal ?(seed = 1L) ?config ?latency spec =
           Dsm_causal.Cluster.shutdown c;
           {
             history = Dsm_causal.Cluster.history c;
-            messages = Dsm_net.Network.lifetime_total (Dsm_causal.Cluster.net c);
+            messages = Dsm_causal.Cluster.messages_total c;
             sim_time = Engine.now engine;
           }
         in

@@ -20,6 +20,23 @@ val default_spec : spec
 
 val loc : int -> Dsm_memory.Loc.t
 
+val validate : spec -> unit
+(** Raise [Invalid_argument] on nonsensical field values. *)
+
+val client :
+  spec:spec ->
+  prng:Dsm_util.Prng.t ->
+  pid:int ->
+  read:(Dsm_memory.Loc.t -> Dsm_memory.Value.t) ->
+  write:(Dsm_memory.Loc.t -> Dsm_memory.Value.t -> unit) ->
+  refresh:(Dsm_memory.Loc.t -> unit) ->
+  unit ->
+  unit
+(** One client process body: [ops_per_process] random operations with the
+    spec's mix, unique write values ([pid * 1e6 + op index]).  Exposed so
+    harnesses (e.g. {!Chaos}) can run the standard mix over clusters they
+    build themselves. *)
+
 type outcome = {
   history : Dsm_memory.History.t;
   messages : int;
@@ -30,10 +47,15 @@ val run_causal :
   ?seed:int64 ->
   ?config:Dsm_causal.Config.t ->
   ?latency:Dsm_net.Latency.t ->
+  ?fault:Dsm_net.Network.fault ->
+  ?reliability:Dsm_net.Reliable.config ->
+  ?rpc:Dsm_causal.Cluster.rpc ->
   spec ->
   outcome * Dsm_causal.Cluster.t
 (** The cluster is returned for stats inspection (invalidation counters
-    etc.); it is already shut down. *)
+    etc.); it is already shut down.  [fault]/[reliability]/[rpc] configure
+    lossy links, the reliable transport, and RPC timeouts — see
+    {!Dsm_causal.Cluster.create}. *)
 
 val run_atomic :
   ?seed:int64 ->

@@ -4,20 +4,68 @@ module History = Dsm_memory.History
 module Owner = Dsm_memory.Owner
 module Proc = Dsm_runtime.Proc
 module Network = Dsm_net.Network
+module Reliable = Dsm_net.Reliable
+
+type rpc = { timeout : float; retries : int }
+
+type timeout_info = {
+  op : [ `Read | `Write ];
+  loc : Loc.t;
+  requester : int;
+  owner_node : int;
+  attempts : int;
+}
+
+exception Timed_out of timeout_info
+
+let () =
+  Printexc.register_printer (function
+    | Timed_out { op; loc; requester; owner_node; attempts } ->
+        Some
+          (Printf.sprintf "Cluster.Timed_out(%s %s: node %d -> owner %d, %d attempt%s)"
+             (match op with `Read -> "read" | `Write -> "write")
+             (Loc.to_string loc) requester owner_node attempts
+             (if attempts = 1 then "" else "s"))
+    | _ -> None)
+
+(* The transport under the protocol: either the network used directly (the
+   paper's assumption: reliable exactly-once FIFO links), or the
+   sliding-window reliable layer over a network that may drop and duplicate
+   (the fault-tolerant configuration). *)
+type transport =
+  | Direct of Message.t Network.t
+  | Framed of Message.t Reliable.t
 
 type t = {
   sched : Proc.sched;
-  net : Message.t Network.t;
+  transport : transport;
   nodes : Node.t array;
   owner : Owner.t;
   config : Config.t;
+  rpc : rpc option;
   recorder : History.Recorder.t;
   pending : (int, Message.t Proc.ivar) Hashtbl.t array;
+  crashed : bool array;
   mutable timers_stopped : bool;
   mutable timed : (Dsm_memory.Op.t * float * float) list; (* newest first *)
+  mutable stale_replies : int;
+  mutable dropped_at_crashed : int;
+  mutable rpc_timeouts : int;
 }
 
 type handle = { cluster : t; node : Node.t }
+
+(* Run one polymorphic network accessor against whichever network backs the
+   transport (their message types differ, hence the record for the
+   polymorphism). *)
+type 'a net_fn = { on : 'msg. 'msg Network.t -> 'a }
+
+let on_net t f = match t.transport with Direct n -> f.on n | Framed r -> f.on (Reliable.net r)
+
+let send_msg t ~src ~dst ~kind ~size msg =
+  match t.transport with
+  | Direct n -> Network.send n ~src ~dst ~kind ~size msg
+  | Framed r -> Reliable.send r ~src ~dst ~kind ~size msg
 
 let entry_wire_size t (count : int) =
   count * t.config.Config.entry_size (Owner.nodes t.owner)
@@ -26,38 +74,47 @@ let digest_wire_size t digest =
   Write_digest.wire_size digest ~dim:(Owner.nodes t.owner)
 
 (* The owner-side services of Figure 4.  These run atomically as delivery
-   events; replies go back over the same reliable FIFO transport. *)
+   events; replies go back over the same FIFO transport. *)
 let handle_message t ~me ~src msg =
-  let node = t.nodes.(me) in
-  match (msg : Message.t) with
-  | Message.Read_req { req; loc } ->
-      let entry =
-        match Node.lookup node loc with
-        | Some e -> e
+  if t.crashed.(me) then
+    (* A crash-stop node loses everything that arrives while it is down. *)
+    t.dropped_at_crashed <- t.dropped_at_crashed + 1
+  else
+    let node = t.nodes.(me) in
+    match (msg : Message.t) with
+    | Message.Read_req { req; loc } ->
+        let entry =
+          match Node.lookup node loc with
+          | Some e -> e
+          | None ->
+              failwith
+                (Printf.sprintf "node %d received READ for %s it does not own" me
+                   (Loc.to_string loc))
+        in
+        let page = Node.page_entries node loc in
+        let digest = Node.digest_export node in
+        send_msg t ~src:me ~dst:src ~kind:"R_REPLY"
+          ~size:(entry_wire_size t (1 + List.length page) + digest_wire_size t digest)
+          (Message.Read_reply { req; loc; entry; page; digest })
+    | Message.Write_req { req; loc; entry; digest } ->
+        Node.digest_merge node digest;
+        let accepted = ref false in
+        let stored = Node.certify_write node loc entry ~accepted in
+        let digest = Node.digest_export node in
+        send_msg t ~src:me ~dst:src ~kind:"W_REPLY"
+          ~size:(entry_wire_size t 1 + digest_wire_size t digest)
+          (Message.Write_reply { req; loc; accepted = !accepted; entry = stored; digest })
+    | Message.Read_reply { req; _ } | Message.Write_reply { req; _ } -> (
+        match Hashtbl.find_opt t.pending.(me) req with
+        | Some ivar ->
+            Hashtbl.remove t.pending.(me) req;
+            Proc.fill ivar msg
         | None ->
-            failwith
-              (Printf.sprintf "node %d received READ for %s it does not own" me
-                 (Loc.to_string loc))
-      in
-      let page = Node.page_entries node loc in
-      let digest = Node.digest_export node in
-      Network.send t.net ~src:me ~dst:src ~kind:"R_REPLY"
-        ~size:(entry_wire_size t (1 + List.length page) + digest_wire_size t digest)
-        (Message.Read_reply { req; loc; entry; page; digest })
-  | Message.Write_req { req; loc; entry; digest } ->
-      Node.digest_merge node digest;
-      let accepted = ref false in
-      let stored = Node.certify_write node loc entry ~accepted in
-      let digest = Node.digest_export node in
-      Network.send t.net ~src:me ~dst:src ~kind:"W_REPLY"
-        ~size:(entry_wire_size t 1 + digest_wire_size t digest)
-        (Message.Write_reply { req; loc; accepted = !accepted; entry = stored; digest })
-  | Message.Read_reply { req; _ } | Message.Write_reply { req; _ } -> (
-      match Hashtbl.find_opt t.pending.(me) req with
-      | Some ivar ->
-          Hashtbl.remove t.pending.(me) req;
-          Proc.fill ivar msg
-      | None -> failwith (Printf.sprintf "node %d: reply for unknown request %d" me req))
+            (* A reply nobody is waiting for: the request timed out and was
+               retried (the retry's reply won), or this node crashed and
+               restarted since issuing it.  Discarding is safe — the request
+               tag is never reused. *)
+            t.stale_replies <- t.stale_replies + 1)
 
 let start_discard_timer t node =
   match (Node.config node).Config.discard with
@@ -72,27 +129,48 @@ let start_discard_timer t node =
       in
       Dsm_sim.Engine.schedule engine ~delay:period tick
 
-let create ~sched ~owner ?(config = Config.default) ?latency ?(seed = 42L) () =
+let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability ?rpc
+    ?(seed = 42L) () =
   Config.validate config;
+  (match rpc with
+  | Some r ->
+      if r.timeout <= 0.0 then invalid_arg "Cluster.create: rpc timeout must be positive";
+      if r.retries < 0 then invalid_arg "Cluster.create: rpc retries must be >= 0"
+  | None -> ());
   let processes = Owner.nodes owner in
   let engine = Proc.engine sched in
-  let net = Network.create engine ~nodes:processes ?latency ~seed () in
+  let transport =
+    match reliability with
+    | None -> Direct (Network.create engine ~nodes:processes ?latency ?fault ~seed ())
+    | Some rconfig ->
+        Framed
+          (Reliable.create ~config:rconfig
+             (Network.create engine ~nodes:processes ?latency ?fault ~seed ()))
+  in
   let nodes = Array.init processes (fun id -> Node.create ~id ~owner ~config) in
   let t =
     {
       sched;
-      net;
+      transport;
       nodes;
       owner;
       config;
+      rpc;
       recorder = History.Recorder.create ~processes;
       pending = Array.init processes (fun _ -> Hashtbl.create 8);
+      crashed = Array.make processes false;
       timers_stopped = false;
       timed = [];
+      stale_replies = 0;
+      dropped_at_crashed = 0;
+      rpc_timeouts = 0;
     }
   in
   for me = 0 to processes - 1 do
-    Network.set_handler net ~node:me (fun ~src msg -> handle_message t ~me ~src msg)
+    let handler ~src msg = handle_message t ~me ~src msg in
+    match transport with
+    | Direct n -> Network.set_handler n ~node:me handler
+    | Framed r -> Reliable.set_handler r ~node:me handler
   done;
   Array.iter (fun node -> start_discard_timer t node) nodes;
   t
@@ -105,7 +183,36 @@ let processes t = Array.length t.nodes
 
 let sched t = t.sched
 
-let net t = t.net
+let net t =
+  match t.transport with
+  | Direct n -> n
+  | Framed _ ->
+      invalid_arg
+        "Cluster.net: this cluster runs over the reliable transport; use Cluster.reliable, \
+         Cluster.messages_total and the Cluster link controls"
+
+let reliable t = match t.transport with Direct _ -> None | Framed r -> Some r
+
+let messages_total t = on_net t { on = (fun n -> Network.lifetime_total n) }
+
+let wire_counters t = on_net t { on = (fun n -> Network.counters n) }
+
+let wire_dropped t = on_net t { on = (fun n -> Network.dropped n) }
+
+let wire_duplicated t = on_net t { on = (fun n -> Network.duplicated n) }
+
+let set_link_down t ~src ~dst down =
+  on_net t { on = (fun n -> Network.set_link_down n ~src ~dst down) }
+
+let set_link_fault t ~src ~dst fault =
+  on_net t { on = (fun n -> Network.set_link_fault n ~src ~dst fault) }
+
+let retransmissions t =
+  match t.transport with Direct _ -> 0 | Framed r -> Reliable.retransmissions r
+
+let stale_replies t = t.stale_replies
+
+let rpc_timeouts t = t.rpc_timeouts
 
 let node t pid = t.nodes.(pid)
 
@@ -123,21 +230,72 @@ let total_stats t = Node_stats.total (stats t)
 
 let shutdown t = t.timers_stopped <- true
 
+(* Crash-stop failures.  [crash] makes the node deaf (deliveries are
+   dropped) and forgets which replies it was waiting for; [restart] brings
+   it back with empty volatile state — the cache discarded (the paper's
+   [discard], so trivially safe), the clock zeroed to be rebuilt from the
+   first owner reply, and the transport links re-established. *)
+let crash t pid =
+  if t.crashed.(pid) then invalid_arg (Printf.sprintf "Cluster.crash: node %d already down" pid);
+  t.crashed.(pid) <- true;
+  Hashtbl.reset t.pending.(pid)
+
+let restart t pid =
+  if not t.crashed.(pid) then
+    invalid_arg (Printf.sprintf "Cluster.restart: node %d is not crashed" pid);
+  Node.reset_volatile t.nodes.(pid);
+  (match t.transport with Direct _ -> () | Framed r -> Reliable.reset_node r pid);
+  t.crashed.(pid) <- false
+
+let is_crashed t pid = t.crashed.(pid)
+
+let dropped_at_crashed t = t.dropped_at_crashed
+
 let pid h = Node.id h.node
 
-(* Round-trip a request to [dst] and block until its reply arrives. *)
-let rendezvous h ~dst ~kind ~size make_msg =
+let check_up h =
   let t = h.cluster in
   let me = Node.id h.node in
-  let req = Node.next_req h.node in
-  let ivar = Proc.ivar t.sched in
-  Hashtbl.replace t.pending.(me) req ivar;
-  Network.send t.net ~src:me ~dst ~kind ~size (make_msg req);
-  Proc.await ivar
+  if t.crashed.(me) then
+    failwith (Printf.sprintf "node %d is crashed: operations are unavailable until restart" me)
+
+(* Round-trip a request to [dst] and block until its reply arrives.  With an
+   RPC policy configured, a lost round trip times out and is retried with a
+   fresh request tag (the old tag, if its reply ever shows up, is discarded
+   as stale); when the attempts are exhausted the operation surfaces
+   [Timed_out] instead of blocking forever. *)
+let rendezvous h ~dst ~op ~loc ~kind ~size make_msg =
+  let t = h.cluster in
+  let me = Node.id h.node in
+  match t.rpc with
+  | None ->
+      let req = Node.next_req h.node in
+      let ivar = Proc.ivar t.sched in
+      Hashtbl.replace t.pending.(me) req ivar;
+      send_msg t ~src:me ~dst ~kind ~size (make_msg req);
+      Proc.await ivar
+  | Some { timeout; retries } ->
+      let rec attempt n =
+        let req = Node.next_req h.node in
+        let ivar = Proc.ivar t.sched in
+        Hashtbl.replace t.pending.(me) req ivar;
+        send_msg t ~src:me ~dst ~kind ~size (make_msg req);
+        match Proc.await_timeout ivar ~timeout with
+        | Some reply -> reply
+        | None ->
+            Hashtbl.remove t.pending.(me) req;
+            t.rpc_timeouts <- t.rpc_timeouts + 1;
+            if n < retries then attempt (n + 1)
+            else
+              raise
+                (Timed_out { op; loc; requester = me; owner_node = dst; attempts = n + 1 })
+      in
+      attempt 0
 
 let read_stamped h loc =
   let t = h.cluster in
   let node = h.node in
+  check_up h;
   let stats = Node.stats node in
   let start_time = sim_now t in
   match Node.lookup node loc with
@@ -160,8 +318,8 @@ let read_stamped h loc =
          what we now know and must not be retained in the cache. *)
       let vt_at_request = Node.vt node in
       let reply =
-        rendezvous h ~dst ~kind:"READ" ~size:t.config.Config.read_request_size (fun req ->
-            Message.Read_req { req; loc })
+        rendezvous h ~dst ~op:`Read ~loc ~kind:"READ"
+          ~size:t.config.Config.read_request_size (fun req -> Message.Read_req { req; loc })
       in
       match reply with
       | Message.Read_reply { entry; page; digest; _ } ->
@@ -184,6 +342,7 @@ let read h loc = (read_stamped h loc).Stamped.value
 let write_resolved h loc value =
   let t = h.cluster in
   let node = h.node in
+  check_up h;
   let stats = Node.stats node in
   let start_time = sim_now t in
   if Node.owns node loc then begin
@@ -203,7 +362,7 @@ let write_resolved h loc value =
     let entry = Stamped.make ~value ~stamp:(Node.vt node) ~wid in
     let digest = Node.digest_export node in
     let reply =
-      rendezvous h ~dst:(Node.owner_of node loc) ~kind:"WRITE"
+      rendezvous h ~dst:(Node.owner_of node loc) ~op:`Write ~loc ~kind:"WRITE"
         ~size:(entry_wire_size t 1 + digest_wire_size t digest)
         (fun req -> Message.Write_req { req; loc; entry; digest })
     in
@@ -226,6 +385,16 @@ let write_resolved h loc value =
   end
 
 let write h loc value = ignore (write_resolved h loc value)
+
+let read_result h loc =
+  match read_stamped h loc with
+  | entry -> Ok entry.Stamped.value
+  | exception Timed_out info -> Error info
+
+let write_result h loc value =
+  match write_resolved h loc value with
+  | outcome -> Ok outcome
+  | exception Timed_out info -> Error info
 
 let discard h = ignore (Node.discard_all h.node)
 

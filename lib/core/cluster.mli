@@ -9,17 +9,56 @@
     Message handlers run atomically at delivery time even while the node's
     application process is blocked, which is the paper's requirement that
     owners "fairly alternate between issuing reads and writes and responding
-    to READ and WRITE messages". *)
+    to READ and WRITE messages".
+
+    {b Transports.}  By default messages travel directly over the network —
+    the paper's assumption of reliable exactly-once FIFO links.  Passing
+    [?reliability] interposes the {!Dsm_net.Reliable} sliding-window layer,
+    which restores that contract over a network configured (via [?fault])
+    to drop and duplicate packets.
+
+    {b Timeouts.}  Passing [?rpc] bounds every remote operation: a request
+    whose reply does not arrive within [timeout] is reissued with a fresh
+    request tag (up to [retries] times), and exhausting the budget raises
+    {!Timed_out} instead of blocking the process forever.  Late replies to
+    abandoned tags are discarded and counted in {!stale_replies}.
+
+    {b Crash-stop failures.}  {!crash} silences a node (deliveries are
+    dropped while it is down); {!restart} revives it with empty volatile
+    state — cache discarded, clock zeroed — which is safe for non-owner
+    nodes because every post-restart value is re-fetched from its owner
+    (see docs/PROTOCOL.md, "Reliability layer"). *)
 
 type t
 
 type handle
+
+(** Timeout/retry policy for the remote operations. *)
+type rpc = {
+  timeout : float;  (** simulated time to wait for each attempt's reply *)
+  retries : int;  (** re-sends after the first attempt; total tries = retries + 1 *)
+}
+
+type timeout_info = {
+  op : [ `Read | `Write ];
+  loc : Dsm_memory.Loc.t;
+  requester : int;
+  owner_node : int;
+  attempts : int;  (** total attempts made, including the first *)
+}
+
+exception Timed_out of timeout_info
+(** Raised by {!read}/{!write} (and friends) when every RPC attempt timed
+    out; only possible when [?rpc] was given. *)
 
 val create :
   sched:Dsm_runtime.Proc.sched ->
   owner:Dsm_memory.Owner.t ->
   ?config:Config.t ->
   ?latency:Dsm_net.Latency.t ->
+  ?fault:Dsm_net.Network.fault ->
+  ?reliability:Dsm_net.Reliable.config ->
+  ?rpc:rpc ->
   ?seed:int64 ->
   unit ->
   t
@@ -34,6 +73,62 @@ val processes : t -> int
 val sched : t -> Dsm_runtime.Proc.sched
 
 val net : t -> Message.t Dsm_net.Network.t
+(** The raw network of a cluster created {e without} [?reliability].
+    Raises [Invalid_argument] on a reliable cluster (its network carries
+    framed messages); use {!reliable} and the uniform accessors below. *)
+
+val reliable : t -> Message.t Dsm_net.Reliable.t option
+(** The reliable transport, when the cluster was created with
+    [?reliability]. *)
+
+(** {1 Uniform wire accessors (work for both transports)} *)
+
+val messages_total : t -> int
+(** Lifetime messages accepted by the underlying network (for the reliable
+    transport this includes acks and retransmissions). *)
+
+val wire_counters : t -> Dsm_net.Network.counters
+
+val wire_dropped : t -> int
+(** Messages lost to down links and the fault model. *)
+
+val wire_duplicated : t -> int
+(** Extra copies injected by the duplication fault. *)
+
+val set_link_down : t -> src:int -> dst:int -> bool -> unit
+
+val set_link_fault : t -> src:int -> dst:int -> Dsm_net.Network.fault -> unit
+
+val retransmissions : t -> int
+(** Data packets re-sent by the reliable layer; [0] for a direct cluster. *)
+
+val stale_replies : t -> int
+(** Replies that arrived for abandoned request tags (timed-out attempts or
+    pre-crash requests) and were discarded. *)
+
+val rpc_timeouts : t -> int
+(** Individual RPC attempts that timed out (whether or not a retry later
+    succeeded). *)
+
+(** {1 Crash-stop failures} *)
+
+val crash : t -> int -> unit
+(** Take node [pid] down: incoming messages are dropped and its pending
+    replies forgotten.  Operations on its handle fail until {!restart}.
+    Raises [Invalid_argument] if already crashed. *)
+
+val restart : t -> int -> unit
+(** Bring a crashed node back with empty volatile state: the cache is
+    discarded, the vector clock zeroed (rebuilt from the first owner
+    reply), and — under the reliable transport — its links reset.  Raises
+    [Invalid_argument] if the node is not crashed, or (via
+    {!Node.reset_volatile}) if it owns locations, since an owner's
+    certified writes are not recoverable by discard. *)
+
+val is_crashed : t -> int -> bool
+
+val dropped_at_crashed : t -> int
+(** Deliveries dropped because the destination was crashed. *)
 
 val node : t -> int -> Node.t
 (** Direct access to protocol state, for tests and ablations. *)
@@ -69,6 +164,16 @@ val write_resolved :
 
 val read_stamped : handle -> Dsm_memory.Loc.t -> Stamped.t
 (** [read] exposing the writestamp; recorded as an ordinary read. *)
+
+val read_result : handle -> Dsm_memory.Loc.t -> (Dsm_memory.Value.t, timeout_info) result
+(** {!read} with {!Timed_out} reified into [Error] instead of raised. *)
+
+val write_result :
+  handle ->
+  Dsm_memory.Loc.t ->
+  Dsm_memory.Value.t ->
+  ([ `Accepted | `Rejected ], timeout_info) result
+(** {!write_resolved} with {!Timed_out} reified into [Error]. *)
 
 val discard : handle -> unit
 (** Voluntarily drop this node's whole cache (the paper's [discard]). *)

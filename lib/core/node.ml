@@ -170,24 +170,33 @@ let certify_write t loc (incoming : Stamped.t) ~accepted =
     | Some e -> e
     | None -> assert false (* owned locations always present after lookup *)
   in
-  let decision = Policy.decide t.config.Config.policy ~owner:t.id ~current ~incoming in
-  t.stats.Node_stats.writes_certified <- t.stats.Node_stats.writes_certified + 1;
-  let stored =
-    match decision with
-    | Policy.Accept ->
-        (* The certified writestamp is the owner's merged clock, as in
-           Figure 4's [M_i[x] := (v, VT_i)]. *)
-        let entry = Stamped.make ~value:incoming.value ~stamp:t.clock ~wid:incoming.wid in
-        store t loc entry;
-        digest_observe t loc entry;
-        accepted := true;
-        entry
-    | Policy.Reject ->
-        accepted := false;
-        current
-  in
-  invalidate_older t t.clock;
-  stored
+  if Wid.equal current.Stamped.wid incoming.Stamped.wid then begin
+    (* Duplicate certification of a write already stored (an RPC retry after
+       a lost W_REPLY): idempotent, and still "accepted" — the original
+       decision stands. *)
+    accepted := true;
+    current
+  end
+  else begin
+    let decision = Policy.decide t.config.Config.policy ~owner:t.id ~current ~incoming in
+    t.stats.Node_stats.writes_certified <- t.stats.Node_stats.writes_certified + 1;
+    let stored =
+      match decision with
+      | Policy.Accept ->
+          (* The certified writestamp is the owner's merged clock, as in
+             Figure 4's [M_i[x] := (v, VT_i)]. *)
+          let entry = Stamped.make ~value:incoming.value ~stamp:t.clock ~wid:incoming.wid in
+          store t loc entry;
+          digest_observe t loc entry;
+          accepted := true;
+          entry
+      | Policy.Reject ->
+          accepted := false;
+          current
+    in
+    invalidate_older t t.clock;
+    stored
+  end
 
 let adopt_write_reply t loc (entry : Stamped.t) =
   if owns t loc then invalid_arg "Node.adopt_write_reply: location is owned";
@@ -290,6 +299,27 @@ let discard_one t loc =
       t.stats.Node_stats.discards <- t.stats.Node_stats.discards + 1;
       true
   | Some _ | None -> false
+
+let reset_volatile t =
+  (* Crash-stop restart.  Everything a restarted node held in memory is
+     lost: the cache, the invalidation bookkeeping, the digest, and the
+     vector clock (rebuilt from the first owner reply, whose stamp merges
+     into the zero clock).  The write and request counters deliberately
+     survive so recycled writestamps or request tags can never collide with
+     pre-crash traffic still in flight. *)
+  let owned =
+    Loc.Table.fold (fun loc _ acc -> acc || owns t loc) t.memory false
+  in
+  if owned then
+    invalid_arg
+      (Printf.sprintf
+         "Node.reset_volatile: node %d stores locations it owns; crash recovery would lose \
+          certified writes (only non-owner nodes may restart)"
+         t.id);
+  Loc.Table.reset t.memory;
+  Loc.Table.reset t.last_invalidated;
+  Write_digest.reset t.digest;
+  t.clock <- Vclock.zero (processes t)
 
 let enforce_capacity t =
   match t.config.Config.discard with

@@ -57,7 +57,9 @@ val certify_write :
 (** The owner's [WRITE] handler: merge the incoming stamp into [VT_i],
     consult the resolution policy, store the certified entry (or keep the
     current one on rejection), invalidate older cached entries, and return
-    the entry now stored.  Requires [owns t loc]. *)
+    the entry now stored.  Certifying the write currently stored again (an
+    RPC retry after a lost [W_REPLY]) is idempotent and reports accepted.
+    Requires [owns t loc]. *)
 
 val adopt_write_reply : t -> Dsm_memory.Loc.t -> Stamped.t -> unit
 (** The writer's tail of [w_i(x)v] after [W_REPLY]: merge the owner's clock
@@ -107,6 +109,14 @@ val cache_size : t -> int
 
 val cached_locs : t -> Dsm_memory.Loc.t list
 (** The set [C_i], in unspecified order. *)
+
+val reset_volatile : t -> unit
+(** Crash-stop restart: drop the whole cache, the invalidation bookkeeping
+    and the digest, and zero the vector clock (it is rebuilt from the first
+    owner reply).  The write and request counters keep growing so recycled
+    writestamps or request tags never collide with pre-crash traffic.
+    Raises [Invalid_argument] if the node currently stores locations it
+    owns — an owner's certified writes are not recoverable by discard. *)
 
 val enforce_capacity : t -> unit
 (** Evict least-recently-used cached entries until within the configured

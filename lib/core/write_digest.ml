@@ -6,6 +6,8 @@ type t = entry Loc.Table.t
 
 let create () = Loc.Table.create 32
 
+let reset t = Loc.Table.reset t
+
 let find t loc = Loc.Table.find_opt t loc
 
 let observe t loc (incoming : entry) =

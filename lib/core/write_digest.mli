@@ -20,6 +20,9 @@ type t
 
 val create : unit -> t
 
+val reset : t -> unit
+(** Forget everything (crash-stop recovery: the digest is volatile state). *)
+
 val find : t -> Dsm_memory.Loc.t -> entry option
 
 val observe : t -> Dsm_memory.Loc.t -> entry -> unit

@@ -7,13 +7,27 @@ type counters = {
   received_by : int array;
 }
 
+type fault = { drop : float; duplicate : float }
+
+let no_fault = { drop = 0.0; duplicate = 0.0 }
+
+let fault ?(drop = 0.0) ?(duplicate = 0.0) () =
+  if drop < 0.0 || drop > 1.0 then invalid_arg "Network.fault: drop must be in [0,1]";
+  if duplicate < 0.0 || duplicate > 1.0 then
+    invalid_arg "Network.fault: duplicate must be in [0,1]";
+  { drop; duplicate }
+
 type 'msg t = {
   engine : Dsm_sim.Engine.t;
   node_count : int;
   default_latency : Latency.t;
   link_latency : (int * int, Latency.t) Hashtbl.t;
   down_links : (int * int, unit) Hashtbl.t;
+  default_fault : fault;
+  link_fault : (int * int, fault) Hashtbl.t;
   mutable dropped : int;
+  drop_by_link : int array; (* indexed by src * node_count + dst *)
+  mutable duplicated : int;
   prng : Dsm_util.Prng.t;
   handlers : (src:int -> 'msg -> unit) option array;
   last_delivery : float array; (* indexed by src * node_count + dst *)
@@ -31,7 +45,7 @@ type 'msg t = {
 
 let fifo_epsilon = 1e-9
 
-let create engine ~nodes ?(latency = Latency.lan) ?(seed = 1L) () =
+let create engine ~nodes ?(latency = Latency.lan) ?(fault = no_fault) ?(seed = 1L) () =
   if nodes < 1 then invalid_arg "Network.create: need at least one node";
   {
     engine;
@@ -39,7 +53,11 @@ let create engine ~nodes ?(latency = Latency.lan) ?(seed = 1L) () =
     default_latency = latency;
     link_latency = Hashtbl.create 16;
     down_links = Hashtbl.create 4;
+    default_fault = fault;
+    link_fault = Hashtbl.create 4;
     dropped = 0;
+    drop_by_link = Array.make (nodes * nodes) 0;
+    duplicated = 0;
     prng = Dsm_util.Prng.create seed;
     handlers = Array.make nodes None;
     last_delivery = Array.make (nodes * nodes) neg_infinity;
@@ -89,12 +107,36 @@ let partition t group_a group_b =
 
 let heal_all t = Hashtbl.reset t.down_links
 
+let set_link_fault t ~src ~dst fault =
+  check_node t src "src";
+  check_node t dst "dst";
+  Hashtbl.replace t.link_fault (src, dst) fault
+
+let clear_link_faults t = Hashtbl.reset t.link_fault
+
 let dropped t = t.dropped
+
+let dropped_by_link t ~src ~dst =
+  check_node t src "src";
+  check_node t dst "dst";
+  t.drop_by_link.((src * t.node_count) + dst)
+
+let duplicated t = t.duplicated
 
 let latency_for t ~src ~dst =
   match Hashtbl.find_opt t.link_latency (src, dst) with
   | Some l -> l
   | None -> t.default_latency
+
+let fault_for t ~src ~dst =
+  match Hashtbl.find_opt t.link_fault (src, dst) with
+  | Some f -> f
+  | None -> t.default_fault
+
+let count_drop t ~src ~dst =
+  t.dropped <- t.dropped + 1;
+  t.drop_by_link.((src * t.node_count) + dst) <-
+    t.drop_by_link.((src * t.node_count) + dst) + 1
 
 let deliver t ~src ~dst msg =
   t.in_flight <- t.in_flight - 1;
@@ -134,10 +176,26 @@ let send t ~src ~dst ?(kind = "msg") ?(size = 1) msg =
   (match t.tracer with
   | Some trace -> trace ~time:(Dsm_sim.Engine.now t.engine) ~src ~dst ~kind msg
   | None -> ());
-  if Hashtbl.mem t.down_links (src, dst) then t.dropped <- t.dropped + 1
-  else begin
+  if Hashtbl.mem t.down_links (src, dst) then count_drop t ~src ~dst
+  else if src = dst then begin
+    (* Self-sends never traverse a link: the fault model does not apply. *)
     t.in_flight <- t.in_flight + 1;
     send_live t ~src ~dst ~kind ~size msg
+  end
+  else begin
+    let f = fault_for t ~src ~dst in
+    (* Guard the prng draws behind the probability checks so fault-free
+       runs consume exactly the same random stream as before. *)
+    if f.drop > 0.0 && Dsm_util.Prng.chance t.prng f.drop then count_drop t ~src ~dst
+    else begin
+      t.in_flight <- t.in_flight + 1;
+      send_live t ~src ~dst ~kind ~size msg;
+      if f.duplicate > 0.0 && Dsm_util.Prng.chance t.prng f.duplicate then begin
+        t.duplicated <- t.duplicated + 1;
+        t.in_flight <- t.in_flight + 1;
+        send_live t ~src ~dst ~kind ~size msg
+      end
+    end
   end
 
 let counters t =

@@ -9,18 +9,36 @@
     The network also carries the bookkeeping the evaluation needs: per-node
     and per-kind message counters with resettable measurement windows, byte
     accounting, and per-link latency overrides for adversarial schedules
-    (used to reproduce the paper's Figure 3). *)
+    (used to reproduce the paper's Figure 3).
+
+    A probabilistic {!fault} model (message loss and duplication, global or
+    per-link) turns this into the {e unreliable} datagram layer underneath
+    {!Reliable}; with the default [no_fault] the transport keeps the
+    exactly-once FIFO contract above. *)
 
 type 'msg t
+
+type fault = {
+  drop : float;  (** probability a message is lost in transit *)
+  duplicate : float;  (** probability a delivered message arrives twice *)
+}
+
+val no_fault : fault
+(** [{ drop = 0.; duplicate = 0. }] — the reliable default. *)
+
+val fault : ?drop:float -> ?duplicate:float -> unit -> fault
+(** Validating constructor; both probabilities must be in [\[0,1\]]. *)
 
 val create :
   Dsm_sim.Engine.t ->
   nodes:int ->
   ?latency:Latency.t ->
+  ?fault:fault ->
   ?seed:int64 ->
   unit ->
   'msg t
-(** [nodes >= 1]; default latency is {!Latency.lan}; default seed 1. *)
+(** [nodes >= 1]; default latency is {!Latency.lan}; default fault
+    {!no_fault}; default seed 1. *)
 
 val engine : 'msg t -> Dsm_sim.Engine.t
 
@@ -46,8 +64,25 @@ val partition : 'msg t -> int list -> int list -> unit
 val heal_all : 'msg t -> unit
 (** Bring every downed link back up (messages already dropped stay lost). *)
 
+val set_link_fault : 'msg t -> src:int -> dst:int -> fault -> unit
+(** Override the fault model of one directed link (e.g. a single lossy
+    link while the rest of the network stays clean). *)
+
+val clear_link_faults : 'msg t -> unit
+(** Remove every per-link fault override (the network-wide default fault
+    model set at creation still applies). *)
+
 val dropped : 'msg t -> int
-(** Messages dropped on downed links since creation. *)
+(** Messages dropped since creation, on downed links or by the
+    probabilistic fault model.  Self-sends are never dropped. *)
+
+val dropped_by_link : 'msg t -> src:int -> dst:int -> int
+(** Drops attributed to one directed link — the per-link accounting the
+    retransmission tests need, where the aggregate {!dropped} cannot say
+    which link lost the message. *)
+
+val duplicated : 'msg t -> int
+(** Extra copies injected by the duplication fault since creation. *)
 
 val set_tracer :
   'msg t -> (time:float -> src:int -> dst:int -> kind:string -> 'msg -> unit) option -> unit

@@ -1,0 +1,314 @@
+type config = {
+  window : int;
+  rto : float;
+  backoff : float;
+  max_rto : float;
+  max_retries : int;
+}
+
+let default_config = { window = 8; rto = 8.0; backoff = 2.0; max_rto = 64.0; max_retries = 8 }
+
+let validate_config c =
+  if c.window < 1 then invalid_arg "Reliable: window must be >= 1";
+  if c.rto <= 0.0 then invalid_arg "Reliable: rto must be positive";
+  if c.backoff < 1.0 then invalid_arg "Reliable: backoff must be >= 1";
+  if c.max_rto < c.rto then invalid_arg "Reliable: max_rto must be >= rto";
+  if c.max_retries < 0 then invalid_arg "Reliable: max_retries must be >= 0"
+
+type 'msg framed =
+  | Data of { seq : int; base : int; kind : string; body : 'msg }
+  | Ack of { upto : int }
+
+type 'msg packet = {
+  seq : int;
+  kind : string;
+  size : int;
+  body : 'msg;
+  mutable retries : int;
+  mutable sent_at : float; (* simulated time of the last (re)transmission *)
+}
+
+(* Sender half of one directed link. *)
+type 'msg link_out = {
+  mutable next_seq : int;
+  mutable inflight : 'msg packet list; (* oldest first; length <= window *)
+  backlog : 'msg packet Queue.t; (* sequenced, waiting for window space *)
+  mutable timer_armed : bool;
+  mutable cur_rto : float;
+  mutable dead : bool; (* gave up after max_retries; revived by the next send *)
+}
+
+(* Receiver half of one directed link. *)
+type 'msg link_in = {
+  mutable expected : int; (* next in-order sequence number *)
+  reorder : (int, string * 'msg) Hashtbl.t; (* arrived early, not yet deliverable *)
+}
+
+type counters = {
+  payloads : int;
+  retransmissions : int;
+  acks : int;
+  dup_dropped : int;
+  reordered : int;
+  gave_up : int;
+}
+
+type 'msg t = {
+  net : 'msg framed Network.t;
+  config : config;
+  out : 'msg link_out option array; (* src * nodes + dst, lazily created *)
+  inn : 'msg link_in option array;
+  handlers : (src:int -> 'msg -> unit) option array;
+  mutable payloads : int;
+  mutable retransmissions : int;
+  mutable acks : int;
+  mutable dup_dropped : int;
+  mutable reordered : int;
+  mutable gave_up : int;
+}
+
+let ack_size = 1
+
+let seq_overhead = 1
+
+let net t = t.net
+
+let nodes (t : 'msg t) = Network.nodes t.net
+
+let config t = t.config
+
+let link_index t ~src ~dst = (src * nodes t) + dst
+
+let out_link t ~src ~dst =
+  let i = link_index t ~src ~dst in
+  match t.out.(i) with
+  | Some l -> l
+  | None ->
+      let l =
+        {
+          next_seq = 0;
+          inflight = [];
+          backlog = Queue.create ();
+          timer_armed = false;
+          cur_rto = t.config.rto;
+          dead = false;
+        }
+      in
+      t.out.(i) <- Some l;
+      l
+
+let in_link t ~src ~dst =
+  let i = link_index t ~src ~dst in
+  match t.inn.(i) with
+  | Some l -> l
+  | None ->
+      let l = { expected = 0; reorder = Hashtbl.create 8 } in
+      t.inn.(i) <- Some l;
+      l
+
+let transmit t ~src ~dst (l : 'msg link_out) (p : 'msg packet) =
+  (* [base] is the oldest sequence number the sender still retains.  The
+     receiver uses it to skip past sequence numbers abandoned by a give-up:
+     anything below [base] will never be (re)transmitted again. *)
+  let base = match l.inflight with oldest :: _ -> oldest.seq | [] -> p.seq in
+  p.sent_at <- Dsm_sim.Engine.now (Network.engine t.net);
+  Network.send t.net ~src ~dst ~kind:p.kind ~size:(p.size + seq_overhead)
+    (Data { seq = p.seq; base; kind = p.kind; body = p.body })
+
+(* Arm the (single, per-link) retransmission timer.  Timers are plain engine
+   events and cannot be cancelled; a fired timer that finds its packets
+   already acked is a no-op, which merely delays quiescence by one RTO. *)
+let rec arm_timer ?delay t ~src ~dst (l : 'msg link_out) =
+  if not l.timer_armed then begin
+    l.timer_armed <- true;
+    let delay = Option.value delay ~default:l.cur_rto in
+    Dsm_sim.Engine.schedule (Network.engine t.net) ~delay (fun () ->
+        l.timer_armed <- false;
+        on_timeout t ~src ~dst l)
+  end
+
+and on_timeout t ~src ~dst (l : 'msg link_out) =
+  match l.inflight with
+  | [] -> () (* everything acked since the timer was armed *)
+  | oldest :: _ ->
+      let age = Dsm_sim.Engine.now (Network.engine t.net) -. oldest.sent_at in
+      if age +. 1e-9 < l.cur_rto then
+        (* The timer outlived the packet it was armed for (that one was
+           acked and a younger packet took its place).  Re-arm for the
+           younger packet's remaining budget instead of retransmitting. *)
+        arm_timer t ~src ~dst ~delay:(l.cur_rto -. age) l
+      else if oldest.retries >= t.config.max_retries then begin
+        (* Retry cap exhausted: declare the link dead and drop its queue so
+           the engine can quiesce.  A later send revives the link. *)
+        l.dead <- true;
+        t.gave_up <- t.gave_up + List.length l.inflight + Queue.length l.backlog;
+        l.inflight <- [];
+        Queue.clear l.backlog
+      end
+      else begin
+        (* Go-back-N: resend every unacked packet, oldest first. *)
+        List.iter
+          (fun (p : 'msg packet) ->
+            p.retries <- p.retries + 1;
+            t.retransmissions <- t.retransmissions + 1;
+            transmit t ~src ~dst l p)
+          l.inflight;
+        l.cur_rto <- Float.min (l.cur_rto *. t.config.backoff) t.config.max_rto;
+        arm_timer t ~src ~dst l
+      end
+
+let fill_window t ~src ~dst (l : 'msg link_out) =
+  while List.length l.inflight < t.config.window && not (Queue.is_empty l.backlog) do
+    let p = Queue.pop l.backlog in
+    l.inflight <- l.inflight @ [ p ];
+    transmit t ~src ~dst l p
+  done;
+  if l.inflight <> [] then arm_timer t ~src ~dst l
+
+let send_ack t ~src ~dst upto =
+  t.acks <- t.acks + 1;
+  (* [src] here is the acknowledging node: acks flow dst -> src of the data
+     link, and are themselves subject to the fault model. *)
+  Network.send t.net ~src ~dst ~kind:"ACK" ~size:ack_size (Ack { upto })
+
+let handle_ack t ~me ~peer upto =
+  let l = out_link t ~src:me ~dst:peer in
+  let before = List.length l.inflight in
+  l.inflight <- List.filter (fun (p : 'msg packet) -> p.seq > upto) l.inflight;
+  if List.length l.inflight < before then begin
+    (* Forward progress: the link is alive, restart the backoff schedule. *)
+    l.cur_rto <- t.config.rto;
+    fill_window t ~src:me ~dst:peer l
+  end
+
+let handle_data t ~me ~peer ~seq ~base ~kind body =
+  let l = in_link t ~src:peer ~dst:me in
+  if base > l.expected then begin
+    (* The sender gave up on [expected, base): those sequence numbers will
+       never be (re)sent, so waiting for them would wedge the link forever.
+       Skip the gap, discarding any early arrivals buffered inside it. *)
+    for s = l.expected to base - 1 do
+      Hashtbl.remove l.reorder s
+    done;
+    l.expected <- base
+  end;
+  if seq < l.expected || Hashtbl.mem l.reorder seq then begin
+    (* Duplicate (retransmission of something already delivered, or a
+       network-duplicated copy): drop, but re-ack so the sender advances. *)
+    t.dup_dropped <- t.dup_dropped + 1;
+    send_ack t ~src:me ~dst:peer (l.expected - 1)
+  end
+  else begin
+    if seq > l.expected then t.reordered <- t.reordered + 1;
+    Hashtbl.replace l.reorder seq (kind, body);
+    (* Deliver the longest in-order prefix now available. *)
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt l.reorder l.expected with
+      | None -> continue := false
+      | Some (_, payload) ->
+          Hashtbl.remove l.reorder l.expected;
+          l.expected <- l.expected + 1;
+          t.payloads <- t.payloads + 1;
+          (match t.handlers.(me) with
+          | Some handler -> handler ~src:peer payload
+          | None ->
+              failwith (Printf.sprintf "Reliable: node %d has no handler installed" me))
+    done;
+    send_ack t ~src:me ~dst:peer (l.expected - 1)
+  end
+
+let create ?(config = default_config) net =
+  validate_config config;
+  let nodes = Network.nodes net in
+  let t =
+    {
+      net;
+      config;
+      out = Array.make (nodes * nodes) None;
+      inn = Array.make (nodes * nodes) None;
+      handlers = Array.make nodes None;
+      payloads = 0;
+      retransmissions = 0;
+      acks = 0;
+      dup_dropped = 0;
+      reordered = 0;
+      gave_up = 0;
+    }
+  in
+  (* Every node gets the demultiplexer from the start: acks flow back to
+     senders whether or not they ever install a payload handler. *)
+  for me = 0 to nodes - 1 do
+    Network.set_handler net ~node:me (fun ~src msg ->
+        match msg with
+        | Ack { upto } -> handle_ack t ~me ~peer:src upto
+        | Data { seq; base; kind; body } ->
+            handle_data t ~me ~peer:src ~seq ~base ~kind body)
+  done;
+  t
+
+let set_handler t ~node handler = t.handlers.(node) <- Some handler
+
+let send t ~src ~dst ?(kind = "msg") ?(size = 1) body =
+  let l = out_link t ~src ~dst in
+  if l.dead then begin
+    (* Revive a given-up link: the new packet gets a fresh retry budget, so
+       a healed link recovers without manual intervention while a still-dead
+       one re-exhausts the cap and quiesces again. *)
+    l.dead <- false;
+    l.cur_rto <- t.config.rto
+  end;
+  let seq = l.next_seq in
+  l.next_seq <- seq + 1;
+  Queue.push { seq; kind; size; body; retries = 0; sent_at = 0.0 } l.backlog;
+  fill_window t ~src ~dst l
+
+let reset_link t ~src ~dst =
+  let i = link_index t ~src ~dst in
+  (* Sequence numbers survive the reset: the receiver fast-forwards to the
+     sender's next sequence number, so packets already in flight from before
+     the reset arrive with [seq < expected] and are discarded as duplicates
+     instead of corrupting the post-reset stream. *)
+  let next =
+    match t.out.(i) with
+    | Some l ->
+        l.inflight <- [];
+        Queue.clear l.backlog;
+        l.cur_rto <- t.config.rto;
+        l.dead <- false;
+        l.next_seq
+    | None -> 0
+  in
+  match t.inn.(i) with
+  | Some l ->
+      l.expected <- next;
+      Hashtbl.reset l.reorder
+  | None -> if next > 0 then t.inn.(i) <- Some { expected = next; reorder = Hashtbl.create 8 }
+
+let reset_node t node =
+  for peer = 0 to nodes t - 1 do
+    reset_link t ~src:node ~dst:peer;
+    reset_link t ~src:peer ~dst:node
+  done
+
+let in_flight t =
+  Array.fold_left
+    (fun acc l ->
+      match l with
+      | Some l -> acc + List.length l.inflight + Queue.length l.backlog
+      | None -> acc)
+    0 t.out
+
+let counters t =
+  {
+    payloads = t.payloads;
+    retransmissions = t.retransmissions;
+    acks = t.acks;
+    dup_dropped = t.dup_dropped;
+    reordered = t.reordered;
+    gave_up = t.gave_up;
+  }
+
+let retransmissions t = t.retransmissions
+
+let gave_up t = t.gave_up

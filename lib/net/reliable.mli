@@ -1,0 +1,103 @@
+(** Sliding-window reliable transport over an unreliable {!Network}.
+
+    The owner protocol (Figure 4) assumes reliable FIFO links.  When the
+    underlying network is given a {!Network.fault} model (probabilistic loss
+    and duplication), this layer restores the exactly-once per-link FIFO
+    contract the protocol needs:
+
+    - every payload on a directed link carries a {e sequence number};
+    - the receiver delivers payloads strictly in sequence order, buffering
+      early arrivals and dropping duplicates, and acknowledges cumulatively
+      ([Ack upto] confirms every sequence number [<= upto]);
+    - the sender keeps at most [window] unacknowledged packets on the wire
+      (excess sends queue in a backlog) and retransmits {e all} unacked
+      packets (go-back-N) when the per-link timer expires with the oldest
+      unacked packet a full timeout old (a timer that fires early for a
+      younger packet just re-arms), doubling the timeout up to [max_rto]
+      on every expiry and resetting it on progress;
+    - after [max_retries] expiries for the same oldest packet the link is
+      declared dead: its queues are dropped (counted in [gave_up]) so the
+      simulation can quiesce, and the RPC layer above surfaces a typed
+      timeout.  The next send on a dead link revives it with a fresh retry
+      budget, so healed links recover transparently.
+
+    Determinism: all randomness lives in the underlying network's seeded
+    fault model and latency sampling, so two runs with the same seed produce
+    identical delivery orders {e and} identical retransmission counts. *)
+
+type config = {
+  window : int;  (** max unacked packets per directed link *)
+  rto : float;  (** initial retransmission timeout (simulated time) *)
+  backoff : float;  (** timeout multiplier per expiry, [>= 1] *)
+  max_rto : float;  (** backoff ceiling *)
+  max_retries : int;  (** expiries tolerated for one packet before giving up *)
+}
+
+val default_config : config
+(** window 8, rto 8.0, backoff 2.0, max_rto 64.0, max_retries 8 — an RTO a
+    few round trips above {!Latency.lan} so clean runs never retransmit. *)
+
+(** What actually travels over the wire: payloads framed with a sequence
+    number, and cumulative acknowledgements.  [base] is the oldest sequence
+    number the sender still retains; the receiver fast-forwards past any
+    older gap, which is how a link that gave up (abandoning some sequence
+    numbers forever) resynchronises once it is healed and used again. *)
+type 'msg framed =
+  | Data of { seq : int; base : int; kind : string; body : 'msg }
+  | Ack of { upto : int }
+
+type 'msg t
+
+val create : ?config:config -> 'msg framed Network.t -> 'msg t
+(** Layer a reliable transport over [net].  The caller creates the network
+    with message type ['msg framed] and controls its faults, latencies and
+    link state directly; {!set_handler} must be used instead of
+    [Network.set_handler] (it installs the demultiplexer). *)
+
+val net : 'msg t -> 'msg framed Network.t
+(** The underlying network, for fault/latency/down-link control and raw
+    wire-level counters (which include acks and retransmissions). *)
+
+val nodes : 'msg t -> int
+
+val config : 'msg t -> config
+
+val set_handler : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
+(** Install the in-order payload handler for [node]. *)
+
+val send : 'msg t -> src:int -> dst:int -> ?kind:string -> ?size:int -> 'msg -> unit
+(** Enqueue a payload for exactly-once in-order delivery.  [kind] and
+    [size] feed the underlying network's accounting ([size] grows by a
+    1-unit sequence header; acks cost 1 unit each). *)
+
+val reset_link : 'msg t -> src:int -> dst:int -> unit
+(** Drop one directed link's queues (inflight, backlog, reorder buffer) and
+    revive it if dead, as after a connection re-establishment.  Sequence
+    numbers are {e not} recycled: the receiver fast-forwards to the
+    sender's next sequence number, so packets still in flight from before
+    the reset are discarded as duplicates on arrival. *)
+
+val reset_node : 'msg t -> int -> unit
+(** {!reset_link} on every link touching the node, both directions — the
+    transport half of a crash-stop restart. *)
+
+val in_flight : 'msg t -> int
+(** Payloads accepted by {!send} and not yet acknowledged (inflight plus
+    backlogged), across all links. *)
+
+(** {1 Accounting} *)
+
+type counters = {
+  payloads : int;  (** payloads delivered in order to handlers *)
+  retransmissions : int;  (** data packets re-sent by timers *)
+  acks : int;  (** acknowledgements sent *)
+  dup_dropped : int;  (** received duplicates suppressed *)
+  reordered : int;  (** arrivals buffered because a gap preceded them *)
+  gave_up : int;  (** payloads abandoned after [max_retries] *)
+}
+
+val counters : 'msg t -> counters
+
+val retransmissions : 'msg t -> int
+
+val gave_up : 'msg t -> int

@@ -5,7 +5,11 @@ type sched = {
   mutable spawned : spawned list; (* newest first *)
 }
 
-and spawned = { spawned_name : string; finished_check : unit -> bool }
+and spawned = {
+  spawned_name : string;
+  finished_check : unit -> bool;
+  mutable blocked_since : float; (* sim time of the last suspension *)
+}
 
 type 'a ivar_state =
   | Empty of ('a -> unit) list (* waiters, newest first *)
@@ -17,6 +21,7 @@ type handle = { proc_name : string; done_ivar : unit ivar }
 
 type _ Effect.t +=
   | Await : 'a ivar -> 'a Effect.t
+  | Await_timeout : 'a ivar * float -> 'a option Effect.t
   | Sleep : float -> unit Effect.t
   | Yield : unit Effect.t
 
@@ -45,6 +50,10 @@ let fill iv v =
 
 let await iv = Effect.perform (Await iv)
 
+let await_timeout iv ~timeout =
+  if timeout <= 0.0 then invalid_arg "Proc.await_timeout: timeout must be positive";
+  Effect.perform (Await_timeout (iv, timeout))
+
 let sleep duration = Effect.perform (Sleep duration)
 
 let yield () = Effect.perform Yield
@@ -67,11 +76,22 @@ let unfinished sched =
   List.rev sched.spawned
   |> List.filter_map (fun s -> if s.finished_check () then None else Some s.spawned_name)
 
+let unfinished_since sched =
+  List.rev sched.spawned
+  |> List.filter_map (fun s ->
+         if s.finished_check () then None else Some (s.spawned_name, s.blocked_since))
+
 let spawn sched ?(name = "proc") ?(delay = 0.0) body =
   let handle = { proc_name = name; done_ivar = ivar sched } in
-  sched.spawned <-
-    { spawned_name = name; finished_check = (fun () -> is_filled handle.done_ivar) }
-    :: sched.spawned;
+  let record =
+    {
+      spawned_name = name;
+      finished_check = (fun () -> is_filled handle.done_ivar);
+      blocked_since = Dsm_sim.Engine.now sched.engine +. delay;
+    }
+  in
+  sched.spawned <- record :: sched.spawned;
+  let suspending () = record.blocked_since <- Dsm_sim.Engine.now sched.engine in
   let run () =
     Effect.Deep.match_with body ()
       {
@@ -86,21 +106,47 @@ let spawn sched ?(name = "proc") ?(delay = 0.0) body =
             | Await iv ->
                 Some
                   (fun (k : (b, _) Effect.Deep.continuation) ->
+                    suspending ();
                     match iv.state with
                     | Full v -> Effect.Deep.continue k v
                     | Empty waiters ->
                         iv.state <- Empty ((fun v -> Effect.Deep.continue k v) :: waiters))
+            | Await_timeout (iv, timeout) ->
+                Some
+                  (fun (k : (b, _) Effect.Deep.continuation) ->
+                    suspending ();
+                    match iv.state with
+                    | Full v -> Effect.Deep.continue k (Some v)
+                    | Empty waiters ->
+                        (* First of {fill, timer} resumes the process; the
+                           loser finds [resumed] set and does nothing. *)
+                        let resumed = ref false in
+                        let on_fill v =
+                          if not !resumed then begin
+                            resumed := true;
+                            Effect.Deep.continue k (Some v)
+                          end
+                        in
+                        iv.state <- Empty (on_fill :: waiters);
+                        Dsm_sim.Engine.schedule sched.engine ~delay:timeout (fun () ->
+                            if not !resumed then begin
+                              resumed := true;
+                              Effect.Deep.continue k None
+                            end))
             | Sleep duration ->
                 Some
                   (fun k ->
                     if duration < 0.0 then
                       Effect.Deep.discontinue k (Invalid_argument "Proc.sleep: negative duration")
-                    else
+                    else begin
+                      suspending ();
                       Dsm_sim.Engine.schedule sched.engine ~delay:duration (fun () ->
-                          Effect.Deep.continue k ()))
+                          Effect.Deep.continue k ())
+                    end)
             | Yield ->
                 Some
                   (fun k ->
+                    suspending ();
                     Dsm_sim.Engine.schedule sched.engine ~delay:sched.poll_interval (fun () ->
                         Effect.Deep.continue k ()))
             | _ -> None);

@@ -50,6 +50,13 @@ val unfinished : sched -> string list
     forever (e.g. blocked on a reply that a failed link dropped) — the
     deadlock-detection hook for failure-injection tests. *)
 
+val unfinished_since : sched -> (string * float) list
+(** Like {!unfinished} but each name carries the simulated time at which the
+    process last suspended (its start time if it never ran).  After
+    quiescence this is how long each stuck process has been blocked; while
+    the engine is still running it distinguishes "still retrying" (a recent
+    timestamp) from "stuck since the fault was injected". *)
+
 (** {1 Operations available inside a process} *)
 
 val ivar : sched -> 'a ivar
@@ -67,6 +74,12 @@ val peek : 'a ivar -> 'a option
 
 val await : 'a ivar -> 'a
 (** Block the current process until the cell is filled. *)
+
+val await_timeout : 'a ivar -> timeout:float -> 'a option
+(** Block until the cell is filled or [timeout] simulated time elapses,
+    whichever comes first; [None] on timeout.  A fill after the timeout
+    does not resume the process again (the cell is still filled and can be
+    inspected with {!peek}).  [timeout] must be positive. *)
 
 val sleep : float -> unit
 (** Suspend the current process for the given simulated duration. *)

@@ -12,6 +12,7 @@ let () =
       ("engine", Test_engine.suite);
       ("proc", Test_proc.suite);
       ("network", Test_network.suite);
+      ("reliable", Test_reliable.suite);
       ("memory-types", Test_memory_types.suite);
       ("history", Test_history.suite);
       ("policy-config", Test_policy_config.suite);
@@ -29,6 +30,7 @@ let () =
       ("dictionary", Test_dictionary.suite);
       ("workload", Test_workload.suite);
       ("failures", Test_failures.suite);
+      ("chaos", Test_chaos.suite);
       ("config-matrix", Test_config_matrix.suite);
       ("model", Test_model.suite);
       ("sync", Test_sync.suite);

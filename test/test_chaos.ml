@@ -1,0 +1,108 @@
+(* Chaos soak: real application workloads over lossy, duplicating links with
+   the reliable transport, RPC timeouts and crash-stop recovery interposed.
+   Every run must complete (no process left blocked), stay causally correct,
+   and reproduce bit-identically from its seed. *)
+
+module Chaos = Dsm_apps.Chaos
+module Workload = Dsm_apps.Workload
+module Reliable = Dsm_net.Reliable
+module Cluster = Dsm_causal.Cluster
+module Check = Dsm_checker.Causal_check
+
+let knobs ?(drop = 0.05) ?(duplicate = 0.01) () =
+  { Chaos.default_knobs with Chaos.drop; duplicate }
+
+let assert_healthy name (r : Chaos.report) =
+  Alcotest.(check bool) (name ^ ": causally correct") true r.Chaos.causal_ok;
+  Alcotest.(check (list (pair string (float 0.0))))
+    (name ^ ": no process left blocked") [] r.Chaos.unfinished;
+  Alcotest.(check int) (name ^ ": nothing abandoned") 0 r.Chaos.transport.Reliable.gave_up;
+  List.iter
+    (fun (k, v) ->
+      if String.length k >= 7 && String.sub k 0 7 = "failed:" then
+        Alcotest.failf "%s: process %s raised: %s" name k v)
+    r.Chaos.notes
+
+let test_mix_soak () =
+  let r = Chaos.mix ~knobs:(knobs ()) ~seed:2025L () in
+  assert_healthy "mix" r;
+  Alcotest.(check bool) "loss actually injected" true (r.Chaos.dropped > 0);
+  Alcotest.(check bool) "transport worked for it" true
+    (r.Chaos.transport.Reliable.retransmissions > 0)
+
+let test_dictionary_soak () =
+  let r = Chaos.dictionary ~knobs:(knobs ()) ~seed:5L ~processes:4 ~rounds:6 () in
+  assert_healthy "dictionary" r;
+  Alcotest.(check (option string))
+    "all views converged" (Some "true")
+    (List.assoc_opt "views_converged" r.Chaos.notes)
+
+let test_solver_soak () =
+  let r = Chaos.solver ~knobs:(knobs ()) ~seed:3L ~n:6 ~iters:4 () in
+  assert_healthy "solver" r;
+  Alcotest.(check (option string))
+    "still bit-exact Jacobi" (Some "true")
+    (List.assoc_opt "bit_exact" r.Chaos.notes)
+
+let test_heavy_loss_mix () =
+  (* 10% loss, 5% duplication — the top of the issue's range. *)
+  let r = Chaos.mix ~knobs:(knobs ~drop:0.10 ~duplicate:0.05 ()) ~seed:77L () in
+  assert_healthy "heavy mix" r;
+  Alcotest.(check bool) "duplicates injected and suppressed" true
+    (r.Chaos.transport.Reliable.dup_dropped > 0)
+
+let test_crash_restart_soak () =
+  let r = Chaos.crash_restart ~knobs:(knobs ()) ~seed:11L () in
+  assert_healthy "crash-restart" r;
+  Alcotest.(check int) "one crash injected" 1 r.Chaos.crashes
+
+let test_determinism () =
+  (* Same (scenario, knobs, seed) must reproduce the identical report:
+     identical history size, message counts and retransmission counts. *)
+  List.iter
+    (fun scenario ->
+      let run () = Chaos.run ~knobs:(knobs ()) ~seed:42L scenario in
+      let r1 = run () and r2 = run () in
+      Alcotest.(check int) (scenario ^ ": same ops") r1.Chaos.ops r2.Chaos.ops;
+      Alcotest.(check int) (scenario ^ ": same messages") r1.Chaos.messages r2.Chaos.messages;
+      Alcotest.(check int)
+        (scenario ^ ": same retransmissions")
+        r1.Chaos.transport.Reliable.retransmissions
+        r2.Chaos.transport.Reliable.retransmissions;
+      Alcotest.(check (float 0.0)) (scenario ^ ": same sim time") r1.Chaos.sim_time
+        r2.Chaos.sim_time)
+    Chaos.scenarios
+
+let test_histories_identical_across_runs () =
+  let run () =
+    let outcome, _ =
+      Workload.run_causal ~seed:9L
+        ~fault:(Dsm_net.Network.fault ~drop:0.05 ~duplicate:0.01 ())
+        ~reliability:Reliable.default_config
+        ~rpc:{ Cluster.timeout = 100.0; retries = 5 }
+        Workload.default_spec
+    in
+    Dsm_memory.History.to_string outcome.Workload.history
+  in
+  Alcotest.(check string) "bit-identical histories" (run ()) (run ())
+
+let test_fault_free_chaos_is_quiet () =
+  (* With zero drop/duplicate the reliable layer must be pure overhead:
+     no retransmissions, no duplicates, nothing reordered. *)
+  let r = Chaos.mix ~knobs:(knobs ~drop:0.0 ~duplicate:0.0 ()) ~seed:1L () in
+  assert_healthy "quiet" r;
+  Alcotest.(check int) "no retransmissions" 0 r.Chaos.transport.Reliable.retransmissions;
+  Alcotest.(check int) "no duplicates" 0 r.Chaos.transport.Reliable.dup_dropped;
+  Alcotest.(check int) "nothing dropped" 0 r.Chaos.dropped
+
+let suite =
+  [
+    Alcotest.test_case "mix soak at 5% loss" `Quick test_mix_soak;
+    Alcotest.test_case "dictionary soak" `Quick test_dictionary_soak;
+    Alcotest.test_case "solver soak" `Quick test_solver_soak;
+    Alcotest.test_case "heavy loss (10%)" `Quick test_heavy_loss_mix;
+    Alcotest.test_case "crash-restart soak" `Quick test_crash_restart_soak;
+    Alcotest.test_case "determinism" `Slow test_determinism;
+    Alcotest.test_case "identical histories" `Quick test_histories_identical_across_runs;
+    Alcotest.test_case "fault-free is quiet" `Quick test_fault_free_chaos_is_quiet;
+  ]

@@ -131,6 +131,232 @@ let test_history_remains_causal_under_partition () =
   Alcotest.(check bool) "recorded prefix causal" true
     (Dsm_checker.Causal_check.is_correct (Cluster.history c))
 
+(* ------------------------------------------------------------------ *)
+(* RPC timeouts: a typed Timed_out instead of blocking forever         *)
+(* ------------------------------------------------------------------ *)
+
+let setup_rpc ?reliability ?(timeout = 10.0) ?(retries = 2) () =
+  let e = Engine.create () in
+  let s = Proc.scheduler e in
+  let c =
+    Cluster.create ~sched:s ~owner:(Owner.by_index ~nodes:3)
+      ~latency:(Latency.Constant 1.0) ?reliability
+      ~rpc:{ Cluster.timeout; retries } ()
+  in
+  (e, s, c)
+
+let test_timed_out_read_on_dead_link () =
+  (* The owner link is permanently down and there is no reliable transport:
+     every attempt's READ is dropped, the capped retries exhaust, and the
+     reader gets a typed Timed_out instead of blocking forever. *)
+  let e, s, c = setup_rpc ~retries:2 () in
+  Cluster.set_link_down c ~src:0 ~dst:1 true;
+  let result = ref None in
+  ignore
+    (Proc.spawn s ~name:"reader" (fun () ->
+         result := Some (Cluster.read_result (Cluster.handle c 0) (v 1))));
+  Engine.run e;
+  (match !result with
+  | Some (Error info) ->
+      Alcotest.(check bool) "read op" true (info.Cluster.op = `Read);
+      Alcotest.(check int) "requester" 0 info.Cluster.requester;
+      Alcotest.(check int) "owner" 1 info.Cluster.owner_node;
+      Alcotest.(check int) "all attempts used" 3 info.Cluster.attempts
+  | Some (Ok _) -> Alcotest.fail "read should have timed out"
+  | None -> Alcotest.fail "reader never finished");
+  Alcotest.(check (list string)) "no process left blocked" [] (Proc.unfinished s);
+  Alcotest.(check int) "every attempt timed out" 3 (Cluster.rpc_timeouts c)
+
+let test_timed_out_write_raises_typed () =
+  let e, s, c = setup_rpc ~retries:1 () in
+  Cluster.set_link_down c ~src:0 ~dst:1 true;
+  let caught = ref None in
+  ignore
+    (Proc.spawn s ~name:"writer" (fun () ->
+         try Cluster.write (Cluster.handle c 0) (v 1) (Value.Int 5)
+         with Cluster.Timed_out info -> caught := Some info));
+  Engine.run e;
+  match !caught with
+  | Some info ->
+      Alcotest.(check bool) "write op" true (info.Cluster.op = `Write);
+      Alcotest.(check int) "attempts = retries + 1" 2 info.Cluster.attempts
+  | None -> Alcotest.fail "expected Cluster.Timed_out"
+
+let test_timeout_with_reliable_transport_still_bounded () =
+  (* Even with the reliable layer retransmitting underneath, a permanently
+     dead owner link must end in Timed_out (the transport's retry cap plus
+     the RPC timeout), and the engine must quiesce. *)
+  let e, s, c =
+    setup_rpc
+      ~reliability:
+        { Dsm_net.Reliable.default_config with Dsm_net.Reliable.rto = 2.0; max_retries = 2 }
+      ~timeout:20.0 ~retries:1 ()
+  in
+  Cluster.set_link_down c ~src:0 ~dst:1 true;
+  let result = ref None in
+  ignore
+    (Proc.spawn s ~name:"reader" (fun () ->
+         result := Some (Cluster.read_result (Cluster.handle c 0) (v 1))));
+  Engine.run e;
+  (match !result with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "expected a timeout");
+  Alcotest.(check (list string)) "quiesced with nothing stuck" [] (Proc.unfinished s);
+  let r = Option.get (Cluster.reliable c) in
+  Alcotest.(check bool) "transport gave up" true (Dsm_net.Reliable.gave_up r > 0)
+
+let test_retry_succeeds_after_heal () =
+  (* The link comes back between attempts: the retry goes through and the
+     caller never observes the fault. *)
+  let e, s, c = setup_rpc ~timeout:5.0 ~retries:3 () in
+  Cluster.set_link_down c ~src:0 ~dst:1 true;
+  ignore (Proc.spawn s ~name:"healer" ~delay:7.0 (fun () ->
+      Cluster.set_link_down c ~src:0 ~dst:1 false));
+  let got = ref None in
+  ignore
+    (Proc.spawn s ~name:"writer" (fun () ->
+         got := Some (Cluster.write_resolved (Cluster.handle c 0) (v 1) (Value.Int 9))));
+  Engine.run e;
+  Alcotest.(check bool) "write completed" true (!got = Some `Accepted);
+  Alcotest.(check bool) "but attempts timed out first" true (Cluster.rpc_timeouts c >= 1);
+  Alcotest.(check (list string)) "nothing stuck" [] (Proc.unfinished s)
+
+let test_late_reply_counted_stale () =
+  (* The reply outlives its attempt: a slow link delays the R_REPLY past the
+     timeout, the retry's reply wins, and the late one is discarded as
+     stale instead of crashing the handler. *)
+  let e, s, c = setup_rpc ~timeout:5.0 ~retries:3 () in
+  Network.set_link_latency (Cluster.net c) ~src:1 ~dst:0 (Latency.Constant 12.0);
+  (* Heal the reply link after attempt 1 times out (t=5): attempt 2's reply
+     comes back fast and wins, while attempt 1's crawls in at t=13. *)
+  ignore
+    (Proc.spawn s ~name:"healer" ~delay:5.5 (fun () ->
+         Network.set_link_latency (Cluster.net c) ~src:1 ~dst:0 (Latency.Constant 1.0)));
+  let got = ref None in
+  ignore
+    (Proc.spawn s ~name:"reader" (fun () ->
+         got := Some (Cluster.read_result (Cluster.handle c 0) (v 1))));
+  Engine.run e;
+  (match !got with
+  | Some (Ok _) -> ()
+  | _ -> Alcotest.fail "read should eventually succeed");
+  Alcotest.(check bool) "late replies discarded" true (Cluster.stale_replies c >= 1)
+
+let test_duplicate_write_certification_is_idempotent () =
+  (* A WRITE retry reaching the owner twice must not flip the decision:
+     the second certification of the same wid reports accepted again. *)
+  let e, s, c = setup_rpc ~timeout:4.0 ~retries:2 () in
+  (* Request link is fine; reply link is slow, so the first attempt times
+     out but its WRITE was already certified.  The retry re-certifies; once
+     the link heals (t=4.5) the retry's reply beats attempt 1's late one. *)
+  Network.set_link_latency (Cluster.net c) ~src:1 ~dst:0 (Latency.Constant 6.0);
+  ignore
+    (Proc.spawn s ~name:"healer" ~delay:4.5 (fun () ->
+         Network.set_link_latency (Cluster.net c) ~src:1 ~dst:0 (Latency.Constant 1.0)));
+  let got = ref None in
+  ignore
+    (Proc.spawn s ~name:"writer" (fun () ->
+         got := Some (Cluster.write_resolved (Cluster.handle c 0) (v 1) (Value.Int 5))));
+  Engine.run e;
+  Alcotest.(check bool) "accepted despite duplicate certification" true (!got = Some `Accepted);
+  let seen = ref Value.Free in
+  ignore (Proc.spawn s (fun () -> seen := Cluster.read (Cluster.handle c 1) (v 1)));
+  Engine.run e;
+  Alcotest.(check bool) "owner stored it once" true (Value.equal !seen (Value.Int 5))
+
+(* ------------------------------------------------------------------ *)
+(* Crash-stop failures and restart                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A 3-node layout where node 2 owns nothing, so it may crash/restart. *)
+let cacheonly_setup () =
+  let e = Engine.create () in
+  let s = Proc.scheduler e in
+  let inner = Owner.by_index ~nodes:2 in
+  let owner = Owner.make ~nodes:3 (fun loc -> Owner.owner inner loc) in
+  let c = Cluster.create ~sched:s ~owner ~latency:(Latency.Constant 1.0) () in
+  (e, s, c)
+
+let test_crash_discards_cache_and_clock () =
+  let e, s, c = cacheonly_setup () in
+  ignore
+    (Proc.spawn s ~name:"warm" (fun () ->
+         Cluster.write (Cluster.handle c 2) (v 0) (Value.Int 1);
+         ignore (Cluster.read (Cluster.handle c 2) (v 1))));
+  Engine.run e;
+  Proc.check s;
+  Alcotest.(check bool) "cache warm" true (Dsm_causal.Node.cache_size (Cluster.node c 2) > 0);
+  Alcotest.(check bool) "clock grew" true
+    (not (Vclock.equal (Dsm_causal.Node.vt (Cluster.node c 2)) (Vclock.zero 3)));
+  Cluster.crash c 2;
+  Alcotest.(check bool) "marked crashed" true (Cluster.is_crashed c 2);
+  Cluster.restart c 2;
+  Alcotest.(check bool) "back up" false (Cluster.is_crashed c 2);
+  Alcotest.(check int) "cache empty" 0 (Dsm_causal.Node.cache_size (Cluster.node c 2));
+  Alcotest.(check bool) "clock zeroed" true
+    (Vclock.equal (Dsm_causal.Node.vt (Cluster.node c 2)) (Vclock.zero 3))
+
+let test_crashed_node_drops_messages_and_ops_fail () =
+  let e, s, c = cacheonly_setup () in
+  Cluster.crash c 2;
+  ignore
+    (Proc.spawn s ~name:"on-crashed" (fun () ->
+         ignore (Cluster.read (Cluster.handle c 2) (v 0))));
+  Engine.run e;
+  Alcotest.(check int) "operation on crashed node failed" 1
+    (List.length (Proc.failures s));
+  (* Traffic addressed to the crashed node is dropped and counted. *)
+  ignore
+    (Proc.spawn s ~name:"other" (fun () ->
+         Cluster.write (Cluster.handle c 0) (v 0) (Value.Int 3)));
+  Engine.run e;
+  Alcotest.(check int) "no deliveries at crashed node" 0 (Cluster.dropped_at_crashed c)
+
+let test_restart_continues_causally_correct () =
+  let e, s, c = cacheonly_setup () in
+  ignore
+    (Proc.spawn s ~name:"around-crash" (fun () ->
+         let h = Cluster.handle c 2 in
+         Cluster.write h (v 0) (Value.Int 10);
+         ignore (Cluster.read h (v 1));
+         Proc.sleep 10.0;
+         (* restarted by then; resume with cold cache *)
+         ignore (Cluster.read h (v 0));
+         Cluster.write h (v 1) (Value.Int 20)));
+  ignore
+    (Proc.spawn s ~name:"peer" (fun () ->
+         Cluster.write (Cluster.handle c 0) (v 0) (Value.Int 30);
+         ignore (Cluster.read (Cluster.handle c 0) (v 1))));
+  Engine.schedule_at e 6.0 (fun () -> Cluster.crash c 2);
+  Engine.schedule_at e 8.0 (fun () -> Cluster.restart c 2);
+  Engine.run e;
+  Proc.check s;
+  Alcotest.(check (list string)) "all finished" [] (Proc.unfinished s);
+  Alcotest.(check bool) "history causal across the restart" true
+    (Dsm_checker.Causal_check.is_correct (Cluster.history c))
+
+let test_owner_cannot_restart () =
+  let e, s, c = setup () in
+  ignore
+    (Proc.spawn s ~name:"owner-writes" (fun () ->
+         Cluster.write (Cluster.handle c 0) (v 0) (Value.Int 1)));
+  Engine.run e;
+  Proc.check s;
+  Cluster.crash c 0;
+  Alcotest.(check bool) "restart refused for an owner with state" true
+    (try
+       Cluster.restart c 0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_crash_validation () =
+  let _, _, c = cacheonly_setup () in
+  Alcotest.check_raises "restart up node" (Invalid_argument "Cluster.restart: node 2 is not crashed")
+    (fun () -> Cluster.restart c 2);
+  Cluster.crash c 2;
+  Alcotest.check_raises "double crash" (Invalid_argument "Cluster.crash: node 2 already down")
+    (fun () -> Cluster.crash c 2)
+
 let suite =
   [
     Alcotest.test_case "down link drops" `Quick test_down_link_drops;
@@ -141,4 +367,18 @@ let suite =
     Alcotest.test_case "bystanders progress" `Quick test_unaffected_nodes_progress;
     Alcotest.test_case "clean run: none stuck" `Quick test_unfinished_empty_on_clean_run;
     Alcotest.test_case "safety under partition" `Quick test_history_remains_causal_under_partition;
+    Alcotest.test_case "typed Timed_out on read" `Quick test_timed_out_read_on_dead_link;
+    Alcotest.test_case "typed Timed_out on write" `Quick test_timed_out_write_raises_typed;
+    Alcotest.test_case "bounded under reliable transport" `Quick
+      test_timeout_with_reliable_transport_still_bounded;
+    Alcotest.test_case "retry succeeds after heal" `Quick test_retry_succeeds_after_heal;
+    Alcotest.test_case "late reply counted stale" `Quick test_late_reply_counted_stale;
+    Alcotest.test_case "duplicate certification idempotent" `Quick
+      test_duplicate_write_certification_is_idempotent;
+    Alcotest.test_case "crash discards cache+clock" `Quick test_crash_discards_cache_and_clock;
+    Alcotest.test_case "crashed node unavailable" `Quick
+      test_crashed_node_drops_messages_and_ops_fail;
+    Alcotest.test_case "causal across restart" `Quick test_restart_continues_causally_correct;
+    Alcotest.test_case "owner cannot restart" `Quick test_owner_cannot_restart;
+    Alcotest.test_case "crash validation" `Quick test_crash_validation;
   ]

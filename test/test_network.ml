@@ -143,6 +143,151 @@ let test_tracer () =
   | [ (time, 0, 1, "PING", "a") ] -> Alcotest.(check (float 0.0)) "at send time" 0.0 time
   | _ -> Alcotest.fail "tracer saw the wrong events"
 
+(* ------------------------------------------------------------------ *)
+(* Latency.sample properties                                           *)
+(* ------------------------------------------------------------------ *)
+
+let arb_latency =
+  let open QCheck.Gen in
+  let gen =
+    let* which = int_range 0 2 in
+    match which with
+    | 0 ->
+        let* d = float_range (-5.0) 20.0 in
+        return (Latency.Constant d)
+    | 1 ->
+        let* lo = float_range 0.0 10.0 in
+        let* span = float_range 0.0 10.0 in
+        return (Latency.Uniform (lo, lo +. span))
+    | _ ->
+        let* base = float_range 0.0 5.0 in
+        let* mean = float_range 0.1 10.0 in
+        return (Latency.Exponential { base; mean })
+  in
+  QCheck.make gen ~print:(Format.asprintf "%a" Latency.pp)
+
+let prop_sample_strictly_positive =
+  QCheck.Test.make ~name:"Latency.sample is strictly positive" ~count:200 arb_latency
+    (fun model ->
+      let p = Prng.create 11L in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        if Latency.sample model p <= 0.0 then ok := false
+      done;
+      !ok)
+
+let prop_uniform_within_bounds =
+  QCheck.Test.make ~name:"Uniform samples stay within [lo,hi]"
+    ~count:100
+    QCheck.(pair (float_bound_inclusive 10.0) (float_bound_inclusive 10.0))
+    (fun (lo, span) ->
+      let model = Latency.Uniform (lo, lo +. span) in
+      let p = Prng.create 17L in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let v = Latency.sample model p in
+        (* The positivity clamp may lift a sample above a non-positive lo. *)
+        if v > lo +. span +. 1e-9 || (v < lo && lo > 0.0) then ok := false
+      done;
+      !ok)
+
+let test_exponential_mean_under_fixed_seed () =
+  (* Fixed seed, many samples: the empirical mean of the exponential tail
+     must land within a few percent of the configured mean. *)
+  let base = 2.0 and mean = 5.0 in
+  let p = Prng.create 42L in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. (Latency.sample (Latency.Exponential { base; mean }) p -. base)
+  done;
+  let empirical = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical mean %.3f within 5%% of %.1f" empirical mean)
+    true
+    (Float.abs (empirical -. mean) /. mean < 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Fault model: probabilistic drop and duplication                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_validation () =
+  Alcotest.check_raises "drop > 1" (Invalid_argument "Network.fault: drop must be in [0,1]")
+    (fun () -> ignore (Network.fault ~drop:1.5 ()));
+  Alcotest.check_raises "negative duplicate"
+    (Invalid_argument "Network.fault: duplicate must be in [0,1]") (fun () ->
+      ignore (Network.fault ~duplicate:(-0.1) ()))
+
+let run_faulty ~fault ~n ~seed =
+  let e = Engine.create () in
+  let net = Network.create e ~nodes:2 ~latency:(Latency.Constant 1.0) ~fault ~seed () in
+  let got = ref 0 in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> incr got);
+  for i = 1 to n do
+    Network.send net ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  (net, !got)
+
+let test_drop_fault_loses_messages () =
+  let n = 400 in
+  let net, got = run_faulty ~fault:(Network.fault ~drop:0.3 ()) ~n ~seed:5L in
+  let dropped = Network.dropped net in
+  Alcotest.(check int) "dropped + delivered = sent" n (dropped + got);
+  (* 30% of 400 with a fixed seed: the count is deterministic and must be
+     in the plausible band. *)
+  Alcotest.(check bool) "plausible loss rate" true (dropped > 60 && dropped < 180);
+  Alcotest.(check int) "per-link accounting agrees" dropped
+    (Network.dropped_by_link net ~src:0 ~dst:1);
+  Alcotest.(check int) "other links clean" 0 (Network.dropped_by_link net ~src:1 ~dst:0)
+
+let test_duplicate_fault_injects_copies () =
+  let n = 400 in
+  let net, got = run_faulty ~fault:(Network.fault ~duplicate:0.2 ()) ~n ~seed:6L in
+  let duplicated = Network.duplicated net in
+  Alcotest.(check bool) "duplicates injected" true (duplicated > 0);
+  Alcotest.(check int) "every copy delivered" (n + duplicated) got
+
+let test_per_link_fault_override () =
+  let e = Engine.create () in
+  let net = Network.create e ~nodes:3 ~latency:(Latency.Constant 1.0) ~seed:7L () in
+  let got = Array.make 3 0 in
+  for node = 0 to 2 do
+    Network.set_handler net ~node (fun ~src:_ _ -> got.(node) <- got.(node) + 1)
+  done;
+  Network.set_link_fault net ~src:0 ~dst:1 (Network.fault ~drop:1.0 ());
+  for i = 1 to 20 do
+    Network.send net ~src:0 ~dst:1 i;
+    Network.send net ~src:0 ~dst:2 i
+  done;
+  Engine.run e;
+  Alcotest.(check int) "lossy link lost everything" 0 got.(1);
+  Alcotest.(check int) "clean link unaffected" 20 got.(2);
+  Alcotest.(check int) "per-link drops" 20 (Network.dropped_by_link net ~src:0 ~dst:1);
+  Network.clear_link_faults net;
+  Network.send net ~src:0 ~dst:1 99;
+  Engine.run e;
+  Alcotest.(check int) "cleared override delivers again" 1 got.(1)
+
+let test_fault_determinism () =
+  let run () =
+    let net, got = run_faulty ~fault:(Network.fault ~drop:0.2 ~duplicate:0.1 ()) ~n:200 ~seed:9L in
+    (got, Network.dropped net, Network.duplicated net)
+  in
+  Alcotest.(check (triple int int int)) "same seed, same faults" (run ()) (run ())
+
+let test_self_send_bypasses_faults () =
+  let e = Engine.create () in
+  let net =
+    Network.create e ~nodes:2 ~fault:(Network.fault ~drop:1.0 ()) ~seed:1L ()
+  in
+  let got = ref 0 in
+  Network.set_handler net ~node:0 (fun ~src:_ _ -> incr got);
+  Network.send net ~src:0 ~dst:0 "me";
+  Engine.run e;
+  Alcotest.(check int) "self-send never dropped" 1 !got;
+  Alcotest.(check int) "no drop counted" 0 (Network.dropped net)
+
 let suite =
   [
     Alcotest.test_case "latency constant" `Quick test_latency_constant;
@@ -160,4 +305,13 @@ let suite =
     Alcotest.test_case "in flight" `Quick test_in_flight;
     Alcotest.test_case "handler replies" `Quick test_handlers_can_reply;
     Alcotest.test_case "tracer" `Quick test_tracer;
+    QCheck_alcotest.to_alcotest prop_sample_strictly_positive;
+    QCheck_alcotest.to_alcotest prop_uniform_within_bounds;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean_under_fixed_seed;
+    Alcotest.test_case "fault validation" `Quick test_fault_validation;
+    Alcotest.test_case "drop fault" `Quick test_drop_fault_loses_messages;
+    Alcotest.test_case "duplicate fault" `Quick test_duplicate_fault_injects_copies;
+    Alcotest.test_case "per-link fault override" `Quick test_per_link_fault_override;
+    Alcotest.test_case "fault determinism" `Quick test_fault_determinism;
+    Alcotest.test_case "self-send bypasses faults" `Quick test_self_send_bypasses_faults;
   ]

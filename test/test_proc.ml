@@ -132,6 +132,79 @@ let test_await_outside_process () =
        false
      with Effect.Unhandled _ -> true)
 
+let test_await_timeout_fill_wins () =
+  let e, s = setup () in
+  let iv = Proc.ivar s in
+  let got = ref None in
+  let at = ref 0.0 in
+  ignore
+    (Proc.spawn s (fun () ->
+         got := Proc.await_timeout iv ~timeout:10.0;
+         at := Engine.now e));
+  ignore (Proc.spawn s ~delay:2.0 (fun () -> Proc.fill iv 7));
+  Engine.run e;
+  Alcotest.(check bool) "value received" true (!got = Some 7);
+  Alcotest.(check (float 1e-9)) "woke at fill time, not at timeout" 2.0 !at
+
+let test_await_timeout_expires () =
+  let e, s = setup () in
+  let iv : int Proc.ivar = Proc.ivar s in
+  let got = ref (Some 0) in
+  let at = ref 0.0 in
+  ignore
+    (Proc.spawn s (fun () ->
+         got := Proc.await_timeout iv ~timeout:5.0;
+         at := Engine.now e));
+  Engine.run e;
+  Alcotest.(check bool) "timed out" true (!got = None);
+  Alcotest.(check (float 1e-9)) "at the deadline" 5.0 !at
+
+let test_await_timeout_late_fill_ignored () =
+  (* The ivar fills after the timeout fired: the waiter already resumed
+     with [None] and must not be resumed twice. *)
+  let e, s = setup () in
+  let iv = Proc.ivar s in
+  let wakeups = ref 0 in
+  ignore
+    (Proc.spawn s (fun () ->
+         ignore (Proc.await_timeout iv ~timeout:1.0);
+         incr wakeups));
+  ignore (Proc.spawn s ~delay:3.0 (fun () -> Proc.fill iv 1));
+  Engine.run e;
+  Alcotest.(check int) "resumed exactly once" 1 !wakeups;
+  Alcotest.(check bool) "ivar still filled" true (Proc.is_filled iv)
+
+let test_await_timeout_prefilled () =
+  let e, s = setup () in
+  let iv = Proc.ivar s in
+  Proc.fill iv 3;
+  let got = ref None in
+  ignore (Proc.spawn s (fun () -> got := Proc.await_timeout iv ~timeout:1.0));
+  Engine.run e;
+  Alcotest.(check bool) "immediate value" true (!got = Some 3)
+
+let test_await_timeout_validates () =
+  let e, s = setup () in
+  let iv : int Proc.ivar = Proc.ivar s in
+  ignore (Proc.spawn s ~name:"bad" (fun () -> ignore (Proc.await_timeout iv ~timeout:0.0)));
+  Engine.run e;
+  Alcotest.(check int) "invalid timeout recorded as failure" 1
+    (List.length (Proc.failures s))
+
+let test_unfinished_since () =
+  let e, s = setup () in
+  let iv : int Proc.ivar = Proc.ivar s in
+  ignore
+    (Proc.spawn s ~name:"stuck" (fun () ->
+         Proc.sleep 4.0;
+         ignore (Proc.await iv)));
+  ignore (Proc.spawn s ~name:"done" (fun () -> Proc.sleep 1.0));
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "stuck process with blocked-since time"
+    [ ("stuck", 4.0) ]
+    (Proc.unfinished_since s)
+
 let test_name () =
   let _, s = setup () in
   let h = Proc.spawn s ~name:"xyz" (fun () -> ()) in
@@ -158,6 +231,12 @@ let suite =
     Alcotest.test_case "failure recorded" `Quick test_failure_recorded;
     Alcotest.test_case "failure isolated" `Quick test_failure_does_not_kill_others;
     Alcotest.test_case "await outside" `Quick test_await_outside_process;
+    Alcotest.test_case "await_timeout: fill wins" `Quick test_await_timeout_fill_wins;
+    Alcotest.test_case "await_timeout: expires" `Quick test_await_timeout_expires;
+    Alcotest.test_case "await_timeout: late fill" `Quick test_await_timeout_late_fill_ignored;
+    Alcotest.test_case "await_timeout: prefilled" `Quick test_await_timeout_prefilled;
+    Alcotest.test_case "await_timeout: validates" `Quick test_await_timeout_validates;
+    Alcotest.test_case "unfinished_since" `Quick test_unfinished_since;
     Alcotest.test_case "name" `Quick test_name;
     Alcotest.test_case "bad poll interval" `Quick test_bad_poll_interval;
   ]

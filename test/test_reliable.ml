@@ -1,0 +1,192 @@
+(* The sliding-window reliable transport: exactly-once in-order delivery
+   over a network that drops and duplicates, deterministic retransmission,
+   and bounded give-up so the simulation always quiesces. *)
+
+module Engine = Dsm_sim.Engine
+module Latency = Dsm_net.Latency
+module Network = Dsm_net.Network
+module Reliable = Dsm_net.Reliable
+
+let setup ?(nodes = 2) ?(config = Reliable.default_config) ?fault ?(seed = 1L) () =
+  let e = Engine.create () in
+  let net = Network.create e ~nodes ~latency:(Latency.Constant 1.0) ?fault ~seed () in
+  let r = Reliable.create ~config net in
+  (e, r)
+
+let collect r node =
+  let got = ref [] in
+  Reliable.set_handler r ~node (fun ~src msg -> got := (src, msg) :: !got);
+  fun () -> List.rev !got
+
+let test_clean_delivery () =
+  let e, r = setup () in
+  let got = collect r 1 in
+  for i = 1 to 5 do
+    Reliable.send r ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  Alcotest.(check (list (pair int int)))
+    "in order, exactly once"
+    (List.init 5 (fun i -> (0, i + 1)))
+    (got ());
+  let c = Reliable.counters r in
+  Alcotest.(check int) "no retransmissions on a clean link" 0 c.Reliable.retransmissions;
+  Alcotest.(check int) "no duplicates" 0 c.Reliable.dup_dropped
+
+let test_exactly_once_under_loss_and_duplication () =
+  let e, r =
+    setup ~fault:(Network.fault ~drop:0.25 ~duplicate:0.15 ()) ~seed:7L ()
+  in
+  let got = collect r 1 in
+  let n = 60 in
+  for i = 1 to n do
+    Reliable.send r ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  Alcotest.(check (list (pair int int)))
+    "every payload delivered once, in order"
+    (List.init n (fun i -> (0, i + 1)))
+    (got ());
+  let c = Reliable.counters r in
+  Alcotest.(check bool) "the fault model actually bit" true (c.Reliable.retransmissions > 0);
+  Alcotest.(check int) "nothing abandoned" 0 c.Reliable.gave_up;
+  Alcotest.(check int) "all unacked drained" 0 (Reliable.in_flight r)
+
+let test_window_limits_inflight () =
+  (* With a huge latency nothing is acked, so only [window] of the packets
+     may be on the wire; the rest wait in the backlog. *)
+  let e = Engine.create () in
+  let net = Network.create e ~nodes:2 ~latency:(Latency.Constant 1000.0) ~seed:1L () in
+  let r = Reliable.create ~config:{ Reliable.default_config with Reliable.window = 3 } net in
+  let (_ : unit -> (int * int) list) = collect r 1 in
+  for i = 1 to 10 do
+    Reliable.send r ~src:0 ~dst:1 i
+  done;
+  Alcotest.(check int) "only the window is on the wire" 3 (Network.in_flight net);
+  Alcotest.(check int) "backlog holds the rest" 10 (Reliable.in_flight r)
+
+let test_retransmission_is_deterministic () =
+  let run () =
+    let e, r =
+      setup ~fault:(Network.fault ~drop:0.2 ~duplicate:0.1 ()) ~seed:99L ()
+    in
+    let got = collect r 1 in
+    for i = 1 to 40 do
+      Reliable.send r ~src:0 ~dst:1 i
+    done;
+    Engine.run e;
+    (got (), Reliable.counters r, Engine.now e)
+  in
+  let g1, c1, t1 = run () in
+  let g2, c2, t2 = run () in
+  Alcotest.(check bool) "same deliveries" true (g1 = g2);
+  Alcotest.(check bool) "same counters (incl. retransmissions)" true (c1 = c2);
+  Alcotest.(check (float 0.0)) "same simulated end time" t1 t2
+
+let test_give_up_on_dead_link_quiesces () =
+  let config = { Reliable.default_config with Reliable.max_retries = 3 } in
+  let e, r = setup ~config () in
+  let (_ : unit -> (int * int) list) = collect r 1 in
+  Network.set_link_down (Reliable.net r) ~src:0 ~dst:1 true;
+  Reliable.send r ~src:0 ~dst:1 1;
+  Reliable.send r ~src:0 ~dst:1 2;
+  (* The engine must quiesce despite the dead link: the retry cap converts
+     an infinite retransmission loop into a counted give-up. *)
+  Engine.run e;
+  let c = Reliable.counters r in
+  Alcotest.(check int) "both payloads abandoned" 2 c.Reliable.gave_up;
+  Alcotest.(check int) "capped retransmissions" (3 * 2) c.Reliable.retransmissions;
+  Alcotest.(check int) "queues cleared" 0 (Reliable.in_flight r)
+
+let test_healed_link_revives_after_give_up () =
+  let config = { Reliable.default_config with Reliable.max_retries = 2 } in
+  let e, r = setup ~config () in
+  let got = collect r 1 in
+  Network.set_link_down (Reliable.net r) ~src:0 ~dst:1 true;
+  Reliable.send r ~src:0 ~dst:1 1;
+  Engine.run e;
+  Alcotest.(check int) "first payload lost" 1 (Reliable.gave_up r);
+  Network.set_link_down (Reliable.net r) ~src:0 ~dst:1 false;
+  Reliable.send r ~src:0 ~dst:1 2;
+  Engine.run e;
+  Alcotest.(check (list (pair int int))) "post-heal payload delivered" [ (0, 2) ] (got ())
+
+let test_ack_loss_causes_dup_suppression () =
+  (* Drop everything node 1 sends back: data always arrives, acks never do,
+     so the sender retransmits until the retry cap and the receiver must
+     suppress every retransmitted copy. *)
+  let config = { Reliable.default_config with Reliable.max_retries = 2 } in
+  let e, r = setup ~config () in
+  let got = collect r 1 in
+  Network.set_link_fault (Reliable.net r) ~src:1 ~dst:0 (Network.fault ~drop:1.0 ());
+  Reliable.send r ~src:0 ~dst:1 1;
+  Engine.run e;
+  Alcotest.(check (list (pair int int))) "delivered exactly once" [ (0, 1) ] (got ());
+  let c = Reliable.counters r in
+  Alcotest.(check int) "retransmitted copies suppressed" 2 c.Reliable.dup_dropped
+
+let test_reset_link_discards_stale_inflight () =
+  (* Packets in flight across a reset must not shadow the post-reset
+     stream: sequence numbers are monotonic, so stale arrivals are dropped
+     as duplicates. *)
+  let e, r = setup () in
+  let got = collect r 1 in
+  Reliable.send r ~src:0 ~dst:1 1;
+  Reliable.send r ~src:0 ~dst:1 2;
+  (* Reset while both packets are still in flight. *)
+  Reliable.reset_link r ~src:0 ~dst:1;
+  Reliable.send r ~src:0 ~dst:1 3;
+  Engine.run e;
+  Alcotest.(check (list (pair int int))) "only the post-reset payload" [ (0, 3) ] (got ())
+
+let test_reset_node_both_directions () =
+  let e, r = setup ~nodes:3 () in
+  let got1 = collect r 1 in
+  let (_ : unit -> (int * int) list) = collect r 0 in
+  let (_ : unit -> (int * int) list) = collect r 2 in
+  Reliable.send r ~src:0 ~dst:1 10;
+  Reliable.send r ~src:1 ~dst:2 20;
+  Reliable.reset_node r 1;
+  Reliable.send r ~src:0 ~dst:1 11;
+  Engine.run e;
+  Alcotest.(check (list (pair int int))) "pre-reset traffic gone" [ (0, 11) ] (got1 ());
+  Alcotest.(check int) "nothing stuck" 0 (Reliable.in_flight r)
+
+let test_wire_size_accounting () =
+  (* Data carries a 1-unit sequence header; acks cost 1 unit each. *)
+  let e, r = setup () in
+  let (_ : unit -> (int * int) list) = collect r 1 in
+  Reliable.send r ~src:0 ~dst:1 ~kind:"PAY" ~size:10 1;
+  Engine.run e;
+  let c = Network.counters (Reliable.net r) in
+  Alcotest.(check int) "payload+header and one ack" (10 + 1 + 1) c.Network.bytes;
+  Alcotest.(check (list (pair string int)))
+    "kinds tagged" [ ("ACK", 1); ("PAY", 1) ] c.Network.by_kind
+
+let test_bad_config_rejected () =
+  let e = Engine.create () in
+  let net () = Network.create e ~nodes:2 () in
+  Alcotest.check_raises "window" (Invalid_argument "Reliable: window must be >= 1")
+    (fun () -> ignore (Reliable.create ~config:{ Reliable.default_config with Reliable.window = 0 } (net ())));
+  Alcotest.check_raises "rto" (Invalid_argument "Reliable: rto must be positive")
+    (fun () -> ignore (Reliable.create ~config:{ Reliable.default_config with Reliable.rto = 0.0 } (net ())));
+  Alcotest.check_raises "backoff" (Invalid_argument "Reliable: backoff must be >= 1")
+    (fun () -> ignore (Reliable.create ~config:{ Reliable.default_config with Reliable.backoff = 0.5 } (net ())))
+
+let suite =
+  [
+    Alcotest.test_case "clean delivery" `Quick test_clean_delivery;
+    Alcotest.test_case "exactly-once under loss+dup" `Quick
+      test_exactly_once_under_loss_and_duplication;
+    Alcotest.test_case "window limits inflight" `Quick test_window_limits_inflight;
+    Alcotest.test_case "deterministic retransmission" `Quick
+      test_retransmission_is_deterministic;
+    Alcotest.test_case "give-up quiesces" `Quick test_give_up_on_dead_link_quiesces;
+    Alcotest.test_case "healed link revives" `Quick test_healed_link_revives_after_give_up;
+    Alcotest.test_case "ack loss suppressed" `Quick test_ack_loss_causes_dup_suppression;
+    Alcotest.test_case "reset drops stale inflight" `Quick
+      test_reset_link_discards_stale_inflight;
+    Alcotest.test_case "reset node" `Quick test_reset_node_both_directions;
+    Alcotest.test_case "wire accounting" `Quick test_wire_size_accounting;
+    Alcotest.test_case "bad config" `Quick test_bad_config_rejected;
+  ]
