@@ -142,7 +142,8 @@ let solver_cmd =
 let dict_cmd =
   let processes = Arg.(value & opt int 3 & info [ "processes" ] ~doc:"Cooperating processes.") in
   let items = Arg.(value & opt int 6 & info [ "items" ] ~doc:"Items inserted per process.") in
-  let run processes items =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let run processes items seed =
     let module Engine = Dsm_sim.Engine in
     let module Proc = Dsm_runtime.Proc in
     let module Cluster = Dsm_causal.Cluster in
@@ -151,7 +152,8 @@ let dict_cmd =
     let sched = Proc.scheduler engine in
     let cluster =
       Cluster.create ~sched ~owner:(Dictionary.owner_map ~processes)
-        ~config:Dictionary.config ~latency:(Dsm_net.Latency.Constant 1.0) ()
+        ~config:Dictionary.config ~latency:(Dsm_net.Latency.Constant 1.0)
+        ~seed:(Int64.of_int seed) ()
     in
     let d =
       Array.init processes (fun i -> Dictionary.attach (Cluster.handle cluster i) ~cols:(items * 2))
@@ -182,7 +184,7 @@ let dict_cmd =
       (Check.is_correct (Cluster.history cluster))
   in
   Cmd.v (Cmd.info "dict" ~doc:"Run the distributed dictionary (Section 4.2)")
-    Term.(const run $ processes $ items)
+    Term.(const run $ processes $ items $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* anomaly                                                             *)
@@ -266,25 +268,48 @@ let chaos_cmd =
   let retries =
     Arg.(value & opt int 5 & info [ "retries" ] ~doc:"RPC retries per operation (default 5).")
   in
-  let run scenario seed drop duplicate timeout retries =
+  let hb_period =
+    Arg.(value & opt (some float) None
+         & info [ "hb-period" ]
+             ~doc:"Heartbeat period; enables failure detection and owner failover on any \
+                   scenario (the owner-crash and failover scenarios default to 5.0).")
+  in
+  let suspect_after =
+    Arg.(value & opt int 3
+         & info [ "suspect-after" ]
+             ~doc:"Silent heartbeat periods tolerated before suspicion (default 3; used \
+                   with --hb-period).")
+  in
+  let run scenario seed drop duplicate timeout retries hb_period suspect_after =
+    let detector =
+      Option.map
+        (fun period -> { Dsm_causal.Detector.period; suspect_after })
+        hb_period
+    in
     let knobs =
       {
         Chaos.default_knobs with
         Chaos.drop;
         duplicate;
         rpc = Some { Dsm_causal.Cluster.timeout; retries };
+        detector;
       }
     in
     let r = Chaos.run ~knobs ~seed:(Int64.of_int seed) scenario in
     Format.printf "%a" Chaos.pp_report r;
+    Printf.printf "health:            %s (gave_up %d, suspects %d, unsuspects %d)\n"
+      (if Chaos.healthy r then "OK" else "UNHEALTHY")
+      r.Chaos.transport.Dsm_net.Reliable.gave_up r.Chaos.suspects r.Chaos.unsuspects;
     if Chaos.healthy r then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run a workload over lossy, duplicating links with the reliable transport, \
-             RPC timeouts and (for crash-restart) crash-stop recovery; exits nonzero if \
-             the recorded history is not causally correct or a process is left blocked")
-    Term.(const run $ scenario $ seed $ drop $ duplicate $ timeout $ retries)
+             RPC timeouts, crash-stop recovery and (for owner-crash and failover) \
+             heartbeat-driven ownership handoff; exits nonzero if the recorded history \
+             is not causally correct or a process is left blocked")
+    Term.(const run $ scenario $ seed $ drop $ duplicate $ timeout $ retries $ hb_period
+          $ suspect_after)
 
 (* ------------------------------------------------------------------ *)
 (* alpha                                                               *)

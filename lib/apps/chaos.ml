@@ -16,6 +16,7 @@ type knobs = {
   latency : Latency.t;
   reliability : Reliable.config;
   rpc : Causal.rpc option;
+  detector : Dsm_causal.Detector.config option;
 }
 
 let default_knobs =
@@ -25,6 +26,7 @@ let default_knobs =
     latency = Latency.lan;
     reliability = Reliable.default_config;
     rpc = Some { Causal.timeout = 100.0; retries = 5 };
+    detector = None;
   }
 
 type report = {
@@ -40,6 +42,10 @@ type report = {
   rpc_timeouts : int;
   stale_replies : int;
   crashes : int;
+  suspects : int;
+  unsuspects : int;
+  takeovers : int;
+  view : (int * int * int) list;
   unfinished : (string * float) list;
   notes : (string * string) list;
 }
@@ -54,7 +60,7 @@ let check_history history =
 let make_cluster ~knobs ~seed ~owner ?config sched =
   Causal.create ~sched ~owner ?config ~latency:knobs.latency
     ~fault:(Network.fault ~drop:knobs.drop ~duplicate:knobs.duplicate ())
-    ~reliability:knobs.reliability ?rpc:knobs.rpc ~seed ()
+    ~reliability:knobs.reliability ?rpc:knobs.rpc ?detector:knobs.detector ~seed ()
 
 let build_report ~scenario ~sched ~engine ~crashes ~notes c =
   Causal.shutdown c;
@@ -83,6 +89,10 @@ let build_report ~scenario ~sched ~engine ~crashes ~notes c =
     rpc_timeouts = Causal.rpc_timeouts c;
     stale_replies = Causal.stale_replies c;
     crashes;
+    suspects = Causal.suspect_events c;
+    unsuspects = Causal.unsuspect_events c;
+    takeovers = Causal.takeovers c;
+    view = Causal.view c;
     unfinished = Proc.unfinished_since sched;
     notes;
   }
@@ -287,7 +297,116 @@ let crash_restart ?(knobs = default_knobs) ?(seed = 4L) ?(clients = 3)
   in
   build_report ~scenario:"crash-restart" ~sched ~engine ~crashes:!crashes ~notes c
 
-let scenarios = [ "mix"; "dictionary"; "solver"; "crash-restart" ]
+(* {1 Scenarios: crash a serving owner, fail over to its backup}
+
+   Node 0 (the victim) owns part of the namespace and crashes for good
+   shortly after warming it with writes; [clients] other nodes work through
+   the outage.  With the failure detector on, node 1 — the victim's
+   designated backup, which shadowed every acknowledged write — suspects
+   the silence, promotes itself under epoch 1 and broadcasts the takeover;
+   the clients' phase-2 operations on victim-owned locations re-route to it
+   and must still form a causally correct history.  [failover] additionally
+   restarts the victim after the takeover: replaying its log resurrects its
+   pre-crash state, and heartbeat gossip demotes it to a client of the new
+   owner before it resumes. *)
+
+let failover_detector = { Dsm_causal.Detector.period = 5.0; suspect_after = 3 }
+
+let owner_crash_scenario ~scenario ~revive ?(knobs = default_knobs) ?(seed = 5L)
+    ?(clients = 3) ?(ops_per_client = 8) () =
+  if clients < 2 then invalid_arg (Printf.sprintf "Chaos.%s: clients must be >= 2" scenario);
+  let knobs =
+    match knobs.detector with
+    | Some _ -> knobs
+    | None -> { knobs with detector = Some failover_detector }
+  in
+  let processes = clients + 1 in
+  let victim = 0 in
+  let locations = 2 * processes in
+  let engine = Engine.create () in
+  let sched = Proc.scheduler engine in
+  let owner = Owner.by_index ~nodes:processes in
+  let c = make_cluster ~knobs ~seed ~owner sched in
+  let master = Prng.create seed in
+  let crashes = ref 0 in
+  (* Victim-owned locations are the indices congruent to 0 mod [processes]. *)
+  let victim_loc k = Workload.loc (processes * (k mod 2)) in
+  ignore
+    (Proc.spawn sched ~name:"victim-owner" (fun () ->
+         let h = Causal.handle c victim in
+         for k = 1 to ops_per_client do
+           Causal.write h (victim_loc k) (Value.Int ((victim * 1_000_000) + k));
+           Proc.sleep 1.0
+         done;
+         let now = Engine.now engine in
+         Engine.schedule_at engine (now +. 2.0) (fun () ->
+             Causal.crash c victim;
+             incr crashes);
+         if revive then begin
+           Engine.schedule_at engine (now +. 45.0) (fun () -> Causal.restart c victim);
+           (* Resume well after the restart: by then heartbeat gossip has
+              carried the takeover epoch back and demoted this node to a
+              client of the new owner. *)
+           Proc.sleep 70.0;
+           for k = 1 to ops_per_client do
+             (if k mod 2 = 0 then Causal.write h (victim_loc k) (Value.Int (2_000_000 + k))
+              else ignore (Causal.read h (victim_loc k)));
+             Proc.sleep 1.0
+           done
+         end));
+  for pid = 1 to clients do
+    let prng = Prng.split master in
+    let h = Causal.handle c pid in
+    let one_op k =
+      let target =
+        (* Half the traffic hits victim-owned locations, so the outage and
+           the handoff are actually on the critical path. *)
+        if k mod 2 = 0 then victim_loc k else Workload.loc (Prng.int prng locations)
+      in
+      if Prng.chance prng 0.5 then Causal.write h target (Value.Int ((pid * 1_000_000) + k))
+      else ignore (Causal.read h target)
+    in
+    ignore
+      (Proc.spawn sched
+         ~name:(Printf.sprintf "client%d" pid)
+         (fun () ->
+           for k = 1 to ops_per_client do
+             one_op k;
+             Proc.sleep 1.0
+           done;
+           (* Sleep across the crash (~t+2), the detection window
+              (suspect_after * period) and the takeover broadcast. *)
+           Proc.sleep 60.0;
+           for k = ops_per_client + 1 to 2 * ops_per_client do
+             one_op k;
+             Proc.sleep 1.0
+           done))
+  done;
+  let failures = run_to_quiescence engine sched in
+  let victim_node = Causal.node c victim in
+  let notes =
+    ("victim", string_of_int victim)
+    :: ("takeover_epoch", string_of_int (Causal.epoch_of c ~base:victim))
+    :: ("new_owner", string_of_int (Causal.serving_of c ~base:victim))
+    :: ("victim_demoted",
+        string_of_bool (Dsm_causal.Node.serving_of victim_node ~base:victim <> victim))
+    :: ("shadow_reads", string_of_int (Causal.shadow_reads c))
+    :: ("redirects", string_of_int (Causal.redirects c))
+    :: ("shadow_degraded", string_of_int (Causal.shadow_degraded c))
+    :: ("dropped_at_crashed", string_of_int (Causal.dropped_at_crashed c))
+    :: List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures
+  in
+  build_report ~scenario ~sched ~engine ~crashes:!crashes ~notes c
+
+let owner_crash ?knobs ?seed ?clients ?ops_per_client () =
+  owner_crash_scenario ~scenario:"owner-crash" ~revive:false ?knobs ?seed ?clients
+    ?ops_per_client ()
+
+let failover ?knobs ?seed ?clients ?ops_per_client () =
+  owner_crash_scenario ~scenario:"failover" ~revive:true ?knobs ?seed ?clients
+    ?ops_per_client ()
+
+let scenarios = [ "mix"; "dictionary"; "solver"; "crash-restart"; "owner-crash"; "failover" ]
 
 let run ?knobs ?seed name =
   match name with
@@ -295,6 +414,8 @@ let run ?knobs ?seed name =
   | "dictionary" -> dictionary ?knobs ?seed ()
   | "solver" -> solver ?knobs ?seed ()
   | "crash-restart" -> crash_restart ?knobs ?seed ()
+  | "owner-crash" -> owner_crash ?knobs ?seed ()
+  | "failover" -> failover ?knobs ?seed ()
   | other ->
       invalid_arg
         (Printf.sprintf "Chaos.run: unknown scenario %s (expected one of %s)" other
@@ -314,6 +435,13 @@ let pp_report ppf r =
     r.transport.Reliable.reordered r.transport.Reliable.gave_up;
   line "rpc timeouts:      %d (stale replies %d)@." r.rpc_timeouts r.stale_replies;
   if r.crashes > 0 then line "crashes injected:  %d@." r.crashes;
+  if r.suspects > 0 || r.unsuspects > 0 || r.takeovers > 0 then
+    line "failover:          %d suspects, %d unsuspects, %d takeovers@." r.suspects
+      r.unsuspects r.takeovers;
+  List.iter
+    (fun (base, epoch, serving) ->
+      line "view:              base %d served by %d under epoch %d@." base serving epoch)
+    r.view;
   (match r.unfinished with
   | [] -> line "unfinished procs:  none@."
   | stuck ->

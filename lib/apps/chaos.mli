@@ -18,11 +18,15 @@ type knobs = {
   latency : Dsm_net.Latency.t;
   reliability : Dsm_net.Reliable.config;
   rpc : Dsm_causal.Cluster.rpc option;  (** [None] = unbounded blocking *)
+  detector : Dsm_causal.Detector.config option;
+      (** [None] = no heartbeats or failover; the owner-crash scenarios
+          substitute a fast detector (period 5.0, suspect_after 3) when
+          this is [None] *)
 }
 
 val default_knobs : knobs
 (** 5% loss, 1% duplication, LAN latency, {!Dsm_net.Reliable.default_config},
-    RPC timeout 100.0 with 5 retries. *)
+    RPC timeout 100.0 with 5 retries, no failure detector. *)
 
 type report = {
   scenario : string;
@@ -38,6 +42,12 @@ type report = {
   rpc_timeouts : int;
   stale_replies : int;
   crashes : int;  (** crash-stop events injected *)
+  suspects : int;  (** detector suspect transitions, all nodes *)
+  unsuspects : int;  (** detector recoveries from suspicion *)
+  takeovers : int;  (** ownership promotions performed by backups *)
+  view : (int * int * int) list;
+      (** final cluster-wide ownership view: [(base, epoch, serving)] for
+          every base owner deposed by a takeover *)
   unfinished : (string * float) list;
       (** processes left blocked at quiescence, with blocked-since times —
           must be empty for a healthy run *)
@@ -69,6 +79,23 @@ val crash_restart :
     run the random mix while an extra cache-only node warms its cache,
     crashes (losing all volatile state), restarts, and resumes.  The
     combined history must remain causally correct across the discard. *)
+
+val owner_crash :
+  ?knobs:knobs -> ?seed:int64 -> ?clients:int -> ?ops_per_client:int -> unit -> report
+(** Crash a {e serving owner} for good mid-workload.  Its designated backup
+    (which shadows every acknowledged write) must suspect the silence,
+    promote itself under epoch 1 and serve the clients' phase-2 operations
+    on the victim's locations; notes record the takeover epoch, the new
+    owner, and how many reads were served from shadow copies during the
+    outage.  Requires [clients >= 2] (the backup must not be the only other
+    node doing work). *)
+
+val failover :
+  ?knobs:knobs -> ?seed:int64 -> ?clients:int -> ?ops_per_client:int -> unit -> report
+(** {!owner_crash} plus recovery: the victim restarts after the takeover,
+    replays its write-ahead log, is demoted by heartbeat gossip (notes
+    record ["victim_demoted"]), and finishes the run as a client of the
+    node that replaced it. *)
 
 val scenarios : string list
 (** Names accepted by {!run}, in presentation order. *)

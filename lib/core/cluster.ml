@@ -5,6 +5,7 @@ module Owner = Dsm_memory.Owner
 module Proc = Dsm_runtime.Proc
 module Network = Dsm_net.Network
 module Reliable = Dsm_net.Reliable
+module Prng = Dsm_util.Prng
 
 type rpc = { timeout : float; retries : int }
 
@@ -36,6 +37,13 @@ type transport =
   | Direct of Message.t Network.t
   | Framed of Message.t Reliable.t
 
+(* What completes once a certified write's shadow is acknowledged (or the
+   grace timer degrades the replication): a deferred W_REPLY for a remote
+   writer, or the owner's own blocked write process. *)
+type shadow_wait =
+  | Shadow_reply of { dst : int; kind : string; size : int; msg : Message.t }
+  | Shadow_wake of unit Proc.ivar
+
 type t = {
   sched : Proc.sched;
   transport : transport;
@@ -51,6 +59,20 @@ type t = {
   mutable stale_replies : int;
   mutable dropped_at_crashed : int;
   mutable rpc_timeouts : int;
+  (* Owner failover (PR 2): durable logs, failure detection, handoff. *)
+  disk : Wal.Disk.t;
+  wals : Wal.t array;
+  detectors : Detector.t array option; (* Some iff failover is enabled *)
+  detector_config : Detector.config option;
+  checkpoint_every : float option;
+  hb_prngs : Prng.t array; (* per-node heartbeat jitter *)
+  shadow_pending : (int, shadow_wait) Hashtbl.t array;
+  mutable shadow_seq : int;
+  mutable takeovers : int;
+  mutable shadow_degraded : int;
+  mutable shadow_reads : int;
+  mutable redirects : int;
+  mutable wal_sync_failures : int;
 }
 
 type handle = { cluster : t; node : Node.t }
@@ -73,38 +95,195 @@ let entry_wire_size t (count : int) =
 let digest_wire_size t digest =
   Write_digest.wire_size digest ~dim:(Owner.nodes t.owner)
 
-(* The owner-side services of Figure 4.  These run atomically as delivery
-   events; replies go back over the same FIFO transport. *)
+let sim_now t = Dsm_sim.Engine.now (Proc.engine t.sched)
+
+(* {1 Failover helpers} *)
+
+let failover_on t = t.detectors <> None
+
+let suspected t ~me ~peer =
+  match t.detectors with Some dets -> Detector.suspected dets.(me) peer | None -> false
+
+(* The designated backup for whatever [serving] certifies: its ring
+   successor.  [None] in a single-node cluster. *)
+let backup_of t ~serving =
+  let n = Array.length t.nodes in
+  let b = (serving + 1) mod n in
+  if b = serving then None else Some b
+
+(* A failed log sync is counted and tolerated: the entry stays in volatile
+   memory and reaches the disk at the next checkpoint — a crash before then
+   loses it, which is exactly what the sync-fault tests observe. *)
+let wal_append t me record =
+  match Wal.append t.wals.(me) record with
+  | () -> ()
+  | exception Wal.Sync_failed _ -> t.wal_sync_failures <- t.wal_sync_failures + 1
+
+(* Fold in a view entry learned from any channel (takeover broadcast,
+   heartbeat gossip, fencing reply), logging real changes for replay. *)
+let learn_view t ~me ~base ~epoch ~serving =
+  match Node.adopt_view t.nodes.(me) ~base ~epoch ~serving with
+  | Node.View_ignored -> ()
+  | Node.View_adopted | Node.View_demoted ->
+      wal_append t me (Wal.View_change { base; epoch; serving })
+
+let next_shadow_seq t =
+  let s = t.shadow_seq in
+  t.shadow_seq <- s + 1;
+  s
+
+let send_shadow t ~me ~backup ~base ~seq entries =
+  send_msg t ~src:me ~dst:backup ~kind:"SHADOW"
+    ~size:(entry_wire_size t (List.length entries))
+    (Message.Shadow { seq; base; entries })
+
+let complete_shadow t ~me wait =
+  match wait with
+  | Shadow_reply { dst; kind; size; msg } ->
+      (* The owner may have crashed while the shadow was in flight; a dead
+         node sends nothing. *)
+      if not t.crashed.(me) then send_msg t ~src:me ~dst ~kind ~size msg
+  | Shadow_wake ivar ->
+      (* Always wake the blocked writer — its write completed before any
+         crash could happen (crashes strike between operations). *)
+      if not (Proc.is_filled ivar) then Proc.fill ivar ()
+
+let shadow_grace t =
+  match t.detector_config with Some c -> c.Detector.period | None -> 10.0
+
+let arm_shadow_grace t ~me ~seq =
+  Dsm_sim.Engine.schedule (Proc.engine t.sched) ~delay:(shadow_grace t) (fun () ->
+      match Hashtbl.find_opt t.shadow_pending.(me) seq with
+      | Some wait ->
+          (* The backup never acknowledged within the grace window: degrade
+             to unreplicated operation rather than blocking the writer on a
+             possibly-dead backup. *)
+          Hashtbl.remove t.shadow_pending.(me) seq;
+          t.shadow_degraded <- t.shadow_degraded + 1;
+          complete_shadow t ~me wait
+      | None -> ())
+
+(* Replicate freshly certified [entries] of [base] to the designated backup
+   and run [wait]'s completion once acknowledged.  Degrades to completing
+   immediately when failover is off or the backup is itself suspected. *)
+let shadow_then t ~me ~base entries wait =
+  let proceed () = complete_shadow t ~me wait in
+  if not (failover_on t) then proceed ()
+  else
+    match backup_of t ~serving:me with
+    | None -> proceed ()
+    | Some backup when suspected t ~me ~peer:backup ->
+        t.shadow_degraded <- t.shadow_degraded + 1;
+        proceed ()
+    | Some backup ->
+        let seq = next_shadow_seq t in
+        Hashtbl.replace t.shadow_pending.(me) seq wait;
+        send_shadow t ~me ~backup ~base ~seq entries;
+        arm_shadow_grace t ~me ~seq
+
+(* Epoch fencing: a request is served only by the node currently serving the
+   location under an epoch at least as new as the client's.  Everything else
+   gets the server's own view back and re-routes. *)
+let fence t node loc epoch =
+  ignore t;
+  let base = Node.base_owner_of node loc in
+  if (not (Node.owns node loc)) || epoch < Node.epoch_of node ~base then
+    Some (base, Node.epoch_of node ~base, Node.serving_of node ~base)
+  else None
+
+(* The owner-side services of Figure 4 plus the failover machinery.  These
+   run atomically as delivery events; replies go back over the same FIFO
+   transport. *)
 let handle_message t ~me ~src msg =
   if t.crashed.(me) then
     (* A crash-stop node loses everything that arrives while it is down. *)
     t.dropped_at_crashed <- t.dropped_at_crashed + 1
-  else
+  else begin
+    (* Any delivery is proof of life: protocol traffic unsuspects a peer
+       just as heartbeats do. *)
+    (match t.detectors with
+    | Some dets when src <> me -> ignore (Detector.heard dets.(me) ~peer:src ~now:(sim_now t))
+    | _ -> ());
     let node = t.nodes.(me) in
     match (msg : Message.t) with
-    | Message.Read_req { req; loc } ->
+    | Message.Read_req { req; loc; epoch } -> (
+        match fence t node loc epoch with
+        | Some (base, my_epoch, serving) ->
+            send_msg t ~src:me ~dst:src ~kind:"STALE" ~size:1
+              (Message.Stale_epoch { req; base; epoch = my_epoch; serving })
+        | None ->
+            let entry =
+              match Node.lookup node loc with Some e -> e | None -> assert false
+              (* served locations always present after lookup *)
+            in
+            let page = Node.page_entries node loc in
+            let digest = Node.digest_export node in
+            send_msg t ~src:me ~dst:src ~kind:"R_REPLY"
+              ~size:(entry_wire_size t (1 + List.length page) + digest_wire_size t digest)
+              (Message.Read_reply { req; loc; entry; page; digest }))
+    | Message.Write_req { req; loc; entry; digest; epoch } -> (
+        match fence t node loc epoch with
+        | Some (base, my_epoch, serving) ->
+            send_msg t ~src:me ~dst:src ~kind:"STALE" ~size:1
+              (Message.Stale_epoch { req; base; epoch = my_epoch; serving })
+        | None ->
+            Node.digest_merge node digest;
+            let accepted = ref false in
+            let stored = Node.certify_write node loc entry ~accepted in
+            (* Durable before the reply leaves the node: an acknowledged
+               write must survive a crash (the rejected case still logs the
+               clock merge, so replay reaches the exact frontier). *)
+            if !accepted then wal_append t me (Wal.Write { loc; entry = stored })
+            else wal_append t me (Wal.Clock (Node.vt node));
+            let digest = Node.digest_export node in
+            let reply =
+              Message.Write_reply { req; loc; accepted = !accepted; entry = stored; digest }
+            in
+            let size = entry_wire_size t 1 + digest_wire_size t digest in
+            let wait = Shadow_reply { dst = src; kind = "W_REPLY"; size; msg = reply } in
+            if !accepted then
+              shadow_then t ~me ~base:(Node.base_owner_of node loc) [ (loc, stored) ] wait
+            else complete_shadow t ~me wait)
+    | Message.Heartbeat { view } ->
+        List.iter (fun (base, epoch, serving) -> learn_view t ~me ~base ~epoch ~serving) view
+    | Message.Takeover { base; epoch; serving } -> learn_view t ~me ~base ~epoch ~serving
+    | Message.Shadow { seq; base; entries } ->
+        List.iter
+          (fun (loc, entry) ->
+            Node.shadow_store node ~base loc entry;
+            wal_append t me (Wal.Shadow_entry { base; loc; entry }))
+          entries;
+        send_msg t ~src:me ~dst:src ~kind:"SH_ACK" ~size:1 (Message.Shadow_ack { seq })
+    | Message.Shadow_ack { seq } -> (
+        match Hashtbl.find_opt t.shadow_pending.(me) seq with
+        | Some wait ->
+            Hashtbl.remove t.shadow_pending.(me) seq;
+            complete_shadow t ~me wait
+        | None ->
+            (* An ack after the grace timer already degraded, or for a
+               fire-and-forget snapshot shadow: nothing left to do. *)
+            ())
+    | Message.Shadow_read_req { req; loc } ->
+        (* Degraded read while the owner is suspected: serve the shadow copy
+           (every acknowledged write is in it), the served copy if this
+           backup already promoted, or the initial value if the location was
+           never written — all live values under Definition 2. *)
+        let base = Node.base_owner_of node loc in
         let entry =
-          match Node.lookup node loc with
-          | Some e -> e
-          | None ->
-              failwith
-                (Printf.sprintf "node %d received READ for %s it does not own" me
-                   (Loc.to_string loc))
+          if Node.owns node loc then
+            match Node.lookup node loc with Some e -> e | None -> assert false
+          else
+            match Node.shadow_lookup node ~base loc with
+            | Some e -> e
+            | None ->
+                Stamped.initial ~processes:(Array.length t.nodes) (t.config.Config.init loc)
         in
-        let page = Node.page_entries node loc in
-        let digest = Node.digest_export node in
-        send_msg t ~src:me ~dst:src ~kind:"R_REPLY"
-          ~size:(entry_wire_size t (1 + List.length page) + digest_wire_size t digest)
-          (Message.Read_reply { req; loc; entry; page; digest })
-    | Message.Write_req { req; loc; entry; digest } ->
-        Node.digest_merge node digest;
-        let accepted = ref false in
-        let stored = Node.certify_write node loc entry ~accepted in
-        let digest = Node.digest_export node in
-        send_msg t ~src:me ~dst:src ~kind:"W_REPLY"
-          ~size:(entry_wire_size t 1 + digest_wire_size t digest)
-          (Message.Write_reply { req; loc; accepted = !accepted; entry = stored; digest })
-    | Message.Read_reply { req; _ } | Message.Write_reply { req; _ } -> (
+        send_msg t ~src:me ~dst:src ~kind:"SH_REPLY" ~size:(entry_wire_size t 1)
+          (Message.Shadow_read_reply { req; loc; entry })
+    | Message.Read_reply { req; _ }
+    | Message.Write_reply { req; _ }
+    | Message.Stale_epoch { req; _ }
+    | Message.Shadow_read_reply { req; _ } -> (
         match Hashtbl.find_opt t.pending.(me) req with
         | Some ivar ->
             Hashtbl.remove t.pending.(me) req;
@@ -115,6 +294,7 @@ let handle_message t ~me ~src msg =
                restarted since issuing it.  Discarding is safe — the request
                tag is never reused. *)
             t.stale_replies <- t.stale_replies + 1)
+  end
 
 let start_discard_timer t node =
   match (Node.config node).Config.discard with
@@ -129,14 +309,104 @@ let start_discard_timer t node =
       in
       Dsm_sim.Engine.schedule engine ~delay:period tick
 
+(* A heartbeat tick suspecting [peer] triggers handoff: if this node is the
+   designated backup for a base [peer] was serving, it promotes itself under
+   the next epoch, broadcasts the takeover, and primes its own backup with
+   the inherited state. *)
+let on_suspect t ~me ~peer =
+  let node = t.nodes.(me) in
+  let n = Array.length t.nodes in
+  for base = 0 to n - 1 do
+    if Node.serving_of node ~base = peer then
+      match backup_of t ~serving:peer with
+      | Some b when b = me ->
+          let epoch = Node.epoch_of node ~base + 1 in
+          let inherited = Node.promote node ~base ~epoch in
+          t.takeovers <- t.takeovers + 1;
+          wal_append t me (Wal.View_change { base; epoch; serving = me });
+          for dst = 0 to n - 1 do
+            if dst <> me then
+              send_msg t ~src:me ~dst ~kind:"TAKEOVER" ~size:1
+                (Message.Takeover { base; epoch; serving = me })
+          done;
+          (match backup_of t ~serving:me with
+          | Some next_backup
+            when next_backup <> peer
+                 && (not (suspected t ~me ~peer:next_backup))
+                 && inherited <> [] ->
+              (* Fire-and-forget snapshot: no reply is gated on it, the
+                 per-write shadows that follow keep it current. *)
+              let seq = next_shadow_seq t in
+              send_shadow t ~me ~backup:next_backup ~base ~seq inherited
+          | _ -> ())
+      | _ -> ()
+  done
+
+let start_heartbeats t =
+  match (t.detectors, t.detector_config) with
+  | Some dets, Some cfg ->
+      let engine = Proc.engine t.sched in
+      let n = Array.length t.nodes in
+      for me = 0 to n - 1 do
+        let prng = t.hb_prngs.(me) in
+        let rec beat () =
+          (* Same stop rule as the checkpoint timer: beat only while the
+             workload runs, so the engine can quiesce afterwards. *)
+          if (not t.timers_stopped) && Proc.active t.sched then begin
+            if not t.crashed.(me) then begin
+              let view = Node.view t.nodes.(me) in
+              for dst = 0 to n - 1 do
+                if dst <> me then
+                  send_msg t ~src:me ~dst ~kind:"HB" ~size:(1 + List.length view)
+                    (Message.Heartbeat { view })
+              done;
+              let newly = Detector.tick dets.(me) ~now:(sim_now t) in
+              List.iter (fun peer -> on_suspect t ~me ~peer) newly
+            end;
+            Dsm_sim.Engine.schedule engine
+              ~delay:(cfg.Detector.period *. (0.9 +. Prng.float prng 0.2))
+              beat
+          end
+        in
+        (* Staggered, jittered start so a cluster's beats never synchronise. *)
+        Dsm_sim.Engine.schedule engine
+          ~delay:(cfg.Detector.period *. (0.5 +. Prng.float prng 0.5))
+          beat
+      done
+  | _ -> ()
+
+let checkpoint_now t pid =
+  match Wal.checkpoint t.wals.(pid) (Node.snapshot t.nodes.(pid)) with
+  | () -> ()
+  | exception Wal.Sync_failed _ -> t.wal_sync_failures <- t.wal_sync_failures + 1
+
+let start_checkpoint_timers t =
+  match t.checkpoint_every with
+  | None -> ()
+  | Some period ->
+      let engine = Proc.engine t.sched in
+      for pid = 0 to Array.length t.nodes - 1 do
+        let rec tick () =
+          if (not t.timers_stopped) && Proc.active t.sched then begin
+            if not t.crashed.(pid) then checkpoint_now t pid;
+            Dsm_sim.Engine.schedule engine ~delay:period tick
+          end
+        in
+        Dsm_sim.Engine.schedule engine ~delay:period tick
+      done
+
 let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability ?rpc
-    ?(seed = 42L) () =
+    ?detector ?disk ?checkpoint_every ?(seed = 42L) () =
   Config.validate config;
   (match rpc with
   | Some r ->
       if r.timeout <= 0.0 then invalid_arg "Cluster.create: rpc timeout must be positive";
       if r.retries < 0 then invalid_arg "Cluster.create: rpc retries must be >= 0"
   | None -> ());
+  (match detector with Some d -> Detector.validate d | None -> ());
+  (match checkpoint_every with
+  | Some p when p <= 0.0 -> invalid_arg "Cluster.create: checkpoint_every must be positive"
+  | _ -> ());
   let processes = Owner.nodes owner in
   let engine = Proc.engine sched in
   let transport =
@@ -148,6 +418,17 @@ let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability
              (Network.create engine ~nodes:processes ?latency ?fault ~seed ()))
   in
   let nodes = Array.init processes (fun id -> Node.create ~id ~owner ~config) in
+  let disk = match disk with Some d -> d | None -> Wal.Disk.create () in
+  let detectors =
+    (* Failover needs a peer to fail over to. *)
+    match detector with
+    | Some cfg when processes >= 2 ->
+        Some
+          (Array.init processes (fun me ->
+               Detector.create cfg ~nodes:processes ~me ~now:(Dsm_sim.Engine.now engine)))
+    | Some _ | None -> None
+  in
+  let hb_master = Prng.create (Int64.logxor seed 0x6A09E667F3BCC909L) in
   let t =
     {
       sched;
@@ -164,6 +445,19 @@ let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability
       stale_replies = 0;
       dropped_at_crashed = 0;
       rpc_timeouts = 0;
+      disk;
+      wals = Array.init processes (fun node -> Wal.attach disk ~node);
+      detectors;
+      detector_config = detector;
+      checkpoint_every;
+      hb_prngs = Array.init processes (fun _ -> Prng.split hb_master);
+      shadow_pending = Array.init processes (fun _ -> Hashtbl.create 8);
+      shadow_seq = 0;
+      takeovers = 0;
+      shadow_degraded = 0;
+      shadow_reads = 0;
+      redirects = 0;
+      wal_sync_failures = 0;
     }
   in
   for me = 0 to processes - 1 do
@@ -173,6 +467,8 @@ let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability
     | Framed r -> Reliable.set_handler r ~node:me handler
   done;
   Array.iter (fun node -> start_discard_timer t node) nodes;
+  start_heartbeats t;
+  start_checkpoint_timers t;
   t
 
 let handle t pid = { cluster = t; node = t.nodes.(pid) }
@@ -220,8 +516,6 @@ let history t = History.Recorder.history t.recorder
 
 let timed_history t = List.rev t.timed
 
-let sim_now t = Dsm_sim.Engine.now (Proc.engine t.sched)
-
 let log_timed t op start_time = t.timed <- (op, start_time, sim_now t) :: t.timed
 
 let stats t = Array.to_list (Array.map Node.stats t.nodes)
@@ -230,21 +524,83 @@ let total_stats t = Node_stats.total (stats t)
 
 let shutdown t = t.timers_stopped <- true
 
+(* {1 Failover observability} *)
+
+let disk t = t.disk
+
+let wal t pid = t.wals.(pid)
+
+let takeovers t = t.takeovers
+
+let shadow_degraded t = t.shadow_degraded
+
+let shadow_reads t = t.shadow_reads
+
+let redirects t = t.redirects
+
+let wal_sync_failures t = t.wal_sync_failures
+
+let suspect_events t =
+  match t.detectors with
+  | None -> 0
+  | Some dets -> Array.fold_left (fun acc d -> acc + Detector.suspect_events d) 0 dets
+
+let unsuspect_events t =
+  match t.detectors with
+  | None -> 0
+  | Some dets -> Array.fold_left (fun acc d -> acc + Detector.unsuspect_events d) 0 dets
+
+let suspected_by t pid =
+  match t.detectors with None -> [] | Some dets -> Detector.suspected_now dets.(pid)
+
+(* The cluster-wide view: per base, the highest epoch any node has adopted. *)
+let view t =
+  let n = Array.length t.nodes in
+  let best = Array.init n (fun base -> (0, base)) in
+  Array.iter
+    (fun node ->
+      List.iter
+        (fun (base, epoch, serving) ->
+          let e, _ = best.(base) in
+          if epoch > e then best.(base) <- (epoch, serving))
+        (Node.view node))
+    t.nodes;
+  let acc = ref [] in
+  for base = n - 1 downto 0 do
+    let e, s = best.(base) in
+    if e > 0 then acc := (base, e, s) :: !acc
+  done;
+  !acc
+
+let epoch_of t ~base =
+  List.fold_left (fun acc (b, e, _) -> if b = base then e else acc) 0 (view t)
+
+let serving_of t ~base =
+  List.fold_left (fun acc (b, _, s) -> if b = base then s else acc) base (view t)
+
 (* Crash-stop failures.  [crash] makes the node deaf (deliveries are
    dropped) and forgets which replies it was waiting for; [restart] brings
-   it back with empty volatile state — the cache discarded (the paper's
-   [discard], so trivially safe), the clock zeroed to be rebuilt from the
-   first owner reply, and the transport links re-established. *)
+   it back by resetting all volatile state and replaying the node's
+   write-ahead log, which restores certified writes, view changes and
+   shadow copies to the exact pre-crash durable frontier.  Cache-only nodes
+   have empty logs, so for them this degenerates to PR 1's cache-discard
+   recovery. *)
 let crash t pid =
   if t.crashed.(pid) then invalid_arg (Printf.sprintf "Cluster.crash: node %d already down" pid);
   t.crashed.(pid) <- true;
-  Hashtbl.reset t.pending.(pid)
+  Hashtbl.reset t.pending.(pid);
+  Hashtbl.reset t.shadow_pending.(pid)
 
 let restart t pid =
   if not t.crashed.(pid) then
     invalid_arg (Printf.sprintf "Cluster.restart: node %d is not crashed" pid);
-  Node.reset_volatile t.nodes.(pid);
+  let node = t.nodes.(pid) in
+  Node.reset_volatile node;
   (match t.transport with Direct _ -> () | Framed r -> Reliable.reset_node r pid);
+  (match t.detectors with
+  | Some dets -> Detector.reset dets.(pid) ~now:(sim_now t)
+  | None -> ());
+  List.iter (fun record -> Node.apply_record node record) (Wal.replay t.wals.(pid));
   t.crashed.(pid) <- false
 
 let is_crashed t pid = t.crashed.(pid)
@@ -259,38 +615,68 @@ let check_up h =
   if t.crashed.(me) then
     failwith (Printf.sprintf "node %d is crashed: operations are unavailable until restart" me)
 
-(* Round-trip a request to [dst] and block until its reply arrives.  With an
-   RPC policy configured, a lost round trip times out and is retried with a
-   fresh request tag (the old tag, if its reply ever shows up, is discarded
-   as stale); when the attempts are exhausted the operation surfaces
-   [Timed_out] instead of blocking forever. *)
-let rendezvous h ~dst ~op ~loc ~kind ~size make_msg =
+(* Round-trip a request and block until its reply arrives.  [route] picks
+   the destination afresh for every attempt, so retries follow ownership
+   handoffs; a [Stale_epoch] fencing reply teaches this node the newer view
+   and re-issues immediately (bounded, and without burning a timeout
+   attempt).  With an RPC policy configured, a lost round trip times out and
+   is retried with a fresh request tag (the old tag, if its reply ever shows
+   up, is discarded as stale); when the attempts are exhausted the operation
+   surfaces [Timed_out] instead of blocking forever. *)
+let rendezvous h ~op ~loc ~kind ~size ~route make_msg =
   let t = h.cluster in
   let me = Node.id h.node in
+  let max_redirects = 2 * Array.length t.nodes in
+  let issue ~dst =
+    let req = Node.next_req h.node in
+    let ivar = Proc.ivar t.sched in
+    Hashtbl.replace t.pending.(me) req ivar;
+    let epoch = Node.epoch_of h.node ~base:(Node.base_owner_of h.node loc) in
+    send_msg t ~src:me ~dst ~kind ~size (make_msg ~req ~epoch);
+    (req, ivar)
+  in
+  (* [Some ()] to redirect (view was updated), [None] to accept the reply. *)
+  let stale_redirect reply =
+    match (reply : Message.t) with
+    | Message.Stale_epoch { base; epoch; serving; _ } ->
+        t.redirects <- t.redirects + 1;
+        learn_view t ~me ~base ~epoch ~serving;
+        true
+    | _ -> false
+  in
   match t.rpc with
   | None ->
-      let req = Node.next_req h.node in
-      let ivar = Proc.ivar t.sched in
-      Hashtbl.replace t.pending.(me) req ivar;
-      send_msg t ~src:me ~dst ~kind ~size (make_msg req);
-      Proc.await ivar
+      let rec go redirects =
+        let dst = route () in
+        let _req, ivar = issue ~dst in
+        let reply = Proc.await ivar in
+        if stale_redirect reply then
+          if redirects >= max_redirects then
+            raise (Timed_out { op; loc; requester = me; owner_node = dst; attempts = redirects + 1 })
+          else go (redirects + 1)
+        else reply
+      in
+      go 0
   | Some { timeout; retries } ->
-      let rec attempt n =
-        let req = Node.next_req h.node in
-        let ivar = Proc.ivar t.sched in
-        Hashtbl.replace t.pending.(me) req ivar;
-        send_msg t ~src:me ~dst ~kind ~size (make_msg req);
+      let rec attempt ~redirects n =
+        let dst = route () in
+        let req, ivar = issue ~dst in
         match Proc.await_timeout ivar ~timeout with
-        | Some reply -> reply
+        | Some reply ->
+            if stale_redirect reply then
+              if redirects >= max_redirects then
+                raise (Timed_out { op; loc; requester = me; owner_node = dst; attempts = n + 1 })
+              else attempt ~redirects:(redirects + 1) n
+            else reply
         | None ->
             Hashtbl.remove t.pending.(me) req;
             t.rpc_timeouts <- t.rpc_timeouts + 1;
-            if n < retries then attempt (n + 1)
+            if n < retries then attempt ~redirects (n + 1)
             else
               raise
                 (Timed_out { op; loc; requester = me; owner_node = dst; attempts = n + 1 })
       in
-      attempt 0
+      attempt ~redirects:0 0
 
 let read_stamped h loc =
   let t = h.cluster in
@@ -298,44 +684,80 @@ let read_stamped h loc =
   check_up h;
   let stats = Node.stats node in
   let start_time = sim_now t in
+  let record_read entry =
+    let op =
+      History.Recorder.record_read t.recorder ~pid:(Node.id node) ~loc
+        ~value:entry.Stamped.value ~from:entry.Stamped.wid
+    in
+    log_timed t op start_time;
+    entry
+  in
   match Node.lookup node loc with
   | Some entry ->
-      (* Owned or cached: the read completes locally. *)
+      (* Served or cached: the read completes locally. *)
       stats.Node_stats.read_hits <- stats.Node_stats.read_hits + 1;
-      let op =
-        History.Recorder.record_read t.recorder ~pid:(Node.id node) ~loc
-          ~value:entry.Stamped.value ~from:entry.Stamped.wid
-      in
-      log_timed t op start_time;
-      entry
+      record_read entry
   | None -> (
       (* Read miss: fetch a current copy from the owner and install it,
          invalidating everything causally older (Figure 4, r_i(x)v). *)
       stats.Node_stats.read_misses <- stats.Node_stats.read_misses + 1;
+      let me = Node.id node in
       let dst = Node.owner_of node loc in
-      (* Snapshot the clock: if it grows while we are blocked (this node
-         certified writes meanwhile), the reply may be stale relative to
-         what we now know and must not be retained in the cache. *)
-      let vt_at_request = Node.vt node in
-      let reply =
-        rendezvous h ~dst ~op:`Read ~loc ~kind:"READ"
-          ~size:t.config.Config.read_request_size (fun req -> Message.Read_req { req; loc })
+      let fetch_from_owner () =
+        (* Snapshot the clock: if it grows while we are blocked (this node
+           certified writes meanwhile), the reply may be stale relative to
+           what we now know and must not be retained in the cache. *)
+        let vt_at_request = Node.vt node in
+        let reply =
+          rendezvous h ~op:`Read ~loc ~kind:"READ" ~size:t.config.Config.read_request_size
+            ~route:(fun () -> Node.owner_of node loc)
+            (fun ~req ~epoch -> Message.Read_req { req; loc; epoch })
+        in
+        match reply with
+        | Message.Read_reply { entry; page; digest; _ } ->
+            Node.digest_merge node digest;
+            if Vclock.equal vt_at_request (Node.vt node) then
+              Node.install_batch node ((loc, entry) :: page)
+            else Node.install_transient node ((loc, entry) :: page);
+            Node.enforce_capacity node;
+            record_read entry
+        | _ -> assert false
       in
-      match reply with
-      | Message.Read_reply { entry; page; digest; _ } ->
-          Node.digest_merge node digest;
-          if Vclock.equal vt_at_request (Node.vt node) then
-            Node.install_batch node ((loc, entry) :: page)
-          else Node.install_transient node ((loc, entry) :: page);
-          Node.enforce_capacity node;
-          let op =
-            History.Recorder.record_read t.recorder ~pid:(Node.id node) ~loc
-              ~value:entry.Stamped.value ~from:entry.Stamped.wid
-          in
-          log_timed t op start_time;
-          entry
-      | Message.Read_req _ | Message.Write_req _ | Message.Write_reply _ ->
-          assert false)
+      if failover_on t && dst <> me && suspected t ~me ~peer:dst then begin
+        (* Degraded read during failover: the owner is suspected, so serve
+           the backup's shadow copy — the last acknowledged write, a live
+           value under Definition 2 — instead of blocking on a dead node.
+           The entry is installed transiently: knowledge (clock, digest,
+           invalidation) is kept, the value itself is not cached. *)
+        let base = Node.base_owner_of node loc in
+        match backup_of t ~serving:dst with
+        | Some b when b = me ->
+            (* This node is the backup: its own shadow is the freshest
+               acknowledged copy available anywhere. *)
+            let entry =
+              match Node.shadow_lookup node ~base loc with
+              | Some e -> e
+              | None -> Stamped.initial ~processes:(processes t) (t.config.Config.init loc)
+            in
+            t.shadow_reads <- t.shadow_reads + 1;
+            Node.install_transient node [ (loc, entry) ];
+            record_read entry
+        | Some b -> (
+            let reply =
+              rendezvous h ~op:`Read ~loc ~kind:"SH_READ"
+                ~size:t.config.Config.read_request_size
+                ~route:(fun () -> b)
+                (fun ~req ~epoch:_ -> Message.Shadow_read_req { req; loc })
+            in
+            match reply with
+            | Message.Shadow_read_reply { entry; _ } ->
+                t.shadow_reads <- t.shadow_reads + 1;
+                Node.install_transient node [ (loc, entry) ];
+                record_read entry
+            | _ -> assert false)
+        | None -> fetch_from_owner ()
+      end
+      else fetch_from_owner ())
 
 let read h loc = (read_stamped h loc).Stamped.value
 
@@ -347,6 +769,23 @@ let write_resolved h loc value =
   let start_time = sim_now t in
   if Node.owns node loc then begin
     let entry = Node.local_write node loc value in
+    let me = Node.id node in
+    wal_append t me (Wal.Write { loc; entry });
+    (* Local writes replicate synchronously too: block until the designated
+       backup has the entry (or the grace timer degrades), so a takeover
+       preserves read-your-writes for the owner's own operations. *)
+    if failover_on t then begin
+      match backup_of t ~serving:me with
+      | Some backup when not (suspected t ~me ~peer:backup) ->
+          let seq = next_shadow_seq t in
+          let ivar = Proc.ivar t.sched in
+          Hashtbl.replace t.shadow_pending.(me) seq (Shadow_wake ivar);
+          send_shadow t ~me ~backup ~base:(Node.base_owner_of node loc) ~seq [ (loc, entry) ];
+          arm_shadow_grace t ~me ~seq;
+          Proc.await ivar
+      | Some _ -> t.shadow_degraded <- t.shadow_degraded + 1
+      | None -> ()
+    end;
     let op =
       History.Recorder.record_write t.recorder ~pid:(Node.id node) ~loc ~value
         ~wid:entry.Stamped.wid
@@ -362,9 +801,10 @@ let write_resolved h loc value =
     let entry = Stamped.make ~value ~stamp:(Node.vt node) ~wid in
     let digest = Node.digest_export node in
     let reply =
-      rendezvous h ~dst:(Node.owner_of node loc) ~op:`Write ~loc ~kind:"WRITE"
+      rendezvous h ~op:`Write ~loc ~kind:"WRITE"
         ~size:(entry_wire_size t 1 + digest_wire_size t digest)
-        (fun req -> Message.Write_req { req; loc; entry; digest })
+        ~route:(fun () -> Node.owner_of node loc)
+        (fun ~req ~epoch -> Message.Write_req { req; loc; entry; digest; epoch })
     in
     match reply with
     | Message.Write_reply { accepted; entry = stored; digest; _ } ->
@@ -381,7 +821,7 @@ let write_resolved h loc value =
           stats.Node_stats.writes_rejected <- stats.Node_stats.writes_rejected + 1;
           `Rejected
         end
-    | Message.Read_req _ | Message.Write_req _ | Message.Read_reply _ -> assert false
+    | _ -> assert false
   end
 
 let write h loc value = ignore (write_resolved h loc value)

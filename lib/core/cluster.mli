@@ -24,10 +24,23 @@
     abandoned tags are discarded and counted in {!stale_replies}.
 
     {b Crash-stop failures.}  {!crash} silences a node (deliveries are
-    dropped while it is down); {!restart} revives it with empty volatile
-    state — cache discarded, clock zeroed — which is safe for non-owner
-    nodes because every post-restart value is re-fetched from its owner
-    (see docs/PROTOCOL.md, "Reliability layer"). *)
+    dropped while it is down); {!restart} revives it by resetting volatile
+    state and replaying the node's write-ahead log, so owner nodes recover
+    their certified writes, view changes and shadow copies to the exact
+    pre-crash durable frontier.  Cache-only nodes have empty logs and
+    degenerate to cache-discard recovery.
+
+    {b Owner failover.}  Passing [?detector] enables the failure-detection
+    and handoff machinery: nodes exchange seeded heartbeats, a timeout
+    detector suspects silent peers, and when a serving owner is suspected
+    its designated backup (ring successor) — which shadows every
+    acknowledged write synchronously — promotes itself under the next epoch
+    and broadcasts a takeover.  Requests carry the client's epoch; a node
+    that is not the current server (or sees a newer epoch) answers with a
+    fencing reply that re-routes the client.  Reads addressed to a
+    suspected owner degrade to the backup's shadow copy — the most recent
+    acknowledged value, live under Definition 2 (see docs/PROTOCOL.md,
+    "Owner failover"). *)
 
 type t
 
@@ -59,9 +72,21 @@ val create :
   ?fault:Dsm_net.Network.fault ->
   ?reliability:Dsm_net.Reliable.config ->
   ?rpc:rpc ->
+  ?detector:Detector.config ->
+  ?disk:Wal.Disk.t ->
+  ?checkpoint_every:float ->
   ?seed:int64 ->
   unit ->
   t
+(** [?detector] enables heartbeats, failure detection and ownership handoff
+    (ignored on a single-node cluster — there is nobody to fail over to).
+    [?disk] supplies the stable storage backing every node's write-ahead
+    log; by default each cluster gets a private in-memory disk.  Passing it
+    explicitly lets tests inject sync faults ({!Wal.Disk.fail_next_syncs})
+    or inspect logs after the cluster is gone.  [?checkpoint_every] starts a
+    per-node periodic snapshot checkpoint that truncates the log (must be
+    positive); without it logs grow without bound and {!checkpoint_now} is
+    the only truncation. *)
 
 val handle : t -> int -> handle
 (** The memory handle of process [pid]. *)
@@ -118,17 +143,65 @@ val crash : t -> int -> unit
     Raises [Invalid_argument] if already crashed. *)
 
 val restart : t -> int -> unit
-(** Bring a crashed node back with empty volatile state: the cache is
-    discarded, the vector clock zeroed (rebuilt from the first owner
-    reply), and — under the reliable transport — its links reset.  Raises
-    [Invalid_argument] if the node is not crashed, or (via
-    {!Node.reset_volatile}) if it owns locations, since an owner's
-    certified writes are not recoverable by discard. *)
+(** Bring a crashed node back: volatile state is reset (cache discarded,
+    clock zeroed, view forgotten), the reliable transport's links are
+    reset, and the node's write-ahead log is replayed, restoring certified
+    writes, adopted view changes and shadow copies to the durable frontier.
+    Raises [Invalid_argument] if the node is not crashed. *)
 
 val is_crashed : t -> int -> bool
 
 val dropped_at_crashed : t -> int
 (** Deliveries dropped because the destination was crashed. *)
+
+(** {1 Durability and failover observability} *)
+
+val disk : t -> Wal.Disk.t
+(** The stable storage backing all nodes' write-ahead logs. *)
+
+val wal : t -> int -> Wal.t
+(** Node [pid]'s write-ahead log. *)
+
+val checkpoint_now : t -> int -> unit
+(** Snapshot node [pid]'s durable state and truncate its log to the
+    snapshot (a failed sync is counted, not raised). *)
+
+val takeovers : t -> int
+(** Ownership promotions performed by backups. *)
+
+val shadow_degraded : t -> int
+(** Certified writes acknowledged without backup replication (no live
+    backup, or the shadow ack missed the grace window). *)
+
+val shadow_reads : t -> int
+(** Reads served from a shadow copy while the owner was suspected. *)
+
+val redirects : t -> int
+(** Requests re-routed after an epoch-fencing [Stale_epoch] reply. *)
+
+val wal_sync_failures : t -> int
+(** Log appends/checkpoints whose injected sync fault fired; the entry
+    stayed volatile until the next successful checkpoint. *)
+
+val suspect_events : t -> int
+(** Suspicion transitions across all detectors ([0] without [?detector]). *)
+
+val unsuspect_events : t -> int
+(** Recoveries from suspicion across all detectors. *)
+
+val suspected_by : t -> int -> int list
+(** Peers node [pid] currently suspects, ascending. *)
+
+val view : t -> (int * int * int) list
+(** The cluster-wide ownership view: for each base owner with a takeover,
+    [(base, epoch, serving)] under the highest epoch any node has adopted;
+    bases still under their static owner (epoch 0) are omitted. *)
+
+val epoch_of : t -> base:int -> int
+(** The highest adopted epoch for [base] ([0] = static assignment). *)
+
+val serving_of : t -> base:int -> int
+(** The node serving [base]'s locations under {!epoch_of}. *)
 
 val node : t -> int -> Node.t
 (** Direct access to protocol state, for tests and ablations. *)

@@ -1,15 +1,27 @@
-(** Wire messages of the owner protocol (Figure 4).
+(** Wire messages of the owner protocol (Figure 4) plus the failover
+    extensions.
 
     [req] tags match a reply to the blocked operation that issued the
     request; the paper's processes block on at most one operation, but the
-    tag keeps the protocol robust to any request interleaving. *)
+    tag keeps the protocol robust to any request interleaving.
+
+    Requests additionally carry the sender's ownership [epoch] for the
+    target location's base owner: a server whose view is newer rejects the
+    request with [Stale_epoch] (fencing), and one whose view is older still
+    serves it (the request proves the client observed a takeover the server
+    has not heard of yet; the reply is from the server's own serialisation
+    either way). *)
 
 type digest = (Dsm_memory.Loc.t * Write_digest.entry) list
 (** Piggybacked newest-known-write table; non-empty only under
     [Config.Precise] invalidation. *)
 
+type view = (int * int * int) list
+(** Ownership-view gossip: [(base, epoch, serving)] triples for every base
+    owner whose serving node has changed at least once (epoch > 0). *)
+
 type t =
-  | Read_req of { req : int; loc : Dsm_memory.Loc.t }  (** [READ, x] *)
+  | Read_req of { req : int; loc : Dsm_memory.Loc.t; epoch : int }  (** [READ, x] *)
   | Read_reply of {
       req : int;
       loc : Dsm_memory.Loc.t;
@@ -19,7 +31,13 @@ type t =
     }
       (** [R_REPLY, x, v', VT']; [page] carries co-paged entries under page
           granularity (empty under word granularity) *)
-  | Write_req of { req : int; loc : Dsm_memory.Loc.t; entry : Stamped.t; digest : digest }
+  | Write_req of {
+      req : int;
+      loc : Dsm_memory.Loc.t;
+      entry : Stamped.t;
+      digest : digest;
+      epoch : int;
+    }
       (** [WRITE, x, v, VT] — [entry.stamp] is the writer's incremented clock *)
   | Write_reply of {
       req : int;
@@ -30,21 +48,57 @@ type t =
               surviving current value when the policy rejected the write *)
       digest : digest;
     }  (** [W_REPLY, x, v, VT'] *)
+  | Stale_epoch of { req : int; base : int; epoch : int; serving : int }
+      (** fencing reply: the request's epoch for [base] was behind the
+          server's [(epoch, serving)]; the client adopts the newer view and
+          re-routes *)
+  | Heartbeat of { view : view }
+      (** liveness beacon, carrying the sender's non-default view entries so
+          takeovers gossip to nodes that missed the broadcast *)
+  | Shadow of { seq : int; base : int; entries : (Dsm_memory.Loc.t * Stamped.t) list }
+      (** backup replication: entries just certified (or a whole inherited
+          snapshot) for locations based at [base] *)
+  | Shadow_ack of { seq : int }
+  | Shadow_read_req of { req : int; loc : Dsm_memory.Loc.t }
+      (** degraded read during failover: serve the backup's shadow copy *)
+  | Shadow_read_reply of { req : int; loc : Dsm_memory.Loc.t; entry : Stamped.t }
+  | Takeover of { base : int; epoch : int; serving : int }
+      (** broadcast by a backup promoting itself over [base]'s locations *)
 
 let kind = function
   | Read_req _ -> "READ"
   | Read_reply _ -> "R_REPLY"
   | Write_req _ -> "WRITE"
   | Write_reply _ -> "W_REPLY"
+  | Stale_epoch _ -> "STALE"
+  | Heartbeat _ -> "HB"
+  | Shadow _ -> "SHADOW"
+  | Shadow_ack _ -> "SH_ACK"
+  | Shadow_read_req _ -> "SH_READ"
+  | Shadow_read_reply _ -> "SH_REPLY"
+  | Takeover _ -> "TAKEOVER"
 
 let pp ppf t =
   match t with
-  | Read_req { req; loc } -> Format.fprintf ppf "READ#%d(%a)" req Dsm_memory.Loc.pp loc
+  | Read_req { req; loc; epoch } ->
+      Format.fprintf ppf "READ#%d(%a,e%d)" req Dsm_memory.Loc.pp loc epoch
   | Read_reply { req; loc; entry; page; _ } ->
       Format.fprintf ppf "R_REPLY#%d(%a=%a,+%d)" req Dsm_memory.Loc.pp loc Stamped.pp entry
         (List.length page)
-  | Write_req { req; loc; entry; _ } ->
-      Format.fprintf ppf "WRITE#%d(%a=%a)" req Dsm_memory.Loc.pp loc Stamped.pp entry
+  | Write_req { req; loc; entry; epoch; _ } ->
+      Format.fprintf ppf "WRITE#%d(%a=%a,e%d)" req Dsm_memory.Loc.pp loc Stamped.pp entry epoch
   | Write_reply { req; loc; accepted; entry; _ } ->
       Format.fprintf ppf "W_REPLY#%d(%a=%a,%s)" req Dsm_memory.Loc.pp loc Stamped.pp entry
         (if accepted then "accepted" else "rejected")
+  | Stale_epoch { req; base; epoch; serving } ->
+      Format.fprintf ppf "STALE#%d(base %d -> e%d@%d)" req base epoch serving
+  | Heartbeat { view } -> Format.fprintf ppf "HB(+%d)" (List.length view)
+  | Shadow { seq; base; entries } ->
+      Format.fprintf ppf "SHADOW#%d(base %d,+%d)" seq base (List.length entries)
+  | Shadow_ack { seq } -> Format.fprintf ppf "SH_ACK#%d" seq
+  | Shadow_read_req { req; loc } ->
+      Format.fprintf ppf "SH_READ#%d(%a)" req Dsm_memory.Loc.pp loc
+  | Shadow_read_reply { req; loc; entry } ->
+      Format.fprintf ppf "SH_REPLY#%d(%a=%a)" req Dsm_memory.Loc.pp loc Stamped.pp entry
+  | Takeover { base; epoch; serving } ->
+      Format.fprintf ppf "TAKEOVER(base %d -> e%d@%d)" base epoch serving

@@ -1,19 +1,32 @@
-(** Wire messages of the owner protocol (Figure 4).
+(** Wire messages of the owner protocol (Figure 4) plus the failover
+    extensions.
 
-    Four message kinds, exactly the paper's: [READ, x] requesting a current
-    copy, [R_REPLY, x, v', VT'] carrying it, [WRITE, x, v, VT] shipping a
-    write for certification, and [W_REPLY, x, v, VT'] completing it.  The
-    [req] tags match replies to the blocked operation that issued the
-    request; [page] and [digest] carry the §3.2 enhancements (page-granular
-    transfer and precise-invalidation bookkeeping) and are empty under the
-    basic configuration. *)
+    Four message kinds are exactly the paper's: [READ, x] requesting a
+    current copy, [R_REPLY, x, v', VT'] carrying it, [WRITE, x, v, VT]
+    shipping a write for certification, and [W_REPLY, x, v, VT'] completing
+    it.  The [req] tags match replies to the blocked operation that issued
+    the request; [page] and [digest] carry the §3.2 enhancements
+    (page-granular transfer and precise-invalidation bookkeeping) and are
+    empty under the basic configuration.
+
+    The remaining kinds implement owner failover (see PROTOCOL.md, "Owner
+    failover"): requests carry an ownership {e epoch} so deposed owners are
+    fenced with [Stale_epoch]; [Heartbeat] drives the failure detector and
+    gossips the ownership view; [Shadow]/[Shadow_ack] replicate certified
+    writes to the designated backup; [Shadow_read_req]/[Shadow_read_reply]
+    serve degraded reads from the backup's shadow copy while an owner is
+    suspected; [Takeover] announces a backup's epoch-numbered promotion. *)
 
 type digest = (Dsm_memory.Loc.t * Write_digest.entry) list
 (** Piggybacked newest-known-write table; non-empty only under
     [Config.Precise] invalidation. *)
 
+type view = (int * int * int) list
+(** Ownership-view gossip: [(base, epoch, serving)] triples for every base
+    owner whose serving node has changed at least once (epoch > 0). *)
+
 type t =
-  | Read_req of { req : int; loc : Dsm_memory.Loc.t }  (** [READ, x] *)
+  | Read_req of { req : int; loc : Dsm_memory.Loc.t; epoch : int }  (** [READ, x] *)
   | Read_reply of {
       req : int;
       loc : Dsm_memory.Loc.t;
@@ -22,7 +35,13 @@ type t =
           (** co-paged entries under page granularity *)
       digest : digest;
     }  (** [R_REPLY, x, v', VT'] *)
-  | Write_req of { req : int; loc : Dsm_memory.Loc.t; entry : Stamped.t; digest : digest }
+  | Write_req of {
+      req : int;
+      loc : Dsm_memory.Loc.t;
+      entry : Stamped.t;
+      digest : digest;
+      epoch : int;
+    }
       (** [WRITE, x, v, VT] — [entry.stamp] is the writer's incremented
           clock *)
   | Write_reply of {
@@ -35,8 +54,20 @@ type t =
               surviving current value on rejection *)
       digest : digest;
     }  (** [W_REPLY, x, v, VT'] *)
+  | Stale_epoch of { req : int; base : int; epoch : int; serving : int }
+      (** fencing reply: the request's epoch for [base] was behind the
+          server's [(epoch, serving)]; the client adopts the newer view and
+          re-routes the retry *)
+  | Heartbeat of { view : view }
+  | Shadow of { seq : int; base : int; entries : (Dsm_memory.Loc.t * Stamped.t) list }
+  | Shadow_ack of { seq : int }
+  | Shadow_read_req of { req : int; loc : Dsm_memory.Loc.t }
+  | Shadow_read_reply of { req : int; loc : Dsm_memory.Loc.t; entry : Stamped.t }
+  | Takeover of { base : int; epoch : int; serving : int }
 
 val kind : t -> string
-(** Counter bucket: ["READ"], ["R_REPLY"], ["WRITE"] or ["W_REPLY"]. *)
+(** Counter bucket: ["READ"], ["R_REPLY"], ["WRITE"], ["W_REPLY"],
+    ["STALE"], ["HB"], ["SHADOW"], ["SH_ACK"], ["SH_READ"], ["SH_REPLY"] or
+    ["TAKEOVER"]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -19,6 +19,14 @@ type t = {
   mutable reqseq : int;
   mutable touch_counter : int;
   stats : Node_stats.t;
+  (* Ownership view, indexed by base owner id: which node currently serves
+     each base owner's locations, and under which takeover epoch.  Epoch 0
+     with serving = base is the paper's static assignment. *)
+  view_epoch : int array;
+  view_serving : int array;
+  (* Backup copies held for other owners' locations, grouped by base owner:
+     the state a promotion installs. *)
+  shadows : (int, Stamped.t Loc.Table.t) Hashtbl.t;
 }
 
 let create ~id ~owner ~config =
@@ -37,6 +45,9 @@ let create ~id ~owner ~config =
     reqseq = 0;
     touch_counter = 0;
     stats = Node_stats.create ();
+    view_epoch = Array.make processes 0;
+    view_serving = Array.init processes Fun.id;
+    shadows = Hashtbl.create 4;
   }
 
 let id t = t.id
@@ -53,9 +64,25 @@ let stats t = t.stats
 
 let config t = t.config
 
-let owner_of t loc = Dsm_memory.Owner.owner t.owner loc
+(* The paper's static assignment; routing goes through the view so a
+   promoted backup transparently serves a dead owner's locations. *)
+let base_owner_of t loc = Dsm_memory.Owner.owner t.owner loc
+
+let owner_of t loc = t.view_serving.(base_owner_of t loc)
 
 let owns t loc = owner_of t loc = t.id
+
+let epoch_of t ~base = t.view_epoch.(base)
+
+let serving_of t ~base = t.view_serving.(base)
+
+let view t =
+  let acc = ref [] in
+  for base = Array.length t.view_epoch - 1 downto 0 do
+    if t.view_epoch.(base) > 0 then
+      acc := (base, t.view_epoch.(base), t.view_serving.(base)) :: !acc
+  done;
+  !acc
 
 let touch t slot =
   t.touch_counter <- t.touch_counter + 1;
@@ -300,26 +327,171 @@ let discard_one t loc =
       true
   | Some _ | None -> false
 
+(* {1 Ownership view and shadow replication (owner failover)} *)
+
+let shadow_table t base =
+  match Hashtbl.find_opt t.shadows base with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Loc.Table.create 16 in
+      Hashtbl.replace t.shadows base tbl;
+      tbl
+
+let shadow_store t ~base loc (entry : Stamped.t) =
+  let tbl = shadow_table t base in
+  match Loc.Table.find_opt tbl loc with
+  | Some existing when Vclock.lt entry.Stamped.stamp existing.Stamped.stamp ->
+      (* A strictly older copy (a late snapshot racing per-write shadows)
+         never regresses the shadow. *)
+      ()
+  | Some _ | None -> Loc.Table.replace tbl loc entry
+
+let shadow_lookup t ~base loc =
+  match Hashtbl.find_opt t.shadows base with
+  | None -> None
+  | Some tbl -> Loc.Table.find_opt tbl loc
+
+let shadow_entries t ~base =
+  match Hashtbl.find_opt t.shadows base with
+  | None -> []
+  | Some tbl ->
+      Loc.Table.fold (fun loc entry acc -> (loc, entry) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare (Loc.to_string a) (Loc.to_string b))
+
+let shadow_size t ~base =
+  match Hashtbl.find_opt t.shadows base with None -> 0 | Some tbl -> Loc.Table.length tbl
+
+let served_entries t ~base =
+  Loc.Table.fold
+    (fun loc slot acc ->
+      if base_owner_of t loc = base && owns t loc then (loc, slot.entry) :: acc else acc)
+    t.memory []
+  |> List.sort (fun (a, _) (b, _) -> compare (Loc.to_string a) (Loc.to_string b))
+
+(* Demotion: a node that learns (view gossip, takeover broadcast) that it no
+   longer serves [base] drops its copies of those locations — after the
+   handoff they would be an unsupervised fork of the authoritative state. *)
+let drop_served t ~base =
+  let mine =
+    Loc.Table.fold
+      (fun loc _ acc -> if base_owner_of t loc = base then loc :: acc else acc)
+      t.memory []
+  in
+  List.iter
+    (fun loc ->
+      Loc.Table.remove t.memory loc;
+      t.stats.Node_stats.discards <- t.stats.Node_stats.discards + 1)
+    mine;
+  List.length mine
+
+type view_outcome = View_ignored | View_adopted | View_demoted
+
+let adopt_view t ~base ~epoch ~serving =
+  if epoch <= t.view_epoch.(base) then View_ignored
+  else begin
+    let deposed = t.view_serving.(base) = t.id && serving <> t.id in
+    t.view_epoch.(base) <- epoch;
+    t.view_serving.(base) <- serving;
+    if deposed then begin
+      ignore (drop_served t ~base);
+      View_demoted
+    end
+    else View_adopted
+  end
+
+let promote t ~base ~epoch =
+  if epoch <= t.view_epoch.(base) then invalid_arg "Node.promote: epoch must grow";
+  t.view_epoch.(base) <- epoch;
+  t.view_serving.(base) <- t.id;
+  let inherited = shadow_entries t ~base in
+  List.iter
+    (fun (loc, (entry : Stamped.t)) ->
+      (* Keep whichever copy is newest: the shadow holds every acknowledged
+         write, but this node may also have cached the same value. *)
+      (match Loc.Table.find_opt t.memory loc with
+      | Some slot when not (Vclock.lt slot.entry.Stamped.stamp entry.Stamped.stamp) -> ()
+      | Some _ | None -> store t loc entry);
+      t.clock <- Vclock.update t.clock entry.Stamped.stamp;
+      digest_observe t loc entry)
+    inherited;
+  Hashtbl.remove t.shadows base;
+  (* Same conservative rule as write certification: anything cached that is
+     older than the merged clock may have been overwritten. *)
+  invalidate_older t t.clock;
+  served_entries t ~base
+
+(* {1 Durable-log integration} *)
+
+let snapshot t =
+  {
+    Wal.snap_clock = t.clock;
+    snap_view = view t;
+    snap_served =
+      Loc.Table.fold
+        (fun loc slot acc -> if owns t loc then (loc, slot.entry) :: acc else acc)
+        t.memory []
+      |> List.sort (fun (a, _) (b, _) -> compare (Loc.to_string a) (Loc.to_string b));
+    snap_shadows =
+      Hashtbl.fold (fun base _ acc -> base :: acc) t.shadows []
+      |> List.sort compare
+      |> List.map (fun base -> (base, shadow_entries t ~base));
+  }
+
+(* Replay helper: reinstate a serving-side entry without the [owns] guards
+   of the client-side install paths (the log is the authority here). *)
+let restore_entry t loc (entry : Stamped.t) =
+  store t loc entry;
+  t.clock <- Vclock.update t.clock entry.Stamped.stamp;
+  digest_observe t loc entry
+
+let apply_record t (record : Wal.record) =
+  match record with
+  | Wal.Write { loc; entry } -> restore_entry t loc entry
+  | Wal.Clock clock -> t.clock <- Vclock.update t.clock clock
+  | Wal.View_change { base; epoch; serving } ->
+      (* Replay applies view changes verbatim, in log order: a record that
+         deposed this node precedes any write it logged afterwards. *)
+      t.view_epoch.(base) <- epoch;
+      t.view_serving.(base) <- serving;
+      if serving = t.id && base <> t.id then begin
+        (* This view change was our own promotion: re-install the shadow
+           copies it inherited into served memory (the [Shadow_entry]
+           records that fed them precede this record in log order), exactly
+           as {!promote} did before the crash. *)
+        List.iter (fun (loc, entry) -> restore_entry t loc entry) (shadow_entries t ~base);
+        Hashtbl.remove t.shadows base
+      end
+  | Wal.Shadow_entry { base; loc; entry } -> shadow_store t ~base loc entry
+  | Wal.Checkpoint snap ->
+      t.clock <- Vclock.update t.clock snap.Wal.snap_clock;
+      List.iter
+        (fun (base, epoch, serving) ->
+          t.view_epoch.(base) <- epoch;
+          t.view_serving.(base) <- serving)
+        snap.Wal.snap_view;
+      List.iter (fun (loc, entry) -> restore_entry t loc entry) snap.Wal.snap_served;
+      List.iter
+        (fun (base, entries) ->
+          List.iter (fun (loc, entry) -> shadow_store t ~base loc entry) entries)
+        snap.Wal.snap_shadows
+
 let reset_volatile t =
   (* Crash-stop restart.  Everything a restarted node held in memory is
-     lost: the cache, the invalidation bookkeeping, the digest, and the
-     vector clock (rebuilt from the first owner reply, whose stamp merges
-     into the zero clock).  The write and request counters deliberately
-     survive so recycled writestamps or request tags can never collide with
-     pre-crash traffic still in flight. *)
-  let owned =
-    Loc.Table.fold (fun loc _ acc -> acc || owns t loc) t.memory false
-  in
-  if owned then
-    invalid_arg
-      (Printf.sprintf
-         "Node.reset_volatile: node %d stores locations it owns; crash recovery would lose \
-          certified writes (only non-owner nodes may restart)"
-         t.id);
+     lost: the cache, the invalidation bookkeeping, the digest, the vector
+     clock, the ownership view and the shadow copies.  Owner state is no
+     longer a reason to refuse: the cluster layer replays the node's
+     write-ahead log (see {!apply_record}) immediately after this reset, so
+     certified writes, view changes and shadows all come back from stable
+     storage.  The write and request counters deliberately survive so
+     recycled writestamps or request tags can never collide with pre-crash
+     traffic still in flight. *)
   Loc.Table.reset t.memory;
   Loc.Table.reset t.last_invalidated;
   Write_digest.reset t.digest;
-  t.clock <- Vclock.zero (processes t)
+  t.clock <- Vclock.zero (processes t);
+  Array.fill t.view_epoch 0 (Array.length t.view_epoch) 0;
+  Array.iteri (fun i _ -> t.view_serving.(i) <- i) t.view_serving;
+  Hashtbl.reset t.shadows
 
 let enforce_capacity t =
   match t.config.Config.discard with

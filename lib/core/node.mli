@@ -34,8 +34,15 @@ val stats : t -> Node_stats.t
 val config : t -> Config.t
 
 val owns : t -> Dsm_memory.Loc.t -> bool
+(** Whether this node currently {e serves} [loc] — its base owner per the
+    static assignment, or a backup that promoted itself over that base
+    (see the failover section below). *)
 
 val owner_of : t -> Dsm_memory.Loc.t -> int
+(** The node currently serving [loc] per this node's ownership view. *)
+
+val base_owner_of : t -> Dsm_memory.Loc.t -> int
+(** The paper's static assignment, independent of any takeover. *)
 
 val lookup : t -> Dsm_memory.Loc.t -> Stamped.t option
 (** Current entry: owned locations always yield [Some] (lazily initialised);
@@ -111,12 +118,14 @@ val cached_locs : t -> Dsm_memory.Loc.t list
 (** The set [C_i], in unspecified order. *)
 
 val reset_volatile : t -> unit
-(** Crash-stop restart: drop the whole cache, the invalidation bookkeeping
-    and the digest, and zero the vector clock (it is rebuilt from the first
-    owner reply).  The write and request counters keep growing so recycled
-    writestamps or request tags never collide with pre-crash traffic.
-    Raises [Invalid_argument] if the node currently stores locations it
-    owns — an owner's certified writes are not recoverable by discard. *)
+(** Crash-stop restart: drop everything volatile — the cache, the
+    invalidation bookkeeping, the digest, the vector clock, the ownership
+    view and the shadow copies.  Owner nodes are accepted: the cluster
+    layer replays the node's write-ahead log via {!apply_record} right
+    after the reset, restoring certified writes, view changes and shadows
+    from stable storage.  The write and request counters keep growing so
+    recycled writestamps or request tags never collide with pre-crash
+    traffic. *)
 
 val enforce_capacity : t -> unit
 (** Evict least-recently-used cached entries until within the configured
@@ -130,3 +139,59 @@ val digest_export : t -> (Dsm_memory.Loc.t * Write_digest.entry) list
 
 val digest_merge : t -> (Dsm_memory.Loc.t * Write_digest.entry) list -> unit
 (** Fold a peer's digest in; no-op under coarse invalidation. *)
+
+(** {1 Owner failover: ownership view, shadow replication, durable log}
+
+    Each node holds a {e view} mapping every base owner to the node
+    currently serving its locations, with an epoch number that grows on
+    each takeover (epoch 0 = the static assignment).  Backups additionally
+    hold {e shadow} copies of an owner's certified writes, keyed by base
+    owner, which a promotion installs as served state. *)
+
+val epoch_of : t -> base:int -> int
+
+val serving_of : t -> base:int -> int
+
+val view : t -> (int * int * int) list
+(** Non-default view entries [(base, epoch, serving)], ascending by base —
+    the payload heartbeats gossip. *)
+
+type view_outcome = View_ignored | View_adopted | View_demoted
+
+val adopt_view : t -> base:int -> epoch:int -> serving:int -> view_outcome
+(** Fold in a view entry learned from a takeover broadcast, gossip or a
+    [Stale_epoch] fencing reply.  Entries at or below the known epoch are
+    ignored.  A node that learns it was deposed drops its copies of the
+    base's locations ([View_demoted]) — they are no longer authoritative. *)
+
+val promote : t -> base:int -> epoch:int -> (Dsm_memory.Loc.t * Stamped.t) list
+(** Take over [base]'s locations at [epoch]: install this node's shadow
+    copies as served state (keeping any newer local copy), merge their
+    stamps into the clock, run the conservative invalidation pass, and
+    return the full served state for [base] (for re-shadowing to the next
+    backup).  Raises [Invalid_argument] unless [epoch] exceeds the view's
+    current epoch for [base]. *)
+
+val shadow_store : t -> base:int -> Dsm_memory.Loc.t -> Stamped.t -> unit
+(** Accept a shadow copy from [base]'s owner; an incoming entry strictly
+    older than the held one is ignored (snapshots racing per-write
+    shadows must not regress the backup). *)
+
+val shadow_lookup : t -> base:int -> Dsm_memory.Loc.t -> Stamped.t option
+
+val shadow_entries : t -> base:int -> (Dsm_memory.Loc.t * Stamped.t) list
+(** Held shadow copies for [base], ascending by location name. *)
+
+val shadow_size : t -> base:int -> int
+
+val served_entries : t -> base:int -> (Dsm_memory.Loc.t * Stamped.t) list
+(** The entries this node currently serves whose base owner is [base]. *)
+
+val snapshot : t -> Wal.snapshot
+(** Full durable state for a checkpoint: clock, view, every served entry,
+    every shadow. *)
+
+val apply_record : t -> Wal.record -> unit
+(** Replay one log record after {!reset_volatile}, in log order: restore a
+    served entry, merge a logged clock, reinstate a view change or shadow,
+    or load a whole checkpoint snapshot. *)

@@ -1,0 +1,89 @@
+type snapshot = {
+  snap_clock : Vclock.t;
+  snap_view : (int * int * int) list;
+  snap_served : (Dsm_memory.Loc.t * Stamped.t) list;
+  snap_shadows : (int * (Dsm_memory.Loc.t * Stamped.t) list) list;
+}
+
+type record =
+  | Write of { loc : Dsm_memory.Loc.t; entry : Stamped.t }
+  | Clock of Vclock.t
+  | View_change of { base : int; epoch : int; serving : int }
+  | Shadow_entry of { base : int; loc : Dsm_memory.Loc.t; entry : Stamped.t }
+  | Checkpoint of snapshot
+
+exception Sync_failed of int
+
+(* One node's log: records newest-first (append is a cons), with lifetime
+   counters that survive checkpoint truncation. *)
+type log = {
+  log_node : int;
+  mutable records : record list; (* newest first *)
+  mutable appends : int;
+  mutable checkpoints : int;
+  mutable truncated : int;
+}
+
+module Disk = struct
+  type t = {
+    logs : (int, log) Hashtbl.t;
+    mutable fail_syncs : int;
+    mutable sync_failures : int;
+  }
+
+  let create () = { logs = Hashtbl.create 8; fail_syncs = 0; sync_failures = 0 }
+
+  let fail_next_syncs t n =
+    if n < 0 then invalid_arg "Wal.Disk.fail_next_syncs: n must be >= 0";
+    t.fail_syncs <- n
+
+  let sync_failures t = t.sync_failures
+end
+
+type t = { disk : Disk.t; log : log }
+
+let attach (disk : Disk.t) ~node =
+  let log =
+    match Hashtbl.find_opt disk.Disk.logs node with
+    | Some l -> l
+    | None ->
+        let l = { log_node = node; records = []; appends = 0; checkpoints = 0; truncated = 0 } in
+        Hashtbl.replace disk.Disk.logs node l;
+        l
+  in
+  { disk; log }
+
+let node t = t.log.log_node
+
+(* The injected fault fires on the sync, i.e. before anything durable
+   happens — a failed append leaves the log exactly as it was. *)
+let sync t =
+  if t.disk.Disk.fail_syncs > 0 then begin
+    t.disk.Disk.fail_syncs <- t.disk.Disk.fail_syncs - 1;
+    t.disk.Disk.sync_failures <- t.disk.Disk.sync_failures + 1;
+    raise (Sync_failed t.log.log_node)
+  end
+
+let append t record =
+  sync t;
+  (match record with
+  | Checkpoint _ -> invalid_arg "Wal.append: use Wal.checkpoint for snapshots"
+  | _ -> ());
+  t.log.records <- record :: t.log.records;
+  t.log.appends <- t.log.appends + 1
+
+let checkpoint t snapshot =
+  sync t;
+  t.log.truncated <- t.log.truncated + List.length t.log.records;
+  t.log.records <- [ Checkpoint snapshot ];
+  t.log.checkpoints <- t.log.checkpoints + 1
+
+let replay t = List.rev t.log.records
+
+let length t = List.length t.log.records
+
+let appends t = t.log.appends
+
+let checkpoints t = t.log.checkpoints
+
+let truncated t = t.log.truncated

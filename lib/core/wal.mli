@@ -1,0 +1,95 @@
+(** Durable owner state: a per-node write-ahead log on a simulated disk.
+
+    The Figure 4 owner protocol keeps each location's authoritative copy in
+    one node's volatile memory, so before this module an owner crash lost
+    certified writes forever ({!Node.reset_volatile} refused owner nodes).
+    The WAL makes owner crashes survivable: every certified write (and every
+    clock merge a rejected certification performed) is appended before the
+    reply leaves the node, so a restart can replay the log and reach the
+    exact pre-crash writestamp frontier.
+
+    The "disk" is an in-memory store shared by all nodes of a cluster that
+    survives {!Node.reset_volatile} — the simulated analogue of stable
+    storage.  Sync faults can be injected ({!Disk.fail_next_syncs}) to
+    exercise the append error path: a failed append raises {!Sync_failed}
+    and logs nothing, modelling a full or failing device.
+
+    Periodic {e checkpoints} bound replay work: {!checkpoint} atomically
+    replaces the whole log with a single snapshot record, so replay cost is
+    [O(snapshot + writes since last checkpoint)] instead of the node's whole
+    history. *)
+
+(** The stable store.  One [Disk.t] backs every node of a cluster; each
+    node's log lives under its node id. *)
+module Disk : sig
+  type t
+
+  val create : unit -> t
+
+  val fail_next_syncs : t -> int -> unit
+  (** Make the next [n] appends/checkpoints (across all nodes on this disk)
+      raise {!Sync_failed} without logging anything. *)
+
+  val sync_failures : t -> int
+  (** Injected sync failures that have fired so far. *)
+end
+
+exception Sync_failed of int
+(** Raised by {!append}/{!checkpoint} under an injected sync fault; the
+    argument is the node id whose write was lost. *)
+
+type snapshot = {
+  snap_clock : Vclock.t;  (** the node's vector clock at checkpoint time *)
+  snap_view : (int * int * int) list;
+      (** non-default ownership view entries: [(base, epoch, serving)] *)
+  snap_served : (Dsm_memory.Loc.t * Stamped.t) list;
+      (** every location the node currently serves (base-owned or inherited
+          via takeover) *)
+  snap_shadows : (int * (Dsm_memory.Loc.t * Stamped.t) list) list;
+      (** shadow copies held as backup, grouped by base owner *)
+}
+
+type record =
+  | Write of { loc : Dsm_memory.Loc.t; entry : Stamped.t }
+      (** a write this node certified (or performed locally) as owner *)
+  | Clock of Vclock.t
+      (** a clock merge with no stored entry (rejected certification) — kept
+          so replay reaches the exact pre-crash clock frontier *)
+  | View_change of { base : int; epoch : int; serving : int }
+      (** an adopted or self-originated ownership epoch change *)
+  | Shadow_entry of { base : int; loc : Dsm_memory.Loc.t; entry : Stamped.t }
+      (** a backup copy accepted from the owner of [base] *)
+  | Checkpoint of snapshot  (** full-state snapshot; always the log's head *)
+
+type t
+(** One node's log handle. *)
+
+val attach : Disk.t -> node:int -> t
+(** The node's log on [disk], created empty on first attach.  Attaching
+    again (after a simulated restart) returns the same log contents. *)
+
+val node : t -> int
+
+val append : t -> record -> unit
+(** Append and sync one record.  Raises {!Sync_failed} (logging nothing)
+    when a sync fault is injected. *)
+
+val checkpoint : t -> snapshot -> unit
+(** Atomically replace the log with [Checkpoint snapshot].  Raises
+    {!Sync_failed} (leaving the previous log intact) under a sync fault. *)
+
+val replay : t -> record list
+(** The log oldest-first: at most one leading [Checkpoint] followed by the
+    records appended since. *)
+
+val length : t -> int
+
+(** {1 Accounting} *)
+
+val appends : t -> int
+(** Successful appends over the log's lifetime (checkpoints excluded). *)
+
+val checkpoints : t -> int
+
+val truncated : t -> int
+(** Records dropped by checkpoint truncation over the log's lifetime. *)

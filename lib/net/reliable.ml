@@ -312,3 +312,13 @@ let counters t =
 let retransmissions t = t.retransmissions
 
 let gave_up t = t.gave_up
+
+let dead_links t =
+  let n = nodes t in
+  let acc = ref [] in
+  for i = Array.length t.out - 1 downto 0 do
+    match t.out.(i) with
+    | Some l when l.dead -> acc := (i / n, i mod n) :: !acc
+    | Some _ | None -> ()
+  done;
+  !acc

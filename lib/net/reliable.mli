@@ -101,3 +101,8 @@ val counters : 'msg t -> counters
 val retransmissions : 'msg t -> int
 
 val gave_up : 'msg t -> int
+
+val dead_links : 'msg t -> (int * int) list
+(** Directed links currently given up ([(src, dst)], ascending) — dead
+    until the next send on them or a {!reset_link}.  Diagnostic mirror of
+    the state the give-up/heal tests and the chaos health summary report. *)

@@ -76,6 +76,8 @@ let unfinished sched =
   List.rev sched.spawned
   |> List.filter_map (fun s -> if s.finished_check () then None else Some s.spawned_name)
 
+let active sched = List.exists (fun s -> not (s.finished_check ())) sched.spawned
+
 let unfinished_since sched =
   List.rev sched.spawned
   |> List.filter_map (fun s ->

@@ -50,6 +50,12 @@ val unfinished : sched -> string list
     forever (e.g. blocked on a reply that a failed link dropped) — the
     deadlock-detection hook for failure-injection tests. *)
 
+val active : sched -> bool
+(** Whether any spawned process has not yet finished.  Periodic cluster
+    timers (heartbeats, checkpoints) use this as their stop rule: they
+    re-arm only while application processes are still running, so the
+    engine can quiesce once the workload is done. *)
+
 val unfinished_since : sched -> (string * float) list
 (** Like {!unfinished} but each name carries the simulated time at which the
     process last suspended (its start time if it never ran).  After

@@ -30,6 +30,9 @@ let () =
       ("dictionary", Test_dictionary.suite);
       ("workload", Test_workload.suite);
       ("failures", Test_failures.suite);
+      ("wal", Test_wal.suite);
+      ("detector", Test_detector.suite);
+      ("failover", Test_failover.suite);
       ("chaos", Test_chaos.suite);
       ("config-matrix", Test_config_matrix.suite);
       ("model", Test_model.suite);

@@ -1,0 +1,71 @@
+(* Tests for Dsm_causal.Detector: timeout failure detection over heartbeat
+   contact times — suspicion after silence, recovery on contact, reset. *)
+
+module Detector = Dsm_causal.Detector
+
+let cfg = { Detector.period = 10.0; suspect_after = 2 }
+
+(* Silence limit = suspect_after * period = 20.0. *)
+
+let test_validation () =
+  Alcotest.check_raises "zero period" (Invalid_argument "Detector: period must be positive")
+    (fun () -> Detector.validate { Detector.period = 0.0; suspect_after = 2 });
+  Alcotest.check_raises "zero suspect_after"
+    (Invalid_argument "Detector: suspect_after must be >= 1") (fun () ->
+      Detector.validate { Detector.period = 1.0; suspect_after = 0 })
+
+let test_no_suspicion_before_limit () =
+  let d = Detector.create cfg ~nodes:3 ~me:0 ~now:0.0 in
+  Alcotest.(check (list int)) "quiet at the limit" [] (Detector.tick d ~now:20.0);
+  Alcotest.(check (list int)) "nothing suspected" [] (Detector.suspected_now d)
+
+let test_suspects_after_silence () =
+  let d = Detector.create cfg ~nodes:3 ~me:0 ~now:0.0 in
+  Detector.heard d ~peer:1 ~now:15.0 |> ignore;
+  Alcotest.(check (list int)) "peer 2 silent too long" [ 2 ] (Detector.tick d ~now:25.0);
+  Alcotest.(check bool) "suspected" true (Detector.suspected d 2);
+  Alcotest.(check bool) "peer 1 fresh" false (Detector.suspected d 1);
+  (* Suspicion is edge-triggered: the next tick reports nothing new. *)
+  Alcotest.(check (list int)) "no re-report" [] (Detector.tick d ~now:26.0);
+  Alcotest.(check (list int)) "both eventually" [ 1 ] (Detector.tick d ~now:40.0);
+  Alcotest.(check (list int)) "snapshot ascending" [ 1; 2 ] (Detector.suspected_now d);
+  Alcotest.(check int) "events counted" 2 (Detector.suspect_events d)
+
+let test_never_suspects_self () =
+  let d = Detector.create cfg ~nodes:2 ~me:1 ~now:0.0 in
+  Alcotest.(check (list int)) "only the peer" [ 0 ] (Detector.tick d ~now:1000.0);
+  Alcotest.(check bool) "me is trusted" false (Detector.suspected d 1)
+
+let test_contact_unsuspects () =
+  let d = Detector.create cfg ~nodes:2 ~me:0 ~now:0.0 in
+  ignore (Detector.tick d ~now:30.0);
+  Alcotest.(check bool) "suspected first" true (Detector.suspected d 1);
+  Alcotest.(check bool) "heard reports the recovery" true (Detector.heard d ~peer:1 ~now:31.0);
+  Alcotest.(check bool) "unsuspected" false (Detector.suspected d 1);
+  Alcotest.(check int) "recovery counted" 1 (Detector.unsuspect_events d);
+  Alcotest.(check bool) "repeat contact is quiet" false (Detector.heard d ~peer:1 ~now:32.0);
+  (* An out-of-order (older) contact time must not roll last_heard back. *)
+  ignore (Detector.heard d ~peer:1 ~now:5.0);
+  Alcotest.(check (list int)) "still fresh from t=32" [] (Detector.tick d ~now:50.0)
+
+let test_reset_clears_state () =
+  let d = Detector.create cfg ~nodes:3 ~me:0 ~now:0.0 in
+  ignore (Detector.tick d ~now:100.0);
+  Alcotest.(check (list int)) "both suspected" [ 1; 2 ] (Detector.suspected_now d);
+  Detector.reset d ~now:100.0;
+  Alcotest.(check (list int)) "cleared" [] (Detector.suspected_now d);
+  Alcotest.(check int) "reset is not a recovery" 0 (Detector.unsuspect_events d);
+  (* After the reset everything counts as heard at [now]: a full silence
+     window must elapse again. *)
+  Alcotest.(check (list int)) "quiet inside the new window" [] (Detector.tick d ~now:115.0);
+  Alcotest.(check (list int)) "suspects again after it" [ 1; 2 ] (Detector.tick d ~now:121.0)
+
+let suite =
+  [
+    Alcotest.test_case "config validation" `Quick test_validation;
+    Alcotest.test_case "quiet before limit" `Quick test_no_suspicion_before_limit;
+    Alcotest.test_case "suspects after silence" `Quick test_suspects_after_silence;
+    Alcotest.test_case "never suspects self" `Quick test_never_suspects_self;
+    Alcotest.test_case "contact unsuspects" `Quick test_contact_unsuspects;
+    Alcotest.test_case "reset clears state" `Quick test_reset_clears_state;
+  ]

@@ -335,19 +335,28 @@ let test_restart_continues_causally_correct () =
   Alcotest.(check bool) "history causal across the restart" true
     (Dsm_checker.Causal_check.is_correct (Cluster.history c))
 
-let test_owner_cannot_restart () =
+let test_owner_restart_replays_wal () =
+  (* PR 2: owners are no longer refused restart — the write-ahead log
+     replays their certified writes back to the pre-crash frontier. *)
   let e, s, c = setup () in
   ignore
     (Proc.spawn s ~name:"owner-writes" (fun () ->
-         Cluster.write (Cluster.handle c 0) (v 0) (Value.Int 1)));
+         Cluster.write (Cluster.handle c 0) (v 0) (Value.Int 1);
+         Cluster.write (Cluster.handle c 1) (v 0) (Value.Int 2)));
   Engine.run e;
   Proc.check s;
+  let vt_before = Dsm_causal.Node.vt (Cluster.node c 0) in
   Cluster.crash c 0;
-  Alcotest.(check bool) "restart refused for an owner with state" true
-    (try
-       Cluster.restart c 0;
-       false
-     with Invalid_argument _ -> true)
+  Cluster.restart c 0;
+  Alcotest.(check bool) "clock restored from the log" true
+    (Vclock.equal vt_before (Dsm_causal.Node.vt (Cluster.node c 0)));
+  ignore
+    (Proc.spawn s ~name:"reader" (fun () ->
+         let got = Cluster.read (Cluster.handle c 2) (v 0) in
+         Alcotest.(check bool) "certified write survived the crash" true
+           (got = Value.Int 2)));
+  Engine.run e;
+  Proc.check s
 
 let test_crash_validation () =
   let _, _, c = cacheonly_setup () in
@@ -379,6 +388,6 @@ let suite =
     Alcotest.test_case "crashed node unavailable" `Quick
       test_crashed_node_drops_messages_and_ops_fail;
     Alcotest.test_case "causal across restart" `Quick test_restart_continues_causally_correct;
-    Alcotest.test_case "owner cannot restart" `Quick test_owner_cannot_restart;
+    Alcotest.test_case "owner restart replays wal" `Quick test_owner_restart_replays_wal;
     Alcotest.test_case "crash validation" `Quick test_crash_validation;
   ]

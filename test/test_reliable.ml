@@ -111,6 +111,37 @@ let test_healed_link_revives_after_give_up () =
   Engine.run e;
   Alcotest.(check (list (pair int int))) "post-heal payload delivered" [ (0, 2) ] (got ())
 
+let test_partition_outliving_retries_resyncs_via_base () =
+  (* A partition that outlives the retry cap abandons sequence numbers for
+     good.  After the heal, the next send must revive the link and the
+     receiver must fast-forward its expected sequence number past the
+     abandoned gap (carried in the Data [base] field) — otherwise the link
+     would wait forever for packets nobody will ever retransmit. *)
+  let config = { Reliable.default_config with Reliable.max_retries = 2 } in
+  let e, r = setup ~config () in
+  let got = collect r 1 in
+  (* A clean prefix, so the gap sits mid-stream rather than at zero. *)
+  for i = 1 to 3 do
+    Reliable.send r ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  Network.set_link_down (Reliable.net r) ~src:0 ~dst:1 true;
+  Reliable.send r ~src:0 ~dst:1 4;
+  Reliable.send r ~src:0 ~dst:1 5;
+  Engine.run e;
+  Alcotest.(check int) "partition outlived the retries" 2 (Reliable.gave_up r);
+  Alcotest.(check (list (pair int int))) "link reported dead" [ (0, 1) ]
+    (Reliable.dead_links r);
+  Network.set_link_down (Reliable.net r) ~src:0 ~dst:1 false;
+  Reliable.send r ~src:0 ~dst:1 6;
+  Engine.run e;
+  Alcotest.(check (list (pair int int)))
+    "prefix then post-heal payload; the gap is skipped, nothing stalls"
+    [ (0, 1); (0, 2); (0, 3); (0, 6) ]
+    (got ());
+  Alcotest.(check (list (pair int int))) "revived" [] (Reliable.dead_links r);
+  Alcotest.(check int) "queues drained" 0 (Reliable.in_flight r)
+
 let test_ack_loss_causes_dup_suppression () =
   (* Drop everything node 1 sends back: data always arrives, acks never do,
      so the sender retransmits until the retry cap and the receiver must

@@ -1,0 +1,106 @@
+(* Tests for Dsm_causal.Wal: the per-node write-ahead log on a simulated
+   disk — append/replay ordering, checkpoint truncation, sync faults. *)
+
+module Wal = Dsm_causal.Wal
+module Stamped = Dsm_causal.Stamped
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module Wid = Dsm_memory.Wid
+
+let v i = Loc.indexed "v" i
+
+let entry ?(pid = 0) ?(count = 1) value =
+  Stamped.make ~value:(Value.Int value)
+    ~stamp:(Vclock.of_array [| count; 0 |])
+    ~wid:(Wid.make ~node:pid ~seq:count)
+
+let write i value = Wal.Write { loc = v i; entry = entry value }
+
+let test_append_replay_order () =
+  let disk = Wal.Disk.create () in
+  let log = Wal.attach disk ~node:0 in
+  Alcotest.(check int) "empty at creation" 0 (Wal.length log);
+  Wal.append log (write 0 1);
+  Wal.append log (Wal.Clock (Vclock.of_array [| 2; 0 |]));
+  Wal.append log (write 1 2);
+  Alcotest.(check int) "three records" 3 (Wal.length log);
+  Alcotest.(check int) "three appends" 3 (Wal.appends log);
+  match Wal.replay log with
+  | [ Wal.Write { loc = l0; _ }; Wal.Clock _; Wal.Write { loc = l1; _ } ] ->
+      Alcotest.(check string) "oldest first" "v.0" (Loc.to_string l0);
+      Alcotest.(check string) "newest last" "v.1" (Loc.to_string l1)
+  | _ -> Alcotest.fail "replay shape/order wrong"
+
+let test_logs_are_per_node () =
+  let disk = Wal.Disk.create () in
+  let l0 = Wal.attach disk ~node:0 in
+  let l1 = Wal.attach disk ~node:1 in
+  Wal.append l0 (write 0 1);
+  Alcotest.(check int) "node 1 unaffected" 0 (Wal.length l1);
+  (* Re-attach (a restart) finds the same contents. *)
+  let l0' = Wal.attach disk ~node:0 in
+  Alcotest.(check int) "re-attach sees the log" 1 (Wal.length l0');
+  Alcotest.(check int) "node id" 0 (Wal.node l0')
+
+let snap ?(served = []) ?(shadows = []) () =
+  {
+    Wal.snap_clock = Vclock.of_array [| 5; 0 |];
+    snap_view = [ (0, 1, 1) ];
+    snap_served = served;
+    snap_shadows = shadows;
+  }
+
+let test_checkpoint_truncates () =
+  let disk = Wal.Disk.create () in
+  let log = Wal.attach disk ~node:0 in
+  for k = 1 to 4 do
+    Wal.append log (write 0 k)
+  done;
+  Wal.checkpoint log (snap ~served:[ (v 0, entry 4) ] ());
+  Alcotest.(check int) "log is one snapshot" 1 (Wal.length log);
+  Alcotest.(check int) "four truncated" 4 (Wal.truncated log);
+  Alcotest.(check int) "one checkpoint" 1 (Wal.checkpoints log);
+  Wal.append log (write 0 5);
+  (match Wal.replay log with
+  | [ Wal.Checkpoint s; Wal.Write _ ] ->
+      Alcotest.(check int) "snapshot carries served entries" 1 (List.length s.Wal.snap_served)
+  | _ -> Alcotest.fail "expected checkpoint then the fresh write");
+  Alcotest.(check int) "appends exclude checkpoints" 5 (Wal.appends log)
+
+let test_append_rejects_checkpoint_record () =
+  let disk = Wal.Disk.create () in
+  let log = Wal.attach disk ~node:0 in
+  Alcotest.check_raises "checkpoint record via append"
+    (Invalid_argument "Wal.append: use Wal.checkpoint for snapshots") (fun () ->
+      Wal.append log (Wal.Checkpoint (snap ())))
+
+let test_sync_fault_loses_append () =
+  let disk = Wal.Disk.create () in
+  let log = Wal.attach disk ~node:3 in
+  Wal.append log (write 0 1);
+  Wal.Disk.fail_next_syncs disk 2;
+  Alcotest.(check bool) "first faulted append raises" true
+    (try
+       Wal.append log (write 0 2);
+       false
+     with Wal.Sync_failed n -> n = 3);
+  (* A faulted checkpoint leaves the previous log intact. *)
+  Alcotest.(check bool) "faulted checkpoint raises" true
+    (try
+       Wal.checkpoint log (snap ());
+       false
+     with Wal.Sync_failed _ -> true);
+  Alcotest.(check int) "nothing was logged by faulted syncs" 1 (Wal.length log);
+  Alcotest.(check int) "failures counted" 2 (Wal.Disk.sync_failures disk);
+  (* The fault budget is spent: syncs work again. *)
+  Wal.append log (write 0 3);
+  Alcotest.(check int) "append works after the faults" 2 (Wal.length log)
+
+let suite =
+  [
+    Alcotest.test_case "append/replay order" `Quick test_append_replay_order;
+    Alcotest.test_case "logs are per node" `Quick test_logs_are_per_node;
+    Alcotest.test_case "checkpoint truncates" `Quick test_checkpoint_truncates;
+    Alcotest.test_case "append rejects checkpoint" `Quick test_append_rejects_checkpoint_record;
+    Alcotest.test_case "sync fault loses append" `Quick test_sync_fault_loses_append;
+  ]
