@@ -72,6 +72,40 @@ let bench_protocol_roundtrip =
                 ignore (Dsm_causal.Cluster.read h (Dsm_memory.Loc.indexed "v" 1))));
          Dsm_sim.Engine.run engine))
 
+(* The cost of the pure-core refactor's dispatch: one [Protocol.step] on a
+   pre-built state, no shell, no network — an [Owner_write] (the cheapest
+   full service path: certify + clock + action construction) and a no-op
+   heartbeat tick.  Measures the event/action indirection the effect shell
+   pays on every message relative to the old direct calls. *)
+let bench_step_owner_write =
+  let module P = Dsm_protocol.Protocol in
+  let st =
+    P.create
+      ~owner:(Dsm_memory.Owner.by_index ~nodes:2)
+      ~config:Dsm_protocol.Config.default ~now:0.0 ()
+  in
+  let loc = Dsm_memory.Loc.indexed "v" 0 in
+  Test.make ~name:"protocol.step: owner write (pure core)"
+    (Staged.stage (fun () ->
+         ignore
+           (P.step st
+              (P.Owner_write { node = 0; loc; value = Dsm_memory.Value.Int 1; writer = 0 }))))
+
+let bench_step_hb_tick =
+  let module P = Dsm_protocol.Protocol in
+  let st =
+    P.create
+      ~owner:(Dsm_memory.Owner.by_index ~nodes:4)
+      ~config:Dsm_protocol.Config.default
+      ~detector:{ Dsm_protocol.Detector.period = 5.0; suspect_after = 3 }
+      ~now:0.0 ()
+  in
+  let now = ref 0.0 in
+  Test.make ~name:"protocol.step: hb tick (4 nodes)"
+    (Staged.stage (fun () ->
+         now := !now +. 0.001;
+         ignore (P.step st (P.Hb_tick { node = 0; now = !now }))))
+
 let tests =
   [
     bench_vclock_update;
@@ -82,6 +116,8 @@ let tests =
     bench_checker_fig2;
     bench_sc_fig5;
     bench_protocol_roundtrip;
+    bench_step_owner_write;
+    bench_step_hb_tick;
   ]
 
 let run () =

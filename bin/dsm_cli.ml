@@ -280,7 +280,23 @@ let chaos_cmd =
              ~doc:"Silent heartbeat periods tolerated before suspicion (default 3; used \
                    with --hb-period).")
   in
-  let run scenario seed drop duplicate timeout retries hb_period suspect_after =
+  let online_check =
+    Arg.(value & flag
+         & info [ "online-check" ]
+             ~doc:"Run the incremental causal checker against the event bus while the \
+                   scenario executes; the first illegal read fails the run immediately.")
+  in
+  let skip_invalidation =
+    (* Hidden fault injection: proves the online checker catches a real
+       protocol bug, not just synthetic histories.  Kept out of the manual's
+       main flag list on purpose. *)
+    Arg.(value & flag
+         & info [ "unsafe-skip-invalidation" ]
+             ~doc:"TEST ONLY: disable the Figure-4 invalidation rule, deliberately \
+                   breaking causal consistency.")
+  in
+  let run scenario seed drop duplicate timeout retries hb_period suspect_after
+      online_check skip_invalidation =
     let detector =
       Option.map
         (fun period -> { Dsm_causal.Detector.period; suspect_after })
@@ -293,6 +309,8 @@ let chaos_cmd =
         duplicate;
         rpc = Some { Dsm_causal.Cluster.timeout; retries };
         detector;
+        online_check;
+        unsafe_skip_invalidation = skip_invalidation;
       }
     in
     let r = Chaos.run ~knobs ~seed:(Int64.of_int seed) scenario in
@@ -309,7 +327,63 @@ let chaos_cmd =
              heartbeat-driven ownership handoff; exits nonzero if the recorded history \
              is not causally correct or a process is left blocked")
     Term.(const run $ scenario $ seed $ drop $ duplicate $ timeout $ retries $ hb_period
-          $ suspect_after)
+          $ suspect_after $ online_check $ skip_invalidation)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let module Chaos = Dsm_apps.Chaos in
+  let module Trace = Dsm_causal.Trace in
+  let scenario =
+    let all = List.map (fun s -> (s, s)) Chaos.scenarios in
+    Arg.(value & pos 0 (enum all) "owner-crash"
+         & info [] ~docv:"SCENARIO"
+             ~doc:(Printf.sprintf "Scenario to trace: %s." (String.concat ", " Chaos.scenarios)))
+  in
+  let seed = Arg.(value & opt int 5 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let milestones =
+    Arg.(value & flag
+         & info [ "milestones" ]
+             ~doc:"Keep only the scheduling-robust milestone events (crashes, suspicions, \
+                   promotions, application operations, violations) — the subset golden \
+                   traces are diffed on.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the JSONL dump here instead of stdout.")
+  in
+  let online_check =
+    Arg.(value & flag & info [ "online-check" ] ~doc:"Also run the online checker on the bus.")
+  in
+  let run scenario seed milestones out online_check =
+    let bus = Trace.create () in
+    let knobs = { Chaos.default_knobs with Chaos.trace = Some bus; online_check } in
+    let r = Chaos.run ~knobs ~seed:(Int64.of_int seed) scenario in
+    let events =
+      Trace.events bus
+      |> List.filter (fun (ev : Trace.event) ->
+             (not milestones) || Trace.milestone ev.Trace.body)
+    in
+    let dump oc =
+      List.iter (fun ev -> output_string oc (Trace.to_json ev ^ "\n")) events
+    in
+    (match out with
+    | None -> dump stdout
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> dump oc);
+        Printf.eprintf "wrote %d events (%d on the bus) to %s\n" (List.length events)
+          (Trace.count bus) path);
+    if Chaos.healthy r then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a chaos scenario with the structured event bus attached and dump the \
+             stream as JSONL (one event per line): wire sends and drops, protocol \
+             applies and invalidations, failover milestones, application operations")
+    Term.(const run $ scenario $ seed $ milestones $ out $ online_check)
 
 (* ------------------------------------------------------------------ *)
 (* alpha                                                               *)
@@ -492,4 +566,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; alpha_cmd; diagram_cmd; fig_cmd; solver_cmd; dict_cmd; anomaly_cmd; workload_cmd; chaos_cmd; model_cmd ]))
+          [ check_cmd; alpha_cmd; diagram_cmd; fig_cmd; solver_cmd; dict_cmd; anomaly_cmd; workload_cmd; chaos_cmd; trace_cmd; model_cmd ]))

@@ -8,6 +8,9 @@ module Owner = Dsm_memory.Owner
 module History = Dsm_memory.History
 module Value = Dsm_memory.Value
 module Check = Dsm_checker.Causal_check
+module Online = Dsm_checker.Online
+module Trace = Dsm_causal.Trace
+module Op = Dsm_memory.Op
 module Prng = Dsm_util.Prng
 
 type knobs = {
@@ -17,6 +20,9 @@ type knobs = {
   reliability : Reliable.config;
   rpc : Causal.rpc option;
   detector : Dsm_causal.Detector.config option;
+  online_check : bool;
+  unsafe_skip_invalidation : bool;
+  trace : Trace.t option;
 }
 
 let default_knobs =
@@ -27,6 +33,9 @@ let default_knobs =
     reliability = Reliable.default_config;
     rpc = Some { Causal.timeout = 100.0; retries = 5 };
     detector = None;
+    online_check = false;
+    unsafe_skip_invalidation = false;
+    trace = None;
   }
 
 type report = {
@@ -47,6 +56,9 @@ type report = {
   takeovers : int;
   view : (int * int * int) list;
   unfinished : (string * float) list;
+  stats : Dsm_causal.Node_stats.cluster;
+  online_checked : bool;
+  online_violation : string option;
   notes : (string * string) list;
 }
 
@@ -57,19 +69,81 @@ let check_history history =
   if History.op_count history > history_check_cutoff then true
   else Check.is_correct history
 
-let make_cluster ~knobs ~seed ~owner ?config sched =
-  Causal.create ~sched ~owner ?config ~latency:knobs.latency
-    ~fault:(Network.fault ~drop:knobs.drop ~duplicate:knobs.duplicate ())
-    ~reliability:knobs.reliability ?rpc:knobs.rpc ?detector:knobs.detector ~seed ()
+(* Rebuild Op.t values from the bus's application-level events (per-pid
+   indices recount program order, which is how the recorder assigned them)
+   and feed them to the incremental checker as they complete.  A violation
+   is published back onto the same bus, so a trace dump shows it in
+   place. *)
+let attach_online bus =
+  let ck = Online.create () in
+  let next = Hashtbl.create 8 in
+  let index pid =
+    let i = match Hashtbl.find_opt next pid with Some i -> i | None -> 0 in
+    Hashtbl.replace next pid (i + 1);
+    i
+  in
+  let feed time node op =
+    match Online.add_op ck op with
+    | [] -> ()
+    | v :: _ ->
+        Trace.emit bus ~time (Trace.Violation { node; reason = v.Online.v_reason })
+  in
+  Trace.subscribe bus (fun ev ->
+      match ev.Trace.body with
+      | Trace.Op_read { node; loc; value; from } ->
+          feed ev.Trace.time node
+            (Op.read ~pid:node ~index:(index node) ~loc ~value ~from)
+      | Trace.Op_write { node; loc; value; wid } ->
+          feed ev.Trace.time node
+            (Op.write ~pid:node ~index:(index node) ~loc ~value ~wid)
+      | _ -> ());
+  ck
 
-let build_report ~scenario ~sched ~engine ~crashes ~notes c =
+let make_cluster ~knobs ~seed ~owner ?config sched =
+  let config =
+    if not knobs.unsafe_skip_invalidation then config
+    else
+      let base =
+        match config with Some c -> c | None -> Dsm_causal.Config.default
+      in
+      Some { base with Dsm_causal.Config.unsafe_skip_invalidation = true }
+  in
+  let trace =
+    match knobs.trace with
+    | Some _ as t -> t
+    | None -> if knobs.online_check then Some (Trace.create ~record:false ()) else None
+  in
+  let online = if knobs.online_check then Option.map attach_online trace else None in
+  let c =
+    Causal.create ~sched ~owner ?config ~latency:knobs.latency
+      ~fault:(Network.fault ~drop:knobs.drop ~duplicate:knobs.duplicate ())
+      ~reliability:knobs.reliability ?rpc:knobs.rpc ?detector:knobs.detector
+      ?trace ~seed ()
+  in
+  (c, online)
+
+let build_report ~scenario ~sched ~engine ~crashes ~notes ?online c =
   Causal.shutdown c;
   let history = Causal.history c in
+  let notes =
+    match online with
+    | None -> notes
+    | Some ck ->
+        ("online_ops", string_of_int (Online.ops_seen ck))
+        :: ("online_checks", string_of_int (Online.checks ck))
+        :: ("online_edges", string_of_int (Online.edges ck))
+        :: notes
+  in
   {
     scenario;
     processes = Causal.processes c;
     ops = History.op_count history;
     causal_ok = check_history history;
+    stats = Causal.cluster_stats c;
+    online_checked = online <> None;
+    online_violation =
+      Option.bind online (fun ck ->
+          Option.map (fun v -> v.Online.v_reason) (Online.first_violation ck));
     sim_time = Engine.now engine;
     messages = Causal.messages_total c;
     dropped = Causal.wire_dropped c;
@@ -112,7 +186,7 @@ let mix ?(knobs = default_knobs) ?(seed = 1L) ?(spec = Workload.default_spec) ()
   let engine = Engine.create () in
   let sched = Proc.scheduler engine in
   let owner = Owner.by_index ~nodes:spec.Workload.processes in
-  let c = make_cluster ~knobs ~seed ~owner sched in
+  let c, online = make_cluster ~knobs ~seed ~owner sched in
   let master = Prng.create seed in
   for pid = 0 to spec.Workload.processes - 1 do
     let prng = Prng.split master in
@@ -127,7 +201,7 @@ let mix ?(knobs = default_knobs) ?(seed = 1L) ?(spec = Workload.default_spec) ()
   done;
   let failures = run_to_quiescence engine sched in
   let notes = List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures in
-  build_report ~scenario:"mix" ~sched ~engine ~crashes:0 ~notes c
+  build_report ~scenario:"mix" ~sched ~engine ~crashes:0 ~notes ?online c
 
 (* {1 Scenario: the Section 4.2 dictionary under loss} *)
 
@@ -138,7 +212,7 @@ let dictionary ?(knobs = default_knobs) ?(seed = 2L) ?(processes = 4) ?(rounds =
   let sched = Proc.scheduler engine in
   let owner = Dictionary.owner_map ~processes in
   let cols = rounds + 2 in
-  let c = make_cluster ~knobs ~seed ~owner ~config:Dictionary.config sched in
+  let c, online = make_cluster ~knobs ~seed ~owner ~config:Dictionary.config sched in
   let master = Prng.create seed in
   (* Each process inserts unique items into its own row, looks up and
      occasionally deletes a neighbour's earlier item, and refreshes so its
@@ -181,7 +255,7 @@ let dictionary ?(knobs = default_knobs) ?(seed = 2L) ?(processes = 4) ?(rounds =
     :: ("views_converged", string_of_bool converged)
     :: List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures
   in
-  build_report ~scenario:"dictionary" ~sched ~engine ~crashes:0 ~notes c
+  build_report ~scenario:"dictionary" ~sched ~engine ~crashes:0 ~notes ?online c
 
 (* {1 Scenario: the Figure 6 solver under loss} *)
 
@@ -192,7 +266,7 @@ let solver ?(knobs = default_knobs) ?(seed = 3L) ?(n = 6) ?(iters = 4) () =
   let owner = Solver.owner_map ~workers:n in
   let engine = Engine.create () in
   let sched = Proc.scheduler engine in
-  let c = make_cluster ~knobs ~seed ~owner sched in
+  let c, online = make_cluster ~knobs ~seed ~owner sched in
   for i = 0 to n - 1 do
     ignore
       (Proc.spawn sched
@@ -217,7 +291,7 @@ let solver ?(knobs = default_knobs) ?(seed = 3L) ?(n = 6) ?(iters = 4) () =
     :: ("bit_exact", string_of_bool (max_diff = 0.0))
     :: List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures
   in
-  build_report ~scenario:"solver" ~sched ~engine ~crashes:0 ~notes c
+  build_report ~scenario:"solver" ~sched ~engine ~crashes:0 ~notes ?online c
 
 (* {1 Scenario: crash-stop restart of a non-owner node}
 
@@ -237,7 +311,7 @@ let crash_restart ?(knobs = default_knobs) ?(seed = 4L) ?(clients = 3)
   let sched = Proc.scheduler engine in
   let inner = Owner.by_index ~nodes:clients in
   let owner = Owner.make ~nodes:processes (fun loc -> Owner.owner inner loc) in
-  let c = make_cluster ~knobs ~seed ~owner sched in
+  let c, online = make_cluster ~knobs ~seed ~owner sched in
   let master = Prng.create seed in
   let spec =
     {
@@ -295,7 +369,7 @@ let crash_restart ?(knobs = default_knobs) ?(seed = 4L) ?(clients = 3)
     :: ("dropped_at_crashed", string_of_int (Causal.dropped_at_crashed c))
     :: List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures
   in
-  build_report ~scenario:"crash-restart" ~sched ~engine ~crashes:!crashes ~notes c
+  build_report ~scenario:"crash-restart" ~sched ~engine ~crashes:!crashes ~notes ?online c
 
 (* {1 Scenarios: crash a serving owner, fail over to its backup}
 
@@ -326,7 +400,7 @@ let owner_crash_scenario ~scenario ~revive ?(knobs = default_knobs) ?(seed = 5L)
   let engine = Engine.create () in
   let sched = Proc.scheduler engine in
   let owner = Owner.by_index ~nodes:processes in
-  let c = make_cluster ~knobs ~seed ~owner sched in
+  let c, online = make_cluster ~knobs ~seed ~owner sched in
   let master = Prng.create seed in
   let crashes = ref 0 in
   (* Victim-owned locations are the indices congruent to 0 mod [processes]. *)
@@ -396,7 +470,7 @@ let owner_crash_scenario ~scenario ~revive ?(knobs = default_knobs) ?(seed = 5L)
     :: ("dropped_at_crashed", string_of_int (Causal.dropped_at_crashed c))
     :: List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures
   in
-  build_report ~scenario ~sched ~engine ~crashes:!crashes ~notes c
+  build_report ~scenario ~sched ~engine ~crashes:!crashes ~notes ?online c
 
 let owner_crash ?knobs ?seed ?clients ?ops_per_client () =
   owner_crash_scenario ~scenario:"owner-crash" ~revive:false ?knobs ?seed ?clients
@@ -434,6 +508,12 @@ let pp_report ppf r =
     r.transport.Reliable.acks r.transport.Reliable.dup_dropped
     r.transport.Reliable.reordered r.transport.Reliable.gave_up;
   line "rpc timeouts:      %d (stale replies %d)@." r.rpc_timeouts r.stale_replies;
+  line "counters:          %a@." Dsm_causal.Node_stats.pp_cluster r.stats;
+  if r.online_checked then begin
+    match r.online_violation with
+    | None -> line "online check:      clean@."
+    | Some reason -> line "online check:      VIOLATION — %s@." reason
+  end;
   if r.crashes > 0 then line "crashes injected:  %d@." r.crashes;
   if r.suspects > 0 || r.unsuspects > 0 || r.takeovers > 0 then
     line "failover:          %d suspects, %d unsuspects, %d takeovers@." r.suspects
@@ -451,4 +531,4 @@ let pp_report ppf r =
         stuck);
   List.iter (fun (k, v) -> line "%-18s %s@." (k ^ ":") v) r.notes
 
-let healthy r = r.causal_ok && r.unfinished = []
+let healthy r = r.causal_ok && r.unfinished = [] && r.online_violation = None

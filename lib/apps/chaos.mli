@@ -22,11 +22,26 @@ type knobs = {
       (** [None] = no heartbeats or failover; the owner-crash scenarios
           substitute a fast detector (period 5.0, suspect_after 3) when
           this is [None] *)
+  online_check : bool;
+      (** run {!Dsm_checker.Online} against the event bus while the
+          scenario executes; the first illegal read fails the run
+          ({!healthy}) even if the post-hoc check would be cut off by the
+          history-size cap *)
+  unsafe_skip_invalidation : bool;
+      (** fault injection: disable the Figure-4 invalidation rule (see
+          {!Dsm_causal.Config}), deliberately breaking causal consistency —
+          exists so tests can prove the online checker catches a real
+          protocol bug *)
+  trace : Dsm_causal.Trace.t option;
+      (** attach this event bus to the cluster (the [dsm trace] subcommand
+          passes a recording bus and dumps it afterwards).  [None] with
+          [online_check = true] creates a private non-recording bus. *)
 }
 
 val default_knobs : knobs
 (** 5% loss, 1% duplication, LAN latency, {!Dsm_net.Reliable.default_config},
-    RPC timeout 100.0 with 5 retries, no failure detector. *)
+    RPC timeout 100.0 with 5 retries, no failure detector, no online
+    checking, no fault injection, no trace bus. *)
 
 type report = {
   scenario : string;
@@ -51,6 +66,14 @@ type report = {
   unfinished : (string * float) list;
       (** processes left blocked at quiescence, with blocked-since times —
           must be empty for a healthy run *)
+  stats : Dsm_causal.Node_stats.cluster;
+      (** every cluster counter in one record — what the health line
+          prints *)
+  online_checked : bool;  (** the online checker ran during this scenario *)
+  online_violation : string option;
+      (** first violation the online checker flagged mid-run ([None] when
+          clean or when [online_check] was off); ["online_ops"] /
+          ["online_checks"] / ["online_edges"] notes record its work *)
   notes : (string * string) list;  (** scenario-specific facts, including
                                        ["failed:<proc>"] entries for any
                                        process that raised *)
@@ -107,4 +130,5 @@ val run : ?knobs:knobs -> ?seed:int64 -> string -> report
 val pp_report : Format.formatter -> report -> unit
 
 val healthy : report -> bool
-(** [causal_ok && unfinished = []] — the chaos pass/fail criterion. *)
+(** [causal_ok && unfinished = [] && online_violation = None] — the chaos
+    pass/fail criterion. *)

@@ -1,0 +1,208 @@
+module Op = Dsm_memory.Op
+module Wid = Dsm_memory.Wid
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module Bitrel = Dsm_util.Bitrel
+
+type violation = { v_op : Op.t; v_reason : string }
+
+type t = {
+  mutable ops : Op.t array; (* capacity-managed; first [n] slots valid *)
+  mutable pred : int array; (* program predecessor's global index, -1 if first *)
+  mutable n : int;
+  mutable closed : Bitrel.t; (* transitively closed over inserted edges *)
+  last_of_pid : (int, int) Hashtbl.t; (* pid -> global index of its latest op *)
+  writers : (Wid.t, int) Hashtbl.t;
+  pending_rf : (Wid.t, int list) Hashtbl.t; (* wid -> readers awaiting it *)
+  by_loc : (Loc.t, int list) Hashtbl.t; (* ops on a location, newest first *)
+  mutable violation_log : violation list; (* newest first *)
+  mutable checks : int;
+  mutable edges : int;
+}
+
+let dummy =
+  Op.write ~pid:0 ~index:0 ~loc:(Loc.named "_") ~value:Value.initial
+    ~wid:Wid.initial
+
+let create () =
+  {
+    ops = Array.make 64 dummy;
+    pred = Array.make 64 (-1);
+    n = 0;
+    closed = Bitrel.create 64;
+    last_of_pid = Hashtbl.create 16;
+    writers = Hashtbl.create 64;
+    pending_rf = Hashtbl.create 16;
+    by_loc = Hashtbl.create 16;
+    violation_log = [];
+    checks = 0;
+    edges = 0;
+  }
+
+let ops_seen t = t.n
+
+let pending_reads t = Hashtbl.fold (fun _ rs acc -> acc + List.length rs) t.pending_rf 0
+
+let violations t = List.rev t.violation_log
+
+let first_violation t =
+  match List.rev t.violation_log with [] -> None | v :: _ -> Some v
+
+let checks t = t.checks
+
+let edges t = t.edges
+
+(* Double capacity: the relation is rebuilt by re-adding every closed pair,
+   so no re-closure is needed.  Amortised O(n^2) bits over a run — the same
+   order as the final relation itself. *)
+let grow t =
+  let cap = 2 * Array.length t.ops in
+  let ops = Array.make cap dummy in
+  Array.blit t.ops 0 ops 0 t.n;
+  let pred = Array.make cap (-1) in
+  Array.blit t.pred 0 pred 0 t.n;
+  let closed = Bitrel.create cap in
+  for i = 0 to t.n - 1 do
+    List.iter (fun j -> Bitrel.add closed i j) (Bitrel.successors t.closed i)
+  done;
+  t.ops <- ops;
+  t.pred <- pred;
+  t.closed <- closed
+
+(* Insert u -> v and restore closure: row u absorbs {v} + row v, then every
+   predecessor of u absorbs the updated row u.  One O(n) scan of mem bits
+   plus word-wise row ORs — no global re-closure. *)
+let add_edge t u v =
+  if not (Bitrel.mem t.closed u v) then begin
+    t.edges <- t.edges + 1;
+    Bitrel.add t.closed u v;
+    Bitrel.union_row_into t.closed ~src:v ~dst:u;
+    for a = 0 to t.n - 1 do
+      if a <> u && Bitrel.mem t.closed a u then
+        Bitrel.union_row_into t.closed ~src:u ~dst:a
+    done
+  end
+
+let precedes t a b = Bitrel.mem t.closed a b
+
+(* a ->* io without io's own reads-from edge: go through the program
+   predecessor, exactly as Causality.precedes_excl_rf. *)
+let precedes_excl_rf t a ~reader =
+  match t.pred.(reader) with
+  | -1 -> false
+  | p -> a = p || precedes t a p
+
+let ops_on t loc = match Hashtbl.find_opt t.by_loc loc with Some l -> l | None -> []
+
+(* Mirrors Causal_check.intervenes over the online state. *)
+let intervenes t ~ops_x ~io ~cand_wid ~cand_idx =
+  List.exists
+    (fun i'' ->
+      i'' <> io
+      && (match cand_idx with Some iw -> i'' <> iw | None -> true)
+      && (not (Wid.equal t.ops.(i'').Op.wid cand_wid))
+      && (match cand_idx with
+         | Some iw -> precedes t iw i''
+         | None -> true)
+      && precedes_excl_rf t i'' ~reader:io)
+    ops_x
+
+(* Is the value the read at [io] returned live for it (Definition 1),
+   given the prefix seen so far?  [source] is the global index of the
+   read's source write ([None] for the initial value). *)
+let check_read t io ~source =
+  t.checks <- t.checks + 1;
+  let o = t.ops.(io) in
+  let ops_x = ops_on t o.Op.loc in
+  let bad reason = Some { v_op = o; v_reason = reason } in
+  match source with
+  | None ->
+      if intervenes t ~ops_x ~io ~cand_wid:Wid.initial ~cand_idx:None then
+        bad
+          (Printf.sprintf "%s returned the initial value, but a later write to %s already precedes it"
+             (Op.to_string o) (Loc.to_string o.Op.loc))
+      else None
+  | Some iw ->
+      if precedes_excl_rf t iw ~reader:io then
+        if intervenes t ~ops_x ~io ~cand_wid:o.Op.wid ~cand_idx:(Some iw) then
+          bad
+            (Printf.sprintf "%s returned %s (from %s), already overwritten for this read"
+               (Op.to_string o)
+               (Value.to_string o.Op.value)
+               (Wid.to_string o.Op.wid))
+        else None
+      else if precedes t io iw then
+        bad
+          (Printf.sprintf "%s reads from its own causal future (%s)"
+             (Op.to_string o) (Wid.to_string o.Op.wid))
+      else (* concurrent with its source: always live *) None
+
+let record_violation t = function
+  | None -> []
+  | Some v ->
+      t.violation_log <- v :: t.violation_log;
+      [ v ]
+
+let add_op t (op : Op.t) =
+  if t.n >= Array.length t.ops then grow t;
+  let idx = t.n in
+  t.ops.(idx) <- op;
+  t.n <- t.n + 1;
+  let p =
+    if op.Op.index = 0 then -1
+    else match Hashtbl.find_opt t.last_of_pid op.Op.pid with Some p -> p | None -> -1
+  in
+  t.pred.(idx) <- p;
+  Hashtbl.replace t.last_of_pid op.Op.pid idx;
+  Hashtbl.replace t.by_loc op.Op.loc (idx :: ops_on t op.Op.loc);
+  if p >= 0 then add_edge t p idx;
+  let found = ref [] in
+  if Op.is_write op then begin
+    Hashtbl.replace t.writers op.Op.wid idx;
+    (* Resolve readers that arrived before this write: wire their deferred
+       reads-from edges, then give each its first real check.  A reader
+       that causally precedes its own source is flagged without inserting
+       the edge (it would close a cycle). *)
+    match Hashtbl.find_opt t.pending_rf op.Op.wid with
+    | None -> ()
+    | Some readers ->
+        Hashtbl.remove t.pending_rf op.Op.wid;
+        List.iter
+          (fun r ->
+            if precedes t r idx then begin
+              t.checks <- t.checks + 1;
+              found :=
+                record_violation t
+                  (Some
+                     {
+                       v_op = t.ops.(r);
+                       v_reason =
+                         Printf.sprintf "%s reads from its own causal future (%s)"
+                           (Op.to_string t.ops.(r))
+                           (Wid.to_string op.Op.wid);
+                     })
+                @ !found
+            end
+            else begin
+              add_edge t idx r;
+              found := record_violation t (check_read t r ~source:(Some idx)) @ !found
+            end)
+          (List.rev readers)
+  end
+  else begin
+    let wid = op.Op.wid in
+    if Wid.is_initial wid then
+      found := record_violation t (check_read t idx ~source:None)
+    else
+      match Hashtbl.find_opt t.writers wid with
+      | Some iw ->
+          add_edge t iw idx;
+          found := record_violation t (check_read t idx ~source:(Some iw))
+      | None ->
+          (* Source not seen yet: defer both the edge and the verdict. *)
+          let waiting =
+            match Hashtbl.find_opt t.pending_rf wid with Some l -> l | None -> []
+          in
+          Hashtbl.replace t.pending_rf wid (idx :: waiting)
+  end;
+  List.rev !found

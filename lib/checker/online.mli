@@ -1,0 +1,63 @@
+(** Online causal checking: feed operations to the checker as they complete.
+
+    {!Causal_check} is post-hoc — it needs the whole execution before it can
+    say anything, so a chaos run only learns it violated causality after the
+    workload finishes.  This module maintains the causality graph
+    {e incrementally}: each completed operation is appended with
+    {!add_op}, its program-order and reads-from edges are inserted into an
+    incrementally-closed reachability relation, and reads are checked
+    against Definition 1's live set the moment their source write is known.
+    A violating run is flagged at the first bad read instead of at the end.
+
+    {b Arrival order.}  Operations must arrive in per-process program order
+    (each pid's [index] increasing by one), which is what a sequential
+    process naturally produces; across processes any interleaving is fine.
+    A read may arrive before the write it read from — its reads-from edge
+    is deferred, and the read is checked as soon as the write shows up.
+
+    {b Guarantees.}  Every violation this checker reports is a real
+    violation of the prefix seen so far (same [alpha]/liveness logic as
+    {!Causal_check}).  The converse is weaker: an edge that arrives later
+    can retroactively kill a candidate that looked live when a read was
+    checked, so a clean online run is necessary but not sufficient — the
+    post-hoc {!Causal_check.check} over the full history remains the
+    authoritative verdict and chaos still runs it at the end.
+
+    {b Cost.}  [add_op] is [O(n)] bitset-row unions per inserted edge (the
+    predecessor scan of the incremental closure) plus one live-set check
+    per read, against [O(n^2)] to rebuild and re-close the whole relation;
+    {!checks} and {!edges} expose the work done for the cost accounting in
+    docs/CHECKERS.md. *)
+
+type violation = {
+  v_op : Dsm_memory.Op.t;  (** the read that returned a non-live value *)
+  v_reason : string;
+}
+
+type t
+
+val create : unit -> t
+
+val add_op : t -> Dsm_memory.Op.t -> violation list
+(** Append one completed operation.  Returns the violations {e newly}
+    discovered — the op itself if it is an illegal read, plus any deferred
+    reads this write resolved to an illegal verdict.  An empty list means
+    nothing new is known to be wrong. *)
+
+val ops_seen : t -> int
+
+val pending_reads : t -> int
+(** Reads still waiting for their source write to arrive.  Nonzero at the
+    end of a run means a dangling reads-from — the post-hoc checker will
+    reject the history outright. *)
+
+val violations : t -> violation list
+(** All violations found so far, oldest first. *)
+
+val first_violation : t -> violation option
+
+val checks : t -> int
+(** Read live-set checks performed (including deferred re-checks). *)
+
+val edges : t -> int
+(** Causality edges inserted into the incremental closure. *)

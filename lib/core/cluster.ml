@@ -1,3 +1,12 @@
+module Protocol = Dsm_protocol.Protocol
+module Trace = Dsm_protocol.Trace
+module Message = Dsm_protocol.Message
+module Node = Dsm_protocol.Node
+module Node_stats = Dsm_protocol.Node_stats
+module Config = Dsm_protocol.Config
+module Stamped = Dsm_protocol.Stamped
+module Write_digest = Dsm_protocol.Write_digest
+module Detector = Dsm_protocol.Detector
 module Loc = Dsm_memory.Loc
 module Value = Dsm_memory.Value
 module History = Dsm_memory.History
@@ -37,42 +46,38 @@ type transport =
   | Direct of Message.t Network.t
   | Framed of Message.t Reliable.t
 
-(* What completes once a certified write's shadow is acknowledged (or the
-   grace timer degrades the replication): a deferred W_REPLY for a remote
-   writer, or the owner's own blocked write process. *)
-type shadow_wait =
-  | Shadow_reply of { dst : int; kind : string; size : int; msg : Message.t }
-  | Shadow_wake of unit Proc.ivar
-
+(* The effect shell around {!Protocol}: this type holds only what the pure
+   core must not know about — the scheduler and transport, the per-request
+   reply ivars, the blocked-writer ivars, the write-ahead logs, the timers,
+   and the counters for shell-side events (timeouts, redirects, stale
+   replies).  All protocol decisions live in [core]; every mutation of it
+   goes through [dispatch]. *)
 type t = {
   sched : Proc.sched;
   transport : transport;
-  nodes : Node.t array;
+  core : Protocol.state;
   owner : Owner.t;
   config : Config.t;
   rpc : rpc option;
   recorder : History.Recorder.t;
   pending : (int, Message.t Proc.ivar) Hashtbl.t array;
-  crashed : bool array;
   mutable timers_stopped : bool;
   mutable timed : (Dsm_memory.Op.t * float * float) list; (* newest first *)
   mutable stale_replies : int;
-  mutable dropped_at_crashed : int;
   mutable rpc_timeouts : int;
-  (* Owner failover (PR 2): durable logs, failure detection, handoff. *)
+  (* Owner failover: durable logs, heartbeat timers, blocked local writers. *)
   disk : Wal.Disk.t;
   wals : Wal.t array;
-  detectors : Detector.t array option; (* Some iff failover is enabled *)
   detector_config : Detector.config option;
   checkpoint_every : float option;
   hb_prngs : Prng.t array; (* per-node heartbeat jitter *)
-  shadow_pending : (int, shadow_wait) Hashtbl.t array;
-  mutable shadow_seq : int;
-  mutable takeovers : int;
-  mutable shadow_degraded : int;
+  writer_waits : (int, unit Proc.ivar) Hashtbl.t array;
+  mutable writer_seq : int;
+  mutable last_local_write : Stamped.t option;
   mutable shadow_reads : int;
   mutable redirects : int;
   mutable wal_sync_failures : int;
+  trace : Trace.t option;
 }
 
 type handle = { cluster : t; node : Node.t }
@@ -97,19 +102,25 @@ let digest_wire_size t digest =
 
 let sim_now t = Dsm_sim.Engine.now (Proc.engine t.sched)
 
-(* {1 Failover helpers} *)
+let failover_on t = Protocol.failover_on t.core
 
-let failover_on t = t.detectors <> None
+let suspected t ~me ~peer = Protocol.suspected t.core ~me ~peer
 
-let suspected t ~me ~peer =
-  match t.detectors with Some dets -> Detector.suspected dets.(me) peer | None -> false
+let backup_of t ~serving = Protocol.backup_of t.core ~serving
 
-(* The designated backup for whatever [serving] certifies: its ring
-   successor.  [None] in a single-node cluster. *)
-let backup_of t ~serving =
-  let n = Array.length t.nodes in
-  let b = (serving + 1) mod n in
-  if b = serving then None else Some b
+(* Stamp a trace body with the simulated time and the acting node's vector
+   clock and publish it.  No-op on an untraced cluster. *)
+let emit_body t body =
+  match t.trace with
+  | None -> ()
+  | Some bus ->
+      let clock =
+        match Trace.actor body with
+        | Some n when n >= 0 && n < Protocol.processes t.core ->
+            Some (Node.vt (Protocol.node t.core n))
+        | Some _ | None -> None
+      in
+      Trace.emit bus ~time:(sim_now t) ?clock body
 
 (* A failed log sync is counted and tolerated: the entry stays in volatile
    memory and reaches the disk at the next checkpoint — a crash before then
@@ -119,182 +130,45 @@ let wal_append t me record =
   | () -> ()
   | exception Wal.Sync_failed _ -> t.wal_sync_failures <- t.wal_sync_failures + 1
 
-(* Fold in a view entry learned from any channel (takeover broadcast,
-   heartbeat gossip, fencing reply), logging real changes for replay. *)
-let learn_view t ~me ~base ~epoch ~serving =
-  match Node.adopt_view t.nodes.(me) ~base ~epoch ~serving with
-  | Node.View_ignored -> ()
-  | Node.View_adopted | Node.View_demoted ->
-      wal_append t me (Wal.View_change { base; epoch; serving })
-
-let next_shadow_seq t =
-  let s = t.shadow_seq in
-  t.shadow_seq <- s + 1;
-  s
-
-let send_shadow t ~me ~backup ~base ~seq entries =
-  send_msg t ~src:me ~dst:backup ~kind:"SHADOW"
-    ~size:(entry_wire_size t (List.length entries))
-    (Message.Shadow { seq; base; entries })
-
-let complete_shadow t ~me wait =
-  match wait with
-  | Shadow_reply { dst; kind; size; msg } ->
-      (* The owner may have crashed while the shadow was in flight; a dead
-         node sends nothing. *)
-      if not t.crashed.(me) then send_msg t ~src:me ~dst ~kind ~size msg
-  | Shadow_wake ivar ->
-      (* Always wake the blocked writer — its write completed before any
-         crash could happen (crashes strike between operations). *)
-      if not (Proc.is_filled ivar) then Proc.fill ivar ()
-
 let shadow_grace t =
   match t.detector_config with Some c -> c.Detector.period | None -> 10.0
 
-let arm_shadow_grace t ~me ~seq =
-  Dsm_sim.Engine.schedule (Proc.engine t.sched) ~delay:(shadow_grace t) (fun () ->
-      match Hashtbl.find_opt t.shadow_pending.(me) seq with
-      | Some wait ->
-          (* The backup never acknowledged within the grace window: degrade
-             to unreplicated operation rather than blocking the writer on a
-             possibly-dead backup. *)
-          Hashtbl.remove t.shadow_pending.(me) seq;
-          t.shadow_degraded <- t.shadow_degraded + 1;
-          complete_shadow t ~me wait
+(* {1 The action interpreter}
+
+   [dispatch] feeds one event to the pure core and performs the returned
+   actions in order.  Network sends and timer arms only {e schedule} future
+   engine events, so interpretation never re-enters the core. *)
+
+let rec interpret t action =
+  match (action : Protocol.action) with
+  | Protocol.Send { src; dst; kind; size; msg } -> send_msg t ~src ~dst ~kind ~size msg
+  | Protocol.Client_reply { node = me; req; msg } -> (
+      match Hashtbl.find_opt t.pending.(me) req with
+      | Some ivar ->
+          Hashtbl.remove t.pending.(me) req;
+          Proc.fill ivar msg
+      | None ->
+          (* A reply nobody is waiting for: the request timed out and was
+             retried (the retry's reply won), or this node crashed and
+             restarted since issuing it.  Discarding is safe — the request
+             tag is never reused. *)
+          t.stale_replies <- t.stale_replies + 1)
+  | Protocol.Wake_writer { node = me; writer } -> (
+      match Hashtbl.find_opt t.writer_waits.(me) writer with
+      | Some ivar ->
+          Hashtbl.remove t.writer_waits.(me) writer;
+          if not (Proc.is_filled ivar) then Proc.fill ivar ()
       | None -> ())
+  | Protocol.Append { node = me; record } -> wal_append t me record
+  | Protocol.Arm_grace { node = me; seq } ->
+      Dsm_sim.Engine.schedule (Proc.engine t.sched) ~delay:(shadow_grace t) (fun () ->
+          dispatch t (Protocol.Grace_expired { node = me; seq }))
+  | Protocol.Local_write_done { node = _; entry } -> t.last_local_write <- Some entry
+  | Protocol.Emit body -> emit_body t body
 
-(* Replicate freshly certified [entries] of [base] to the designated backup
-   and run [wait]'s completion once acknowledged.  Degrades to completing
-   immediately when failover is off or the backup is itself suspected. *)
-let shadow_then t ~me ~base entries wait =
-  let proceed () = complete_shadow t ~me wait in
-  if not (failover_on t) then proceed ()
-  else
-    match backup_of t ~serving:me with
-    | None -> proceed ()
-    | Some backup when suspected t ~me ~peer:backup ->
-        t.shadow_degraded <- t.shadow_degraded + 1;
-        proceed ()
-    | Some backup ->
-        let seq = next_shadow_seq t in
-        Hashtbl.replace t.shadow_pending.(me) seq wait;
-        send_shadow t ~me ~backup ~base ~seq entries;
-        arm_shadow_grace t ~me ~seq
-
-(* Epoch fencing: a request is served only by the node currently serving the
-   location under an epoch at least as new as the client's.  Everything else
-   gets the server's own view back and re-routes. *)
-let fence t node loc epoch =
-  ignore t;
-  let base = Node.base_owner_of node loc in
-  if (not (Node.owns node loc)) || epoch < Node.epoch_of node ~base then
-    Some (base, Node.epoch_of node ~base, Node.serving_of node ~base)
-  else None
-
-(* The owner-side services of Figure 4 plus the failover machinery.  These
-   run atomically as delivery events; replies go back over the same FIFO
-   transport. *)
-let handle_message t ~me ~src msg =
-  if t.crashed.(me) then
-    (* A crash-stop node loses everything that arrives while it is down. *)
-    t.dropped_at_crashed <- t.dropped_at_crashed + 1
-  else begin
-    (* Any delivery is proof of life: protocol traffic unsuspects a peer
-       just as heartbeats do. *)
-    (match t.detectors with
-    | Some dets when src <> me -> ignore (Detector.heard dets.(me) ~peer:src ~now:(sim_now t))
-    | _ -> ());
-    let node = t.nodes.(me) in
-    match (msg : Message.t) with
-    | Message.Read_req { req; loc; epoch } -> (
-        match fence t node loc epoch with
-        | Some (base, my_epoch, serving) ->
-            send_msg t ~src:me ~dst:src ~kind:"STALE" ~size:1
-              (Message.Stale_epoch { req; base; epoch = my_epoch; serving })
-        | None ->
-            let entry =
-              match Node.lookup node loc with Some e -> e | None -> assert false
-              (* served locations always present after lookup *)
-            in
-            let page = Node.page_entries node loc in
-            let digest = Node.digest_export node in
-            send_msg t ~src:me ~dst:src ~kind:"R_REPLY"
-              ~size:(entry_wire_size t (1 + List.length page) + digest_wire_size t digest)
-              (Message.Read_reply { req; loc; entry; page; digest }))
-    | Message.Write_req { req; loc; entry; digest; epoch } -> (
-        match fence t node loc epoch with
-        | Some (base, my_epoch, serving) ->
-            send_msg t ~src:me ~dst:src ~kind:"STALE" ~size:1
-              (Message.Stale_epoch { req; base; epoch = my_epoch; serving })
-        | None ->
-            Node.digest_merge node digest;
-            let accepted = ref false in
-            let stored = Node.certify_write node loc entry ~accepted in
-            (* Durable before the reply leaves the node: an acknowledged
-               write must survive a crash (the rejected case still logs the
-               clock merge, so replay reaches the exact frontier). *)
-            if !accepted then wal_append t me (Wal.Write { loc; entry = stored })
-            else wal_append t me (Wal.Clock (Node.vt node));
-            let digest = Node.digest_export node in
-            let reply =
-              Message.Write_reply { req; loc; accepted = !accepted; entry = stored; digest }
-            in
-            let size = entry_wire_size t 1 + digest_wire_size t digest in
-            let wait = Shadow_reply { dst = src; kind = "W_REPLY"; size; msg = reply } in
-            if !accepted then
-              shadow_then t ~me ~base:(Node.base_owner_of node loc) [ (loc, stored) ] wait
-            else complete_shadow t ~me wait)
-    | Message.Heartbeat { view } ->
-        List.iter (fun (base, epoch, serving) -> learn_view t ~me ~base ~epoch ~serving) view
-    | Message.Takeover { base; epoch; serving } -> learn_view t ~me ~base ~epoch ~serving
-    | Message.Shadow { seq; base; entries } ->
-        List.iter
-          (fun (loc, entry) ->
-            Node.shadow_store node ~base loc entry;
-            wal_append t me (Wal.Shadow_entry { base; loc; entry }))
-          entries;
-        send_msg t ~src:me ~dst:src ~kind:"SH_ACK" ~size:1 (Message.Shadow_ack { seq })
-    | Message.Shadow_ack { seq } -> (
-        match Hashtbl.find_opt t.shadow_pending.(me) seq with
-        | Some wait ->
-            Hashtbl.remove t.shadow_pending.(me) seq;
-            complete_shadow t ~me wait
-        | None ->
-            (* An ack after the grace timer already degraded, or for a
-               fire-and-forget snapshot shadow: nothing left to do. *)
-            ())
-    | Message.Shadow_read_req { req; loc } ->
-        (* Degraded read while the owner is suspected: serve the shadow copy
-           (every acknowledged write is in it), the served copy if this
-           backup already promoted, or the initial value if the location was
-           never written — all live values under Definition 2. *)
-        let base = Node.base_owner_of node loc in
-        let entry =
-          if Node.owns node loc then
-            match Node.lookup node loc with Some e -> e | None -> assert false
-          else
-            match Node.shadow_lookup node ~base loc with
-            | Some e -> e
-            | None ->
-                Stamped.initial ~processes:(Array.length t.nodes) (t.config.Config.init loc)
-        in
-        send_msg t ~src:me ~dst:src ~kind:"SH_REPLY" ~size:(entry_wire_size t 1)
-          (Message.Shadow_read_reply { req; loc; entry })
-    | Message.Read_reply { req; _ }
-    | Message.Write_reply { req; _ }
-    | Message.Stale_epoch { req; _ }
-    | Message.Shadow_read_reply { req; _ } -> (
-        match Hashtbl.find_opt t.pending.(me) req with
-        | Some ivar ->
-            Hashtbl.remove t.pending.(me) req;
-            Proc.fill ivar msg
-        | None ->
-            (* A reply nobody is waiting for: the request timed out and was
-               retried (the retry's reply won), or this node crashed and
-               restarted since issuing it.  Discarding is safe — the request
-               tag is never reused. *)
-            t.stale_replies <- t.stale_replies + 1)
-  end
+and dispatch t event =
+  let _state, actions = Protocol.step t.core event in
+  List.iter (interpret t) actions
 
 let start_discard_timer t node =
   match (Node.config node).Config.discard with
@@ -309,60 +183,18 @@ let start_discard_timer t node =
       in
       Dsm_sim.Engine.schedule engine ~delay:period tick
 
-(* A heartbeat tick suspecting [peer] triggers handoff: if this node is the
-   designated backup for a base [peer] was serving, it promotes itself under
-   the next epoch, broadcasts the takeover, and primes its own backup with
-   the inherited state. *)
-let on_suspect t ~me ~peer =
-  let node = t.nodes.(me) in
-  let n = Array.length t.nodes in
-  for base = 0 to n - 1 do
-    if Node.serving_of node ~base = peer then
-      match backup_of t ~serving:peer with
-      | Some b when b = me ->
-          let epoch = Node.epoch_of node ~base + 1 in
-          let inherited = Node.promote node ~base ~epoch in
-          t.takeovers <- t.takeovers + 1;
-          wal_append t me (Wal.View_change { base; epoch; serving = me });
-          for dst = 0 to n - 1 do
-            if dst <> me then
-              send_msg t ~src:me ~dst ~kind:"TAKEOVER" ~size:1
-                (Message.Takeover { base; epoch; serving = me })
-          done;
-          (match backup_of t ~serving:me with
-          | Some next_backup
-            when next_backup <> peer
-                 && (not (suspected t ~me ~peer:next_backup))
-                 && inherited <> [] ->
-              (* Fire-and-forget snapshot: no reply is gated on it, the
-                 per-write shadows that follow keep it current. *)
-              let seq = next_shadow_seq t in
-              send_shadow t ~me ~backup:next_backup ~base ~seq inherited
-          | _ -> ())
-      | _ -> ()
-  done
-
 let start_heartbeats t =
-  match (t.detectors, t.detector_config) with
-  | Some dets, Some cfg ->
+  match t.detector_config with
+  | Some cfg when failover_on t ->
       let engine = Proc.engine t.sched in
-      let n = Array.length t.nodes in
+      let n = Protocol.processes t.core in
       for me = 0 to n - 1 do
         let prng = t.hb_prngs.(me) in
         let rec beat () =
           (* Same stop rule as the checkpoint timer: beat only while the
              workload runs, so the engine can quiesce afterwards. *)
           if (not t.timers_stopped) && Proc.active t.sched then begin
-            if not t.crashed.(me) then begin
-              let view = Node.view t.nodes.(me) in
-              for dst = 0 to n - 1 do
-                if dst <> me then
-                  send_msg t ~src:me ~dst ~kind:"HB" ~size:(1 + List.length view)
-                    (Message.Heartbeat { view })
-              done;
-              let newly = Detector.tick dets.(me) ~now:(sim_now t) in
-              List.iter (fun peer -> on_suspect t ~me ~peer) newly
-            end;
+            dispatch t (Protocol.Hb_tick { node = me; now = sim_now t });
             Dsm_sim.Engine.schedule engine
               ~delay:(cfg.Detector.period *. (0.9 +. Prng.float prng 0.2))
               beat
@@ -376,7 +208,7 @@ let start_heartbeats t =
   | _ -> ()
 
 let checkpoint_now t pid =
-  match Wal.checkpoint t.wals.(pid) (Node.snapshot t.nodes.(pid)) with
+  match Wal.checkpoint t.wals.(pid) (Node.snapshot (Protocol.node t.core pid)) with
   | () -> ()
   | exception Wal.Sync_failed _ -> t.wal_sync_failures <- t.wal_sync_failures + 1
 
@@ -385,10 +217,10 @@ let start_checkpoint_timers t =
   | None -> ()
   | Some period ->
       let engine = Proc.engine t.sched in
-      for pid = 0 to Array.length t.nodes - 1 do
+      for pid = 0 to Protocol.processes t.core - 1 do
         let rec tick () =
           if (not t.timers_stopped) && Proc.active t.sched then begin
-            if not t.crashed.(pid) then checkpoint_now t pid;
+            if not (Protocol.is_crashed t.core pid) then checkpoint_now t pid;
             Dsm_sim.Engine.schedule engine ~delay:period tick
           end
         in
@@ -396,7 +228,7 @@ let start_checkpoint_timers t =
       done
 
 let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability ?rpc
-    ?detector ?disk ?checkpoint_every ?(seed = 42L) () =
+    ?detector ?disk ?checkpoint_every ?trace ?(seed = 42L) () =
   Config.validate config;
   (match rpc with
   | Some r ->
@@ -417,67 +249,79 @@ let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability
           (Reliable.create ~config:rconfig
              (Network.create engine ~nodes:processes ?latency ?fault ~seed ()))
   in
-  let nodes = Array.init processes (fun id -> Node.create ~id ~owner ~config) in
+  let core = Protocol.create ~owner ~config ?detector ~now:(Dsm_sim.Engine.now engine) () in
   let disk = match disk with Some d -> d | None -> Wal.Disk.create () in
-  let detectors =
-    (* Failover needs a peer to fail over to. *)
-    match detector with
-    | Some cfg when processes >= 2 ->
-        Some
-          (Array.init processes (fun me ->
-               Detector.create cfg ~nodes:processes ~me ~now:(Dsm_sim.Engine.now engine)))
-    | Some _ | None -> None
-  in
   let hb_master = Prng.create (Int64.logxor seed 0x6A09E667F3BCC909L) in
   let t =
     {
       sched;
       transport;
-      nodes;
+      core;
       owner;
       config;
       rpc;
       recorder = History.Recorder.create ~processes;
       pending = Array.init processes (fun _ -> Hashtbl.create 8);
-      crashed = Array.make processes false;
       timers_stopped = false;
       timed = [];
       stale_replies = 0;
-      dropped_at_crashed = 0;
       rpc_timeouts = 0;
       disk;
       wals = Array.init processes (fun node -> Wal.attach disk ~node);
-      detectors;
       detector_config = detector;
       checkpoint_every;
       hb_prngs = Array.init processes (fun _ -> Prng.split hb_master);
-      shadow_pending = Array.init processes (fun _ -> Hashtbl.create 8);
-      shadow_seq = 0;
-      takeovers = 0;
-      shadow_degraded = 0;
+      writer_waits = Array.init processes (fun _ -> Hashtbl.create 4);
+      writer_seq = 0;
+      last_local_write = None;
       shadow_reads = 0;
       redirects = 0;
       wal_sync_failures = 0;
+      trace;
     }
   in
+  (match trace with
+  | None -> ()
+  | Some _ ->
+      Protocol.set_tracing core true;
+      (* Bridge the wire onto the bus: the tap is payload-agnostic, so the
+         same bridge covers direct and framed transports (a framed cluster
+         traces the reliable layer's frames — what the wire really sees). *)
+      let tap =
+        {
+          Network.on_send =
+            (fun ~src ~dst ~kind ~size -> emit_body t (Trace.Send { src; dst; kind; size }));
+          on_deliver = (fun ~src ~dst ~kind -> emit_body t (Trace.Deliver { src; dst; kind }));
+          on_drop = (fun ~src ~dst ~kind -> emit_body t (Trace.Drop { src; dst; kind }));
+          on_duplicate =
+            (fun ~src ~dst ~kind -> emit_body t (Trace.Duplicate { src; dst; kind }));
+        }
+      in
+      on_net t { on = (fun n -> Network.set_tap n (Some tap)) });
   for me = 0 to processes - 1 do
-    let handler ~src msg = handle_message t ~me ~src msg in
+    let handler ~src msg = dispatch t (Protocol.Deliver { dst = me; src; now = sim_now t; msg }) in
     match transport with
     | Direct n -> Network.set_handler n ~node:me handler
     | Framed r -> Reliable.set_handler r ~node:me handler
   done;
-  Array.iter (fun node -> start_discard_timer t node) nodes;
+  for pid = 0 to processes - 1 do
+    start_discard_timer t (Protocol.node core pid)
+  done;
   start_heartbeats t;
   start_checkpoint_timers t;
   t
 
-let handle t pid = { cluster = t; node = t.nodes.(pid) }
+let node t pid = Protocol.node t.core pid
 
-let handles t = Array.init (Array.length t.nodes) (handle t)
+let handle t pid = { cluster = t; node = node t pid }
 
-let processes t = Array.length t.nodes
+let handles t = Array.init (Protocol.processes t.core) (handle t)
+
+let processes t = Protocol.processes t.core
 
 let sched t = t.sched
+
+let trace t = t.trace
 
 let net t =
   match t.transport with
@@ -510,15 +354,13 @@ let stale_replies t = t.stale_replies
 
 let rpc_timeouts t = t.rpc_timeouts
 
-let node t pid = t.nodes.(pid)
-
 let history t = History.Recorder.history t.recorder
 
 let timed_history t = List.rev t.timed
 
 let log_timed t op start_time = t.timed <- (op, start_time, sim_now t) :: t.timed
 
-let stats t = Array.to_list (Array.map Node.stats t.nodes)
+let stats t = List.init (processes t) (fun pid -> Node.stats (node t pid))
 
 let total_stats t = Node_stats.total (stats t)
 
@@ -530,9 +372,9 @@ let disk t = t.disk
 
 let wal t pid = t.wals.(pid)
 
-let takeovers t = t.takeovers
+let takeovers t = Protocol.takeovers t.core
 
-let shadow_degraded t = t.shadow_degraded
+let shadow_degraded t = Protocol.shadow_degraded t.core
 
 let shadow_reads t = t.shadow_reads
 
@@ -540,37 +382,13 @@ let redirects t = t.redirects
 
 let wal_sync_failures t = t.wal_sync_failures
 
-let suspect_events t =
-  match t.detectors with
-  | None -> 0
-  | Some dets -> Array.fold_left (fun acc d -> acc + Detector.suspect_events d) 0 dets
+let suspect_events t = Protocol.suspect_events t.core
 
-let unsuspect_events t =
-  match t.detectors with
-  | None -> 0
-  | Some dets -> Array.fold_left (fun acc d -> acc + Detector.unsuspect_events d) 0 dets
+let unsuspect_events t = Protocol.unsuspect_events t.core
 
-let suspected_by t pid =
-  match t.detectors with None -> [] | Some dets -> Detector.suspected_now dets.(pid)
+let suspected_by t pid = Protocol.suspected_by t.core pid
 
-(* The cluster-wide view: per base, the highest epoch any node has adopted. *)
-let view t =
-  let n = Array.length t.nodes in
-  let best = Array.init n (fun base -> (0, base)) in
-  Array.iter
-    (fun node ->
-      List.iter
-        (fun (base, epoch, serving) ->
-          let e, _ = best.(base) in
-          if epoch > e then best.(base) <- (epoch, serving))
-        (Node.view node))
-    t.nodes;
-  let acc = ref [] in
-  for base = n - 1 downto 0 do
-    let e, s = best.(base) in
-    if e > 0 then acc := (base, e, s) :: !acc
-  done;
-  !acc
+let view t = Protocol.view t.core
 
 let epoch_of t ~base =
   List.fold_left (fun acc (b, e, _) -> if b = base then e else acc) 0 (view t)
@@ -578,41 +396,58 @@ let epoch_of t ~base =
 let serving_of t ~base =
   List.fold_left (fun acc (b, _, s) -> if b = base then s else acc) base (view t)
 
+(* One unified counter record (see Node_stats.cluster): the summed per-node
+   protocol counters plus every cluster-level counter, wherever it lives —
+   core, shell or wire. *)
+let cluster_stats t =
+  {
+    Node_stats.protocol = total_stats t;
+    wire_dropped = wire_dropped t;
+    wire_duplicated = wire_duplicated t;
+    retransmissions = retransmissions t;
+    stale_replies = t.stale_replies;
+    rpc_timeouts = t.rpc_timeouts;
+    dropped_at_crashed = Protocol.dropped_at_crashed t.core;
+    redirects = t.redirects;
+    shadow_reads = t.shadow_reads;
+    shadow_degraded = Protocol.shadow_degraded t.core;
+    takeovers = Protocol.takeovers t.core;
+    suspects = Protocol.suspect_events t.core;
+    unsuspects = Protocol.unsuspect_events t.core;
+    wal_sync_failures = t.wal_sync_failures;
+  }
+
 (* Crash-stop failures.  [crash] makes the node deaf (deliveries are
    dropped) and forgets which replies it was waiting for; [restart] brings
    it back by resetting all volatile state and replaying the node's
    write-ahead log, which restores certified writes, view changes and
    shadow copies to the exact pre-crash durable frontier.  Cache-only nodes
-   have empty logs, so for them this degenerates to PR 1's cache-discard
+   have empty logs, so for them this degenerates to cache-discard
    recovery. *)
 let crash t pid =
-  if t.crashed.(pid) then invalid_arg (Printf.sprintf "Cluster.crash: node %d already down" pid);
-  t.crashed.(pid) <- true;
+  if Protocol.is_crashed t.core pid then
+    invalid_arg (Printf.sprintf "Cluster.crash: node %d already down" pid);
   Hashtbl.reset t.pending.(pid);
-  Hashtbl.reset t.shadow_pending.(pid)
+  Hashtbl.reset t.writer_waits.(pid);
+  dispatch t (Protocol.Crash { node = pid })
 
 let restart t pid =
-  if not t.crashed.(pid) then
+  if not (Protocol.is_crashed t.core pid) then
     invalid_arg (Printf.sprintf "Cluster.restart: node %d is not crashed" pid);
-  let node = t.nodes.(pid) in
-  Node.reset_volatile node;
   (match t.transport with Direct _ -> () | Framed r -> Reliable.reset_node r pid);
-  (match t.detectors with
-  | Some dets -> Detector.reset dets.(pid) ~now:(sim_now t)
-  | None -> ());
-  List.iter (fun record -> Node.apply_record node record) (Wal.replay t.wals.(pid));
-  t.crashed.(pid) <- false
+  let records = Wal.replay t.wals.(pid) in
+  dispatch t (Protocol.Restart { node = pid; now = sim_now t; records })
 
-let is_crashed t pid = t.crashed.(pid)
+let is_crashed t pid = Protocol.is_crashed t.core pid
 
-let dropped_at_crashed t = t.dropped_at_crashed
+let dropped_at_crashed t = Protocol.dropped_at_crashed t.core
 
 let pid h = Node.id h.node
 
 let check_up h =
   let t = h.cluster in
   let me = Node.id h.node in
-  if t.crashed.(me) then
+  if Protocol.is_crashed t.core me then
     failwith (Printf.sprintf "node %d is crashed: operations are unavailable until restart" me)
 
 (* Round-trip a request and block until its reply arrives.  [route] picks
@@ -626,7 +461,7 @@ let check_up h =
 let rendezvous h ~op ~loc ~kind ~size ~route make_msg =
   let t = h.cluster in
   let me = Node.id h.node in
-  let max_redirects = 2 * Array.length t.nodes in
+  let max_redirects = 2 * processes t in
   let issue ~dst =
     let req = Node.next_req h.node in
     let ivar = Proc.ivar t.sched in
@@ -635,12 +470,12 @@ let rendezvous h ~op ~loc ~kind ~size ~route make_msg =
     send_msg t ~src:me ~dst ~kind ~size (make_msg ~req ~epoch);
     (req, ivar)
   in
-  (* [Some ()] to redirect (view was updated), [None] to accept the reply. *)
+  (* [true] to redirect (view was updated), [false] to accept the reply. *)
   let stale_redirect reply =
     match (reply : Message.t) with
     | Message.Stale_epoch { base; epoch; serving; _ } ->
         t.redirects <- t.redirects + 1;
-        learn_view t ~me ~base ~epoch ~serving;
+        dispatch t (Protocol.Learn_view { node = me; base; epoch; serving });
         true
     | _ -> false
   in
@@ -690,6 +525,9 @@ let read_stamped h loc =
         ~value:entry.Stamped.value ~from:entry.Stamped.wid
     in
     log_timed t op start_time;
+    emit_body t
+      (Trace.Op_read
+         { node = Node.id node; loc; value = entry.Stamped.value; from = entry.Stamped.wid });
     entry
   in
   match Node.lookup node loc with
@@ -768,29 +606,27 @@ let write_resolved h loc value =
   let stats = Node.stats node in
   let start_time = sim_now t in
   if Node.owns node loc then begin
-    let entry = Node.local_write node loc value in
     let me = Node.id node in
-    wal_append t me (Wal.Write { loc; entry });
-    (* Local writes replicate synchronously too: block until the designated
-       backup has the entry (or the grace timer degrades), so a takeover
-       preserves read-your-writes for the owner's own operations. *)
-    if failover_on t then begin
-      match backup_of t ~serving:me with
-      | Some backup when not (suspected t ~me ~peer:backup) ->
-          let seq = next_shadow_seq t in
-          let ivar = Proc.ivar t.sched in
-          Hashtbl.replace t.shadow_pending.(me) seq (Shadow_wake ivar);
-          send_shadow t ~me ~backup ~base:(Node.base_owner_of node loc) ~seq [ (loc, entry) ];
-          arm_shadow_grace t ~me ~seq;
-          Proc.await ivar
-      | Some _ -> t.shadow_degraded <- t.shadow_degraded + 1
-      | None -> ()
-    end;
+    (* The owner-write path runs through the core (certify, log, shadow);
+       this process blocks on [ivar] until the designated backup has the
+       entry or the grace timer degrades.  When the core completes the
+       write during [dispatch] (failover off, no live backup), the ivar is
+       already filled and the writer never yields. *)
+    let writer = t.writer_seq in
+    t.writer_seq <- writer + 1;
+    let ivar = Proc.ivar t.sched in
+    Hashtbl.replace t.writer_waits.(me) writer ivar;
+    t.last_local_write <- None;
+    dispatch t (Protocol.Owner_write { node = me; loc; value; writer });
+    let entry =
+      match t.last_local_write with Some e -> e | None -> assert false
+    in
+    if not (Proc.is_filled ivar) then Proc.await ivar;
     let op =
-      History.Recorder.record_write t.recorder ~pid:(Node.id node) ~loc ~value
-        ~wid:entry.Stamped.wid
+      History.Recorder.record_write t.recorder ~pid:me ~loc ~value ~wid:entry.Stamped.wid
     in
     log_timed t op start_time;
+    emit_body t (Trace.Op_write { node = me; loc; value; wid = entry.Stamped.wid });
     `Accepted
   end
   else begin
@@ -816,6 +652,7 @@ let write_resolved h loc value =
         stats.Node_stats.writes_remote <- stats.Node_stats.writes_remote + 1;
         let op = History.Recorder.record_write t.recorder ~pid:(Node.id node) ~loc ~value ~wid in
         log_timed t op start_time;
+        emit_body t (Trace.Op_write { node = Node.id node; loc; value; wid });
         if accepted then `Accepted
         else begin
           stats.Node_stats.writes_rejected <- stats.Node_stats.writes_rejected + 1;

@@ -67,14 +67,15 @@ exception Timed_out of timeout_info
 val create :
   sched:Dsm_runtime.Proc.sched ->
   owner:Dsm_memory.Owner.t ->
-  ?config:Config.t ->
+  ?config:Dsm_protocol.Config.t ->
   ?latency:Dsm_net.Latency.t ->
   ?fault:Dsm_net.Network.fault ->
   ?reliability:Dsm_net.Reliable.config ->
   ?rpc:rpc ->
-  ?detector:Detector.config ->
+  ?detector:Dsm_protocol.Detector.config ->
   ?disk:Wal.Disk.t ->
   ?checkpoint_every:float ->
+  ?trace:Dsm_protocol.Trace.t ->
   ?seed:int64 ->
   unit ->
   t
@@ -86,7 +87,11 @@ val create :
     or inspect logs after the cluster is gone.  [?checkpoint_every] starts a
     per-node periodic snapshot checkpoint that truncates the log (must be
     positive); without it logs grow without bound and {!checkpoint_now} is
-    the only truncation. *)
+    the only truncation.  [?trace] attaches the structured event bus: the
+    wire is tapped, the core's trace actions are stamped and published, and
+    every application operation is emitted — consumers (the online checker,
+    the [dsm trace] dump) subscribe to the same bus.  Without it, tracing
+    costs nothing. *)
 
 val handle : t -> int -> handle
 (** The memory handle of process [pid]. *)
@@ -97,12 +102,15 @@ val processes : t -> int
 
 val sched : t -> Dsm_runtime.Proc.sched
 
-val net : t -> Message.t Dsm_net.Network.t
+val trace : t -> Dsm_protocol.Trace.t option
+(** The event bus passed at creation, if any. *)
+
+val net : t -> Dsm_protocol.Message.t Dsm_net.Network.t
 (** The raw network of a cluster created {e without} [?reliability].
     Raises [Invalid_argument] on a reliable cluster (its network carries
     framed messages); use {!reliable} and the uniform accessors below. *)
 
-val reliable : t -> Message.t Dsm_net.Reliable.t option
+val reliable : t -> Dsm_protocol.Message.t Dsm_net.Reliable.t option
 (** The reliable transport, when the cluster was created with
     [?reliability]. *)
 
@@ -203,7 +211,7 @@ val epoch_of : t -> base:int -> int
 val serving_of : t -> base:int -> int
 (** The node serving [base]'s locations under {!epoch_of}. *)
 
-val node : t -> int -> Node.t
+val node : t -> int -> Dsm_protocol.Node.t
 (** Direct access to protocol state, for tests and ablations. *)
 
 val history : t -> Dsm_memory.History.t
@@ -214,10 +222,15 @@ val timed_history : t -> (Dsm_memory.Op.t * float * float) list
     input to the linearizability checker; causal memory's weak executions
     show up here as non-linearizable interval sets. *)
 
-val stats : t -> Node_stats.t list
+val stats : t -> Dsm_protocol.Node_stats.t list
 (** Per-node counters, pid order. *)
 
-val total_stats : t -> Node_stats.t
+val total_stats : t -> Dsm_protocol.Node_stats.t
+
+val cluster_stats : t -> Dsm_protocol.Node_stats.cluster
+(** Every counter the cluster keeps — protocol, wire, RPC, crash and
+    failover — in one record (see {!Dsm_protocol.Node_stats.cluster}); what the chaos
+    health line prints. *)
 
 val shutdown : t -> unit
 (** Stop periodic discard timers so the engine can quiesce. *)
@@ -235,7 +248,7 @@ val write_resolved :
 (** Like [write] but reports whether the owner's resolution policy kept the
     write; the dictionary's delete path cares. *)
 
-val read_stamped : handle -> Dsm_memory.Loc.t -> Stamped.t
+val read_stamped : handle -> Dsm_memory.Loc.t -> Dsm_protocol.Stamped.t
 (** [read] exposing the writestamp; recorded as an ordinary read. *)
 
 val read_result : handle -> Dsm_memory.Loc.t -> (Dsm_memory.Value.t, timeout_info) result

@@ -12,6 +12,7 @@ type t = {
   init : Dsm_memory.Loc.t -> Dsm_memory.Value.t;
   read_request_size : int;
   entry_size : int -> int;
+  unsafe_skip_invalidation : bool;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     init = (fun _ -> Dsm_memory.Value.initial);
     read_request_size = 1;
     entry_size = (fun dim -> 2 + dim);
+    unsafe_skip_invalidation = false;
   }
 
 let with_policy policy t = { t with policy }

@@ -40,6 +40,12 @@ type t = {
   entry_size : int -> int;
       (** wire size of a stamped entry as a function of the vector-clock
           dimension; used only for byte accounting *)
+  unsafe_skip_invalidation : bool;
+      (** {b Test-only fault injection — never enable in real use.}  Skips
+          the Figure-4 invalidation rule entirely, deliberately breaking
+          causal consistency, so tests can prove the online checker catches
+          a genuine protocol bug (not just synthetic histories).  Off in
+          {!default}. *)
 }
 
 val default : t

@@ -1,0 +1,26 @@
+(** The causal DSM: protocol core plus its effect shell.
+
+    The pure layer — node state machine, step function, messages, log
+    records, trace bodies — lives in the [dsm_protocol] library and is
+    re-exported here, so [Dsm_causal.Node], [Dsm_causal.Config] and friends
+    name the same modules whichever library a consumer links against.  The
+    two modules defined in this library are the effectful ones: {!Cluster}
+    (scheduler, transport, timers, durable appends — the interpreter of
+    {!Protocol}'s actions) and {!Wal} (the simulated stable storage). *)
+
+(* Pure core, re-exported. *)
+module Protocol = Dsm_protocol.Protocol
+module Trace = Dsm_protocol.Trace
+module Message = Dsm_protocol.Message
+module Node = Dsm_protocol.Node
+module Node_stats = Dsm_protocol.Node_stats
+module Config = Dsm_protocol.Config
+module Policy = Dsm_protocol.Policy
+module Stamped = Dsm_protocol.Stamped
+module Write_digest = Dsm_protocol.Write_digest
+module Detector = Dsm_protocol.Detector
+module Log_record = Dsm_protocol.Log_record
+
+(* Effect shell, defined in this library. *)
+module Cluster = Cluster
+module Wal = Wal

@@ -1,0 +1,33 @@
+type snapshot = {
+  snap_clock : Vclock.t;
+  snap_view : (int * int * int) list;
+  snap_served : (Dsm_memory.Loc.t * Stamped.t) list;
+  snap_shadows : (int * (Dsm_memory.Loc.t * Stamped.t) list) list;
+}
+
+type t =
+  | Write of { loc : Dsm_memory.Loc.t; entry : Stamped.t }
+  | Clock of Vclock.t
+  | View_change of { base : int; epoch : int; serving : int }
+  | Shadow_entry of { base : int; loc : Dsm_memory.Loc.t; entry : Stamped.t }
+  | Checkpoint of snapshot
+
+let kind = function
+  | Write _ -> "write"
+  | Clock _ -> "clock"
+  | View_change _ -> "view"
+  | Shadow_entry _ -> "shadow"
+  | Checkpoint _ -> "checkpoint"
+
+let pp ppf = function
+  | Write { loc; entry } ->
+      Format.fprintf ppf "write(%a=%a)" Dsm_memory.Loc.pp loc Stamped.pp entry
+  | Clock vt -> Format.fprintf ppf "clock(%a)" Vclock.pp vt
+  | View_change { base; epoch; serving } ->
+      Format.fprintf ppf "view(base %d -> e%d@@%d)" base epoch serving
+  | Shadow_entry { base; loc; entry } ->
+      Format.fprintf ppf "shadow(base %d, %a=%a)" base Dsm_memory.Loc.pp loc Stamped.pp entry
+  | Checkpoint snap ->
+      Format.fprintf ppf "checkpoint(%d served, %d shadow groups)"
+        (List.length snap.snap_served)
+        (List.length snap.snap_shadows)

@@ -7,6 +7,12 @@ type t = {
   id : int;
   owner : Dsm_memory.Owner.t;
   config : Config.t;
+  (* Structured-event capture: when tracing, state transitions are queued
+     as Trace bodies for the caller (Protocol.step or the cluster shell) to
+     drain and publish.  The node never touches a bus itself — recording
+     into its own state keeps it effect-free and replay-deterministic. *)
+  mutable tracing : bool;
+  mutable trace_rev : Trace.body list;
   memory : slot Loc.Table.t;
   (* What the causality rule last invalidated per location, to detect
      refetches of the very same write (over-invalidation accounting). *)
@@ -37,6 +43,8 @@ let create ~id ~owner ~config =
     id;
     owner;
     config;
+    tracing = false;
+    trace_rev = [];
     memory = Loc.Table.create 64;
     last_invalidated = Loc.Table.create 16;
     digest = Write_digest.create ();
@@ -53,6 +61,17 @@ let create ~id ~owner ~config =
 let id t = t.id
 
 let processes t = Dsm_memory.Owner.nodes t.owner
+
+let set_tracing t on = t.tracing <- on
+
+let trace t body = if t.tracing then t.trace_rev <- body :: t.trace_rev
+
+let drain_trace t =
+  match t.trace_rev with
+  | [] -> []
+  | rev ->
+      t.trace_rev <- [];
+      List.rev rev
 
 let vt t = t.clock
 
@@ -129,7 +148,8 @@ let next_req t =
 let drop_invalidated t loc (slot : slot) =
   Loc.Table.remove t.memory loc;
   Loc.Table.replace t.last_invalidated loc slot.entry.Stamped.wid;
-  t.stats.Node_stats.invalidations <- t.stats.Node_stats.invalidations + 1
+  t.stats.Node_stats.invalidations <- t.stats.Node_stats.invalidations + 1;
+  trace t (Trace.Invalidate { node = t.id; loc; wid = slot.entry.Stamped.wid })
 
 (* On (re)introducing a value, check whether the causality rule had thrown
    away this very write earlier: if so the invalidation bought nothing. *)
@@ -151,6 +171,8 @@ let digest_observe t loc (entry : Stamped.t) =
 (* Precise rule: a cached copy dies only when the digest proves a strictly
    newer write of the same location. *)
 let invalidate_per_digest t =
+  if t.config.Config.unsafe_skip_invalidation then ()
+  else begin
   let stale = ref [] in
   Loc.Table.iter
     (fun loc slot ->
@@ -162,9 +184,11 @@ let invalidate_per_digest t =
       end)
     t.memory;
   List.iter (fun (loc, slot) -> drop_invalidated t loc slot) !stale
+  end
 
 let invalidate_older t threshold =
-  if precise t then invalidate_per_digest t
+  if t.config.Config.unsafe_skip_invalidation then ()
+  else if precise t then invalidate_per_digest t
   else begin
     let stale = ref [] in
     Loc.Table.iter
@@ -186,6 +210,7 @@ let local_write t loc value =
   store t loc entry;
   digest_observe t loc entry;
   t.stats.Node_stats.writes_owned <- t.stats.Node_stats.writes_owned + 1;
+  trace t (Trace.Apply { node = t.id; loc; wid = entry.Stamped.wid });
   entry
 
 let certify_write t loc (incoming : Stamped.t) ~accepted =
@@ -221,6 +246,8 @@ let certify_write t loc (incoming : Stamped.t) ~accepted =
           accepted := false;
           current
     in
+    trace t
+      (Trace.Certify { node = t.id; loc; wid = incoming.Stamped.wid; accepted = !accepted });
     invalidate_older t t.clock;
     stored
   end
@@ -238,6 +265,7 @@ let install_remote t loc (entry : Stamped.t) =
   t.clock <- Vclock.update t.clock entry.stamp;
   store t loc entry;
   digest_observe t loc entry;
+  trace t (Trace.Apply { node = t.id; loc; wid = entry.Stamped.wid });
   invalidate_older t entry.stamp
 
 let install_batch t entries =
@@ -258,9 +286,11 @@ let install_batch t entries =
       note_refetch t loc entry;
       t.clock <- Vclock.update t.clock entry.stamp;
       store t loc entry;
-      digest_observe t loc entry)
+      digest_observe t loc entry;
+      trace t (Trace.Apply { node = t.id; loc; wid = entry.Stamped.wid }))
     installable;
-  if precise t then invalidate_per_digest t
+  if t.config.Config.unsafe_skip_invalidation then ()
+  else if precise t then invalidate_per_digest t
   else begin
     (* One invalidation pass over the rest of the cache: anything strictly
        older than some installed stamp goes, but the batch spares itself. *)
@@ -392,8 +422,10 @@ let adopt_view t ~base ~epoch ~serving =
     let deposed = t.view_serving.(base) = t.id && serving <> t.id in
     t.view_epoch.(base) <- epoch;
     t.view_serving.(base) <- serving;
+    trace t (Trace.Adopt_view { node = t.id; base; epoch; serving });
     if deposed then begin
       ignore (drop_served t ~base);
+      trace t (Trace.Demote { node = t.id; base; serving });
       View_demoted
     end
     else View_adopted
@@ -403,6 +435,7 @@ let promote t ~base ~epoch =
   if epoch <= t.view_epoch.(base) then invalid_arg "Node.promote: epoch must grow";
   t.view_epoch.(base) <- epoch;
   t.view_serving.(base) <- t.id;
+  trace t (Trace.Promote { node = t.id; base; epoch });
   let inherited = shadow_entries t ~base in
   List.iter
     (fun (loc, (entry : Stamped.t)) ->
@@ -424,7 +457,7 @@ let promote t ~base ~epoch =
 
 let snapshot t =
   {
-    Wal.snap_clock = t.clock;
+    Log_record.snap_clock = t.clock;
     snap_view = view t;
     snap_served =
       Loc.Table.fold
@@ -444,11 +477,11 @@ let restore_entry t loc (entry : Stamped.t) =
   t.clock <- Vclock.update t.clock entry.Stamped.stamp;
   digest_observe t loc entry
 
-let apply_record t (record : Wal.record) =
+let apply_record t (record : Log_record.t) =
   match record with
-  | Wal.Write { loc; entry } -> restore_entry t loc entry
-  | Wal.Clock clock -> t.clock <- Vclock.update t.clock clock
-  | Wal.View_change { base; epoch; serving } ->
+  | Log_record.Write { loc; entry } -> restore_entry t loc entry
+  | Log_record.Clock clock -> t.clock <- Vclock.update t.clock clock
+  | Log_record.View_change { base; epoch; serving } ->
       (* Replay applies view changes verbatim, in log order: a record that
          deposed this node precedes any write it logged afterwards. *)
       t.view_epoch.(base) <- epoch;
@@ -461,19 +494,19 @@ let apply_record t (record : Wal.record) =
         List.iter (fun (loc, entry) -> restore_entry t loc entry) (shadow_entries t ~base);
         Hashtbl.remove t.shadows base
       end
-  | Wal.Shadow_entry { base; loc; entry } -> shadow_store t ~base loc entry
-  | Wal.Checkpoint snap ->
-      t.clock <- Vclock.update t.clock snap.Wal.snap_clock;
+  | Log_record.Shadow_entry { base; loc; entry } -> shadow_store t ~base loc entry
+  | Log_record.Checkpoint snap ->
+      t.clock <- Vclock.update t.clock snap.Log_record.snap_clock;
       List.iter
         (fun (base, epoch, serving) ->
           t.view_epoch.(base) <- epoch;
           t.view_serving.(base) <- serving)
-        snap.Wal.snap_view;
-      List.iter (fun (loc, entry) -> restore_entry t loc entry) snap.Wal.snap_served;
+        snap.Log_record.snap_view;
+      List.iter (fun (loc, entry) -> restore_entry t loc entry) snap.Log_record.snap_served;
       List.iter
         (fun (base, entries) ->
           List.iter (fun (loc, entry) -> shadow_store t ~base loc entry) entries)
-        snap.Wal.snap_shadows
+        snap.Log_record.snap_shadows
 
 let reset_volatile t =
   (* Crash-stop restart.  Everything a restarted node held in memory is

@@ -31,6 +31,16 @@ val set_vt : t -> Vclock.t -> unit
 
 val stats : t -> Node_stats.t
 
+val set_tracing : t -> bool -> unit
+(** Enable or disable the internal trace queue.  Off by default: an
+    untraced node never allocates for tracing. *)
+
+val drain_trace : t -> Trace.body list
+(** Pop the trace bodies queued since the last drain, oldest first.  The
+    node is pure, so it cannot stamp or publish events itself; the caller
+    (the protocol step function) drains this queue after each transition
+    and turns the bodies into [Emit] actions. *)
+
 val config : t -> Config.t
 
 val owns : t -> Dsm_memory.Loc.t -> bool
@@ -187,11 +197,11 @@ val shadow_size : t -> base:int -> int
 val served_entries : t -> base:int -> (Dsm_memory.Loc.t * Stamped.t) list
 (** The entries this node currently serves whose base owner is [base]. *)
 
-val snapshot : t -> Wal.snapshot
+val snapshot : t -> Log_record.snapshot
 (** Full durable state for a checkpoint: clock, view, every served entry,
     every shadow. *)
 
-val apply_record : t -> Wal.record -> unit
+val apply_record : t -> Log_record.t -> unit
 (** Replay one log record after {!reset_volatile}, in log order: restore a
     served entry, merge a logged clock, reinstate a view change or shadow,
     or load a whole checkpoint snapshot. *)

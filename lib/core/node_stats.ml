@@ -59,3 +59,39 @@ let pp ppf t =
     "hits=%d misses=%d w_owned=%d w_remote=%d w_rejected=%d certified=%d inval=%d discard=%d redundant=%d stale=%d"
     t.read_hits t.read_misses t.writes_owned t.writes_remote t.writes_rejected
     t.writes_certified t.invalidations t.discards t.redundant_fetches t.stale_drops
+
+type cluster = {
+  protocol : t;
+  wire_dropped : int;
+  wire_duplicated : int;
+  retransmissions : int;
+  stale_replies : int;
+  rpc_timeouts : int;
+  dropped_at_crashed : int;
+  redirects : int;
+  shadow_reads : int;
+  shadow_degraded : int;
+  takeovers : int;
+  suspects : int;
+  unsuspects : int;
+  wal_sync_failures : int;
+}
+
+(* One line, zero-valued fields suppressed: chaos health lines stay short
+   on clean runs and grow only as faults actually fire. *)
+let pp_cluster ppf c =
+  Format.fprintf ppf "%a" pp c.protocol;
+  let field name v = if v <> 0 then Format.fprintf ppf " %s=%d" name v in
+  field "wire_dropped" c.wire_dropped;
+  field "wire_dup" c.wire_duplicated;
+  field "retrans" c.retransmissions;
+  field "stale_replies" c.stale_replies;
+  field "rpc_timeouts" c.rpc_timeouts;
+  field "dropped_at_crashed" c.dropped_at_crashed;
+  field "redirects" c.redirects;
+  field "shadow_reads" c.shadow_reads;
+  field "shadow_degraded" c.shadow_degraded;
+  field "takeovers" c.takeovers;
+  field "suspects" c.suspects;
+  field "unsuspects" c.unsuspects;
+  field "wal_sync_failures" c.wal_sync_failures

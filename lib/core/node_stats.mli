@@ -28,3 +28,29 @@ val total : t list -> t
 (** Component-wise sum (a fresh accumulator). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** The whole cluster's counters in one record, assembled by
+    [Cluster.cluster_stats]: the summed per-node protocol counters plus
+    every cluster-level counter that used to be scattered across bespoke
+    accessors — transport faults and recovery, RPC timeouts and stale
+    replies, crash-stop losses, and the failover machinery. *)
+type cluster = {
+  protocol : t;  (** sum of the per-node counters above *)
+  wire_dropped : int;  (** messages lost to down links / the fault model *)
+  wire_duplicated : int;
+  retransmissions : int;  (** reliable-layer re-sends (0 on direct) *)
+  stale_replies : int;  (** replies to abandoned request tags *)
+  rpc_timeouts : int;  (** individual RPC attempts that timed out *)
+  dropped_at_crashed : int;  (** deliveries to crashed nodes *)
+  redirects : int;  (** re-routes after epoch-fencing replies *)
+  shadow_reads : int;  (** reads served from a backup's shadow copy *)
+  shadow_degraded : int;  (** writes acknowledged without replication *)
+  takeovers : int;  (** ownership promotions by backups *)
+  suspects : int;  (** failure-detector suspicion transitions *)
+  unsuspects : int;  (** recoveries from suspicion *)
+  wal_sync_failures : int;  (** injected log-sync faults that fired *)
+}
+
+val pp_cluster : Format.formatter -> cluster -> unit
+(** One line: the protocol counters, then only the non-zero cluster-level
+    fields (clean runs stay short). *)

@@ -1,0 +1,468 @@
+module Loc = Dsm_memory.Loc
+module Owner = Dsm_memory.Owner
+
+type completion =
+  | Reply of { dst : int; kind : string; size : int; msg : Message.t }
+  | Writer of int
+
+type event =
+  | Deliver of { dst : int; src : int; now : float; msg : Message.t }
+  | Hb_tick of { node : int; now : float }
+  | Grace_expired of { node : int; seq : int }
+  | Owner_write of { node : int; loc : Loc.t; value : Dsm_memory.Value.t; writer : int }
+  | Learn_view of { node : int; base : int; epoch : int; serving : int }
+  | Crash of { node : int }
+  | Restart of { node : int; now : float; records : Log_record.t list }
+
+type action =
+  | Send of { src : int; dst : int; kind : string; size : int; msg : Message.t }
+  | Client_reply of { node : int; req : int; msg : Message.t }
+  | Wake_writer of { node : int; writer : int }
+  | Append of { node : int; record : Log_record.t }
+  | Arm_grace of { node : int; seq : int }
+  | Local_write_done of { node : int; entry : Stamped.t }
+  | Emit of Trace.body
+
+type state = {
+  nodes : Node.t array;
+  owner : Owner.t;
+  config : Config.t;
+  crashed : bool array;
+  detectors : Detector.t array option; (* Some iff failover is enabled *)
+  shadow_pending : (int, completion) Hashtbl.t array;
+  mutable shadow_seq : int;
+  mutable dropped_at_crashed : int;
+  mutable takeovers : int;
+  mutable shadow_degraded : int;
+  mutable tracing : bool;
+}
+
+let create ~owner ~config ?detector ~now () =
+  let processes = Owner.nodes owner in
+  let detectors =
+    (* Failover needs a peer to fail over to. *)
+    match detector with
+    | Some cfg when processes >= 2 ->
+        Some (Array.init processes (fun me -> Detector.create cfg ~nodes:processes ~me ~now))
+    | Some _ | None -> None
+  in
+  {
+    nodes = Array.init processes (fun id -> Node.create ~id ~owner ~config);
+    owner;
+    config;
+    crashed = Array.make processes false;
+    detectors;
+    shadow_pending = Array.init processes (fun _ -> Hashtbl.create 8);
+    shadow_seq = 0;
+    dropped_at_crashed = 0;
+    takeovers = 0;
+    shadow_degraded = 0;
+    tracing = false;
+  }
+
+let processes t = Array.length t.nodes
+
+let node t pid = t.nodes.(pid)
+
+let is_crashed t pid = t.crashed.(pid)
+
+let failover_on t = t.detectors <> None
+
+let suspected t ~me ~peer =
+  match t.detectors with Some dets -> Detector.suspected dets.(me) peer | None -> false
+
+let backup_of t ~serving =
+  let n = Array.length t.nodes in
+  let b = (serving + 1) mod n in
+  if b = serving then None else Some b
+
+(* The cluster-wide view: per base, the highest epoch any node has adopted. *)
+let view t =
+  let n = Array.length t.nodes in
+  let best = Array.init n (fun base -> (0, base)) in
+  Array.iter
+    (fun node ->
+      List.iter
+        (fun (base, epoch, serving) ->
+          let e, _ = best.(base) in
+          if epoch > e then best.(base) <- (epoch, serving))
+        (Node.view node))
+    t.nodes;
+  let acc = ref [] in
+  for base = n - 1 downto 0 do
+    let e, s = best.(base) in
+    if e > 0 then acc := (base, e, s) :: !acc
+  done;
+  !acc
+
+let dropped_at_crashed t = t.dropped_at_crashed
+
+let takeovers t = t.takeovers
+
+let shadow_degraded t = t.shadow_degraded
+
+let suspect_events t =
+  match t.detectors with
+  | None -> 0
+  | Some dets -> Array.fold_left (fun acc d -> acc + Detector.suspect_events d) 0 dets
+
+let unsuspect_events t =
+  match t.detectors with
+  | None -> 0
+  | Some dets -> Array.fold_left (fun acc d -> acc + Detector.unsuspect_events d) 0 dets
+
+let suspected_by t pid =
+  match t.detectors with None -> [] | Some dets -> Detector.suspected_now dets.(pid)
+
+let set_tracing t on =
+  t.tracing <- on;
+  Array.iter (fun node -> Node.set_tracing node on) t.nodes
+
+(* {1 Action accumulation}
+
+   Actions are consed onto a reversed list and flipped once at the end of
+   [step]. *)
+
+let act acc a = acc := a :: !acc
+
+let emitq t acc body = if t.tracing then act acc (Emit body)
+
+(* Node mutators queue their own trace bodies internally (they cannot emit
+   effects); [flush] moves whatever one node queued into the action list at
+   the point the caller chooses, preserving order. *)
+let flush t me acc =
+  if t.tracing then List.iter (fun body -> act acc (Emit body)) (Node.drain_trace t.nodes.(me))
+
+let entry_wire_size t count = count * t.config.Config.entry_size (Owner.nodes t.owner)
+
+let digest_wire_size t digest = Write_digest.wire_size digest ~dim:(Owner.nodes t.owner)
+
+let append t acc me record =
+  act acc (Append { node = me; record });
+  emitq t acc (Trace.Wal_append { node = me; kind = Log_record.kind record })
+
+(* Any delivery is proof of life: protocol traffic unsuspects a peer just
+   as heartbeats do. *)
+let heard t acc ~me ~src ~now =
+  match t.detectors with
+  | Some dets when src <> me ->
+      if Detector.heard dets.(me) ~peer:src ~now then
+        emitq t acc (Trace.Unsuspect { node = me; peer = src })
+  | _ -> ()
+
+(* Fold in a view entry learned from any channel (takeover broadcast,
+   heartbeat gossip, fencing reply), logging real changes for replay. *)
+let learn_view t acc ~me ~base ~epoch ~serving =
+  match Node.adopt_view t.nodes.(me) ~base ~epoch ~serving with
+  | Node.View_ignored -> ()
+  | Node.View_adopted | Node.View_demoted ->
+      flush t me acc;
+      append t acc me (Log_record.View_change { base; epoch; serving })
+
+let next_shadow_seq t =
+  let s = t.shadow_seq in
+  t.shadow_seq <- s + 1;
+  s
+
+let send_shadow t acc ~me ~backup ~base ~seq entries =
+  act acc
+    (Send
+       {
+         src = me;
+         dst = backup;
+         kind = "SHADOW";
+         size = entry_wire_size t (List.length entries);
+         msg = Message.Shadow { seq; base; entries };
+       })
+
+let complete t acc ~me wait =
+  match wait with
+  | Reply { dst; kind; size; msg } ->
+      (* The owner may have crashed while the shadow was in flight; a dead
+         node sends nothing. *)
+      if not t.crashed.(me) then act acc (Send { src = me; dst; kind; size; msg })
+  | Writer writer ->
+      (* Always wake the blocked writer — its write completed before any
+         crash could happen (crashes strike between operations). *)
+      act acc (Wake_writer { node = me; writer })
+
+let degrade t acc ~me ~seq =
+  t.shadow_degraded <- t.shadow_degraded + 1;
+  emitq t acc (Trace.Shadow_degraded { node = me; seq })
+
+(* Replicate freshly certified [entries] of [base] to the designated backup
+   and run [wait]'s completion once acknowledged.  Degrades to completing
+   immediately when failover is off or the backup is itself suspected. *)
+let shadow_then t acc ~me ~base entries wait =
+  let proceed () = complete t acc ~me wait in
+  if not (failover_on t) then proceed ()
+  else
+    match backup_of t ~serving:me with
+    | None -> proceed ()
+    | Some backup when suspected t ~me ~peer:backup ->
+        degrade t acc ~me ~seq:(-1);
+        proceed ()
+    | Some backup ->
+        let seq = next_shadow_seq t in
+        Hashtbl.replace t.shadow_pending.(me) seq wait;
+        send_shadow t acc ~me ~backup ~base ~seq entries;
+        act acc (Arm_grace { node = me; seq })
+
+(* Epoch fencing: a request is served only by the node currently serving
+   the location under an epoch at least as new as the client's.  Everything
+   else gets the server's own view back and re-routes. *)
+let fence node loc epoch =
+  let base = Node.base_owner_of node loc in
+  if (not (Node.owns node loc)) || epoch < Node.epoch_of node ~base then
+    Some (base, Node.epoch_of node ~base, Node.serving_of node ~base)
+  else None
+
+(* A heartbeat tick suspecting [peer] triggers handoff: if this node is the
+   designated backup for a base [peer] was serving, it promotes itself
+   under the next epoch, broadcasts the takeover, and primes its own backup
+   with the inherited state. *)
+let on_suspect t acc ~me ~peer =
+  let node = t.nodes.(me) in
+  let n = Array.length t.nodes in
+  for base = 0 to n - 1 do
+    if Node.serving_of node ~base = peer then
+      match backup_of t ~serving:peer with
+      | Some b when b = me ->
+          let epoch = Node.epoch_of node ~base + 1 in
+          let inherited = Node.promote node ~base ~epoch in
+          t.takeovers <- t.takeovers + 1;
+          flush t me acc;
+          append t acc me (Log_record.View_change { base; epoch; serving = me });
+          for dst = 0 to n - 1 do
+            if dst <> me then
+              act acc
+                (Send
+                   {
+                     src = me;
+                     dst;
+                     kind = "TAKEOVER";
+                     size = 1;
+                     msg = Message.Takeover { base; epoch; serving = me };
+                   })
+          done;
+          (match backup_of t ~serving:me with
+          | Some next_backup
+            when next_backup <> peer
+                 && (not (suspected t ~me ~peer:next_backup))
+                 && inherited <> [] ->
+              (* Fire-and-forget snapshot: no reply is gated on it, the
+                 per-write shadows that follow keep it current. *)
+              let seq = next_shadow_seq t in
+              send_shadow t acc ~me ~backup:next_backup ~base ~seq inherited
+          | _ -> ())
+      | _ -> ()
+  done
+
+(* The owner-side services of Figure 4 plus the failover machinery; one
+   message delivery, handled atomically. *)
+let handle_message t acc ~me ~src ~now msg =
+  if t.crashed.(me) then
+    (* A crash-stop node loses everything that arrives while it is down. *)
+    t.dropped_at_crashed <- t.dropped_at_crashed + 1
+  else begin
+    heard t acc ~me ~src ~now;
+    let node = t.nodes.(me) in
+    match (msg : Message.t) with
+    | Message.Read_req { req; loc; epoch } -> (
+        match fence node loc epoch with
+        | Some (base, my_epoch, serving) ->
+            act acc
+              (Send
+                 {
+                   src = me;
+                   dst = src;
+                   kind = "STALE";
+                   size = 1;
+                   msg = Message.Stale_epoch { req; base; epoch = my_epoch; serving };
+                 })
+        | None ->
+            let entry =
+              match Node.lookup node loc with Some e -> e | None -> assert false
+              (* served locations always present after lookup *)
+            in
+            let page = Node.page_entries node loc in
+            let digest = Node.digest_export node in
+            flush t me acc;
+            act acc
+              (Send
+                 {
+                   src = me;
+                   dst = src;
+                   kind = "R_REPLY";
+                   size = entry_wire_size t (1 + List.length page) + digest_wire_size t digest;
+                   msg = Message.Read_reply { req; loc; entry; page; digest };
+                 }))
+    | Message.Write_req { req; loc; entry; digest; epoch } -> (
+        match fence node loc epoch with
+        | Some (base, my_epoch, serving) ->
+            act acc
+              (Send
+                 {
+                   src = me;
+                   dst = src;
+                   kind = "STALE";
+                   size = 1;
+                   msg = Message.Stale_epoch { req; base; epoch = my_epoch; serving };
+                 })
+        | None ->
+            Node.digest_merge node digest;
+            let accepted = ref false in
+            let stored = Node.certify_write node loc entry ~accepted in
+            flush t me acc;
+            (* Durable before the reply leaves the node: an acknowledged
+               write must survive a crash (the rejected case still logs the
+               clock merge, so replay reaches the exact frontier). *)
+            if !accepted then append t acc me (Log_record.Write { loc; entry = stored })
+            else append t acc me (Log_record.Clock (Node.vt node));
+            let digest = Node.digest_export node in
+            let reply =
+              Message.Write_reply { req; loc; accepted = !accepted; entry = stored; digest }
+            in
+            let size = entry_wire_size t 1 + digest_wire_size t digest in
+            let wait = Reply { dst = src; kind = "W_REPLY"; size; msg = reply } in
+            if !accepted then
+              shadow_then t acc ~me ~base:(Node.base_owner_of node loc) [ (loc, stored) ] wait
+            else complete t acc ~me wait)
+    | Message.Heartbeat { view } ->
+        List.iter (fun (base, epoch, serving) -> learn_view t acc ~me ~base ~epoch ~serving) view
+    | Message.Takeover { base; epoch; serving } -> learn_view t acc ~me ~base ~epoch ~serving
+    | Message.Shadow { seq; base; entries } ->
+        List.iter
+          (fun (loc, entry) ->
+            Node.shadow_store node ~base loc entry;
+            append t acc me (Log_record.Shadow_entry { base; loc; entry }))
+          entries;
+        act acc
+          (Send
+             { src = me; dst = src; kind = "SH_ACK"; size = 1; msg = Message.Shadow_ack { seq } })
+    | Message.Shadow_ack { seq } -> (
+        match Hashtbl.find_opt t.shadow_pending.(me) seq with
+        | Some wait ->
+            Hashtbl.remove t.shadow_pending.(me) seq;
+            complete t acc ~me wait
+        | None ->
+            (* An ack after the grace timer already degraded, or for a
+               fire-and-forget snapshot shadow: nothing left to do. *)
+            ())
+    | Message.Shadow_read_req { req; loc } ->
+        (* Degraded read while the owner is suspected: serve the shadow copy
+           (every acknowledged write is in it), the served copy if this
+           backup already promoted, or the initial value if the location was
+           never written — all live values under Definition 2. *)
+        let base = Node.base_owner_of node loc in
+        let entry =
+          if Node.owns node loc then
+            match Node.lookup node loc with Some e -> e | None -> assert false
+          else
+            match Node.shadow_lookup node ~base loc with
+            | Some e -> e
+            | None ->
+                Stamped.initial ~processes:(Array.length t.nodes) (t.config.Config.init loc)
+        in
+        flush t me acc;
+        act acc
+          (Send
+             {
+               src = me;
+               dst = src;
+               kind = "SH_REPLY";
+               size = entry_wire_size t 1;
+               msg = Message.Shadow_read_reply { req; loc; entry };
+             })
+    | Message.Read_reply { req; _ }
+    | Message.Write_reply { req; _ }
+    | Message.Stale_epoch { req; _ }
+    | Message.Shadow_read_reply { req; _ } ->
+        (* Replies route to whichever process is waiting on the tag — a
+           per-request ivar the shell owns; it also counts stale replies. *)
+        act acc (Client_reply { node = me; req; msg })
+  end
+
+let step t event =
+  let acc = ref [] in
+  (match event with
+  | Deliver { dst = me; src; now; msg } ->
+      handle_message t acc ~me ~src ~now msg;
+      flush t me acc
+  | Hb_tick { node = me; now } -> (
+      match t.detectors with
+      | Some dets when not t.crashed.(me) ->
+          let view = Node.view t.nodes.(me) in
+          let n = Array.length t.nodes in
+          for dst = 0 to n - 1 do
+            if dst <> me then
+              act acc
+                (Send
+                   {
+                     src = me;
+                     dst;
+                     kind = "HB";
+                     size = 1 + List.length view;
+                     msg = Message.Heartbeat { view };
+                   })
+          done;
+          let newly = Detector.tick dets.(me) ~now in
+          List.iter
+            (fun peer ->
+              emitq t acc (Trace.Suspect { node = me; peer });
+              on_suspect t acc ~me ~peer)
+            newly;
+          flush t me acc
+      | _ -> ())
+  | Grace_expired { node = me; seq } -> (
+      match Hashtbl.find_opt t.shadow_pending.(me) seq with
+      | Some wait ->
+          (* The backup never acknowledged within the grace window: degrade
+             to unreplicated operation rather than blocking the writer on a
+             possibly-dead backup. *)
+          Hashtbl.remove t.shadow_pending.(me) seq;
+          degrade t acc ~me ~seq;
+          complete t acc ~me wait
+      | None -> ())
+  | Owner_write { node = me; loc; value; writer } ->
+      let node = t.nodes.(me) in
+      let entry = Node.local_write node loc value in
+      flush t me acc;
+      append t acc me (Log_record.Write { loc; entry });
+      act acc (Local_write_done { node = me; entry });
+      (* Local writes replicate synchronously too: the writer stays blocked
+         until the designated backup has the entry (or the grace timer
+         degrades), so a takeover preserves read-your-writes for the
+         owner's own operations. *)
+      if failover_on t then begin
+        match backup_of t ~serving:me with
+        | Some backup when not (suspected t ~me ~peer:backup) ->
+            let seq = next_shadow_seq t in
+            Hashtbl.replace t.shadow_pending.(me) seq (Writer writer);
+            send_shadow t acc ~me ~backup ~base:(Node.base_owner_of node loc) ~seq
+              [ (loc, entry) ];
+            act acc (Arm_grace { node = me; seq })
+        | Some _ ->
+            degrade t acc ~me ~seq:(-1);
+            act acc (Wake_writer { node = me; writer })
+        | None -> act acc (Wake_writer { node = me; writer })
+      end
+      else act acc (Wake_writer { node = me; writer })
+  | Learn_view { node = me; base; epoch; serving } ->
+      learn_view t acc ~me ~base ~epoch ~serving;
+      flush t me acc
+  | Crash { node = me } ->
+      t.crashed.(me) <- true;
+      (* Pending shadow completions die with the node: the grace timer
+         finds nothing and the acks go nowhere, exactly crash-stop. *)
+      Hashtbl.reset t.shadow_pending.(me);
+      emitq t acc (Trace.Crash { node = me })
+  | Restart { node = me; now; records } ->
+      let node = t.nodes.(me) in
+      Node.reset_volatile node;
+      (match t.detectors with Some dets -> Detector.reset dets.(me) ~now | None -> ());
+      List.iter (fun record -> Node.apply_record node record) records;
+      t.crashed.(me) <- false;
+      flush t me acc;
+      emitq t acc (Trace.Restart { node = me; replayed = List.length records }));
+  (t, List.rev !acc)

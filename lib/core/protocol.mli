@@ -1,0 +1,127 @@
+(** The pure protocol core: every server-side decision of the causal DSM,
+    with no effects.
+
+    [step state event] consumes one input — a message delivery, a
+    heartbeat tick, a grace-timer expiry, an owner-local write, a crash or
+    a restart — mutates the protocol state in place, and returns the list
+    of {!action}s the caller must perform, in order.  The core never
+    touches the network, the scheduler, the clock or the disk: it does not
+    know they exist.  Everything observable it wants done comes back as
+    data, so the same state and the same event sequence always produce the
+    same action sequences — the determinism the replay test and the golden
+    traces rely on (see test/test_protocol.ml).
+
+    The effect shell around it is {!Cluster}: it feeds deliveries from the
+    transport handlers, timer expiries from the simulation engine, and
+    interprets actions as [Network]/[Reliable] sends, [Wal] appends,
+    engine-scheduled grace timers and [Proc] ivar fills.  The shell also
+    keeps everything that is inherently effectful or per-request: the
+    pending-reply ivars, the RPC retry loops, the blocked-writer ivars.
+
+    What lives here (the Figure-4 service plus the failover machinery):
+    - READ/WRITE service with epoch fencing ([Stale_epoch]);
+    - write certification, invalidation and the digest bookkeeping (via
+      {!Node});
+    - shadow replication of certified writes to the ring-successor backup,
+      with the grace-timer degrade;
+    - heartbeat gossip, failure suspicion ({!Detector}) and ownership
+      takeover;
+    - crash-stop semantics (a down node drops deliveries) and restart by
+      log replay. *)
+
+(** What a certified write's shadow acknowledgement (or its grace-timer
+    degrade) completes: a deferred [W_REPLY] for a remote writer, or a
+    blocked local writer identified by a shell-allocated token. *)
+type completion =
+  | Reply of { dst : int; kind : string; size : int; msg : Message.t }
+  | Writer of int
+
+type event =
+  | Deliver of { dst : int; src : int; now : float; msg : Message.t }
+      (** the transport delivered [msg] from [src] at node [dst] *)
+  | Hb_tick of { node : int; now : float }
+      (** [node]'s heartbeat timer fired: gossip the view, re-evaluate the
+          failure detector, hand off ownership from newly suspected peers *)
+  | Grace_expired of { node : int; seq : int }
+      (** the shadow-replication grace timer for [seq] fired *)
+  | Owner_write of { node : int; loc : Dsm_memory.Loc.t; value : Dsm_memory.Value.t; writer : int }
+      (** [node] writes a location it serves; [writer] is the shell's token
+          for the blocked writing process *)
+  | Learn_view of { node : int; base : int; epoch : int; serving : int }
+      (** [node] learned a view entry outside a delivery (a [Stale_epoch]
+          reply consumed by the shell's RPC loop) *)
+  | Crash of { node : int }
+  | Restart of { node : int; now : float; records : Log_record.t list }
+      (** [records] is the node's replayed write-ahead log, in log order *)
+
+type action =
+  | Send of { src : int; dst : int; kind : string; size : int; msg : Message.t }
+  | Client_reply of { node : int; req : int; msg : Message.t }
+      (** hand a reply to the process of [node] waiting on request tag
+          [req]; if nobody is waiting the shell counts it stale *)
+  | Wake_writer of { node : int; writer : int }
+      (** unblock the local writer identified by [writer] (idempotent) *)
+  | Append of { node : int; record : Log_record.t }
+      (** append to [node]'s write-ahead log {e before} performing any
+          action that follows in the list — durability orders the reply *)
+  | Arm_grace of { node : int; seq : int }
+      (** start the shadow grace timer; feed {!Grace_expired} when it fires *)
+  | Local_write_done of { node : int; entry : Stamped.t }
+      (** the certified entry of an {!Owner_write} (always precedes the
+          completion of its [writer]) *)
+  | Emit of Trace.body
+      (** publish on the event bus (only produced while tracing is on) *)
+
+type state
+
+val create :
+  owner:Dsm_memory.Owner.t ->
+  config:Config.t ->
+  ?detector:Detector.config ->
+  now:float ->
+  unit ->
+  state
+(** Fresh protocol state.  A detector config enables failover when the
+    cluster has at least two nodes (a lone node has nobody to fail over
+    to); [now] seeds the detectors' heard-from times. *)
+
+val step : state -> event -> state * action list
+(** The transition function.  The returned state is physically the input
+    state (mutated in place); it is returned so consumers can thread it
+    functionally.  Actions must be performed in list order. *)
+
+val set_tracing : state -> bool -> unit
+(** Toggle [Emit] production.  Off (the default) costs nothing. *)
+
+(** {1 Read-only accessors the shell and tests use} *)
+
+val processes : state -> int
+
+val node : state -> int -> Node.t
+
+val is_crashed : state -> int -> bool
+
+val failover_on : state -> bool
+
+val suspected : state -> me:int -> peer:int -> bool
+
+val backup_of : state -> serving:int -> int option
+(** The designated backup of whatever [serving] certifies: its ring
+    successor; [None] in a single-node cluster. *)
+
+val view : state -> (int * int * int) list
+(** Cluster-wide view: per base with any takeover, the highest epoch any
+    node has adopted, as [(base, epoch, serving)] ascending by base. *)
+
+val dropped_at_crashed : state -> int
+
+val takeovers : state -> int
+
+val shadow_degraded : state -> int
+
+val suspect_events : state -> int
+
+val unsuspect_events : state -> int
+
+val suspected_by : state -> int -> int list
+(** Peers currently suspected by one node, ascending. *)

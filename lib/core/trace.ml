@@ -1,0 +1,167 @@
+module Loc = Dsm_memory.Loc
+module Wid = Dsm_memory.Wid
+module Value = Dsm_memory.Value
+
+type body =
+  | Send of { src : int; dst : int; kind : string; size : int }
+  | Deliver of { src : int; dst : int; kind : string }
+  | Drop of { src : int; dst : int; kind : string }
+  | Duplicate of { src : int; dst : int; kind : string }
+  | Apply of { node : int; loc : Loc.t; wid : Wid.t }
+  | Invalidate of { node : int; loc : Loc.t; wid : Wid.t }
+  | Certify of { node : int; loc : Loc.t; wid : Wid.t; accepted : bool }
+  | Wal_append of { node : int; kind : string }
+  | Suspect of { node : int; peer : int }
+  | Unsuspect of { node : int; peer : int }
+  | Promote of { node : int; base : int; epoch : int }
+  | Demote of { node : int; base : int; serving : int }
+  | Adopt_view of { node : int; base : int; epoch : int; serving : int }
+  | Shadow_degraded of { node : int; seq : int }
+  | Crash of { node : int }
+  | Restart of { node : int; replayed : int }
+  | Op_read of { node : int; loc : Loc.t; value : Value.t; from : Wid.t }
+  | Op_write of { node : int; loc : Loc.t; value : Value.t; wid : Wid.t }
+  | Violation of { node : int; reason : string }
+
+type event = { seq : int; time : float; clock : Vclock.t option; body : body }
+
+type t = {
+  record : bool;
+  mutable subscribers : (event -> unit) list;  (* reversed subscription order *)
+  mutable recorded : event list;  (* newest first *)
+  mutable count : int;
+}
+
+let create ?(record = true) () = { record; subscribers = []; recorded = []; count = 0 }
+
+let subscribe t f = t.subscribers <- f :: t.subscribers
+
+let emit t ~time ?clock body =
+  let ev = { seq = t.count; time; clock; body } in
+  t.count <- t.count + 1;
+  if t.record then t.recorded <- ev :: t.recorded;
+  (* Subscribers run in subscription order. *)
+  List.iter (fun f -> f ev) (List.rev t.subscribers)
+
+let events t = List.rev t.recorded
+
+let count t = t.count
+
+let kind = function
+  | Send _ -> "send"
+  | Deliver _ -> "deliver"
+  | Drop _ -> "drop"
+  | Duplicate _ -> "duplicate"
+  | Apply _ -> "apply"
+  | Invalidate _ -> "invalidate"
+  | Certify _ -> "certify"
+  | Wal_append _ -> "wal"
+  | Suspect _ -> "suspect"
+  | Unsuspect _ -> "unsuspect"
+  | Promote _ -> "promote"
+  | Demote _ -> "demote"
+  | Adopt_view _ -> "adopt_view"
+  | Shadow_degraded _ -> "degraded"
+  | Crash _ -> "crash"
+  | Restart _ -> "restart"
+  | Op_read _ -> "read"
+  | Op_write _ -> "write"
+  | Violation _ -> "violation"
+
+let actor = function
+  | Send { src; _ } -> Some src
+  | Deliver { dst; _ } | Duplicate { dst; _ } -> Some dst
+  | Drop _ -> None
+  | Apply { node; _ } | Invalidate { node; _ } | Certify { node; _ } | Wal_append { node; _ }
+  | Suspect { node; _ } | Unsuspect { node; _ } | Promote { node; _ } | Demote { node; _ }
+  | Adopt_view { node; _ } | Shadow_degraded { node; _ } | Crash { node } | Restart { node; _ }
+  | Op_read { node; _ } | Op_write { node; _ } | Violation { node; _ } ->
+      Some node
+
+let milestone = function
+  | Suspect _ | Unsuspect _ | Promote _ | Demote _ | Adopt_view _ | Crash _ | Restart _
+  | Op_read _ | Op_write _ | Violation _ ->
+      true
+  | Send _ | Deliver _ | Drop _ | Duplicate _ | Apply _ | Invalidate _ | Certify _
+  | Wal_append _ | Shadow_degraded _ ->
+      false
+
+(* Minimal JSON: every string we embed is an identifier-like token (message
+   kinds, location names, value renderings), but escape defensively anyway. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let body_fields = function
+  | Send { src; dst; kind; size } ->
+      [ ("src", string_of_int src); ("dst", string_of_int dst); ("kind", json_string kind);
+        ("size", string_of_int size) ]
+  | Deliver { src; dst; kind } | Drop { src; dst; kind } | Duplicate { src; dst; kind } ->
+      [ ("src", string_of_int src); ("dst", string_of_int dst); ("kind", json_string kind) ]
+  | Apply { node; loc; wid } | Invalidate { node; loc; wid } ->
+      [ ("node", string_of_int node); ("loc", json_string (Loc.to_string loc));
+        ("wid", json_string (Wid.to_string wid)) ]
+  | Certify { node; loc; wid; accepted } ->
+      [ ("node", string_of_int node); ("loc", json_string (Loc.to_string loc));
+        ("wid", json_string (Wid.to_string wid)); ("accepted", string_of_bool accepted) ]
+  | Wal_append { node; kind } ->
+      [ ("node", string_of_int node); ("kind", json_string kind) ]
+  | Suspect { node; peer } | Unsuspect { node; peer } ->
+      [ ("node", string_of_int node); ("peer", string_of_int peer) ]
+  | Promote { node; base; epoch } ->
+      [ ("node", string_of_int node); ("base", string_of_int base);
+        ("epoch", string_of_int epoch) ]
+  | Demote { node; base; serving } ->
+      [ ("node", string_of_int node); ("base", string_of_int base);
+        ("serving", string_of_int serving) ]
+  | Adopt_view { node; base; epoch; serving } ->
+      [ ("node", string_of_int node); ("base", string_of_int base);
+        ("epoch", string_of_int epoch); ("serving", string_of_int serving) ]
+  | Shadow_degraded { node; seq } ->
+      [ ("node", string_of_int node); ("seq", string_of_int seq) ]
+  | Crash { node } -> [ ("node", string_of_int node) ]
+  | Restart { node; replayed } ->
+      [ ("node", string_of_int node); ("replayed", string_of_int replayed) ]
+  | Op_read { node; loc; value; from } ->
+      [ ("node", string_of_int node); ("loc", json_string (Loc.to_string loc));
+        ("value", json_string (Value.to_string value));
+        ("from", json_string (Wid.to_string from)) ]
+  | Op_write { node; loc; value; wid } ->
+      [ ("node", string_of_int node); ("loc", json_string (Loc.to_string loc));
+        ("value", json_string (Value.to_string value));
+        ("wid", json_string (Wid.to_string wid)) ]
+  | Violation { node; reason } ->
+      [ ("node", string_of_int node); ("reason", json_string reason) ]
+
+let to_json ev =
+  let fields =
+    [ ("seq", string_of_int ev.seq); ("t", Printf.sprintf "%.3f" ev.time);
+      ("ev", json_string (kind ev.body)) ]
+    @ body_fields ev.body
+    @ (match ev.clock with
+      | None -> []
+      | Some vt ->
+          [ ("vt",
+             "["
+             ^ String.concat "," (List.map string_of_int (Array.to_list (Vclock.to_array vt)))
+             ^ "]" ) ])
+  in
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields) ^ "}"
+
+let pp_body ppf body =
+  Format.fprintf ppf "%s{%s}" (kind body)
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) (body_fields body)))
+
+let pp_event ppf ev = Format.fprintf ppf "[%.3f] #%d %a" ev.time ev.seq pp_body ev.body

@@ -1,11 +1,17 @@
-type snapshot = {
+module Stamped = Dsm_protocol.Stamped
+module Log_record = Dsm_protocol.Log_record
+
+(* The record types live in {!Log_record} (the pure protocol library, which
+   cannot see this module's effects); re-exported here with type equations
+   so [Wal.Write]/[Wal.snapshot] keep meaning what they always did. *)
+type snapshot = Log_record.snapshot = {
   snap_clock : Vclock.t;
   snap_view : (int * int * int) list;
   snap_served : (Dsm_memory.Loc.t * Stamped.t) list;
   snap_shadows : (int * (Dsm_memory.Loc.t * Stamped.t) list) list;
 }
 
-type record =
+type record = Log_record.t =
   | Write of { loc : Dsm_memory.Loc.t; entry : Stamped.t }
   | Clock of Vclock.t
   | View_change of { base : int; epoch : int; serving : int }

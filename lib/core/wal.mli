@@ -38,26 +38,30 @@ exception Sync_failed of int
 (** Raised by {!append}/{!checkpoint} under an injected sync fault; the
     argument is the node id whose write was lost. *)
 
-type snapshot = {
+type snapshot = Dsm_protocol.Log_record.snapshot = {
   snap_clock : Vclock.t;  (** the node's vector clock at checkpoint time *)
   snap_view : (int * int * int) list;
       (** non-default ownership view entries: [(base, epoch, serving)] *)
-  snap_served : (Dsm_memory.Loc.t * Stamped.t) list;
+  snap_served : (Dsm_memory.Loc.t * Dsm_protocol.Stamped.t) list;
       (** every location the node currently serves (base-owned or inherited
           via takeover) *)
-  snap_shadows : (int * (Dsm_memory.Loc.t * Stamped.t) list) list;
+  snap_shadows : (int * (Dsm_memory.Loc.t * Dsm_protocol.Stamped.t) list) list;
       (** shadow copies held as backup, grouped by base owner *)
 }
 
-type record =
-  | Write of { loc : Dsm_memory.Loc.t; entry : Stamped.t }
+(** Record and snapshot types are defined in {!Log_record} (the pure
+    protocol library, which logs them as data without knowing about this
+    module's disk) and re-exported here by equation, so [Wal.Write] and
+    [Log_record.Write] are the same constructor. *)
+type record = Dsm_protocol.Log_record.t =
+  | Write of { loc : Dsm_memory.Loc.t; entry : Dsm_protocol.Stamped.t }
       (** a write this node certified (or performed locally) as owner *)
   | Clock of Vclock.t
       (** a clock merge with no stored entry (rejected certification) — kept
           so replay reaches the exact pre-crash clock frontier *)
   | View_change of { base : int; epoch : int; serving : int }
       (** an adopted or self-originated ownership epoch change *)
-  | Shadow_entry of { base : int; loc : Dsm_memory.Loc.t; entry : Stamped.t }
+  | Shadow_entry of { base : int; loc : Dsm_memory.Loc.t; entry : Dsm_protocol.Stamped.t }
       (** a backup copy accepted from the owner of [base] *)
   | Checkpoint of snapshot  (** full-state snapshot; always the log's head *)
 

@@ -7,6 +7,13 @@ type counters = {
   received_by : int array;
 }
 
+type tap = {
+  on_send : src:int -> dst:int -> kind:string -> size:int -> unit;
+  on_deliver : src:int -> dst:int -> kind:string -> unit;
+  on_drop : src:int -> dst:int -> kind:string -> unit;
+  on_duplicate : src:int -> dst:int -> kind:string -> unit;
+}
+
 type fault = { drop : float; duplicate : float }
 
 let no_fault = { drop = 0.0; duplicate = 0.0 }
@@ -41,6 +48,7 @@ type 'msg t = {
   mutable lifetime_total : int;
   mutable in_flight : int;
   mutable tracer : (time:float -> src:int -> dst:int -> kind:string -> 'msg -> unit) option;
+  mutable tap : tap option;
 }
 
 let fifo_epsilon = 1e-9
@@ -70,6 +78,7 @@ let create engine ~nodes ?(latency = Latency.lan) ?(fault = no_fault) ?(seed = 1
     lifetime_total = 0;
     in_flight = 0;
     tracer = None;
+    tap = None;
   }
 
 let engine t = t.engine
@@ -133,14 +142,16 @@ let fault_for t ~src ~dst =
   | Some f -> f
   | None -> t.default_fault
 
-let count_drop t ~src ~dst =
+let count_drop t ~src ~dst ~kind =
   t.dropped <- t.dropped + 1;
   t.drop_by_link.((src * t.node_count) + dst) <-
-    t.drop_by_link.((src * t.node_count) + dst) + 1
+    t.drop_by_link.((src * t.node_count) + dst) + 1;
+  match t.tap with Some tap -> tap.on_drop ~src ~dst ~kind | None -> ()
 
-let deliver t ~src ~dst msg =
+let deliver t ~src ~dst ~kind msg =
   t.in_flight <- t.in_flight - 1;
   t.received_by.(dst) <- t.received_by.(dst) + 1;
+  (match t.tap with Some tap -> tap.on_deliver ~src ~dst ~kind | None -> ());
   match t.handlers.(dst) with
   | Some handler -> handler ~src msg
   | None -> failwith (Printf.sprintf "Network: node %d has no handler installed" dst)
@@ -148,7 +159,7 @@ let deliver t ~src ~dst msg =
 let send_live t ~src ~dst ~kind ~size msg =
   if src = dst then begin
     t.local <- t.local + 1;
-    Dsm_sim.Engine.schedule t.engine ~delay:fifo_epsilon (fun () -> deliver t ~src ~dst msg)
+    Dsm_sim.Engine.schedule t.engine ~delay:fifo_epsilon (fun () -> deliver t ~src ~dst ~kind msg)
   end
   else begin
     t.total <- t.total + 1;
@@ -165,10 +176,12 @@ let send_live t ~src ~dst ~kind ~size msg =
        previous message on this directed link. *)
     let at = Float.max (now +. sampled) (t.last_delivery.(link) +. fifo_epsilon) in
     t.last_delivery.(link) <- at;
-    Dsm_sim.Engine.schedule_at t.engine at (fun () -> deliver t ~src ~dst msg)
+    Dsm_sim.Engine.schedule_at t.engine at (fun () -> deliver t ~src ~dst ~kind msg)
   end
 
 let set_tracer t tracer = t.tracer <- tracer
+
+let set_tap t tap = t.tap <- tap
 
 let send t ~src ~dst ?(kind = "msg") ?(size = 1) msg =
   check_node t src "src";
@@ -176,7 +189,8 @@ let send t ~src ~dst ?(kind = "msg") ?(size = 1) msg =
   (match t.tracer with
   | Some trace -> trace ~time:(Dsm_sim.Engine.now t.engine) ~src ~dst ~kind msg
   | None -> ());
-  if Hashtbl.mem t.down_links (src, dst) then count_drop t ~src ~dst
+  (match t.tap with Some tap -> tap.on_send ~src ~dst ~kind ~size | None -> ());
+  if Hashtbl.mem t.down_links (src, dst) then count_drop t ~src ~dst ~kind
   else if src = dst then begin
     (* Self-sends never traverse a link: the fault model does not apply. *)
     t.in_flight <- t.in_flight + 1;
@@ -186,12 +200,13 @@ let send t ~src ~dst ?(kind = "msg") ?(size = 1) msg =
     let f = fault_for t ~src ~dst in
     (* Guard the prng draws behind the probability checks so fault-free
        runs consume exactly the same random stream as before. *)
-    if f.drop > 0.0 && Dsm_util.Prng.chance t.prng f.drop then count_drop t ~src ~dst
+    if f.drop > 0.0 && Dsm_util.Prng.chance t.prng f.drop then count_drop t ~src ~dst ~kind
     else begin
       t.in_flight <- t.in_flight + 1;
       send_live t ~src ~dst ~kind ~size msg;
       if f.duplicate > 0.0 && Dsm_util.Prng.chance t.prng f.duplicate then begin
         t.duplicated <- t.duplicated + 1;
+        (match t.tap with Some tap -> tap.on_duplicate ~src ~dst ~kind | None -> ());
         t.in_flight <- t.in_flight + 1;
         send_live t ~src ~dst ~kind ~size msg
       end

@@ -89,6 +89,22 @@ val set_tracer :
 (** Observe every network send (at send time, before latency); used by the
     protocol-trace example and debugging.  [None] removes the tracer. *)
 
+type tap = {
+  on_send : src:int -> dst:int -> kind:string -> size:int -> unit;
+  on_deliver : src:int -> dst:int -> kind:string -> unit;
+  on_drop : src:int -> dst:int -> kind:string -> unit;
+      (** lost to a downed link or the probabilistic fault model *)
+  on_duplicate : src:int -> dst:int -> kind:string -> unit;
+}
+(** Wire-level observation points, message-type agnostic (so a consumer
+    need not depend on the payload type the way {!set_tracer} does).
+    [on_send] fires at send time even for messages subsequently dropped;
+    [on_deliver] fires at delivery time, once per arriving copy. *)
+
+val set_tap : 'msg t -> tap option -> unit
+(** Install (or remove) the wire tap; the cluster layer bridges it onto
+    the structured event bus. *)
+
 val send : 'msg t -> src:int -> dst:int -> ?kind:string -> ?size:int -> 'msg -> unit
 (** Enqueue a message.  [kind] (default ["msg"]) buckets the counter
     statistics; [size] (default 1) is an abstract byte cost.  A self-send

@@ -17,12 +17,14 @@ let () =
       ("history", Test_history.suite);
       ("policy-config", Test_policy_config.suite);
       ("node", Test_node.suite);
+      ("protocol", Test_protocol.suite);
       ("causal-cluster", Test_causal_cluster.suite);
       ("precise-invalidation", Test_precise.suite);
       ("atomic", Test_atomic.suite);
       ("broadcast", Test_broadcast.suite);
       ("causality", Test_causality.suite);
       ("causal-check", Test_causal_check.suite);
+      ("online-check", Test_online.suite);
       ("consistency", Test_consistency.suite);
       ("litmus", Test_litmus.suite);
       ("linalg", Test_linalg.suite);

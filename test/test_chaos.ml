@@ -95,6 +95,58 @@ let test_fault_free_chaos_is_quiet () =
   Alcotest.(check int) "no duplicates" 0 r.Chaos.transport.Reliable.dup_dropped;
   Alcotest.(check int) "nothing dropped" 0 r.Chaos.dropped
 
+let test_online_clean_on_real_protocol () =
+  (* The online checker riding along must agree the real protocol is
+     correct, scenario by scenario. *)
+  List.iter
+    (fun scenario ->
+      let knobs = { (knobs ()) with Chaos.online_check = true } in
+      let r = Chaos.run ~knobs ~seed:13L scenario in
+      Alcotest.(check bool) (scenario ^ ": online ran") true r.Chaos.online_checked;
+      Alcotest.(check (option string))
+        (scenario ^ ": online clean") None r.Chaos.online_violation;
+      Alcotest.(check bool) (scenario ^ ": healthy") true (Chaos.healthy r))
+    [ "mix"; "solver"; "crash-restart" ]
+
+let test_online_catches_injected_bug () =
+  (* Disable the Figure-4 invalidation rule: the solver's handshake then
+     reads stale phase values it provably should not, and the online
+     checker must flag the run mid-flight — on every seed, and in
+     agreement with the post-hoc checker. *)
+  List.iter
+    (fun seed ->
+      let knobs =
+        { (knobs ()) with Chaos.online_check = true; unsafe_skip_invalidation = true }
+      in
+      let r = Chaos.solver ~knobs ~seed () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld: online violation found" seed)
+        true
+        (r.Chaos.online_violation <> None);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld: post-hoc agrees" seed)
+        false r.Chaos.causal_ok;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld: run unhealthy" seed)
+        false (Chaos.healthy r))
+    [ 1L; 2L; 3L ]
+
+let test_cluster_stats_consistent () =
+  (* The unified stats record must agree with the bespoke accessor-based
+     report fields it consolidates. *)
+  let r = Chaos.owner_crash ~knobs:(knobs ()) ~seed:42L () in
+  let s = r.Chaos.stats in
+  Alcotest.(check int) "wire_dropped" r.Chaos.dropped s.Dsm_causal.Node_stats.wire_dropped;
+  Alcotest.(check int) "duplicated" r.Chaos.duplicated s.Dsm_causal.Node_stats.wire_duplicated;
+  Alcotest.(check int) "retransmissions"
+    r.Chaos.transport.Reliable.retransmissions
+    s.Dsm_causal.Node_stats.retransmissions;
+  Alcotest.(check int) "rpc_timeouts" r.Chaos.rpc_timeouts s.Dsm_causal.Node_stats.rpc_timeouts;
+  Alcotest.(check int) "stale_replies" r.Chaos.stale_replies s.Dsm_causal.Node_stats.stale_replies;
+  Alcotest.(check int) "takeovers" r.Chaos.takeovers s.Dsm_causal.Node_stats.takeovers;
+  Alcotest.(check int) "suspects" r.Chaos.suspects s.Dsm_causal.Node_stats.suspects;
+  Alcotest.(check int) "unsuspects" r.Chaos.unsuspects s.Dsm_causal.Node_stats.unsuspects
+
 let suite =
   [
     Alcotest.test_case "mix soak at 5% loss" `Quick test_mix_soak;
@@ -105,4 +157,9 @@ let suite =
     Alcotest.test_case "determinism" `Slow test_determinism;
     Alcotest.test_case "identical histories" `Quick test_histories_identical_across_runs;
     Alcotest.test_case "fault-free is quiet" `Quick test_fault_free_chaos_is_quiet;
+    Alcotest.test_case "online check clean on real protocol" `Quick
+      test_online_clean_on_real_protocol;
+    Alcotest.test_case "online check catches injected bug" `Quick
+      test_online_catches_injected_bug;
+    Alcotest.test_case "cluster stats consistent" `Quick test_cluster_stats_consistent;
   ]

@@ -1,0 +1,161 @@
+(* The incremental online checker: same Definition-1 verdicts as the
+   post-hoc checker when operations arrive in a causally sensible order,
+   deferred reads-from resolution, and the soundness half of the contract
+   (every reported violation is real). *)
+
+module Online = Dsm_checker.Online
+module Check = Dsm_checker.Causal_check
+module Histories = Dsm_checker.Histories
+module History = Dsm_memory.History
+module Op = Dsm_memory.Op
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module Wid = Dsm_memory.Wid
+
+let rows h = (h : History.t :> Op.t array array)
+
+(* Feed a history's operations round-robin across processes (per-process
+   program order preserved, which is all the checker requires). *)
+let feed_round_robin ck h =
+  let rows = rows h in
+  let cursors = Array.map (fun _ -> 0) rows in
+  let vs = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iteri
+      (fun pid row ->
+        if cursors.(pid) < Array.length row then begin
+          vs := Online.add_op ck row.(cursors.(pid)) @ !vs;
+          cursors.(pid) <- cursors.(pid) + 1;
+          progress := true
+        end)
+      rows
+  done;
+  List.rev !vs
+
+let test_correct_histories_clean () =
+  List.iter
+    (fun (name, h, verdict) ->
+      if verdict = `Causal_ok then begin
+        let ck = Online.create () in
+        let vs = feed_round_robin ck h in
+        Alcotest.(check int) (name ^ ": no violations") 0 (List.length vs);
+        Alcotest.(check int) (name ^ ": nothing pending") 0 (Online.pending_reads ck);
+        Alcotest.(check int)
+          (name ^ ": every op ingested")
+          (History.op_count h) (Online.ops_seen ck)
+      end)
+    Histories.all
+
+let test_stale_read_detected () =
+  (* The message-passing litmus: P0 writes x then y; P1 sees the new y but
+     then reads the old x.  Fed in real-time order the final read is
+     checked with the full causal context and must be rejected. *)
+  let ck = Online.create () in
+  let w1 = Op.write ~pid:0 ~index:0 ~loc:(Loc.named "x") ~value:(Value.Int 1)
+      ~wid:(Wid.make ~node:0 ~seq:0)
+  and w2 = Op.write ~pid:0 ~index:1 ~loc:(Loc.named "y") ~value:(Value.Int 1)
+      ~wid:(Wid.make ~node:0 ~seq:1)
+  and r1 = Op.read ~pid:1 ~index:0 ~loc:(Loc.named "y") ~value:(Value.Int 1)
+      ~from:(Wid.make ~node:0 ~seq:1)
+  and r2 = Op.read ~pid:1 ~index:1 ~loc:(Loc.named "x") ~value:Value.initial
+      ~from:Wid.initial
+  in
+  Alcotest.(check int) "w(x)1 clean" 0 (List.length (Online.add_op ck w1));
+  Alcotest.(check int) "w(y)1 clean" 0 (List.length (Online.add_op ck w2));
+  Alcotest.(check int) "r(y)1 clean" 0 (List.length (Online.add_op ck r1));
+  match Online.add_op ck r2 with
+  | [ v ] ->
+      Alcotest.(check bool) "flags the stale read" true
+        (v.Online.v_op = r2);
+      Alcotest.(check bool) "reason mentions the initial value" true
+        (String.length v.Online.v_reason > 0)
+  | other -> Alcotest.failf "expected exactly one violation, got %d" (List.length other)
+
+let test_deferred_reads_from () =
+  (* A read can arrive before the write it read from (the reader's node
+     returned before the writer's op completed): the verdict is deferred
+     and delivered when the write shows up. *)
+  let ck = Online.create () in
+  let w = Wid.make ~node:0 ~seq:0 in
+  let r = Op.read ~pid:1 ~index:0 ~loc:(Loc.named "x") ~value:(Value.Int 7) ~from:w in
+  Alcotest.(check int) "read defers" 0
+    (List.length (Online.add_op ck r));
+  Alcotest.(check int) "one read pending" 1 (Online.pending_reads ck);
+  let write =
+    Op.write ~pid:0 ~index:0 ~loc:(Loc.named "x") ~value:(Value.Int 7) ~wid:w
+  in
+  Alcotest.(check int) "write resolves it cleanly" 0
+    (List.length (Online.add_op ck write));
+  Alcotest.(check int) "nothing pending" 0 (Online.pending_reads ck)
+
+let test_deferred_overwritten_detected () =
+  (* Deferred resolution must still reject: the read's source write turns
+     out to be causally overwritten for it by the time it arrives. *)
+  let ck = Online.create () in
+  let wa = Wid.make ~node:0 ~seq:0 and wb = Wid.make ~node:0 ~seq:1 in
+  let x = Loc.named "x" in
+  (* P1 reads the newer value, then (program-order later!) the older one,
+     whose write has not arrived yet. *)
+  let ops_before =
+    [
+      Op.write ~pid:0 ~index:0 ~loc:x ~value:(Value.Int 1) ~wid:wa;
+      Op.read ~pid:1 ~index:0 ~loc:x ~value:(Value.Int 2) ~from:wb;
+      Op.read ~pid:1 ~index:1 ~loc:x ~value:(Value.Int 1) ~from:wa;
+    ]
+  in
+  List.iter (fun op -> ignore (Online.add_op ck op)) ops_before;
+  Alcotest.(check int) "first read still pending" 1 (Online.pending_reads ck);
+  (* Now w#0.1 arrives: r(x)2 resolves legally, but that retroactive rf
+     edge is exactly what makes the second read's source overwritten —
+     the next check must catch the violation that was already latent. *)
+  let late = Op.write ~pid:0 ~index:1 ~loc:x ~value:(Value.Int 2) ~wid:wb in
+  ignore (Online.add_op ck late);
+  Alcotest.(check int) "nothing pending" 0 (Online.pending_reads ck);
+  (* A third read repeating the stale value is checked with full context. *)
+  let again = Op.read ~pid:1 ~index:2 ~loc:x ~value:(Value.Int 1) ~from:wa in
+  (match Online.add_op ck again with
+  | [ v ] ->
+      Alcotest.(check bool) "stale re-read rejected" true (v.Online.v_op = again)
+  | other -> Alcotest.failf "expected one violation, got %d" (List.length other));
+  Alcotest.(check bool) "violations accumulate" true
+    (List.length (Online.violations ck) >= 1)
+
+let test_future_read_detected () =
+  (* A read whose source write causally follows the read itself: the write
+     arrives later on the same process, after the read.  Definition 1
+     forbids it; the deferred path must reject without wiring a cycle. *)
+  let ck = Online.create () in
+  let w = Wid.make ~node:0 ~seq:0 in
+  let x = Loc.named "x" in
+  let r = Op.read ~pid:0 ~index:0 ~loc:x ~value:(Value.Int 1) ~from:w in
+  ignore (Online.add_op ck r);
+  let write = Op.write ~pid:0 ~index:1 ~loc:x ~value:(Value.Int 1) ~wid:w in
+  match Online.add_op ck write with
+  | [ v ] ->
+      Alcotest.(check bool) "future read flagged" true (v.Online.v_op = r)
+  | other -> Alcotest.failf "expected one violation, got %d" (List.length other)
+
+let test_agrees_with_posthoc_on_corpus () =
+  (* Soundness across the whole figure corpus under round-robin arrival:
+     an online violation implies the post-hoc checker rejects too. *)
+  List.iter
+    (fun (name, h, _) ->
+      let ck = Online.create () in
+      let vs = feed_round_robin ck h in
+      if vs <> [] then
+        Alcotest.(check bool)
+          (name ^ ": online violation implies post-hoc violation")
+          false (Check.is_correct h))
+    Histories.all
+
+let suite =
+  [
+    Alcotest.test_case "correct histories stay clean" `Quick test_correct_histories_clean;
+    Alcotest.test_case "stale read detected" `Quick test_stale_read_detected;
+    Alcotest.test_case "deferred reads-from" `Quick test_deferred_reads_from;
+    Alcotest.test_case "deferred overwrite detected" `Quick test_deferred_overwritten_detected;
+    Alcotest.test_case "future read detected" `Quick test_future_read_detected;
+    Alcotest.test_case "sound on corpus" `Quick test_agrees_with_posthoc_on_corpus;
+  ]

@@ -59,8 +59,45 @@ let test_corpus_complete () =
                true
                (List.mem_assoc f expectations))
 
+(* {1 Golden event-bus trace}
+
+   traces/owner_crash.trace.jsonl is the milestone stream of the
+   owner-crash chaos scenario at its default seed, as dumped by
+   [dsm trace owner-crash --milestones].  The run is fully deterministic,
+   so regenerating it must reproduce the committed file byte for byte —
+   any diff means the protocol's observable behaviour changed and the
+   golden file needs a deliberate update (rerun the command above). *)
+
+module Chaos = Dsm_apps.Chaos
+module Trace = Dsm_causal.Trace
+
+let test_golden_owner_crash () =
+  let bus = Trace.create () in
+  let knobs = { Chaos.default_knobs with Chaos.trace = Some bus } in
+  let r = Chaos.run ~knobs ~seed:5L "owner-crash" in
+  Alcotest.(check bool) "traced run still healthy" true (Chaos.healthy r);
+  let regenerated =
+    Trace.events bus
+    |> List.filter (fun (ev : Trace.event) -> Trace.milestone ev.Trace.body)
+    |> List.map Trace.to_json
+  in
+  let golden =
+    load "owner_crash.trace.jsonl"
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int)
+    "same milestone count" (List.length golden) (List.length regenerated);
+  List.iteri
+    (fun i (want, got) ->
+      if want <> got then
+        Alcotest.failf "golden trace diverges at line %d:\n  golden: %s\n  run:    %s"
+          (i + 1) want got)
+    (List.combine golden regenerated)
+
 let suite =
   [
     Alcotest.test_case "corpus verdicts" `Quick test_corpus;
     Alcotest.test_case "corpus coverage" `Quick test_corpus_complete;
+    Alcotest.test_case "golden owner-crash trace" `Quick test_golden_owner_crash;
   ]
