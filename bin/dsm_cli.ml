@@ -286,17 +286,27 @@ let chaos_cmd =
              ~doc:"Run the incremental causal checker against the event bus while the \
                    scenario executes; the first illegal read fails the run immediately.")
   in
-  let skip_invalidation =
-    (* Hidden fault injection: proves the online checker catches a real
-       protocol bug, not just synthetic histories.  Kept out of the manual's
-       main flag list on purpose. *)
-    Arg.(value & flag
-         & info [ "unsafe-skip-invalidation" ]
-             ~doc:"TEST ONLY: disable the Figure-4 invalidation rule, deliberately \
-                   breaking causal consistency.")
+  let mutation =
+    (* Hidden fault injection: proves the checkers catch real protocol
+       bugs, not just synthetic histories.  Kept out of the manual's main
+       flag list on purpose. *)
+    let mconv =
+      Arg.conv
+        ( (fun s ->
+            match Dsm_causal.Config.mutation_of_string s with
+            | Some m -> Ok m
+            | None -> Error (`Msg (Printf.sprintf "unknown mutation %S" s))),
+          fun ppf m -> Format.pp_print_string ppf (Dsm_causal.Config.mutation_name m) )
+    in
+    Arg.(value & opt mconv Dsm_causal.Config.No_mutation
+         & info [ "mutation" ]
+             ~doc:"TEST ONLY: break one Figure-4 rule (skip-invalidation, \
+                   skip-writestamp-merge, reorder-apply-ack, ignore-epoch-fence, \
+                   skip-shadow-replication), deliberately compromising causal \
+                   consistency.")
   in
   let run scenario seed drop duplicate timeout retries hb_period suspect_after
-      online_check skip_invalidation =
+      online_check mutation =
     let detector =
       Option.map
         (fun period -> { Dsm_causal.Detector.period; suspect_after })
@@ -310,7 +320,7 @@ let chaos_cmd =
         rpc = Some { Dsm_causal.Cluster.timeout; retries };
         detector;
         online_check;
-        unsafe_skip_invalidation = skip_invalidation;
+        mutation;
       }
     in
     let r = Chaos.run ~knobs ~seed:(Int64.of_int seed) scenario in
@@ -327,7 +337,145 @@ let chaos_cmd =
              heartbeat-driven ownership handoff; exits nonzero if the recorded history \
              is not causally correct or a process is left blocked")
     Term.(const run $ scenario $ seed $ drop $ duplicate $ timeout $ retries $ hb_period
-          $ suspect_after $ online_check $ skip_invalidation)
+          $ suspect_after $ online_check $ mutation)
+
+(* ------------------------------------------------------------------ *)
+(* mc                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mc_cmd =
+  let module Gen = Dsm_mc.Gen in
+  let module Explore = Dsm_mc.Explore in
+  let scope =
+    let names = List.map (fun (s : Gen.scope) -> (s.Gen.sname, s.Gen.sname)) Gen.presets in
+    Arg.(value & opt (some (enum names)) None
+         & info [ "scope" ] ~docv:"PRESET"
+             ~doc:(Printf.sprintf
+                     "Explore a named small-scope preset (%s) instead of the generic \
+                      --nodes/--ops scope."
+                     (String.concat ", " (List.map fst names))))
+  in
+  let nodes = Arg.(value & opt int 2 & info [ "nodes" ] ~doc:"Generic scope: node count (default 2).") in
+  let ops = Arg.(value & opt int 2 & info [ "ops" ] ~doc:"Generic scope: operations per node (default 2).") in
+  let faults =
+    Arg.(value
+         & opt (enum [ ("none", `None); ("crash", `Crash); ("crash-restart", `Crash_restart); ("drop", `Drop) ]) `None
+         & info [ "faults" ]
+             ~doc:"Generic scope adversary: none, crash (victim 0, takeover), crash-restart \
+                   (plus log-replay restart), or drop (one drop + one duplication).")
+  in
+  let max_states =
+    Arg.(value & opt int 200_000
+         & info [ "max-states" ] ~doc:"Distinct states to explore before truncating (default 200000).")
+  in
+  let mutation =
+    let mconv =
+      Arg.conv
+        ( (fun s ->
+            match Dsm_causal.Config.mutation_of_string s with
+            | Some m -> Ok m
+            | None -> Error (`Msg (Printf.sprintf "unknown mutation %S" s))),
+          fun ppf m -> Format.pp_print_string ppf (Dsm_causal.Config.mutation_name m) )
+    in
+    Arg.(value & opt mconv Dsm_causal.Config.No_mutation
+         & info [ "mutation" ]
+             ~doc:"Break one Figure-4 rule (skip-invalidation, skip-writestamp-merge, \
+                   reorder-apply-ack, ignore-epoch-fence, skip-shadow-replication); the \
+                   checker is then expected to find a counterexample.")
+  in
+  let matrix =
+    Arg.(value & flag
+         & info [ "matrix" ]
+             ~doc:"Run the full oracle-validation matrix: every preset unmutated (expecting \
+                   no violation) and every mutation in its designated scope (expecting a \
+                   counterexample); exits nonzero unless all pass.")
+  in
+  let no_reduction =
+    Arg.(value & flag
+         & info [ "no-reduction" ] ~doc:"Disable the sleep-set partial-order reduction.")
+  in
+  let cex_file =
+    Arg.(value & opt (some string) None
+         & info [ "cex" ] ~docv:"FILE"
+             ~doc:"Write the shrunk counterexample (if any) as Trace JSONL to FILE, \
+                   diffable with $(b,dsm trace).")
+  in
+  let print_report (r : Explore.report) =
+    Format.printf "%s: %a@." r.Explore.scope.Gen.sname Explore.pp_stats r.Explore.stats;
+    match r.Explore.cex with
+    | None -> ()
+    | Some c ->
+        let node, reason = c.Explore.cex_violation in
+        Format.printf "  counterexample (%d steps, %s at node %d): %s@."
+          (List.length c.Explore.schedule)
+          (if c.Explore.online then "flagged online" else "post-hoc")
+          node reason;
+        Format.printf "  schedule: %a@." Explore.pp_schedule c.Explore.schedule
+  in
+  let run scope nodes ops faults max_states mutation matrix no_reduction cex_file =
+    if matrix then begin
+      let entries = Explore.run_matrix ~max_states () in
+      let failed =
+        List.filter
+          (fun (e : Explore.matrix_entry) ->
+            let verdict =
+              match (e.Explore.ok, e.Explore.mutation) with
+              | true, Dsm_causal.Config.No_mutation -> "clean"
+              | true, _ -> "caught"
+              | false, Dsm_causal.Config.No_mutation -> "FALSE POSITIVE"
+              | false, _ -> "MISSED"
+            in
+            Format.printf "%-24s %-24s %-14s %a@." e.Explore.scope_name
+              (Dsm_causal.Config.mutation_name e.Explore.mutation)
+              verdict Explore.pp_stats e.Explore.report.Explore.stats;
+            not e.Explore.ok)
+          entries
+      in
+      if failed = [] then begin
+        Format.printf "matrix OK: %d runs@." (List.length entries);
+        exit 0
+      end
+      else begin
+        Format.printf "matrix FAILED: %d of %d runs@." (List.length failed) (List.length entries);
+        exit 1
+      end
+    end
+    else begin
+      let base =
+        match scope with
+        | Some name -> Option.get (Gen.preset name)
+        | None ->
+            let fault =
+              match faults with
+              | `None -> Gen.No_faults
+              | `Crash -> Gen.Crash { victim = 0; restart = false }
+              | `Crash_restart -> Gen.Crash { victim = 0; restart = true }
+              | `Drop -> Gen.Drop { drops = 1; dups = 1 }
+            in
+            Gen.generic ~nodes ~ops ~fault
+      in
+      let scope = { base with Gen.mutation } in
+      let report = Explore.run ~reduction:(not no_reduction) ~max_states scope in
+      print_report report;
+      (match (report.Explore.cex, cex_file) with
+      | Some c, Some path ->
+          let n = Explore.write_counterexample scope c.Explore.schedule path in
+          Format.printf "  wrote %d events to %s@." n path
+      | _ -> ());
+      let expected_violation = mutation <> Dsm_causal.Config.No_mutation in
+      let found = report.Explore.cex <> None in
+      if found = expected_violation then exit 0 else exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:"Exhaustively model-check a small-scope system through the pure protocol core: \
+             enumerate every schedule (deliveries, faults, operation issues) with \
+             state-fingerprint de-duplication and sleep-set reduction, judge each execution \
+             with the causal-memory checkers, and shrink any violation to a minimal \
+             counterexample; exits nonzero on an unexpected verdict")
+    Term.(const run $ scope $ nodes $ ops $ faults $ max_states $ mutation $ matrix
+          $ no_reduction $ cex_file)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -566,4 +714,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; alpha_cmd; diagram_cmd; fig_cmd; solver_cmd; dict_cmd; anomaly_cmd; workload_cmd; chaos_cmd; trace_cmd; model_cmd ]))
+          [ check_cmd; alpha_cmd; diagram_cmd; fig_cmd; solver_cmd; dict_cmd; anomaly_cmd; workload_cmd; chaos_cmd; mc_cmd; trace_cmd; model_cmd ]))

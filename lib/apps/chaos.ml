@@ -21,7 +21,7 @@ type knobs = {
   rpc : Causal.rpc option;
   detector : Dsm_causal.Detector.config option;
   online_check : bool;
-  unsafe_skip_invalidation : bool;
+  mutation : Dsm_causal.Config.mutation;
   trace : Trace.t option;
 }
 
@@ -34,7 +34,7 @@ let default_knobs =
     rpc = Some { Causal.timeout = 100.0; retries = 5 };
     detector = None;
     online_check = false;
-    unsafe_skip_invalidation = false;
+    mutation = Dsm_causal.Config.No_mutation;
     trace = None;
   }
 
@@ -101,12 +101,12 @@ let attach_online bus =
 
 let make_cluster ~knobs ~seed ~owner ?config sched =
   let config =
-    if not knobs.unsafe_skip_invalidation then config
+    if knobs.mutation = Dsm_causal.Config.No_mutation then config
     else
       let base =
         match config with Some c -> c | None -> Dsm_causal.Config.default
       in
-      Some { base with Dsm_causal.Config.unsafe_skip_invalidation = true }
+      Some { base with Dsm_causal.Config.mutation = knobs.mutation }
   in
   let trace =
     match knobs.trace with

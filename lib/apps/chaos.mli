@@ -27,11 +27,11 @@ type knobs = {
           scenario executes; the first illegal read fails the run
           ({!healthy}) even if the post-hoc check would be cut off by the
           history-size cap *)
-  unsafe_skip_invalidation : bool;
-      (** fault injection: disable the Figure-4 invalidation rule (see
-          {!Dsm_causal.Config}), deliberately breaking causal consistency —
-          exists so tests can prove the online checker catches a real
-          protocol bug *)
+  mutation : Dsm_causal.Config.mutation;
+      (** fault injection: break one Figure-4 rule (see
+          {!Dsm_causal.Config.mutation}), deliberately compromising causal
+          consistency — exists so tests can prove the checkers catch real
+          protocol bugs *)
   trace : Dsm_causal.Trace.t option;
       (** attach this event bus to the cluster (the [dsm trace] subcommand
           passes a recording bus and dumps it afterwards).  [None] with

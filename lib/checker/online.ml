@@ -6,15 +6,28 @@ module Bitrel = Dsm_util.Bitrel
 
 type violation = { v_op : Op.t; v_reason : string }
 
+(* Where a read's value came from, as far as the checker knows.  A read
+   whose source write has not arrived is [S_pending]: its reads-from edge
+   is deferred, and crucially its causal association is unvalidated — it
+   must not serve as intervening evidence against other reads until the
+   write shows up (the write might even close a cycle, making the pending
+   read the culprit rather than the evidence). *)
+type src = S_write | S_initial | S_resolved of int | S_pending of Wid.t
+
 type t = {
   mutable ops : Op.t array; (* capacity-managed; first [n] slots valid *)
   mutable pred : int array; (* program predecessor's global index, -1 if first *)
+  mutable source : src array; (* parallel to [ops] *)
   mutable n : int;
   mutable closed : Bitrel.t; (* transitively closed over inserted edges *)
   last_of_pid : (int, int) Hashtbl.t; (* pid -> global index of its latest op *)
   writers : (Wid.t, int) Hashtbl.t;
   pending_rf : (Wid.t, int list) Hashtbl.t; (* wid -> readers awaiting it *)
+  pending_recheck : (Wid.t, int list) Hashtbl.t;
+      (* wid -> reads checked clean while a read from wid was excluded as
+         evidence; re-checked when the write arrives *)
   by_loc : (Loc.t, int list) Hashtbl.t; (* ops on a location, newest first *)
+  flagged : (int, unit) Hashtbl.t; (* reads already reported, by index *)
   mutable violation_log : violation list; (* newest first *)
   mutable checks : int;
   mutable edges : int;
@@ -28,12 +41,15 @@ let create () =
   {
     ops = Array.make 64 dummy;
     pred = Array.make 64 (-1);
+    source = Array.make 64 S_write;
     n = 0;
     closed = Bitrel.create 64;
     last_of_pid = Hashtbl.create 16;
     writers = Hashtbl.create 64;
     pending_rf = Hashtbl.create 16;
+    pending_recheck = Hashtbl.create 16;
     by_loc = Hashtbl.create 16;
+    flagged = Hashtbl.create 16;
     violation_log = [];
     checks = 0;
     edges = 0;
@@ -61,12 +77,15 @@ let grow t =
   Array.blit t.ops 0 ops 0 t.n;
   let pred = Array.make cap (-1) in
   Array.blit t.pred 0 pred 0 t.n;
+  let source = Array.make cap S_write in
+  Array.blit t.source 0 source 0 t.n;
   let closed = Bitrel.create cap in
   for i = 0 to t.n - 1 do
     List.iter (fun j -> Bitrel.add closed i j) (Bitrel.successors t.closed i)
   done;
   t.ops <- ops;
   t.pred <- pred;
+  t.source <- source;
   t.closed <- closed
 
 (* Insert u -> v and restore closure: row u absorbs {v} + row v, then every
@@ -94,11 +113,17 @@ let precedes_excl_rf t a ~reader =
 
 let ops_on t loc = match Hashtbl.find_opt t.by_loc loc with Some l -> l | None -> []
 
-(* Mirrors Causal_check.intervenes over the online state. *)
+let is_pending t i = match t.source.(i) with S_pending _ -> true | _ -> false
+
+(* Mirrors Causal_check.intervenes over the online state, except that reads
+   whose reads-from edge is still deferred are not admitted as evidence:
+   their association is unvalidated until their write arrives (it could
+   even turn out to close a causality cycle). *)
 let intervenes t ~ops_x ~io ~cand_wid ~cand_idx =
   List.exists
     (fun i'' ->
       i'' <> io
+      && (not (is_pending t i''))
       && (match cand_idx with Some iw -> i'' <> iw | None -> true)
       && (not (Wid.equal t.ops.(i'').Op.wid cand_wid))
       && (match cand_idx with
@@ -107,41 +132,67 @@ let intervenes t ~ops_x ~io ~cand_wid ~cand_idx =
       && precedes_excl_rf t i'' ~reader:io)
     ops_x
 
+(* A clean verdict reached while pending reads on the same location were
+   excluded as evidence is provisional: re-check [io] when those writes
+   arrive.  (A violation verdict never needs a re-check — resolving a
+   pending read can only add evidence, never remove any.) *)
+let register_rechecks t ~ops_x ~io =
+  List.iter
+    (fun i'' ->
+      if i'' <> io then
+        match t.source.(i'') with
+        | S_pending w ->
+            let waiting =
+              match Hashtbl.find_opt t.pending_recheck w with Some l -> l | None -> []
+            in
+            Hashtbl.replace t.pending_recheck w (io :: waiting)
+        | S_write | S_initial | S_resolved _ -> ())
+    ops_x
+
 (* Is the value the read at [io] returned live for it (Definition 1),
-   given the prefix seen so far?  [source] is the global index of the
-   read's source write ([None] for the initial value). *)
-let check_read t io ~source =
+   given the prefix seen so far?  The read's source must be resolved
+   ([S_initial] or [S_resolved]) before it can be checked. *)
+let check_read t io =
   t.checks <- t.checks + 1;
   let o = t.ops.(io) in
   let ops_x = ops_on t o.Op.loc in
   let bad reason = Some { v_op = o; v_reason = reason } in
-  match source with
-  | None ->
-      if intervenes t ~ops_x ~io ~cand_wid:Wid.initial ~cand_idx:None then
-        bad
-          (Printf.sprintf "%s returned the initial value, but a later write to %s already precedes it"
-             (Op.to_string o) (Loc.to_string o.Op.loc))
-      else None
-  | Some iw ->
-      if precedes_excl_rf t iw ~reader:io then
-        if intervenes t ~ops_x ~io ~cand_wid:o.Op.wid ~cand_idx:(Some iw) then
+  let verdict =
+    match t.source.(io) with
+    | S_initial ->
+        if intervenes t ~ops_x ~io ~cand_wid:Wid.initial ~cand_idx:None then
           bad
-            (Printf.sprintf "%s returned %s (from %s), already overwritten for this read"
-               (Op.to_string o)
-               (Value.to_string o.Op.value)
-               (Wid.to_string o.Op.wid))
+            (Printf.sprintf "%s returned the initial value, but a later write to %s already precedes it"
+               (Op.to_string o) (Loc.to_string o.Op.loc))
         else None
-      else if precedes t io iw then
-        bad
-          (Printf.sprintf "%s reads from its own causal future (%s)"
-             (Op.to_string o) (Wid.to_string o.Op.wid))
-      else (* concurrent with its source: always live *) None
+    | S_resolved iw ->
+        if precedes_excl_rf t iw ~reader:io then
+          if intervenes t ~ops_x ~io ~cand_wid:o.Op.wid ~cand_idx:(Some iw) then
+            bad
+              (Printf.sprintf "%s returned %s (from %s), already overwritten for this read"
+                 (Op.to_string o)
+                 (Value.to_string o.Op.value)
+                 (Wid.to_string o.Op.wid))
+          else None
+        else if precedes t io iw then
+          bad
+            (Printf.sprintf "%s reads from its own causal future (%s)"
+               (Op.to_string o) (Wid.to_string o.Op.wid))
+        else (* concurrent with its source: always live *) None
+    | S_write | S_pending _ -> assert false
+  in
+  if verdict = None then register_rechecks t ~ops_x ~io;
+  verdict
 
-let record_violation t = function
+let record_violation t idx = function
   | None -> []
   | Some v ->
-      t.violation_log <- v :: t.violation_log;
-      [ v ]
+      if Hashtbl.mem t.flagged idx then []
+      else begin
+        Hashtbl.replace t.flagged idx ();
+        t.violation_log <- v :: t.violation_log;
+        [ v ]
+      end
 
 let add_op t (op : Op.t) =
   if t.n >= Array.length t.ops then grow t;
@@ -158,12 +209,14 @@ let add_op t (op : Op.t) =
   if p >= 0 then add_edge t p idx;
   let found = ref [] in
   if Op.is_write op then begin
+    t.source.(idx) <- S_write;
     Hashtbl.replace t.writers op.Op.wid idx;
     (* Resolve readers that arrived before this write: wire their deferred
        reads-from edges, then give each its first real check.  A reader
        that causally precedes its own source is flagged without inserting
-       the edge (it would close a cycle). *)
-    match Hashtbl.find_opt t.pending_rf op.Op.wid with
+       the edge (it would close a cycle) and stays [S_pending] forever —
+       its association is part of the cycle, never valid evidence. *)
+    (match Hashtbl.find_opt t.pending_rf op.Op.wid with
     | None -> ()
     | Some readers ->
         Hashtbl.remove t.pending_rf op.Op.wid;
@@ -172,7 +225,7 @@ let add_op t (op : Op.t) =
             if precedes t r idx then begin
               t.checks <- t.checks + 1;
               found :=
-                record_violation t
+                record_violation t r
                   (Some
                      {
                        v_op = t.ops.(r);
@@ -184,22 +237,39 @@ let add_op t (op : Op.t) =
                 @ !found
             end
             else begin
+              t.source.(r) <- S_resolved idx;
               add_edge t idx r;
-              found := record_violation t (check_read t r ~source:(Some idx)) @ !found
+              found := record_violation t r (check_read t r) @ !found
             end)
-          (List.rev readers)
+          (List.rev readers));
+    (* Then re-check the reads whose earlier clean verdict had to exclude a
+       read-from-this-write as evidence: with the write (and any resolved
+       edges) in place, the evidence may now be admissible. *)
+    match Hashtbl.find_opt t.pending_recheck op.Op.wid with
+    | None -> ()
+    | Some reads ->
+        Hashtbl.remove t.pending_recheck op.Op.wid;
+        List.iter
+          (fun r ->
+            if (not (Hashtbl.mem t.flagged r)) && not (is_pending t r) then
+              found := record_violation t r (check_read t r) @ !found)
+          (List.sort_uniq compare (List.rev reads))
   end
   else begin
     let wid = op.Op.wid in
-    if Wid.is_initial wid then
-      found := record_violation t (check_read t idx ~source:None)
+    if Wid.is_initial wid then begin
+      t.source.(idx) <- S_initial;
+      found := record_violation t idx (check_read t idx)
+    end
     else
       match Hashtbl.find_opt t.writers wid with
       | Some iw ->
+          t.source.(idx) <- S_resolved iw;
           add_edge t iw idx;
-          found := record_violation t (check_read t idx ~source:(Some iw))
+          found := record_violation t idx (check_read t idx)
       | None ->
           (* Source not seen yet: defer both the edge and the verdict. *)
+          t.source.(idx) <- S_pending wid;
           let waiting =
             match Hashtbl.find_opt t.pending_rf wid with Some l -> l | None -> []
           in

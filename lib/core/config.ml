@@ -4,6 +4,31 @@ type discard = No_discard | Periodic of float | Capacity of int
 
 type invalidation = Coarse | Precise
 
+type mutation =
+  | No_mutation
+  | Skip_invalidation
+  | Skip_writestamp_merge
+  | Reorder_apply_ack
+  | Ignore_epoch_fence
+  | Skip_shadow_replication
+
+let mutations =
+  [
+    ("skip-invalidation", Skip_invalidation);
+    ("skip-writestamp-merge", Skip_writestamp_merge);
+    ("reorder-apply-ack", Reorder_apply_ack);
+    ("ignore-epoch-fence", Ignore_epoch_fence);
+    ("skip-shadow-replication", Skip_shadow_replication);
+  ]
+
+let mutation_name = function
+  | No_mutation -> "none"
+  | m -> fst (List.find (fun (_, m') -> m = m') mutations)
+
+let mutation_of_string = function
+  | "none" -> Some No_mutation
+  | s -> List.assoc_opt s mutations
+
 type t = {
   granularity : granularity;
   discard : discard;
@@ -12,7 +37,7 @@ type t = {
   init : Dsm_memory.Loc.t -> Dsm_memory.Value.t;
   read_request_size : int;
   entry_size : int -> int;
-  unsafe_skip_invalidation : bool;
+  mutation : mutation;
 }
 
 let default =
@@ -24,7 +49,7 @@ let default =
     init = (fun _ -> Dsm_memory.Value.initial);
     read_request_size = 1;
     entry_size = (fun dim -> 2 + dim);
-    unsafe_skip_invalidation = false;
+    mutation = No_mutation;
   }
 
 let with_policy policy t = { t with policy }
@@ -36,6 +61,8 @@ let with_discard discard t = { t with discard }
 let with_invalidation invalidation t = { t with invalidation }
 
 let with_init init t = { t with init }
+
+let with_mutation mutation t = { t with mutation }
 
 let page_of granularity loc =
   match granularity with

@@ -29,6 +29,34 @@ type invalidation =
           cached copy only when a newer write of that location is actually
           known; costs digest bytes on every reply (see {!Write_digest}) *)
 
+type mutation =
+  | No_mutation  (** the faithful protocol *)
+  | Skip_invalidation
+      (** skip the Figure-4 invalidation rule entirely: stale cached
+          copies survive the arrival of causally newer state *)
+  | Skip_writestamp_merge
+      (** the owner certifies a write without merging the writer's
+          writestamp into its own clock, so the stored stamp no longer
+          dominates the writer's causal history *)
+  | Reorder_apply_ack
+      (** acknowledge a certified write before the backup has applied the
+          shadow copy (asynchronous replication): an acked write can be
+          lost by a takeover *)
+  | Ignore_epoch_fence
+      (** serve READ requests without the epoch fence: a deposed or
+          restarted owner answers for locations it no longer serves,
+          fabricating initial values *)
+  | Skip_shadow_replication
+      (** never replicate certified writes to the backup at all; every
+          takeover silently loses the victim's certified writes *)
+
+val mutations : (string * mutation) list
+(** CLI names for every breaking variant (excludes [No_mutation]). *)
+
+val mutation_name : mutation -> string
+
+val mutation_of_string : string -> mutation option
+
 type t = {
   granularity : granularity;
   discard : discard;
@@ -40,12 +68,11 @@ type t = {
   entry_size : int -> int;
       (** wire size of a stamped entry as a function of the vector-clock
           dimension; used only for byte accounting *)
-  unsafe_skip_invalidation : bool;
-      (** {b Test-only fault injection — never enable in real use.}  Skips
-          the Figure-4 invalidation rule entirely, deliberately breaking
-          causal consistency, so tests can prove the online checker catches
-          a genuine protocol bug (not just synthetic histories).  Off in
-          {!default}. *)
+  mutation : mutation;
+      (** {b Test-only fault injection — never enable in real use.}
+          Selectively breaks one Figure-4 rule (see {!mutation}) so the
+          checkers can prove they catch genuine protocol bugs, not just
+          synthetic histories.  [No_mutation] in {!default}. *)
 }
 
 val default : t
@@ -61,6 +88,8 @@ val with_discard : discard -> t -> t
 val with_invalidation : invalidation -> t -> t
 
 val with_init : (Dsm_memory.Loc.t -> Dsm_memory.Value.t) -> t -> t
+
+val with_mutation : mutation -> t -> t
 
 val page_of : granularity -> Dsm_memory.Loc.t -> (string * int) option
 (** The page a location belongs to under the given granularity; [None] for

@@ -171,7 +171,7 @@ let digest_observe t loc (entry : Stamped.t) =
 (* Precise rule: a cached copy dies only when the digest proves a strictly
    newer write of the same location. *)
 let invalidate_per_digest t =
-  if t.config.Config.unsafe_skip_invalidation then ()
+  if t.config.Config.mutation = Config.Skip_invalidation then ()
   else begin
   let stale = ref [] in
   Loc.Table.iter
@@ -187,7 +187,7 @@ let invalidate_per_digest t =
   end
 
 let invalidate_older t threshold =
-  if t.config.Config.unsafe_skip_invalidation then ()
+  if t.config.Config.mutation = Config.Skip_invalidation then ()
   else if precise t then invalidate_per_digest t
   else begin
     let stale = ref [] in
@@ -216,7 +216,8 @@ let local_write t loc value =
 let certify_write t loc (incoming : Stamped.t) ~accepted =
   if not (owns t loc) then invalid_arg "Node.certify_write: location not owned";
   (* [WRITE, x, v, VT] handler: VT_i := update(VT_i, VT), then resolve. *)
-  t.clock <- Vclock.update t.clock incoming.stamp;
+  if t.config.Config.mutation <> Config.Skip_writestamp_merge then
+    t.clock <- Vclock.update t.clock incoming.stamp;
   let current =
     match lookup t loc with
     | Some e -> e
@@ -289,7 +290,7 @@ let install_batch t entries =
       digest_observe t loc entry;
       trace t (Trace.Apply { node = t.id; loc; wid = entry.Stamped.wid }))
     installable;
-  if t.config.Config.unsafe_skip_invalidation then ()
+  if t.config.Config.mutation = Config.Skip_invalidation then ()
   else if precise t then invalidate_per_digest t
   else begin
     (* One invalidation pass over the rest of the cache: anything strictly
@@ -337,6 +338,10 @@ let install_transient t entries =
 
 let cached_locs t =
   Loc.Table.fold (fun loc _ acc -> if owns t loc then acc else loc :: acc) t.memory []
+
+let entries t =
+  Loc.Table.fold (fun loc slot acc -> (loc, slot.entry) :: acc) t.memory []
+  |> List.sort (fun (a, _) (b, _) -> compare (Loc.to_string a) (Loc.to_string b))
 
 let cache_size t = List.length (cached_locs t)
 

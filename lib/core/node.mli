@@ -127,6 +127,10 @@ val cache_size : t -> int
 val cached_locs : t -> Dsm_memory.Loc.t list
 (** The set [C_i], in unspecified order. *)
 
+val entries : t -> (Dsm_memory.Loc.t * Stamped.t) list
+(** Every entry in [M_i] — served and cached — ascending by location name.
+    Read-only (no LRU touch); the model checker fingerprints with it. *)
+
 val reset_volatile : t -> unit
 (** Crash-stop restart: drop everything volatile — the cache, the
     invalidation bookkeeping, the digest, the vector clock, the ownership

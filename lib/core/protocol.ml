@@ -114,6 +114,12 @@ let unsuspect_events t =
 let suspected_by t pid =
   match t.detectors with None -> [] | Some dets -> Detector.suspected_now dets.(pid)
 
+let shadow_pending_list t pid =
+  Hashtbl.fold (fun seq wait acc -> (seq, wait) :: acc) t.shadow_pending.(pid) []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let shadow_seqno t = t.shadow_seq
+
 let set_tracing t on =
   t.tracing <- on;
   Array.iter (fun node -> Node.set_tracing node on) t.nodes
@@ -192,21 +198,35 @@ let degrade t acc ~me ~seq =
 
 (* Replicate freshly certified [entries] of [base] to the designated backup
    and run [wait]'s completion once acknowledged.  Degrades to completing
-   immediately when failover is off or the backup is itself suspected. *)
+   immediately when failover is off or the backup is itself suspected.
+   The [Reorder_apply_ack] mutation acknowledges first and replicates
+   asynchronously; [Skip_shadow_replication] never replicates at all. *)
 let shadow_then t acc ~me ~base entries wait =
   let proceed () = complete t acc ~me wait in
-  if not (failover_on t) then proceed ()
-  else
-    match backup_of t ~serving:me with
-    | None -> proceed ()
-    | Some backup when suspected t ~me ~peer:backup ->
-        degrade t acc ~me ~seq:(-1);
-        proceed ()
-    | Some backup ->
-        let seq = next_shadow_seq t in
-        Hashtbl.replace t.shadow_pending.(me) seq wait;
-        send_shadow t acc ~me ~backup ~base ~seq entries;
-        act acc (Arm_grace { node = me; seq })
+  match t.config.Config.mutation with
+  | Config.Skip_shadow_replication -> proceed ()
+  | Config.Reorder_apply_ack ->
+      proceed ();
+      if failover_on t then begin
+        match backup_of t ~serving:me with
+        | Some backup when not (suspected t ~me ~peer:backup) ->
+            let seq = next_shadow_seq t in
+            send_shadow t acc ~me ~backup ~base ~seq entries
+        | Some _ | None -> ()
+      end
+  | _ ->
+      if not (failover_on t) then proceed ()
+      else (
+        match backup_of t ~serving:me with
+        | None -> proceed ()
+        | Some backup when suspected t ~me ~peer:backup ->
+            degrade t acc ~me ~seq:(-1);
+            proceed ()
+        | Some backup ->
+            let seq = next_shadow_seq t in
+            Hashtbl.replace t.shadow_pending.(me) seq wait;
+            send_shadow t acc ~me ~backup ~base ~seq entries;
+            act acc (Arm_grace { node = me; seq }))
 
 (* Epoch fencing: a request is served only by the node currently serving
    the location under an epoch at least as new as the client's.  Everything
@@ -269,7 +289,14 @@ let handle_message t acc ~me ~src ~now msg =
     let node = t.nodes.(me) in
     match (msg : Message.t) with
     | Message.Read_req { req; loc; epoch } -> (
-        match fence node loc epoch with
+        let fenced =
+          (* The [Ignore_epoch_fence] mutation serves reads unconditionally:
+             a deposed or restarted owner answers for locations it no longer
+             serves. *)
+          if t.config.Config.mutation = Config.Ignore_epoch_fence then None
+          else fence node loc epoch
+        in
+        match fenced with
         | Some (base, my_epoch, serving) ->
             act acc
               (Send
@@ -282,8 +309,13 @@ let handle_message t acc ~me ~src ~now msg =
                  })
         | None ->
             let entry =
-              match Node.lookup node loc with Some e -> e | None -> assert false
-              (* served locations always present after lookup *)
+              match Node.lookup node loc with
+              | Some e -> e
+              | None ->
+                  (* Served locations are always present after lookup; only
+                     the fence mutation reaches here, answering for a
+                     location this node does not serve. *)
+                  Stamped.initial ~processes:(Array.length t.nodes) (t.config.Config.init loc)
             in
             let page = Node.page_entries node loc in
             let digest = Node.digest_export node in
@@ -434,20 +466,8 @@ let step t event =
          until the designated backup has the entry (or the grace timer
          degrades), so a takeover preserves read-your-writes for the
          owner's own operations. *)
-      if failover_on t then begin
-        match backup_of t ~serving:me with
-        | Some backup when not (suspected t ~me ~peer:backup) ->
-            let seq = next_shadow_seq t in
-            Hashtbl.replace t.shadow_pending.(me) seq (Writer writer);
-            send_shadow t acc ~me ~backup ~base:(Node.base_owner_of node loc) ~seq
-              [ (loc, entry) ];
-            act acc (Arm_grace { node = me; seq })
-        | Some _ ->
-            degrade t acc ~me ~seq:(-1);
-            act acc (Wake_writer { node = me; writer })
-        | None -> act acc (Wake_writer { node = me; writer })
-      end
-      else act acc (Wake_writer { node = me; writer })
+      shadow_then t acc ~me ~base:(Node.base_owner_of node loc) [ (loc, entry) ]
+        (Writer writer)
   | Learn_view { node = me; base; epoch; serving } ->
       learn_view t acc ~me ~base ~epoch ~serving;
       flush t me acc

@@ -125,3 +125,11 @@ val unsuspect_events : state -> int
 
 val suspected_by : state -> int -> int list
 (** Peers currently suspected by one node, ascending. *)
+
+val shadow_pending_list : state -> int -> (int * completion) list
+(** One node's in-flight shadow replications awaiting acknowledgement, as
+    [(seq, completion)] ascending by seq.  Exposed so the model checker can
+    fingerprint the full protocol state. *)
+
+val shadow_seqno : state -> int
+(** The next shadow sequence number to be allocated (cluster-global). *)

@@ -1,0 +1,226 @@
+module Config = Dsm_protocol.Config
+module Trace = Dsm_protocol.Trace
+
+type stats = {
+  mutable states : int;
+  mutable revisits : int;
+  mutable pruned : int;
+  mutable executions : int;
+  mutable transitions : int;
+  mutable max_depth : int;
+  mutable truncated : bool;
+}
+
+type cex = {
+  schedule : System.choice list;
+  cex_violation : int * string;
+  online : bool;  (** flagged mid-run; [false] = only the post-hoc check *)
+}
+
+type report = { scope : Gen.scope; stats : stats; cex : cex option }
+
+let pp_schedule ppf sched =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+    System.pp_choice ppf sched
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d states visited (%d deduped, %d pruned), %d executions, %d transitions, depth <= %d%s"
+    s.states s.revisits s.pruned s.executions s.transitions s.max_depth
+    (if s.truncated then " [truncated]" else "")
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let replay scope sched =
+  let sys = System.init scope in
+  List.iter (System.apply sys) sched;
+  sys
+
+(* Lenient replay for the shrinker: skip choices the truncated schedule no
+   longer enables, stop once a violation is flagged. *)
+let lenient_replay ?tracing scope sched =
+  let sys = System.init ?tracing scope in
+  List.iter
+    (fun c ->
+      if System.violation sys = None && System.choice_enabled sys c then System.apply sys c)
+    sched;
+  sys
+
+let violates scope sched =
+  let sys = lenient_replay scope sched in
+  System.violation sys <> None || System.posthoc_violation sys <> None
+
+(* ------------------------------------------------------------------ *)
+(* The search: stateless DFS + fingerprint dedup + sleep sets          *)
+(* ------------------------------------------------------------------ *)
+
+(* Each [dfs] call replays its schedule prefix from the initial state (the
+   core mutates in place, so there is nothing to snapshot); the state is
+   then fingerprinted for de-duplication.  Sleep sets carry the choices a
+   sibling already explored that commute with everything taken since, in
+   the classic way; because a revisited fingerprint may have been reached
+   with a different sleep set, a visit is only skipped when some earlier
+   visit's sleep set was a subset of the current one (otherwise the current
+   visit can reach executions the earlier one pruned). *)
+let explore ?(reduction = true) ?(max_states = 200_000) ?on_terminal (scope : Gen.scope) =
+  let stats =
+    {
+      states = 0;
+      revisits = 0;
+      pruned = 0;
+      executions = 0;
+      transitions = 0;
+      max_depth = 0;
+      truncated = false;
+    }
+  in
+  let seen : (string, System.choice list list) Hashtbl.t = Hashtbl.create 4096 in
+  let first_cex = ref None in
+  let found_cex sched violation online =
+    if !first_cex = None then
+      first_cex := Some { schedule = List.rev sched; cex_violation = violation; online }
+  in
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+  (* [sched] is the path in reverse (newest first). *)
+  let rec dfs sched depth sleep =
+    if stats.states >= max_states then stats.truncated <- true
+    else begin
+      let sys = replay scope (List.rev sched) in
+      let fp = System.fingerprint sys in
+      let prior = Option.value ~default:[] (Hashtbl.find_opt seen fp) in
+      if List.exists (fun s -> subset s sleep) prior then stats.revisits <- stats.revisits + 1
+      else begin
+        if prior <> [] then stats.revisits <- stats.revisits + 1 else stats.states <- stats.states + 1;
+        Hashtbl.replace seen fp (sleep :: prior);
+        if depth > stats.max_depth then stats.max_depth <- depth;
+        match System.violation sys with
+        | Some v ->
+            stats.executions <- stats.executions + 1;
+            found_cex sched v true
+        | None -> (
+            match System.enabled sys with
+            | [] ->
+                stats.executions <- stats.executions + 1;
+                (match System.posthoc_violation sys with
+                | Some v -> found_cex sched v false
+                | None -> ());
+                Option.iter (fun f -> f sys) on_terminal
+            | en ->
+                let explored = ref [] in
+                List.iter
+                  (fun c ->
+                    if !first_cex = None && not stats.truncated then begin
+                      if reduction && List.mem c sleep then stats.pruned <- stats.pruned + 1
+                      else begin
+                        stats.transitions <- stats.transitions + 1;
+                        let child_sleep =
+                          if reduction then
+                            List.filter
+                              (fun d -> System.independent sys d c)
+                              (sleep @ !explored)
+                          else []
+                        in
+                        dfs (c :: sched) (depth + 1) child_sleep;
+                        explored := c :: !explored
+                      end
+                    end)
+                  en)
+      end
+    end
+  in
+  dfs [] 0 [];
+  { scope; stats; cex = !first_cex }
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample shrinking and rendering                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy delta-debugging to a fixpoint: drop one schedule step at a time,
+   keeping the drop whenever the (leniently replayed) remainder still
+   violates.  The result is 1-minimal: no single step can be removed. *)
+let shrink scope sched =
+  if not (violates scope sched) then sched
+  else begin
+    let drop_nth l n = List.filteri (fun i _ -> i <> n) l in
+    let rec pass s n changed =
+      if n >= List.length s then (s, changed)
+      else
+        let s' = drop_nth s n in
+        if violates scope s' then pass s' n true else pass s (n + 1) changed
+    in
+    let rec fix s =
+      match pass s 0 false with s', true -> fix s' | s', false -> s'
+    in
+    fix sched
+  end
+
+let counterexample_events scope sched =
+  let sys = lenient_replay ~tracing:true scope sched in
+  let events = System.trace_events sys in
+  match (System.violation sys, System.posthoc_violation sys) with
+  | None, Some (node, reason) ->
+      (* The violation only shows post-hoc: append it so the trace file
+         still names the verdict. *)
+      let seq = List.length events in
+      events
+      @ [ { Trace.seq; time = float_of_int seq; clock = None; body = Trace.Violation { node; reason } } ]
+  | _ -> events
+
+let write_counterexample scope sched path =
+  let events = counterexample_events scope sched in
+  let oc = open_out path in
+  List.iter
+    (fun ev ->
+      output_string oc (Trace.to_json ev);
+      output_char oc '\n')
+    events;
+  close_out oc;
+  List.length events
+
+(* ------------------------------------------------------------------ *)
+(* Checking runs: one scope, and the full mutation matrix              *)
+(* ------------------------------------------------------------------ *)
+
+let run ?reduction ?max_states ?on_terminal scope =
+  let report = explore ?reduction ?max_states ?on_terminal scope in
+  match report.cex with
+  | None -> report
+  | Some cex ->
+      let schedule = shrink scope cex.schedule in
+      { report with cex = Some { cex with schedule } }
+
+type matrix_entry = {
+  mutation : Config.mutation;
+  scope_name : string;
+  report : report;
+  ok : bool;  (** mutants must violate, [No_mutation] must not *)
+}
+
+(* Every preset must be clean unmutated, and every mutation must be caught
+   in its designated scope. *)
+let run_matrix ?max_states () =
+  let clean =
+    List.map
+      (fun (scope : Gen.scope) ->
+        let report = run ?max_states scope in
+        {
+          mutation = Config.No_mutation;
+          scope_name = scope.sname;
+          report;
+          ok = report.cex = None && not report.stats.truncated;
+        })
+      Gen.presets
+  in
+  let mutants =
+    List.map
+      (fun (mutation, name) ->
+        let scope = Option.get (Gen.preset name) in
+        let scope = { scope with Gen.mutation; sname = name ^ "+" ^ Config.mutation_name mutation } in
+        let report = run ?max_states scope in
+        { mutation; scope_name = name; report; ok = report.cex <> None })
+      Gen.matrix
+  in
+  clean @ mutants

@@ -1,0 +1,82 @@
+(** The bounded exhaustive search over a {!System}.
+
+    A stateless depth-first enumeration of every schedule the scope's
+    {!System.enabled} relation admits: the core state is replayed from the
+    initial state for each prefix (it mutates in place, so nothing is
+    snapshotted), de-duplicated by {!System.fingerprint}, and pruned with
+    sleep sets over {!System.independent} deliveries.  The first violating
+    execution — flagged online or by the terminal post-hoc check — is
+    returned as a schedule and greedily shrunk to a 1-minimal
+    counterexample. *)
+
+type stats = {
+  mutable states : int;  (** distinct fingerprints visited *)
+  mutable revisits : int;  (** visits that hit a known fingerprint *)
+  mutable pruned : int;  (** transitions skipped by sleep sets *)
+  mutable executions : int;  (** maximal (terminal or violating) runs *)
+  mutable transitions : int;  (** choices explored *)
+  mutable max_depth : int;
+  mutable truncated : bool;  (** hit [max_states] before exhausting *)
+}
+
+type cex = {
+  schedule : System.choice list;
+  cex_violation : int * string;
+  online : bool;  (** flagged mid-run; [false] = only the post-hoc check *)
+}
+
+type report = { scope : Gen.scope; stats : stats; cex : cex option }
+
+val pp_schedule : Format.formatter -> System.choice list -> unit
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val explore :
+  ?reduction:bool ->
+  ?max_states:int ->
+  ?on_terminal:(System.t -> unit) ->
+  Gen.scope ->
+  report
+(** Enumerate the scope.  [reduction] (default true) toggles the sleep-set
+    pruning; [max_states] (default 200_000) bounds distinct states before
+    truncating; [on_terminal] observes every violation-free maximal state
+    (the litmus tests assert reachability with it).  Stops at the first
+    violating execution. *)
+
+val run :
+  ?reduction:bool ->
+  ?max_states:int ->
+  ?on_terminal:(System.t -> unit) ->
+  Gen.scope ->
+  report
+(** {!explore}, with the counterexample (if any) shrunk. *)
+
+val replay : Gen.scope -> System.choice list -> System.t
+(** Strict replay: every choice must be enabled in turn. *)
+
+val violates : Gen.scope -> System.choice list -> bool
+(** Lenient replay (disabled choices skipped), then: did anything violate,
+    online or post-hoc?  The shrinking criterion. *)
+
+val shrink : Gen.scope -> System.choice list -> System.choice list
+(** Greedy drop-one-step delta debugging to a fixpoint under {!violates};
+    returns the input unchanged if it does not violate. *)
+
+val write_counterexample : Gen.scope -> System.choice list -> string -> int
+(** Replay the schedule with tracing and write the event stream as Trace
+    JSONL (one event per line, [dsm trace]-compatible) to the given path;
+    returns the number of events written.  A violation only visible
+    post-hoc is appended as a final [violation] event. *)
+
+type matrix_entry = {
+  mutation : Dsm_protocol.Config.mutation;
+  scope_name : string;
+  report : report;
+  ok : bool;  (** mutants must violate, [No_mutation] must not *)
+}
+
+val run_matrix : ?max_states:int -> unit -> matrix_entry list
+(** The full oracle-validation matrix: every preset explored unmutated
+    (expecting no violation, no truncation), then every
+    [Gen.matrix] pairing explored with its mutation enabled (expecting a
+    counterexample). *)

@@ -1,0 +1,271 @@
+module P = Dsm_protocol.Protocol
+module Config = Dsm_protocol.Config
+module Detector = Dsm_protocol.Detector
+module Owner = Dsm_memory.Owner
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module Prng = Dsm_util.Prng
+
+type op = Read of Loc.t | Write of Loc.t * Value.t
+
+type fault =
+  | No_faults
+  | Crash of { victim : int; restart : bool }
+  | Drop of { drops : int; dups : int }
+
+type scope = {
+  sname : string;
+  nodes : int;
+  owner : Owner.t;
+  programs : op list array;
+  fault : fault;
+  failover : bool;
+  mutation : Config.mutation;
+}
+
+let default_detector = { Detector.period = 5.0; suspect_after = 3 }
+
+(* ------------------------------------------------------------------ *)
+(* Random closed-loop event schedules (shared with test_protocol)      *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_state ?(nodes = 4) () =
+  P.create ~owner:(Owner.by_index ~nodes) ~config:Config.default ~detector:default_detector
+    ~now:0.0 ()
+
+(* Drive one random run against a fresh state, returning the event
+   sequence (oldest first) and the action list each event produced.
+   [Send] actions feed back as future [Deliver]s, [Arm_grace] as
+   [Grace_expired]; everything is drawn from the seeded PRNG, so a given
+   (nodes, seed, steps) triple regenerates bit-identically. *)
+let random_run ?(nodes = 4) ~seed ~steps () =
+  let prng = Prng.create seed in
+  let st = fresh_state ~nodes () in
+  let loc i = Loc.indexed "v" i in
+  let pending = ref [] (* in-flight (dst, src, msg) *) in
+  let graces = ref [] (* armed (node, seq) *) in
+  let events = ref [] in
+  let actions = ref [] in
+  let now = ref 0.0 in
+  let writers = ref 0 in
+  let apply ev =
+    events := ev :: !events;
+    let _, acts = P.step st ev in
+    actions := acts :: !actions;
+    List.iter
+      (function
+        | P.Send { src; dst; msg; _ } -> pending := (dst, src, msg) :: !pending
+        | P.Arm_grace { node; seq } -> graces := (node, seq) :: !graces
+        | _ -> ())
+      acts
+  in
+  let take_nth r i =
+    let x = List.nth !r i in
+    r := List.filteri (fun j _ -> j <> i) !r;
+    x
+  in
+  (* A base still under its static owner, not crashed, if any. *)
+  let writable_node () =
+    let taken_over = List.map (fun (b, _, _) -> b) (P.view st) in
+    let candidates =
+      List.init nodes Fun.id
+      |> List.filter (fun n -> (not (P.is_crashed st n)) && not (List.mem n taken_over))
+    in
+    match candidates with
+    | [] -> None
+    | cs -> Some (List.nth cs (Prng.int prng (List.length cs)))
+  in
+  for _ = 1 to steps do
+    now := !now +. Prng.float prng 2.0;
+    let choice = Prng.int prng 100 in
+    if choice < 40 && !pending <> [] then begin
+      let dst, src, msg = take_nth pending (Prng.int prng (List.length !pending)) in
+      apply (P.Deliver { dst; src; now = !now; msg })
+    end
+    else if choice < 60 then begin
+      match writable_node () with
+      | Some n ->
+          incr writers;
+          apply
+            (P.Owner_write
+               {
+                 node = n;
+                 loc = loc ((Prng.int prng 2 * nodes) + n);
+                 value = Value.Int !writers;
+                 writer = !writers;
+               })
+      | None -> ()
+    end
+    else if choice < 70 && !graces <> [] then begin
+      let node, seq = take_nth graces (Prng.int prng (List.length !graces)) in
+      apply (P.Grace_expired { node; seq })
+    end
+    else if choice < 76 then begin
+      (* Crash someone who is up (but never everyone at once). *)
+      let up = List.init nodes Fun.id |> List.filter (fun n -> not (P.is_crashed st n)) in
+      if List.length up > 1 then
+        apply (P.Crash { node = List.nth up (Prng.int prng (List.length up)) })
+    end
+    else if choice < 82 then begin
+      let down = List.init nodes Fun.id |> List.filter (P.is_crashed st) in
+      if down <> [] then
+        apply
+          (P.Restart
+             {
+               node = List.nth down (Prng.int prng (List.length down));
+               now = !now;
+               records = [];
+             })
+    end
+    else apply (P.Hb_tick { node = Prng.int prng nodes; now = !now })
+  done;
+  (List.rev !events, List.rev !actions)
+
+(* ------------------------------------------------------------------ *)
+(* Small-scope programs                                                *)
+(* ------------------------------------------------------------------ *)
+
+let x = Loc.named "x"
+let y = Loc.named "y"
+let z = Loc.named "z"
+
+let owner_fn ~nodes assign = Owner.make ~nodes (fun loc -> assign loc)
+
+(* Message passing: one writer publishes x then y, one reader consumes in
+   the opposite order.  Both locations live at the writer. *)
+let mp =
+  {
+    sname = "mp";
+    nodes = 2;
+    owner = owner_fn ~nodes:2 (fun _ -> 0);
+    programs =
+      [|
+        [ Write (x, Value.Int 1); Write (y, Value.Int 2) ]; [ Read y; Read x ];
+      |];
+    fault = No_faults;
+    failover = false;
+    mutation = Config.No_mutation;
+  }
+
+(* Publication with a re-read: the reader caches the old y, sees the new x,
+   then reads y again — the cached copy must have been invalidated.
+   Catches [Skip_invalidation]. *)
+let publication =
+  {
+    sname = "publication";
+    nodes = 2;
+    owner = owner_fn ~nodes:2 (fun _ -> 0);
+    programs =
+      [|
+        [ Write (y, Value.Int 1); Write (x, Value.Int 2) ];
+        [ Read y; Read x; Read y ];
+      |];
+    fault = No_faults;
+    failover = false;
+    mutation = Config.No_mutation;
+  }
+
+(* Three-party race: the x-writer's causal history (it read y=3) must ride
+   on its writestamp so the owner's certified entry invalidates the
+   reader's stale cached y.  Catches [Skip_writestamp_merge]. *)
+let race =
+  {
+    sname = "race";
+    nodes = 3;
+    owner =
+      owner_fn ~nodes:3 (fun loc ->
+          if Loc.equal loc x then 1 else if Loc.equal loc y then 2 else 0);
+    programs =
+      [|
+        [ Read y; Write (x, Value.Int 5) ];
+        [ Read y; Read x; Read y ];
+        [ Write (y, Value.Int 1); Write (y, Value.Int 3) ];
+      |];
+    fault = No_faults;
+    failover = false;
+    mutation = Config.No_mutation;
+  }
+
+(* Owner crash with takeover: node 2 writes x (served by the victim) then y
+   (served by the backup); the backup reads y then x after promoting.  The
+   acknowledged w(x)1 must survive the takeover — catches
+   [Reorder_apply_ack] and [Skip_shadow_replication]. *)
+let failover =
+  {
+    sname = "failover";
+    nodes = 3;
+    owner =
+      owner_fn ~nodes:3 (fun loc ->
+          if Loc.equal loc x then 0 else if Loc.equal loc y then 1 else 0);
+    programs =
+      [| []; [ Read y; Read x ]; [ Write (x, Value.Int 1); Write (y, Value.Int 2) ] |];
+    fault = Crash { victim = 0; restart = false };
+    failover = true;
+    mutation = Config.No_mutation;
+  }
+
+(* Crash, takeover, restart: the restarted (deposed) node 0 must fence
+   reads arriving under its old epoch instead of fabricating answers for
+   locations it no longer serves.  Catches [Ignore_epoch_fence]. *)
+let fence =
+  {
+    sname = "fence";
+    nodes = 4;
+    owner =
+      owner_fn ~nodes:4 (fun loc ->
+          if Loc.equal loc x then 0 else if Loc.equal loc y then 1 else 0);
+    programs =
+      [|
+        [];
+        [];
+        [ Write (x, Value.Int 1); Write (y, Value.Int 2) ];
+        [ Read y; Read x ];
+      |];
+    fault = Crash { victim = 0; restart = true };
+    failover = true;
+    mutation = Config.No_mutation;
+  }
+
+(* Message passing under a lossy, duplicating link with small budgets. *)
+let lossy =
+  {
+    mp with
+    sname = "lossy";
+    fault = Drop { drops = 1; dups = 1 };
+  }
+
+let presets = [ mp; publication; race; failover; fence; lossy ]
+
+let preset name = List.find_opt (fun s -> s.sname = name) presets
+
+(* Which preset exhibits each mutation: the matrix the checker must ace. *)
+let matrix =
+  [
+    (Config.Skip_invalidation, "publication");
+    (Config.Skip_writestamp_merge, "race");
+    (Config.Reorder_apply_ack, "failover");
+    (Config.Skip_shadow_replication, "failover");
+    (Config.Ignore_epoch_fence, "fence");
+  ]
+
+(* A generic message-passing-flavoured scope: node 0 alternates writes over
+   x and y, everyone else reads them in anti-phase. *)
+let generic ~nodes ~ops ~fault =
+  if nodes < 2 then invalid_arg "Gen.generic: need at least 2 nodes";
+  let owner = owner_fn ~nodes (fun loc -> if Loc.equal loc y then 1 mod nodes else 0) in
+  let program i =
+    List.init ops (fun j ->
+        if i = 0 then Write ((if j mod 2 = 0 then x else y), Value.Int (j + 1))
+        else if i = 1 then Read (if j mod 2 = 0 then y else x)
+        else Read (if j mod 2 = 0 then x else y))
+  in
+  let failover = match fault with Crash _ -> true | _ -> false in
+  {
+    sname = Printf.sprintf "generic-%dx%d" nodes ops;
+    nodes;
+    owner;
+    programs = Array.init nodes program;
+    fault;
+    failover;
+    mutation = Config.No_mutation;
+  }

@@ -1,0 +1,71 @@
+(** Schedule and program generators shared by the property tests and the
+    model checker.
+
+    Two families live here: the seeded {e random} closed-loop event
+    generator the pure-core property tests replay ({!random_run}), and the
+    {e small-scope} litmus programs the bounded model checker enumerates
+    exhaustively ({!presets}, {!generic}). *)
+
+type op = Read of Dsm_memory.Loc.t | Write of Dsm_memory.Loc.t * Dsm_memory.Value.t
+
+type fault =
+  | No_faults
+  | Crash of { victim : int; restart : bool }
+      (** one crash of [victim]; takeover by its ring successor; optional
+          restart (with write-ahead-log replay and view resynchronisation)
+          once the takeover happened *)
+  | Drop of { drops : int; dups : int }
+      (** the adversary may drop and duplicate in-flight messages, up to
+          the given budgets *)
+
+type scope = {
+  sname : string;
+  nodes : int;
+  owner : Dsm_memory.Owner.t;  (** static base assignment *)
+  programs : op list array;  (** one client program per node *)
+  fault : fault;
+  failover : bool;  (** heartbeats + shadow replication enabled *)
+  mutation : Dsm_protocol.Config.mutation;
+}
+
+val default_detector : Dsm_protocol.Detector.config
+(** Period 5.0, suspect after 3 — the failover scenarios' detector. *)
+
+val fresh_state : ?nodes:int -> unit -> Dsm_protocol.Protocol.state
+(** A fresh core state with {!default_detector} failover (default 4
+    nodes), as the property tests build. *)
+
+val random_run :
+  ?nodes:int ->
+  seed:int64 ->
+  steps:int ->
+  unit ->
+  Dsm_protocol.Protocol.event list * Dsm_protocol.Protocol.action list list
+(** One seeded closed-loop run against {!fresh_state}: random deliveries
+    of in-flight sends, owner writes, grace expiries, crashes, restarts
+    and heartbeat ticks.  Returns the events (oldest first) and the action
+    list each produced; bit-identical for equal [(nodes, seed, steps)]. *)
+
+val x : Dsm_memory.Loc.t
+val y : Dsm_memory.Loc.t
+val z : Dsm_memory.Loc.t
+
+val mp : scope
+val publication : scope
+val race : scope
+val failover : scope
+val fence : scope
+val lossy : scope
+
+val presets : scope list
+(** All of the above, each small enough for exhaustive exploration. *)
+
+val preset : string -> scope option
+
+val matrix : (Dsm_protocol.Config.mutation * string) list
+(** Which preset exhibits each protocol mutation: the model checker must
+    find a counterexample for every pair, and none unmutated. *)
+
+val generic : nodes:int -> ops:int -> fault:fault -> scope
+(** A message-passing-flavoured scope of the given size: node 0 alternates
+    writes over x and y, everyone else reads them in anti-phase. *)

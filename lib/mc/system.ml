@@ -1,0 +1,509 @@
+module P = Dsm_protocol.Protocol
+module Message = Dsm_protocol.Message
+module Node = Dsm_protocol.Node
+module Config = Dsm_protocol.Config
+module Stamped = Dsm_protocol.Stamped
+module Trace = Dsm_protocol.Trace
+module Loc = Dsm_memory.Loc
+module Op = Dsm_memory.Op
+module History = Dsm_memory.History
+module Online = Dsm_checker.Online
+module Check = Dsm_checker.Causal_check
+
+type choice =
+  | Issue of int
+  | Deliver of { src : int; dst : int }
+  | Drop_msg of { src : int; dst : int }
+  | Dup_msg of { src : int; dst : int }
+  | Crash_victim
+  | Takeover_tick
+  | Restart_victim
+
+let pp_choice ppf = function
+  | Issue pid -> Format.fprintf ppf "issue@%d" pid
+  | Deliver { src; dst } -> Format.fprintf ppf "deliver %d->%d" src dst
+  | Drop_msg { src; dst } -> Format.fprintf ppf "drop %d->%d" src dst
+  | Dup_msg { src; dst } -> Format.fprintf ppf "dup %d->%d" src dst
+  | Crash_victim -> Format.fprintf ppf "crash"
+  | Takeover_tick -> Format.fprintf ppf "takeover-tick"
+  | Restart_victim -> Format.fprintf ppf "restart"
+
+(* What a process is blocked on, mirroring the rendezvous of the cluster
+   shell: a read or write request in flight (with the redirect budget the
+   shell keeps), or a local owner write awaiting its shadow
+   acknowledgement. *)
+type status =
+  | Idle
+  | Waiting_read of {
+      req : int;
+      loc : Loc.t;
+      vt_at_request : Vclock.t;  (** stale-install guard snapshot *)
+      redirects : int;
+    }
+  | Waiting_write of { req : int; loc : Loc.t; entry : Stamped.t; redirects : int }
+  | Waiting_writer of { token : int }
+
+type t = {
+  scope : Gen.scope;
+  config : Config.t;
+  core : P.state;
+  queues : (string * int * Message.t) Queue.t array array;  (** [queues.(src).(dst)] *)
+  progs : Gen.op list array;  (** remaining program, next op first *)
+  status : status array;
+  ops : Op.t list array;  (** recorded history per pid, newest first *)
+  op_index : int array;
+  wal : Dsm_protocol.Log_record.t list array;  (** newest first *)
+  online : Online.t;
+  owner_stamp : (int * string, Vclock.t) Hashtbl.t;
+  read_stamp : (int * string, Vclock.t) Hashtbl.t;
+  mutable violation : (int * string) option;
+  mutable crashed_done : bool;
+  mutable takeover_done : bool;
+  mutable restarted : bool;
+  mutable drops_left : int;
+  mutable dups_left : int;
+  mutable next_writer : int;
+  mutable last_local : Stamped.t option;
+  mutable stale_replies : int;
+  tracing : bool;
+  mutable trace : Trace.event list;  (** newest first *)
+  mutable trace_seq : int;
+}
+
+let init ?(tracing = false) (scope : Gen.scope) =
+  let config = Config.with_mutation scope.mutation Config.default in
+  let detector = if scope.failover then Some Gen.default_detector else None in
+  let core = P.create ~owner:scope.owner ~config ?detector ~now:0.0 () in
+  if tracing then P.set_tracing core true;
+  let n = scope.nodes in
+  let drops, dups =
+    match scope.fault with Gen.Drop { drops; dups } -> (drops, dups) | _ -> (0, 0)
+  in
+  {
+    scope;
+    config;
+    core;
+    queues = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
+    progs = Array.copy scope.programs;
+    status = Array.make n Idle;
+    ops = Array.make n [];
+    op_index = Array.make n 0;
+    wal = Array.make n [];
+    online = Online.create ();
+    owner_stamp = Hashtbl.create 16;
+    read_stamp = Hashtbl.create 16;
+    violation = None;
+    crashed_done = false;
+    takeover_done = false;
+    restarted = false;
+    drops_left = drops;
+    dups_left = dups;
+    next_writer = 0;
+    last_local = None;
+    stale_replies = 0;
+    tracing;
+    trace = [];
+    trace_seq = 0;
+  }
+
+let victim t = match t.scope.fault with Gen.Crash { victim; _ } -> victim | _ -> -1
+
+let emit_trace t body =
+  if t.tracing then begin
+    let clock =
+      match Trace.actor body with
+      | Some a when a >= 0 && a < t.scope.nodes -> Some (Node.vt (P.node t.core a))
+      | _ -> None
+    in
+    let seq = t.trace_seq in
+    t.trace_seq <- seq + 1;
+    t.trace <- { Trace.seq; time = float_of_int seq; clock; body } :: t.trace
+  end
+
+let set_violation t node reason =
+  if t.violation = None then begin
+    t.violation <- Some (node, reason);
+    emit_trace t (Trace.Violation { node; reason })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Inline invariants                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A stored served entry must never be replaced by a strictly older one:
+   the resolution policy rejects dominated writes, so a regression means a
+   certification rule was broken.  (A concurrent replacement is legal under
+   last-writer-wins, so only [lt] is flagged.) *)
+let check_owner_monotone t =
+  for i = 0 to t.scope.nodes - 1 do
+    if not (P.is_crashed t.core i) then begin
+      let nd = P.node t.core i in
+      List.iter
+        (fun (loc, (entry : Stamped.t)) ->
+          if Node.owns nd loc then begin
+            let key = (i, Loc.to_string loc) in
+            (match Hashtbl.find_opt t.owner_stamp key with
+            | Some prev when Vclock.lt entry.stamp prev ->
+                set_violation t i
+                  (Printf.sprintf "served entry for %s regressed at node %d" (Loc.to_string loc) i)
+            | _ -> ());
+            Hashtbl.replace t.owner_stamp key entry.stamp
+          end)
+        (Node.entries nd)
+    end
+  done
+
+(* A node must only answer READ/WRITE requests for locations it currently
+   serves — the epoch fence enforces exactly this across takeovers. *)
+let check_reply_fence t ~src msg =
+  let flag loc =
+    if not (Node.owns (P.node t.core src) loc) then
+      set_violation t src
+        (Printf.sprintf "node %d replied for %s without serving it" src (Loc.to_string loc))
+  in
+  match msg with
+  | Message.Read_reply { loc; _ } | Message.Write_reply { loc; _ } -> flag loc
+  | _ -> ()
+
+(* Successive reads of one location by one process must never regress
+   causally: a strictly older writestamp means the process re-read a value
+   its own history had already overwritten (a Definition-1 violation). *)
+let check_read_stamp t pid loc (entry : Stamped.t) =
+  let key = (pid, Loc.to_string loc) in
+  (match Hashtbl.find_opt t.read_stamp key with
+  | Some prev when Vclock.lt entry.stamp prev ->
+      set_violation t pid
+        (Printf.sprintf "process %d re-read an older %s" pid (Loc.to_string loc))
+  | _ -> ());
+  Hashtbl.replace t.read_stamp key entry.stamp
+
+(* ------------------------------------------------------------------ *)
+(* Recording and the client paths (mirroring Cluster)                  *)
+(* ------------------------------------------------------------------ *)
+
+let feed_online t op =
+  match Online.add_op t.online op with
+  | [] -> ()
+  | v :: _ -> set_violation t v.Online.v_op.Op.pid ("online: " ^ v.Online.v_reason)
+
+let record_read t pid loc (entry : Stamped.t) =
+  check_read_stamp t pid loc entry;
+  let index = t.op_index.(pid) in
+  t.op_index.(pid) <- index + 1;
+  let op = Op.read ~pid ~index ~loc ~value:entry.value ~from:entry.wid in
+  t.ops.(pid) <- op :: t.ops.(pid);
+  emit_trace t (Trace.Op_read { node = pid; loc; value = entry.value; from = entry.wid });
+  feed_online t op
+
+let record_write t pid loc value wid =
+  let index = t.op_index.(pid) in
+  t.op_index.(pid) <- index + 1;
+  let op = Op.write ~pid ~index ~loc ~value ~wid in
+  t.ops.(pid) <- op :: t.ops.(pid);
+  emit_trace t (Trace.Op_write { node = pid; loc; value; wid });
+  feed_online t op
+
+let post t ~src ~dst ~kind ~size msg =
+  Queue.add (kind, size, msg) t.queues.(src).(dst);
+  emit_trace t (Trace.Send { src; dst; kind; size })
+
+let send_read t pid loc ~vt_at_request ~redirects =
+  let nd = P.node t.core pid in
+  let req = Node.next_req nd in
+  let dst = Node.owner_of nd loc in
+  let epoch = Node.epoch_of nd ~base:(Node.base_owner_of nd loc) in
+  t.status.(pid) <- Waiting_read { req; loc; vt_at_request; redirects };
+  post t ~src:pid ~dst ~kind:"READ" ~size:t.config.Config.read_request_size
+    (Message.Read_req { req; loc; epoch })
+
+let send_write t pid loc entry ~redirects =
+  let nd = P.node t.core pid in
+  let req = Node.next_req nd in
+  let dst = Node.owner_of nd loc in
+  let epoch = Node.epoch_of nd ~base:(Node.base_owner_of nd loc) in
+  let digest = Node.digest_export nd in
+  t.status.(pid) <- Waiting_write { req; loc; entry; redirects };
+  post t ~src:pid ~dst ~kind:"WRITE" ~size:(t.config.Config.entry_size t.scope.nodes)
+    (Message.Write_req { req; loc; entry; digest; epoch })
+
+(* Too many fencing redirects: the shell would surface [Timed_out]; here the
+   process just abandons the rest of its program (still a valid prefix). *)
+let give_up t pid =
+  t.status.(pid) <- Idle;
+  t.progs.(pid) <- []
+
+let rec apply_event t ev =
+  let _, acts = P.step t.core ev in
+  List.iter (perform t) acts;
+  check_owner_monotone t
+
+and perform t = function
+  | P.Send { src; dst; kind; size; msg } ->
+      check_reply_fence t ~src msg;
+      post t ~src ~dst ~kind ~size msg
+  | P.Client_reply { node; req; msg } -> client_reply t node req msg
+  | P.Wake_writer { node; writer } -> (
+      match t.status.(node) with
+      | Waiting_writer { token } when token = writer -> t.status.(node) <- Idle
+      | _ -> t.stale_replies <- t.stale_replies + 1)
+  | P.Append { node; record } -> t.wal.(node) <- record :: t.wal.(node)
+  | P.Arm_grace _ -> ()  (* grace expiry is outside the explored scope *)
+  | P.Local_write_done { entry; _ } -> t.last_local <- Some entry
+  | P.Emit body -> emit_trace t body
+
+and client_reply t node req msg =
+  match t.status.(node) with
+  | Waiting_read r when r.req = req -> (
+      match msg with
+      | Message.Read_reply { entry; page; digest; _ } ->
+          let nd = P.node t.core node in
+          Node.digest_merge nd digest;
+          (* Stale-install guard: retain the reply only if this node's clock
+             did not grow while the request was in flight. *)
+          if Vclock.equal r.vt_at_request (Node.vt nd) then
+            Node.install_batch nd ((r.loc, entry) :: page)
+          else Node.install_transient nd ((r.loc, entry) :: page);
+          Node.enforce_capacity nd;
+          t.status.(node) <- Idle;
+          record_read t node r.loc entry
+      | Message.Stale_epoch { base; epoch; serving; _ } ->
+          t.status.(node) <- Idle;
+          apply_event t (P.Learn_view { node; base; epoch; serving });
+          if r.redirects >= 2 * t.scope.nodes then give_up t node
+          else
+            send_read t node r.loc ~vt_at_request:r.vt_at_request
+              ~redirects:(r.redirects + 1)
+      | _ -> t.stale_replies <- t.stale_replies + 1)
+  | Waiting_write w when w.req = req -> (
+      match msg with
+      | Message.Write_reply { entry = stored; digest; _ } ->
+          let nd = P.node t.core node in
+          Node.digest_merge nd digest;
+          Node.adopt_write_reply nd w.loc stored;
+          Node.enforce_capacity nd;
+          t.status.(node) <- Idle
+      | Message.Stale_epoch { base; epoch; serving; _ } ->
+          t.status.(node) <- Idle;
+          apply_event t (P.Learn_view { node; base; epoch; serving });
+          if w.redirects >= 2 * t.scope.nodes then give_up t node
+          else send_write t node w.loc w.entry ~redirects:(w.redirects + 1)
+      | _ -> t.stale_replies <- t.stale_replies + 1)
+  | Idle | Waiting_read _ | Waiting_write _ | Waiting_writer _ ->
+      t.stale_replies <- t.stale_replies + 1
+
+let do_read t pid loc =
+  let nd = P.node t.core pid in
+  match Node.lookup nd loc with
+  | Some entry -> record_read t pid loc entry
+  | None -> send_read t pid loc ~vt_at_request:(Node.vt nd) ~redirects:0
+
+let do_write t pid loc value =
+  let nd = P.node t.core pid in
+  if Node.owns nd loc then begin
+    (* Owner write: runs through the core, which certifies, logs and
+       shadows; the process stays blocked until [Wake_writer].  The write
+       is recorded at issue — it is certified before anything else runs. *)
+    let token = t.next_writer in
+    t.next_writer <- token + 1;
+    t.status.(pid) <- Waiting_writer { token };
+    t.last_local <- None;
+    apply_event t (P.Owner_write { node = pid; loc; value; writer = token });
+    match t.last_local with
+    | Some entry -> record_write t pid loc value entry.Stamped.wid
+    | None -> assert false
+  end
+  else begin
+    (* Remote write: increment, ship for certification, adopt on reply.
+       Recording at issue keeps the reads-from source available to the
+       checkers even if the acknowledgement never arrives; an unacked write
+       is causally maximal, so the recorded prefix stays a legal history. *)
+    Node.set_vt nd (Vclock.increment (Node.vt nd) pid);
+    let wid = Node.fresh_wid nd in
+    let entry = Stamped.make ~value ~stamp:(Node.vt nd) ~wid in
+    record_write t pid loc value wid;
+    send_write t pid loc entry ~redirects:0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The transition relation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let enabled t =
+  if t.violation <> None then []
+  else begin
+    let n = t.scope.nodes in
+    let issues =
+      List.init n Fun.id
+      |> List.filter (fun pid ->
+             t.status.(pid) = Idle && t.progs.(pid) <> [] && not (P.is_crashed t.core pid))
+      |> List.map (fun pid -> Issue pid)
+    in
+    let busy =
+      List.concat_map
+        (fun src ->
+          List.filter_map
+            (fun dst ->
+              if Queue.is_empty t.queues.(src).(dst) then None else Some (src, dst))
+            (List.init n Fun.id))
+        (List.init n Fun.id)
+    in
+    let delivers = List.map (fun (src, dst) -> Deliver { src; dst }) busy in
+    let drops =
+      if t.drops_left > 0 then List.map (fun (src, dst) -> Drop_msg { src; dst }) busy
+      else []
+    in
+    let dups =
+      if t.dups_left > 0 then List.map (fun (src, dst) -> Dup_msg { src; dst }) busy
+      else []
+    in
+    let crash =
+      match t.scope.fault with
+      | Gen.Crash _ when not t.crashed_done -> [ Crash_victim ]
+      | _ -> []
+    in
+    let tick =
+      if t.crashed_done && (not t.takeover_done) && t.scope.failover then [ Takeover_tick ]
+      else []
+    in
+    let restart =
+      match t.scope.fault with
+      | Gen.Crash { restart = true; _ } when t.takeover_done && not t.restarted ->
+          [ Restart_victim ]
+      | _ -> []
+    in
+    issues @ delivers @ drops @ dups @ crash @ tick @ restart
+  end
+
+let choice_enabled t c = List.mem c (enabled t)
+
+let apply t c =
+  match c with
+  | Issue pid -> (
+      match t.progs.(pid) with
+      | [] -> invalid_arg "System.apply: Issue on an empty program"
+      | op :: rest -> (
+          t.progs.(pid) <- rest;
+          match op with
+          | Gen.Read loc -> do_read t pid loc
+          | Gen.Write (loc, value) -> do_write t pid loc value))
+  | Deliver { src; dst } ->
+      let kind, _, msg = Queue.pop t.queues.(src).(dst) in
+      emit_trace t (Trace.Deliver { src; dst; kind });
+      apply_event t (P.Deliver { dst; src; now = 0.0; msg })
+  | Drop_msg { src; dst } ->
+      let kind, _, _ = Queue.pop t.queues.(src).(dst) in
+      t.drops_left <- t.drops_left - 1;
+      emit_trace t (Trace.Drop { src; dst; kind })
+  | Dup_msg { src; dst } ->
+      let ((kind, _, _) as m) = Queue.peek t.queues.(src).(dst) in
+      Queue.add m t.queues.(src).(dst);
+      t.dups_left <- t.dups_left - 1;
+      emit_trace t (Trace.Duplicate { src; dst; kind })
+  | Crash_victim ->
+      let v = victim t in
+      t.crashed_done <- true;
+      (* The victim's program dies with it: the explored scope restarts the
+         node but not its client process. *)
+      t.progs.(v) <- [];
+      t.status.(v) <- Idle;
+      apply_event t (P.Crash { node = v })
+  | Takeover_tick ->
+      (* One heartbeat tick at the victim's designated backup, late enough
+         that the detector's silence threshold has long passed: the backup
+         suspects the victim and promotes itself. *)
+      t.takeover_done <- true;
+      apply_event t (P.Hb_tick { node = (victim t + 1) mod t.scope.nodes; now = 1e9 })
+  | Restart_victim ->
+      let v = victim t in
+      t.restarted <- true;
+      apply_event t (P.Restart { node = v; now = 1e9; records = List.rev t.wal.(v) });
+      (* View synchronisation on rejoin: the restarted node learns the
+         cluster's current epochs (the shell gets this from gossip; making
+         it atomic here keeps the state space small and the deposed node
+         honest about what it no longer serves). *)
+      List.iter
+        (fun (base, epoch, serving) -> apply_event t (P.Learn_view { node = v; base; epoch; serving }))
+        (P.view t.core)
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let violation t = t.violation
+
+let history t = Array.map (fun l -> Array.of_list (List.rev l)) t.ops
+
+let op_count t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.ops
+
+let completed t =
+  Array.for_all (fun p -> p = []) t.progs && Array.for_all (fun s -> s = Idle) t.status
+
+let posthoc_violation t =
+  match Check.check (History.of_ops (history t)) with
+  | Ok Check.Correct | Ok (Check.Violations []) -> None
+  | Ok (Check.Violations (v :: _)) -> Some (v.Check.read.Op.pid, v.Check.reason)
+  | Error msg -> Some (-1, "malformed history: " ^ msg)
+
+let read_values t pid =
+  List.rev t.ops.(pid)
+  |> List.filter_map (fun (op : Op.t) -> if Op.is_read op then Some op.value else None)
+
+let trace_events t = List.rev t.trace
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprinting and independence                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything behaviorally relevant, canonically ordered.  Histories are
+   fingerprinted per process (not as a global order) so two interleavings
+   that produced the same per-process state converge.  Deliberately
+   excluded: statistics counters, the online checker's internals (a
+   function of the per-process histories), and the invariant tables (the
+   terminal post-hoc check is the authoritative oracle either way). *)
+let fingerprint t =
+  let n = t.scope.nodes in
+  let queue_list q = List.rev (Queue.fold (fun acc m -> m :: acc) [] q) in
+  let per_node i =
+    let nd = P.node t.core i in
+    ( P.is_crashed t.core i,
+      Vclock.to_array (Node.vt nd),
+      Node.entries nd,
+      Node.view nd,
+      List.init n (fun base -> Node.shadow_entries nd ~base),
+      P.suspected_by t.core i,
+      P.shadow_pending_list t.core i,
+      t.wal.(i),
+      t.ops.(i),
+      t.progs.(i),
+      t.status.(i) )
+  in
+  let data =
+    ( Array.init n per_node,
+      Array.init n (fun s -> Array.init n (fun d -> queue_list t.queues.(s).(d))),
+      (t.crashed_done, t.takeover_done, t.restarted, t.drops_left, t.dups_left),
+      P.shadow_seqno t.core,
+      t.violation )
+  in
+  Digest.string (Marshal.to_string data [ Marshal.No_sharing ])
+
+(* Delivering a WRITE at a certifying owner allocates a cluster-global
+   shadow sequence number when failover is on, so two such deliveries do
+   not commute even on disjoint endpoints. *)
+let allocating t (src, dst) =
+  P.failover_on t.core
+  &&
+  match Queue.peek_opt t.queues.(src).(dst) with
+  | Some (kind, _, _) -> kind = "WRITE"
+  | None -> false
+
+(* Only message deliveries with disjoint endpoints commute; everything else
+   is conservatively dependent.  Note the state-space caveat: the moment an
+   online violation is flagged can differ between two commuting orders, but
+   the terminal post-hoc check is order-insensitive, so reduction never
+   hides a violating execution (asserted by the reduction-agreement test). *)
+let independent t a b =
+  match (a, b) with
+  | Deliver { src = s1; dst = d1 }, Deliver { src = s2; dst = d2 } ->
+      s1 <> s2 && s1 <> d2 && d1 <> s2 && d1 <> d2
+      && not (allocating t (s1, d1) && allocating t (s2, d2))
+  | _ -> false

@@ -1,0 +1,91 @@
+(** One small-scope system under model checking: the pure protocol core
+    plus just enough shell to drive client programs through it.
+
+    A {!t} bundles a {!Dsm_protocol.Protocol.state} with explicit message
+    queues (one FIFO per directed node pair), the per-process client
+    programs of a {!Gen.scope}, and the bookkeeping the cluster shell
+    would keep (blocked requests, redirect budgets, write-ahead logs).
+    Everything nondeterministic is reified as a {!choice}; {!apply} makes
+    exactly one choice happen, deterministically.  The explorer owns the
+    search; this module owns the semantics.
+
+    Scope bounds (deliberate, documented in docs/CHECKERS.md): per-pair
+    FIFO links (the reliable transport's guarantee); at most one crash,
+    whose takeover is a single late heartbeat tick at the designated
+    backup and whose restart synchronises the cluster view atomically; no
+    grace-timer expiry; a crashed node's remaining client program is
+    abandoned; no RPC retries (a dropped request parks its issuer, which
+    is still a valid terminal prefix).
+
+    Verdicts come from three layers: inline invariants checked during
+    {!apply} (served-entry monotonicity, reply fencing, per-process read
+    causality), the incremental {!Dsm_checker.Online} checker fed as
+    operations complete, and the authoritative post-hoc
+    {!Dsm_checker.Causal_check} over the recorded history at terminal
+    states ({!posthoc_violation}). *)
+
+type choice =
+  | Issue of int  (** process [pid] issues its next program operation *)
+  | Deliver of { src : int; dst : int }  (** deliver the head of one link *)
+  | Drop_msg of { src : int; dst : int }  (** adversary drops the head *)
+  | Dup_msg of { src : int; dst : int }  (** adversary duplicates the head *)
+  | Crash_victim  (** crash the scope's designated victim *)
+  | Takeover_tick  (** late heartbeat tick at the victim's backup *)
+  | Restart_victim  (** restart the victim from its write-ahead log *)
+
+val pp_choice : Format.formatter -> choice -> unit
+
+type t
+
+val init : ?tracing:bool -> Gen.scope -> t
+(** A fresh system at the scope's initial state.  With [~tracing:true]
+    every wire, protocol and application event is recorded for
+    {!trace_events} (used when rendering counterexamples; exploration
+    runs untraced). *)
+
+val enabled : t -> choice list
+(** The choices schedulable now, in a fixed deterministic order.  Empty
+    once a violation is flagged (the execution is the counterexample) or
+    the system is quiescent with nothing left to run. *)
+
+val choice_enabled : t -> choice -> bool
+
+val apply : t -> choice -> unit
+(** Perform one enabled choice, mutating the system in place.  The caller
+    must only pass members of {!enabled} (the shrinker uses
+    {!choice_enabled} to replay leniently). *)
+
+val violation : t -> (int * string) option
+(** First violation flagged online (inline invariant or incremental
+    checker), as [(node, reason)]. *)
+
+val posthoc_violation : t -> (int * string) option
+(** The authoritative Definition-1 verdict over the history recorded so
+    far ({!Dsm_checker.Causal_check.check}). *)
+
+val history : t -> Dsm_memory.Op.t array array
+(** Per-process recorded operations in program order, suitable for
+    {!Dsm_memory.History.of_ops}. *)
+
+val op_count : t -> int
+
+val completed : t -> bool
+(** Every program ran to completion and nobody is blocked. *)
+
+val read_values : t -> int -> Dsm_memory.Value.t list
+(** The values process [pid]'s reads returned, in program order. *)
+
+val trace_events : t -> Dsm_protocol.Trace.event list
+(** The recorded event stream (empty unless [init ~tracing:true]);
+    [seq] doubles as the logical time stamp. *)
+
+val fingerprint : t -> string
+(** Canonical digest of the behaviorally relevant state, for stateful
+    de-duplication.  Two systems with equal fingerprints have identical
+    future behavior (histories are fingerprinted per process, so
+    commuting interleavings converge). *)
+
+val independent : t -> choice -> choice -> bool
+(** Conservative independence for sleep-set pruning: only two message
+    deliveries with disjoint endpoint sets commute (and not even those
+    when both would allocate a cluster-global shadow sequence number). *)

@@ -18,6 +18,7 @@ let () =
       ("policy-config", Test_policy_config.suite);
       ("node", Test_node.suite);
       ("protocol", Test_protocol.suite);
+      ("mc", Test_mc.suite);
       ("causal-cluster", Test_causal_cluster.suite);
       ("precise-invalidation", Test_precise.suite);
       ("atomic", Test_atomic.suite);

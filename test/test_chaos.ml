@@ -116,7 +116,11 @@ let test_online_catches_injected_bug () =
   List.iter
     (fun seed ->
       let knobs =
-        { (knobs ()) with Chaos.online_check = true; unsafe_skip_invalidation = true }
+        {
+          (knobs ()) with
+          Chaos.online_check = true;
+          mutation = Dsm_causal.Config.Skip_invalidation;
+        }
       in
       let r = Chaos.solver ~knobs ~seed () in
       Alcotest.(check bool)

@@ -137,6 +137,62 @@ let test_future_read_detected () =
       Alcotest.(check bool) "future read flagged" true (v.Online.v_op = r)
   | other -> Alcotest.failf "expected one violation, got %d" (List.length other)
 
+let test_pending_evidence_deferred () =
+  (* A read must not be condemned on the evidence of another read whose own
+     reads-from edge is still deferred: until that write arrives, the
+     evidence read's causal position is unvalidated.  Schedule (the shape a
+     crash/restart re-delivery produces): P1's r(x)1 arrives before its
+     source write W; P1 then writes y, P2 reads it and reads x=0.  With W
+     unseen, r2(x)0 must stay clean — only W's arrival (an older write of x
+     now causally preceding the read) turns it into a genuine violation. *)
+  let ck = Online.create () in
+  let x = Loc.named "x" and y = Loc.named "y" in
+  let w = Wid.make ~node:0 ~seq:0 in
+  let wy = Wid.make ~node:1 ~seq:0 in
+  let r1 = Op.read ~pid:1 ~index:0 ~loc:x ~value:(Value.Int 1) ~from:w in
+  let w2 = Op.write ~pid:1 ~index:1 ~loc:y ~value:(Value.Int 2) ~wid:wy in
+  let r_y = Op.read ~pid:2 ~index:0 ~loc:y ~value:(Value.Int 2) ~from:wy in
+  let r2 = Op.read ~pid:2 ~index:1 ~loc:x ~value:Value.initial ~from:Wid.initial in
+  Alcotest.(check int) "r1(x)1 defers" 0 (List.length (Online.add_op ck r1));
+  Alcotest.(check int) "w1(y)2 clean" 0 (List.length (Online.add_op ck w2));
+  Alcotest.(check int) "r2(y)2 clean" 0 (List.length (Online.add_op ck r_y));
+  (* The buggy behavior: r2(x)0 flagged here, on the pending read alone. *)
+  Alcotest.(check int) "r2(x)0 not flagged while W is pending" 0
+    (List.length (Online.add_op ck r2));
+  (* W arrives: r1 resolves cleanly, and the provisional verdict on r2(x)0
+     is re-checked — now W itself causally precedes it.  One violation. *)
+  let late = Op.write ~pid:0 ~index:0 ~loc:x ~value:(Value.Int 1) ~wid:w in
+  (match Online.add_op ck late with
+  | [ v ] -> Alcotest.(check bool) "re-check flags r2(x)0" true (v.Online.v_op = r2)
+  | other -> Alcotest.failf "expected one violation, got %d" (List.length other));
+  Alcotest.(check int) "nothing pending" 0 (Online.pending_reads ck)
+
+let test_pending_evidence_cycle_variant () =
+  (* Same prefix, but the pending source turns out to be P2's own later
+     write: the reads-from edge would close a causality cycle.  The culprit
+     is r1 (it read from its own causal future); r2(x)0 stays clean — the
+     premature flagging the deferred-evidence rule prevents would have
+     blamed the wrong operation here. *)
+  let ck = Online.create () in
+  let x = Loc.named "x" and y = Loc.named "y" in
+  let w = Wid.make ~node:2 ~seq:0 in
+  let wy = Wid.make ~node:1 ~seq:0 in
+  let r1 = Op.read ~pid:1 ~index:0 ~loc:x ~value:(Value.Int 1) ~from:w in
+  let w2 = Op.write ~pid:1 ~index:1 ~loc:y ~value:(Value.Int 2) ~wid:wy in
+  let r_y = Op.read ~pid:2 ~index:0 ~loc:y ~value:(Value.Int 2) ~from:wy in
+  let r2 = Op.read ~pid:2 ~index:1 ~loc:x ~value:Value.initial ~from:Wid.initial in
+  let w_cycle = Op.write ~pid:2 ~index:2 ~loc:x ~value:(Value.Int 1) ~wid:w in
+  List.iter (fun op -> ignore (Online.add_op ck op)) [ r1; w2; r_y ];
+  Alcotest.(check int) "r2(x)0 not flagged while W is pending" 0
+    (List.length (Online.add_op ck r2));
+  (match Online.add_op ck w_cycle with
+  | [ v ] -> Alcotest.(check bool) "r1 flagged as the future read" true (v.Online.v_op = r1)
+  | other -> Alcotest.failf "expected one violation, got %d" (List.length other));
+  (* r2's re-check runs with W in place: W does not precede it, so the
+     initial value was live — no second violation. *)
+  Alcotest.(check int) "exactly one violation overall" 1
+    (List.length (Online.violations ck))
+
 let test_agrees_with_posthoc_on_corpus () =
   (* Soundness across the whole figure corpus under round-robin arrival:
      an online violation implies the post-hoc checker rejects too. *)
@@ -157,5 +213,8 @@ let suite =
     Alcotest.test_case "deferred reads-from" `Quick test_deferred_reads_from;
     Alcotest.test_case "deferred overwrite detected" `Quick test_deferred_overwritten_detected;
     Alcotest.test_case "future read detected" `Quick test_future_read_detected;
+    Alcotest.test_case "pending evidence deferred" `Quick test_pending_evidence_deferred;
+    Alcotest.test_case "pending evidence cycle variant" `Quick
+      test_pending_evidence_cycle_variant;
     Alcotest.test_case "sound on corpus" `Quick test_agrees_with_posthoc_on_corpus;
   ]

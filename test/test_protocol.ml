@@ -1,112 +1,18 @@
 (* The pure core's contract: [Protocol.step] is effect-free, so the same
    initial state fed the same event sequence must produce identical action
    lists — that is what makes recorded traces replayable and the golden
-   traces stable.  We generate a random closed-loop event sequence from a
-   seeded PRNG ([Send] actions feed back as future [Deliver]s, [Arm_grace]
-   as [Grace_expired]), record it, then replay the recording against a
-   fresh state and compare every action list structurally. *)
+   traces stable.  The random closed-loop schedule generator lives in
+   [Dsm_mc.Gen] (the model checker shares it); here we record one run,
+   replay the recording against a fresh state and compare every action
+   list structurally. *)
 
 module P = Dsm_protocol.Protocol
-module Config = Dsm_protocol.Config
-module Detector = Dsm_protocol.Detector
 module Message = Dsm_protocol.Message
-module Owner = Dsm_memory.Owner
-module Loc = Dsm_memory.Loc
-module Value = Dsm_memory.Value
-module Prng = Dsm_util.Prng
+module Gen = Dsm_mc.Gen
 
-let nodes = 4
+let fresh_state () = Gen.fresh_state ()
 
-let loc i = Loc.indexed "v" i
-
-let fresh_state () =
-  P.create ~owner:(Owner.by_index ~nodes) ~config:Config.default
-    ~detector:{ Detector.period = 5.0; suspect_after = 3 }
-    ~now:0.0 ()
-
-(* Drive one random run, returning the event sequence (oldest first) and
-   the action list each event produced. *)
-let generate ~seed ~steps =
-  let prng = Prng.create seed in
-  let st = fresh_state () in
-  let pending = ref [] (* in-flight (dst, src, msg) *) in
-  let graces = ref [] (* armed (node, seq) *) in
-  let events = ref [] in
-  let actions = ref [] in
-  let now = ref 0.0 in
-  let writers = ref 0 in
-  let apply ev =
-    events := ev :: !events;
-    let _, acts = P.step st ev in
-    actions := acts :: !actions;
-    List.iter
-      (function
-        | P.Send { src; dst; msg; _ } -> pending := (dst, src, msg) :: !pending
-        | P.Arm_grace { node; seq } -> graces := (node, seq) :: !graces
-        | _ -> ())
-      acts
-  in
-  let take_nth r i =
-    let x = List.nth !r i in
-    r := List.filteri (fun j _ -> j <> i) !r;
-    x
-  in
-  (* A base still under its static owner, not crashed, if any. *)
-  let writable_node () =
-    let taken_over = List.map (fun (b, _, _) -> b) (P.view st) in
-    let candidates =
-      List.init nodes Fun.id
-      |> List.filter (fun n -> (not (P.is_crashed st n)) && not (List.mem n taken_over))
-    in
-    match candidates with
-    | [] -> None
-    | cs -> Some (List.nth cs (Prng.int prng (List.length cs)))
-  in
-  for _ = 1 to steps do
-    now := !now +. Prng.float prng 2.0;
-    let choice = Prng.int prng 100 in
-    if choice < 40 && !pending <> [] then begin
-      let dst, src, msg = take_nth pending (Prng.int prng (List.length !pending)) in
-      apply (P.Deliver { dst; src; now = !now; msg })
-    end
-    else if choice < 60 then begin
-      match writable_node () with
-      | Some n ->
-          incr writers;
-          apply
-            (P.Owner_write
-               {
-                 node = n;
-                 loc = loc ((Prng.int prng 2 * nodes) + n);
-                 value = Value.Int !writers;
-                 writer = !writers;
-               })
-      | None -> ()
-    end
-    else if choice < 70 && !graces <> [] then begin
-      let node, seq = take_nth graces (Prng.int prng (List.length !graces)) in
-      apply (P.Grace_expired { node; seq })
-    end
-    else if choice < 76 then begin
-      (* Crash someone who is up (but never everyone at once). *)
-      let up = List.init nodes Fun.id |> List.filter (fun n -> not (P.is_crashed st n)) in
-      if List.length up > 1 then
-        apply (P.Crash { node = List.nth up (Prng.int prng (List.length up)) })
-    end
-    else if choice < 82 then begin
-      let down = List.init nodes Fun.id |> List.filter (P.is_crashed st) in
-      if down <> [] then
-        apply
-          (P.Restart
-             {
-               node = List.nth down (Prng.int prng (List.length down));
-               now = !now;
-               records = [];
-             })
-    end
-    else apply (P.Hb_tick { node = Prng.int prng nodes; now = !now })
-  done;
-  (List.rev !events, List.rev !actions)
+let generate ~seed ~steps = Gen.random_run ~seed ~steps ()
 
 let summary st =
   ( P.dropped_at_crashed st,

@@ -71,10 +71,10 @@ let test_corpus_complete () =
 module Chaos = Dsm_apps.Chaos
 module Trace = Dsm_causal.Trace
 
-let test_golden_owner_crash () =
+let golden_scenario ~scenario ~file () =
   let bus = Trace.create () in
   let knobs = { Chaos.default_knobs with Chaos.trace = Some bus } in
-  let r = Chaos.run ~knobs ~seed:5L "owner-crash" in
+  let r = Chaos.run ~knobs ~seed:5L scenario in
   Alcotest.(check bool) "traced run still healthy" true (Chaos.healthy r);
   let regenerated =
     Trace.events bus
@@ -82,9 +82,7 @@ let test_golden_owner_crash () =
     |> List.map Trace.to_json
   in
   let golden =
-    load "owner_crash.trace.jsonl"
-    |> String.split_on_char '\n'
-    |> List.filter (fun l -> l <> "")
+    load file |> String.split_on_char '\n' |> List.filter (fun l -> l <> "")
   in
   Alcotest.(check int)
     "same milestone count" (List.length golden) (List.length regenerated);
@@ -95,9 +93,19 @@ let test_golden_owner_crash () =
           (i + 1) want got)
     (List.combine golden regenerated)
 
+let test_golden_owner_crash =
+  golden_scenario ~scenario:"owner-crash" ~file:"owner_crash.trace.jsonl"
+
+(* traces/failover.trace.jsonl covers the full takeover-and-revive path:
+   crash, suspicion, promotion, the deposed owner's restart and epoch
+   re-fencing.  Regenerate with [dsm trace failover --milestones]. *)
+let test_golden_failover =
+  golden_scenario ~scenario:"failover" ~file:"failover.trace.jsonl"
+
 let suite =
   [
     Alcotest.test_case "corpus verdicts" `Quick test_corpus;
     Alcotest.test_case "corpus coverage" `Quick test_corpus_complete;
     Alcotest.test_case "golden owner-crash trace" `Quick test_golden_owner_crash;
+    Alcotest.test_case "golden failover trace" `Quick test_golden_failover;
   ]
