@@ -2,13 +2,19 @@
 
    dune exec bench/main.exe                 -- every experiment + microbenches
    dune exec bench/main.exe -- msg          -- one section (see DESIGN.md)
-   dune exec bench/main.exe -- --csv out .. -- also dump each table as CSV   *)
+   dune exec bench/main.exe -- fig1 --csv out -- also dump each table as CSV
 
-let usage () =
-  print_endline "usage: main.exe [--csv DIR] [section...]";
-  print_endline "sections:";
-  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Dsm_experiments.Experiments.all;
-  print_endline "  micro"
+   Flags are accepted anywhere on the line (Bench_cli does the parsing).
+   Exit codes: 0 on success or --help, 1 on an unknown section, 2 on a
+   flag usage error. *)
+
+let usage oc =
+  output_string oc "usage: main.exe [--csv DIR] [section...]\n";
+  output_string oc "sections:\n";
+  List.iter
+    (fun (name, _) -> Printf.fprintf oc "  %s\n" name)
+    Dsm_experiments.Experiments.all;
+  output_string oc "  micro\n"
 
 let run_section section =
   if section = "micro" then Micro.run ()
@@ -17,22 +23,29 @@ let run_section section =
     | Some run -> run ()
     | None ->
         Printf.printf "unknown section %S\n\n" section;
-        usage ();
+        usage stdout;
         exit 1
   end
 
 let () =
-  let rec parse args =
-    match args with
-    | "--csv" :: dir :: rest ->
-        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-        Dsm_experiments.Experiments.set_csv_dir (Some dir);
-        parse rest
-    | other -> other
-  in
-  match parse (List.tl (Array.to_list Sys.argv)) with
-  | [] ->
-      List.iter (fun (_, run) -> run ()) Dsm_experiments.Experiments.all;
-      Micro.run ()
-  | [ "--help" ] | [ "-h" ] -> usage ()
-  | sections -> List.iter run_section sections
+  match Dsm_experiments.Bench_cli.parse (List.tl (Array.to_list Sys.argv)) with
+  | Dsm_experiments.Bench_cli.Help -> usage stdout
+  | Dsm_experiments.Bench_cli.Unknown_flag flag ->
+      Printf.eprintf "unknown flag %S\n\n" flag;
+      usage stderr;
+      exit 2
+  | Dsm_experiments.Bench_cli.Missing_value flag ->
+      Printf.eprintf "flag %S requires a value\n\n" flag;
+      usage stderr;
+      exit 2
+  | Dsm_experiments.Bench_cli.Run { csv_dir; sections } -> (
+      (match csv_dir with
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          Dsm_experiments.Experiments.set_csv_dir (Some dir)
+      | None -> ());
+      match sections with
+      | [] ->
+          List.iter (fun (_, run) -> run ()) Dsm_experiments.Experiments.all;
+          Micro.run ()
+      | sections -> List.iter run_section sections)

@@ -8,6 +8,7 @@
      anomaly   reproduce the Figure 3 broadcast anomaly
      workload  run a random workload and classify its execution
      chaos     run a workload over lossy links with the reliable transport
+     bench     transport perf baseline: batching on vs off, JSON artifact
 *)
 
 open Cmdliner
@@ -305,8 +306,16 @@ let chaos_cmd =
                    skip-shadow-replication), deliberately compromising causal \
                    consistency.")
   in
+  let batching =
+    Arg.(value & flag
+         & info [ "batching" ]
+             ~doc:"Use the frame-batching / ack-coalescing transport configuration \
+                   (Reliable.batching_config) instead of the default one-frame-per-message \
+                   transport.  Logical message counts are unaffected; physical frame \
+                   counts drop.")
+  in
   let run scenario seed drop duplicate timeout retries hb_period suspect_after
-      online_check mutation =
+      online_check mutation batching =
     let detector =
       Option.map
         (fun period -> { Dsm_causal.Detector.period; suspect_after })
@@ -317,6 +326,9 @@ let chaos_cmd =
         Chaos.default_knobs with
         Chaos.drop;
         duplicate;
+        reliability =
+          (if batching then Dsm_net.Reliable.batching_config
+           else Dsm_net.Reliable.default_config);
         rpc = Some { Dsm_causal.Cluster.timeout; retries };
         detector;
         online_check;
@@ -337,7 +349,53 @@ let chaos_cmd =
              heartbeat-driven ownership handoff; exits nonzero if the recorded history \
              is not causally correct or a process is left blocked")
     Term.(const run $ scenario $ seed $ drop $ duplicate $ timeout $ retries $ hb_period
-          $ suspect_after $ online_check $ mutation)
+          $ suspect_after $ online_check $ mutation $ batching)
+
+(* ------------------------------------------------------------------ *)
+(* bench                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bench_cmd =
+  let module Bench = Dsm_apps.Bench in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"Run 3 seeds instead of 10 (the CI bench job uses this).")
+  in
+  let seeds =
+    Arg.(value & opt (some (list int)) None
+         & info [ "seeds" ] ~docv:"S1,S2,..."
+             ~doc:"Explicit seed list; overrides the quick/full default.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_transport.json"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Where to write the JSON result (default BENCH_transport.json; \
+                   \"-\" prints to stdout only).")
+  in
+  let run quick seeds out =
+    let seeds = Option.map (List.map Int64.of_int) seeds in
+    let r = Bench.run ~quick ?seeds () in
+    Format.printf "%a" Bench.pp r;
+    if out <> "-" then begin
+      let oc = open_out out in
+      output_string oc (Bench.to_json r);
+      close_out oc;
+      Printf.printf "wrote %s\n" out
+    end;
+    (* The bench is not a correctness gate, but a run that left processes
+       blocked or moved more frames with batching on than off is broken
+       enough to fail loudly. *)
+    if r.Bench.off.Bench.unfinished + r.Bench.on_.Bench.unfinished > 0 then exit 1;
+    if r.Bench.frame_reduction < 0.0 then exit 1;
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Closed-loop transport benchmark on the chaos-mix workload: throughput, \
+             latency percentiles and logical-vs-physical message counts with frame \
+             batching + ack coalescing on vs off; writes BENCH_transport.json, the \
+             perf-trajectory artifact CI archives on every run")
+    Term.(const run $ quick $ seeds $ out)
 
 (* ------------------------------------------------------------------ *)
 (* mc                                                                  *)
@@ -714,4 +772,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; alpha_cmd; diagram_cmd; fig_cmd; solver_cmd; dict_cmd; anomaly_cmd; workload_cmd; chaos_cmd; mc_cmd; trace_cmd; model_cmd ]))
+          [ check_cmd; alpha_cmd; diagram_cmd; fig_cmd; solver_cmd; dict_cmd; anomaly_cmd; workload_cmd; chaos_cmd; bench_cmd; mc_cmd; trace_cmd; model_cmd ]))

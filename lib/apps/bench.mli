@@ -1,0 +1,54 @@
+(** Closed-loop transport benchmark: the chaos-mix workload at its default
+    faults (5% loss, 1% duplication, LAN latency, RPC timeouts), run over a
+    set of seeds twice — once with {!Dsm_net.Reliable.default_config} and
+    once with {!Dsm_net.Reliable.batching_config} — and summarised as
+    machine-readable numbers: throughput (operations per unit of simulated
+    time), latency percentiles over every completed operation, and the
+    logical-vs-physical message split the batching work is about.
+
+    The [dsm bench] subcommand wraps {!run} and writes {!to_json} to
+    [BENCH_transport.json] at the repo root, the perf-trajectory artifact
+    CI uploads on every run.  Everything is seed-deterministic, so two
+    machines produce byte-identical JSON. *)
+
+type mode_result = {
+  name : string;  (** ["batching_off"] or ["batching_on"] *)
+  config : Dsm_net.Reliable.config;
+  seeds : int;  (** runs aggregated into this row *)
+  ops : int;  (** completed operations, all runs *)
+  sim_time : float;  (** total simulated time, all runs *)
+  throughput : float;  (** [ops /. sim_time] — ops per unit sim time *)
+  lat_p50 : float;
+  lat_p95 : float;
+  lat_p99 : float;
+  lat_mean : float;
+  lat_max : float;
+  logical_messages : int;  (** protocol payloads (paper accounting) *)
+  physical_frames : int;  (** wire frames incl. acks and retransmissions *)
+  retransmissions : int;
+  explicit_acks : int;  (** explicit ack frames (piggybacks cost nothing) *)
+  rpc_timeouts : int;
+  unfinished : int;  (** processes left blocked — 0 on a healthy bench *)
+}
+
+type result = {
+  seeds : int64 list;
+  quick : bool;
+  off : mode_result;
+  on_ : mode_result;
+  frame_reduction : float;
+      (** [1 - on.physical_frames / off.physical_frames] — the fraction of
+          physical frames batching + ack coalescing removed *)
+}
+
+val run : ?quick:bool -> ?seeds:int64 list -> unit -> result
+(** Run the benchmark.  Default seeds: 1–10, or 1–3 with [~quick:true];
+    an explicit [?seeds] overrides both.  The workload itself is
+    {!Workload.default_spec} in both modes — identical logical work, so
+    the frame counts are directly comparable. *)
+
+val to_json : result -> string
+(** Stable, hand-rolled JSON (no dependency), newline-terminated. *)
+
+val pp : Format.formatter -> result -> unit
+(** Human summary: one line per mode plus the reduction headline. *)

@@ -45,6 +45,7 @@ type report = {
   causal_ok : bool;
   sim_time : float;
   messages : int;
+  logical_messages : int;
   dropped : int;
   duplicated : int;
   transport : Reliable.counters;
@@ -146,6 +147,7 @@ let build_report ~scenario ~sched ~engine ~crashes ~notes ?online c =
           Option.map (fun v -> v.Online.v_reason) (Online.first_violation ck));
     sim_time = Engine.now engine;
     messages = Causal.messages_total c;
+    logical_messages = Causal.logical_messages c;
     dropped = Causal.wire_dropped c;
     duplicated = Causal.wire_duplicated c;
     transport =
@@ -153,7 +155,8 @@ let build_report ~scenario ~sched ~engine ~crashes ~notes ?online c =
       | Some r -> Reliable.counters r
       | None ->
           {
-            Reliable.payloads = 0;
+            Reliable.sent = 0;
+            payloads = 0;
             retransmissions = 0;
             acks = 0;
             dup_dropped = 0;
@@ -503,6 +506,9 @@ let pp_report ppf r =
   line "sim time:          %.1f@." r.sim_time;
   line "wire messages:     %d (dropped %d, duplicated %d)@." r.messages r.dropped
     r.duplicated;
+  if r.logical_messages <> r.messages then
+    line "logical messages:  %d (%d physical frames on the wire)@." r.logical_messages
+      r.messages;
   line "transport:         %d payloads, %d rexmit, %d acks, %d dup-dropped, %d reordered, %d gave up@."
     r.transport.Reliable.payloads r.transport.Reliable.retransmissions
     r.transport.Reliable.acks r.transport.Reliable.dup_dropped

@@ -50,7 +50,11 @@ type report = {
   causal_ok : bool;  (** {!Dsm_checker.Causal_check} verdict (histories over
                          6000 ops are assumed correct, as in {!Harness}) *)
   sim_time : float;
-  messages : int;  (** wire messages, including acks and retransmissions *)
+  messages : int;  (** physical frames on the wire, including acks and
+                       retransmissions *)
+  logical_messages : int;
+      (** protocol payloads handed to the transport — the paper's
+          accounting unit, invariant under batching/ack coalescing *)
   dropped : int;
   duplicated : int;
   transport : Dsm_net.Reliable.counters;

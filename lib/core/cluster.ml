@@ -168,7 +168,40 @@ let rec interpret t action =
 
 and dispatch t event =
   let _state, actions = Protocol.step t.core event in
-  List.iter (interpret t) actions
+  dispatch_actions t actions
+
+(* With batching enabled, maximal runs of consecutive [Send] actions on the
+   same directed link (an [install_batch] page, a shadow-replication fan,
+   a takeover broadcast leg) are handed to the transport as one flush, so
+   they can share physical frames.  Non-send actions are interpreted in
+   place, preserving the exact action order the core emitted.  With
+   [max_batch = 1] (the default) this is the historical per-action loop. *)
+and dispatch_actions t actions =
+  match t.transport with
+  | Framed r when (Reliable.config r).Reliable.max_batch > 1 ->
+      let flush = function
+        | None -> ()
+        | Some (src, dst, rev_run) -> Reliable.send_many r ~src ~dst (List.rev rev_run)
+      in
+      let pending =
+        List.fold_left
+          (fun pending action ->
+            match (action : Protocol.action) with
+            | Protocol.Send { src; dst; kind; size; msg } -> (
+                match pending with
+                | Some (psrc, pdst, run) when psrc = src && pdst = dst ->
+                    Some (src, dst, (kind, size, msg) :: run)
+                | _ ->
+                    flush pending;
+                    Some (src, dst, [ (kind, size, msg) ]))
+            | other ->
+                flush pending;
+                interpret t other;
+                None)
+          None actions
+      in
+      flush pending
+  | _ -> List.iter (interpret t) actions
 
 let start_discard_timer t node =
   match (Node.config node).Config.discard with
@@ -335,6 +368,17 @@ let reliable t = match t.transport with Direct _ -> None | Framed r -> Some r
 
 let messages_total t = on_net t { on = (fun n -> Network.lifetime_total n) }
 
+(* Logical messages: protocol payloads handed to the transport — the unit
+   the paper's message tables count, invariant under batching.  On a direct
+   transport every payload is its own frame, so the wire total is already
+   logical. *)
+let logical_messages t =
+  match t.transport with
+  | Direct n -> Network.lifetime_total n
+  | Framed r -> Reliable.sent r
+
+let physical_frames t = messages_total t
+
 let wire_counters t = on_net t { on = (fun n -> Network.counters n) }
 
 let wire_dropped t = on_net t { on = (fun n -> Network.dropped n) }
@@ -402,6 +446,8 @@ let serving_of t ~base =
 let cluster_stats t =
   {
     Node_stats.protocol = total_stats t;
+    logical_messages = logical_messages t;
+    physical_frames = physical_frames t;
     wire_dropped = wire_dropped t;
     wire_duplicated = wire_duplicated t;
     retransmissions = retransmissions t;

@@ -120,6 +120,16 @@ val messages_total : t -> int
 (** Lifetime messages accepted by the underlying network (for the reliable
     transport this includes acks and retransmissions). *)
 
+val logical_messages : t -> int
+(** Protocol payloads handed to the transport — the paper's accounting
+    unit (the [2n+6] message tables), invariant under frame batching and
+    ack coalescing.  Equals {!messages_total} on a direct cluster. *)
+
+val physical_frames : t -> int
+(** Frames the wire actually carried (data/batch frames, explicit acks,
+    retransmissions) — what batching reduces.  Alias of
+    {!messages_total}, named for the logical/physical split. *)
+
 val wire_counters : t -> Dsm_net.Network.counters
 
 val wire_dropped : t -> int

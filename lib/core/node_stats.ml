@@ -62,6 +62,8 @@ let pp ppf t =
 
 type cluster = {
   protocol : t;
+  logical_messages : int;
+  physical_frames : int;
   wire_dropped : int;
   wire_duplicated : int;
   retransmissions : int;
@@ -82,6 +84,10 @@ type cluster = {
 let pp_cluster ppf c =
   Format.fprintf ppf "%a" pp c.protocol;
   let field name v = if v <> 0 then Format.fprintf ppf " %s=%d" name v in
+  field "logical_msgs" c.logical_messages;
+  (* Only worth a column when batching/coalescing make it diverge. *)
+  if c.physical_frames <> c.logical_messages then
+    field "frames" c.physical_frames;
   field "wire_dropped" c.wire_dropped;
   field "wire_dup" c.wire_duplicated;
   field "retrans" c.retransmissions;

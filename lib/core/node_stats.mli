@@ -36,6 +36,14 @@ val pp : Format.formatter -> t -> unit
     replies, crash-stop losses, and the failover machinery. *)
 type cluster = {
   protocol : t;  (** sum of the per-node counters above *)
+  logical_messages : int;
+      (** protocol payloads handed to the transport — the paper's
+          accounting unit (the [2n+6] tables), invariant under frame
+          batching and ack coalescing *)
+  physical_frames : int;
+      (** frames the wire actually carried: data/batch frames, explicit
+          acks and retransmissions — what batching reduces.  Equals
+          [logical_messages] on a direct (fault-free) transport. *)
   wire_dropped : int;  (** messages lost to down links / the fault model *)
   wire_duplicated : int;
   retransmissions : int;  (** reliable-layer re-sends (0 on direct) *)

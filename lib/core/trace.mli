@@ -15,7 +15,13 @@
     pays nothing. *)
 
 type body =
-  (* Wire level (published by the network tap). *)
+  (* Wire level (published by the network tap).  These count {e physical
+     frames}: on a reliable transport each event is one frame as the wire
+     saw it — a batch frame appears once with kind ["BATCH"] (or the
+     payloads' kind when uniform) and its summed size, acks and
+     retransmissions appear individually.  Logical messages (the paper's
+     accounting unit) live in [Reliable.sent] / [Cluster.logical_messages],
+     not on this bus. *)
   | Send of { src : int; dst : int; kind : string; size : int }
   | Deliver of { src : int; dst : int; kind : string }
   | Drop of { src : int; dst : int; kind : string }

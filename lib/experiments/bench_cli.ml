@@ -1,0 +1,22 @@
+type outcome =
+  | Help
+  | Run of { csv_dir : string option; sections : string list }
+  | Unknown_flag of string
+  | Missing_value of string
+
+let is_help = function "--help" | "-h" -> true | _ -> false
+
+let parse args =
+  if List.exists is_help args then Help
+  else begin
+    let rec go csv_dir rev_sections = function
+      | [] -> Run { csv_dir; sections = List.rev rev_sections }
+      | "--csv" :: dir :: rest when not (String.length dir > 0 && dir.[0] = '-') ->
+          go (Some dir) rev_sections rest
+      | "--csv" :: _ -> Missing_value "--csv"
+      | arg :: rest ->
+          if String.length arg > 0 && arg.[0] = '-' then Unknown_flag arg
+          else go csv_dir (arg :: rev_sections) rest
+    in
+    go None [] args
+  end

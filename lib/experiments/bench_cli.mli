@@ -1,0 +1,26 @@
+(** Argument parsing for the bench/experiment harness ([bench/main.exe]).
+
+    Pure and order-insensitive so it can be unit-tested without spawning
+    the executable: flags are recognised {e anywhere} on the command line
+    (historically [--csv] was only honoured before the first section name,
+    so [main.exe fig1 --csv out] died with [unknown section "--csv"]).
+
+    Section names are {e not} validated here — the harness owns the
+    section registry and reports unknown sections itself, with a message
+    (and exit code) distinct from the flag errors below. *)
+
+type outcome =
+  | Help  (** [--help] or [-h] appeared anywhere; print usage, exit 0 *)
+  | Run of { csv_dir : string option; sections : string list }
+      (** [csv_dir]: last [--csv DIR] wins; [sections] in argument order,
+          [[]] = run everything *)
+  | Unknown_flag of string
+      (** a token starting with [-] that is not a recognised flag — a
+          usage error, not an unknown section *)
+  | Missing_value of string
+      (** a flag needing a value ended the line or was followed by another
+          flag (use [./-dir] for a directory genuinely starting with [-]) *)
+
+val parse : string list -> outcome
+(** Parse [Sys.argv] minus the program name.  [Help] takes precedence over
+    everything else; otherwise the first flag error wins, left to right. *)

@@ -21,6 +21,27 @@
       timeout.  The next send on a dead link revives it with a fresh retry
       budget, so healed links recover transparently.
 
+    {2 Batching and ack coalescing}
+
+    Two orthogonal optimizations reduce {e physical frames} (what
+    {!Network} counts) without changing the {e logical message} stream (the
+    payloads accepted by {!send}/{!send_many} and delivered to handlers —
+    the paper's accounting unit):
+
+    - [max_batch > 1]: a window refill or go-back-N burst is chunked into
+      frames of up to [max_batch] sequenced payloads each, paying one
+      header per frame instead of one per payload;
+    - [ack_every > 1] / [ack_delay > 0]: clean in-order progress is
+      acknowledged every [ack_every] payloads or after [ack_delay] of
+      silence, whichever comes first, and any data frame flowing in the
+      reverse direction piggybacks the cumulative ack for free.
+      Duplicates and gaps are still acked immediately — they signal loss,
+      and the sender needs the cumulative ack to stop retransmitting.
+
+    The defaults disable both ([max_batch = 1], [ack_every = 1],
+    [ack_delay = 0.0]), taking exactly the historical code paths: same
+    frames, same counters, same engine schedule.
+
     Determinism: all randomness lives in the underlying network's seeded
     fault model and latency sampling, so two runs with the same seed produce
     identical delivery orders {e and} identical retransmission counts. *)
@@ -31,19 +52,38 @@ type config = {
   backoff : float;  (** timeout multiplier per expiry, [>= 1] *)
   max_rto : float;  (** backoff ceiling *)
   max_retries : int;  (** expiries tolerated for one packet before giving up *)
+  max_batch : int;  (** payloads per physical frame, [>= 1]; [1] = no batching *)
+  ack_every : int;
+      (** clean deliveries confirmed per explicit ack, [>= 1]; values [> 1]
+          require [ack_delay > 0] so the tail is always acked *)
+  ack_delay : float;
+      (** delayed-ack timer, [>= 0] and [< rto]; [0.0] = ack immediately *)
 }
 
 val default_config : config
 (** window 8, rto 8.0, backoff 2.0, max_rto 64.0, max_retries 8 — an RTO a
-    few round trips above {!Latency.lan} so clean runs never retransmit. *)
+    few round trips above {!Latency.lan} so clean runs never retransmit.
+    Batching and ack coalescing are off ([max_batch = 1], [ack_every = 1],
+    [ack_delay = 0.0]). *)
+
+val batching_config : config
+(** {!default_config} with [max_batch = 8], [ack_every = 4],
+    [ack_delay = 2.0] (≈ one LAN round trip, well under the RTO): the
+    frame-economy configuration the [dsm bench] transport baseline
+    measures against {!default_config}. *)
 
 (** What actually travels over the wire: payloads framed with a sequence
-    number, and cumulative acknowledgements.  [base] is the oldest sequence
-    number the sender still retains; the receiver fast-forwards past any
-    older gap, which is how a link that gave up (abandoning some sequence
-    numbers forever) resynchronises once it is healed and used again. *)
+    number, multi-payload batch frames, and cumulative acknowledgements.
+    [base] is the oldest sequence number the sender still retains; the
+    receiver fast-forwards past any older gap, which is how a link that
+    gave up (abandoning some sequence numbers forever) resynchronises once
+    it is healed and used again.  [ack] is a piggybacked cumulative
+    acknowledgement for the reverse direction ([-1] = none; always [-1]
+    when coalescing is off). *)
 type 'msg framed =
-  | Data of { seq : int; base : int; kind : string; body : 'msg }
+  | Data of { seq : int; base : int; kind : string; body : 'msg; ack : int }
+  | Batch of { base : int; ack : int; items : (int * string * 'msg) list }
+      (** [(seq, kind, body)] payloads sharing one frame *)
   | Ack of { upto : int }
 
 type 'msg t
@@ -56,7 +96,9 @@ val create : ?config:config -> 'msg framed Network.t -> 'msg t
 
 val net : 'msg t -> 'msg framed Network.t
 (** The underlying network, for fault/latency/down-link control and raw
-    wire-level counters (which include acks and retransmissions). *)
+    wire-level counters.  [Network.lifetime_total] on it counts {e physical
+    frames} (data, batch and ack frames, retransmissions included) — the
+    quantity batching reduces, as opposed to the logical {!sent} count. *)
 
 val nodes : 'msg t -> int
 
@@ -67,8 +109,15 @@ val set_handler : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
 
 val send : 'msg t -> src:int -> dst:int -> ?kind:string -> ?size:int -> 'msg -> unit
 (** Enqueue a payload for exactly-once in-order delivery.  [kind] and
-    [size] feed the underlying network's accounting ([size] grows by a
-    1-unit sequence header; acks cost 1 unit each). *)
+    [size] feed the underlying network's accounting (a frame costs a 1-unit
+    sequence header on top of its payload sizes; explicit acks cost 1 unit
+    each). *)
+
+val send_many : 'msg t -> src:int -> dst:int -> (string * int * 'msg) list -> unit
+(** Flush-based send: enqueue a run of [(kind, size, body)] payloads, then
+    fill the window once, letting adjacent payloads share physical frames
+    (up to [max_batch] per frame).  With [max_batch = 1] this is exactly
+    equivalent to calling {!send} per payload, in order. *)
 
 val reset_link : 'msg t -> src:int -> dst:int -> unit
 (** Drop one directed link's queues (inflight, backlog, reorder buffer) and
@@ -85,18 +134,27 @@ val in_flight : 'msg t -> int
 (** Payloads accepted by {!send} and not yet acknowledged (inflight plus
     backlogged), across all links. *)
 
-(** {1 Accounting} *)
+(** {1 Accounting}
+
+    [sent] and [payloads] count {e logical messages} — the unit the paper's
+    message-complexity tables (2n+6 per solver iteration) are stated in —
+    and are invariant under batching and ack coalescing.  Physical frames
+    live in the underlying network's counters (see {!net}). *)
 
 type counters = {
+  sent : int;  (** payloads accepted by {!send}/{!send_many} (logical messages) *)
   payloads : int;  (** payloads delivered in order to handlers *)
   retransmissions : int;  (** data packets re-sent by timers *)
-  acks : int;  (** acknowledgements sent *)
+  acks : int;  (** explicit acknowledgement frames sent (piggybacks excluded) *)
   dup_dropped : int;  (** received duplicates suppressed *)
   reordered : int;  (** arrivals buffered because a gap preceded them *)
   gave_up : int;  (** payloads abandoned after [max_retries] *)
 }
 
 val counters : 'msg t -> counters
+
+val sent : 'msg t -> int
+(** Logical messages accepted so far (the [sent] counter). *)
 
 val retransmissions : 'msg t -> int
 

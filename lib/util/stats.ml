@@ -38,12 +38,24 @@ let max t = t.max
 
 let total t = t.total
 
+(* NaN policy for the sample helpers: NaN observations carry no ordering
+   information, so order statistics drop them up front rather than letting
+   a comparison-dependent sort scatter them through the array (polymorphic
+   [compare] orders [nan] below every float; [Float.compare] is explicit
+   about it — either way a NaN in the middle of [sorted] would poison
+   interpolation). *)
+let drop_nans samples =
+  if Array.exists Float.is_nan samples then
+    Array.of_seq (Seq.filter (fun x -> not (Float.is_nan x)) (Array.to_seq samples))
+  else samples
+
 let percentile samples p =
+  let samples = drop_nans samples in
   let n = Array.length samples in
-  if n = 0 then nan
+  if n = 0 || Float.is_nan p then nan
   else begin
     let sorted = Array.copy samples in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let p = Float.max 0.0 (Float.min 100.0 p) in
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor rank) in
@@ -60,6 +72,7 @@ let mean_of samples =
   if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 samples /. float_of_int n
 
 let histogram samples ~buckets =
+  let samples = drop_nans samples in
   let n = Array.length samples in
   if n = 0 || buckets <= 0 then [||]
   else begin

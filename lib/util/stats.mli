@@ -1,4 +1,24 @@
-(** Running summary statistics (Welford) and small sample helpers. *)
+(** Running summary statistics (Welford) and small sample helpers.
+
+    {2 Empty-input and NaN conventions}
+
+    Two families of statistics behave differently on degenerate input, on
+    purpose:
+
+    - {e count-like} statistics — {!mean}, {!variance}, {!stddev},
+      {!total}, {!mean_of} — return [0.0] on an empty input: they are sums
+      scaled by a count, and an empty sum is zero.
+    - {e order} statistics — {!min}, {!max}, {!percentile} — return [nan]
+      on an empty input: an empty set has no smallest element, and [nan]
+      refuses to masquerade as one.
+
+    The sample helpers ({!percentile}, {!histogram}) {e ignore NaN
+    observations}: a NaN carries no ordering information, so it is dropped
+    before sorting or bucketing rather than being allowed to poison the
+    result (all-NaN input is treated as empty).  The accumulator ({!add})
+    does {e not} filter — feeding it NaN contaminates the running mean, as
+    with any online algorithm; filter at the edge if your source can
+    produce NaN. *)
 
 type t
 (** Accumulator for a stream of float observations. *)
@@ -10,10 +30,10 @@ val add : t -> float -> unit
 val count : t -> int
 
 val mean : t -> float
-(** 0. when empty. *)
+(** [0.0] when empty. *)
 
 val variance : t -> float
-(** Unbiased sample variance; 0. with fewer than two observations. *)
+(** Unbiased sample variance; [0.0] with fewer than two observations. *)
 
 val stddev : t -> float
 
@@ -26,10 +46,16 @@ val max : t -> float
 val total : t -> float
 
 val percentile : float array -> float -> float
-(** [percentile samples p] with [p] in [\[0,100\]]; sorts a copy and uses
-    linear interpolation.  [nan] on the empty array. *)
+(** [percentile samples p] with [p] in [\[0,100\]] (values outside are
+    clamped); sorts a copy with [Float.compare] and uses linear
+    interpolation between adjacent ranks.  NaN samples are ignored; [nan]
+    when no finite-or-infinite samples remain, or when [p] is NaN.  A
+    single sample is every percentile of itself. *)
 
 val mean_of : float array -> float
+(** [0.0] on the empty array.  (Does not filter NaN — see the convention
+    note above.) *)
 
 val histogram : float array -> buckets:int -> (float * float * int) array
-(** [(lo, hi, count)] rows covering the sample range. *)
+(** [(lo, hi, count)] rows covering the sample range.  NaN samples are
+    ignored; [[||]] when nothing remains or [buckets <= 0]. *)

@@ -47,6 +47,7 @@ let () =
       ("traces", Test_traces.suite);
       ("linearizability", Test_linearizability.suite);
       ("experiments", Test_experiments.suite);
+      ("bench-cli", Test_bench_cli.suite);
       ("diagram", Test_diagram.suite);
       ("soak", Test_soak.suite);
     ]

@@ -1,0 +1,66 @@
+(* The bench harness's argument parser (Bench_cli): flags in any position,
+   distinct errors for unknown flags vs unknown sections, --help anywhere.
+   The historical parser only stripped a leading [--csv DIR], so
+   [main.exe fig1 --csv out] fell through to "unknown section \"--csv\"". *)
+
+module Cli = Dsm_experiments.Bench_cli
+
+let outcome : Cli.outcome Alcotest.testable =
+  let pp ppf = function
+    | Cli.Help -> Format.pp_print_string ppf "Help"
+    | Cli.Run { csv_dir; sections } ->
+        Format.fprintf ppf "Run{csv=%s; sections=[%s]}"
+          (match csv_dir with Some d -> d | None -> "-")
+          (String.concat "," sections)
+    | Cli.Unknown_flag f -> Format.fprintf ppf "Unknown_flag %s" f
+    | Cli.Missing_value f -> Format.fprintf ppf "Missing_value %s" f
+  in
+  Alcotest.testable pp ( = )
+
+let check name expected args =
+  Alcotest.check outcome name expected (Cli.parse args)
+
+let run ?csv_dir sections = Cli.Run { csv_dir; sections }
+
+let test_plain () =
+  check "no args runs everything" (run []) [];
+  check "sections in order" (run [ "fig1"; "msg" ]) [ "fig1"; "msg" ];
+  check "unknown sections pass through (harness reports them)" (run [ "nope" ]) [ "nope" ]
+
+let test_csv_positions () =
+  check "leading" (run ~csv_dir:"out" [ "fig1" ]) [ "--csv"; "out"; "fig1" ];
+  check "trailing (the old parser died here)"
+    (run ~csv_dir:"out" [ "fig1" ])
+    [ "fig1"; "--csv"; "out" ];
+  check "between sections"
+    (run ~csv_dir:"out" [ "fig1"; "msg" ])
+    [ "fig1"; "--csv"; "out"; "msg" ];
+  check "last --csv wins"
+    (run ~csv_dir:"b" [ "fig1" ])
+    [ "--csv"; "a"; "fig1"; "--csv"; "b" ]
+
+let test_csv_missing_value () =
+  check "bare trailing --csv" (Cli.Missing_value "--csv") [ "fig1"; "--csv" ];
+  check "only --csv" (Cli.Missing_value "--csv") [ "--csv" ];
+  check "--csv eating a flag" (Cli.Missing_value "--csv") [ "--csv"; "--csv"; "out" ]
+
+let test_unknown_flags () =
+  check "unknown long flag" (Cli.Unknown_flag "--frobnicate") [ "fig1"; "--frobnicate" ];
+  check "unknown short flag" (Cli.Unknown_flag "-x") [ "-x"; "fig1" ];
+  check "first error wins" (Cli.Unknown_flag "--bad") [ "--bad"; "--csv" ]
+
+let test_help_anywhere () =
+  check "--help alone" Cli.Help [ "--help" ];
+  check "-h alone" Cli.Help [ "-h" ];
+  check "after sections" Cli.Help [ "fig1"; "--help" ];
+  check "beats flag errors" Cli.Help [ "--csv"; "--help" ];
+  check "beats unknown flags" Cli.Help [ "--frobnicate"; "-h" ]
+
+let suite =
+  [
+    Alcotest.test_case "plain sections" `Quick test_plain;
+    Alcotest.test_case "--csv anywhere" `Quick test_csv_positions;
+    Alcotest.test_case "--csv missing value" `Quick test_csv_missing_value;
+    Alcotest.test_case "unknown flags" `Quick test_unknown_flags;
+    Alcotest.test_case "--help anywhere" `Quick test_help_anywhere;
+  ]

@@ -204,6 +204,164 @@ let test_bad_config_rejected () =
   Alcotest.check_raises "backoff" (Invalid_argument "Reliable: backoff must be >= 1")
     (fun () -> ignore (Reliable.create ~config:{ Reliable.default_config with Reliable.backoff = 0.5 } (net ())))
 
+(* {1 Window-refill ordering (regression for the Queue-based inflight)}
+
+   The inflight list used to be rebuilt with [@ [p]] per refill; replacing
+   it with a queue must not perturb go-back-N ordering.  The boundary
+   windows are the interesting ones: window=1 serialises every packet
+   through the refill path, window=8 (the default) exercises full-window
+   retransmission bursts. *)
+
+let test_refill_ordering_under_drops window () =
+  let config = { Reliable.default_config with Reliable.window } in
+  List.iter
+    (fun seed ->
+      let e, r = setup ~config ~fault:(Network.fault ~drop:0.3 ~duplicate:0.1 ()) ~seed () in
+      let got = collect r 1 in
+      let n = 30 in
+      for i = 1 to n do
+        Reliable.send r ~src:0 ~dst:1 i
+      done;
+      Engine.run e;
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "window=%d seed=%Ld: in order, exactly once" window seed)
+        (List.init n (fun i -> (0, i + 1)))
+        (got ());
+      Alcotest.(check int) "drained" 0 (Reliable.in_flight r))
+    [ 3L; 11L; 42L ]
+
+(* {1 Batching and ack coalescing} *)
+
+let test_send_many_unbatched_equals_send_loop () =
+  (* With max_batch = 1 the flush path must be byte-identical to a send
+     loop: same frames, same counters, same simulated end time. *)
+  let payloads = List.init 12 (fun i -> ("PAY", 3, i + 1)) in
+  let run use_many =
+    let e, r = setup ~fault:(Network.fault ~drop:0.2 ~duplicate:0.1 ()) ~seed:17L () in
+    let got = collect r 1 in
+    if use_many then Reliable.send_many r ~src:0 ~dst:1 payloads
+    else List.iter (fun (kind, size, p) -> Reliable.send r ~src:0 ~dst:1 ~kind ~size p) payloads;
+    Engine.run e;
+    (got (), Reliable.counters r, Network.counters (Reliable.net r), Engine.now e)
+  in
+  let g1, c1, w1, t1 = run true in
+  let g2, c2, w2, t2 = run false in
+  Alcotest.(check bool) "same deliveries" true (g1 = g2);
+  Alcotest.(check bool) "same transport counters" true (c1 = c2);
+  Alcotest.(check bool) "same wire counters" true (w1 = w2);
+  Alcotest.(check (float 0.0)) "same end time" t1 t2
+
+let test_batching_shares_frames () =
+  let e, r = setup ~config:Reliable.batching_config () in
+  let got = collect r 1 in
+  let n = 20 in
+  Reliable.send_many r ~src:0 ~dst:1 (List.init n (fun i -> ("PAY", 1, i + 1)));
+  Engine.run e;
+  Alcotest.(check (list (pair int int)))
+    "in order, exactly once"
+    (List.init n (fun i -> (0, i + 1)))
+    (got ());
+  let frames = Network.lifetime_total (Reliable.net r) in
+  let c = Reliable.counters r in
+  Alcotest.(check int) "logical count unaffected" n c.Reliable.sent;
+  (* 20 payloads fit in 3 batch frames (window 8, max_batch 8) plus a few
+     coalesced acks — far below the 40 frames of the unbatched transport. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "far fewer frames than payloads (%d frames)" frames)
+    true
+    (frames <= n / 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "acks coalesced (%d acks)" c.Reliable.acks)
+    true
+    (c.Reliable.acks * 2 <= c.Reliable.payloads)
+
+let test_batching_exactly_once_under_loss () =
+  List.iter
+    (fun seed ->
+      let e, r =
+        setup ~config:Reliable.batching_config
+          ~fault:(Network.fault ~drop:0.25 ~duplicate:0.15 ())
+          ~seed ()
+      in
+      let got = collect r 1 in
+      let n = 60 in
+      (* Mix flush sends and singles so both transmit paths see loss. *)
+      Reliable.send_many r ~src:0 ~dst:1 (List.init (n / 2) (fun i -> ("PAY", 1, i + 1)));
+      for i = (n / 2) + 1 to n do
+        Reliable.send r ~src:0 ~dst:1 i
+      done;
+      Engine.run e;
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "seed %Ld: exactly once, in order" seed)
+        (List.init n (fun i -> (0, i + 1)))
+        (got ());
+      Alcotest.(check int) "nothing abandoned" 0 (Reliable.gave_up r);
+      Alcotest.(check int) "drained" 0 (Reliable.in_flight r))
+    [ 7L; 19L; 23L ]
+
+let test_delayed_ack_eventually_acks_tail () =
+  (* A lone payload under coalescing: nothing reaches ack_every and no
+     reverse traffic piggybacks, so only the delayed-ack timer can confirm
+     it — the sender must not retransmit or stall. *)
+  let e, r = setup ~config:Reliable.batching_config () in
+  let got = collect r 1 in
+  Reliable.send r ~src:0 ~dst:1 1;
+  Engine.run e;
+  Alcotest.(check (list (pair int int))) "delivered" [ (0, 1) ] (got ());
+  let c = Reliable.counters r in
+  Alcotest.(check int) "no retransmission" 0 c.Reliable.retransmissions;
+  Alcotest.(check int) "exactly one delayed ack" 1 c.Reliable.acks;
+  Alcotest.(check int) "drained" 0 (Reliable.in_flight r)
+
+let test_piggyback_acks_on_reverse_traffic () =
+  (* Bidirectional ping-pong under coalescing: the reverse data frames
+     carry the cumulative ack, so explicit ack frames stay rare. *)
+  let e, r = setup ~config:Reliable.batching_config () in
+  let got0 = ref [] in
+  let got1 = ref [] in
+  Reliable.set_handler r ~node:0 (fun ~src:_ msg -> got0 := msg :: !got0);
+  Reliable.set_handler r ~node:1 (fun ~src:_ msg ->
+      got1 := msg :: !got1;
+      (* Reply in the handler: reverse traffic exists while acks are
+         pending, which is what piggybacking exploits. *)
+      Reliable.send r ~src:1 ~dst:0 (msg + 100));
+  for i = 1 to 20 do
+    Reliable.send r ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all forward payloads" 20 (List.length !got1);
+  Alcotest.(check int) "all replies" 20 (List.length !got0);
+  let c = Reliable.counters r in
+  Alcotest.(check int) "40 logical payloads" 40 c.Reliable.payloads;
+  Alcotest.(check bool)
+    (Printf.sprintf "piggybacking kept explicit acks rare (%d)" c.Reliable.acks)
+    true
+    (c.Reliable.acks <= c.Reliable.payloads / 4);
+  Alcotest.(check int) "drained" 0 (Reliable.in_flight r)
+
+let test_bad_batching_config_rejected () =
+  let e = Engine.create () in
+  let net () = Network.create e ~nodes:2 () in
+  let reject name config msg =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () ->
+        ignore (Reliable.create ~config (net ())))
+  in
+  reject "max_batch"
+    { Reliable.default_config with Reliable.max_batch = 0 }
+    "Reliable: max_batch must be >= 1";
+  reject "ack_every"
+    { Reliable.default_config with Reliable.ack_every = 0 }
+    "Reliable: ack_every must be >= 1";
+  reject "ack_delay"
+    { Reliable.default_config with Reliable.ack_delay = -1.0 }
+    "Reliable: ack_delay must be >= 0";
+  reject "ack_every needs delay"
+    { Reliable.default_config with Reliable.ack_every = 4 }
+    "Reliable: ack_every > 1 requires ack_delay > 0";
+  reject "ack_delay under rto"
+    { Reliable.default_config with Reliable.ack_delay = 8.0 }
+    "Reliable: ack_delay must be < rto"
+
 let suite =
   [
     Alcotest.test_case "clean delivery" `Quick test_clean_delivery;
@@ -214,7 +372,21 @@ let suite =
       test_retransmission_is_deterministic;
     Alcotest.test_case "give-up quiesces" `Quick test_give_up_on_dead_link_quiesces;
     Alcotest.test_case "healed link revives" `Quick test_healed_link_revives_after_give_up;
+    Alcotest.test_case "partition resync via base" `Quick
+      test_partition_outliving_retries_resyncs_via_base;
     Alcotest.test_case "ack loss suppressed" `Quick test_ack_loss_causes_dup_suppression;
+    Alcotest.test_case "refill ordering, window=1" `Quick (test_refill_ordering_under_drops 1);
+    Alcotest.test_case "refill ordering, window=8" `Quick (test_refill_ordering_under_drops 8);
+    Alcotest.test_case "send_many unbatched = send loop" `Quick
+      test_send_many_unbatched_equals_send_loop;
+    Alcotest.test_case "batching shares frames" `Quick test_batching_shares_frames;
+    Alcotest.test_case "batching exactly-once under loss" `Quick
+      test_batching_exactly_once_under_loss;
+    Alcotest.test_case "delayed ack covers the tail" `Quick
+      test_delayed_ack_eventually_acks_tail;
+    Alcotest.test_case "piggyback on reverse traffic" `Quick
+      test_piggyback_acks_on_reverse_traffic;
+    Alcotest.test_case "bad batching config" `Quick test_bad_batching_config_rejected;
     Alcotest.test_case "reset drops stale inflight" `Quick
       test_reset_link_discards_stale_inflight;
     Alcotest.test_case "reset node" `Quick test_reset_node_both_directions;

@@ -50,6 +50,47 @@ let test_percentile_clamps () =
   Alcotest.(check (float 1e-9)) "below" 1.0 (Stats.percentile samples (-5.0));
   Alcotest.(check (float 1e-9)) "above" 2.0 (Stats.percentile samples 150.0)
 
+(* NaN policy (see stats.mli): order statistics ignore NaN observations
+   entirely, and all-NaN input behaves like empty input.  The old
+   implementation sorted with polymorphic [compare], which put NaNs at the
+   front of the array and let them leak into interpolation. *)
+let test_percentile_ignores_nan () =
+  let samples = [| nan; 1.0; nan; 2.0; 3.0; 4.0; 5.0; nan |] in
+  Alcotest.(check (float 1e-9)) "p50 over finite samples" 3.0 (Stats.percentile samples 50.0);
+  Alcotest.(check (float 1e-9)) "p0 is finite min" 1.0 (Stats.percentile samples 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is finite max" 5.0 (Stats.percentile samples 100.0)
+
+let test_percentile_all_nan () =
+  Alcotest.(check bool) "all-NaN = empty" true
+    (Float.is_nan (Stats.percentile [| nan; nan |] 50.0))
+
+let test_percentile_nan_p () =
+  Alcotest.(check bool) "NaN rank is nan" true
+    (Float.is_nan (Stats.percentile [| 1.0; 2.0 |] nan))
+
+let test_percentile_single_sample () =
+  let samples = [| 42.0 |] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "p%g of a single sample" p)
+        42.0 (Stats.percentile samples p))
+    [ 0.0; 10.0; 50.0; 99.0; 100.0 ]
+
+let test_percentile_negative_values () =
+  (* [Float.compare] must order negatives correctly (polymorphic compare
+     did too, but this pins the behaviour). *)
+  let samples = [| -3.0; -1.0; -2.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" (-3.0) (Stats.percentile samples 0.0);
+  Alcotest.(check (float 1e-9)) "p50" (-2.0) (Stats.percentile samples 50.0)
+
+let test_histogram_ignores_nan () =
+  let h = Stats.histogram [| nan; 1.0; 2.0; 3.0; nan |] ~buckets:3 in
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "only finite samples bucketed" 3 total;
+  Alcotest.(check int) "all-NaN = empty" 0
+    (Array.length (Stats.histogram [| nan |] ~buckets:3))
+
 let test_mean_of () =
   Alcotest.(check (float 1e-9)) "mean_of" 2.0 (Stats.mean_of [| 1.0; 2.0; 3.0 |]);
   Alcotest.(check (float 0.0)) "empty" 0.0 (Stats.mean_of [||])
@@ -82,6 +123,12 @@ let suite =
     Alcotest.test_case "percentile unsorted" `Quick test_percentile_unsorted_input;
     Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
     Alcotest.test_case "percentile clamps" `Quick test_percentile_clamps;
+    Alcotest.test_case "percentile ignores NaN" `Quick test_percentile_ignores_nan;
+    Alcotest.test_case "percentile all-NaN" `Quick test_percentile_all_nan;
+    Alcotest.test_case "percentile NaN rank" `Quick test_percentile_nan_p;
+    Alcotest.test_case "percentile single sample" `Quick test_percentile_single_sample;
+    Alcotest.test_case "percentile negatives" `Quick test_percentile_negative_values;
+    Alcotest.test_case "histogram ignores NaN" `Quick test_histogram_ignores_nan;
     Alcotest.test_case "mean_of" `Quick test_mean_of;
     Alcotest.test_case "histogram" `Quick test_histogram;
     Alcotest.test_case "histogram flat" `Quick test_histogram_flat;
