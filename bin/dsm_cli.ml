@@ -301,10 +301,10 @@ let chaos_cmd =
     in
     Arg.(value & opt mconv Dsm_causal.Config.No_mutation
          & info [ "mutation" ]
-             ~doc:"TEST ONLY: break one Figure-4 rule (skip-invalidation, \
+             ~doc:"TEST ONLY: break one protocol rule (skip-invalidation, \
                    skip-writestamp-merge, reorder-apply-ack, ignore-epoch-fence, \
-                   skip-shadow-replication), deliberately compromising causal \
-                   consistency.")
+                   skip-shadow-replication, truncate-wal-early), deliberately \
+                   compromising causal consistency or durability.")
   in
   let batching =
     Arg.(value & flag
@@ -357,45 +357,69 @@ let chaos_cmd =
 
 let bench_cmd =
   let module Bench = Dsm_apps.Bench in
+  let module Recovery = Dsm_apps.Recovery_bench in
+  let which =
+    Arg.(value
+         & pos 0 (enum [ ("transport", `Transport); ("recovery", `Recovery) ]) `Transport
+         & info [] ~docv:"BENCH"
+             ~doc:"Which benchmark to run: transport (batching on vs off) or recovery \
+                   (whole-cluster restart replay with vs without checkpointing).")
+  in
   let quick =
     Arg.(value & flag
-         & info [ "quick" ] ~doc:"Run 3 seeds instead of 10 (the CI bench job uses this).")
+         & info [ "quick" ]
+             ~doc:"Smaller grid: 3 seeds instead of 10 (transport), or a 2-point size \
+                   grid with 10 power cycles (recovery).  The CI bench jobs use this.")
   in
   let seeds =
     Arg.(value & opt (some (list int)) None
          & info [ "seeds" ] ~docv:"S1,S2,..."
-             ~doc:"Explicit seed list; overrides the quick/full default.")
+             ~doc:"Explicit seed list; overrides the quick/full default (transport only).")
   in
   let out =
-    Arg.(value & opt string "BENCH_transport.json"
+    Arg.(value & opt (some string) None
          & info [ "o"; "out" ] ~docv:"FILE"
-             ~doc:"Where to write the JSON result (default BENCH_transport.json; \
-                   \"-\" prints to stdout only).")
+             ~doc:"Where to write the JSON result (default BENCH_transport.json or \
+                   BENCH_recovery.json; \"-\" prints to stdout only).")
   in
-  let run quick seeds out =
-    let seeds = Option.map (List.map Int64.of_int) seeds in
-    let r = Bench.run ~quick ?seeds () in
-    Format.printf "%a" Bench.pp r;
+  let write_json out ~default json =
+    let out = Option.value out ~default in
     if out <> "-" then begin
       let oc = open_out out in
-      output_string oc (Bench.to_json r);
+      output_string oc json;
       close_out oc;
       Printf.printf "wrote %s\n" out
-    end;
-    (* The bench is not a correctness gate, but a run that left processes
-       blocked or moved more frames with batching on than off is broken
-       enough to fail loudly. *)
-    if r.Bench.off.Bench.unfinished + r.Bench.on_.Bench.unfinished > 0 then exit 1;
-    if r.Bench.frame_reduction < 0.0 then exit 1;
-    exit 0
+    end
+  in
+  let run which quick seeds out =
+    match which with
+    | `Transport ->
+        let seeds = Option.map (List.map Int64.of_int) seeds in
+        let r = Bench.run ~quick ?seeds () in
+        Format.printf "%a" Bench.pp r;
+        write_json out ~default:"BENCH_transport.json" (Bench.to_json r);
+        (* The bench is not a correctness gate, but a run that left processes
+           blocked or moved more frames with batching on than off is broken
+           enough to fail loudly. *)
+        if r.Bench.off.Bench.unfinished + r.Bench.on_.Bench.unfinished > 0 then exit 1;
+        if r.Bench.frame_reduction < 0.0 then exit 1;
+        exit 0
+    | `Recovery ->
+        let r = Recovery.run ~quick () in
+        Format.printf "%a" Recovery.pp r;
+        write_json out ~default:"BENCH_recovery.json" (Recovery.to_json r);
+        (* Fail loudly if checkpointing did not bound recovery work, or a
+           cell left a process blocked. *)
+        if Recovery.healthy r then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "bench"
-       ~doc:"Closed-loop transport benchmark on the chaos-mix workload: throughput, \
-             latency percentiles and logical-vs-physical message counts with frame \
-             batching + ack coalescing on vs off; writes BENCH_transport.json, the \
-             perf-trajectory artifact CI archives on every run")
-    Term.(const run $ quick $ seeds $ out)
+       ~doc:"Performance baselines with JSON artifacts: $(b,transport) measures \
+             throughput, latency percentiles and logical-vs-physical message counts \
+             with frame batching + ack coalescing on vs off (BENCH_transport.json); \
+             $(b,recovery) measures whole-cluster restart replay with vs without \
+             checkpointing (BENCH_recovery.json)")
+    Term.(const run $ which $ quick $ seeds $ out)
 
 (* ------------------------------------------------------------------ *)
 (* mc                                                                  *)
@@ -437,9 +461,10 @@ let mc_cmd =
     in
     Arg.(value & opt mconv Dsm_causal.Config.No_mutation
          & info [ "mutation" ]
-             ~doc:"Break one Figure-4 rule (skip-invalidation, skip-writestamp-merge, \
-                   reorder-apply-ack, ignore-epoch-fence, skip-shadow-replication); the \
-                   checker is then expected to find a counterexample.")
+             ~doc:"Break one protocol rule (skip-invalidation, skip-writestamp-merge, \
+                   reorder-apply-ack, ignore-epoch-fence, skip-shadow-replication, \
+                   truncate-wal-early); the checker is then expected to find a \
+                   counterexample.")
   in
   let matrix =
     Arg.(value & flag

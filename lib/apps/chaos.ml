@@ -20,6 +20,7 @@ type knobs = {
   reliability : Reliable.config;
   rpc : Causal.rpc option;
   detector : Dsm_causal.Detector.config option;
+  checkpoint_every : float option;
   online_check : bool;
   mutation : Dsm_causal.Config.mutation;
   trace : Trace.t option;
@@ -33,6 +34,7 @@ let default_knobs =
     reliability = Reliable.default_config;
     rpc = Some { Causal.timeout = 100.0; retries = 5 };
     detector = None;
+    checkpoint_every = None;
     online_check = false;
     mutation = Dsm_causal.Config.No_mutation;
     trace = None;
@@ -119,7 +121,7 @@ let make_cluster ~knobs ~seed ~owner ?config sched =
     Causal.create ~sched ~owner ?config ~latency:knobs.latency
       ~fault:(Network.fault ~drop:knobs.drop ~duplicate:knobs.duplicate ())
       ~reliability:knobs.reliability ?rpc:knobs.rpc ?detector:knobs.detector
-      ?trace ~seed ()
+      ?checkpoint_every:knobs.checkpoint_every ?trace ~seed ()
   in
   (c, online)
 
@@ -483,7 +485,95 @@ let failover ?knobs ?seed ?clients ?ops_per_client () =
   owner_crash_scenario ~scenario:"failover" ~revive:true ?knobs ?seed ?clients
     ?ops_per_client ()
 
-let scenarios = [ "mix"; "dictionary"; "solver"; "crash-restart"; "owner-crash"; "failover" ]
+(* {1 Scenario: whole-cluster power failure}
+
+   Every node owns a slice of the namespace and runs a client.  Periodic
+   uncoordinated checkpoints compact each log as the workload runs, and one
+   coordinated round mid-workload establishes a cluster-wide recovery line;
+   then the power goes out — every node crashes at once, inside every
+   client's sleep window — and comes back 30 time units later.  Each node
+   restarts from its latest complete snapshot plus the log suffix behind
+   it.  Because every certified write hits the log before its reply leaves,
+   recovery restores the exact durable frontier: the clients' phase-2
+   operations must still form a causally correct history with phase 1. *)
+
+let power_failure ?(knobs = default_knobs) ?(seed = 6L) ?(clients = 4)
+    ?(ops_per_client = 8) () =
+  if clients < 2 then invalid_arg "Chaos.power_failure: clients must be >= 2";
+  let knobs =
+    match knobs.checkpoint_every with
+    | Some _ -> knobs
+    | None -> { knobs with checkpoint_every = Some 4.0 }
+  in
+  let processes = clients in
+  let locations = 2 * processes in
+  let engine = Engine.create () in
+  let sched = Proc.scheduler engine in
+  let owner = Owner.by_index ~nodes:processes in
+  let c, online = make_cluster ~knobs ~seed ~owner sched in
+  let master = Prng.create seed in
+  let crashes = ref 0 in
+  (* The outage supervisor.  Phase 1 lasts ~[ops_per_client] time units;
+     the coordinated round starts mid-phase, the outage hits once every
+     client is asleep, and power returns well before anyone wakes. *)
+  let phase1_end = float_of_int ops_per_client +. 2.0 in
+  Engine.schedule_at engine (phase1_end /. 2.0) (fun () ->
+      if not (Causal.is_crashed c 0) then Causal.begin_checkpoint c 0);
+  Engine.schedule_at engine (phase1_end +. 5.0) (fun () ->
+      for pid = 0 to processes - 1 do
+        match Causal.crash_result c pid with Ok () -> incr crashes | Error _ -> ()
+      done);
+  Engine.schedule_at engine (phase1_end +. 35.0) (fun () ->
+      for pid = 0 to processes - 1 do
+        ignore (Causal.restart_result c pid)
+      done);
+  for pid = 0 to processes - 1 do
+    let prng = Prng.split master in
+    let h = Causal.handle c pid in
+    let one_op k =
+      let target = Workload.loc (Prng.int prng locations) in
+      if Prng.chance prng 0.5 then Causal.write h target (Value.Int ((pid * 1_000_000) + k))
+      else ignore (Causal.read h target)
+    in
+    ignore
+      (Proc.spawn sched
+         ~name:(Printf.sprintf "client%d" pid)
+         (fun () ->
+           for k = 1 to ops_per_client do
+             one_op k;
+             Proc.sleep 1.0
+           done;
+           (* Sleep across the outage window: a powered-off node runs no
+              application code, so the blackout lands between operations. *)
+           Proc.sleep 60.0;
+           for k = ops_per_client + 1 to 2 * ops_per_client do
+             one_op k;
+             Proc.sleep 1.0
+           done))
+  done;
+  let failures = run_to_quiescence engine sched in
+  let notes =
+    (* No [recovery_seconds] here: that figure is host time, and chaos
+       reports are bit-identical per seed.  [dsm bench recovery] owns the
+       timing measurements. *)
+    ("recoveries", string_of_int (Causal.recoveries c))
+    :: ("replayed_records", string_of_int (Causal.replayed_records c))
+    :: ("recovery_lines", string_of_int (Causal.recovery_lines c))
+    :: ("dropped_at_crashed", string_of_int (Causal.dropped_at_crashed c))
+    :: List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures
+  in
+  build_report ~scenario:"power-failure" ~sched ~engine ~crashes:!crashes ~notes ?online c
+
+let scenarios =
+  [
+    "mix";
+    "dictionary";
+    "solver";
+    "crash-restart";
+    "owner-crash";
+    "failover";
+    "power-failure";
+  ]
 
 let run ?knobs ?seed name =
   match name with
@@ -493,6 +583,7 @@ let run ?knobs ?seed name =
   | "crash-restart" -> crash_restart ?knobs ?seed ()
   | "owner-crash" -> owner_crash ?knobs ?seed ()
   | "failover" -> failover ?knobs ?seed ()
+  | "power-failure" -> power_failure ?knobs ?seed ()
   | other ->
       invalid_arg
         (Printf.sprintf "Chaos.run: unknown scenario %s (expected one of %s)" other

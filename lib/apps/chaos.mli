@@ -22,6 +22,10 @@ type knobs = {
       (** [None] = no heartbeats or failover; the owner-crash scenarios
           substitute a fast detector (period 5.0, suspect_after 3) when
           this is [None] *)
+  checkpoint_every : float option;
+      (** start periodic uncoordinated checkpoints at this sim-time period
+          (each snapshot compacts the log behind it); [None] = never.  The
+          power-failure scenario substitutes a 4.0 period when [None]. *)
   online_check : bool;
       (** run {!Dsm_checker.Online} against the event bus while the
           scenario executes; the first illegal read fails the run
@@ -123,6 +127,20 @@ val failover :
     replays its write-ahead log, is demoted by heartbeat gossip (notes
     record ["victim_demoted"]), and finishes the run as a client of the
     node that replaced it. *)
+
+val power_failure :
+  ?knobs:knobs -> ?seed:int64 -> ?clients:int -> ?ops_per_client:int -> unit -> report
+(** Whole-cluster power failure and recovery.  Every node owns a slice of
+    the namespace and runs a client; periodic checkpoints compact each log
+    and one coordinated round establishes a cluster-wide recovery line;
+    then {e every} node crashes at once and restarts 30 time units later
+    from its latest complete snapshot plus log suffix.  The combined
+    phase-1/phase-2 history must remain causally correct — the
+    WAL-before-reply discipline guarantees recovery restores the exact
+    durable frontier.  Notes record ["recoveries"], ["replayed_records"]
+    and ["recovery_lines"] — all seed-deterministic; host-time replay cost
+    is {!Dsm_apps.Recovery_bench}'s job, keeping this report bit-identical
+    per seed. *)
 
 val scenarios : string list
 (** Names accepted by {!run}, in presentation order. *)

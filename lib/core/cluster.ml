@@ -28,6 +28,14 @@ type timeout_info = {
 
 exception Timed_out of timeout_info
 
+type node_state_error = Already_crashed of int | Not_crashed of int
+
+let pp_node_state_error ppf = function
+  | Already_crashed pid -> Format.fprintf ppf "node %d is already down" pid
+  | Not_crashed pid -> Format.fprintf ppf "node %d is not crashed" pid
+
+exception Node_state of node_state_error
+
 let () =
   Printexc.register_printer (function
     | Timed_out { op; loc; requester; owner_node; attempts } ->
@@ -36,6 +44,7 @@ let () =
              (match op with `Read -> "read" | `Write -> "write")
              (Loc.to_string loc) requester owner_node attempts
              (if attempts = 1 then "" else "s"))
+    | Node_state e -> Some (Format.asprintf "Cluster.Node_state(%a)" pp_node_state_error e)
     | _ -> None)
 
 (* The transport under the protocol: either the network used directly (the
@@ -77,6 +86,11 @@ type t = {
   mutable shadow_reads : int;
   mutable redirects : int;
   mutable wal_sync_failures : int;
+  (* Recovery accounting: restarts, what they replayed, and the host time
+     the replays cost (the bench's measurement). *)
+  mutable recoveries : int;
+  mutable replayed_records : int;
+  mutable recovery_seconds : float;
   trace : Trace.t option;
 }
 
@@ -133,6 +147,22 @@ let wal_append t me record =
 let shadow_grace t =
   match t.detector_config with Some c -> c.Detector.period | None -> 10.0
 
+(* The [Truncate_wal_early] mutation models an off-by-one in the retention
+   cut: every compaction drops one record past the stable-checkpoint
+   boundary. *)
+let compact_extra t =
+  match t.config.Config.mutation with Config.Truncate_wal_early -> 1 | _ -> 0
+
+(* Snapshot one node onto its log, then compact away everything the new
+   checkpoint covers.  A failed snapshot sync is counted and tolerated (no
+   compaction happens, so nothing durable is lost); a torn snapshot is
+   invisible here — recovery detects it and anchors on the previous
+   complete one, which compaction is careful to keep. *)
+let checkpoint_now t pid =
+  match Wal.checkpoint t.wals.(pid) (Node.snapshot (Protocol.node t.core pid)) with
+  | () -> ignore (Wal.compact ~extra:(compact_extra t) t.wals.(pid))
+  | exception Wal.Sync_failed _ -> t.wal_sync_failures <- t.wal_sync_failures + 1
+
 (* {1 The action interpreter}
 
    [dispatch] feeds one event to the pure core and performs the returned
@@ -164,6 +194,7 @@ let rec interpret t action =
       Dsm_sim.Engine.schedule (Proc.engine t.sched) ~delay:(shadow_grace t) (fun () ->
           dispatch t (Protocol.Grace_expired { node = me; seq }))
   | Protocol.Local_write_done { node = _; entry } -> t.last_local_write <- Some entry
+  | Protocol.Take_checkpoint { node = me; round = _ } -> checkpoint_now t me
   | Protocol.Emit body -> emit_body t body
 
 and dispatch t event =
@@ -240,11 +271,6 @@ let start_heartbeats t =
       done
   | _ -> ()
 
-let checkpoint_now t pid =
-  match Wal.checkpoint t.wals.(pid) (Node.snapshot (Protocol.node t.core pid)) with
-  | () -> ()
-  | exception Wal.Sync_failed _ -> t.wal_sync_failures <- t.wal_sync_failures + 1
-
 let start_checkpoint_timers t =
   match t.checkpoint_every with
   | None -> ()
@@ -310,6 +336,9 @@ let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability
       shadow_reads = 0;
       redirects = 0;
       wal_sync_failures = 0;
+      recoveries = 0;
+      replayed_records = 0;
+      recovery_seconds = 0.0;
       trace;
     }
   in
@@ -426,6 +455,20 @@ let redirects t = t.redirects
 
 let wal_sync_failures t = t.wal_sync_failures
 
+let sum_wals t f = Array.fold_left (fun acc w -> acc + f w) 0 t.wals
+
+let recoveries t = t.recoveries
+
+let replayed_records t = t.replayed_records
+
+let recovery_seconds t = t.recovery_seconds
+
+let begin_checkpoint t pid = dispatch t (Protocol.Begin_checkpoint { node = pid })
+
+let recovery_lines t = Protocol.checkpoint_rounds_completed t.core
+
+let checkpoint_round t pid = Protocol.checkpoint_round t.core pid
+
 let suspect_events t = Protocol.suspect_events t.core
 
 let unsuspect_events t = Protocol.unsuspect_events t.core
@@ -461,6 +504,14 @@ let cluster_stats t =
     suspects = Protocol.suspect_events t.core;
     unsuspects = Protocol.unsuspect_events t.core;
     wal_sync_failures = t.wal_sync_failures;
+    wal_records = sum_wals t Wal.length;
+    wal_checkpoints = sum_wals t Wal.checkpoints;
+    wal_torn_checkpoints = sum_wals t Wal.torn_checkpoints;
+    wal_compactions = sum_wals t Wal.compactions;
+    wal_truncated = sum_wals t Wal.truncated;
+    recoveries = t.recoveries;
+    replayed_records = t.replayed_records;
+    recovery_lines = Protocol.checkpoint_rounds_completed t.core;
   }
 
 (* Crash-stop failures.  [crash] makes the node deaf (deliveries are
@@ -470,19 +521,35 @@ let cluster_stats t =
    shadow copies to the exact pre-crash durable frontier.  Cache-only nodes
    have empty logs, so for them this degenerates to cache-discard
    recovery. *)
+let crash_result t pid =
+  if Protocol.is_crashed t.core pid then Error (Already_crashed pid)
+  else begin
+    Hashtbl.reset t.pending.(pid);
+    Hashtbl.reset t.writer_waits.(pid);
+    dispatch t (Protocol.Crash { node = pid });
+    Ok ()
+  end
+
+let restart_result t pid =
+  if not (Protocol.is_crashed t.core pid) then Error (Not_crashed pid)
+  else begin
+    (match t.transport with Direct _ -> () | Framed r -> Reliable.reset_node r pid);
+    (* Host (wall-clock) time around replay: the quantity the recovery
+       bench plots against records-since-checkpoint. *)
+    let started = Sys.time () in
+    let records = Wal.replay t.wals.(pid) in
+    dispatch t (Protocol.Restart { node = pid; now = sim_now t; records });
+    t.recovery_seconds <- t.recovery_seconds +. (Sys.time () -. started);
+    t.recoveries <- t.recoveries + 1;
+    t.replayed_records <- t.replayed_records + List.length records;
+    Ok ()
+  end
+
 let crash t pid =
-  if Protocol.is_crashed t.core pid then
-    invalid_arg (Printf.sprintf "Cluster.crash: node %d already down" pid);
-  Hashtbl.reset t.pending.(pid);
-  Hashtbl.reset t.writer_waits.(pid);
-  dispatch t (Protocol.Crash { node = pid })
+  match crash_result t pid with Ok () -> () | Error e -> raise (Node_state e)
 
 let restart t pid =
-  if not (Protocol.is_crashed t.core pid) then
-    invalid_arg (Printf.sprintf "Cluster.restart: node %d is not crashed" pid);
-  (match t.transport with Direct _ -> () | Framed r -> Reliable.reset_node r pid);
-  let records = Wal.replay t.wals.(pid) in
-  dispatch t (Protocol.Restart { node = pid; now = sim_now t; records })
+  match restart_result t pid with Ok () -> () | Error e -> raise (Node_state e)
 
 let is_crashed t pid = Protocol.is_crashed t.core pid
 

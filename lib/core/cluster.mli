@@ -64,6 +64,17 @@ exception Timed_out of timeout_info
 (** Raised by {!read}/{!write} (and friends) when every RPC attempt timed
     out; only possible when [?rpc] was given. *)
 
+(** Why a crash/restart request made no sense: the typed refusal reasons of
+    {!crash_result}/{!restart_result}. *)
+type node_state_error =
+  | Already_crashed of int  (** {!crash} of a node that is already down *)
+  | Not_crashed of int  (** {!restart} of a node that is up *)
+
+exception Node_state of node_state_error
+(** Raised by the non-[_result] {!crash}/{!restart} wrappers. *)
+
+val pp_node_state_error : Format.formatter -> node_state_error -> unit
+
 val create :
   sched:Dsm_runtime.Proc.sched ->
   owner:Dsm_memory.Owner.t ->
@@ -85,9 +96,10 @@ val create :
     log; by default each cluster gets a private in-memory disk.  Passing it
     explicitly lets tests inject sync faults ({!Wal.Disk.fail_next_syncs})
     or inspect logs after the cluster is gone.  [?checkpoint_every] starts a
-    per-node periodic snapshot checkpoint that truncates the log (must be
-    positive); without it logs grow without bound and {!checkpoint_now} is
-    the only truncation.  [?trace] attaches the structured event bus: the
+    per-node periodic snapshot checkpoint that compacts the log behind the
+    snapshot (must be positive); without it logs grow without bound and
+    {!checkpoint_now}/{!begin_checkpoint} are the only truncation.
+    [?trace] attaches the structured event bus: the
     wire is tapped, the core's trace actions are stamped and published, and
     every application operation is emitted — consumers (the online checker,
     the [dsm trace] dump) subscribe to the same bus.  Without it, tracing
@@ -155,17 +167,25 @@ val rpc_timeouts : t -> int
 
 (** {1 Crash-stop failures} *)
 
-val crash : t -> int -> unit
+val crash_result : t -> int -> (unit, node_state_error) result
 (** Take node [pid] down: incoming messages are dropped and its pending
-    replies forgotten.  Operations on its handle fail until {!restart}.
-    Raises [Invalid_argument] if already crashed. *)
+    replies forgotten.  Operations on its handle fail until restarted.
+    [Error (Already_crashed pid)] if it is already down (nothing is
+    touched). *)
 
-val restart : t -> int -> unit
+val restart_result : t -> int -> (unit, node_state_error) result
 (** Bring a crashed node back: volatile state is reset (cache discarded,
     clock zeroed, view forgotten), the reliable transport's links are
-    reset, and the node's write-ahead log is replayed, restoring certified
-    writes, adopted view changes and shadow copies to the durable frontier.
-    Raises [Invalid_argument] if the node is not crashed. *)
+    reset, and the node's recovery stream ({!Wal.replay}: the newest
+    complete snapshot plus the records appended since) is replayed,
+    restoring certified writes, adopted view changes and shadow copies to
+    the durable frontier.  [Error (Not_crashed pid)] if the node is up. *)
+
+val crash : t -> int -> unit
+(** {!crash_result}, raising {!Node_state} on [Error]. *)
+
+val restart : t -> int -> unit
+(** {!restart_result}, raising {!Node_state} on [Error]. *)
 
 val is_crashed : t -> int -> bool
 
@@ -181,8 +201,34 @@ val wal : t -> int -> Wal.t
 (** Node [pid]'s write-ahead log. *)
 
 val checkpoint_now : t -> int -> unit
-(** Snapshot node [pid]'s durable state and truncate its log to the
-    snapshot (a failed sync is counted, not raised). *)
+(** Snapshot node [pid]'s durable state onto its log, then compact away
+    everything the new checkpoint covers (a failed sync is counted, not
+    raised, and skips the compaction). *)
+
+val begin_checkpoint : t -> int -> unit
+(** Have node [pid] initiate a coordinated checkpoint round: it snapshots
+    itself and floods [Cp_marker]s; every node snapshots on first marker
+    receipt and acks the initiator, which records a stable recovery line
+    once all acks are in ({!recovery_lines}).  See PROTOCOL.md,
+    "Checkpointing & recovery". *)
+
+val recovery_lines : t -> int
+(** Coordinated rounds whose initiator collected every ack. *)
+
+val checkpoint_round : t -> int -> int
+(** The highest coordinated round node [pid] has snapshotted (0 before
+    any). *)
+
+val recoveries : t -> int
+(** Restarts that replayed a log. *)
+
+val replayed_records : t -> int
+(** Records replayed across all restarts — bounded by
+    records-since-checkpoint per node, not log lifetime. *)
+
+val recovery_seconds : t -> float
+(** Cumulative host (wall-clock) time spent replaying logs in
+    {!restart}; what [dsm bench recovery] measures. *)
 
 val takeovers : t -> int
 (** Ownership promotions performed by backups. *)

@@ -11,6 +11,7 @@ type mutation =
   | Reorder_apply_ack
   | Ignore_epoch_fence
   | Skip_shadow_replication
+  | Truncate_wal_early
 
 let mutations =
   [
@@ -19,6 +20,7 @@ let mutations =
     ("reorder-apply-ack", Reorder_apply_ack);
     ("ignore-epoch-fence", Ignore_epoch_fence);
     ("skip-shadow-replication", Skip_shadow_replication);
+    ("truncate-wal-early", Truncate_wal_early);
   ]
 
 let mutation_name = function

@@ -49,6 +49,11 @@ type mutation =
   | Skip_shadow_replication
       (** never replicate certified writes to the backup at all; every
           takeover silently loses the victim's certified writes *)
+  | Truncate_wal_early
+      (** WAL compaction truncates one record past the stable-checkpoint
+          boundary (an off-by-one in the retention cut): recovery silently
+          loses one durable record, so a post-rollback read can contradict
+          an acknowledged write *)
 
 val mutations : (string * mutation) list
 (** CLI names for every breaking variant (excludes [No_mutation]). *)

@@ -64,6 +64,11 @@ type t =
   | Shadow_read_reply of { req : int; loc : Dsm_memory.Loc.t; entry : Stamped.t }
   | Takeover of { base : int; epoch : int; serving : int }
       (** broadcast by a backup promoting itself over [base]'s locations *)
+  | Cp_marker of { round : int; initiator : int }
+      (** coordinated-checkpoint marker: take a checkpoint for [round]
+          before processing anything that arrives after this message *)
+  | Cp_ack of { round : int }
+      (** a participant's checkpoint for [round] is on stable storage *)
 
 let kind = function
   | Read_req _ -> "READ"
@@ -77,6 +82,8 @@ let kind = function
   | Shadow_read_req _ -> "SH_READ"
   | Shadow_read_reply _ -> "SH_REPLY"
   | Takeover _ -> "TAKEOVER"
+  | Cp_marker _ -> "CP_MARK"
+  | Cp_ack _ -> "CP_ACK"
 
 let pp ppf t =
   match t with
@@ -102,3 +109,5 @@ let pp ppf t =
       Format.fprintf ppf "SH_REPLY#%d(%a=%a)" req Dsm_memory.Loc.pp loc Stamped.pp entry
   | Takeover { base; epoch; serving } ->
       Format.fprintf ppf "TAKEOVER(base %d -> e%d@%d)" base epoch serving
+  | Cp_marker { round; initiator } -> Format.fprintf ppf "CP_MARK(r%d from %d)" round initiator
+  | Cp_ack { round } -> Format.fprintf ppf "CP_ACK(r%d)" round

@@ -64,10 +64,17 @@ type t =
   | Shadow_read_req of { req : int; loc : Dsm_memory.Loc.t }
   | Shadow_read_reply of { req : int; loc : Dsm_memory.Loc.t; entry : Stamped.t }
   | Takeover of { base : int; epoch : int; serving : int }
+  | Cp_marker of { round : int; initiator : int }
+      (** coordinated-checkpoint marker (see PROTOCOL.md, "Checkpointing &
+          recovery"): the receiver checkpoints for [round] before processing
+          anything that arrives after this message on the same FIFO link *)
+  | Cp_ack of { round : int }
+      (** back to [initiator]: the sender's checkpoint for [round] is on
+          stable storage *)
 
 val kind : t -> string
 (** Counter bucket: ["READ"], ["R_REPLY"], ["WRITE"], ["W_REPLY"],
-    ["STALE"], ["HB"], ["SHADOW"], ["SH_ACK"], ["SH_READ"], ["SH_REPLY"] or
-    ["TAKEOVER"]. *)
+    ["STALE"], ["HB"], ["SHADOW"], ["SH_ACK"], ["SH_READ"], ["SH_REPLY"],
+    ["TAKEOVER"], ["CP_MARK"] or ["CP_ACK"]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -77,6 +77,14 @@ type cluster = {
   suspects : int;
   unsuspects : int;
   wal_sync_failures : int;
+  wal_records : int;
+  wal_checkpoints : int;
+  wal_torn_checkpoints : int;
+  wal_compactions : int;
+  wal_truncated : int;
+  recoveries : int;
+  replayed_records : int;
+  recovery_lines : int;
 }
 
 (* One line, zero-valued fields suppressed: chaos health lines stay short
@@ -100,4 +108,13 @@ let pp_cluster ppf c =
   field "takeovers" c.takeovers;
   field "suspects" c.suspects;
   field "unsuspects" c.unsuspects;
-  field "wal_sync_failures" c.wal_sync_failures
+  field "wal_sync_failures" c.wal_sync_failures;
+  (* The recovery subsystem: log retention and restart accounting. *)
+  field "wal_checkpoints" c.wal_checkpoints;
+  field "wal_torn" c.wal_torn_checkpoints;
+  field "wal_compactions" c.wal_compactions;
+  field "wal_truncated" c.wal_truncated;
+  if c.wal_truncated <> 0 || c.wal_checkpoints <> 0 then field "wal_records" c.wal_records;
+  field "recoveries" c.recoveries;
+  field "replayed" c.replayed_records;
+  field "recovery_lines" c.recovery_lines

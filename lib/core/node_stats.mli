@@ -57,6 +57,14 @@ type cluster = {
   suspects : int;  (** failure-detector suspicion transitions *)
   unsuspects : int;  (** recoveries from suspicion *)
   wal_sync_failures : int;  (** injected log-sync faults that fired *)
+  wal_records : int;  (** entries currently live across all logs *)
+  wal_checkpoints : int;  (** snapshot records written (torn included) *)
+  wal_torn_checkpoints : int;  (** checkpoint writes that tore *)
+  wal_compactions : int;  (** compactions that dropped at least one entry *)
+  wal_truncated : int;  (** entries dropped by compaction, lifetime *)
+  recoveries : int;  (** node restarts that replayed a log *)
+  replayed_records : int;  (** records replayed across all recoveries *)
+  recovery_lines : int;  (** coordinated checkpoint rounds fully acked *)
 }
 
 val pp_cluster : Format.formatter -> cluster -> unit

@@ -13,6 +13,7 @@ type event =
   | Learn_view of { node : int; base : int; epoch : int; serving : int }
   | Crash of { node : int }
   | Restart of { node : int; now : float; records : Log_record.t list }
+  | Begin_checkpoint of { node : int }
 
 type action =
   | Send of { src : int; dst : int; kind : string; size : int; msg : Message.t }
@@ -21,6 +22,7 @@ type action =
   | Append of { node : int; record : Log_record.t }
   | Arm_grace of { node : int; seq : int }
   | Local_write_done of { node : int; entry : Stamped.t }
+  | Take_checkpoint of { node : int; round : int }
   | Emit of Trace.body
 
 type state = {
@@ -34,6 +36,13 @@ type state = {
   mutable dropped_at_crashed : int;
   mutable takeovers : int;
   mutable shadow_degraded : int;
+  (* Coordinated checkpoints: the highest round each node has snapshotted,
+     and (at initiators) the outstanding ack counts per open round. *)
+  cp_round : int array;
+  cp_acks : (int, int) Hashtbl.t array;
+  mutable cp_seq : int;
+  mutable cp_started : int;
+  mutable cp_completed : int;
   mutable tracing : bool;
 }
 
@@ -57,6 +66,11 @@ let create ~owner ~config ?detector ~now () =
     dropped_at_crashed = 0;
     takeovers = 0;
     shadow_degraded = 0;
+    cp_round = Array.make processes 0;
+    cp_acks = Array.init processes (fun _ -> Hashtbl.create 4);
+    cp_seq = 0;
+    cp_started = 0;
+    cp_completed = 0;
     tracing = false;
   }
 
@@ -119,6 +133,16 @@ let shadow_pending_list t pid =
   |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
 
 let shadow_seqno t = t.shadow_seq
+
+let checkpoint_round t pid = t.cp_round.(pid)
+
+let checkpoint_rounds_started t = t.cp_started
+
+let checkpoint_rounds_completed t = t.cp_completed
+
+let checkpoint_acks_pending t pid =
+  Hashtbl.fold (fun round got acc -> (round, got) :: acc) t.cp_acks.(pid) []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
 
 let set_tracing t on =
   t.tracing <- on;
@@ -236,6 +260,20 @@ let fence node loc epoch =
   if (not (Node.owns node loc)) || epoch < Node.epoch_of node ~base then
     Some (base, Node.epoch_of node ~base, Node.serving_of node ~base)
   else None
+
+(* Record a checkpoint for [round] at [me]: the caller (shell or model)
+   must snapshot the node's state onto stable storage before any later
+   event runs at this node — that ordering is what makes the per-node
+   snapshots a consistent cut over FIFO links. *)
+let take_checkpoint t acc ~me ~round =
+  t.cp_round.(me) <- round;
+  if round > t.cp_seq then t.cp_seq <- round;
+  act acc (Take_checkpoint { node = me; round });
+  emitq t acc (Trace.Checkpoint_taken { node = me; round })
+
+let cp_round_complete t acc ~me ~round =
+  t.cp_completed <- t.cp_completed + 1;
+  emitq t acc (Trace.Recovery_line { node = me; round })
 
 (* A heartbeat tick suspecting [peer] triggers handoff: if this node is the
    designated backup for a base [peer] was serving, it promotes itself
@@ -406,6 +444,49 @@ let handle_message t acc ~me ~src ~now msg =
                size = entry_wire_size t 1;
                msg = Message.Shadow_read_reply { req; loc; entry };
              })
+    | Message.Cp_marker { round; initiator } ->
+        (* First marker for a round: snapshot before touching anything that
+           arrives later, then relay the marker on every other outgoing
+           channel (Chandy–Lamport) and tell the initiator the snapshot is
+           stable.  Later markers for the same round are duplicates. *)
+        if round > t.cp_round.(me) then begin
+          take_checkpoint t acc ~me ~round;
+          let n = Array.length t.nodes in
+          for dst = 0 to n - 1 do
+            if dst <> me && dst <> src && dst <> initiator then
+              act acc
+                (Send
+                   {
+                     src = me;
+                     dst;
+                     kind = "CP_MARK";
+                     size = 1;
+                     msg = Message.Cp_marker { round; initiator };
+                   })
+          done;
+          act acc
+            (Send
+               {
+                 src = me;
+                 dst = initiator;
+                 kind = "CP_ACK";
+                 size = 1;
+                 msg = Message.Cp_ack { round };
+               })
+        end
+    | Message.Cp_ack { round } -> (
+        match Hashtbl.find_opt t.cp_acks.(me) round with
+        | Some got ->
+            let got = got + 1 in
+            if got >= Array.length t.nodes - 1 then begin
+              Hashtbl.remove t.cp_acks.(me) round;
+              cp_round_complete t acc ~me ~round
+            end
+            else Hashtbl.replace t.cp_acks.(me) round got
+        | None ->
+            (* An ack for an already-completed round (relayed markers can
+               produce none, but be robust) — nothing left to count. *)
+            ())
     | Message.Read_reply { req; _ }
     | Message.Write_reply { req; _ }
     | Message.Stale_epoch { req; _ }
@@ -474,8 +555,10 @@ let step t event =
   | Crash { node = me } ->
       t.crashed.(me) <- true;
       (* Pending shadow completions die with the node: the grace timer
-         finds nothing and the acks go nowhere, exactly crash-stop. *)
+         finds nothing and the acks go nowhere, exactly crash-stop.  Open
+         checkpoint rounds this node initiated die the same way. *)
       Hashtbl.reset t.shadow_pending.(me);
+      Hashtbl.reset t.cp_acks.(me);
       emitq t acc (Trace.Crash { node = me })
   | Restart { node = me; now; records } ->
       let node = t.nodes.(me) in
@@ -484,5 +567,28 @@ let step t event =
       List.iter (fun record -> Node.apply_record node record) records;
       t.crashed.(me) <- false;
       flush t me acc;
-      emitq t acc (Trace.Restart { node = me; replayed = List.length records }));
+      emitq t acc (Trace.Restart { node = me; replayed = List.length records })
+  | Begin_checkpoint { node = me } ->
+      if not t.crashed.(me) then begin
+        let round = t.cp_seq + 1 in
+        t.cp_started <- t.cp_started + 1;
+        take_checkpoint t acc ~me ~round;
+        let n = Array.length t.nodes in
+        if n = 1 then cp_round_complete t acc ~me ~round
+        else begin
+          Hashtbl.replace t.cp_acks.(me) round 0;
+          for dst = 0 to n - 1 do
+            if dst <> me then
+              act acc
+                (Send
+                   {
+                     src = me;
+                     dst;
+                     kind = "CP_MARK";
+                     size = 1;
+                     msg = Message.Cp_marker { round; initiator = me };
+                   })
+          done
+        end
+      end);
   (t, List.rev !acc)

@@ -53,6 +53,13 @@ type event =
   | Crash of { node : int }
   | Restart of { node : int; now : float; records : Log_record.t list }
       (** [records] is the node's replayed write-ahead log, in log order *)
+  | Begin_checkpoint of { node : int }
+      (** [node] initiates a coordinated checkpoint round: it snapshots
+          itself ([Take_checkpoint]) and floods [Cp_marker]s; each first
+          marker receipt snapshots the receiver before any later traffic on
+          the same FIFO link, so the per-node snapshots form a consistent
+          recovery line (PROTOCOL.md, "Checkpointing & recovery").  Ignored
+          at a crashed node. *)
 
 type action =
   | Send of { src : int; dst : int; kind : string; size : int; msg : Message.t }
@@ -69,6 +76,10 @@ type action =
   | Local_write_done of { node : int; entry : Stamped.t }
       (** the certified entry of an {!Owner_write} (always precedes the
           completion of its [writer]) *)
+  | Take_checkpoint of { node : int; round : int }
+      (** snapshot [node]'s state onto stable storage {e now}, before any
+          later event runs at it — the shell checkpoints the node's WAL and
+          may then compact it *)
   | Emit of Trace.body
       (** publish on the event bus (only produced while tracing is on) *)
 
@@ -133,3 +144,22 @@ val shadow_pending_list : state -> int -> (int * completion) list
 
 val shadow_seqno : state -> int
 (** The next shadow sequence number to be allocated (cluster-global). *)
+
+val checkpoint_round : state -> int -> int
+(** The highest coordinated round one node has snapshotted; 0 before any.
+    Monotone, and deliberately not reset by crash/restart — the snapshot it
+    names is on stable storage. *)
+
+val checkpoint_rounds_started : state -> int
+(** Coordinated rounds initiated ({!event.Begin_checkpoint} at a live
+    node). *)
+
+val checkpoint_rounds_completed : state -> int
+(** Rounds whose initiator collected every participant's [Cp_ack] — stable
+    recovery lines.  A round with a crashed participant never completes
+    (and blocks nothing). *)
+
+val checkpoint_acks_pending : state -> int -> (int * int) list
+(** One node's open initiated rounds as [(round, acks received)] ascending
+    by round; exposed so the model checker can fingerprint the full
+    protocol state. *)

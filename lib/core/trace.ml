@@ -19,6 +19,8 @@ type body =
   | Shadow_degraded of { node : int; seq : int }
   | Crash of { node : int }
   | Restart of { node : int; replayed : int }
+  | Checkpoint_taken of { node : int; round : int }
+  | Recovery_line of { node : int; round : int }
   | Op_read of { node : int; loc : Loc.t; value : Value.t; from : Wid.t }
   | Op_write of { node : int; loc : Loc.t; value : Value.t; wid : Wid.t }
   | Violation of { node : int; reason : string }
@@ -64,6 +66,8 @@ let kind = function
   | Shadow_degraded _ -> "degraded"
   | Crash _ -> "crash"
   | Restart _ -> "restart"
+  | Checkpoint_taken _ -> "checkpoint"
+  | Recovery_line _ -> "recovery_line"
   | Op_read _ -> "read"
   | Op_write _ -> "write"
   | Violation _ -> "violation"
@@ -75,15 +79,16 @@ let actor = function
   | Apply { node; _ } | Invalidate { node; _ } | Certify { node; _ } | Wal_append { node; _ }
   | Suspect { node; _ } | Unsuspect { node; _ } | Promote { node; _ } | Demote { node; _ }
   | Adopt_view { node; _ } | Shadow_degraded { node; _ } | Crash { node } | Restart { node; _ }
+  | Checkpoint_taken { node; _ } | Recovery_line { node; _ }
   | Op_read { node; _ } | Op_write { node; _ } | Violation { node; _ } ->
       Some node
 
 let milestone = function
   | Suspect _ | Unsuspect _ | Promote _ | Demote _ | Adopt_view _ | Crash _ | Restart _
-  | Op_read _ | Op_write _ | Violation _ ->
+  | Recovery_line _ | Op_read _ | Op_write _ | Violation _ ->
       true
   | Send _ | Deliver _ | Drop _ | Duplicate _ | Apply _ | Invalidate _ | Certify _
-  | Wal_append _ | Shadow_degraded _ ->
+  | Wal_append _ | Shadow_degraded _ | Checkpoint_taken _ ->
       false
 
 (* Minimal JSON: every string we embed is an identifier-like token (message
@@ -133,6 +138,8 @@ let body_fields = function
   | Crash { node } -> [ ("node", string_of_int node) ]
   | Restart { node; replayed } ->
       [ ("node", string_of_int node); ("replayed", string_of_int replayed) ]
+  | Checkpoint_taken { node; round } | Recovery_line { node; round } ->
+      [ ("node", string_of_int node); ("round", string_of_int round) ]
   | Op_read { node; loc; value; from } ->
       [ ("node", string_of_int node); ("loc", json_string (Loc.to_string loc));
         ("value", json_string (Value.to_string value));

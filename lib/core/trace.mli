@@ -46,6 +46,12 @@ type body =
       (** a certified write was acknowledged without backup replication *)
   | Crash of { node : int }
   | Restart of { node : int; replayed : int }
+  | Checkpoint_taken of { node : int; round : int }
+      (** a snapshot reached stable storage; [round] is the coordinated
+          round number, 0 for an uncoordinated (timer-driven) checkpoint *)
+  | Recovery_line of { node : int; round : int }
+      (** the initiator [node] collected every participant's ack for
+          [round]: the cluster-wide recovery line is stable *)
   (* Application level (published by the cluster when recording history). *)
   | Op_read of {
       node : int;
@@ -100,9 +106,10 @@ val actor : body -> int option
 
 val milestone : body -> bool
 (** True for the scheduling-robust subset used by golden traces: crashes,
-    restarts, suspicions, promotions, demotions, view adoptions, application
-    operations and violations — everything except per-message wire and
-    cache-maintenance events, whose exact interleaving is noisier. *)
+    restarts, recovery lines, suspicions, promotions, demotions, view
+    adoptions, application operations and violations — everything except
+    per-message wire, cache-maintenance and per-node checkpoint events,
+    whose exact interleaving is noisier. *)
 
 val to_json : event -> string
 (** One-line JSON object: [{"seq":..,"t":..,"ev":..,...}]. *)

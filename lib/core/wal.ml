@@ -20,13 +20,21 @@ type record = Log_record.t =
 
 exception Sync_failed of int
 
-(* One node's log: records newest-first (append is a cons), with lifetime
-   counters that survive checkpoint truncation. *)
+(* One durable cell: the record plus its validity.  A torn checkpoint is
+   physically present (the writer believed the sync succeeded) but fails
+   its checksum when recovery reads it back, so replay and compaction must
+   both skip it. *)
+type entry = { record : record; torn : bool }
+
+(* One node's log: entries newest-first (append is a cons), with lifetime
+   counters that survive compaction. *)
 type log = {
   log_node : int;
-  mutable records : record list; (* newest first *)
+  mutable entries : entry list; (* newest first *)
   mutable appends : int;
   mutable checkpoints : int;
+  mutable torn_cps : int;
+  mutable compactions : int;
   mutable truncated : int;
 }
 
@@ -35,15 +43,21 @@ module Disk = struct
     logs : (int, log) Hashtbl.t;
     mutable fail_syncs : int;
     mutable sync_failures : int;
+    mutable tear_checkpoints : int;
   }
 
-  let create () = { logs = Hashtbl.create 8; fail_syncs = 0; sync_failures = 0 }
+  let create () =
+    { logs = Hashtbl.create 8; fail_syncs = 0; sync_failures = 0; tear_checkpoints = 0 }
 
   let fail_next_syncs t n =
     if n < 0 then invalid_arg "Wal.Disk.fail_next_syncs: n must be >= 0";
     t.fail_syncs <- n
 
   let sync_failures t = t.sync_failures
+
+  let tear_next_checkpoints t n =
+    if n < 0 then invalid_arg "Wal.Disk.tear_next_checkpoints: n must be >= 0";
+    t.tear_checkpoints <- n
 end
 
 type t = { disk : Disk.t; log : log }
@@ -53,7 +67,17 @@ let attach (disk : Disk.t) ~node =
     match Hashtbl.find_opt disk.Disk.logs node with
     | Some l -> l
     | None ->
-        let l = { log_node = node; records = []; appends = 0; checkpoints = 0; truncated = 0 } in
+        let l =
+          {
+            log_node = node;
+            entries = [];
+            appends = 0;
+            checkpoints = 0;
+            torn_cps = 0;
+            compactions = 0;
+            truncated = 0;
+          }
+        in
         Hashtbl.replace disk.Disk.logs node l;
         l
   in
@@ -75,21 +99,66 @@ let append t record =
   (match record with
   | Checkpoint _ -> invalid_arg "Wal.append: use Wal.checkpoint for snapshots"
   | _ -> ());
-  t.log.records <- record :: t.log.records;
+  t.log.entries <- { record; torn = false } :: t.log.entries;
   t.log.appends <- t.log.appends + 1
 
 let checkpoint t snapshot =
   sync t;
-  t.log.truncated <- t.log.truncated + List.length t.log.records;
-  t.log.records <- [ Checkpoint snapshot ];
-  t.log.checkpoints <- t.log.checkpoints + 1
+  let torn =
+    if t.disk.Disk.tear_checkpoints > 0 then begin
+      t.disk.Disk.tear_checkpoints <- t.disk.Disk.tear_checkpoints - 1;
+      true
+    end
+    else false
+  in
+  t.log.entries <- { record = Checkpoint snapshot; torn } :: t.log.entries;
+  t.log.checkpoints <- t.log.checkpoints + 1;
+  if torn then t.log.torn_cps <- t.log.torn_cps + 1
 
-let replay t = List.rev t.log.records
+let is_anchor e = (not e.torn) && match e.record with Checkpoint _ -> true | _ -> false
 
-let length t = List.length t.log.records
+(* Distance (in entries) from the head to the newest complete checkpoint —
+   the recovery anchor.  [None] when no complete checkpoint exists. *)
+let anchor_index t =
+  let rec find i = function
+    | [] -> None
+    | e :: rest -> if is_anchor e then Some i else find (i + 1) rest
+  in
+  find 0 t.log.entries
+
+let replay t =
+  let suffix =
+    match anchor_index t with
+    | None -> t.log.entries
+    | Some i -> List.filteri (fun j _ -> j <= i) t.log.entries
+  in
+  suffix |> List.filter (fun e -> not e.torn) |> List.rev_map (fun e -> e.record)
+
+let records_since_checkpoint t =
+  match anchor_index t with None -> List.length t.log.entries | Some i -> i
+
+let compact ?(extra = 0) t =
+  if extra < 0 then invalid_arg "Wal.compact: extra must be >= 0";
+  match anchor_index t with
+  | None -> 0
+  | Some i ->
+      let keep = max 0 (i + 1 - extra) in
+      let dropped = List.length t.log.entries - keep in
+      if dropped > 0 then begin
+        t.log.entries <- List.filteri (fun j _ -> j < keep) t.log.entries;
+        t.log.truncated <- t.log.truncated + dropped;
+        t.log.compactions <- t.log.compactions + 1
+      end;
+      dropped
+
+let length t = List.length t.log.entries
 
 let appends t = t.log.appends
 
 let checkpoints t = t.log.checkpoints
+
+let torn_checkpoints t = t.log.torn_cps
+
+let compactions t = t.log.compactions
 
 let truncated t = t.log.truncated

@@ -14,10 +14,16 @@
     exercise the append error path: a failed append raises {!Sync_failed}
     and logs nothing, modelling a full or failing device.
 
-    Periodic {e checkpoints} bound replay work: {!checkpoint} atomically
-    replaces the whole log with a single snapshot record, so replay cost is
-    [O(snapshot + writes since last checkpoint)] instead of the node's whole
-    history. *)
+    Periodic {e checkpoints} bound recovery work.  {!checkpoint} appends a
+    snapshot record (it does {e not} rewrite the log in place — the previous
+    contents stay until an explicit {!compact}), and {!replay} returns only
+    the newest {e complete} snapshot plus the records appended after it, so
+    recovery cost is [O(snapshot + records since checkpoint)] instead of the
+    node's whole history.  A checkpoint write can be {e torn}
+    ({!Disk.tear_next_checkpoints}): the writer believes it succeeded, but
+    recovery detects the damage (a failed checksum) and falls back to the
+    previous complete snapshot — which {!compact} is careful never to
+    discard. *)
 
 (** The stable store.  One [Disk.t] backs every node of a cluster; each
     node's log lives under its node id. *)
@@ -32,6 +38,13 @@ module Disk : sig
 
   val sync_failures : t -> int
   (** Injected sync failures that have fired so far. *)
+
+  val tear_next_checkpoints : t -> int -> unit
+  (** Make the next [n] checkpoint writes (across all nodes on this disk)
+      {e tear}: the snapshot is written damaged and the writer sees success
+      — the crash-during-checkpoint failure mode.  The damage surfaces only
+      at recovery, when {!replay} skips the torn snapshot and anchors on the
+      previous complete one. *)
 end
 
 exception Sync_failed of int
@@ -63,7 +76,7 @@ type record = Dsm_protocol.Log_record.t =
       (** an adopted or self-originated ownership epoch change *)
   | Shadow_entry of { base : int; loc : Dsm_memory.Loc.t; entry : Dsm_protocol.Stamped.t }
       (** a backup copy accepted from the owner of [base] *)
-  | Checkpoint of snapshot  (** full-state snapshot; always the log's head *)
+  | Checkpoint of snapshot  (** full-state snapshot appended by {!checkpoint} *)
 
 type t
 (** One node's log handle. *)
@@ -79,14 +92,39 @@ val append : t -> record -> unit
     when a sync fault is injected. *)
 
 val checkpoint : t -> snapshot -> unit
-(** Atomically replace the log with [Checkpoint snapshot].  Raises
-    {!Sync_failed} (leaving the previous log intact) under a sync fault. *)
+(** Append [Checkpoint snapshot] to the log.  Raises {!Sync_failed}
+    (leaving the log intact) under a sync fault; under an injected tear
+    ({!Disk.tear_next_checkpoints}) the snapshot is written damaged and no
+    error is reported.  Does not truncate — call {!compact} once the
+    checkpoint is stable. *)
+
+val compact : ?extra:int -> t -> int
+(** Truncate everything strictly older than the newest {e complete}
+    checkpoint, returning the number of entries dropped (0 when there is no
+    complete checkpoint to anchor on, or nothing older than it).  A torn
+    newest checkpoint is never used as the anchor, so the previous complete
+    snapshot — the one recovery would fall back to — always survives.
+
+    [extra] (default 0, test-only) drops that many additional entries
+    {e past} the safe boundary, starting with the anchor checkpoint itself:
+    the off-by-one truncation bug the model checker's
+    [Truncate_wal_early] mutation must catch. *)
 
 val replay : t -> record list
-(** The log oldest-first: at most one leading [Checkpoint] followed by the
-    records appended since. *)
+(** The recovery stream, oldest-first: the newest complete [Checkpoint]
+    followed by every record appended after it.  Torn checkpoints are
+    detected and skipped — if the newest checkpoint is torn, replay anchors
+    on the previous complete one (plus the longer suffix, including the
+    records between the two), so a crash during a checkpoint write loses
+    nothing.  With no complete checkpoint at all, the whole log. *)
 
 val length : t -> int
+(** Entries physically in the log (torn checkpoints included). *)
+
+val records_since_checkpoint : t -> int
+(** Entries newer than the recovery anchor — the suffix replay must apply
+    on top of the snapshot.  Equals {!length} when no complete checkpoint
+    exists. *)
 
 (** {1 Accounting} *)
 
@@ -94,6 +132,14 @@ val appends : t -> int
 (** Successful appends over the log's lifetime (checkpoints excluded). *)
 
 val checkpoints : t -> int
+(** Checkpoint records written (torn ones included — the writer can't
+    tell). *)
+
+val torn_checkpoints : t -> int
+(** Checkpoint writes that tore. *)
+
+val compactions : t -> int
+(** {!compact} calls that dropped at least one entry. *)
 
 val truncated : t -> int
-(** Records dropped by checkpoint truncation over the log's lifetime. *)
+(** Entries dropped by compaction over the log's lifetime. *)

@@ -12,6 +12,7 @@ type fault =
   | No_faults
   | Crash of { victim : int; restart : bool }
   | Drop of { drops : int; dups : int }
+  | Power
 
 type scope = {
   sname : string;
@@ -234,7 +235,25 @@ let lossy =
     fault = Drop { drops = 1; dups = 1 };
   }
 
-let presets = [ mp; publication; race; failover; fence; lossy ]
+(* Checkpoint, then crash everywhere: the writer's w(x)1 is certified and
+   logged at node 0; a coordinated checkpoint folds it into a snapshot and
+   compaction truncates the log behind it; the outage wipes every volatile
+   state at once.  After repowering, the reader's second r(x) must still
+   see a value at least as new as its first — replay from the snapshot
+   guarantees it.  Catches [Truncate_wal_early], whose compaction cut
+   drops the anchor checkpoint itself and loses the snapshotted write. *)
+let power =
+  {
+    sname = "power";
+    nodes = 2;
+    owner = owner_fn ~nodes:2 (fun _ -> 0);
+    programs = [| [ Write (x, Value.Int 1) ]; [ Read x; Read x ] |];
+    fault = Power;
+    failover = false;
+    mutation = Config.No_mutation;
+  }
+
+let presets = [ mp; publication; race; failover; fence; lossy; power ]
 
 let preset name = List.find_opt (fun s -> s.sname = name) presets
 
@@ -246,6 +265,7 @@ let matrix =
     (Config.Reorder_apply_ack, "failover");
     (Config.Skip_shadow_replication, "failover");
     (Config.Ignore_epoch_fence, "fence");
+    (Config.Truncate_wal_early, "power");
   ]
 
 (* A generic message-passing-flavoured scope: node 0 alternates writes over

@@ -17,6 +17,10 @@ type fault =
   | Drop of { drops : int; dups : int }
       (** the adversary may drop and duplicate in-flight messages, up to
           the given budgets *)
+  | Power
+      (** whole-cluster power failure: one coordinated checkpoint round
+          may be initiated, then one outage crashes every node at once,
+          then one repowering restarts all of them from their logs *)
 
 type scope = {
   sname : string;
@@ -56,6 +60,7 @@ val race : scope
 val failover : scope
 val fence : scope
 val lossy : scope
+val power : scope
 
 val presets : scope list
 (** All of the above, each small enough for exhaustive exploration. *)

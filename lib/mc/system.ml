@@ -1,5 +1,6 @@
 module P = Dsm_protocol.Protocol
 module Message = Dsm_protocol.Message
+module Log_record = Dsm_protocol.Log_record
 module Node = Dsm_protocol.Node
 module Config = Dsm_protocol.Config
 module Stamped = Dsm_protocol.Stamped
@@ -18,6 +19,9 @@ type choice =
   | Crash_victim
   | Takeover_tick
   | Restart_victim
+  | Begin_cp
+  | Power_failure
+  | Recover_all
 
 let pp_choice ppf = function
   | Issue pid -> Format.fprintf ppf "issue@%d" pid
@@ -27,6 +31,9 @@ let pp_choice ppf = function
   | Crash_victim -> Format.fprintf ppf "crash"
   | Takeover_tick -> Format.fprintf ppf "takeover-tick"
   | Restart_victim -> Format.fprintf ppf "restart"
+  | Begin_cp -> Format.fprintf ppf "begin-cp"
+  | Power_failure -> Format.fprintf ppf "power-failure"
+  | Recover_all -> Format.fprintf ppf "recover-all"
 
 (* What a process is blocked on, mirroring the rendezvous of the cluster
    shell: a read or write request in flight (with the redirect budget the
@@ -60,6 +67,9 @@ type t = {
   mutable crashed_done : bool;
   mutable takeover_done : bool;
   mutable restarted : bool;
+  mutable cp_done : bool;
+  mutable outage_done : bool;
+  mutable recovered_done : bool;
   mutable drops_left : int;
   mutable dups_left : int;
   mutable next_writer : int;
@@ -96,6 +106,9 @@ let init ?(tracing = false) (scope : Gen.scope) =
     crashed_done = false;
     takeover_done = false;
     restarted = false;
+    cp_done = false;
+    outage_done = false;
+    recovered_done = false;
     drops_left = drops;
     dups_left = dups;
     next_writer = 0;
@@ -247,6 +260,26 @@ and perform t = function
       | Waiting_writer { token } when token = writer -> t.status.(node) <- Idle
       | _ -> t.stale_replies <- t.stale_replies + 1)
   | P.Append { node; record } -> t.wal.(node) <- record :: t.wal.(node)
+  | P.Take_checkpoint { node; round = _ } ->
+      (* The modeled durable path of [Cluster.checkpoint_now]: snapshot the
+         node into its log, then compact behind the newest checkpoint.  The
+         [Truncate_wal_early] mutation cuts one entry past the safe
+         boundary — the anchor checkpoint itself — so replay loses the
+         snapshotted state (the off-by-one the matrix must catch). *)
+      t.wal.(node) <- Log_record.Checkpoint (Node.snapshot (P.node t.core node)) :: t.wal.(node);
+      let extra =
+        match t.config.Config.mutation with Config.Truncate_wal_early -> 1 | _ -> 0
+      in
+      let rec anchor i = function
+        | [] -> None
+        | Log_record.Checkpoint _ :: _ -> Some i
+        | _ :: rest -> anchor (i + 1) rest
+      in
+      (match anchor 0 t.wal.(node) with
+      | None -> ()
+      | Some i ->
+          let keep = max 0 (i + 1 - extra) in
+          t.wal.(node) <- List.filteri (fun j _ -> j < keep) t.wal.(node))
   | P.Arm_grace _ -> ()  (* grace expiry is outside the explored scope *)
   | P.Local_write_done { entry; _ } -> t.last_local <- Some entry
   | P.Emit body -> emit_trace t body
@@ -371,7 +404,21 @@ let enabled t =
           [ Restart_victim ]
       | _ -> []
     in
-    issues @ delivers @ drops @ dups @ crash @ tick @ restart
+    (* The power-failure scope: one coordinated checkpoint round may begin
+       at any point, the whole-cluster outage only after it (the preset is
+       "checkpoint, then crash everywhere"), and one repowering. *)
+    let cp =
+      match t.scope.fault with
+      | Gen.Power when (not t.cp_done) && not t.outage_done -> [ Begin_cp ]
+      | _ -> []
+    in
+    let outage =
+      match t.scope.fault with
+      | Gen.Power when t.cp_done && not t.outage_done -> [ Power_failure ]
+      | _ -> []
+    in
+    let repower = if t.outage_done && not t.recovered_done then [ Recover_all ] else [] in
+    issues @ delivers @ drops @ dups @ crash @ tick @ restart @ cp @ outage @ repower
   end
 
 let choice_enabled t c = List.mem c (enabled t)
@@ -424,6 +471,40 @@ let apply t c =
       List.iter
         (fun (base, epoch, serving) -> apply_event t (P.Learn_view { node = v; base; epoch; serving }))
         (P.view t.core)
+  | Begin_cp ->
+      t.cp_done <- true;
+      apply_event t (P.Begin_checkpoint { node = 0 })
+  | Power_failure ->
+      (* Every node loses volatile state at once and all in-flight traffic
+         dies with the power.  Client processes are external to the outage:
+         a parked read is retried once power returns (its request frame was
+         lost), while a parked remote write is conservatively abandoned —
+         its certification fate is unknowable, so re-issuing could record a
+         duplicate.  An owner write is already logged and recorded, so that
+         process simply resumes. *)
+      t.outage_done <- true;
+      for i = 0 to t.scope.nodes - 1 do
+        Array.iter Queue.clear t.queues.(i);
+        (match t.status.(i) with
+        | Waiting_read r -> t.progs.(i) <- Gen.Read r.loc :: t.progs.(i)
+        | Waiting_write _ -> t.progs.(i) <- []
+        | Idle | Waiting_writer _ -> ());
+        t.status.(i) <- Idle;
+        apply_event t (P.Crash { node = i })
+      done
+  | Recover_all ->
+      (* Power returns: every node restarts from whatever its log retained
+         (latest complete checkpoint plus suffix), then synchronises the
+         cluster view as in [Restart_victim]. *)
+      t.recovered_done <- true;
+      for v = 0 to t.scope.nodes - 1 do
+        apply_event t (P.Restart { node = v; now = 1e9; records = List.rev t.wal.(v) })
+      done;
+      for v = 0 to t.scope.nodes - 1 do
+        List.iter
+          (fun (base, epoch, serving) -> apply_event t (P.Learn_view { node = v; base; epoch; serving }))
+          (P.view t.core)
+      done
 
 (* ------------------------------------------------------------------ *)
 (* Verdicts                                                            *)
@@ -472,6 +553,7 @@ let fingerprint t =
       List.init n (fun base -> Node.shadow_entries nd ~base),
       P.suspected_by t.core i,
       P.shadow_pending_list t.core i,
+      (P.checkpoint_round t.core i, P.checkpoint_acks_pending t.core i),
       t.wal.(i),
       t.ops.(i),
       t.progs.(i),
@@ -480,7 +562,14 @@ let fingerprint t =
   let data =
     ( Array.init n per_node,
       Array.init n (fun s -> Array.init n (fun d -> queue_list t.queues.(s).(d))),
-      (t.crashed_done, t.takeover_done, t.restarted, t.drops_left, t.dups_left),
+      ( t.crashed_done,
+        t.takeover_done,
+        t.restarted,
+        t.cp_done,
+        t.outage_done,
+        t.recovered_done,
+        t.drops_left,
+        t.dups_left ),
       P.shadow_seqno t.core,
       t.violation )
   in

@@ -17,6 +17,14 @@
     abandoned; no RPC retries (a dropped request parks its issuer, which
     is still a valid terminal prefix).
 
+    The {!Gen.Power} fault swaps the single-victim schedule for a
+    whole-cluster one: one coordinated checkpoint round may begin at any
+    point, one power failure crashes every node at once after it (clearing
+    all links), and one repowering restarts everyone from whatever each
+    retained log replays.  Client processes survive the outage — a parked
+    read is retried, a parked remote write abandons its program (its
+    certification fate is unknowable).
+
     Verdicts come from three layers: inline invariants checked during
     {!apply} (served-entry monotonicity, reply fencing, per-process read
     causality), the incremental {!Dsm_checker.Online} checker fed as
@@ -32,6 +40,9 @@ type choice =
   | Crash_victim  (** crash the scope's designated victim *)
   | Takeover_tick  (** late heartbeat tick at the victim's backup *)
   | Restart_victim  (** restart the victim from its write-ahead log *)
+  | Begin_cp  (** node 0 initiates one coordinated checkpoint round *)
+  | Power_failure  (** crash every node at once, losing in-flight traffic *)
+  | Recover_all  (** repower: restart every node from its retained log *)
 
 val pp_choice : Format.formatter -> choice -> unit
 

@@ -34,6 +34,7 @@ let () =
       ("workload", Test_workload.suite);
       ("failures", Test_failures.suite);
       ("wal", Test_wal.suite);
+      ("recovery", Test_recovery.suite);
       ("detector", Test_detector.suite);
       ("failover", Test_failover.suite);
       ("chaos", Test_chaos.suite);

@@ -360,11 +360,30 @@ let test_owner_restart_replays_wal () =
 
 let test_crash_validation () =
   let _, _, c = cacheonly_setup () in
-  Alcotest.check_raises "restart up node" (Invalid_argument "Cluster.restart: node 2 is not crashed")
-    (fun () -> Cluster.restart c 2);
+  (* The raising wrappers carry the typed error, not a stringly one. *)
+  Alcotest.check_raises "restart up node"
+    (Cluster.Node_state (Cluster.Not_crashed 2)) (fun () -> Cluster.restart c 2);
   Cluster.crash c 2;
-  Alcotest.check_raises "double crash" (Invalid_argument "Cluster.crash: node 2 already down")
-    (fun () -> Cluster.crash c 2)
+  Alcotest.check_raises "double crash"
+    (Cluster.Node_state (Cluster.Already_crashed 2)) (fun () -> Cluster.crash c 2)
+
+let test_crash_validation_result () =
+  let _, _, c = cacheonly_setup () in
+  (* The [result] API reports the same states without raising. *)
+  (match Cluster.restart_result c 2 with
+  | Error (Cluster.Not_crashed 2) -> ()
+  | _ -> Alcotest.fail "restart of an up node must report Not_crashed");
+  (match Cluster.crash_result c 2 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "first crash must succeed");
+  (match Cluster.crash_result c 2 with
+  | Error (Cluster.Already_crashed 2) -> ()
+  | _ -> Alcotest.fail "double crash must report Already_crashed");
+  (match Cluster.restart_result c 2 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "restart of a crashed node must succeed");
+  Alcotest.(check string) "errors render for operators" "node 2 is not crashed"
+    (Format.asprintf "%a" Cluster.pp_node_state_error (Cluster.Not_crashed 2))
 
 let suite =
   [
@@ -390,4 +409,5 @@ let suite =
     Alcotest.test_case "causal across restart" `Quick test_restart_continues_causally_correct;
     Alcotest.test_case "owner restart replays wal" `Quick test_owner_restart_replays_wal;
     Alcotest.test_case "crash validation" `Quick test_crash_validation;
+    Alcotest.test_case "crash validation (result)" `Quick test_crash_validation_result;
   ]

@@ -102,10 +102,18 @@ let test_golden_owner_crash =
 let test_golden_failover =
   golden_scenario ~scenario:"failover" ~file:"failover.trace.jsonl"
 
+(* traces/power_failure.trace.jsonl covers whole-cluster power loss and
+   recovery: the coordinated checkpoint's recovery_line milestone, all four
+   crashes at once, and every node's restart from its log.  Regenerate with
+   [dsm trace power-failure --milestones]. *)
+let test_golden_power_failure =
+  golden_scenario ~scenario:"power-failure" ~file:"power_failure.trace.jsonl"
+
 let suite =
   [
     Alcotest.test_case "corpus verdicts" `Quick test_corpus;
     Alcotest.test_case "corpus coverage" `Quick test_corpus_complete;
     Alcotest.test_case "golden owner-crash trace" `Quick test_golden_owner_crash;
     Alcotest.test_case "golden failover trace" `Quick test_golden_failover;
+    Alcotest.test_case "golden power-failure trace" `Quick test_golden_power_failure;
   ]

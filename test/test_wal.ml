@@ -50,22 +50,96 @@ let snap ?(served = []) ?(shadows = []) () =
     snap_shadows = shadows;
   }
 
-let test_checkpoint_truncates () =
+let test_checkpoint_and_compact () =
   let disk = Wal.Disk.create () in
   let log = Wal.attach disk ~node:0 in
   for k = 1 to 4 do
     Wal.append log (write 0 k)
   done;
+  (* A checkpoint only appends a snapshot; truncation is [compact]'s job. *)
   Wal.checkpoint log (snap ~served:[ (v 0, entry 4) ] ());
+  Alcotest.(check int) "checkpoint appends, nothing dropped yet" 5 (Wal.length log);
+  Alcotest.(check int) "one checkpoint" 1 (Wal.checkpoints log);
+  Alcotest.(check int) "four dropped" 4 (Wal.compact log);
   Alcotest.(check int) "log is one snapshot" 1 (Wal.length log);
   Alcotest.(check int) "four truncated" 4 (Wal.truncated log);
-  Alcotest.(check int) "one checkpoint" 1 (Wal.checkpoints log);
+  Alcotest.(check int) "one compaction" 1 (Wal.compactions log);
+  Alcotest.(check int) "re-compaction is a no-op" 0 (Wal.compact log);
+  Alcotest.(check int) "no-op compactions not counted" 1 (Wal.compactions log);
   Wal.append log (write 0 5);
   (match Wal.replay log with
   | [ Wal.Checkpoint s; Wal.Write _ ] ->
       Alcotest.(check int) "snapshot carries served entries" 1 (List.length s.Wal.snap_served)
   | _ -> Alcotest.fail "expected checkpoint then the fresh write");
   Alcotest.(check int) "appends exclude checkpoints" 5 (Wal.appends log)
+
+(* Satellite regression: replay consumes the snapshot plus only the suffix
+   behind it, so recovery work is bounded by records-since-checkpoint even
+   when compaction never ran and the physical log keeps growing. *)
+let test_replay_bounded_by_checkpoint () =
+  let disk = Wal.Disk.create () in
+  let log = Wal.attach disk ~node:0 in
+  for k = 1 to 100 do
+    Wal.append log (write 0 k)
+  done;
+  Wal.checkpoint log (snap ());
+  for k = 1 to 3 do
+    Wal.append log (write 1 k)
+  done;
+  Alcotest.(check int) "full log retained (no compaction ran)" 104 (Wal.length log);
+  Alcotest.(check int) "records since checkpoint" 3 (Wal.records_since_checkpoint log);
+  match Wal.replay log with
+  | Wal.Checkpoint _ :: rest ->
+      Alcotest.(check int) "replay = snapshot + bounded suffix" 3 (List.length rest)
+  | _ -> Alcotest.fail "replay must start at the anchor checkpoint"
+
+(* A torn snapshot is physically present but invalid: recovery must anchor
+   at the previous complete checkpoint, skip the torn record, and keep
+   every append around it — no data loss. *)
+let test_torn_checkpoint_falls_back () =
+  let disk = Wal.Disk.create () in
+  let log = Wal.attach disk ~node:0 in
+  Wal.append log (write 0 1);
+  Wal.checkpoint log (snap ~served:[ (v 0, entry 1) ] ());
+  Wal.append log (write 0 2);
+  (* The second snapshot tears; the writer believes it succeeded. *)
+  Wal.Disk.tear_next_checkpoints disk 1;
+  Wal.checkpoint log (snap ~served:[ (v 0, entry ~count:2 2) ] ());
+  Wal.append log (write 0 3);
+  Alcotest.(check int) "both checkpoints written" 2 (Wal.checkpoints log);
+  Alcotest.(check int) "one tore" 1 (Wal.torn_checkpoints log);
+  Alcotest.(check int) "suffix measured from the good anchor" 3
+    (Wal.records_since_checkpoint log);
+  (match Wal.replay log with
+  | [ Wal.Checkpoint s; Wal.Write _; Wal.Write _ ] ->
+      (match s.Wal.snap_served with
+      | [ (_, e) ] ->
+          Alcotest.(check bool) "the complete snapshot, not the torn one" true
+            (e.Stamped.value = Value.Int 1)
+      | _ -> Alcotest.fail "unexpected snapshot contents")
+  | _ -> Alcotest.fail "replay must fall back to the complete checkpoint");
+  (* Compaction must never cut past the complete anchor: only the prefix
+     older than it goes, the torn record and the appends stay. *)
+  Alcotest.(check int) "only the pre-anchor prefix dropped" 1 (Wal.compact log);
+  Alcotest.(check int) "torn record and suffix retained" 4 (Wal.length log);
+  Alcotest.(check int) "replay unchanged after compaction" 3
+    (List.length (Wal.replay log))
+
+(* Pins the retention cut [compact ?extra] models: [extra = 1] is exactly
+   the [Truncate_wal_early] off-by-one — it drops the anchor checkpoint
+   itself and replay loses the snapshotted state. *)
+let test_compact_extra_cuts_anchor () =
+  let disk = Wal.Disk.create () in
+  let log = Wal.attach disk ~node:0 in
+  Alcotest.(check int) "nothing to compact without an anchor" 0 (Wal.compact log);
+  Alcotest.check_raises "negative extra"
+    (Invalid_argument "Wal.compact: extra must be >= 0") (fun () ->
+      ignore (Wal.compact ~extra:(-1) log));
+  Wal.append log (write 0 1);
+  Wal.checkpoint log (snap ~served:[ (v 0, entry 1) ] ());
+  Alcotest.(check int) "the faulty cut drops the anchor too" 2
+    (Wal.compact ~extra:1 log);
+  Alcotest.(check int) "replay lost the snapshot" 0 (List.length (Wal.replay log))
 
 let test_append_rejects_checkpoint_record () =
   let disk = Wal.Disk.create () in
@@ -100,7 +174,10 @@ let suite =
   [
     Alcotest.test_case "append/replay order" `Quick test_append_replay_order;
     Alcotest.test_case "logs are per node" `Quick test_logs_are_per_node;
-    Alcotest.test_case "checkpoint truncates" `Quick test_checkpoint_truncates;
+    Alcotest.test_case "checkpoint and compact" `Quick test_checkpoint_and_compact;
+    Alcotest.test_case "replay bounded by checkpoint" `Quick test_replay_bounded_by_checkpoint;
+    Alcotest.test_case "torn checkpoint falls back" `Quick test_torn_checkpoint_falls_back;
+    Alcotest.test_case "compact extra cuts anchor" `Quick test_compact_extra_cuts_anchor;
     Alcotest.test_case "append rejects checkpoint" `Quick test_append_rejects_checkpoint_record;
     Alcotest.test_case "sync fault loses append" `Quick test_sync_fault_loses_append;
   ]
