@@ -358,23 +358,31 @@ let chaos_cmd =
 let bench_cmd =
   let module Bench = Dsm_apps.Bench in
   let module Recovery = Dsm_apps.Recovery_bench in
+  let module Partition = Dsm_apps.Partition_bench in
   let which =
     Arg.(value
-         & pos 0 (enum [ ("transport", `Transport); ("recovery", `Recovery) ]) `Transport
+         & pos 0
+             (enum
+                [ ("transport", `Transport); ("recovery", `Recovery); ("partition", `Partition) ])
+             `Transport
          & info [] ~docv:"BENCH"
-             ~doc:"Which benchmark to run: transport (batching on vs off) or recovery \
-                   (whole-cluster restart replay with vs without checkpointing).")
+             ~doc:"Which benchmark to run: transport (batching on vs off), recovery \
+                   (whole-cluster restart replay with vs without checkpointing), or \
+                   partition (majority-side availability through a quorum-fenced \
+                   partition window).")
   in
   let quick =
     Arg.(value & flag
          & info [ "quick" ]
-             ~doc:"Smaller grid: 3 seeds instead of 10 (transport), or a 2-point size \
-                   grid with 10 power cycles (recovery).  The CI bench jobs use this.")
+             ~doc:"Smaller grid: 3 seeds instead of 10 (transport, partition), or a \
+                   2-point size grid with 10 power cycles (recovery).  The CI bench \
+                   jobs use this.")
   in
   let seeds =
     Arg.(value & opt (some (list int)) None
          & info [ "seeds" ] ~docv:"S1,S2,..."
-             ~doc:"Explicit seed list; overrides the quick/full default (transport only).")
+             ~doc:"Explicit seed list; overrides the quick/full default (transport and \
+                   partition only).")
   in
   let out =
     Arg.(value & opt (some string) None
@@ -411,6 +419,14 @@ let bench_cmd =
         (* Fail loudly if checkpointing did not bound recovery work, or a
            cell left a process blocked. *)
         if Recovery.healthy r then exit 0 else exit 1
+    | `Partition ->
+        let seeds = Option.map (List.map Int64.of_int) seeds in
+        let r = Partition.run ~quick ?seeds () in
+        Format.printf "%a" Partition.pp r;
+        write_json out ~default:"BENCH_partition.json" (Partition.to_json r);
+        (* The acceptance gate: every run healthy and the majority side at
+           >= 90% availability inside the window. *)
+        if Partition.healthy r then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "bench"

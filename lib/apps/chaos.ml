@@ -564,6 +564,148 @@ let power_failure ?(knobs = default_knobs) ?(seed = 6L) ?(clients = 4)
   in
   build_report ~scenario:"power-failure" ~sched ~engine ~crashes:!crashes ~notes ?online c
 
+(* {1 Scenarios: network partition and split-brain prevention}
+
+   A nemesis cuts the cluster into a minority and a majority mid-workload
+   and heals it later.  Three phases of client traffic bracket the cut:
+   phase 1 runs on the whole cluster, phase 2 runs inside the partition
+   window (after the majority's takeover has propagated), phase 3 runs
+   after the heal.  During the window, minority owners observe quorum
+   loss and degrade to read-only — their clients' local writes are
+   refused ([Timed_out] with zero attempts) while their reads still serve
+   the Definition-2-safe local copies; the majority elects a replacement
+   for every cut-off base whose ring-successor backup it holds, and its
+   clients fail over to the new server via the takeover gossip.  On heal,
+   the deposed owners demote and ship their served entries to the new
+   servers (FRONTIER reconciliation), and the final phase must still form
+   one causally correct history — the proof that no split-brain write was
+   double-certified.
+
+   [partition] isolates a single owner (its base is taken over);
+   [split_brain] cuts off an owner {e together with} its designated
+   backup, so that base stays unavailable-but-consistent while the
+   backup's own base is taken over from the majority side instead. *)
+
+let partition_scenario ~scenario ~minority ?(knobs = default_knobs) ?(seed = 7L)
+    ?(processes = 5) ?(ops_per_phase = 3) () =
+  if processes < 3 then invalid_arg (Printf.sprintf "Chaos.%s: processes must be >= 3" scenario);
+  let knobs =
+    match knobs.detector with
+    | Some _ -> knobs
+    | None -> { knobs with detector = Some failover_detector }
+  in
+  let all_bases = List.init processes Fun.id in
+  let majority = List.filter (fun n -> not (List.mem n minority)) all_bases in
+  if List.length majority <= processes / 2 then
+    invalid_arg (Printf.sprintf "Chaos.%s: majority must hold a quorum" scenario);
+  (* Bases the majority can actually take over: served from the minority,
+     ring-successor backup on the majority side. *)
+  let contested =
+    List.filter (fun b -> List.mem ((b + 1) mod processes) majority) minority
+  in
+  let cut_at = 10.0 and heal_at = 50.0 in
+  let p2_start = 35.0 and p3_start = 60.0 in
+  let engine = Engine.create () in
+  let sched = Proc.scheduler engine in
+  let owner = Owner.by_index ~nodes:processes in
+  let c, online = make_cluster ~knobs ~seed ~owner sched in
+  let nem =
+    Nemesis.schedule engine c
+      (Nemesis.partition_window ~from_:cut_at ~until:heal_at ~a:minority ~b:majority)
+  in
+  let master = Prng.create seed in
+  let refused = ref 0 and window_ok = ref 0 in
+  (* Per-side phase-2 availability: every operation attempted inside the
+     partition window, by the side that attempted it.  The partition bench
+     aggregates these into its availability headline — the majority side
+     must keep serving through the cut. *)
+  let maj_attempts = ref 0 and maj_ok = ref 0 in
+  let min_attempts = ref 0 and min_ok = ref 0 in
+  for pid = 0 to processes - 1 do
+    let prng = Prng.split master in
+    let h = Causal.handle c pid in
+    let cut_off = List.mem pid minority in
+    let pick bases = List.nth bases (Prng.int prng (List.length bases)) in
+    let base_loc ~k base = Workload.loc (base + (processes * (k mod 2))) in
+    let value phase k = Value.Int ((pid * 1_000_000) + (phase * 1_000) + k) in
+    let do_op ~phase ~k ~write_bases ~read_bases =
+      let record ok =
+        if phase = 2 then begin
+          let attempts, oks =
+            if cut_off then (min_attempts, min_ok) else (maj_attempts, maj_ok)
+          in
+          incr attempts;
+          if ok then incr oks
+        end
+      in
+      if Prng.chance prng 0.5 then begin
+        match Causal.write_result h (base_loc ~k (pick write_bases)) (value phase k) with
+        | Ok _ ->
+            record true;
+            if phase = 2 then incr window_ok
+        | Error _ ->
+            record false;
+            incr refused
+      end
+      else
+        match Causal.read_result h (base_loc ~k (pick read_bases)) with
+        | Ok _ -> record true
+        | Error _ -> record false
+    in
+    let sleep_until at = Proc.sleep (Float.max 0.0 (at -. Engine.now engine)) in
+    ignore
+      (Proc.spawn sched
+         ~name:(Printf.sprintf "client%d" pid)
+         (fun () ->
+           for k = 1 to ops_per_phase do
+             do_op ~phase:1 ~k ~write_bases:all_bases ~read_bases:all_bases;
+             Proc.sleep 1.0
+           done;
+           sleep_until p2_start;
+           for k = 1 to ops_per_phase do
+             (* Same-side traffic only: a minority client's writes to its
+                own degraded owner are refused on the spot, while the
+                majority exercises the freshly elected servers.  Cross-side
+                requests would just park in the frozen links until the
+                heal. *)
+             if cut_off then
+               do_op ~phase:2 ~k ~write_bases:[ pid ] ~read_bases:minority
+             else do_op ~phase:2 ~k ~write_bases:(contested @ majority) ~read_bases:(contested @ majority);
+             Proc.sleep 1.0
+           done;
+           sleep_until p3_start;
+           for k = 1 to ops_per_phase do
+             do_op ~phase:3 ~k ~write_bases:all_bases ~read_bases:all_bases;
+             Proc.sleep 1.0
+           done))
+  done;
+  let failures = run_to_quiescence engine sched in
+  let notes =
+    ("contested", String.concat "," (List.map string_of_int contested))
+    :: ("refused_writes", string_of_int !refused)
+    :: ("window_writes_ok", string_of_int !window_ok)
+    :: ("window_majority_ok", string_of_int !maj_ok)
+    :: ("window_majority_attempts", string_of_int !maj_attempts)
+    :: ("window_minority_ok", string_of_int !min_ok)
+    :: ("window_minority_attempts", string_of_int !min_attempts)
+    :: ("partition_heals", string_of_int (Causal.partition_heals c))
+    :: ("votes_granted", string_of_int (Causal.votes_granted c))
+    :: ("degraded_refusals", string_of_int (Causal.degraded_refusals c))
+    :: ("resyncs", string_of_int (Causal.resyncs c))
+    :: ("quorum", string_of_int (Causal.quorum c))
+    :: Nemesis.notes nem
+    @ List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures
+  in
+  build_report ~scenario ~sched ~engine ~crashes:(Nemesis.crashes nem) ~notes ?online c
+
+let partition ?knobs ?seed ?processes ?ops_per_phase () =
+  partition_scenario ~scenario:"partition" ~minority:[ 0 ] ?knobs ?seed ?processes
+    ?ops_per_phase ()
+
+let split_brain ?knobs ?seed ?processes ?ops_per_phase () =
+  partition_scenario ~scenario:"split-brain" ~minority:[ 0; 1 ] ?knobs ?seed ?processes
+    ?ops_per_phase ()
+
 let scenarios =
   [
     "mix";
@@ -573,6 +715,8 @@ let scenarios =
     "owner-crash";
     "failover";
     "power-failure";
+    "partition";
+    "split-brain";
   ]
 
 let run ?knobs ?seed name =
@@ -584,6 +728,8 @@ let run ?knobs ?seed name =
   | "owner-crash" -> owner_crash ?knobs ?seed ()
   | "failover" -> failover ?knobs ?seed ()
   | "power-failure" -> power_failure ?knobs ?seed ()
+  | "partition" -> partition ?knobs ?seed ()
+  | "split-brain" -> split_brain ?knobs ?seed ()
   | other ->
       invalid_arg
         (Printf.sprintf "Chaos.run: unknown scenario %s (expected one of %s)" other

@@ -142,6 +142,32 @@ val power_failure :
     is {!Dsm_apps.Recovery_bench}'s job, keeping this report bit-identical
     per seed. *)
 
+val partition :
+  ?knobs:knobs -> ?seed:int64 -> ?processes:int -> ?ops_per_phase:int -> unit -> report
+(** Symmetric network partition isolating one serving owner (node 0) from
+    the other [processes - 1] nodes, driven by a {!Nemesis} plan: cut at
+    t=10, heal at t=50, with client phases before, inside and after the
+    window.  During the cut the isolated owner observes quorum loss and
+    degrades — its client's local writes are refused while its reads keep
+    serving — and the majority collects OWNER_VOTEs and promotes the
+    designated backup over the victim's base; after the heal the deposed
+    owner is demoted by gossip and reconciles via FRONTIER.  Notes record
+    ["refused_writes"], ["partition_heals"], ["votes_granted"],
+    ["resyncs"] and the nemesis log.  Requires [processes >= 3]. *)
+
+val split_brain :
+  ?knobs:knobs -> ?seed:int64 -> ?processes:int -> ?ops_per_phase:int -> unit -> report
+(** The adversarial variant of {!partition}: the cut takes {e both} node 0
+    and node 1 — a serving owner together with its designated backup — to
+    the minority side.  Base 0 can never be taken over (its only backup is
+    cut off too), so it stays unavailable-but-consistent; base 1's backup
+    (node 2) sits on the majority side and deposes the still-live node 1,
+    which must have degraded on quorum loss for the combined history to
+    stay causally correct — the split-brain the quorum canvass exists to
+    prevent.  Both minority owners degrade and both un-degrade on heal
+    (["partition_heals"] >= 2; loss-induced transient degrades on the
+    majority side can add more). *)
+
 val scenarios : string list
 (** Names accepted by {!run}, in presentation order. *)
 

@@ -420,6 +420,17 @@ let set_link_down t ~src ~dst down =
 let set_link_fault t ~src ~dst fault =
   on_net t { on = (fun n -> Network.set_link_fault n ~src ~dst fault) }
 
+(* Partition controls: plain link-state changes on whichever network backs
+   the transport.  Healing goes through the network's heal hooks, so on a
+   framed transport every revived link is resynchronised automatically. *)
+let partition t ga gb = on_net t { on = (fun n -> Network.partition n ga gb) }
+
+let partition_oneway t ga gb = on_net t { on = (fun n -> Network.partition_oneway n ga gb) }
+
+let heal_partition t ga gb = on_net t { on = (fun n -> Network.heal_partition n ga gb) }
+
+let heal_all_links t = on_net t { on = (fun n -> Network.heal_all n) }
+
 let retransmissions t =
   match t.transport with Direct _ -> 0 | Framed r -> Reliable.retransmissions r
 
@@ -468,6 +479,18 @@ let begin_checkpoint t pid = dispatch t (Protocol.Begin_checkpoint { node = pid 
 let recovery_lines t = Protocol.checkpoint_rounds_completed t.core
 
 let checkpoint_round t pid = Protocol.checkpoint_round t.core pid
+
+let partition_degraded t pid = Protocol.partition_degraded t.core pid
+
+let partition_heals t = Protocol.partition_heals t.core
+
+let votes_granted t = Protocol.votes_granted t.core
+
+let degraded_refusals t = Protocol.degraded_refusals t.core
+
+let quorum t = Protocol.quorum t.core
+
+let resyncs t = match t.transport with Direct _ -> 0 | Framed r -> Reliable.resyncs r
 
 let suspect_events t = Protocol.suspect_events t.core
 
@@ -720,6 +743,13 @@ let write_resolved h loc value =
   let start_time = sim_now t in
   if Node.owns node loc then begin
     let me = Node.id node in
+    (* A partition-degraded owner (quorum contact lost) refuses writes
+       locally for the same reason it silently drops remote [WRITE]s:
+       accepting one could diverge from a majority-side takeover.  Reads
+       stay available — they return acknowledged values, safe under
+       Definition 2. *)
+    if Protocol.partition_degraded t.core me then
+      raise (Timed_out { op = `Write; loc; requester = me; owner_node = me; attempts = 0 });
     (* The owner-write path runs through the core (certify, log, shadow);
        this process blocks on [ivar] until the designated backup has the
        entry or the grace timer degrades.  When the core completes the

@@ -154,6 +154,28 @@ val set_link_down : t -> src:int -> dst:int -> bool -> unit
 
 val set_link_fault : t -> src:int -> dst:int -> Dsm_net.Network.fault -> unit
 
+(** {2 Partitions}
+
+    Link-state wrappers over {!Dsm_net.Network.partition} and friends,
+    working on whichever network backs the transport.  Healing fires the
+    network's heal hooks, so on a reliable (framed) transport every revived
+    link is resynchronised automatically ({!Dsm_net.Reliable.resync_link})
+    — including links where {e both} directions had given up. *)
+
+val partition : t -> int list -> int list -> unit
+(** Symmetric partition: fail every link between the two groups, both
+    directions. *)
+
+val partition_oneway : t -> int list -> int list -> unit
+(** Asymmetric partition: fail only the links {e from} the first group
+    {e to} the second; replies still flow the other way. *)
+
+val heal_partition : t -> int list -> int list -> unit
+(** Restore every link between the two groups, both directions. *)
+
+val heal_all_links : t -> unit
+(** Restore every downed link in the cluster. *)
+
 val retransmissions : t -> int
 (** Data packets re-sent by the reliable layer; [0] for a direct cluster. *)
 
@@ -246,6 +268,32 @@ val redirects : t -> int
 val wal_sync_failures : t -> int
 (** Log appends/checkpoints whose injected sync fault fired; the entry
     stayed volatile until the next successful checkpoint. *)
+
+val partition_degraded : t -> int -> bool
+(** Whether node [pid] is currently in read-only degraded mode: it serves
+    locations but can reach fewer than {!quorum} nodes, so it refuses
+    writes (local writes raise {!Timed_out} with [attempts = 0]; remote
+    [WRITE]s are silently dropped) while still serving reads. *)
+
+val partition_heals : t -> int
+(** Times a degraded node regained quorum contact and resumed serving
+    writes (the [Partition_healed] trace milestone). *)
+
+val votes_granted : t -> int
+(** [OWNER_VOTE] grants sent cluster-wide — the currency of quorum-gated
+    takeover. *)
+
+val degraded_refusals : t -> int
+(** Remote write requests silently refused by partition-degraded owners
+    (the requester's RPC times out). *)
+
+val quorum : t -> int
+(** ⌊n/2⌋+1: the grants a takeover needs and the reachability an owner
+    needs to keep accepting writes. *)
+
+val resyncs : t -> int
+(** Heal-time link resynchronisations performed by the reliable transport;
+    [0] for a direct cluster. *)
 
 val suspect_events : t -> int
 (** Suspicion transitions across all detectors ([0] without [?detector]). *)

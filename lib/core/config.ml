@@ -12,6 +12,7 @@ type mutation =
   | Ignore_epoch_fence
   | Skip_shadow_replication
   | Truncate_wal_early
+  | Takeover_without_quorum
 
 let mutations =
   [
@@ -21,6 +22,7 @@ let mutations =
     ("ignore-epoch-fence", Ignore_epoch_fence);
     ("skip-shadow-replication", Skip_shadow_replication);
     ("truncate-wal-early", Truncate_wal_early);
+    ("takeover-without-quorum", Takeover_without_quorum);
   ]
 
 let mutation_name = function

@@ -54,6 +54,10 @@ type mutation =
           boundary (an off-by-one in the retention cut): recovery silently
           loses one durable record, so a post-rollback read can contradict
           an acknowledged write *)
+  | Takeover_without_quorum
+      (** a suspecting backup promotes itself immediately, skipping the
+          ⌊n/2⌋+1 OWNER_VOTE round: a network partition yields two
+          simultaneous owners for the same base (split-brain) *)
 
 val mutations : (string * mutation) list
 (** CLI names for every breaking variant (excludes [No_mutation]). *)

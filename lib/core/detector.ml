@@ -61,6 +61,9 @@ let reset t ~now =
   Array.fill t.last_heard 0 (Array.length t.last_heard) now;
   Array.fill t.is_suspected 0 (Array.length t.is_suspected) false
 
+let stale t ~peer ~now =
+  t.is_suspected.(peer) || now -. t.last_heard.(peer) > silence_limit t
+
 let suspected t peer = t.is_suspected.(peer)
 
 let suspected_now t =

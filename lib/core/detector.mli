@@ -43,6 +43,14 @@ val tick : t -> now:float -> int list
 (** Re-evaluate all peers at [now]; returns the peers that just became
     suspected (ascending), each counted once until unsuspected again. *)
 
+val stale : t -> peer:int -> now:float -> bool
+(** [peer] is suspected, or has been silent at this node for longer than
+    the suspicion window as of [now] — even if no {!tick} has run to
+    promote that silence into a suspicion.  This is the check-quorum test
+    an OWNER_VOTE voter applies to the incumbent server: granting a vote
+    against a server the voter itself heard from recently would let one
+    node's transient false suspicion depose a perfectly healthy owner. *)
+
 val suspected : t -> int -> bool
 
 val suspected_now : t -> int list

@@ -64,6 +64,15 @@ type t =
   | Shadow_read_reply of { req : int; loc : Dsm_memory.Loc.t; entry : Stamped.t }
   | Takeover of { base : int; epoch : int; serving : int }
       (** broadcast by a backup promoting itself over [base]'s locations *)
+  | Vote_req of { base : int; epoch : int; candidate : int }
+      (** a suspecting backup canvassing for takeover of [base] under
+          [epoch]; promotion requires ⌊n/2⌋+1 grants including its own *)
+  | Vote_grant of { base : int; epoch : int; candidate : int }
+      (** OWNER_VOTE: the sender promises not to grant [base] at [epoch]
+          (or below) to any other candidate *)
+  | Frontier of { base : int; epoch : int; entries : (Dsm_memory.Loc.t * Stamped.t) list }
+      (** reconciliation on heal: a demoted server ships its served entries
+          for [base] to the new owner, which merges newest-wins *)
   | Cp_marker of { round : int; initiator : int }
       (** coordinated-checkpoint marker: take a checkpoint for [round]
           before processing anything that arrives after this message *)
@@ -82,6 +91,9 @@ let kind = function
   | Shadow_read_req _ -> "SH_READ"
   | Shadow_read_reply _ -> "SH_REPLY"
   | Takeover _ -> "TAKEOVER"
+  | Vote_req _ -> "VOTE_REQ"
+  | Vote_grant _ -> "OWNER_VOTE"
+  | Frontier _ -> "FRONTIER"
   | Cp_marker _ -> "CP_MARK"
   | Cp_ack _ -> "CP_ACK"
 
@@ -109,5 +121,11 @@ let pp ppf t =
       Format.fprintf ppf "SH_REPLY#%d(%a=%a)" req Dsm_memory.Loc.pp loc Stamped.pp entry
   | Takeover { base; epoch; serving } ->
       Format.fprintf ppf "TAKEOVER(base %d -> e%d@%d)" base epoch serving
+  | Vote_req { base; epoch; candidate } ->
+      Format.fprintf ppf "VOTE_REQ(base %d e%d for %d)" base epoch candidate
+  | Vote_grant { base; epoch; candidate } ->
+      Format.fprintf ppf "OWNER_VOTE(base %d e%d for %d)" base epoch candidate
+  | Frontier { base; epoch; entries } ->
+      Format.fprintf ppf "FRONTIER(base %d e%d,+%d)" base epoch (List.length entries)
   | Cp_marker { round; initiator } -> Format.fprintf ppf "CP_MARK(r%d from %d)" round initiator
   | Cp_ack { round } -> Format.fprintf ppf "CP_ACK(r%d)" round

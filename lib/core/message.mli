@@ -64,6 +64,15 @@ type t =
   | Shadow_read_req of { req : int; loc : Dsm_memory.Loc.t }
   | Shadow_read_reply of { req : int; loc : Dsm_memory.Loc.t; entry : Stamped.t }
   | Takeover of { base : int; epoch : int; serving : int }
+  | Vote_req of { base : int; epoch : int; candidate : int }
+      (** a suspecting backup canvassing for takeover of [base] under
+          [epoch]; promotion requires ⌊n/2⌋+1 grants including its own *)
+  | Vote_grant of { base : int; epoch : int; candidate : int }
+      (** OWNER_VOTE: the sender promises not to grant [base] at [epoch]
+          (or below) to any other candidate *)
+  | Frontier of { base : int; epoch : int; entries : (Dsm_memory.Loc.t * Stamped.t) list }
+      (** reconciliation on heal: a demoted server ships its served entries
+          for [base] to the new owner, which merges newest-wins *)
   | Cp_marker of { round : int; initiator : int }
       (** coordinated-checkpoint marker (see PROTOCOL.md, "Checkpointing &
           recovery"): the receiver checkpoints for [round] before processing
@@ -75,6 +84,7 @@ type t =
 val kind : t -> string
 (** Counter bucket: ["READ"], ["R_REPLY"], ["WRITE"], ["W_REPLY"],
     ["STALE"], ["HB"], ["SHADOW"], ["SH_ACK"], ["SH_READ"], ["SH_REPLY"],
-    ["TAKEOVER"], ["CP_MARK"] or ["CP_ACK"]. *)
+    ["TAKEOVER"], ["VOTE_REQ"], ["OWNER_VOTE"], ["FRONTIER"], ["CP_MARK"]
+    or ["CP_ACK"]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -458,6 +458,29 @@ let promote t ~base ~epoch =
   invalidate_older t t.clock;
   served_entries t ~base
 
+(* Reconciliation on partition heal: merge one entry a demoted server
+   shipped (FRONTIER) into served memory, newest-wins — the same rule
+   {!promote} applies to inherited shadow copies.  The clock merge happens
+   whether or not the copy wins, so the server's causal history covers
+   everything the minority side certified before demotion. *)
+let reconcile_served t loc (entry : Stamped.t) =
+  if not (owns t loc) then false
+  else begin
+    let install =
+      match Loc.Table.find_opt t.memory loc with
+      | Some slot -> Vclock.lt slot.entry.Stamped.stamp entry.Stamped.stamp
+      | None -> true
+    in
+    t.clock <- Vclock.update t.clock entry.Stamped.stamp;
+    if install then begin
+      store t loc entry;
+      digest_observe t loc entry;
+      trace t (Trace.Apply { node = t.id; loc; wid = entry.Stamped.wid });
+      invalidate_older t entry.Stamped.stamp
+    end;
+    install
+  end
+
 (* {1 Durable-log integration} *)
 
 let snapshot t =

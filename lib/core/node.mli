@@ -201,6 +201,13 @@ val shadow_size : t -> base:int -> int
 val served_entries : t -> base:int -> (Dsm_memory.Loc.t * Stamped.t) list
 (** The entries this node currently serves whose base owner is [base]. *)
 
+val reconcile_served : t -> Dsm_memory.Loc.t -> Stamped.t -> bool
+(** Merge one entry shipped by a demoted server (a [FRONTIER] message on
+    partition heal) into served memory, newest-wins — the rule {!promote}
+    applies to inherited shadows.  The entry's stamp is merged into the
+    clock either way; returns whether the shipped copy won.  [false]
+    without side effects when this node does not serve the location. *)
+
 val snapshot : t -> Log_record.snapshot
 (** Full durable state for a checkpoint: clock, view, every served entry,
     every shadow. *)

@@ -25,6 +25,10 @@ type action =
   | Take_checkpoint of { node : int; round : int }
   | Emit of Trace.body
 
+(* A backup canvassing for takeover of one base: the epoch it is asking
+   for and the peers (itself included) that granted an OWNER_VOTE. *)
+type candidacy = { cand_epoch : int; mutable grants : int list }
+
 type state = {
   nodes : Node.t array;
   owner : Owner.t;
@@ -36,6 +40,16 @@ type state = {
   mutable dropped_at_crashed : int;
   mutable takeovers : int;
   mutable shadow_degraded : int;
+  (* Quorum-gated takeover: per node, the open canvasses (base -> candidacy)
+     and the vote promises made to other candidates (base -> epoch,
+     candidate); [degraded] marks owners that lost majority contact and
+     serve read-only until the partition heals. *)
+  candidacies : (int, candidacy) Hashtbl.t array;
+  promises : (int, int * int) Hashtbl.t array;
+  degraded : bool array;
+  mutable votes_granted : int;
+  mutable degraded_refusals : int;
+  mutable partition_heals : int;
   (* Coordinated checkpoints: the highest round each node has snapshotted,
      and (at initiators) the outstanding ack counts per open round. *)
   cp_round : int array;
@@ -66,6 +80,12 @@ let create ~owner ~config ?detector ~now () =
     dropped_at_crashed = 0;
     takeovers = 0;
     shadow_degraded = 0;
+    candidacies = Array.init processes (fun _ -> Hashtbl.create 2);
+    promises = Array.init processes (fun _ -> Hashtbl.create 2);
+    degraded = Array.make processes false;
+    votes_granted = 0;
+    degraded_refusals = 0;
+    partition_heals = 0;
     cp_round = Array.make processes 0;
     cp_acks = Array.init processes (fun _ -> Hashtbl.create 4);
     cp_seq = 0;
@@ -81,6 +101,8 @@ let node t pid = t.nodes.(pid)
 let is_crashed t pid = t.crashed.(pid)
 
 let failover_on t = t.detectors <> None
+
+let quorum t = (Array.length t.nodes / 2) + 1
 
 let suspected t ~me ~peer =
   match t.detectors with Some dets -> Detector.suspected dets.(me) peer | None -> false
@@ -128,6 +150,25 @@ let unsuspect_events t =
 let suspected_by t pid =
   match t.detectors with None -> [] | Some dets -> Detector.suspected_now dets.(pid)
 
+let partition_degraded t pid = t.degraded.(pid)
+
+let votes_granted t = t.votes_granted
+
+let degraded_refusals t = t.degraded_refusals
+
+let partition_heals t = t.partition_heals
+
+let candidacies t pid =
+  Hashtbl.fold
+    (fun base c acc -> (base, c.cand_epoch, List.sort compare c.grants) :: acc)
+    t.candidacies.(pid) []
+  |> List.sort compare
+
+let vote_promises t pid =
+  Hashtbl.fold (fun base (epoch, candidate) acc -> (base, epoch, candidate) :: acc)
+    t.promises.(pid) []
+  |> List.sort compare
+
 let shadow_pending_list t pid =
   Hashtbl.fold (fun seq wait acc -> (seq, wait) :: acc) t.shadow_pending.(pid) []
   |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
@@ -172,22 +213,65 @@ let append t acc me record =
   emitq t acc (Trace.Wal_append { node = me; kind = Log_record.kind record })
 
 (* Any delivery is proof of life: protocol traffic unsuspects a peer just
-   as heartbeats do. *)
+   as heartbeats do.  An unsuspect edge also settles partition state: open
+   canvasses against the revived node are abandoned, and a degraded owner
+   that regains quorum contact resumes normal service. *)
 let heard t acc ~me ~src ~now =
   match t.detectors with
   | Some dets when src <> me ->
-      if Detector.heard dets.(me) ~peer:src ~now then
-        emitq t acc (Trace.Unsuspect { node = me; peer = src })
+      if Detector.heard dets.(me) ~peer:src ~now then begin
+        emitq t acc (Trace.Unsuspect { node = me; peer = src });
+        let node = t.nodes.(me) in
+        let stale =
+          Hashtbl.fold
+            (fun base _ acc -> if Node.serving_of node ~base = src then base :: acc else acc)
+            t.candidacies.(me) []
+        in
+        List.iter (Hashtbl.remove t.candidacies.(me)) stale;
+        if t.degraded.(me) then begin
+          let reachable =
+            Array.length t.nodes - List.length (Detector.suspected_now dets.(me))
+          in
+          if reachable >= quorum t then begin
+            t.degraded.(me) <- false;
+            t.partition_heals <- t.partition_heals + 1;
+            emitq t acc (Trace.Partition_healed { node = me; reachable })
+          end
+        end
+      end
   | _ -> ()
 
 (* Fold in a view entry learned from any channel (takeover broadcast,
-   heartbeat gossip, fencing reply), logging real changes for replay. *)
+   heartbeat gossip, fencing reply), logging real changes for replay.  A
+   demotion additionally ships the entries this node was serving to the
+   new server (FRONTIER): adoption drops them locally, and the new server
+   merges them newest-wins — the reconciliation half of a partition heal,
+   which also recovers writes acknowledged without shadow replication. *)
 let learn_view t acc ~me ~base ~epoch ~serving =
-  match Node.adopt_view t.nodes.(me) ~base ~epoch ~serving with
+  let node = t.nodes.(me) in
+  let will_demote =
+    epoch > Node.epoch_of node ~base && Node.serving_of node ~base = me && serving <> me
+  in
+  let served = if will_demote then Node.served_entries node ~base else [] in
+  match Node.adopt_view node ~base ~epoch ~serving with
   | Node.View_ignored -> ()
-  | Node.View_adopted | Node.View_demoted ->
+  | (Node.View_adopted | Node.View_demoted) as outcome ->
       flush t me acc;
-      append t acc me (Log_record.View_change { base; epoch; serving })
+      append t acc me (Log_record.View_change { base; epoch; serving });
+      (* A newer adopted epoch settles any open canvass at or below it. *)
+      (match Hashtbl.find_opt t.candidacies.(me) base with
+      | Some c when c.cand_epoch <= epoch -> Hashtbl.remove t.candidacies.(me) base
+      | _ -> ());
+      if outcome = Node.View_demoted && served <> [] then
+        act acc
+          (Send
+             {
+               src = me;
+               dst = serving;
+               kind = "FRONTIER";
+               size = entry_wire_size t (List.length served);
+               msg = Message.Frontier { base; epoch; entries = served };
+             })
 
 let next_shadow_seq t =
   let s = t.shadow_seq in
@@ -275,10 +359,48 @@ let cp_round_complete t acc ~me ~round =
   t.cp_completed <- t.cp_completed + 1;
   emitq t acc (Trace.Recovery_line { node = me; round })
 
-(* A heartbeat tick suspecting [peer] triggers handoff: if this node is the
-   designated backup for a base [peer] was serving, it promotes itself
-   under the next epoch, broadcasts the takeover, and primes its own backup
-   with the inherited state. *)
+(* The promotion itself, once authorised (quorum of OWNER_VOTEs, or the
+   [Takeover_without_quorum] mutation skipping the canvass): install the
+   shadow state under the new epoch, broadcast the takeover, and prime this
+   node's own backup with the inherited state. *)
+let promote_takeover t acc ~me ~base ~epoch =
+  let node = t.nodes.(me) in
+  let n = Array.length t.nodes in
+  let deposed = Node.serving_of node ~base in
+  let inherited = Node.promote node ~base ~epoch in
+  t.takeovers <- t.takeovers + 1;
+  flush t me acc;
+  append t acc me (Log_record.View_change { base; epoch; serving = me });
+  for dst = 0 to n - 1 do
+    if dst <> me then
+      act acc
+        (Send
+           {
+             src = me;
+             dst;
+             kind = "TAKEOVER";
+             size = 1;
+             msg = Message.Takeover { base; epoch; serving = me };
+           })
+  done;
+  match backup_of t ~serving:me with
+  | Some next_backup
+    when next_backup <> deposed
+         && (not (suspected t ~me ~peer:next_backup))
+         && inherited <> [] ->
+      (* Fire-and-forget snapshot: no reply is gated on it, the per-write
+         shadows that follow keep it current. *)
+      let seq = next_shadow_seq t in
+      send_shadow t acc ~me ~backup:next_backup ~base ~seq inherited
+  | _ -> ()
+
+(* A heartbeat tick suspecting [peer] opens a canvass: if this node is the
+   designated backup for a base [peer] was serving, it asks every peer for
+   an OWNER_VOTE and promotes only once ⌊n/2⌋+1 grants (its own included)
+   are in — a minority-side backup can suspect all it wants, it will never
+   reach quorum, which is what prevents split-brain.  The
+   [Takeover_without_quorum] mutation is the planted bug: it promotes on
+   suspicion alone, exactly the pre-quorum behavior. *)
 let on_suspect t acc ~me ~peer =
   let node = t.nodes.(me) in
   let n = Array.length t.nodes in
@@ -287,34 +409,46 @@ let on_suspect t acc ~me ~peer =
       match backup_of t ~serving:peer with
       | Some b when b = me ->
           let epoch = Node.epoch_of node ~base + 1 in
-          let inherited = Node.promote node ~base ~epoch in
-          t.takeovers <- t.takeovers + 1;
-          flush t me acc;
-          append t acc me (Log_record.View_change { base; epoch; serving = me });
-          for dst = 0 to n - 1 do
-            if dst <> me then
-              act acc
-                (Send
-                   {
-                     src = me;
-                     dst;
-                     kind = "TAKEOVER";
-                     size = 1;
-                     msg = Message.Takeover { base; epoch; serving = me };
-                   })
-          done;
-          (match backup_of t ~serving:me with
-          | Some next_backup
-            when next_backup <> peer
-                 && (not (suspected t ~me ~peer:next_backup))
-                 && inherited <> [] ->
-              (* Fire-and-forget snapshot: no reply is gated on it, the
-                 per-write shadows that follow keep it current. *)
-              let seq = next_shadow_seq t in
-              send_shadow t acc ~me ~backup:next_backup ~base ~seq inherited
-          | _ -> ())
+          if t.config.Config.mutation = Config.Takeover_without_quorum then
+            promote_takeover t acc ~me ~base ~epoch
+          else if not (Hashtbl.mem t.candidacies.(me) base) then begin
+            Hashtbl.replace t.candidacies.(me) base { cand_epoch = epoch; grants = [ me ] };
+            for dst = 0 to n - 1 do
+              if dst <> me then
+                act acc
+                  (Send
+                     {
+                       src = me;
+                       dst;
+                       kind = "VOTE_REQ";
+                       size = 1;
+                       msg = Message.Vote_req { base; epoch; candidate = me };
+                     })
+            done
+          end
       | _ -> ()
   done
+
+(* Owner-side lease check, run on every heartbeat tick: an owner that can
+   reach fewer than ⌊n/2⌋+1 nodes (itself included) may be on the minority
+   side of a partition whose majority is electing a replacement, so it
+   drops to read-only degraded mode — reads of its (possibly stale but
+   causally consistent) copies stay Definition-2 safe, while writes are
+   refused until {!heard} sees quorum contact again. *)
+let maybe_degrade t acc ~me det =
+  if not t.degraded.(me) then begin
+    let node = t.nodes.(me) in
+    let n = Array.length t.nodes in
+    let serves = ref false in
+    for base = 0 to n - 1 do
+      if Node.serving_of node ~base = me then serves := true
+    done;
+    let reachable = n - List.length (Detector.suspected_now det) in
+    if !serves && reachable < quorum t then begin
+      t.degraded.(me) <- true;
+      emitq t acc (Trace.Degraded { node = me; reachable; quorum = quorum t })
+    end
+  end
 
 (* The owner-side services of Figure 4 plus the failover machinery; one
    message delivery, handled atomically. *)
@@ -379,6 +513,12 @@ let handle_message t acc ~me ~src ~now msg =
                    size = 1;
                    msg = Message.Stale_epoch { req; base; epoch = my_epoch; serving };
                  })
+        | None when t.degraded.(me) ->
+            (* Read-only degraded mode: certifying a write while cut off
+               from the majority could fork this location's history against
+               a quorum-elected replacement.  Stay silent — the client's
+               RPC machinery times out and retries after the heal. *)
+            t.degraded_refusals <- t.degraded_refusals + 1
         | None ->
             Node.digest_merge node digest;
             let accepted = ref false in
@@ -444,6 +584,71 @@ let handle_message t acc ~me ~src ~now msg =
                size = entry_wire_size t 1;
                msg = Message.Shadow_read_reply { req; loc; entry };
              })
+    | Message.Vote_req { base; epoch; candidate } ->
+        (* Grant iff the canvassed epoch is news, this node is not itself
+           serving the base, the incumbent server also looks dead from
+           here (check-quorum: silent beyond the detector window — a
+           candidate's transient false suspicion must not be able to
+           collect a quorum against a healthy owner everyone else still
+           hears from), and no conflicting promise is outstanding at this
+           or a higher epoch.  Re-asking (a retried canvass) re-sends the
+           same grant — promises are idempotent per candidate. *)
+        let server = Node.serving_of node ~base in
+        let ok =
+          epoch > Node.epoch_of node ~base
+          && server <> me
+          && (match t.detectors with
+             | Some dets -> Detector.stale dets.(me) ~peer:server ~now
+             | None -> false)
+          && (match Hashtbl.find_opt t.promises.(me) base with
+             | Some (promised_epoch, promised_to) ->
+                 promised_to = candidate || epoch > promised_epoch
+             | None -> true)
+        in
+        if ok then begin
+          Hashtbl.replace t.promises.(me) base (epoch, candidate);
+          t.votes_granted <- t.votes_granted + 1;
+          emitq t acc (Trace.Vote_granted { node = me; candidate; base; epoch });
+          act acc
+            (Send
+               {
+                 src = me;
+                 dst = src;
+                 kind = "OWNER_VOTE";
+                 size = 1;
+                 msg = Message.Vote_grant { base; epoch; candidate };
+               })
+        end
+    | Message.Vote_grant { base; epoch; candidate } -> (
+        if candidate = me then
+          match Hashtbl.find_opt t.candidacies.(me) base with
+          | Some c when c.cand_epoch = epoch ->
+              if not (List.mem src c.grants) then c.grants <- src :: c.grants;
+              if List.length c.grants >= quorum t then begin
+                Hashtbl.remove t.candidacies.(me) base;
+                (* The canvass can outlive its purpose: gossip may have
+                   advanced the epoch while the votes were in flight. *)
+                if epoch > Node.epoch_of node ~base then
+                  promote_takeover t acc ~me ~base ~epoch
+              end
+          | Some _ | None -> ())
+    | Message.Frontier { base; epoch = _; entries } ->
+        (* Reconciliation from a demoted server: merge its entries
+           newest-wins, make the winners durable, and re-shadow them so the
+           recovered writes survive this node too. *)
+        if Node.serving_of node ~base = me && entries <> [] then begin
+          let won =
+            List.filter (fun (loc, entry) -> Node.reconcile_served node loc entry) entries
+          in
+          flush t me acc;
+          List.iter (fun (loc, entry) -> append t acc me (Log_record.Write { loc; entry })) won;
+          append t acc me (Log_record.Clock (Node.vt node));
+          match backup_of t ~serving:me with
+          | Some backup when won <> [] && not (suspected t ~me ~peer:backup) ->
+              let seq = next_shadow_seq t in
+              send_shadow t acc ~me ~backup ~base ~seq won
+          | _ -> ()
+        end
     | Message.Cp_marker { round; initiator } ->
         (* First marker for a round: snapshot before touching anything that
            arrives later, then relay the marker on every other outgoing
@@ -525,6 +730,28 @@ let step t event =
               emitq t acc (Trace.Suspect { node = me; peer });
               on_suspect t acc ~me ~peer)
             newly;
+          (* Re-drive unanswered vote requests: message loss must not wedge
+             a canvass short of quorum forever. *)
+          let open_canvasses =
+            Hashtbl.fold (fun base c acc -> (base, c) :: acc) t.candidacies.(me) []
+            |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+          in
+          List.iter
+            (fun (base, c) ->
+              for dst = 0 to n - 1 do
+                if dst <> me && not (List.mem dst c.grants) then
+                  act acc
+                    (Send
+                       {
+                         src = me;
+                         dst;
+                         kind = "VOTE_REQ";
+                         size = 1;
+                         msg = Message.Vote_req { base; epoch = c.cand_epoch; candidate = me };
+                       })
+              done)
+            open_canvasses;
+          maybe_degrade t acc ~me dets.(me);
           flush t me acc
       | _ -> ())
   | Grace_expired { node = me; seq } -> (
@@ -559,6 +786,10 @@ let step t event =
          checkpoint rounds this node initiated die the same way. *)
       Hashtbl.reset t.shadow_pending.(me);
       Hashtbl.reset t.cp_acks.(me);
+      (* Canvasses, promises and degraded mode are volatile too. *)
+      Hashtbl.reset t.candidacies.(me);
+      Hashtbl.reset t.promises.(me);
+      t.degraded.(me) <- false;
       emitq t acc (Trace.Crash { node = me })
   | Restart { node = me; now; records } ->
       let node = t.nodes.(me) in

@@ -25,7 +25,14 @@
     - shadow replication of certified writes to the ring-successor backup,
       with the grace-timer degrade;
     - heartbeat gossip, failure suspicion ({!Detector}) and ownership
-      takeover;
+      takeover, quorum-gated: a suspecting backup canvasses for ⌊n/2⌋+1
+      OWNER_VOTE grants (its own included) before promoting, so a
+      minority-side backup can never take over during a partition;
+    - partition degradation: an owner that can reach fewer than ⌊n/2⌋+1
+      nodes drops to read-only degraded mode (writes silently refused,
+      reads still Definition-2 safe) until quorum contact returns
+      ([Partition_healed]); on demotion it ships its served frontier to
+      the new server ([FRONTIER]), which merges it newest-wins;
     - crash-stop semantics (a down node drops deliveries) and restart by
       log replay. *)
 
@@ -114,6 +121,10 @@ val is_crashed : state -> int -> bool
 
 val failover_on : state -> bool
 
+val quorum : state -> int
+(** ⌊n/2⌋+1 — the grants a takeover needs and the reachability an owner
+    needs to keep serving writes. *)
+
 val suspected : state -> me:int -> peer:int -> bool
 
 val backup_of : state -> serving:int -> int option
@@ -129,6 +140,27 @@ val dropped_at_crashed : state -> int
 val takeovers : state -> int
 
 val shadow_degraded : state -> int
+
+val partition_degraded : state -> int -> bool
+(** Whether one node is currently in read-only degraded mode. *)
+
+val votes_granted : state -> int
+(** OWNER_VOTE grants sent, cluster-wide. *)
+
+val degraded_refusals : state -> int
+(** Write requests silently refused by degraded owners. *)
+
+val partition_heals : state -> int
+(** Degraded owners that regained quorum contact ([Partition_healed]). *)
+
+val candidacies : state -> int -> (int * int * int list) list
+(** One node's open takeover canvasses as [(base, epoch, granting peers
+    ascending)], ascending by base; exposed so the model checker can
+    fingerprint the full protocol state. *)
+
+val vote_promises : state -> int -> (int * int * int) list
+(** One node's outstanding vote promises as [(base, epoch, candidate)],
+    ascending by base; exposed for model-checker fingerprinting. *)
 
 val suspect_events : state -> int
 

@@ -17,6 +17,9 @@ type body =
   | Demote of { node : int; base : int; serving : int }
   | Adopt_view of { node : int; base : int; epoch : int; serving : int }
   | Shadow_degraded of { node : int; seq : int }
+  | Degraded of { node : int; reachable : int; quorum : int }
+  | Partition_healed of { node : int; reachable : int }
+  | Vote_granted of { node : int; candidate : int; base : int; epoch : int }
   | Crash of { node : int }
   | Restart of { node : int; replayed : int }
   | Checkpoint_taken of { node : int; round : int }
@@ -64,6 +67,9 @@ let kind = function
   | Demote _ -> "demote"
   | Adopt_view _ -> "adopt_view"
   | Shadow_degraded _ -> "degraded"
+  | Degraded _ -> "partition_degraded"
+  | Partition_healed _ -> "partition_healed"
+  | Vote_granted _ -> "vote"
   | Crash _ -> "crash"
   | Restart _ -> "restart"
   | Checkpoint_taken _ -> "checkpoint"
@@ -78,17 +84,19 @@ let actor = function
   | Drop _ -> None
   | Apply { node; _ } | Invalidate { node; _ } | Certify { node; _ } | Wal_append { node; _ }
   | Suspect { node; _ } | Unsuspect { node; _ } | Promote { node; _ } | Demote { node; _ }
-  | Adopt_view { node; _ } | Shadow_degraded { node; _ } | Crash { node } | Restart { node; _ }
+  | Adopt_view { node; _ } | Shadow_degraded { node; _ } | Degraded { node; _ }
+  | Partition_healed { node; _ } | Vote_granted { node; _ }
+  | Crash { node } | Restart { node; _ }
   | Checkpoint_taken { node; _ } | Recovery_line { node; _ }
   | Op_read { node; _ } | Op_write { node; _ } | Violation { node; _ } ->
       Some node
 
 let milestone = function
   | Suspect _ | Unsuspect _ | Promote _ | Demote _ | Adopt_view _ | Crash _ | Restart _
-  | Recovery_line _ | Op_read _ | Op_write _ | Violation _ ->
+  | Recovery_line _ | Degraded _ | Partition_healed _ | Op_read _ | Op_write _ | Violation _ ->
       true
   | Send _ | Deliver _ | Drop _ | Duplicate _ | Apply _ | Invalidate _ | Certify _
-  | Wal_append _ | Shadow_degraded _ | Checkpoint_taken _ ->
+  | Wal_append _ | Shadow_degraded _ | Vote_granted _ | Checkpoint_taken _ ->
       false
 
 (* Minimal JSON: every string we embed is an identifier-like token (message
@@ -135,6 +143,14 @@ let body_fields = function
         ("epoch", string_of_int epoch); ("serving", string_of_int serving) ]
   | Shadow_degraded { node; seq } ->
       [ ("node", string_of_int node); ("seq", string_of_int seq) ]
+  | Degraded { node; reachable; quorum } ->
+      [ ("node", string_of_int node); ("reachable", string_of_int reachable);
+        ("quorum", string_of_int quorum) ]
+  | Partition_healed { node; reachable } ->
+      [ ("node", string_of_int node); ("reachable", string_of_int reachable) ]
+  | Vote_granted { node; candidate; base; epoch } ->
+      [ ("node", string_of_int node); ("candidate", string_of_int candidate);
+        ("base", string_of_int base); ("epoch", string_of_int epoch) ]
   | Crash { node } -> [ ("node", string_of_int node) ]
   | Restart { node; replayed } ->
       [ ("node", string_of_int node); ("replayed", string_of_int replayed) ]

@@ -44,6 +44,14 @@ type body =
   | Adopt_view of { node : int; base : int; epoch : int; serving : int }
   | Shadow_degraded of { node : int; seq : int }
       (** a certified write was acknowledged without backup replication *)
+  | Degraded of { node : int; reachable : int; quorum : int }
+      (** an owner lost contact with a majority and demoted itself to
+          read-only degraded mode (Definition-2 safe) *)
+  | Partition_healed of { node : int; reachable : int }
+      (** a degraded owner regained quorum contact after a partition heal *)
+  | Vote_granted of { node : int; candidate : int; base : int; epoch : int }
+      (** [node] promised its OWNER_VOTE for [candidate]'s takeover of
+          [base] under [epoch] *)
   | Crash of { node : int }
   | Restart of { node : int; replayed : int }
   | Checkpoint_taken of { node : int; round : int }

@@ -20,11 +20,17 @@ type record = Log_record.t =
 
 exception Sync_failed of int
 
-(* One durable cell: the record plus its validity.  A torn checkpoint is
-   physically present (the writer believed the sync succeeded) but fails
-   its checksum when recovery reads it back, so replay and compaction must
-   both skip it. *)
-type entry = { record : record; torn : bool }
+(* One durable cell: the record, its validity, and the per-record checksum
+   written alongside it.  A torn checkpoint is physically present (the
+   writer believed the sync succeeded) but fails its checksum when recovery
+   reads it back; a corrupted record (bit rot, a misdirected write) has its
+   stored checksum disagree with its contents.  Replay and compaction skip
+   both. *)
+type entry = { record : record; torn : bool; crc : string }
+
+(* The checksum covers the record's full marshalled image, so any field
+   damage is detected — the simulated stand-in for a real CRC32C. *)
+let checksum (record : record) = Digest.string (Marshal.to_string record [])
 
 (* One node's log: entries newest-first (append is a cons), with lifetime
    counters that survive compaction. *)
@@ -44,10 +50,19 @@ module Disk = struct
     mutable fail_syncs : int;
     mutable sync_failures : int;
     mutable tear_checkpoints : int;
+    mutable corrupt_records : int;
+    mutable corruptions : int;
   }
 
   let create () =
-    { logs = Hashtbl.create 8; fail_syncs = 0; sync_failures = 0; tear_checkpoints = 0 }
+    {
+      logs = Hashtbl.create 8;
+      fail_syncs = 0;
+      sync_failures = 0;
+      tear_checkpoints = 0;
+      corrupt_records = 0;
+      corruptions = 0;
+    }
 
   let fail_next_syncs t n =
     if n < 0 then invalid_arg "Wal.Disk.fail_next_syncs: n must be >= 0";
@@ -58,6 +73,12 @@ module Disk = struct
   let tear_next_checkpoints t n =
     if n < 0 then invalid_arg "Wal.Disk.tear_next_checkpoints: n must be >= 0";
     t.tear_checkpoints <- n
+
+  let corrupt_next_records t n =
+    if n < 0 then invalid_arg "Wal.Disk.corrupt_next_records: n must be >= 0";
+    t.corrupt_records <- n
+
+  let corruptions t = t.corruptions
 end
 
 type t = { disk : Disk.t; log : log }
@@ -94,12 +115,24 @@ let sync t =
     raise (Sync_failed t.log.log_node)
   end
 
+(* The checksum that lands on disk: correct unless a corruption fault is
+   armed, in which case the stored image is silently damaged — the writer
+   sees success, and only a recovery-time checksum walk can tell. *)
+let stored_crc t record =
+  let crc = checksum record in
+  if t.disk.Disk.corrupt_records > 0 then begin
+    t.disk.Disk.corrupt_records <- t.disk.Disk.corrupt_records - 1;
+    t.disk.Disk.corruptions <- t.disk.Disk.corruptions + 1;
+    String.map (fun c -> Char.chr (Char.code c lxor 0xff)) crc
+  end
+  else crc
+
 let append t record =
   sync t;
   (match record with
   | Checkpoint _ -> invalid_arg "Wal.append: use Wal.checkpoint for snapshots"
   | _ -> ());
-  t.log.entries <- { record; torn = false } :: t.log.entries;
+  t.log.entries <- { record; torn = false; crc = stored_crc t record } :: t.log.entries;
   t.log.appends <- t.log.appends + 1
 
 let checkpoint t snapshot =
@@ -111,11 +144,16 @@ let checkpoint t snapshot =
     end
     else false
   in
-  t.log.entries <- { record = Checkpoint snapshot; torn } :: t.log.entries;
+  let record = Checkpoint snapshot in
+  t.log.entries <- { record; torn; crc = stored_crc t record } :: t.log.entries;
   t.log.checkpoints <- t.log.checkpoints + 1;
   if torn then t.log.torn_cps <- t.log.torn_cps + 1
 
-let is_anchor e = (not e.torn) && match e.record with Checkpoint _ -> true | _ -> false
+(* Validity at recovery time: not torn, and the stored checksum matches the
+   record's contents. *)
+let is_valid e = (not e.torn) && String.equal e.crc (checksum e.record)
+
+let is_anchor e = is_valid e && match e.record with Checkpoint _ -> true | _ -> false
 
 (* Distance (in entries) from the head to the newest complete checkpoint —
    the recovery anchor.  [None] when no complete checkpoint exists. *)
@@ -132,7 +170,11 @@ let replay t =
     | None -> t.log.entries
     | Some i -> List.filteri (fun j _ -> j <= i) t.log.entries
   in
-  suffix |> List.filter (fun e -> not e.torn) |> List.rev_map (fun e -> e.record)
+  suffix |> List.filter is_valid |> List.rev_map (fun e -> e.record)
+
+let corrupted_records t =
+  List.length
+    (List.filter (fun e -> (not e.torn) && not (String.equal e.crc (checksum e.record))) t.log.entries)
 
 let records_since_checkpoint t =
   match anchor_index t with None -> List.length t.log.entries | Some i -> i

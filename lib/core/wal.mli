@@ -45,6 +45,19 @@ module Disk : sig
       — the crash-during-checkpoint failure mode.  The damage surfaces only
       at recovery, when {!replay} skips the torn snapshot and anchors on the
       previous complete one. *)
+
+  val corrupt_next_records : t -> int -> unit
+  (** Make the next [n] appends/checkpoints (across all nodes on this disk)
+      write a {e corrupted} record: the contents land damaged while the
+      stored per-record checksum no longer matches them — bit rot or a
+      misdirected write, as opposed to a torn (partially missing)
+      checkpoint.  The writer sees success; only the recovery-time checksum
+      walk ({!replay}) detects and skips the record.  A corrupted checkpoint
+      is never a recovery anchor, so replay falls back to the previous
+      complete one, exactly as for a torn checkpoint. *)
+
+  val corruptions : t -> int
+  (** Injected record corruptions that have fired so far. *)
 end
 
 exception Sync_failed of int
@@ -112,11 +125,18 @@ val compact : ?extra:int -> t -> int
 
 val replay : t -> record list
 (** The recovery stream, oldest-first: the newest complete [Checkpoint]
-    followed by every record appended after it.  Torn checkpoints are
-    detected and skipped — if the newest checkpoint is torn, replay anchors
-    on the previous complete one (plus the longer suffix, including the
-    records between the two), so a crash during a checkpoint write loses
-    nothing.  With no complete checkpoint at all, the whole log. *)
+    followed by every record appended after it.  Every record's per-record
+    checksum is verified on the way: torn checkpoints and corrupted records
+    ({!Disk.corrupt_next_records}) are detected and skipped — if the newest
+    checkpoint is torn or corrupted, replay anchors on the previous
+    complete one (plus the longer suffix, including the records between the
+    two), so a crash during a checkpoint write loses nothing.  With no
+    complete checkpoint at all, the whole log. *)
+
+val corrupted_records : t -> int
+(** Records currently in the log whose stored checksum fails verification
+    (torn checkpoints excluded — those are counted by
+    {!torn_checkpoints}). *)
 
 val length : t -> int
 (** Entries physically in the log (torn checkpoints included). *)

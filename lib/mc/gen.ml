@@ -13,6 +13,7 @@ type fault =
   | Crash of { victim : int; restart : bool }
   | Drop of { drops : int; dups : int }
   | Power
+  | Partition of { minority : int list; majority : int list }
 
 type scope = {
   sname : string;
@@ -253,7 +254,34 @@ let power =
     mutation = Config.No_mutation;
   }
 
-let presets = [ mp; publication; race; failover; fence; lossy; power ]
+(* Network partition with quorum-gated takeover: every location served by
+   node 0, which the cut isolates from the majority {1, 2} (node 1 is its
+   designated backup).  During the partition the isolated owner tries to
+   write x, while the majority elects node 1 over base 0 with ⌊3/2⌋+1 = 2
+   OWNER_VOTE grants; node 0's own counter-canvass (over base 2, whose
+   backup it is) can never exceed its lone self-vote, so the minority side
+   stays read-only.  Safety hinges on node 0 observing quorum loss and
+   degrading before the majority-side promotion completes (the
+   lease-timing assumption the explorer's Degrade-before-Takeover gate
+   encodes): a degraded node 0 refuses its own write, so the base never
+   has two write-accepting servers.  Node 2 reads x to exercise the
+   post-heal fencing and frontier-reconciliation paths.  Catches
+   [Takeover_without_quorum], which promotes on suspicion alone — the
+   promotion then races ahead of the minority owner's degrade and both
+   sides accept writes, the split-brain the dual-certification invariant
+   flags. *)
+let partition =
+  {
+    sname = "partition";
+    nodes = 3;
+    owner = owner_fn ~nodes:3 (fun _ -> 0);
+    programs = [| [ Write (x, Value.Int 1) ]; []; [ Read x ] |];
+    fault = Partition { minority = [ 0 ]; majority = [ 1; 2 ] };
+    failover = true;
+    mutation = Config.No_mutation;
+  }
+
+let presets = [ mp; publication; race; failover; fence; lossy; power; partition ]
 
 let preset name = List.find_opt (fun s -> s.sname = name) presets
 
@@ -266,6 +294,7 @@ let matrix =
     (Config.Skip_shadow_replication, "failover");
     (Config.Ignore_epoch_fence, "fence");
     (Config.Truncate_wal_early, "power");
+    (Config.Takeover_without_quorum, "partition");
   ]
 
 (* A generic message-passing-flavoured scope: node 0 alternates writes over

@@ -21,6 +21,12 @@ type fault =
       (** whole-cluster power failure: one coordinated checkpoint round
           may be initiated, then one outage crashes every node at once,
           then one repowering restarts all of them from their logs *)
+  | Partition of { minority : int list; majority : int list }
+      (** one symmetric network partition between the two groups may be
+          installed (cross-side messages freeze in their queues), each
+          side's detector may then fire once — the minority owner's
+          degrade tick, then the majority backup's takeover tick — and
+          the partition may heal, releasing the frozen traffic *)
 
 type scope = {
   sname : string;
@@ -61,6 +67,7 @@ val failover : scope
 val fence : scope
 val lossy : scope
 val power : scope
+val partition : scope
 
 val presets : scope list
 (** All of the above, each small enough for exhaustive exploration. *)

@@ -22,6 +22,9 @@ type choice =
   | Begin_cp
   | Power_failure
   | Recover_all
+  | Install_partition
+  | Degrade_tick
+  | Heal_partition
 
 let pp_choice ppf = function
   | Issue pid -> Format.fprintf ppf "issue@%d" pid
@@ -34,6 +37,9 @@ let pp_choice ppf = function
   | Begin_cp -> Format.fprintf ppf "begin-cp"
   | Power_failure -> Format.fprintf ppf "power-failure"
   | Recover_all -> Format.fprintf ppf "recover-all"
+  | Install_partition -> Format.fprintf ppf "install-partition"
+  | Degrade_tick -> Format.fprintf ppf "degrade-tick"
+  | Heal_partition -> Format.fprintf ppf "heal-partition"
 
 (* What a process is blocked on, mirroring the rendezvous of the cluster
    shell: a read or write request in flight (with the redirect budget the
@@ -70,6 +76,15 @@ type t = {
   mutable cp_done : bool;
   mutable outage_done : bool;
   mutable recovered_done : bool;
+  mutable partition_installed : bool;
+  mutable degrade_done : bool;
+  mutable partition_healed : bool;
+  mutable mc_now : float;
+      (** The model's coarse clock: 0.0 until the first detector tick,
+          1e9 after — deliveries carry it so voters' check-quorum test
+          (has the incumbent been silent beyond the window?) sees the
+          same silence the ticking detector did.  Always derivable from
+          [takeover_done]/[degrade_done], so it needs no fingerprint. *)
   mutable drops_left : int;
   mutable dups_left : int;
   mutable next_writer : int;
@@ -109,6 +124,10 @@ let init ?(tracing = false) (scope : Gen.scope) =
     cp_done = false;
     outage_done = false;
     recovered_done = false;
+    partition_installed = false;
+    degrade_done = false;
+    partition_healed = false;
+    mc_now = 0.0;
     drops_left = drops;
     dups_left = dups;
     next_writer = 0;
@@ -120,6 +139,34 @@ let init ?(tracing = false) (scope : Gen.scope) =
   }
 
 let victim t = match t.scope.fault with Gen.Crash { victim; _ } -> victim | _ -> -1
+
+(* Partition-scope geometry.  The isolated owner is the minority's head;
+   the takeover candidate is its designated ring-successor backup. *)
+let partition_groups t =
+  match t.scope.fault with
+  | Gen.Partition { minority; majority } -> Some (minority, majority)
+  | _ -> None
+
+let partition_owner t =
+  match partition_groups t with Some (minority, _) -> List.hd minority | None -> -1
+
+let partition_backup t =
+  match P.backup_of t.core ~serving:(partition_owner t) with Some b -> b | None -> -1
+
+(* A directed link is frozen while the partition is installed: messages
+   sent across the cut stay queued (neither deliverable nor droppable) and
+   are released intact by the heal — the model of a cable cut, where
+   in-flight traffic is the retransmission backlog the reliable layer
+   replays once the link returns. *)
+let frozen t src dst =
+  t.partition_installed
+  && (not t.partition_healed)
+  &&
+  match partition_groups t with
+  | Some (minority, majority) ->
+      (List.mem src minority && List.mem dst majority)
+      || (List.mem src majority && List.mem dst minority)
+  | None -> false
 
 let emit_trace t body =
   if t.tracing then begin
@@ -177,6 +224,36 @@ let check_reply_fence t ~src msg =
   match msg with
   | Message.Read_reply { loc; _ } | Message.Write_reply { loc; _ } -> flag loc
   | _ -> ()
+
+(* Split-brain oracle, checked while the partition is open: the moment a
+   node accepts a write for some base (an accepted [W_REPLY] send, or a
+   local owner certification), no other live, non-degraded node may
+   simultaneously believe it serves that base under a different epoch —
+   two write-accepting servers is the dual mastership quorum fencing
+   exists to prevent.  A partition-degraded owner is exempt: it refuses
+   writes, so it is not a second master.  The check is scoped to the
+   partition window because after the heal a deposed owner may briefly
+   accept writes before the takeover broadcast reaches it; the epoch fence
+   plus frontier reconciliation resolve that convergence window, and the
+   post-hoc causal check covers it. *)
+let check_dual_certification t ~node:src ~base =
+  if t.partition_installed && not t.partition_healed then begin
+    let my_epoch = Node.epoch_of (P.node t.core src) ~base in
+    for j = 0 to t.scope.nodes - 1 do
+      if
+        j <> src
+        && (not (P.is_crashed t.core j))
+        && not (P.partition_degraded t.core j)
+      then begin
+        let nj = P.node t.core j in
+        if Node.serving_of nj ~base = j && Node.epoch_of nj ~base <> my_epoch then
+          set_violation t src
+            (Printf.sprintf
+               "split-brain: nodes %d (epoch %d) and %d (epoch %d) both accept writes for base %d"
+               src my_epoch j (Node.epoch_of nj ~base) base)
+      end
+    done
+  end
 
 (* Successive reads of one location by one process must never regress
    causally: a strictly older writestamp means the process re-read a value
@@ -253,6 +330,11 @@ let rec apply_event t ev =
 and perform t = function
   | P.Send { src; dst; kind; size; msg } ->
       check_reply_fence t ~src msg;
+      (match msg with
+      | Message.Write_reply { accepted = true; loc; _ } ->
+          check_dual_certification t ~node:src
+            ~base:(Node.base_owner_of (P.node t.core src) loc)
+      | _ -> ());
       post t ~src ~dst ~kind ~size msg
   | P.Client_reply { node; req; msg } -> client_reply t node req msg
   | P.Wake_writer { node; writer } -> (
@@ -333,17 +415,25 @@ let do_read t pid loc =
 let do_write t pid loc value =
   let nd = P.node t.core pid in
   if Node.owns nd loc then begin
-    (* Owner write: runs through the core, which certifies, logs and
-       shadows; the process stays blocked until [Wake_writer].  The write
-       is recorded at issue — it is certified before anything else runs. *)
-    let token = t.next_writer in
-    t.next_writer <- token + 1;
-    t.status.(pid) <- Waiting_writer { token };
-    t.last_local <- None;
-    apply_event t (P.Owner_write { node = pid; loc; value; writer = token });
-    match t.last_local with
-    | Some entry -> record_write t pid loc value entry.Stamped.wid
-    | None -> assert false
+    if P.partition_degraded t.core pid then
+      (* The shell refuses local writes on a partition-degraded owner
+         before dispatching (it raises [Timed_out]); here the refused op
+         is simply dropped — the recorded prefix stays a legal history. *)
+      ()
+    else begin
+      (* Owner write: runs through the core, which certifies, logs and
+         shadows; the process stays blocked until [Wake_writer].  The write
+         is recorded at issue — it is certified before anything else runs. *)
+      let token = t.next_writer in
+      t.next_writer <- token + 1;
+      t.status.(pid) <- Waiting_writer { token };
+      t.last_local <- None;
+      apply_event t (P.Owner_write { node = pid; loc; value; writer = token });
+      check_dual_certification t ~node:pid ~base:(Node.base_owner_of nd loc);
+      match t.last_local with
+      | Some entry -> record_write t pid loc value entry.Stamped.wid
+      | None -> assert false
+    end
   end
   else begin
     (* Remote write: increment, ship for certification, adopt on reply.
@@ -356,6 +446,29 @@ let do_write t pid loc value =
     record_write t pid loc value wid;
     send_write t pid loc entry ~redirects:0
   end
+
+(* One detector evaluation at [node] during the partition, modeled
+   side-aware: heartbeats from the node's own side keep arriving (a
+   synthetic [HB] delivery refreshes its detector entry) while cross-side
+   silence has long exceeded the suspicion threshold, so the tick suspects
+   exactly the far side — a backup with its majority intact does not
+   spuriously degrade itself. *)
+let side_tick t node =
+  t.mc_now <- 1e9;
+  let same_side =
+    match partition_groups t with
+    | Some (minority, majority) -> if List.mem node minority then minority else majority
+    | None -> []
+  in
+  List.iter
+    (fun p ->
+      if p <> node then begin
+        emit_trace t (Trace.Deliver { src = p; dst = node; kind = "HB" });
+        apply_event t
+          (P.Deliver { dst = node; src = p; now = 1e9; msg = Message.Heartbeat { view = [] } })
+      end)
+    same_side;
+  apply_event t (P.Hb_tick { node; now = 1e9 })
 
 (* ------------------------------------------------------------------ *)
 (* The transition relation                                             *)
@@ -376,7 +489,8 @@ let enabled t =
         (fun src ->
           List.filter_map
             (fun dst ->
-              if Queue.is_empty t.queues.(src).(dst) then None else Some (src, dst))
+              if Queue.is_empty t.queues.(src).(dst) || frozen t src dst then None
+              else Some (src, dst))
             (List.init n Fun.id))
         (List.init n Fun.id)
     in
@@ -399,8 +513,14 @@ let enabled t =
       else []
     in
     let restart =
+      (* "Restart once the takeover happened" means once the backup has
+         actually promoted — the tick only opens its quorum canvass, and a
+         victim restarted mid-canvass would sync a still-unchanged view,
+         re-serve its base and answer requests the eventual promotion
+         retroactively fences. *)
       match t.scope.fault with
-      | Gen.Crash { restart = true; _ } when t.takeover_done && not t.restarted ->
+      | Gen.Crash { restart = true; _ }
+        when t.takeover_done && P.takeovers t.core > 0 && not t.restarted ->
           [ Restart_victim ]
       | _ -> []
     in
@@ -418,7 +538,36 @@ let enabled t =
       | _ -> []
     in
     let repower = if t.outage_done && not t.recovered_done then [ Recover_all ] else [] in
+    (* The partition scope: one symmetric partition may be installed, each
+       side's detector may fire once while it is open, and it may heal.
+       The takeover tick is gated behind the degrade tick — the
+       lease-timing assumption: the vote round trip a quorum-gated
+       promotion needs gives the cut-off owner at least one detector
+       period to observe quorum loss and fence itself first.  The
+       [Takeover_without_quorum] mutation promotes instantly on suspicion,
+       so that ordering guarantee evaporates with the votes — the gate
+       lifts, and the split-brain interleaving becomes reachable. *)
+    let partition_choices =
+      match t.scope.fault with
+      | Gen.Partition _ ->
+          let window = t.partition_installed && not t.partition_healed in
+          let install = if not t.partition_installed then [ Install_partition ] else [] in
+          let degrade = if window && not t.degrade_done then [ Degrade_tick ] else [] in
+          let take =
+            if
+              window
+              && (not t.takeover_done)
+              && (t.degrade_done
+                 || t.config.Config.mutation = Config.Takeover_without_quorum)
+            then [ Takeover_tick ]
+            else []
+          in
+          let heal = if window then [ Heal_partition ] else [] in
+          install @ degrade @ take @ heal
+      | _ -> []
+    in
     issues @ delivers @ drops @ dups @ crash @ tick @ restart @ cp @ outage @ repower
+    @ partition_choices
   end
 
 let choice_enabled t c = List.mem c (enabled t)
@@ -436,7 +585,7 @@ let apply t c =
   | Deliver { src; dst } ->
       let kind, _, msg = Queue.pop t.queues.(src).(dst) in
       emit_trace t (Trace.Deliver { src; dst; kind });
-      apply_event t (P.Deliver { dst; src; now = 0.0; msg })
+      apply_event t (P.Deliver { dst; src; now = t.mc_now; msg })
   | Drop_msg { src; dst } ->
       let kind, _, _ = Queue.pop t.queues.(src).(dst) in
       t.drops_left <- t.drops_left - 1;
@@ -454,12 +603,21 @@ let apply t c =
       t.progs.(v) <- [];
       t.status.(v) <- Idle;
       apply_event t (P.Crash { node = v })
-  | Takeover_tick ->
-      (* One heartbeat tick at the victim's designated backup, late enough
-         that the detector's silence threshold has long passed: the backup
-         suspects the victim and promotes itself. *)
+  | Takeover_tick -> (
       t.takeover_done <- true;
-      apply_event t (P.Hb_tick { node = (victim t + 1) mod t.scope.nodes; now = 1e9 })
+      match t.scope.fault with
+      | Gen.Partition _ ->
+          (* The majority-side detector fires at the cut-off owner's
+             designated backup: it suspects the far side, canvasses for
+             OWNER_VOTEs over the owner's base, and promotes only at
+             quorum (instantly under [Takeover_without_quorum]). *)
+          side_tick t (partition_backup t)
+      | _ ->
+          (* One heartbeat tick at the victim's designated backup, late
+             enough that the detector's silence threshold has long passed:
+             the backup suspects the victim and canvasses for its base. *)
+          t.mc_now <- 1e9;
+          apply_event t (P.Hb_tick { node = (victim t + 1) mod t.scope.nodes; now = 1e9 }))
   | Restart_victim ->
       let v = victim t in
       t.restarted <- true;
@@ -505,6 +663,19 @@ let apply t c =
           (fun (base, epoch, serving) -> apply_event t (P.Learn_view { node = v; base; epoch; serving }))
           (P.view t.core)
       done
+  | Install_partition ->
+      (* Cross-side messages already in flight stay queued — frozen, not
+         dropped — and the heal releases them in order, modeling the
+         reliable layer's retransmission backlog surviving a cable cut. *)
+      t.partition_installed <- true
+  | Degrade_tick ->
+      (* The cut-off owner's detector fires: it suspects the far side,
+         finds fewer than ⌊n/2⌋+1 reachable nodes and drops to read-only
+         degraded mode (its own counter-canvass over the base it backs up
+         can never pass its lone self-vote). *)
+      t.degrade_done <- true;
+      side_tick t (partition_owner t)
+  | Heal_partition -> t.partition_healed <- true
 
 (* ------------------------------------------------------------------ *)
 (* Verdicts                                                            *)
@@ -554,6 +725,7 @@ let fingerprint t =
       P.suspected_by t.core i,
       P.shadow_pending_list t.core i,
       (P.checkpoint_round t.core i, P.checkpoint_acks_pending t.core i),
+      (P.candidacies t.core i, P.vote_promises t.core i, P.partition_degraded t.core i),
       t.wal.(i),
       t.ops.(i),
       t.progs.(i),
@@ -568,6 +740,9 @@ let fingerprint t =
         t.cp_done,
         t.outage_done,
         t.recovered_done,
+        t.partition_installed,
+        t.degrade_done,
+        t.partition_healed,
         t.drops_left,
         t.dups_left ),
       P.shadow_seqno t.core,

@@ -25,6 +25,21 @@
     read is retried, a parked remote write abandons its program (its
     certification fate is unknowable).
 
+    The {!Gen.Partition} fault models one symmetric network partition:
+    cross-side messages freeze in their queues while it is open (released
+    intact by the heal — the reliable layer's retransmission backlog
+    surviving a cable cut), each side's detector may fire once
+    (side-aware: synthetic same-side heartbeats keep a node from
+    suspecting its own partition), and an extra inline invariant — the
+    {e dual-certification} split-brain oracle — flags any state where two
+    live, non-degraded nodes both accept writes for one base under
+    different epochs during the partition window.  The takeover tick is
+    gated behind the degrade tick, encoding the lease-timing assumption
+    that a quorum canvass's round trip gives the cut-off owner time to
+    fence itself; the [Takeover_without_quorum] mutation lifts the gate
+    along with the votes, making the split-brain interleaving reachable
+    (and caught).
+
     Verdicts come from three layers: inline invariants checked during
     {!apply} (served-entry monotonicity, reply fencing, per-process read
     causality), the incremental {!Dsm_checker.Online} checker fed as
@@ -43,6 +58,9 @@ type choice =
   | Begin_cp  (** node 0 initiates one coordinated checkpoint round *)
   | Power_failure  (** crash every node at once, losing in-flight traffic *)
   | Recover_all  (** repower: restart every node from its retained log *)
+  | Install_partition  (** open the scope's partition: cross-side traffic freezes *)
+  | Degrade_tick  (** detector tick at the cut-off owner: it observes quorum loss *)
+  | Heal_partition  (** close the partition, releasing the frozen traffic *)
 
 val pp_choice : Format.formatter -> choice -> unit
 

@@ -49,6 +49,7 @@ type 'msg t = {
   mutable in_flight : int;
   mutable tracer : (time:float -> src:int -> dst:int -> kind:string -> 'msg -> unit) option;
   mutable tap : tap option;
+  mutable heal_hooks : (src:int -> dst:int -> unit) list; (* reversed registration order *)
 }
 
 let fifo_epsilon = 1e-9
@@ -79,6 +80,7 @@ let create engine ~nodes ?(latency = Latency.lan) ?(fault = no_fault) ?(seed = 1
     in_flight = 0;
     tracer = None;
     tap = None;
+    heal_hooks = [];
   }
 
 let engine t = t.engine
@@ -98,11 +100,24 @@ let set_link_latency t ~src ~dst latency =
   check_node t dst "dst";
   Hashtbl.replace t.link_latency (src, dst) latency
 
+let add_heal_hook t hook = t.heal_hooks <- hook :: t.heal_hooks
+
 let set_link_down t ~src ~dst down =
   check_node t src "src";
   check_node t dst "dst";
   if down then Hashtbl.replace t.down_links (src, dst) ()
-  else Hashtbl.remove t.down_links (src, dst)
+  else begin
+    let was_down = Hashtbl.mem t.down_links (src, dst) in
+    Hashtbl.remove t.down_links (src, dst);
+    (* Hooks fire only on a real down->up transition, in registration
+       order, so the reliable layer can resync exactly the healed links. *)
+    if was_down then List.iter (fun hook -> hook ~src ~dst) (List.rev t.heal_hooks)
+  end
+
+let link_down t ~src ~dst =
+  check_node t src "src";
+  check_node t dst "dst";
+  Hashtbl.mem t.down_links (src, dst)
 
 let partition t group_a group_b =
   List.iter
@@ -114,7 +129,28 @@ let partition t group_a group_b =
         group_b)
     group_a
 
-let heal_all t = Hashtbl.reset t.down_links
+let partition_oneway t group_a group_b =
+  List.iter
+    (fun a -> List.iter (fun b -> set_link_down t ~src:a ~dst:b true) group_b)
+    group_a
+
+let heal_partition t group_a group_b =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          set_link_down t ~src:a ~dst:b false;
+          set_link_down t ~src:b ~dst:a false)
+        group_b)
+    group_a
+
+let heal_all t =
+  (* Route through [set_link_down] so heal hooks fire, in a deterministic
+     (sorted) link order regardless of hash-table iteration. *)
+  let downed = Hashtbl.fold (fun link () acc -> link :: acc) t.down_links [] in
+  List.iter
+    (fun (src, dst) -> set_link_down t ~src ~dst false)
+    (List.sort compare downed)
 
 let set_link_fault t ~src ~dst fault =
   check_node t src "src";

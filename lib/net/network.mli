@@ -58,11 +58,33 @@ val set_link_down : 'msg t -> src:int -> dst:int -> bool -> unit
     blocked on a reply that was dropped stays blocked, which
     [Dsm_runtime.Proc.unfinished] surfaces after the engine quiesces. *)
 
+val link_down : 'msg t -> src:int -> dst:int -> bool
+(** Whether one directed link is currently failed. *)
+
 val partition : 'msg t -> int list -> int list -> unit
 (** Fail every directed link between the two node groups (both ways). *)
 
+val partition_oneway : 'msg t -> int list -> int list -> unit
+(** Asymmetric partition: fail only the links {e from} the first group
+    {e to} the second — the second group's messages still get through.
+    This is the classic one-way failure a symmetric partition cannot
+    model (a node that can hear but not be heard). *)
+
+val heal_partition : 'msg t -> int list -> int list -> unit
+(** Heal every directed link between the two groups, both ways, firing
+    heal hooks for each link that was actually down.  Links outside the
+    two groups are untouched, so overlapping partitions can be healed
+    selectively. *)
+
 val heal_all : 'msg t -> unit
-(** Bring every downed link back up (messages already dropped stay lost). *)
+(** Bring every downed link back up (messages already dropped stay lost).
+    Heal hooks fire for each previously-down link, in sorted link order. *)
+
+val add_heal_hook : 'msg t -> (src:int -> dst:int -> unit) -> unit
+(** Run on every down->up transition of a directed link ([set_link_down
+    ... false] on a link that was down, including via {!heal_partition} /
+    {!heal_all}).  The reliable transport registers one to resync healed
+    links instead of leaving them in give-up state. *)
 
 val set_link_fault : 'msg t -> src:int -> dst:int -> fault -> unit
 (** Override the fault model of one directed link (e.g. a single lossy

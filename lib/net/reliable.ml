@@ -40,6 +40,10 @@ type 'msg framed =
   | Data of { seq : int; base : int; kind : string; body : 'msg; ack : int }
   | Batch of { base : int; ack : int; items : (int * string * 'msg) list }
   | Ack of { upto : int }
+  | Sync of { base : int }
+      (* heal-time resync: the sender's stream restarts at [base]; the
+         receiver abandons everything below it so neither side waits for
+         sequence numbers the other gave up on during the outage *)
 
 type 'msg packet = {
   seq : int;
@@ -57,6 +61,9 @@ type 'msg link_out = {
   backlog : 'msg packet Queue.t; (* sequenced, waiting for window space *)
   mutable timer_armed : bool;
   mutable cur_rto : float;
+  mutable dup_acks : int;
+      (* consecutive duplicate cumulative acks for the current head-of-line
+         packet — loss evidence that triggers fast retransmit at 3 *)
   mutable dead : bool; (* gave up after max_retries; revived by the next send *)
 }
 
@@ -91,6 +98,8 @@ type 'msg t = {
   mutable dup_dropped : int;
   mutable reordered : int;
   mutable gave_up : int;
+  mutable resyncs : int;
+  mutable fast_rexmits : int;
 }
 
 let ack_size = 1
@@ -122,6 +131,7 @@ let out_link t ~src ~dst =
           backlog = Queue.create ();
           timer_armed = false;
           cur_rto = t.config.rto;
+          dup_acks = 0;
           dead = false;
         }
       in
@@ -282,8 +292,29 @@ and handle_ack t ~me ~peer upto =
   if !progressed then begin
     (* Forward progress: the link is alive, restart the backoff schedule. *)
     l.cur_rto <- t.config.rto;
+    l.dup_acks <- 0;
     fill_window t ~src:me ~dst:peer l
   end
+  else
+    (* Fast retransmit: the receiver acks its in-order frontier on every
+       out-of-order arrival, so repeated acks for [oldest - 1] mean later
+       frames are getting through while the head of the line was lost.
+       Waiting out the (possibly backed-off) timer would stall the whole
+       link for tens of time units; three duplicates — enough to rule out
+       simple reordering — resend the gap packet immediately.  The acks
+       also prove the link is alive, so the backoff schedule restarts. *)
+    match Queue.peek_opt l.inflight with
+    | Some (oldest : 'msg packet) when upto = oldest.seq - 1 ->
+        l.dup_acks <- l.dup_acks + 1;
+        if l.dup_acks >= 3 && oldest.retries < t.config.max_retries then begin
+          l.dup_acks <- 0;
+          oldest.retries <- oldest.retries + 1;
+          t.retransmissions <- t.retransmissions + 1;
+          t.fast_rexmits <- t.fast_rexmits + 1;
+          l.cur_rto <- t.config.rto;
+          transmit t ~src:me ~dst:peer l oldest
+        end
+    | Some _ | None -> ()
 
 let send_ack t ~src ~dst (l : 'msg link_in) upto =
   t.acks <- t.acks + 1;
@@ -366,6 +397,19 @@ let handle_data t ~me ~peer ~seq ~base ~kind body =
   | `Buffered -> ack_after_frame t ~me ~peer l ~dup:false ~gap:true
   | `Delivered _ -> ack_after_frame t ~me ~peer l ~dup:false ~gap:false
 
+let handle_sync t ~me ~peer ~base =
+  (* The peer's sender stream restarts at [base] after a heal: discard any
+     early arrivals below it and stop waiting for the abandoned gap.  Ack
+     the new frontier so the peer knows the stream is in step again. *)
+  let l = in_link t ~src:peer ~dst:me in
+  if base > l.expected then begin
+    for s = l.expected to base - 1 do
+      Hashtbl.remove l.reorder s
+    done;
+    l.expected <- base
+  end;
+  send_ack t ~src:me ~dst:peer l (l.expected - 1)
+
 let handle_batch t ~me ~peer ~base items =
   let l = in_link t ~src:peer ~dst:me in
   let dup = ref false in
@@ -378,6 +422,32 @@ let handle_batch t ~me ~peer ~base items =
       | `Delivered _ -> ())
     items;
   ack_after_frame t ~me ~peer l ~dup:!dup ~gap:!gap
+
+let resync_link t ~src ~dst =
+  let i = link_index t ~src ~dst in
+  match t.out.(i) with
+  | None -> ()
+  | Some l ->
+      if l.dead then begin
+        (* The sender abandoned everything below [next_seq] when it gave up:
+           announce the restart point so the receiver fast-forwards instead
+           of waiting forever for sequence numbers that will never come. *)
+        l.dead <- false;
+        l.cur_rto <- t.config.rto;
+        t.resyncs <- t.resyncs + 1;
+        Network.send t.net ~src ~dst ~kind:"SYNC" ~size:ack_size (Sync { base = l.next_seq })
+      end
+      else if not (Queue.is_empty l.inflight) then begin
+        (* Unacked traffic survived the outage at an inflated backoff level:
+           restart the schedule and retransmit now rather than waiting out
+           the remaining RTO. *)
+        l.cur_rto <- t.config.rto;
+        t.resyncs <- t.resyncs + 1;
+        let ps = List.of_seq (Queue.to_seq l.inflight) in
+        List.iter (fun (p : 'msg packet) -> p.retries <- 0) ps;
+        transmit_run t ~src ~dst l ps;
+        arm_timer t ~src ~dst l
+      end
 
 let create ?(config = default_config) net =
   validate_config config;
@@ -396,6 +466,8 @@ let create ?(config = default_config) net =
       dup_dropped = 0;
       reordered = 0;
       gave_up = 0;
+      resyncs = 0;
+      fast_rexmits = 0;
     }
   in
   (* Every node gets the demultiplexer from the start: acks flow back to
@@ -411,8 +483,13 @@ let create ?(config = default_config) net =
             handle_data t ~me ~peer:src ~seq ~base ~kind body
         | Batch { base; ack; items } ->
             if ack >= 0 then handle_ack t ~me ~peer:src ack;
-            handle_batch t ~me ~peer:src ~base items)
+            handle_batch t ~me ~peer:src ~base items
+        | Sync { base } -> handle_sync t ~me ~peer:src ~base)
   done;
+  (* When the network heals a directed link, proactively resynchronise it:
+     a link where both directions gave up during the outage must not stay
+     wedged waiting for traffic that will never come. *)
+  Network.add_heal_hook net (fun ~src ~dst -> resync_link t ~src ~dst);
   t
 
 let set_handler t ~node handler = t.handlers.(node) <- Some handler
@@ -509,6 +586,10 @@ let sent t = t.sent
 let retransmissions t = t.retransmissions
 
 let gave_up t = t.gave_up
+
+let resyncs t = t.resyncs
+
+let fast_rexmits t = t.fast_rexmits
 
 let dead_links t =
   let n = nodes t in

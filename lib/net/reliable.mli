@@ -85,6 +85,9 @@ type 'msg framed =
   | Batch of { base : int; ack : int; items : (int * string * 'msg) list }
       (** [(seq, kind, body)] payloads sharing one frame *)
   | Ack of { upto : int }
+  | Sync of { base : int }
+      (** heal-time resync marker: the sender's stream restarts at [base];
+          the receiver abandons everything below it (see {!resync_link}) *)
 
 type 'msg t
 
@@ -130,6 +133,17 @@ val reset_node : 'msg t -> int -> unit
 (** {!reset_link} on every link touching the node, both directions — the
     transport half of a crash-stop restart. *)
 
+val resync_link : 'msg t -> src:int -> dst:int -> unit
+(** Fast-forward one healed directed link.  A dead (given-up) link is
+    revived and a [Sync] frame announces the sender's next sequence number,
+    so the receiver stops waiting for abandoned packets {e even if no new
+    payload is ever sent} — the case where both directions gave up during a
+    partition and neither would otherwise break the deadlock.  A live link
+    with unacked traffic gets its backoff reset and its window
+    retransmitted immediately.  {!create} registers this as a
+    {!Network.add_heal_hook}, so healing a partition resyncs every affected
+    link automatically. *)
+
 val in_flight : 'msg t -> int
 (** Payloads accepted by {!send} and not yet acknowledged (inflight plus
     backlogged), across all links. *)
@@ -159,6 +173,15 @@ val sent : 'msg t -> int
 val retransmissions : 'msg t -> int
 
 val gave_up : 'msg t -> int
+
+val resyncs : 'msg t -> int
+(** Heal-time {!resync_link} actions that found something to do (a dead
+    link revived or a live window retransmitted). *)
+
+val fast_rexmits : 'msg t -> int
+(** Retransmissions triggered by three duplicate cumulative acks (loss
+    evidence) rather than by the timer — these also count in
+    {!retransmissions}. *)
 
 val dead_links : 'msg t -> (int * int) list
 (** Directed links currently given up ([(src, dst)], ascending) — dead

@@ -38,6 +38,7 @@ let () =
       ("detector", Test_detector.suite);
       ("failover", Test_failover.suite);
       ("chaos", Test_chaos.suite);
+      ("partition", Test_partition.suite);
       ("config-matrix", Test_config_matrix.suite);
       ("model", Test_model.suite);
       ("sync", Test_sync.suite);

@@ -60,6 +60,26 @@ let test_reset_clears_state () =
   Alcotest.(check (list int)) "quiet inside the new window" [] (Detector.tick d ~now:115.0);
   Alcotest.(check (list int)) "suspects again after it" [ 1; 2 ] (Detector.tick d ~now:121.0)
 
+let test_stale_is_silence_or_suspicion () =
+  (* [stale] is the check-quorum test an OWNER_VOTE voter applies to the
+     incumbent server: silence past the window counts even before any tick
+     promotes it into a suspicion, and a standing suspicion counts on its
+     own.  A voter that still hears the server must refuse to vote against
+     it, so "fresh" has to mean exactly "not stale". *)
+  let d = Detector.create cfg ~nodes:3 ~me:0 ~now:0.0 in
+  Alcotest.(check bool) "fresh peer is not stale" false (Detector.stale d ~peer:1 ~now:15.0);
+  Alcotest.(check bool) "silent past the limit is stale before any tick" true
+    (Detector.stale d ~peer:1 ~now:20.5);
+  Alcotest.(check bool) "staleness alone is not a suspicion" false (Detector.suspected d 1);
+  ignore (Detector.heard d ~peer:1 ~now:21.0);
+  Alcotest.(check bool) "contact refreshes" false (Detector.stale d ~peer:1 ~now:40.0);
+  (* 41 - 21 is exactly the silence limit: stale needs strictly more. *)
+  Alcotest.(check bool) "the boundary is exclusive" false (Detector.stale d ~peer:1 ~now:41.0);
+  ignore (Detector.tick d ~now:45.0);
+  Alcotest.(check bool) "tick promoted the silence" true (Detector.suspected d 1);
+  Alcotest.(check bool) "a standing suspicion is stale even inside the window" true
+    (Detector.stale d ~peer:1 ~now:30.0)
+
 let suite =
   [
     Alcotest.test_case "config validation" `Quick test_validation;
@@ -68,4 +88,5 @@ let suite =
     Alcotest.test_case "never suspects self" `Quick test_never_suspects_self;
     Alcotest.test_case "contact unsuspects" `Quick test_contact_unsuspects;
     Alcotest.test_case "reset clears state" `Quick test_reset_clears_state;
+    Alcotest.test_case "stale = silence or suspicion" `Quick test_stale_is_silence_or_suspicion;
   ]

@@ -142,6 +142,88 @@ let test_partition_outliving_retries_resyncs_via_base () =
   Alcotest.(check (list (pair int int))) "revived" [] (Reliable.dead_links r);
   Alcotest.(check int) "queues drained" 0 (Reliable.in_flight r)
 
+let test_fast_retransmit_on_dup_acks () =
+  (* One lost frame with live traffic right behind it: the out-of-order
+     arrivals each trigger an immediate duplicate cumulative ack, and the
+     third duplicate is loss evidence — the sender must resend the
+     head-of-line packet at once instead of sitting out the 8-unit rto.
+     Go-back-N's head-of-line blocking would otherwise stall every payload
+     buffered behind the gap for the whole timeout. *)
+  let e, r = setup () in
+  let delivered = ref [] in
+  Reliable.set_handler r ~node:1 (fun ~src:_ msg ->
+      delivered := (msg, Engine.now e) :: !delivered);
+  (* Swallow exactly the first frame, then let the link run clean. *)
+  Network.set_link_fault (Reliable.net r) ~src:0 ~dst:1 (Network.fault ~drop:1.0 ());
+  Reliable.send r ~src:0 ~dst:1 1;
+  Network.set_link_fault (Reliable.net r) ~src:0 ~dst:1 (Network.fault ());
+  for i = 2 to 4 do
+    Reliable.send r ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "in order, exactly once" [ 1; 2; 3; 4 ]
+    (List.rev_map fst !delivered);
+  let c = Reliable.counters r in
+  Alcotest.(check int) "exactly one retransmission" 1 c.Reliable.retransmissions;
+  Alcotest.(check int) "and it was dup-ack-triggered, not the timer" 1
+    (Reliable.fast_rexmits r);
+  let t1 = List.assoc 1 !delivered in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap closed at t=%g, well inside the %g rto" t1
+       Reliable.default_config.Reliable.rto)
+    true
+    (t1 < Reliable.default_config.Reliable.rto);
+  Alcotest.(check int) "drained" 0 (Reliable.in_flight r)
+
+let test_flipping_oneway_partition_heals_both_ways () =
+  (* An asymmetric cut kills BOTH logical directions: data into the cut is
+     dropped outright, and data the other way is delivered but its acks
+     die, so both senders exhaust their retries.  After each heal the
+     network's heal hooks (and the next send) must resync the dead links —
+     and the same must hold again when the cut flips direction. *)
+  let config = { Reliable.default_config with Reliable.max_retries = 2 } in
+  let e, r = setup ~config () in
+  let got0 = collect r 0 in
+  let got1 = collect r 1 in
+  let net = Reliable.net r in
+  Network.partition_oneway net [ 0 ] [ 1 ];
+  Reliable.send r ~src:0 ~dst:1 1 (* frames dropped: abandoned *);
+  Reliable.send r ~src:1 ~dst:0 10 (* delivered, but its acks are dropped *);
+  Engine.run e;
+  Alcotest.(check (list (pair int int)))
+    "reverse data still got through exactly once" [ (1, 10) ] (got0 ());
+  Alcotest.(check int) "both senders exhausted their retries" 2 (Reliable.gave_up r);
+  Alcotest.(check (list (pair int int)))
+    "both directions dead" [ (0, 1); (1, 0) ]
+    (List.sort compare (Reliable.dead_links r));
+  Network.heal_partition net [ 0 ] [ 1 ];
+  Engine.run e (* the heal hook resyncs the network-down 0->1 link *);
+  Reliable.send r ~src:0 ~dst:1 2;
+  Reliable.send r ~src:1 ~dst:0 11 (* revives the transport-dead 1->0 link *);
+  Engine.run e;
+  (* Flip the cut: now 1->0 drops. *)
+  Network.partition_oneway net [ 1 ] [ 0 ];
+  Reliable.send r ~src:1 ~dst:0 12 (* abandoned *);
+  Reliable.send r ~src:0 ~dst:1 3 (* delivered, acks die, link gives up *);
+  Engine.run e;
+  Alcotest.(check int) "two more give-ups after the flip" 4 (Reliable.gave_up r);
+  Network.heal_all net;
+  Engine.run e;
+  Reliable.send r ~src:0 ~dst:1 4;
+  Reliable.send r ~src:1 ~dst:0 13;
+  Engine.run e;
+  Alcotest.(check (list (pair int int)))
+    "forward stream: only the payload cut in direction 0->1 is missing"
+    [ (0, 2); (0, 3); (0, 4) ]
+    (got1 ());
+  Alcotest.(check (list (pair int int)))
+    "reverse stream: only the payload cut in direction 1->0 is missing"
+    [ (1, 10); (1, 11); (1, 13) ]
+    (got0 ());
+  Alcotest.(check (list (pair int int))) "all links revived" [] (Reliable.dead_links r);
+  Alcotest.(check bool) "heals resynced the dead links" true (Reliable.resyncs r >= 2);
+  Alcotest.(check int) "drained" 0 (Reliable.in_flight r)
+
 let test_ack_loss_causes_dup_suppression () =
   (* Drop everything node 1 sends back: data always arrives, acks never do,
      so the sender retransmits until the retry cap and the receiver must
@@ -374,6 +456,10 @@ let suite =
     Alcotest.test_case "healed link revives" `Quick test_healed_link_revives_after_give_up;
     Alcotest.test_case "partition resync via base" `Quick
       test_partition_outliving_retries_resyncs_via_base;
+    Alcotest.test_case "fast retransmit on dup acks" `Quick
+      test_fast_retransmit_on_dup_acks;
+    Alcotest.test_case "flipping one-way partition" `Quick
+      test_flipping_oneway_partition_heals_both_ways;
     Alcotest.test_case "ack loss suppressed" `Quick test_ack_loss_causes_dup_suppression;
     Alcotest.test_case "refill ordering, window=1" `Quick (test_refill_ordering_under_drops 1);
     Alcotest.test_case "refill ordering, window=8" `Quick (test_refill_ordering_under_drops 8);

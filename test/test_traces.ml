@@ -109,6 +109,14 @@ let test_golden_failover =
 let test_golden_power_failure =
   golden_scenario ~scenario:"power-failure" ~file:"power_failure.trace.jsonl"
 
+(* traces/partition_heal.trace.jsonl covers the quorum-fenced partition
+   path: the isolated owner degrading on quorum loss, the majority-side
+   backup promoting after its OWNER_VOTE canvass, the heal, and the deposed
+   owner's gossip demotion.  Regenerate with
+   [dsm trace partition --milestones]. *)
+let test_golden_partition =
+  golden_scenario ~scenario:"partition" ~file:"partition_heal.trace.jsonl"
+
 let suite =
   [
     Alcotest.test_case "corpus verdicts" `Quick test_corpus;
@@ -116,4 +124,5 @@ let suite =
     Alcotest.test_case "golden owner-crash trace" `Quick test_golden_owner_crash;
     Alcotest.test_case "golden failover trace" `Quick test_golden_failover;
     Alcotest.test_case "golden power-failure trace" `Quick test_golden_power_failure;
+    Alcotest.test_case "golden partition trace" `Quick test_golden_partition;
   ]

@@ -141,6 +141,55 @@ let test_compact_extra_cuts_anchor () =
     (Wal.compact ~extra:1 log);
   Alcotest.(check int) "replay lost the snapshot" 0 (List.length (Wal.replay log))
 
+(* A corrupted record is physically present and the writer saw success,
+   but its stored checksum disagrees with its contents (bit rot, a
+   misdirected write): only the recovery-time checksum walk can tell, and
+   it must skip the record while keeping everything around it. *)
+let test_corrupted_record_skipped () =
+  let disk = Wal.Disk.create () in
+  let log = Wal.attach disk ~node:0 in
+  Alcotest.check_raises "negative budget"
+    (Invalid_argument "Wal.Disk.corrupt_next_records: n must be >= 0") (fun () ->
+      Wal.Disk.corrupt_next_records disk (-1));
+  Wal.append log (write 0 1);
+  Wal.Disk.corrupt_next_records disk 1;
+  Wal.append log (write 1 2);
+  Wal.append log (write 2 3);
+  Alcotest.(check int) "the injected corruption fired once" 1 (Wal.Disk.corruptions disk);
+  Alcotest.(check int) "all three records physically present" 3 (Wal.length log);
+  Alcotest.(check int) "the checksum walk flags exactly one" 1 (Wal.corrupted_records log);
+  match Wal.replay log with
+  | [ Wal.Write { loc = a; _ }; Wal.Write { loc = b; _ } ] ->
+      Alcotest.(check string) "first survivor" "v.0" (Loc.to_string a);
+      Alcotest.(check string) "second survivor" "v.2" (Loc.to_string b)
+  | _ -> Alcotest.fail "replay must skip exactly the corrupted record"
+
+let test_corrupted_checkpoint_falls_back () =
+  (* Like a torn checkpoint, a corrupted one must never anchor recovery:
+     replay falls back to the previous complete snapshot and keeps the
+     appends around the damage. *)
+  let disk = Wal.Disk.create () in
+  let log = Wal.attach disk ~node:0 in
+  Wal.append log (write 0 1);
+  Wal.checkpoint log (snap ~served:[ (v 0, entry 1) ] ());
+  Wal.append log (write 0 2);
+  Wal.Disk.corrupt_next_records disk 1;
+  Wal.checkpoint log (snap ~served:[ (v 0, entry ~count:2 2) ] ());
+  Wal.append log (write 0 3);
+  Alcotest.(check int) "both checkpoints written" 2 (Wal.checkpoints log);
+  Alcotest.(check int) "no tear — this is bit rot" 0 (Wal.torn_checkpoints log);
+  Alcotest.(check int) "one corrupted record" 1 (Wal.corrupted_records log);
+  Alcotest.(check int) "suffix measured from the good anchor" 3
+    (Wal.records_since_checkpoint log);
+  match Wal.replay log with
+  | [ Wal.Checkpoint s; Wal.Write _; Wal.Write _ ] -> (
+      match s.Wal.snap_served with
+      | [ (_, e) ] ->
+          Alcotest.(check bool) "anchored on the complete snapshot" true
+            (e.Stamped.value = Value.Int 1)
+      | _ -> Alcotest.fail "unexpected snapshot contents")
+  | _ -> Alcotest.fail "replay must fall back to the complete checkpoint"
+
 let test_append_rejects_checkpoint_record () =
   let disk = Wal.Disk.create () in
   let log = Wal.attach disk ~node:0 in
@@ -178,6 +227,9 @@ let suite =
     Alcotest.test_case "replay bounded by checkpoint" `Quick test_replay_bounded_by_checkpoint;
     Alcotest.test_case "torn checkpoint falls back" `Quick test_torn_checkpoint_falls_back;
     Alcotest.test_case "compact extra cuts anchor" `Quick test_compact_extra_cuts_anchor;
+    Alcotest.test_case "corrupted record skipped" `Quick test_corrupted_record_skipped;
+    Alcotest.test_case "corrupted checkpoint falls back" `Quick
+      test_corrupted_checkpoint_falls_back;
     Alcotest.test_case "append rejects checkpoint" `Quick test_append_rejects_checkpoint_record;
     Alcotest.test_case "sync fault loses append" `Quick test_sync_fault_loses_append;
   ]
