@@ -359,17 +359,20 @@ let bench_cmd =
   let module Bench = Dsm_apps.Bench in
   let module Recovery = Dsm_apps.Recovery_bench in
   let module Partition = Dsm_apps.Partition_bench in
+  let module Shard_bench = Dsm_apps.Shard_bench in
   let which =
     Arg.(value
          & pos 0
              (enum
-                [ ("transport", `Transport); ("recovery", `Recovery); ("partition", `Partition) ])
+                [ ("transport", `Transport); ("recovery", `Recovery);
+                  ("partition", `Partition); ("shard", `Shard) ])
              `Transport
          & info [] ~docv:"BENCH"
              ~doc:"Which benchmark to run: transport (batching on vs off), recovery \
-                   (whole-cluster restart replay with vs without checkpointing), or \
+                   (whole-cluster restart replay with vs without checkpointing), \
                    partition (majority-side availability through a quorum-fenced \
-                   partition window).")
+                   partition window), or shard (full vs partial replication on \
+                   messages/op and metadata bytes/op at 16-64 nodes).")
   in
   let quick =
     Arg.(value & flag
@@ -427,6 +430,16 @@ let bench_cmd =
         (* The acceptance gate: every run healthy and the majority side at
            >= 90% availability inside the window. *)
         if Partition.healthy r then exit 0 else exit 1
+    | `Shard ->
+        let seed =
+          match seeds with Some (s :: _) -> Int64.of_int s | _ -> 1L
+        in
+        let r = Shard_bench.run ~quick ~seed () in
+        Format.printf "%a" Shard_bench.pp r;
+        write_json out ~default:"BENCH_shard.json" (Shard_bench.to_json r);
+        (* The acceptance gate: partial replication strictly fewer
+           messages everywhere, and cheaper on both metrics at 64 nodes. *)
+        if Shard_bench.healthy r then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "bench"

@@ -102,7 +102,7 @@ let attach_online bus =
       | _ -> ());
   ck
 
-let make_cluster ~knobs ~seed ~owner ?config sched =
+let make_cluster ~knobs ~seed ~owner ?config ?sharding sched =
   let config =
     if knobs.mutation = Dsm_causal.Config.No_mutation then config
     else
@@ -121,7 +121,7 @@ let make_cluster ~knobs ~seed ~owner ?config sched =
     Causal.create ~sched ~owner ?config ~latency:knobs.latency
       ~fault:(Network.fault ~drop:knobs.drop ~duplicate:knobs.duplicate ())
       ~reliability:knobs.reliability ?rpc:knobs.rpc ?detector:knobs.detector
-      ?checkpoint_every:knobs.checkpoint_every ?trace ~seed ()
+      ?sharding ?checkpoint_every:knobs.checkpoint_every ?trace ~seed ()
   in
   (c, online)
 
@@ -706,6 +706,151 @@ let split_brain ?knobs ?seed ?processes ?ops_per_phase () =
   partition_scenario ~scenario:"split-brain" ~minority:[ 0; 1 ] ?knobs ?seed ?processes
     ?ops_per_phase ()
 
+(* {1 Scenario: faults stay inside their shard}
+
+   Nine nodes in three shard rings of three (quorum 2 per ring), a skewed
+   workload where every client mostly touches its own shard, and two
+   faults aimed exclusively at shard 0: a partition that isolates ring
+   member 2 (t=10..30), then a crash-stop of serving owner 0 at t=40 whose
+   ring successor 1 must win a shard-local canvass and take over.  Clients
+   of shards 1 and 2 must sail through both faults untouched — that is the
+   fault-isolation property partial replication buys.  A late explicit
+   subscribe from node 8 into shard 0 exercises the SUB_REQ/SUB_REPLY
+   catch-up path on top of the ambient subscribe-on-access traffic. *)
+
+let shard_scenario ?(knobs = default_knobs) ?(seed = 11L) ?(ops_per_phase = 3) () =
+  let shards = 3 and nodes = 9 in
+  let knobs =
+    match knobs.detector with
+    | Some _ -> knobs
+    | None -> { knobs with detector = Some failover_detector }
+  in
+  let layout = Dsm_memory.Shard.make ~nodes ~shards in
+  let module Shard = Dsm_memory.Shard in
+  let owner = Shard.owner layout in
+  let cut_at = 10.0 and heal_at = 30.0 and crash_at = 40.0 in
+  let p2_start = 14.0 and p3_start = 70.0 in
+  let engine = Engine.create () in
+  let sched = Proc.scheduler engine in
+  let c, online = make_cluster ~knobs ~seed ~owner ~sharding:layout sched in
+  let isolated = [ 2 ] in
+  let rest = List.filter (fun n -> not (List.mem n isolated)) (List.init nodes Fun.id) in
+  let nem =
+    Nemesis.schedule engine c
+      [
+        { Nemesis.at = cut_at; fault = Nemesis.Cut { a = isolated; b = rest } };
+        { at = heal_at; fault = Nemesis.Heal_all };
+        { at = crash_at; fault = Nemesis.Crash 0 };
+      ]
+  in
+  (* Location i lives in shard [i mod 3] and is served by ring member
+     [(i/3) mod 3] of that ring; 36 locations give each base four. *)
+  let all_locs = List.init 36 Fun.id in
+  let locs_of sh = List.filter (fun i -> Shard.of_loc layout (Workload.loc i) = sh) all_locs in
+  let master = Prng.create seed in
+  (* Per-shard availability inside each fault window, indexed by the shard
+     of the {e client} attempting the operation: shards 1 and 2 must stay
+     at 100% through both shard-0 faults. *)
+  let att = Array.make_matrix 2 shards 0 and ok = Array.make_matrix 2 shards 0 in
+  for pid = 0 to nodes - 1 do
+    let prng = Prng.split master in
+    let h = Causal.handle c pid in
+    let my_shard = Shard.of_base layout pid in
+    let own = locs_of my_shard in
+    let foreign = List.filter (fun i -> not (List.mem i own)) all_locs in
+    let pick locs = Workload.loc (List.nth locs (Prng.int prng (List.length locs))) in
+    (* The skew: mostly own-shard traffic, a trickle across shard lines
+       (which is what drives subscribe-on-access). *)
+    let skewed () = if Prng.chance prng 0.85 then pick own else pick foreign in
+    let value phase k = Value.Int ((pid * 1_000_000) + (phase * 1_000) + k) in
+    let record ~window ok_now =
+      (match window with
+      | Some w ->
+          att.(w).(my_shard) <- att.(w).(my_shard) + 1;
+          if ok_now then ok.(w).(my_shard) <- ok.(w).(my_shard) + 1
+      | None -> ())
+    in
+    let do_op ~phase ~window ~k loc =
+      if Prng.chance prng 0.5 then
+        match Causal.write_result h loc (value phase k) with
+        | Ok _ -> record ~window true
+        | Error _ -> record ~window false
+      else
+        match Causal.read_result h loc with
+        | Ok _ -> record ~window true
+        | Error _ -> record ~window false
+    in
+    let sleep_until at = Proc.sleep (Float.max 0.0 (at -. Engine.now engine)) in
+    ignore
+      (Proc.spawn sched
+         ~name:(Printf.sprintf "client%d" pid)
+         (fun () ->
+           for k = 1 to ops_per_phase do
+             do_op ~phase:1 ~window:None ~k (skewed ());
+             Proc.sleep 1.0
+           done;
+           sleep_until p2_start;
+           for k = 1 to ops_per_phase do
+             (* Own-shard traffic only while node 2 is cut off.  Shard 0's
+                surviving ring majority {0,1} steers around the isolated
+                base (a request parked on a frozen link would just wait
+                out the heal); the isolated client hammers its own shard
+                and takes the refusals. *)
+             let loc =
+               if my_shard = 0 && pid <> 2 then
+                 pick (List.filter (fun i -> Owner.owner owner (Workload.loc i) <> 2) own)
+               else pick own
+             in
+             do_op ~phase:2 ~window:(Some 0) ~k loc;
+             Proc.sleep 1.0
+           done;
+           if pid <> 0 then begin
+             (* Node 0 is crash-stopped at t=40 and never restarts; its
+                client retires after phase 2. *)
+             sleep_until p3_start;
+             if pid = 8 then Causal.subscribe c ~node:8 ~shard:0;
+             for k = 1 to ops_per_phase do
+               let loc =
+                 if pid = 8 && k = 1 then pick (locs_of 0) (* read back the catch-up *)
+                 else skewed ()
+               in
+               do_op ~phase:3 ~window:(Some 1) ~k loc;
+               Proc.sleep 1.0
+             done
+           end))
+  done;
+  let failures = run_to_quiescence engine sched in
+  let pct w sh =
+    Printf.sprintf "%d/%d" ok.(w).(sh) att.(w).(sh)
+  in
+  let isolated_ok =
+    let clean w sh = ok.(w).(sh) = att.(w).(sh) && att.(w).(sh) > 0 in
+    clean 0 1 && clean 0 2 && clean 1 1 && clean 1 2
+  in
+  let shard0_subscribers =
+    String.concat "," (List.map string_of_int (Shard.subscribers layout 0))
+  in
+  let notes =
+    ("layout", Format.asprintf "%a" Shard.pp layout)
+    :: ("ring_quorum", string_of_int (Causal.quorum_for c ~base:0))
+    :: ("partition_shard0", pct 0 0)
+    :: ("partition_shard1", pct 0 1)
+    :: ("partition_shard2", pct 0 2)
+    :: ("crash_shard0", pct 1 0)
+    :: ("crash_shard1", pct 1 1)
+    :: ("crash_shard2", pct 1 2)
+    :: ("fault_isolated", string_of_bool isolated_ok)
+    :: ("shard0_subscribers", shard0_subscribers)
+    :: ("votes_granted", string_of_int (Causal.votes_granted c))
+    :: ("partition_heals", string_of_int (Causal.partition_heals c))
+    :: Nemesis.notes nem
+    @ List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures
+  in
+  build_report ~scenario:"shard" ~sched ~engine ~crashes:(Nemesis.crashes nem) ~notes
+    ?online c
+
+let shard ?knobs ?seed ?ops_per_phase () = shard_scenario ?knobs ?seed ?ops_per_phase ()
+
 let scenarios =
   [
     "mix";
@@ -717,6 +862,7 @@ let scenarios =
     "power-failure";
     "partition";
     "split-brain";
+    "shard";
   ]
 
 let run ?knobs ?seed name =
@@ -730,6 +876,7 @@ let run ?knobs ?seed name =
   | "power-failure" -> power_failure ?knobs ?seed ()
   | "partition" -> partition ?knobs ?seed ()
   | "split-brain" -> split_brain ?knobs ?seed ()
+  | "shard" -> shard ?knobs ?seed ()
   | other ->
       invalid_arg
         (Printf.sprintf "Chaos.run: unknown scenario %s (expected one of %s)" other

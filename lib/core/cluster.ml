@@ -11,6 +11,7 @@ module Loc = Dsm_memory.Loc
 module Value = Dsm_memory.Value
 module History = Dsm_memory.History
 module Owner = Dsm_memory.Owner
+module Shard = Dsm_memory.Shard
 module Proc = Dsm_runtime.Proc
 module Network = Dsm_net.Network
 module Reliable = Dsm_net.Reliable
@@ -108,11 +109,23 @@ let send_msg t ~src ~dst ~kind ~size msg =
   | Direct n -> Network.send n ~src ~dst ~kind ~size msg
   | Framed r -> Reliable.send r ~src ~dst ~kind ~size msg
 
-let entry_wire_size t (count : int) =
-  count * t.config.Config.entry_size (Owner.nodes t.owner)
+(* Mirrors Protocol's share-set-width wire accounting for the client-side
+   sends the shell prices itself (outbound WRITEs): under sharding a
+   location's writestamp costs its share-set's width on the wire, and a
+   digest is priced per location at that location's shard width. *)
+let entry_wire_size t ~loc (count : int) =
+  let dim =
+    match Protocol.sharding t.core with
+    | None -> Owner.nodes t.owner
+    | Some s -> Shard.width s (Shard.of_loc s loc)
+  in
+  count * t.config.Config.entry_size dim
 
 let digest_wire_size t digest =
-  Write_digest.wire_size digest ~dim:(Owner.nodes t.owner)
+  match Protocol.sharding t.core with
+  | None -> Write_digest.wire_size digest ~dim:(Owner.nodes t.owner)
+  | Some s ->
+      List.fold_left (fun acc (l, _) -> acc + Shard.width s (Shard.of_loc s l) + 2) 0 digest
 
 let sim_now t = Dsm_sim.Engine.now (Proc.engine t.sched)
 
@@ -287,7 +300,7 @@ let start_checkpoint_timers t =
       done
 
 let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability ?rpc
-    ?detector ?disk ?checkpoint_every ?trace ?(seed = 42L) () =
+    ?detector ?sharding ?disk ?checkpoint_every ?trace ?(seed = 42L) () =
   Config.validate config;
   (match rpc with
   | Some r ->
@@ -308,7 +321,9 @@ let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability
           (Reliable.create ~config:rconfig
              (Network.create engine ~nodes:processes ?latency ?fault ~seed ()))
   in
-  let core = Protocol.create ~owner ~config ?detector ~now:(Dsm_sim.Engine.now engine) () in
+  let core =
+    Protocol.create ~owner ~config ?detector ?sharding ~now:(Dsm_sim.Engine.now engine) ()
+  in
   let disk = match disk with Some d -> d | None -> Wal.Disk.create () in
   let hb_master = Prng.create (Int64.logxor seed 0x6A09E667F3BCC909L) in
   let t =
@@ -475,6 +490,16 @@ let replayed_records t = t.replayed_records
 let recovery_seconds t = t.recovery_seconds
 
 let begin_checkpoint t pid = dispatch t (Protocol.Begin_checkpoint { node = pid })
+
+(* {1 Partial replication} *)
+
+let sharding t = Protocol.sharding t.core
+
+let subscribe t ~node ~shard = dispatch t (Protocol.Subscribe { node; shard })
+
+let unsubscribe t ~node ~shard = dispatch t (Protocol.Unsubscribe { node; shard })
+
+let quorum_for t ~base = Protocol.quorum_for t.core ~base
 
 let recovery_lines t = Protocol.checkpoint_rounds_completed t.core
 
@@ -781,7 +806,7 @@ let write_resolved h loc value =
     let digest = Node.digest_export node in
     let reply =
       rendezvous h ~op:`Write ~loc ~kind:"WRITE"
-        ~size:(entry_wire_size t 1 + digest_wire_size t digest)
+        ~size:(entry_wire_size t ~loc 1 + digest_wire_size t digest)
         ~route:(fun () -> Node.owner_of node loc)
         (fun ~req ~epoch -> Message.Write_req { req; loc; entry; digest; epoch })
     in

@@ -84,6 +84,7 @@ val create :
   ?reliability:Dsm_net.Reliable.config ->
   ?rpc:rpc ->
   ?detector:Dsm_protocol.Detector.config ->
+  ?sharding:Dsm_memory.Shard.t ->
   ?disk:Wal.Disk.t ->
   ?checkpoint_every:float ->
   ?trace:Dsm_protocol.Trace.t ->
@@ -103,7 +104,10 @@ val create :
     wire is tapped, the core's trace actions are stamped and published, and
     every application operation is emitted — consumers (the online checker,
     the [dsm trace] dump) subscribe to the same bus.  Without it, tracing
-    costs nothing. *)
+    costs nothing.  [?sharding] (which must agree with [owner] on the
+    cluster size) switches the core to partial replication (PROTOCOL.md,
+    "Partial replication & sharding"); omitted, behavior is bit-identical
+    to the unsharded cluster. *)
 
 val handle : t -> int -> handle
 (** The memory handle of process [pid]. *)
@@ -288,8 +292,25 @@ val degraded_refusals : t -> int
     (the requester's RPC times out). *)
 
 val quorum : t -> int
-(** ⌊n/2⌋+1: the grants a takeover needs and the reachability an owner
-    needs to keep accepting writes. *)
+(** ⌊n/2⌋+1 over the whole cluster — the legacy electorate. *)
+
+val quorum_for : t -> base:int -> int
+(** The grants a takeover of [base] needs and the reachability its owner
+    needs to keep accepting writes: a majority of [base]'s shard ring under
+    sharding, {!quorum} otherwise. *)
+
+val sharding : t -> Dsm_memory.Shard.t option
+
+val subscribe : t -> node:int -> shard:int -> unit
+(** Join [shard]'s share-set at runtime: [node] starts receiving the
+    shard's invalidation digests and fetches a causally safe catch-up
+    transfer from each of the shard's serving nodes ([SUB_REQ] /
+    [SUB_REPLY]).  No-op without sharding, at a crashed node, or if
+    already subscribed. *)
+
+val unsubscribe : t -> node:int -> shard:int -> unit
+(** Leave [shard]'s share-set and drop cached copies of its locations.
+    Ring members cannot leave; no-op without sharding. *)
 
 val resyncs : t -> int
 (** Heal-time link resynchronisations performed by the reliable transport;

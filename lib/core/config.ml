@@ -13,6 +13,7 @@ type mutation =
   | Skip_shadow_replication
   | Truncate_wal_early
   | Takeover_without_quorum
+  | Prune_share_set_wrongly
 
 let mutations =
   [
@@ -23,6 +24,7 @@ let mutations =
     ("skip-shadow-replication", Skip_shadow_replication);
     ("truncate-wal-early", Truncate_wal_early);
     ("takeover-without-quorum", Takeover_without_quorum);
+    ("prune-share-set-wrongly", Prune_share_set_wrongly);
   ]
 
 let mutation_name = function

@@ -58,6 +58,12 @@ type mutation =
       (** a suspecting backup promotes itself immediately, skipping the
           ⌊n/2⌋+1 OWNER_VOTE round: a network partition yields two
           simultaneous owners for the same base (split-brain) *)
+  | Prune_share_set_wrongly
+      (** under sharding, reply digests are filtered as if runtime
+          subscribers were not in the share-set (only ring members keep
+          their entries): a genuine subscriber's cached copy misses the
+          invalidation a causally newer write should have forced, so it
+          re-reads stale state after observing the newer write *)
 
 val mutations : (string * mutation) list
 (** CLI names for every breaking variant (excludes [No_mutation]). *)

@@ -11,6 +11,11 @@ type t = {
   config : config;
   last_heard : float array;
   is_suspected : bool array;
+  (* Scoped monitoring (partial replication): only watched peers are ever
+     suspected.  Everyone is watched by default; sharding narrows the mask
+     to the node's share-set peers — silence from a node it never
+     exchanges traffic with is not evidence of anything. *)
+  watched : bool array;
   mutable suspect_events : int;
   mutable unsuspect_events : int;
 }
@@ -24,9 +29,18 @@ let create config ~nodes ~me ~now =
     config;
     last_heard = Array.make nodes now;
     is_suspected = Array.make nodes false;
+    watched = Array.make nodes true;
     suspect_events = 0;
     unsuspect_events = 0;
   }
+
+let set_watched t ~peer watched =
+  if peer < 0 || peer >= Array.length t.watched then
+    invalid_arg "Detector.set_watched: peer out of range";
+  t.watched.(peer) <- watched;
+  if (not watched) && t.is_suspected.(peer) then t.is_suspected.(peer) <- false
+
+let watched t ~peer = t.watched.(peer)
 
 let heard t ~peer ~now =
   t.last_heard.(peer) <- Float.max t.last_heard.(peer) now;
@@ -44,6 +58,7 @@ let tick t ~now =
   for peer = Array.length t.last_heard - 1 downto 0 do
     if
       peer <> t.me
+      && t.watched.(peer)
       && (not t.is_suspected.(peer))
       && now -. t.last_heard.(peer) > silence_limit t
     then begin

@@ -30,6 +30,16 @@ val create : config -> nodes:int -> me:int -> now:float -> t
     heard at [now], so nothing is suspected before a full silence window
     elapses. *)
 
+val set_watched : t -> peer:int -> bool -> unit
+(** Scope monitoring (partial replication): only watched peers are ever
+    suspected by {!tick}.  Everyone is watched after {!create}; sharding
+    narrows the mask to the node's share-set peers — silence from a node
+    this one never exchanges traffic with is not evidence of anything.
+    Unwatching a currently suspected peer clears the suspicion (without
+    counting an unsuspect event). *)
+
+val watched : t -> peer:int -> bool
+
 val heard : t -> peer:int -> now:float -> bool
 (** Record contact with [peer]; [true] iff this unsuspected it. *)
 

@@ -78,6 +78,13 @@ type t =
           before processing anything that arrives after this message *)
   | Cp_ack of { round : int }
       (** a participant's checkpoint for [round] is on stable storage *)
+  | Sub_req of { base : int }
+      (** share-set join: the sender subscribes to the shard of [base] and
+          asks its serving node for a causally safe catch-up transfer *)
+  | Sub_reply of { base : int; entries : (Dsm_memory.Loc.t * Stamped.t) list }
+      (** catch-up transfer: the entries currently served for [base]; the
+          subscriber installs them newest-wins, merging their stamps into
+          its clock before any post-subscription read *)
 
 let kind = function
   | Read_req _ -> "READ"
@@ -96,6 +103,8 @@ let kind = function
   | Frontier _ -> "FRONTIER"
   | Cp_marker _ -> "CP_MARK"
   | Cp_ack _ -> "CP_ACK"
+  | Sub_req _ -> "SUB_REQ"
+  | Sub_reply _ -> "SUB_REPLY"
 
 let pp ppf t =
   match t with
@@ -129,3 +138,6 @@ let pp ppf t =
       Format.fprintf ppf "FRONTIER(base %d e%d,+%d)" base epoch (List.length entries)
   | Cp_marker { round; initiator } -> Format.fprintf ppf "CP_MARK(r%d from %d)" round initiator
   | Cp_ack { round } -> Format.fprintf ppf "CP_ACK(r%d)" round
+  | Sub_req { base } -> Format.fprintf ppf "SUB_REQ(base %d)" base
+  | Sub_reply { base; entries } ->
+      Format.fprintf ppf "SUB_REPLY(base %d,+%d)" base (List.length entries)

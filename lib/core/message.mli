@@ -80,11 +80,19 @@ type t =
   | Cp_ack of { round : int }
       (** back to [initiator]: the sender's checkpoint for [round] is on
           stable storage *)
+  | Sub_req of { base : int }
+      (** share-set join (see PROTOCOL.md, "Partial replication &
+          sharding"): the sender subscribes to the shard of [base] and asks
+          its serving node for a causally safe catch-up transfer *)
+  | Sub_reply of { base : int; entries : (Dsm_memory.Loc.t * Stamped.t) list }
+      (** catch-up transfer: the entries currently served for [base]; the
+          subscriber installs them newest-wins, merging their stamps into
+          its clock before any post-subscription read *)
 
 val kind : t -> string
 (** Counter bucket: ["READ"], ["R_REPLY"], ["WRITE"], ["W_REPLY"],
     ["STALE"], ["HB"], ["SHADOW"], ["SH_ACK"], ["SH_READ"], ["SH_REPLY"],
-    ["TAKEOVER"], ["VOTE_REQ"], ["OWNER_VOTE"], ["FRONTIER"], ["CP_MARK"]
-    or ["CP_ACK"]. *)
+    ["TAKEOVER"], ["VOTE_REQ"], ["OWNER_VOTE"], ["FRONTIER"], ["CP_MARK"],
+    ["CP_ACK"], ["SUB_REQ"] or ["SUB_REPLY"]. *)
 
 val pp : Format.formatter -> t -> unit

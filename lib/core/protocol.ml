@@ -1,5 +1,6 @@
 module Loc = Dsm_memory.Loc
 module Owner = Dsm_memory.Owner
+module Shard = Dsm_memory.Shard
 
 type completion =
   | Reply of { dst : int; kind : string; size : int; msg : Message.t }
@@ -14,6 +15,8 @@ type event =
   | Crash of { node : int }
   | Restart of { node : int; now : float; records : Log_record.t list }
   | Begin_checkpoint of { node : int }
+  | Subscribe of { node : int; shard : int }
+  | Unsubscribe of { node : int; shard : int }
 
 type action =
   | Send of { src : int; dst : int; kind : string; size : int; msg : Message.t }
@@ -33,6 +36,11 @@ type state = {
   nodes : Node.t array;
   owner : Owner.t;
   config : Config.t;
+  (* Partial replication: [None] is the legacy full-replication layout
+     (every node replicates everything, broadcasts go cluster-wide,
+     metadata is cluster-width).  [Some] scopes routing, failure detection,
+     quorum and wire accounting to each shard's share-set. *)
+  sharding : Shard.t option;
   crashed : bool array;
   detectors : Detector.t array option; (* Some iff failover is enabled *)
   shadow_pending : (int, completion) Hashtbl.t array;
@@ -60,8 +68,27 @@ type state = {
   mutable tracing : bool;
 }
 
-let create ~owner ~config ?detector ~now () =
+(* Narrow every detector's watch mask to the node's share-set peers.
+   Re-run after any subscription change: joining a shard means watching its
+   share-set (and being watched back — [Shard.peers] is symmetric). *)
+let refresh_watch_masks ~detectors ~sharding ~nodes =
+  match (detectors, sharding) with
+  | Some dets, Some s ->
+      Array.iteri
+        (fun me det ->
+          let peers = Shard.peers s ~node:me in
+          for p = 0 to nodes - 1 do
+            if p <> me then Detector.set_watched det ~peer:p (List.mem p peers)
+          done)
+        dets
+  | _ -> ()
+
+let create ~owner ~config ?detector ?sharding ~now () =
   let processes = Owner.nodes owner in
+  (match sharding with
+  | Some s when Shard.nodes s <> processes ->
+      invalid_arg "Protocol.create: sharding and owner disagree on cluster size"
+  | _ -> ());
   let detectors =
     (* Failover needs a peer to fail over to. *)
     match detector with
@@ -69,10 +96,12 @@ let create ~owner ~config ?detector ~now () =
         Some (Array.init processes (fun me -> Detector.create cfg ~nodes:processes ~me ~now))
     | Some _ | None -> None
   in
+  refresh_watch_masks ~detectors ~sharding ~nodes:processes;
   {
     nodes = Array.init processes (fun id -> Node.create ~id ~owner ~config);
     owner;
     config;
+    sharding;
     crashed = Array.make processes false;
     detectors;
     shadow_pending = Array.init processes (fun _ -> Hashtbl.create 8);
@@ -102,15 +131,31 @@ let is_crashed t pid = t.crashed.(pid)
 
 let failover_on t = t.detectors <> None
 
+let sharding t = t.sharding
+
+let subscriptions t = match t.sharding with None -> [] | Some s -> Shard.subscriptions s
+
 let quorum t = (Array.length t.nodes / 2) + 1
+
+(* Shard-local quorum: under sharding the electorate for [base] is its
+   shard's owner ring — a majority of the ring, not of the cluster, gates
+   takeover and write service, so a fault in one shard cannot stall the
+   others (and a ring minority still cannot fork a base's history). *)
+let quorum_for t ~base =
+  match t.sharding with
+  | None -> quorum t
+  | Some s -> (Shard.ring_size s (Shard.of_base s base) / 2) + 1
 
 let suspected t ~me ~peer =
   match t.detectors with Some dets -> Detector.suspected dets.(me) peer | None -> false
 
 let backup_of t ~serving =
-  let n = Array.length t.nodes in
-  let b = (serving + 1) mod n in
-  if b = serving then None else Some b
+  match t.sharding with
+  | Some s -> Shard.ring_successor s ~node:serving
+  | None ->
+      let n = Array.length t.nodes in
+      let b = (serving + 1) mod n in
+      if b = serving then None else Some b
 
 (* The cluster-wide view: per base, the highest epoch any node has adopted. *)
 let view t =
@@ -204,9 +249,95 @@ let emitq t acc body = if t.tracing then act acc (Emit body)
 let flush t me acc =
   if t.tracing then List.iter (fun body -> act acc (Emit body)) (Node.drain_trace t.nodes.(me))
 
-let entry_wire_size t count = count * t.config.Config.entry_size (Owner.nodes t.owner)
+(* {1 Share-set-width wire accounting}
 
-let digest_wire_size t digest = Write_digest.wire_size digest ~dim:(Owner.nodes t.owner)
+   Under sharding, an entry shipped for a location is priced at its
+   share-set's width, not at cluster width — the writestamp a real partial
+   replication puts on the wire is indexed through the shard's membership
+   map (see {!Dsm_memory.Membership}).  In-memory stamps stay full-width
+   (owner clocks mix cross-shard components through certification, so a
+   lossy projection would be unsound for comparisons); this is the same
+   logical-vs-physical split the transport layer uses for frames. *)
+
+let entry_dim t ~base =
+  match t.sharding with
+  | None -> Owner.nodes t.owner
+  | Some s -> Shard.width s (Shard.of_base s base)
+
+let entry_wire_size t ~base count = count * t.config.Config.entry_size (entry_dim t ~base)
+
+let digest_wire_size t digest =
+  match t.sharding with
+  | None -> Write_digest.wire_size digest ~dim:(Owner.nodes t.owner)
+  | Some s ->
+      List.fold_left
+        (fun acc (loc, _) -> acc + Shard.width s (Shard.of_loc s loc) + 2)
+        0 digest
+
+(* Subscriber-only digest routing: a reply ships digest entries only for
+   shards the requester subscribes to — metadata for locations a node does
+   not replicate buys it nothing.  The [Prune_share_set_wrongly] mutation
+   is the planted bug: it treats runtime subscribers as if they were not
+   in the share-set (only ring members keep their entries), so a genuine
+   subscriber's cached copy misses the invalidation a causally newer write
+   should have forced. *)
+let digest_for t ~dst digest =
+  match t.sharding with
+  | None -> digest
+  | Some s ->
+      List.filter
+        (fun (loc, _) ->
+          let shard = Shard.of_loc s loc in
+          Shard.subscribed s ~shard ~node:dst
+          &&
+          match t.config.Config.mutation with
+          | Config.Prune_share_set_wrongly -> Shard.in_ring s ~shard ~node:dst
+          | _ -> true)
+        digest
+
+(* Interest-based subscribe-on-access: serving a request for a location
+   implicitly enrols the requester in its shard's share-set, so the
+   invalidation metadata for the copy it is about to cache keeps flowing
+   to it.  (The reply itself is the catch-up transfer for this first
+   access; explicit {!event.Subscribe} covers joining ahead of access.) *)
+let note_access t ~src loc =
+  match t.sharding with
+  | None -> ()
+  | Some s ->
+      let shard = Shard.of_loc s loc in
+      if not (Shard.subscribed s ~shard ~node:src) then begin
+        Shard.subscribe s ~shard ~node:src;
+        refresh_watch_masks ~detectors:t.detectors ~sharding:t.sharding
+          ~nodes:(Array.length t.nodes)
+      end
+
+(* Broadcast scoping: with sharding, per-base traffic fans out to the
+   base's share-set only (takeover announcements, demotion frontiers), and
+   votes are canvassed from its ring. *)
+let subscriber_targets t ~me ~base =
+  let all () = List.filter (fun d -> d <> me) (List.init (Array.length t.nodes) Fun.id) in
+  match t.sharding with
+  | None -> all ()
+  | Some s -> List.filter (fun d -> d <> me) (Shard.subscribers s (Shard.of_base s base))
+
+let ring_targets t ~me ~base =
+  match t.sharding with
+  | None -> List.filter (fun d -> d <> me) (List.init (Array.length t.nodes) Fun.id)
+  | Some s -> List.filter (fun d -> d <> me) (Shard.ring s (Shard.of_base s base))
+
+let hb_targets t ~me =
+  match t.sharding with
+  | None -> List.filter (fun d -> d <> me) (List.init (Array.length t.nodes) Fun.id)
+  | Some s -> Shard.peers s ~node:me
+
+(* Reachability for the owner-side lease check, scoped to the electorate
+   that matters: under sharding an owner's quorum is over its own ring. *)
+let reachable_of t ~me det =
+  match t.sharding with
+  | None -> Array.length t.nodes - List.length (Detector.suspected_now det)
+  | Some s ->
+      let ring = Shard.ring s (Shard.of_base s me) in
+      List.length (List.filter (fun p -> p = me || not (Detector.suspected det p)) ring)
 
 let append t acc me record =
   act acc (Append { node = me; record });
@@ -229,10 +360,8 @@ let heard t acc ~me ~src ~now =
         in
         List.iter (Hashtbl.remove t.candidacies.(me)) stale;
         if t.degraded.(me) then begin
-          let reachable =
-            Array.length t.nodes - List.length (Detector.suspected_now dets.(me))
-          in
-          if reachable >= quorum t then begin
+          let reachable = reachable_of t ~me dets.(me) in
+          if reachable >= quorum_for t ~base:me then begin
             t.degraded.(me) <- false;
             t.partition_heals <- t.partition_heals + 1;
             emitq t acc (Trace.Partition_healed { node = me; reachable })
@@ -269,7 +398,7 @@ let learn_view t acc ~me ~base ~epoch ~serving =
                src = me;
                dst = serving;
                kind = "FRONTIER";
-               size = entry_wire_size t (List.length served);
+               size = entry_wire_size t ~base (List.length served);
                msg = Message.Frontier { base; epoch; entries = served };
              })
 
@@ -285,7 +414,7 @@ let send_shadow t acc ~me ~backup ~base ~seq entries =
          src = me;
          dst = backup;
          kind = "SHADOW";
-         size = entry_wire_size t (List.length entries);
+         size = entry_wire_size t ~base (List.length entries);
          msg = Message.Shadow { seq; base; entries };
        })
 
@@ -365,14 +494,16 @@ let cp_round_complete t acc ~me ~round =
    node's own backup with the inherited state. *)
 let promote_takeover t acc ~me ~base ~epoch =
   let node = t.nodes.(me) in
-  let n = Array.length t.nodes in
   let deposed = Node.serving_of node ~base in
   let inherited = Node.promote node ~base ~epoch in
   t.takeovers <- t.takeovers + 1;
   flush t me acc;
   append t acc me (Log_record.View_change { base; epoch; serving = me });
-  for dst = 0 to n - 1 do
-    if dst <> me then
+  (* Only the base's subscribers route requests to it, so only they need
+     the announcement; stragglers outside the share-set learn lazily from
+     STALE fencing if they ever subscribe later. *)
+  List.iter
+    (fun dst ->
       act acc
         (Send
            {
@@ -381,8 +512,8 @@ let promote_takeover t acc ~me ~base ~epoch =
              kind = "TAKEOVER";
              size = 1;
              msg = Message.Takeover { base; epoch; serving = me };
-           })
-  done;
+           }))
+    (subscriber_targets t ~me ~base);
   match backup_of t ~serving:me with
   | Some next_backup
     when next_backup <> deposed
@@ -413,8 +544,8 @@ let on_suspect t acc ~me ~peer =
             promote_takeover t acc ~me ~base ~epoch
           else if not (Hashtbl.mem t.candidacies.(me) base) then begin
             Hashtbl.replace t.candidacies.(me) base { cand_epoch = epoch; grants = [ me ] };
-            for dst = 0 to n - 1 do
-              if dst <> me then
+            List.iter
+              (fun dst ->
                 act acc
                   (Send
                      {
@@ -423,8 +554,8 @@ let on_suspect t acc ~me ~peer =
                        kind = "VOTE_REQ";
                        size = 1;
                        msg = Message.Vote_req { base; epoch; candidate = me };
-                     })
-            done
+                     }))
+              (ring_targets t ~me ~base)
           end
       | _ -> ()
   done
@@ -443,10 +574,11 @@ let maybe_degrade t acc ~me det =
     for base = 0 to n - 1 do
       if Node.serving_of node ~base = me then serves := true
     done;
-    let reachable = n - List.length (Detector.suspected_now det) in
-    if !serves && reachable < quorum t then begin
+    let reachable = reachable_of t ~me det in
+    let q = quorum_for t ~base:me in
+    if !serves && reachable < q then begin
       t.degraded.(me) <- true;
-      emitq t acc (Trace.Degraded { node = me; reachable; quorum = quorum t })
+      emitq t acc (Trace.Degraded { node = me; reachable; quorum = q })
     end
   end
 
@@ -490,7 +622,9 @@ let handle_message t acc ~me ~src ~now msg =
                   Stamped.initial ~processes:(Array.length t.nodes) (t.config.Config.init loc)
             in
             let page = Node.page_entries node loc in
-            let digest = Node.digest_export node in
+            note_access t ~src loc;
+            let digest = digest_for t ~dst:src (Node.digest_export node) in
+            let base = Node.base_owner_of node loc in
             flush t me acc;
             act acc
               (Send
@@ -498,7 +632,9 @@ let handle_message t acc ~me ~src ~now msg =
                    src = me;
                    dst = src;
                    kind = "R_REPLY";
-                   size = entry_wire_size t (1 + List.length page) + digest_wire_size t digest;
+                   size =
+                     entry_wire_size t ~base (1 + List.length page)
+                     + digest_wire_size t digest;
                    msg = Message.Read_reply { req; loc; entry; page; digest };
                  }))
     | Message.Write_req { req; loc; entry; digest; epoch } -> (
@@ -529,11 +665,15 @@ let handle_message t acc ~me ~src ~now msg =
                clock merge, so replay reaches the exact frontier). *)
             if !accepted then append t acc me (Log_record.Write { loc; entry = stored })
             else append t acc me (Log_record.Clock (Node.vt node));
-            let digest = Node.digest_export node in
+            note_access t ~src loc;
+            let digest = digest_for t ~dst:src (Node.digest_export node) in
             let reply =
               Message.Write_reply { req; loc; accepted = !accepted; entry = stored; digest }
             in
-            let size = entry_wire_size t 1 + digest_wire_size t digest in
+            let size =
+              entry_wire_size t ~base:(Node.base_owner_of node loc) 1
+              + digest_wire_size t digest
+            in
             let wait = Reply { dst = src; kind = "W_REPLY"; size; msg = reply } in
             if !accepted then
               shadow_then t acc ~me ~base:(Node.base_owner_of node loc) [ (loc, stored) ] wait
@@ -581,7 +721,7 @@ let handle_message t acc ~me ~src ~now msg =
                src = me;
                dst = src;
                kind = "SH_REPLY";
-               size = entry_wire_size t 1;
+               size = entry_wire_size t ~base 1;
                msg = Message.Shadow_read_reply { req; loc; entry };
              })
     | Message.Vote_req { base; epoch; candidate } ->
@@ -624,7 +764,7 @@ let handle_message t acc ~me ~src ~now msg =
           match Hashtbl.find_opt t.candidacies.(me) base with
           | Some c when c.cand_epoch = epoch ->
               if not (List.mem src c.grants) then c.grants <- src :: c.grants;
-              if List.length c.grants >= quorum t then begin
+              if List.length c.grants >= quorum_for t ~base then begin
                 Hashtbl.remove t.candidacies.(me) base;
                 (* The canvass can outlive its purpose: gossip may have
                    advanced the epoch while the votes were in flight. *)
@@ -692,6 +832,37 @@ let handle_message t acc ~me ~src ~now msg =
             (* An ack for an already-completed round (relayed markers can
                produce none, but be robust) — nothing left to count. *)
             ())
+    | Message.Sub_req { base } ->
+        (* A share-set join: record the subscription server-side (so digests
+           and takeover announcements start flowing to [src]) and ship a
+           catch-up transfer of everything served for [base].  Installing
+           those entries before any post-subscription read is what makes the
+           join causally safe — the subscriber's clock advances past every
+           write it could now be told about indirectly. *)
+        (match t.sharding with
+        | Some s ->
+            let shard = Shard.of_base s base in
+            if not (Shard.subscribed s ~shard ~node:src) then begin
+              Shard.subscribe s ~shard ~node:src;
+              refresh_watch_masks ~detectors:t.detectors ~sharding:t.sharding
+                ~nodes:(Array.length t.nodes)
+            end
+        | None -> ());
+        if Node.serving_of node ~base = me then begin
+          let entries = Node.served_entries node ~base in
+          act acc
+            (Send
+               {
+                 src = me;
+                 dst = src;
+                 kind = "SUB_REPLY";
+                 size = entry_wire_size t ~base (List.length entries);
+                 msg = Message.Sub_reply { base; entries };
+               })
+        end
+    | Message.Sub_reply { entries; _ } ->
+        Node.install_batch node entries;
+        flush t me acc
     | Message.Read_reply { req; _ }
     | Message.Write_reply { req; _ }
     | Message.Stale_epoch { req; _ }
@@ -711,9 +882,11 @@ let step t event =
       match t.detectors with
       | Some dets when not t.crashed.(me) ->
           let view = Node.view t.nodes.(me) in
-          let n = Array.length t.nodes in
-          for dst = 0 to n - 1 do
-            if dst <> me then
+          (* Heartbeats go to share-set peers only: liveness evidence about
+             nodes this one shares no location with drives no decision here,
+             so beaconing at them is pure overhead. *)
+          List.iter
+            (fun dst ->
               act acc
                 (Send
                    {
@@ -722,8 +895,8 @@ let step t event =
                      kind = "HB";
                      size = 1 + List.length view;
                      msg = Message.Heartbeat { view };
-                   })
-          done;
+                   }))
+            (hb_targets t ~me);
           let newly = Detector.tick dets.(me) ~now in
           List.iter
             (fun peer ->
@@ -738,18 +911,19 @@ let step t event =
           in
           List.iter
             (fun (base, c) ->
-              for dst = 0 to n - 1 do
-                if dst <> me && not (List.mem dst c.grants) then
-                  act acc
-                    (Send
-                       {
-                         src = me;
-                         dst;
-                         kind = "VOTE_REQ";
-                         size = 1;
-                         msg = Message.Vote_req { base; epoch = c.cand_epoch; candidate = me };
-                       })
-              done)
+              List.iter
+                (fun dst ->
+                  if not (List.mem dst c.grants) then
+                    act acc
+                      (Send
+                         {
+                           src = me;
+                           dst;
+                           kind = "VOTE_REQ";
+                           size = 1;
+                           msg = Message.Vote_req { base; epoch = c.cand_epoch; candidate = me };
+                         }))
+                (ring_targets t ~me ~base))
             open_canvasses;
           maybe_degrade t acc ~me dets.(me);
           flush t me acc
@@ -799,6 +973,59 @@ let step t event =
       t.crashed.(me) <- false;
       flush t me acc;
       emitq t acc (Trace.Restart { node = me; replayed = List.length records })
+  | Subscribe { node = me; shard } -> (
+      (* Explicit share-set join ahead of access: subscribe, then ask the
+         serving node of each base in the shard's ring for a catch-up
+         transfer.  Ring members are born subscribed, and a crashed node
+         cannot join. *)
+      match t.sharding with
+      | Some s
+        when (not t.crashed.(me))
+             && shard >= 0
+             && shard < Shard.count s
+             && not (Shard.subscribed s ~shard ~node:me) ->
+          Shard.subscribe s ~shard ~node:me;
+          refresh_watch_masks ~detectors:t.detectors ~sharding:t.sharding
+            ~nodes:(Array.length t.nodes);
+          let node = t.nodes.(me) in
+          List.iter
+            (fun base ->
+              let serving = Node.serving_of node ~base in
+              if serving <> me then
+                act acc
+                  (Send
+                     {
+                       src = me;
+                       dst = serving;
+                       kind = "SUB_REQ";
+                       size = 1;
+                       msg = Message.Sub_req { base };
+                     }))
+            (Shard.ring s shard)
+      | _ -> ())
+  | Unsubscribe { node = me; shard } -> (
+      (* Leaving a share-set drops the cached copies whose invalidation
+         metadata will no longer arrive — keeping them would serve reads
+         nothing can ever invalidate.  Ring members cannot leave (the
+         shard's quorum arithmetic depends on them). *)
+      match t.sharding with
+      | Some s
+        when (not t.crashed.(me))
+             && shard >= 0
+             && shard < Shard.count s
+             && Shard.subscribed s ~shard ~node:me
+             && not (Shard.in_ring s ~shard ~node:me) ->
+          Shard.unsubscribe s ~shard ~node:me;
+          refresh_watch_masks ~detectors:t.detectors ~sharding:t.sharding
+            ~nodes:(Array.length t.nodes);
+          let node = t.nodes.(me) in
+          List.iter
+            (fun loc ->
+              if Shard.of_loc s loc = shard && not (Node.owns node loc) then
+                ignore (Node.discard_one node loc))
+            (Node.cached_locs node);
+          flush t me acc
+      | _ -> ())
   | Begin_checkpoint { node = me } ->
       if not t.crashed.(me) then begin
         let round = t.cp_seq + 1 in

@@ -34,7 +34,16 @@
       ([Partition_healed]); on demotion it ships its served frontier to
       the new server ([FRONTIER]), which merges it newest-wins;
     - crash-stop semantics (a down node drops deliveries) and restart by
-      log replay. *)
+      log replay;
+    - partial replication (see PROTOCOL.md, "Partial replication &
+      sharding"): when created with a {!Dsm_memory.Shard} layout,
+      invalidation digests ship only to each location's subscribers, wire
+      writestamps are priced at share-set width, takeover/vote/heartbeat
+      traffic and the quorum arithmetic scope to the shard's ring, and
+      {!event.Subscribe}/{!event.Unsubscribe} grow and shrink share-sets at
+      runtime with a causally safe catch-up transfer ([SUB_REQ] /
+      [SUB_REPLY]).  Without a layout every fan-out below is cluster-wide
+      and behavior is bit-identical to the unsharded protocol. *)
 
 (** What a certified write's shadow acknowledgement (or its grace-timer
     degrade) completes: a deferred [W_REPLY] for a remote writer, or a
@@ -67,6 +76,18 @@ type event =
           the same FIFO link, so the per-node snapshots form a consistent
           recovery line (PROTOCOL.md, "Checkpointing & recovery").  Ignored
           at a crashed node. *)
+  | Subscribe of { node : int; shard : int }
+      (** [node] joins [shard]'s share-set: it starts receiving the shard's
+          invalidation digests and asks each of the shard's serving nodes
+          for a catch-up transfer ([SUB_REQ]) so its clock covers every
+          write it could be told about indirectly.  No-op without sharding,
+          at a crashed node, for an out-of-range shard, or if already
+          subscribed (ring members are born subscribed). *)
+  | Unsubscribe of { node : int; shard : int }
+      (** [node] leaves [shard]'s share-set and drops its cached copies of
+          the shard's locations (their invalidation metadata will no longer
+          arrive).  Ring members cannot leave — the shard's quorum
+          arithmetic depends on them. *)
 
 type action =
   | Send of { src : int; dst : int; kind : string; size : int; msg : Message.t }
@@ -96,12 +117,16 @@ val create :
   owner:Dsm_memory.Owner.t ->
   config:Config.t ->
   ?detector:Detector.config ->
+  ?sharding:Dsm_memory.Shard.t ->
   now:float ->
   unit ->
   state
 (** Fresh protocol state.  A detector config enables failover when the
     cluster has at least two nodes (a lone node has nobody to fail over
-    to); [now] seeds the detectors' heard-from times. *)
+    to); [now] seeds the detectors' heard-from times.  A [sharding] layout
+    (which must agree with [owner] on the cluster size) switches on partial
+    replication; omitting it keeps the legacy full-replication behavior
+    bit-identical. *)
 
 val step : state -> event -> state * action list
 (** The transition function.  The returned state is physically the input
@@ -122,8 +147,18 @@ val is_crashed : state -> int -> bool
 val failover_on : state -> bool
 
 val quorum : state -> int
-(** ⌊n/2⌋+1 — the grants a takeover needs and the reachability an owner
-    needs to keep serving writes. *)
+(** ⌊n/2⌋+1 over the whole cluster — the legacy electorate. *)
+
+val quorum_for : state -> base:int -> int
+(** The grants a takeover of [base] needs and the reachability its owner
+    needs to keep serving writes: a majority of [base]'s shard ring under
+    sharding, {!quorum} otherwise. *)
+
+val sharding : state -> Dsm_memory.Shard.t option
+
+val subscriptions : state -> (int * int list) list
+(** Per shard, the current subscribers ascending — [[]] without sharding.
+    Exposed so the model checker can fingerprint the share-set state. *)
 
 val suspected : state -> me:int -> peer:int -> bool
 

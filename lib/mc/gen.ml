@@ -23,6 +23,8 @@ type scope = {
   fault : fault;
   failover : bool;
   mutation : Config.mutation;
+  shards : int;  (* <= 1: unsharded (full replication) *)
+  precise : bool;  (* run under [Config.Precise] invalidation *)
 }
 
 let default_detector = { Detector.period = 5.0; suspect_after = 3 }
@@ -147,6 +149,8 @@ let mp =
     fault = No_faults;
     failover = false;
     mutation = Config.No_mutation;
+    shards = 0;
+    precise = false;
   }
 
 (* Publication with a re-read: the reader caches the old y, sees the new x,
@@ -165,6 +169,8 @@ let publication =
     fault = No_faults;
     failover = false;
     mutation = Config.No_mutation;
+    shards = 0;
+    precise = false;
   }
 
 (* Three-party race: the x-writer's causal history (it read y=3) must ride
@@ -186,6 +192,8 @@ let race =
     fault = No_faults;
     failover = false;
     mutation = Config.No_mutation;
+    shards = 0;
+    precise = false;
   }
 
 (* Owner crash with takeover: node 2 writes x (served by the victim) then y
@@ -204,6 +212,8 @@ let failover =
     fault = Crash { victim = 0; restart = false };
     failover = true;
     mutation = Config.No_mutation;
+    shards = 0;
+    precise = false;
   }
 
 (* Crash, takeover, restart: the restarted (deposed) node 0 must fence
@@ -226,6 +236,8 @@ let fence =
     fault = Crash { victim = 0; restart = true };
     failover = true;
     mutation = Config.No_mutation;
+    shards = 0;
+    precise = false;
   }
 
 (* Message passing under a lossy, duplicating link with small budgets. *)
@@ -252,6 +264,8 @@ let power =
     fault = Power;
     failover = false;
     mutation = Config.No_mutation;
+    shards = 0;
+    precise = false;
   }
 
 (* Network partition with quorum-gated takeover: every location served by
@@ -279,9 +293,44 @@ let partition =
     fault = Partition { minority = [ 0 ]; majority = [ 1; 2 ] };
     failover = true;
     mutation = Config.No_mutation;
+    shards = 0;
+    precise = false;
   }
 
-let presets = [ mp; publication; race; failover; fence; lossy; power; partition ]
+(* Partial replication: 4 nodes in 2 shards (rings {0,1} and {2,3}); the
+   indexed family "s" stripes by index mod 2, so s[0] and s[4] both live in
+   shard 0 with base owner 0 under the induced map.  Node 1 (a ring member
+   of shard 0) publishes y=s[0] then x=s[4]; node 3 (ring of shard 1, {e
+   not} born into shard 0's share-set) reads y, x, y — its first read
+   subscribes it on access, so shard 0's precise-invalidation digests must
+   keep flowing to it.  Runs under [Config.Precise], where invalidation of
+   cached copies is digest-driven: [Prune_share_set_wrongly] filters reply
+   digests as if runtime subscribers were not in the share-set, node 3's
+   cached stale y survives the x read that causally follows the newer
+   write, and the third read violates causality. *)
+let shard_scope =
+  let sy = Loc.indexed "s" 0 in
+  let sx = Loc.indexed "s" 4 in
+  let layout = Dsm_memory.Shard.make ~nodes:4 ~shards:2 in
+  {
+    sname = "shard";
+    nodes = 4;
+    owner = Dsm_memory.Shard.owner layout;
+    programs =
+      [|
+        [];
+        [ Write (sy, Value.Int 1); Write (sx, Value.Int 2) ];
+        [];
+        [ Read sy; Read sx; Read sy ];
+      |];
+    fault = No_faults;
+    failover = false;
+    mutation = Config.No_mutation;
+    shards = 2;
+    precise = true;
+  }
+
+let presets = [ mp; publication; race; failover; fence; lossy; power; partition; shard_scope ]
 
 let preset name = List.find_opt (fun s -> s.sname = name) presets
 
@@ -295,6 +344,7 @@ let matrix =
     (Config.Ignore_epoch_fence, "fence");
     (Config.Truncate_wal_early, "power");
     (Config.Takeover_without_quorum, "partition");
+    (Config.Prune_share_set_wrongly, "shard");
   ]
 
 (* A generic message-passing-flavoured scope: node 0 alternates writes over
@@ -317,4 +367,6 @@ let generic ~nodes ~ops ~fault =
     fault;
     failover;
     mutation = Config.No_mutation;
+    shards = 0;
+    precise = false;
   }

@@ -36,6 +36,10 @@ type scope = {
   fault : fault;
   failover : bool;  (** heartbeats + shadow replication enabled *)
   mutation : Dsm_protocol.Config.mutation;
+  shards : int;
+      (** [> 1]: run under partial replication with this many shard rings
+          ([Dsm_memory.Shard.make]); [<= 1]: unsharded full replication *)
+  precise : bool;  (** run under [Config.Precise] digest-driven invalidation *)
 }
 
 val default_detector : Dsm_protocol.Detector.config
@@ -68,6 +72,7 @@ val fence : scope
 val lossy : scope
 val power : scope
 val partition : scope
+val shard_scope : scope
 
 val presets : scope list
 (** All of the above, each small enough for exhaustive exploration. *)

@@ -97,8 +97,18 @@ type t = {
 
 let init ?(tracing = false) (scope : Gen.scope) =
   let config = Config.with_mutation scope.mutation Config.default in
+  let config =
+    if scope.precise then Config.with_invalidation Config.Precise config else config
+  in
   let detector = if scope.failover then Some Gen.default_detector else None in
-  let core = P.create ~owner:scope.owner ~config ?detector ~now:0.0 () in
+  (* Sharded scopes build a fresh layout per replay: subscriber sets are
+     mutable protocol state, so sharing one across DFS branches would leak
+     subscriptions between interleavings. *)
+  let sharding =
+    if scope.shards > 1 then Some (Dsm_memory.Shard.make ~nodes:scope.nodes ~shards:scope.shards)
+    else None
+  in
+  let core = P.create ~owner:scope.owner ~config ?detector ?sharding ~now:0.0 () in
   if tracing then P.set_tracing core true;
   let n = scope.nodes in
   let drops, dups =
@@ -746,6 +756,9 @@ let fingerprint t =
         t.drops_left,
         t.dups_left ),
       P.shadow_seqno t.core,
+      (* Share-sets are protocol state under sharding: two interleavings
+         differing only in who has subscribed must not converge. *)
+      P.subscriptions t.core,
       t.violation )
   in
   Digest.string (Marshal.to_string data [ Marshal.No_sharing ])

@@ -1,0 +1,62 @@
+(* A share-set as an explicit, ordered membership: the bridge between
+   cluster-wide node identifiers and the compact share-set-indexed vector
+   clocks partial replication wants on the wire.  [members] is sorted and
+   duplicate-free, so a membership is canonical: two share-sets with the
+   same nodes are structurally equal. *)
+
+type t = { members : int array; index : (int, int) Hashtbl.t }
+
+let build members =
+  let index = Hashtbl.create (Array.length members * 2) in
+  Array.iteri (fun i node -> Hashtbl.replace index node i) members;
+  { members; index }
+
+let of_list nodes =
+  List.iter (fun n -> if n < 0 then invalid_arg "Membership.of_list: negative node id") nodes;
+  build (Array.of_list (List.sort_uniq compare nodes))
+
+let full ~nodes =
+  if nodes < 1 then invalid_arg "Membership.full: nodes must be >= 1";
+  build (Array.init nodes Fun.id)
+
+let members t = Array.to_list t.members
+
+let width t = Array.length t.members
+
+let mem t node = Hashtbl.mem t.index node
+
+let index_of t node = Hashtbl.find_opt t.index node
+
+let node_at t i =
+  if i < 0 || i >= Array.length t.members then invalid_arg "Membership.node_at: out of range";
+  t.members.(i)
+
+let add t node =
+  if node < 0 then invalid_arg "Membership.add: negative node id";
+  if mem t node then t else of_list (node :: members t)
+
+let remove t node = if mem t node then of_list (List.filter (( <> ) node) (members t)) else t
+
+let equal a b = a.members = b.members
+
+(* Projection keeps exactly the members' components: the share-set-width
+   stamp shipped for a location replicated only at [t].  Sound for
+   comparisons between stamps of the same share-set whenever every writer
+   of the location is a member — component [i] of the projection is the
+   member's own counter, and the dropped components belong to nodes whose
+   writes the share-set never certifies. *)
+let project t full_clock =
+  Vclock.of_array (Array.map (fun node -> Vclock.get full_clock node) t.members)
+
+(* Re-embedding into cluster width: non-members get zero, which is the
+   least conservative sound choice (a missing component never claims
+   knowledge the stamp does not carry). *)
+let expand t ~nodes narrow =
+  if Vclock.dim narrow <> width t then invalid_arg "Membership.expand: dimension mismatch";
+  let arr = Array.make nodes 0 in
+  Array.iteri (fun i node -> arr.(node) <- Vclock.get narrow i) t.members;
+  Vclock.of_array arr
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (members t)))

@@ -1,0 +1,60 @@
+(** Share-set memberships: the node-id ↔ share-set-index mapping partial
+    replication indexes vector clocks through.
+
+    A membership is a canonical (sorted, duplicate-free) set of node ids.
+    Under full replication every location's membership is [full ~nodes] and
+    share-set width equals cluster width; under interest-based sharding a
+    location's membership is its share-set — the owner-ring members plus
+    every runtime subscriber — and wire metadata is accounted at [width],
+    not at cluster width (Nédelec et al.'s observation that causal metadata
+    need only cover the nodes that actually communicate).
+
+    [project]/[expand] translate between cluster-width and share-set-width
+    clocks.  The protocol keeps full-width stamps in memory — owner clocks
+    mix cross-shard components through certification, and Xiang & Vaidya's
+    lower bound says a sound projection cannot be free — and uses the
+    membership for wire-size accounting and subscriber routing; the
+    projection itself is exercised by the unit tests and available to
+    consumers whose writers provably stay inside one share-set. *)
+
+type t
+
+val of_list : int list -> t
+(** Canonicalises (sorts, deduplicates); negative ids are rejected. *)
+
+val full : nodes:int -> t
+(** The whole cluster [{0, …, nodes-1}]: full replication's share-set. *)
+
+val members : t -> int list
+(** Ascending. *)
+
+val width : t -> int
+(** The share-set's size: the dimension of its projected clocks and the
+    per-entry metadata cost on the wire. *)
+
+val mem : t -> int -> bool
+
+val index_of : t -> int -> int option
+(** The share-set index of a node, [None] for non-members. *)
+
+val node_at : t -> int -> int
+(** Inverse of [index_of]; raises [Invalid_argument] out of range. *)
+
+val add : t -> int -> t
+(** Functional insert (a subscriber joining); idempotent. *)
+
+val remove : t -> int -> t
+(** Functional delete (a subscriber leaving); idempotent. *)
+
+val equal : t -> t -> bool
+
+val project : t -> Vclock.t -> Vclock.t
+(** [project t full] keeps exactly the members' components, in membership
+    order: a [width t]-dimensional clock. *)
+
+val expand : t -> nodes:int -> Vclock.t -> Vclock.t
+(** [expand t ~nodes narrow] re-embeds a projected clock into cluster
+    width; non-members get zero.  Raises [Invalid_argument] if [narrow]'s
+    dimension is not [width t]. *)
+
+val pp : Format.formatter -> t -> unit

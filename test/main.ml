@@ -14,6 +14,8 @@ let () =
       ("network", Test_network.suite);
       ("reliable", Test_reliable.suite);
       ("memory-types", Test_memory_types.suite);
+      ("membership", Test_membership.suite);
+      ("shard", Test_shard.suite);
       ("history", Test_history.suite);
       ("policy-config", Test_policy_config.suite);
       ("node", Test_node.suite);

@@ -78,6 +78,8 @@ let mk_scope name ~nodes ~owner ~programs =
     fault = Gen.No_faults;
     failover = false;
     mutation = Config.No_mutation;
+    shards = 0;
+    precise = false;
   }
 
 (* Explore [scope], asserting every interleaving causal (no online or

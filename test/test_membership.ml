@@ -1,0 +1,76 @@
+(* Tests for Dsm_memory.Membership: the node-id <-> share-set-index map
+   that prices a shard's wire metadata. *)
+
+module Membership = Dsm_memory.Membership
+
+let test_of_list_sorts_dedups () =
+  let m = Membership.of_list [ 5; 1; 3; 1; 5 ] in
+  Alcotest.(check (list int)) "sorted unique" [ 1; 3; 5 ] (Membership.members m);
+  Alcotest.(check int) "width" 3 (Membership.width m)
+
+let test_of_list_rejects_negative () =
+  Alcotest.check_raises "negative id" (Invalid_argument "Membership.of_list: negative node id")
+    (fun () -> ignore (Membership.of_list [ 0; -1 ]))
+
+let test_full () =
+  let m = Membership.full ~nodes:4 in
+  Alcotest.(check (list int)) "everyone" [ 0; 1; 2; 3 ] (Membership.members m)
+
+let test_index_roundtrip () =
+  let m = Membership.of_list [ 2; 7; 9 ] in
+  List.iteri
+    (fun i node ->
+      Alcotest.(check (option int)) "index_of" (Some i) (Membership.index_of m node);
+      Alcotest.(check int) "node_at" node (Membership.node_at m i))
+    (Membership.members m);
+  Alcotest.(check (option int)) "non-member" None (Membership.index_of m 3);
+  Alcotest.(check bool) "mem" true (Membership.mem m 7);
+  Alcotest.(check bool) "not mem" false (Membership.mem m 8)
+
+let test_add_remove () =
+  let m = Membership.of_list [ 1; 4 ] in
+  let m2 = Membership.add m 3 in
+  Alcotest.(check (list int)) "added" [ 1; 3; 4 ] (Membership.members m2);
+  Alcotest.(check (list int)) "original untouched" [ 1; 4 ] (Membership.members m);
+  let m3 = Membership.remove m2 4 in
+  Alcotest.(check (list int)) "removed" [ 1; 3 ] (Membership.members m3);
+  Alcotest.(check bool) "add idempotent" true (Membership.equal m2 (Membership.add m2 3));
+  Alcotest.(check bool) "remove idempotent" true (Membership.equal m3 (Membership.remove m3 9))
+
+let clock_of_array = Vclock.of_array
+
+(* project keeps exactly the members' components, in member order. *)
+let test_project () =
+  let m = Membership.of_list [ 0; 2; 5 ] in
+  let full = clock_of_array [| 10; 11; 12; 13; 14; 15 |] in
+  let narrow = Membership.project m full in
+  Alcotest.(check (array int)) "projected" [| 10; 12; 15 |] (Vclock.to_array narrow)
+
+(* expand zero-fills non-members, so project . expand = id on the narrow
+   side and expand . project loses only non-member components. *)
+let test_project_expand_roundtrip () =
+  let m = Membership.of_list [ 1; 3 ] in
+  let narrow = clock_of_array [| 7; 9 |] in
+  let wide = Membership.expand m ~nodes:5 narrow in
+  Alcotest.(check (array int)) "expanded" [| 0; 7; 0; 9; 0 |] (Vclock.to_array wide);
+  Alcotest.(check (array int))
+    "roundtrip" [| 7; 9 |]
+    (Vclock.to_array (Membership.project m wide))
+
+let test_expand_dimension_check () =
+  let m = Membership.of_list [ 0; 1 ] in
+  let bad = clock_of_array [| 1; 2; 3 |] in
+  Alcotest.check_raises "wrong width" (Invalid_argument "Membership.expand: dimension mismatch")
+    (fun () -> ignore (Membership.expand m ~nodes:4 bad))
+
+let suite =
+  [
+    Alcotest.test_case "of_list sorts and dedups" `Quick test_of_list_sorts_dedups;
+    Alcotest.test_case "of_list rejects negatives" `Quick test_of_list_rejects_negative;
+    Alcotest.test_case "full" `Quick test_full;
+    Alcotest.test_case "index roundtrip" `Quick test_index_roundtrip;
+    Alcotest.test_case "add/remove functional" `Quick test_add_remove;
+    Alcotest.test_case "project" `Quick test_project;
+    Alcotest.test_case "project/expand roundtrip" `Quick test_project_expand_roundtrip;
+    Alcotest.test_case "expand dimension check" `Quick test_expand_dimension_check;
+  ]
