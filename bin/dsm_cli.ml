@@ -303,7 +303,8 @@ let chaos_cmd =
          & info [ "mutation" ]
              ~doc:"TEST ONLY: break one protocol rule (skip-invalidation, \
                    skip-writestamp-merge, reorder-apply-ack, ignore-epoch-fence, \
-                   skip-shadow-replication, truncate-wal-early), deliberately \
+                   skip-shadow-replication, truncate-wal-early, \
+                   prune-share-set-wrongly, merge-drops-op), deliberately \
                    compromising causal consistency or durability.")
   in
   let batching =
@@ -360,19 +361,22 @@ let bench_cmd =
   let module Recovery = Dsm_apps.Recovery_bench in
   let module Partition = Dsm_apps.Partition_bench in
   let module Shard_bench = Dsm_apps.Shard_bench in
+  let module Objects_bench = Dsm_apps.Objects_bench in
   let which =
     Arg.(value
          & pos 0
              (enum
                 [ ("transport", `Transport); ("recovery", `Recovery);
-                  ("partition", `Partition); ("shard", `Shard) ])
+                  ("partition", `Partition); ("shard", `Shard);
+                  ("objects", `Objects) ])
              `Transport
          & info [] ~docv:"BENCH"
              ~doc:"Which benchmark to run: transport (batching on vs off), recovery \
                    (whole-cluster restart replay with vs without checkpointing), \
                    partition (majority-side availability through a quorum-fenced \
-                   partition window), or shard (full vs partial replication on \
-                   messages/op and metadata bytes/op at 16-64 nodes).")
+                   partition window), shard (full vs partial replication on \
+                   messages/op and metadata bytes/op at 16-64 nodes), or objects \
+                   (wire cost and checker verdicts per Causal_object instance).")
   in
   let quick =
     Arg.(value & flag
@@ -440,6 +444,14 @@ let bench_cmd =
         (* The acceptance gate: partial replication strictly fewer
            messages everywhere, and cheaper on both metrics at 64 nodes. *)
         if Shard_bench.healthy r then exit 0 else exit 1
+    | `Objects ->
+        let seed = match seeds with Some (s :: _) -> Int64.of_int s | _ -> 1L in
+        let r = Objects_bench.run ~quick ~seed () in
+        Format.printf "%a" Objects_bench.pp r;
+        write_json out ~default:"BENCH_objects.json" (Objects_bench.to_json r);
+        (* The acceptance gate: every instance spec-legal, converged and
+           healthy. *)
+        if Objects_bench.healthy r then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "bench"
@@ -492,8 +504,8 @@ let mc_cmd =
          & info [ "mutation" ]
              ~doc:"Break one protocol rule (skip-invalidation, skip-writestamp-merge, \
                    reorder-apply-ack, ignore-epoch-fence, skip-shadow-replication, \
-                   truncate-wal-early); the checker is then expected to find a \
-                   counterexample.")
+                   truncate-wal-early, prune-share-set-wrongly, merge-drops-op); the \
+                   checker is then expected to find a counterexample.")
   in
   let matrix =
     Arg.(value & flag

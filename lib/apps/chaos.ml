@@ -851,6 +851,208 @@ let shard_scenario ?(knobs = default_knobs) ?(seed = 11L) ?(ops_per_phase = 3) (
 
 let shard ?knobs ?seed ?ops_per_phase () = shard_scenario ?knobs ?seed ?ops_per_phase ()
 
+(* {1 Scenarios: causal objects under loss}
+
+   One scenario per shipped [Causal_object] instance.  Each process
+   attaches a client of the family, interleaves spec-level updates with
+   queries over the lossy links, and issues one final query after
+   quiescence.  Health is judged at two levels: the register history must
+   stay causally correct as always, and every recorded query return must
+   be spec-legal under some causal-past linearization of its observed
+   context ({!Dsm_checker.Causal_check.check_objects}); the final returns
+   must also agree across processes (convergence).  Under the
+   [Merge_drops_op] mutation the buggy client merge silently drops the
+   causally greatest observed update — every probe read stays
+   register-legal, so only the object-level certification flags it. *)
+
+module Objects = struct
+  module Registry = Dsm_objects.Registry
+  module CCounter = Dsm_objects.Counter.Client (Causal.Mem)
+  module CGset = Dsm_objects.Gset.Client (Causal.Mem)
+  module CTpset = Dsm_objects.Tpset.Client (Causal.Mem)
+  module COqueue = Dsm_objects.Oqueue.Client (Causal.Mem)
+  module COdict = Dsm_objects.Odict.Client (Causal.Mem)
+  module COboard = Dsm_objects.Oboard.Client (Causal.Mem)
+
+  (* A first-class per-process client: the instances' op types differ, so
+     the scenario runner works through closures over one attached client. *)
+  type inst = {
+    obj : string;  (** the family name, for the query trace milestone *)
+    update : Prng.t -> round:int -> unit;
+    query : unit -> string;
+    queries : unit -> Dsm_checker.Obj_check.query list;
+  }
+
+  let counter ~buggy h =
+    let t = CCounter.attach ~buggy_merge:buggy h in
+    {
+      obj = Dsm_objects.Counter.name;
+      update =
+        (fun prng ~round:_ ->
+          CCounter.update t
+            (if Prng.chance prng 0.3 then Dsm_objects.Counter.add 2
+             else Dsm_objects.Counter.incr));
+      query = (fun () -> CCounter.query t);
+      queries = (fun () -> CCounter.queries t);
+    }
+
+  let gset ~buggy h =
+    let t = CGset.attach ~buggy_merge:buggy h in
+    {
+      obj = Dsm_objects.Gset.name;
+      update =
+        (fun _ ~round ->
+          CGset.update t (Dsm_objects.Gset.of_elt (Printf.sprintf "e%d-%d" (CGset.pid t) round)));
+      query = (fun () -> CGset.query t);
+      queries = (fun () -> CGset.queries t);
+    }
+
+  let tpset ~buggy h =
+    let t = CTpset.attach ~buggy_merge:buggy h in
+    {
+      obj = Dsm_objects.Tpset.name;
+      update =
+        (fun _ ~round ->
+          let pid = CTpset.pid t in
+          if round mod 2 = 0 then
+            CTpset.update t (Dsm_objects.Tpset.remove (Printf.sprintf "e%d-%d" pid (round - 1)))
+          else CTpset.update t (Dsm_objects.Tpset.add (Printf.sprintf "e%d-%d" pid round)));
+      query = (fun () -> CTpset.query t);
+      queries = (fun () -> CTpset.queries t);
+    }
+
+  let oqueue ~buggy h =
+    let t = COqueue.attach ~buggy_merge:buggy h in
+    {
+      obj = Dsm_objects.Oqueue.name;
+      update =
+        (fun _ ~round ->
+          COqueue.update t (Dsm_objects.Oqueue.push (Printf.sprintf "m%d-%d" (COqueue.pid t) round)));
+      query = (fun () -> COqueue.query t);
+      queries = (fun () -> COqueue.queries t);
+    }
+
+  let odict ~buggy h =
+    let t = COdict.attach ~buggy_merge:buggy h in
+    {
+      obj = Dsm_objects.Odict.name;
+      update =
+        (fun prng ~round ->
+          let pid = COdict.pid t in
+          if round > 1 && Prng.chance prng 0.25 then
+            COdict.update t (Dsm_objects.Odict.delete (Printf.sprintf "k%d" (round mod 3)))
+          else
+            COdict.update t
+              (Dsm_objects.Odict.insert (Printf.sprintf "k%d" (round mod 3))
+                 (Printf.sprintf "v%d-%d" pid round)));
+      query = (fun () -> COdict.query t);
+      queries = (fun () -> COdict.queries t);
+    }
+
+  let oboard ~buggy h =
+    let t = COboard.attach ~buggy_merge:buggy h in
+    {
+      obj = Dsm_objects.Oboard.name;
+      update =
+        (fun _ ~round ->
+          let pid = COboard.pid t in
+          COboard.update t
+            (Dsm_objects.Oboard.post ~author:(Printf.sprintf "p%d" pid)
+               ~text:(Printf.sprintf "t%d" round)));
+      query = (fun () -> COboard.query t);
+      queries = (fun () -> COboard.queries t);
+    }
+
+  let drivers =
+    [
+      ("obj-counter", counter);
+      ("obj-gset", gset);
+      ("obj-2pset", tpset);
+      ("obj-queue", oqueue);
+      ("obj-dict", odict);
+      ("obj-board", oboard);
+    ]
+end
+
+let object_scenario ~scenario ~make ?(knobs = default_knobs) ?(seed = 12L)
+    ?(processes = 3) ?(rounds = 4) () =
+  if processes < 2 then
+    invalid_arg (Printf.sprintf "Chaos.%s: processes must be >= 2" scenario);
+  if rounds < 1 then invalid_arg (Printf.sprintf "Chaos.%s: rounds must be >= 1" scenario);
+  let engine = Engine.create () in
+  let sched = Proc.scheduler engine in
+  let owner = Owner.by_index ~nodes:processes in
+  (* Op-log cells must read [Free] until written: that is the probes'
+     end-of-log marker. *)
+  let config =
+    Dsm_causal.Config.with_init Dsm_objects.Registry.init Dsm_causal.Config.default
+  in
+  let c, online = make_cluster ~knobs ~seed ~owner ~config sched in
+  (* Queries are client-side folds, invisible to the cluster: publish each
+     one onto the bus ourselves so traced runs show the object milestones. *)
+  let emit_query pid (inst : Objects.inst) ret =
+    match Causal.trace c with
+    | None -> ()
+    | Some bus ->
+        Trace.emit bus ~time:(Engine.now engine)
+          ~clock:(Dsm_causal.Node.vt (Causal.node c pid))
+          (Trace.Op_query { node = pid; obj = inst.Objects.obj; ret })
+  in
+  let buggy = knobs.mutation = Dsm_causal.Config.Merge_drops_op in
+  let master = Prng.create seed in
+  let insts = Array.make processes None in
+  let finals = Array.make processes "" in
+  for pid = 0 to processes - 1 do
+    let prng = Prng.split master in
+    ignore
+      (Proc.spawn sched
+         ~name:(Printf.sprintf "obj%d" pid)
+         (fun () ->
+           let inst = make ~buggy (Causal.handle c pid) in
+           insts.(pid) <- Some inst;
+           for round = 1 to rounds do
+             Proc.sleep (Prng.exponential prng ~mean:2.0);
+             inst.Objects.update prng ~round;
+             if Prng.chance prng 0.5 then emit_query pid inst (inst.Objects.query ())
+           done))
+  done;
+  let failures = run_to_quiescence engine sched in
+  (* After quiescence every client re-syncs and queries once more: all
+     final returns must agree — the convergence the frontier-closed merge
+     guarantees once every update has propagated. *)
+  ignore
+    (Proc.spawn sched ~name:"collect" (fun () ->
+         Array.iteri
+           (fun pid inst ->
+             match inst with
+             | Some i ->
+                 finals.(pid) <- i.Objects.query ();
+                 emit_query pid i finals.(pid)
+             | None -> ())
+           insts));
+  Engine.run engine;
+  let queries =
+    Array.to_list insts
+    |> List.concat_map (function Some i -> i.Objects.queries () | None -> [])
+  in
+  let violations =
+    Check.check_objects ~lookup:Dsm_objects.Registry.find (Causal.history c) queries
+  in
+  let obj_ok = violations = [] in
+  let converged = Array.for_all (fun s -> String.equal s finals.(0)) finals in
+  let notes =
+    ("object_queries", string_of_int (List.length queries))
+    :: ("object_ok", string_of_bool obj_ok)
+    :: ("views_converged", string_of_bool converged)
+    :: ("final_view", finals.(0))
+    :: (match violations with
+       | [] -> []
+       | v :: _ -> [ ("object_violation", v.Dsm_checker.Obj_check.v_reason) ])
+    @ List.map (fun (name, msg) -> ("failed:" ^ name, msg)) failures
+  in
+  let r = build_report ~scenario ~sched ~engine ~crashes:0 ~notes ?online c in
+  { r with causal_ok = r.causal_ok && obj_ok && converged }
+
 let scenarios =
   [
     "mix";
@@ -864,6 +1066,7 @@ let scenarios =
     "split-brain";
     "shard";
   ]
+  @ List.map fst Objects.drivers
 
 let run ?knobs ?seed name =
   match name with
@@ -877,10 +1080,13 @@ let run ?knobs ?seed name =
   | "partition" -> partition ?knobs ?seed ()
   | "split-brain" -> split_brain ?knobs ?seed ()
   | "shard" -> shard ?knobs ?seed ()
-  | other ->
-      invalid_arg
-        (Printf.sprintf "Chaos.run: unknown scenario %s (expected one of %s)" other
-           (String.concat ", " scenarios))
+  | other -> (
+      match List.assoc_opt other Objects.drivers with
+      | Some make -> object_scenario ~scenario:other ~make ?knobs ?seed ()
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Chaos.run: unknown scenario %s (expected one of %s)" other
+               (String.concat ", " scenarios)))
 
 let pp_report ppf r =
   let line fmt = Format.fprintf ppf fmt in

@@ -182,6 +182,42 @@ val shard :
     phase 3 exercises the SUB_REQ/SUB_REPLY catch-up transfer
     (["shard0_subscribers"] lists the resulting share-set). *)
 
+module Objects : sig
+  type inst = {
+    obj : string;  (** the family name, stamped on query trace milestones *)
+    update : Dsm_util.Prng.t -> round:int -> unit;
+    query : unit -> string;
+    queries : unit -> Dsm_checker.Obj_check.query list;
+  }
+  (** One attached object client, behind closures: the instances' op types
+      differ, so the scenario runner drives them uniformly. *)
+
+  val drivers : (string * (buggy:bool -> Dsm_causal.Cluster.handle -> inst)) list
+  (** Scenario name -> client builder, one per shipped instance. *)
+end
+
+val object_scenario :
+  scenario:string ->
+  make:(buggy:bool -> Dsm_causal.Cluster.handle -> Objects.inst) ->
+  ?knobs:knobs ->
+  ?seed:int64 ->
+  ?processes:int ->
+  ?rounds:int ->
+  unit ->
+  report
+(** Causal objects under loss: every process attaches a client of one
+    [Causal_object] instance, interleaves spec-level updates with queries,
+    and queries once more after quiescence.  [causal_ok] additionally
+    requires every recorded query return to be spec-legal under some
+    causal-past linearization of its observed context
+    ({!Dsm_checker.Causal_check.check_objects}, noted as ["object_ok"])
+    and all final returns to agree (["views_converged"]).  With
+    [knobs.mutation = Merge_drops_op] the clients' merge silently drops
+    the causally greatest observed update — caught only at the object
+    level.  The named drivers in {!Objects.drivers} ([obj-counter],
+    [obj-gset], [obj-2pset], [obj-queue], [obj-dict], [obj-board]) are
+    all reachable through {!run}. *)
+
 val scenarios : string list
 (** Names accepted by {!run}, in presentation order. *)
 

@@ -94,6 +94,20 @@ let violations history =
   | Error e -> failwith ("Causal_check.violations: malformed history: " ^ e)
 
 (* ------------------------------------------------------------------ *)
+(* Objects over sequential specs                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The generalization from reads-from over registers to spec-legal return
+   values lives in [Obj_check]; these entry points keep the register
+   verdicts above byte-identical (nothing on the register path changes)
+   while making the object layer reachable from the same module the apps
+   and the model checker already call. *)
+
+let check_objects ~lookup history queries = Obj_check.check ~lookup history queries
+
+let objects_correct ~lookup history queries = Obj_check.is_correct ~lookup history queries
+
+(* ------------------------------------------------------------------ *)
 (* Violation explanations                                              *)
 (* ------------------------------------------------------------------ *)
 

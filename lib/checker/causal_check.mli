@@ -43,6 +43,26 @@ val is_correct : Dsm_memory.History.t -> bool
 val violations : Dsm_memory.History.t -> violation list
 (** Empty iff correct; malformed histories raise [Failure]. *)
 
+(** {1 Objects over sequential specs}
+
+    The same causality graph, generalized from reads-from over registers
+    to spec-legal return values: a query's folded return is checked
+    against every causal-past linearization of its observed context (see
+    {!Obj_check} for the rule and its bounds).  Register verdicts are
+    unaffected. *)
+
+val check_objects :
+  lookup:(string -> Obj_check.sem option) ->
+  Dsm_memory.History.t ->
+  Obj_check.query list ->
+  Obj_check.violation list
+
+val objects_correct :
+  lookup:(string -> Obj_check.sem option) ->
+  Dsm_memory.History.t ->
+  Obj_check.query list ->
+  bool
+
 (** {1 Violation explanations} *)
 
 type explanation = {

@@ -1,0 +1,220 @@
+(* Generalized causal checking for objects defined by a sequential
+   specification (Mostéfaoui-Perrin-Raynal, PAPERS.md).
+
+   An object lives in the memory as a family of per-writer, append-only
+   op-log cells [Loc.Cell (obj, writer, k)]; each cell holds one encoded
+   update, written once.  A {e query} is a client-side fold: the process
+   probes the cells with ordinary register reads and folds the payloads it
+   observed through the spec.  The registers never learn the semantics —
+   this module does.
+
+   The legality rule (the linearization-of-causal-past rule, see
+   docs/CHECKERS.md): a query with observation set [obs] (the updates its
+   latest probe reads returned) and return value [ret] is legal iff there
+   is a set [S] of updates with
+
+     closure(obs) ⊆ S ⊆ may,
+
+   where [closure(obs)] adds every update causally preceding an observed
+   one, [may] excludes updates causally following the query's anchor (the
+   querying process's last operation), [S] is downward-closed under the
+   causal order, and some linearization of [S] consistent with the causal
+   order folds to [ret].  Stale probes are the register checker's
+   department (Definition 1 already covers each read); what the object
+   layer adds is {e cross-cell closure} — a fold must not use an update
+   while dropping one of its causal prerequisites — and {e merge
+   correctness} — it must not drop an update it demonstrably observed.
+
+   Cost bounds: with [e = |may \ closure(obs)|] candidate extras the
+   subset search is [O(2^e)]; order-sensitive folds additionally try
+   causal-order linearizations of each subset under a global budget.
+   Beyond [max_extras] extras or an exhausted linearization budget the
+   checker answers {e legal} — conservative: it never flags a query it
+   could not afford to refute. *)
+
+module Op = Dsm_memory.Op
+module Loc = Dsm_memory.Loc
+module Wid = Dsm_memory.Wid
+module Value = Dsm_memory.Value
+module History = Dsm_memory.History
+
+type sem = {
+  obj : string;
+  fold : string list -> string;
+  order_sensitive : bool;
+}
+
+type update = { u_key : int; u_cell : int * int; u_payload : string }
+
+type query = {
+  q_pid : int;
+  q_obj : string;
+  q_ret : string;
+  q_anchor : int;
+  q_observed : (Loc.t * Wid.t) list option;
+}
+
+type violation = { v_query : query; v_reason : string }
+
+let max_extras = 12
+
+let max_linearizations = 5_000
+
+(* The payload a stored value carries: object updates are [Str] payloads;
+   anything else renders through [Value.to_string] so a malformed history
+   still folds deterministically. *)
+let payload = function Value.Str s -> s | v -> Value.to_string v
+
+let canonical = List.sort (fun a b -> compare (a.u_cell, a.u_key) (b.u_cell, b.u_key))
+
+exception Found
+
+exception Budget
+
+(* Enumerate every linearization of [pool] consistent with [precedes],
+   calling [check] on each; raises [Found] on a match, [Budget] when the
+   global attempt budget is exhausted. *)
+let rec topo_search ~precedes ~budget ~check acc pool =
+  match pool with
+  | [] -> if check (List.rev_map (fun u -> u.u_payload) acc) then raise Found
+  | _ ->
+      List.iter
+        (fun u ->
+          let minimal =
+            not (List.exists (fun v -> v.u_key <> u.u_key && precedes v.u_key u.u_key) pool)
+          in
+          if minimal then begin
+            decr budget;
+            if !budget <= 0 then raise Budget;
+            topo_search ~precedes ~budget ~check (u :: acc)
+              (List.filter (fun v -> v.u_key <> u.u_key) pool)
+          end)
+        pool
+
+(* Can the subset [s] (canonically ordered) fold to [ret] under some
+   causal-order-consistent linearization? *)
+let subset_matches ~sem ~precedes ~budget s ret =
+  if not sem.order_sensitive then String.equal (sem.fold (List.map (fun u -> u.u_payload) s)) ret
+  else
+    match topo_search ~precedes ~budget ~check:(fun ps -> String.equal (sem.fold ps) ret) [] s with
+    | () -> false
+    | exception Found -> true
+    | exception Budget -> true (* over budget: conservative *)
+
+let legal ~sem ~precedes ~updates ~observed ~anchor ~ret =
+  let updates = canonical updates in
+  let observed = List.sort_uniq compare observed in
+  let in_observed k = List.mem k observed in
+  (* [closure(obs)]: observed updates plus their causal prerequisites.
+     Downward-closed by transitivity of [precedes]. *)
+  let must, rest =
+    List.partition
+      (fun u -> in_observed u.u_key || List.exists (fun o -> precedes u.u_key o) observed)
+      updates
+  in
+  let extras =
+    Array.of_list
+      (List.filter
+         (fun u -> match anchor with Some a -> not (precedes a u.u_key) | None -> true)
+         rest)
+  in
+  let k = Array.length extras in
+  if k > max_extras then true
+  else begin
+    let budget = ref max_linearizations in
+    let matches subset = subset_matches ~sem ~precedes ~budget (canonical subset) ret in
+    let rec try_mask m =
+      if m >= 1 lsl k then false
+      else begin
+        let chosen = List.filter (fun i -> m land (1 lsl i) <> 0) (List.init k Fun.id) in
+        let dropped = List.filter (fun i -> m land (1 lsl i) = 0) (List.init k Fun.id) in
+        (* Downward-closure among the extras: a chosen extra must not have a
+           dropped causal prerequisite.  ([must] already contains every
+           prerequisite of an observed update.) *)
+        let closed =
+          List.for_all
+            (fun i ->
+              not (List.exists (fun j -> precedes extras.(j).u_key extras.(i).u_key) dropped))
+            chosen
+        in
+        if closed && matches (must @ List.map (fun i -> extras.(i)) chosen) then true
+        else try_mask (m + 1)
+      end
+    in
+    match try_mask 0 with
+    | r -> r
+    | exception Budget -> true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Post-hoc checking over a recorded history                           *)
+(* ------------------------------------------------------------------ *)
+
+let cell_of ~obj loc =
+  match (loc : Loc.t) with
+  | Loc.Cell (name, i, j) when String.equal name obj -> Some (i, j)
+  | _ -> None
+
+let check_query ~lookup g q =
+  let bad reason = Some { v_query = q; v_reason = reason } in
+  match lookup q.q_obj with
+  | None -> bad (Printf.sprintf "unknown object family %S" q.q_obj)
+  | Some sem ->
+      let n = Causality.op_count g in
+      let updates = ref [] in
+      let anchor = ref None in
+      for idx = 0 to n - 1 do
+        let o = Causality.op g idx in
+        (if Op.is_write o then
+           match cell_of ~obj:q.q_obj o.Op.loc with
+           | Some cell ->
+               updates := { u_key = idx; u_cell = cell; u_payload = payload o.Op.value } :: !updates
+           | None -> ());
+        if o.Op.pid = q.q_pid && o.Op.index = q.q_anchor then anchor := Some idx
+      done;
+      let observed =
+        match q.q_observed with
+        | Some pairs ->
+            List.filter_map
+              (fun (_, wid) -> if Wid.is_initial wid then None else Causality.writer_of g wid)
+              pairs
+        | None ->
+            (* Reconstruct the probes from the history: the latest read per
+               cell of the family by the querying process, at or before the
+               anchor. *)
+            let best = Hashtbl.create 8 in
+            for idx = 0 to n - 1 do
+              let o = Causality.op g idx in
+              if o.Op.pid = q.q_pid && Op.is_read o && o.Op.index <= q.q_anchor then
+                match cell_of ~obj:q.q_obj o.Op.loc with
+                | Some cell -> (
+                    match Hashtbl.find_opt best cell with
+                    | Some (i0, _) when i0 > o.Op.index -> ()
+                    | _ -> Hashtbl.replace best cell (o.Op.index, o.Op.wid))
+                | None -> ()
+            done;
+            Hashtbl.fold
+              (fun _ (_, wid) acc ->
+                if Wid.is_initial wid then acc
+                else match Causality.writer_of g wid with Some i -> i :: acc | None -> acc)
+              best []
+      in
+      if
+        legal ~sem
+          ~precedes:(Causality.precedes g)
+          ~updates:!updates ~observed ~anchor:!anchor ~ret:q.q_ret
+      then None
+      else
+        bad
+          (Printf.sprintf
+             "%s query by process %d returned %S, which no causal-past linearization of its \
+              observed context produces"
+             q.q_obj q.q_pid q.q_ret)
+
+let check ~lookup history queries =
+  match Causality.build history with
+  | Error e ->
+      List.map (fun q -> { v_query = q; v_reason = "malformed history: " ^ e }) queries
+  | Ok g -> List.filter_map (check_query ~lookup g) queries
+
+let is_correct ~lookup history queries = check ~lookup history queries = []

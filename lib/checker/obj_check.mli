@@ -1,0 +1,92 @@
+(** Causal checking for arbitrary objects over sequential specifications.
+
+    The registers of {!Causal_check} carry no semantics: a read is checked
+    against the identity of the write it returned.  Objects built on top of
+    the memory (counters, sets, queues — see [lib/objects]) store their
+    updates as opaque payloads in per-writer op-log cells
+    [Loc.Cell (obj, writer, k)] and answer {e queries} by folding the
+    payloads a client observed.  This module checks those folds: a query
+    return is legal iff {e some causal-past linearization of the query's
+    observed context produces it} (Mostéfaoui-Perrin-Raynal's causal
+    consistency for objects, bounded following Bouajjani et al.).
+
+    Concretely, a query with observation set [obs] and return [ret] is
+    legal iff there is an update set [S] with [closure(obs) ⊆ S ⊆ may] —
+    [closure] adding every causal prerequisite of an observed update, [may]
+    excluding updates causally after the query's anchor — such that [S] is
+    downward-closed and a causal-order-consistent linearization of [S]
+    folds to [ret].  Register-level staleness stays {!Causal_check}'s
+    department; the object layer adds cross-cell closure and merge
+    correctness (a fold must not drop an update it observed).
+
+    Verdicts are conservative: past {!max_extras} candidate concurrent
+    updates, or when an order-sensitive fold exhausts its linearization
+    budget, the query is declared legal rather than mis-flagged.  Both
+    {!Online.add_query} (incremental, prefix-closed) and the post-hoc
+    {!check} here share {!legal}, so the two layers cannot disagree on the
+    rule itself. *)
+
+type sem = {
+  obj : string;  (** the object family: the [Loc.Cell] name its cells use *)
+  fold : string list -> string;
+      (** apply encoded updates, in linearization order, to the spec's
+          initial state and render the query return *)
+  order_sensitive : bool;
+      (** [false] when every linearization of a set folds equally
+          (commutative specs): the checker then tries each candidate set
+          once, in canonical cell order *)
+}
+
+type update = {
+  u_key : int;  (** caller's graph index (online index or causality index) *)
+  u_cell : int * int;  (** [(writer, k)] — the canonical fold tie-break *)
+  u_payload : string;
+}
+
+type query = {
+  q_pid : int;
+  q_obj : string;
+  q_ret : string;
+  q_anchor : int;
+      (** program index of the querying process's last operation at query
+          time ([-1] when the query ran before any operation) *)
+  q_observed : (Dsm_memory.Loc.t * Dsm_memory.Wid.t) list option;
+      (** the latest probe's source per cell, when the client recorded
+          them; [None] reconstructs the probes from the history *)
+}
+
+type violation = { v_query : query; v_reason : string }
+
+val max_extras : int
+
+val max_linearizations : int
+
+val payload : Dsm_memory.Value.t -> string
+(** The encoded update a stored value carries ([Str] payloads verbatim). *)
+
+val legal :
+  sem:sem ->
+  precedes:(int -> int -> bool) ->
+  updates:update list ->
+  observed:int list ->
+  anchor:int option ->
+  ret:string ->
+  bool
+(** The shared legality core, generic over the caller's causal order:
+    [updates] are every update of the family, [observed] the keys of the
+    updates the query's probes returned, [anchor] the key of the querying
+    process's last operation.  Conservative [true] beyond the search
+    bounds. *)
+
+val check :
+  lookup:(string -> sem option) ->
+  Dsm_memory.History.t ->
+  query list ->
+  violation list
+(** Post-hoc verdicts over a complete history (the object-level
+    counterpart of {!Causal_check.check}); a malformed history flags every
+    query.  [lookup] resolves a family name to its semantics — pass the
+    object registry's finder. *)
+
+val is_correct :
+  lookup:(string -> sem option) -> Dsm_memory.History.t -> query list -> bool

@@ -276,3 +276,55 @@ let add_op t (op : Op.t) =
           Hashtbl.replace t.pending_rf wid (idx :: waiting)
   end;
   List.rev !found
+
+(* ------------------------------------------------------------------ *)
+(* Object queries (the generalized, spec-legal-return check)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Check one object query against the prefix seen so far, sharing
+   {!Obj_check.legal} with the post-hoc checker.  The prefix closure is a
+   subset of the final one, so [closure(obs)] here under-approximates and
+   [may] over-approximates their post-hoc values — every verdict this
+   reaches is therefore also a post-hoc violation (same soundness contract
+   as [add_op]).  A query whose observed source writes have not all
+   arrived is deferred wholesale to the post-hoc check: an unvalidated
+   association must not anchor evidence, exactly as for pending reads. *)
+let add_query t ~sem ~pid ~observed ~ret =
+  t.checks <- t.checks + 1;
+  let obj = sem.Obj_check.obj in
+  let updates = ref [] in
+  for i = 0 to t.n - 1 do
+    let o = t.ops.(i) in
+    if Op.is_write o then
+      match o.Op.loc with
+      | Loc.Cell (name, ci, cj) when String.equal name obj ->
+          updates :=
+            { Obj_check.u_key = i; u_cell = (ci, cj); u_payload = Obj_check.payload o.Op.value }
+            :: !updates
+      | _ -> ()
+  done;
+  let anchor = Hashtbl.find_opt t.last_of_pid pid in
+  let resolved =
+    List.fold_left
+      (fun acc (_, wid) ->
+        match acc with
+        | None -> None
+        | Some keys ->
+            if Wid.is_initial wid then Some keys
+            else (
+              match Hashtbl.find_opt t.writers wid with
+              | Some iw -> Some (iw :: keys)
+              | None -> None))
+      (Some []) observed
+  in
+  match resolved with
+  | None -> None (* an observed source is still pending: post-hoc will rule *)
+  | Some keys ->
+      if Obj_check.legal ~sem ~precedes:(precedes t) ~updates:!updates ~observed:keys ~anchor ~ret
+      then None
+      else
+        Some
+          (Printf.sprintf
+             "%s query by process %d returned %S, which no causal-past linearization of its \
+              observed context produces"
+             obj pid ret)

@@ -61,3 +61,22 @@ val checks : t -> int
 
 val edges : t -> int
 (** Causality edges inserted into the incremental closure. *)
+
+val add_query :
+  t ->
+  sem:Obj_check.sem ->
+  pid:int ->
+  observed:(Dsm_memory.Loc.t * Dsm_memory.Wid.t) list ->
+  ret:string ->
+  string option
+(** Check one object query against the prefix seen so far: the
+    generalization of this checker from reads-from over registers to
+    spec-legal return values.  [observed] is the query's latest probe
+    source per cell, [ret] the folded return the client produced; legality
+    is {!Obj_check.legal} over the incremental closure, anchored at the
+    querying process's latest operation.  Returns the violation reason, or
+    [None] when the return is legal on this prefix (or when an observed
+    source write has not arrived yet — such a query defers wholesale to
+    the post-hoc {!Obj_check.check}, which remains authoritative).
+    Queries are checked statelessly: they insert no operation and no
+    edges. *)

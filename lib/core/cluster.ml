@@ -80,6 +80,11 @@ type t = {
   wals : Wal.t array;
   detector_config : Detector.config option;
   checkpoint_every : float option;
+  (* Share-set GC: runtime subscribers that stop touching a shard are
+     unsubscribed after this much access-quiet sim time ([None] = never).
+     [shard_access] maps [(node, shard)] to the last client access. *)
+  unsubscribe_idle : float option;
+  shard_access : (int * int, float) Hashtbl.t;
   hb_prngs : Prng.t array; (* per-node heartbeat jitter *)
   writer_waits : (int, unit Proc.ivar) Hashtbl.t array;
   mutable writer_seq : int;
@@ -134,6 +139,14 @@ let failover_on t = Protocol.failover_on t.core
 let suspected t ~me ~peer = Protocol.suspected t.core ~me ~peer
 
 let backup_of t ~serving = Protocol.backup_of t.core ~serving
+
+(* Feed the share-set GC: stamp the shard behind every client read/write so
+   the idle timer can tell a quiet runtime subscription from a live one.
+   No-op unless sharding and a quiescence window are both configured. *)
+let note_shard_access t ~node loc =
+  match (t.unsubscribe_idle, Protocol.sharding t.core) with
+  | Some _, Some s -> Hashtbl.replace t.shard_access (node, Shard.of_loc s loc) (sim_now t)
+  | _ -> ()
 
 (* Stamp a trace body with the simulated time and the acting node's vector
    clock and publish it.  No-op on an untraced cluster. *)
@@ -299,8 +312,49 @@ let start_checkpoint_timers t =
         Dsm_sim.Engine.schedule engine ~delay:period tick
       done
 
+(* Share-set garbage collection: a periodic sweep unsubscribes any runtime
+   subscriber (never a ring member — [Shard.unsubscribe] would refuse
+   anyway) whose last client access to the shard is older than the
+   quiescence window.  A subscription that has never been accessed from
+   this node (an explicit [subscribe] warm-up) is stamped on first sight so
+   it too gets a full window before collection.  The Unsubscribe event
+   drops the node's cached copies of the shard's locations; a later access
+   misses, fetches from the shard owner and resubscribes through the usual
+   subscribe-on-access catch-up, so collection is always causally safe. *)
+let start_unsubscribe_timers t =
+  match t.unsubscribe_idle with
+  | None -> ()
+  | Some window ->
+      let engine = Proc.engine t.sched in
+      let period = window /. 2.0 in
+      for me = 0 to Protocol.processes t.core - 1 do
+        let rec tick () =
+          if (not t.timers_stopped) && Proc.active t.sched then begin
+            (match Protocol.sharding t.core with
+            | None -> ()
+            | Some s ->
+                if not (Protocol.is_crashed t.core me) then
+                  for shard = 0 to Shard.count s - 1 do
+                    if Shard.subscribed s ~shard ~node:me && not (Shard.in_ring s ~shard ~node:me)
+                    then begin
+                      let now = sim_now t in
+                      match Hashtbl.find_opt t.shard_access (me, shard) with
+                      | None -> Hashtbl.replace t.shard_access (me, shard) now
+                      | Some last ->
+                          if now -. last >= window then begin
+                            Hashtbl.remove t.shard_access (me, shard);
+                            dispatch t (Protocol.Unsubscribe { node = me; shard })
+                          end
+                    end
+                  done);
+            Dsm_sim.Engine.schedule engine ~delay:period tick
+          end
+        in
+        Dsm_sim.Engine.schedule engine ~delay:period tick
+      done
+
 let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability ?rpc
-    ?detector ?sharding ?disk ?checkpoint_every ?trace ?(seed = 42L) () =
+    ?detector ?sharding ?disk ?checkpoint_every ?unsubscribe_idle ?trace ?(seed = 42L) () =
   Config.validate config;
   (match rpc with
   | Some r ->
@@ -310,6 +364,11 @@ let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability
   (match detector with Some d -> Detector.validate d | None -> ());
   (match checkpoint_every with
   | Some p when p <= 0.0 -> invalid_arg "Cluster.create: checkpoint_every must be positive"
+  | _ -> ());
+  (match unsubscribe_idle with
+  | Some w when w <= 0.0 -> invalid_arg "Cluster.create: unsubscribe_idle must be positive"
+  | Some _ when sharding = None ->
+      invalid_arg "Cluster.create: unsubscribe_idle requires sharding"
   | _ -> ());
   let processes = Owner.nodes owner in
   let engine = Proc.engine sched in
@@ -344,6 +403,8 @@ let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability
       wals = Array.init processes (fun node -> Wal.attach disk ~node);
       detector_config = detector;
       checkpoint_every;
+      unsubscribe_idle;
+      shard_access = Hashtbl.create 16;
       hb_prngs = Array.init processes (fun _ -> Prng.split hb_master);
       writer_waits = Array.init processes (fun _ -> Hashtbl.create 4);
       writer_seq = 0;
@@ -386,6 +447,7 @@ let create ~sched ~owner ?(config = Config.default) ?latency ?fault ?reliability
   done;
   start_heartbeats t;
   start_checkpoint_timers t;
+  start_unsubscribe_timers t;
   t
 
 let node t pid = Protocol.node t.core pid
@@ -678,6 +740,7 @@ let read_stamped h loc =
   let t = h.cluster in
   let node = h.node in
   check_up h;
+  note_shard_access t ~node:(Node.id node) loc;
   let stats = Node.stats node in
   let start_time = sim_now t in
   let record_read entry =
@@ -764,6 +827,7 @@ let write_resolved h loc value =
   let t = h.cluster in
   let node = h.node in
   check_up h;
+  note_shard_access t ~node:(Node.id node) loc;
   let stats = Node.stats node in
   let start_time = sim_now t in
   if Node.owns node loc then begin

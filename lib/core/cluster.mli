@@ -87,6 +87,7 @@ val create :
   ?sharding:Dsm_memory.Shard.t ->
   ?disk:Wal.Disk.t ->
   ?checkpoint_every:float ->
+  ?unsubscribe_idle:float ->
   ?trace:Dsm_protocol.Trace.t ->
   ?seed:int64 ->
   unit ->
@@ -107,7 +108,13 @@ val create :
     costs nothing.  [?sharding] (which must agree with [owner] on the
     cluster size) switches the core to partial replication (PROTOCOL.md,
     "Partial replication & sharding"); omitted, behavior is bit-identical
-    to the unsharded cluster. *)
+    to the unsharded cluster.  [?unsubscribe_idle] (sharded clusters only,
+    must be positive) garbage-collects share-sets: a periodic sweep
+    unsubscribes any {e runtime} subscriber — never a ring member — whose
+    last client access to the shard is at least this much sim time old,
+    dropping its cached copies of the shard; the next access resubscribes
+    it through the usual subscribe-on-access catch-up transfer, which is
+    causally safe.  Without it share-sets only ever grow. *)
 
 val handle : t -> int -> handle
 (** The memory handle of process [pid]. *)

@@ -14,6 +14,7 @@ type mutation =
   | Truncate_wal_early
   | Takeover_without_quorum
   | Prune_share_set_wrongly
+  | Merge_drops_op
 
 let mutations =
   [
@@ -25,6 +26,7 @@ let mutations =
     ("truncate-wal-early", Truncate_wal_early);
     ("takeover-without-quorum", Takeover_without_quorum);
     ("prune-share-set-wrongly", Prune_share_set_wrongly);
+    ("merge-drops-op", Merge_drops_op);
   ]
 
 let mutation_name = function

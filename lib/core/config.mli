@@ -64,6 +64,13 @@ type mutation =
           their entries): a genuine subscriber's cached copy misses the
           invalidation a causally newer write should have forced, so it
           re-reads stale state after observing the newer write *)
+  | Merge_drops_op
+      (** the {e client-side} object merge silently drops the causally
+          greatest observed update before folding a query's return value
+          (a lost-op bug in the [Causal_object] merge): every individual
+          probe read stays register-legal, so only the generalized object
+          checker — spec-legal returns over causal-past linearizations —
+          can flag it *)
 
 val mutations : (string * mutation) list
 (** CLI names for every breaking variant (excludes [No_mutation]). *)

@@ -26,6 +26,7 @@ type body =
   | Recovery_line of { node : int; round : int }
   | Op_read of { node : int; loc : Loc.t; value : Value.t; from : Wid.t }
   | Op_write of { node : int; loc : Loc.t; value : Value.t; wid : Wid.t }
+  | Op_query of { node : int; obj : string; ret : string }
   | Violation of { node : int; reason : string }
 
 type event = { seq : int; time : float; clock : Vclock.t option; body : body }
@@ -76,6 +77,7 @@ let kind = function
   | Recovery_line _ -> "recovery_line"
   | Op_read _ -> "read"
   | Op_write _ -> "write"
+  | Op_query _ -> "query"
   | Violation _ -> "violation"
 
 let actor = function
@@ -88,12 +90,14 @@ let actor = function
   | Partition_healed { node; _ } | Vote_granted { node; _ }
   | Crash { node } | Restart { node; _ }
   | Checkpoint_taken { node; _ } | Recovery_line { node; _ }
-  | Op_read { node; _ } | Op_write { node; _ } | Violation { node; _ } ->
+  | Op_read { node; _ } | Op_write { node; _ } | Op_query { node; _ }
+  | Violation { node; _ } ->
       Some node
 
 let milestone = function
   | Suspect _ | Unsuspect _ | Promote _ | Demote _ | Adopt_view _ | Crash _ | Restart _
-  | Recovery_line _ | Degraded _ | Partition_healed _ | Op_read _ | Op_write _ | Violation _ ->
+  | Recovery_line _ | Degraded _ | Partition_healed _ | Op_read _ | Op_write _ | Op_query _
+  | Violation _ ->
       true
   | Send _ | Deliver _ | Drop _ | Duplicate _ | Apply _ | Invalidate _ | Certify _
   | Wal_append _ | Shadow_degraded _ | Vote_granted _ | Checkpoint_taken _ ->
@@ -164,6 +168,8 @@ let body_fields = function
       [ ("node", string_of_int node); ("loc", json_string (Loc.to_string loc));
         ("value", json_string (Value.to_string value));
         ("wid", json_string (Wid.to_string wid)) ]
+  | Op_query { node; obj; ret } ->
+      [ ("node", string_of_int node); ("obj", json_string obj); ("ret", json_string ret) ]
   | Violation { node; reason } ->
       [ ("node", string_of_int node); ("reason", json_string reason) ]
 

@@ -73,6 +73,10 @@ type body =
       value : Dsm_memory.Value.t;
       wid : Dsm_memory.Wid.t;
     }
+  | Op_query of { node : int; obj : string; ret : string }
+      (** an object-level query: the named [Causal_object] family folded
+          the issuer's observed updates through its sequential spec and
+          returned [ret] *)
   (* Checker level. *)
   | Violation of { node : int; reason : string }
       (** the online checker rejected an operation as it happened *)

@@ -6,7 +6,7 @@ module Loc = Dsm_memory.Loc
 module Value = Dsm_memory.Value
 module Prng = Dsm_util.Prng
 
-type op = Read of Loc.t | Write of Loc.t * Value.t
+type op = Read of Loc.t | Write of Loc.t * Value.t | Query of string
 
 type fault =
   | No_faults
@@ -330,7 +330,34 @@ let shard_scope =
     precise = true;
   }
 
-let presets = [ mp; publication; race; failover; fence; lossy; power; partition; shard_scope ]
+(* Causal objects: both nodes append an increment to their own op-log cell
+   of the counter family ("ctr", see lib/objects), probe the other's cell
+   and query.  The query folds the probed payloads through the counter
+   spec; the generalized checker certifies every interleaving's return
+   against the causal-past-linearization rule.  Catches [Merge_drops_op],
+   the client-side merge bug that folds one observed update short — each
+   probe read stays register-legal, so only the object layer sees it. *)
+let objects_scope =
+  let c0 = Loc.cell "ctr" 0 0 in
+  let c1 = Loc.cell "ctr" 1 0 in
+  {
+    sname = "objects";
+    nodes = 2;
+    owner = owner_fn ~nodes:2 (fun _ -> 0);
+    programs =
+      [|
+        [ Write (c0, Value.Str "inc"); Read c1; Query "ctr" ];
+        [ Write (c1, Value.Str "inc"); Read c0; Query "ctr" ];
+      |];
+    fault = No_faults;
+    failover = false;
+    mutation = Config.No_mutation;
+    shards = 0;
+    precise = false;
+  }
+
+let presets =
+  [ mp; publication; race; failover; fence; lossy; power; partition; shard_scope; objects_scope ]
 
 let preset name = List.find_opt (fun s -> s.sname = name) presets
 
@@ -345,6 +372,7 @@ let matrix =
     (Config.Truncate_wal_early, "power");
     (Config.Takeover_without_quorum, "partition");
     (Config.Prune_share_set_wrongly, "shard");
+    (Config.Merge_drops_op, "objects");
   ]
 
 (* A generic message-passing-flavoured scope: node 0 alternates writes over

@@ -6,7 +6,16 @@
     {e small-scope} litmus programs the bounded model checker enumerates
     exhaustively ({!presets}, {!generic}). *)
 
-type op = Read of Dsm_memory.Loc.t | Write of Dsm_memory.Loc.t * Dsm_memory.Value.t
+type op =
+  | Read of Dsm_memory.Loc.t
+  | Write of Dsm_memory.Loc.t * Dsm_memory.Value.t
+  | Query of string
+      (** object query: synchronously fold the payloads this process has
+          probed on the named family's op-log cells (latest probe per
+          cell) through the family's sequential spec, mirroring the
+          client-side merge of [Causal_object]; the return is certified by
+          the generalized checker (spec-legal under some causal-past
+          linearization), online and post-hoc *)
 
 type fault =
   | No_faults
@@ -73,6 +82,7 @@ val lossy : scope
 val power : scope
 val partition : scope
 val shard_scope : scope
+val objects_scope : scope
 
 val presets : scope list
 (** All of the above, each small enough for exhaustive exploration. *)

@@ -10,6 +10,9 @@ module Op = Dsm_memory.Op
 module History = Dsm_memory.History
 module Online = Dsm_checker.Online
 module Check = Dsm_checker.Causal_check
+module Obj_check = Dsm_checker.Obj_check
+module Registry = Dsm_objects.Registry
+module Wid = Dsm_memory.Wid
 
 type choice =
   | Issue of int
@@ -70,6 +73,7 @@ type t = {
   owner_stamp : (int * string, Vclock.t) Hashtbl.t;
   read_stamp : (int * string, Vclock.t) Hashtbl.t;
   mutable violation : (int * string) option;
+  mutable queries : Obj_check.query list;  (** recorded object queries, newest first *)
   mutable crashed_done : bool;
   mutable takeover_done : bool;
   mutable restarted : bool;
@@ -128,6 +132,7 @@ let init ?(tracing = false) (scope : Gen.scope) =
     owner_stamp = Hashtbl.create 16;
     read_stamp = Hashtbl.create 16;
     violation = None;
+    queries = [];
     crashed_done = false;
     takeover_done = false;
     restarted = false;
@@ -457,6 +462,63 @@ let do_write t pid loc value =
     send_write t pid loc entry ~redirects:0
   end
 
+(* An object query: synchronously fold the payloads this process has
+   probed on [obj]'s op-log cells (its latest read per cell, skipping
+   cells still at their initial value) through the family's spec — the
+   model of [Causal_object.Client]'s merge, whose probe reads the litmus
+   program issues explicitly.  The query is recorded with its observation
+   set for post-hoc certification and fed to the online checker at once.
+   Under [Merge_drops_op] the fold silently skips the last observed update
+   (the client-side lost-op bug) while the {e recorded} observation set
+   stays truthful — every probe read is register-legal, so only the
+   object-level certification can flag the spec-illegal return. *)
+let do_query t pid obj =
+  let sem = Registry.find obj in
+  let best : (int * int, Op.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (o : Op.t) ->
+      if Op.is_read o then
+        match o.Op.loc with
+        | Loc.Cell (name, ci, cj) when String.equal name obj ->
+            let key = (ci, cj) in
+            (match Hashtbl.find_opt best key with
+            | Some (prev : Op.t) when prev.Op.index >= o.Op.index -> ()
+            | _ -> Hashtbl.replace best key o)
+        | _ -> ())
+    t.ops.(pid);
+  let observed =
+    Hashtbl.fold (fun cell (o : Op.t) acc -> (cell, o) :: acc) best []
+    |> List.filter (fun (_, (o : Op.t)) -> not (Wid.is_initial o.Op.wid))
+    |> List.sort (fun (c1, _) (c2, _) -> compare c1 c2)
+  in
+  let folded =
+    if t.config.Config.mutation = Config.Merge_drops_op then
+      match List.rev observed with _ :: rest -> List.rev rest | [] -> []
+    else observed
+  in
+  let ret =
+    match sem with
+    | Some s -> s.Obj_check.fold (List.map (fun (_, (o : Op.t)) -> Obj_check.payload o.Op.value) folded)
+    | None -> "?"
+  in
+  let pairs = List.map (fun (_, (o : Op.t)) -> (o.Op.loc, o.Op.wid)) observed in
+  t.queries <-
+    {
+      Obj_check.q_pid = pid;
+      q_obj = obj;
+      q_ret = ret;
+      q_anchor = t.op_index.(pid) - 1;
+      q_observed = Some pairs;
+    }
+    :: t.queries;
+  emit_trace t (Trace.Op_query { node = pid; obj; ret });
+  match sem with
+  | None -> ()
+  | Some s -> (
+      match Online.add_query t.online ~sem:s ~pid ~observed:pairs ~ret with
+      | None -> ()
+      | Some reason -> set_violation t pid ("online: " ^ reason))
+
 (* One detector evaluation at [node] during the partition, modeled
    side-aware: heartbeats from the node's own side keep arriving (a
    synthetic [HB] delivery refreshes its detector entry) while cross-side
@@ -591,7 +653,8 @@ let apply t c =
           t.progs.(pid) <- rest;
           match op with
           | Gen.Read loc -> do_read t pid loc
-          | Gen.Write (loc, value) -> do_write t pid loc value))
+          | Gen.Write (loc, value) -> do_write t pid loc value
+          | Gen.Query obj -> do_query t pid obj))
   | Deliver { src; dst } ->
       let kind, _, msg = Queue.pop t.queues.(src).(dst) in
       emit_trace t (Trace.Deliver { src; dst; kind });
@@ -702,7 +765,23 @@ let completed t =
 
 let posthoc_violation t =
   match Check.check (History.of_ops (history t)) with
-  | Ok Check.Correct | Ok (Check.Violations []) -> None
+  | Ok Check.Correct | Ok (Check.Violations []) -> (
+      (* Registers are clean: certify every recorded object query against
+         the causal-past-linearization rule (the generalized object
+         check).  Register-only scopes record no queries, so their
+         verdicts are untouched. *)
+      match t.queries with
+      | [] -> None
+      | qs -> (
+          match
+            Check.check_objects ~lookup:Registry.find (History.of_ops (history t))
+              (List.rev qs)
+          with
+          | [] -> None
+          | v :: _ ->
+              Some
+                ( v.Obj_check.v_query.Obj_check.q_pid,
+                  "object: " ^ v.Obj_check.v_reason )))
   | Ok (Check.Violations (v :: _)) -> Some (v.Check.read.Op.pid, v.Check.reason)
   | Error msg -> Some (-1, "malformed history: " ^ msg)
 
@@ -711,6 +790,8 @@ let read_values t pid =
   |> List.filter_map (fun (op : Op.t) -> if Op.is_read op then Some op.value else None)
 
 let trace_events t = List.rev t.trace
+
+let queries t = List.rev t.queries
 
 (* ------------------------------------------------------------------ *)
 (* Fingerprinting and independence                                     *)
@@ -759,6 +840,7 @@ let fingerprint t =
       (* Share-sets are protocol state under sharding: two interleavings
          differing only in who has subscribed must not converge. *)
       P.subscriptions t.core,
+      t.queries,
       t.violation )
   in
   Digest.string (Marshal.to_string data [ Marshal.No_sharing ])

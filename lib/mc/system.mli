@@ -104,6 +104,11 @@ val completed : t -> bool
 val read_values : t -> int -> Dsm_memory.Value.t list
 (** The values process [pid]'s reads returned, in program order. *)
 
+val queries : t -> Dsm_checker.Obj_check.query list
+(** The object queries issued so far, oldest first — [q_pid] and [q_ret]
+    let a litmus test assert which spec-level returns an interleaving
+    produced. *)
+
 val trace_events : t -> Dsm_protocol.Trace.event list
 (** The recorded event stream (empty unless [init ~tracing:true]);
     [seq] doubles as the logical time stamp. *)

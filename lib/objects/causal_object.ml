@@ -1,0 +1,218 @@
+(** The [Causal_object] functor: one sequential spec in, a causally
+    consistent replicated object out — plus, mechanically, its checker
+    semantics ({!Make.sem}), which is what turns every instance into a
+    litmus family, a property suite, an MC scope member and a chaos
+    workload (ROADMAP item 3).
+
+    {b Embedding.}  An instance named [obj] stores its updates in
+    per-writer, append-only {e op-log cells} [Loc.Cell (obj, writer, k)]:
+    writer [w]'s [k]-th update is one register write of cell [(w, k)],
+    payload the encoded op.  The sequence is gap-free per writer, so a
+    reader can discover all updates by probing cells [(w, 0), (w, 1), ...]
+    with ordinary register reads until one returns [Free] — object traffic
+    rides the paper's WRITE/invalidation path unchanged, as opaque
+    payloads.  Cluster configs must initialize the family's cells to
+    [Value.Free] (see {!Registry.init}).
+
+    {b Merge and queries.}  A client folds every update it has fetched
+    through the spec, ordering by the update's {e frontier} — the
+    per-writer counts the updating client had fetched when it appended,
+    carried as a payload prefix [f=c0.c1...;<op>].  If update [a] is in the
+    causal past of update [b] then [b]'s frontier strictly dominates [a]'s
+    at [a]'s writer, so sorting by frontier weight (sum, tie-broken by
+    [(writer, k)]) linearizes consistently with the object-level causal
+    order.  A query re-probes until its observation set is
+    {e frontier-closed} (every fetched update's prerequisites are fetched),
+    then folds; each query is also recorded for certification by
+    {!Dsm_checker.Obj_check} against the register history. *)
+
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module Obj_check = Dsm_checker.Obj_check
+
+(* Payload framing: ["f=3.0.1;inc"] is an op with frontier [|3;0;1|];
+   a bare payload (no ["f="] prefix, as MC litmus programs write) has no
+   frontier and sorts by its own cell index. *)
+let encode_frontier frontier bare =
+  let b = Buffer.create (16 + String.length bare) in
+  Buffer.add_string b "f=";
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b '.';
+      Buffer.add_string b (string_of_int c))
+    frontier;
+  Buffer.add_char b ';';
+  Buffer.add_string b bare;
+  Buffer.contents b
+
+let split_payload s =
+  if String.length s >= 2 && s.[0] = 'f' && s.[1] = '=' then
+    match String.index_opt s ';' with
+    | Some i ->
+        let fs = String.sub s 2 (i - 2) in
+        let bare = String.sub s (i + 1) (String.length s - i - 1) in
+        let parts = if fs = "" then [] else String.split_on_char '.' fs in
+        let counts = List.map (fun p -> match int_of_string_opt p with Some n -> n | None -> 0) parts in
+        (Some (Array.of_list counts), bare)
+    | None -> (None, s)
+  else (None, s)
+
+let strip_frontier s = snd (split_payload s)
+
+module Make (S : Spec.SPEC) = struct
+  let name = S.name
+
+  let policy = S.policy
+
+  let order_sensitive = Spec.order_sensitive S.policy
+
+  (* Fold encoded payloads (frontier prefixes tolerated) through the spec
+     in the order given; undecodable payloads are skipped, keeping the
+     checker total on adversarial histories. *)
+  let eval payloads =
+    let st =
+      List.fold_left
+        (fun st p ->
+          match S.decode (strip_frontier p) with Some op -> fst (S.apply st op) | None -> st)
+        S.initial payloads
+    in
+    S.render st
+
+  let sem = { Obj_check.obj = S.name; fold = eval; order_sensitive }
+
+  module Client (M : Dsm_memory.Memory_intf.MEMORY) = struct
+    type fetched = { weight : int; frontier : int array option; bare : string }
+
+    type t = {
+      h : M.handle;
+      pid : int;
+      procs : int;
+      frontier : int array;  (** per-writer count of updates fetched *)
+      fetched : (int * int, fetched) Hashtbl.t;  (** (writer, k) -> update *)
+      buggy_merge : bool;
+      mutable issued : int;  (** reads/writes this client performed: the query anchor *)
+      mutable queries : Obj_check.query list;  (** newest first *)
+    }
+
+    let attach ?(buggy_merge = false) h =
+      let procs = M.processes h in
+      {
+        h;
+        pid = M.pid h;
+        procs;
+        frontier = Array.make procs 0;
+        fetched = Hashtbl.create 32;
+        buggy_merge;
+        issued = 0;
+        queries = [];
+      }
+
+    let pid t = t.pid
+
+    (* One probe sweep: walk every writer's op log upward from the current
+       frontier until a cell reads [Free].  Cells of other writers are
+       refreshed first — the paper's occasional-discard liveness device —
+       so a poll can observe remote progress; own cells always hit the
+       local cache.  Returns whether anything new was fetched. *)
+    let probe_pass t =
+      let found = ref false in
+      for q = 0 to t.procs - 1 do
+        let continue = ref true in
+        while !continue do
+          let k = t.frontier.(q) in
+          let loc = Loc.cell S.name q k in
+          if q <> t.pid then M.refresh t.h loc;
+          let v = M.read t.h loc in
+          t.issued <- t.issued + 1;
+          if Value.is_free v then continue := false
+          else begin
+            let frontier, bare = split_payload (Obj_check.payload v) in
+            let weight =
+              match frontier with Some f -> Array.fold_left ( + ) 0 f | None -> k
+            in
+            Hashtbl.replace t.fetched (q, k) { weight; frontier; bare };
+            t.frontier.(q) <- k + 1;
+            found := true
+          end
+        done
+      done;
+      !found
+
+    (* Is the fetch set frontier-closed?  Every fetched update's embedded
+       frontier must be componentwise covered by what we fetched. *)
+    let closed t =
+      Hashtbl.fold
+        (fun _ (u : fetched) acc ->
+          acc
+          &&
+          match u.frontier with
+          | None -> true
+          | Some f ->
+              let ok = ref true in
+              Array.iteri (fun i c -> if i < t.procs && t.frontier.(i) < c then ok := false) f;
+              !ok)
+        t.fetched true
+
+    (* Re-probe until closed (bounded: each pass either fetches something
+       new or proves closure; the op logs are finite). *)
+    let sync t =
+      let passes = ref 0 in
+      let continue = ref true in
+      while !continue && !passes < t.procs + 3 do
+        incr passes;
+        let found = probe_pass t in
+        continue := found || not (closed t)
+      done
+
+    (* The client-side merge: order by frontier weight (causal-order
+       consistent, see the module comment) and fold.  [buggy_merge] is the
+       [Merge_drops_op] bug: the causally greatest observed update silently
+       falls out of the fold — every probe read stays register-legal, so
+       only the object checker can see it. *)
+    let current t =
+      let items =
+        Hashtbl.fold (fun (w, k) u acc -> ((u.weight, w, k), u.bare) :: acc) t.fetched []
+        |> List.sort compare
+      in
+      let items =
+        if t.buggy_merge then match List.rev items with _ :: rest -> List.rev rest | [] -> []
+        else items
+      in
+      let st =
+        List.fold_left
+          (fun st (_, bare) ->
+            match S.decode bare with Some op -> fst (S.apply st op) | None -> st)
+          S.initial items
+      in
+      st
+
+    let update t op =
+      sync t;
+      let k = t.frontier.(t.pid) in
+      let bare = S.encode op in
+      let payload = encode_frontier t.frontier bare in
+      M.write t.h (Loc.cell S.name t.pid k) (Value.Str payload);
+      t.issued <- t.issued + 1;
+      Hashtbl.replace t.fetched (t.pid, k)
+        { weight = Array.fold_left ( + ) 0 t.frontier; frontier = Some (Array.copy t.frontier); bare };
+      t.frontier.(t.pid) <- k + 1
+
+    let query t =
+      sync t;
+      let ret = S.render (current t) in
+      t.queries <-
+        {
+          Obj_check.q_pid = t.pid;
+          q_obj = S.name;
+          q_ret = ret;
+          q_anchor = t.issued - 1;
+          q_observed = None;
+        }
+        :: t.queries;
+      ret
+
+    let state t = current t
+
+    let queries t = List.rev t.queries
+  end
+end

@@ -1,0 +1,36 @@
+(** A replicated counter: increments (optionally weighted) commute, so
+    every causal-past linearization agrees and the checker never searches
+    orders — the cheapest instance, and the litmus/mutation workhorse. *)
+
+module S = struct
+  type state = int
+
+  type op = Incr | Add of int
+
+  type ret = unit
+
+  let name = "ctr"
+
+  let policy = Spec.Commutes
+
+  let initial = 0
+
+  let apply st = function Incr -> (st + 1, ()) | Add n -> (st + n, ())
+
+  let render = string_of_int
+
+  let encode = function Incr -> "inc" | Add n -> Printf.sprintf "add:%d" n
+
+  let decode s =
+    if String.equal s "inc" then Some Incr
+    else
+      match String.split_on_char ':' s with
+      | [ "add"; n ] -> Option.map (fun n -> Add n) (int_of_string_opt n)
+      | _ -> None
+end
+
+include Causal_object.Make (S)
+
+let incr = S.Incr
+
+let add n = S.Add n

@@ -1,0 +1,30 @@
+(** A grow-only set: membership only ever grows, adds commute (add-wins is
+    trivial — there is nothing to lose against), renders as the sorted
+    element list. *)
+
+module S = struct
+  type state = string list (* sorted, unique *)
+
+  type op = Add of string
+
+  type ret = unit
+
+  let name = "gset"
+
+  let policy = Spec.Add_wins
+
+  let initial = []
+
+  let apply st (Add e) = ((if List.mem e st then st else List.sort compare (e :: st)), ())
+
+  let render st = String.concat "," st
+
+  let encode (Add e) = "add:" ^ e
+
+  let decode s =
+    match String.split_on_char ':' s with [ "add"; e ] -> Some (Add e) | _ -> None
+end
+
+include Causal_object.Make (S)
+
+let of_elt e = S.Add e

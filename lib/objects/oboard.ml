@@ -1,0 +1,41 @@
+(** The message board re-expressed as a [Causal_object] instance: posts
+    accumulate, the query renders the sorted post set.  The causal-memory
+    guarantee the original app demonstrated — a reply is never visible
+    before the post it answers — reappears here as fold closure: a query's
+    fold may not include a post while dropping one of its causal
+    prerequisites, which is exactly what {!Dsm_checker.Obj_check}'s
+    [closure(obs) ⊆ S] bound certifies. *)
+
+module S = struct
+  type state = string list (* sorted "author:text" entries *)
+
+  type op = Post of { author : string; text : string }
+
+  type ret = unit
+
+  let name = "oboard"
+
+  let policy = Spec.Commutes
+
+  let initial = []
+
+  let entry (Post { author; text }) = author ^ ":" ^ text
+
+  let apply st op =
+    let e = entry op in
+    ((if List.mem e st then st else List.sort compare (e :: st)), ())
+
+  let render st = String.concat ";" st
+
+  let encode (Post { author; text }) = Printf.sprintf "post:%s:%s" author text
+
+  let decode s =
+    match String.split_on_char ':' s with
+    | "post" :: author :: rest when rest <> [] ->
+        Some (Post { author; text = String.concat ":" rest })
+    | _ -> None
+end
+
+include Causal_object.Make (S)
+
+let post ~author ~text = S.Post { author; text }

@@ -1,0 +1,48 @@
+(** The paper's Section-4 dictionary re-expressed as a [Causal_object]
+    instance: insert/delete per key, concurrent writers of one key
+    resolving by linearization order — the object-level analog of the
+    register dictionary's owner-favoring policy (which picked the owner's
+    linearization; here any causal-past linearization is spec-legal, and
+    the checker accepts whichever the merge produced). *)
+
+module S = struct
+  type state = (string * string) list (* unordered assoc, one entry per key *)
+
+  type op = Insert of string * string | Delete of string
+
+  type ret = unit
+
+  let name = "odict"
+
+  let policy = Spec.Last_writer_wins
+
+  let initial = []
+
+  let drop k st = List.filter (fun (k', _) -> not (String.equal k k')) st
+
+  let apply st = function
+    | Insert (k, v) -> ((k, v) :: drop k st, ())
+    | Delete k -> (drop k st, ())
+
+  let render st =
+    st
+    |> List.map (fun (k, v) -> k ^ "=" ^ v)
+    |> List.sort compare
+    |> String.concat ","
+
+  let encode = function
+    | Insert (k, v) -> Printf.sprintf "ins:%s:%s" k v
+    | Delete k -> "del:" ^ k
+
+  let decode s =
+    match String.split_on_char ':' s with
+    | [ "ins"; k; v ] -> Some (Insert (k, v))
+    | [ "del"; k ] -> Some (Delete k)
+    | _ -> None
+end
+
+include Causal_object.Make (S)
+
+let insert k v = S.Insert (k, v)
+
+let delete k = S.Delete k

@@ -1,0 +1,32 @@
+(** An append-only queue: pushes append in linearization order, so the
+    rendered order must respect the causal order of the pushes — the
+    order-sensitive instance that forces the checker to actually search
+    causal-past linearizations (concurrent pushes may appear in either
+    order; causally ordered ones must not invert). *)
+
+module S = struct
+  type state = string list (* newest first *)
+
+  type op = Push of string
+
+  type ret = unit
+
+  let name = "oque"
+
+  let policy = Spec.Causal_append
+
+  let initial = []
+
+  let apply st (Push e) = (e :: st, ())
+
+  let render st = String.concat "|" (List.rev st)
+
+  let encode (Push e) = "push:" ^ e
+
+  let decode s =
+    match String.split_on_char ':' s with [ "push"; e ] -> Some (Push e) | _ -> None
+end
+
+include Causal_object.Make (S)
+
+let push e = S.Push e

@@ -1,0 +1,22 @@
+(** Every shipped instance's checker semantics, keyed by family name —
+    the [lookup] the model checker, the chaos harness and the CLI pass to
+    {!Dsm_checker.Obj_check.check} / {!Dsm_checker.Online.add_query}. *)
+
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module Obj_check = Dsm_checker.Obj_check
+
+let all : Obj_check.sem list =
+  [ Counter.sem; Gset.sem; Tpset.sem; Oqueue.sem; Odict.sem; Oboard.sem ]
+
+let names = List.map (fun s -> s.Obj_check.obj) all
+
+let find name = List.find_opt (fun s -> String.equal s.Obj_check.obj name) all
+
+(* Cluster init for object workloads: op-log cells are born [Free] (the
+   probe's end-of-log marker), everything else keeps the register default.
+   Pass as [Config.with_init]. *)
+let init loc =
+  match (loc : Loc.t) with
+  | Loc.Cell (name, _, _) when List.mem name names -> Value.Free
+  | _ -> Value.initial

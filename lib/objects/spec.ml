@@ -1,0 +1,61 @@
+(** Sequential specifications of causal objects.
+
+    The paper's memory is read/write registers, but its causal machinery
+    never inspects values — Mostéfaoui, Perrin & Raynal (PAPERS.md) exploit
+    exactly that: {e any} object with a sequential specification can be made
+    causally consistent over such a memory.  A [SPEC] is that sequential
+    object: a state, an update operation, a deterministic transition
+    function, and a rendering of the state a query returns.  The conflict
+    resolution an instance wants for concurrent updates is a {!policy} —
+    it decides whether the checker must search linearizations (see
+    {!Causal_object} and {!Dsm_checker.Obj_check}). *)
+
+(** How concurrent updates resolve.  [Commutes], [Add_wins] and
+    [Remove_wins] specs reach the same state under every linearization of a
+    set (the policy is folded into [apply]/[render] — e.g. a removed
+    element never returns); [Last_writer_wins] and [Causal_append] are
+    order-sensitive, concurrent updates resolving by linearization order
+    (the object-level analog of the register layer's owner-favoring
+    resolution). *)
+type policy = Commutes | Add_wins | Remove_wins | Last_writer_wins | Causal_append
+
+let order_sensitive = function
+  | Commutes | Add_wins | Remove_wins -> false
+  | Last_writer_wins | Causal_append -> true
+
+let policy_name = function
+  | Commutes -> "commutes"
+  | Add_wins -> "add-wins"
+  | Remove_wins -> "remove-wins"
+  | Last_writer_wins -> "last-writer-wins"
+  | Causal_append -> "causal-append"
+
+module type SPEC = sig
+  type state
+
+  type op
+
+  type ret
+
+  val name : string
+  (** The object family: names this object's [Loc.Cell] op-log cells, the
+      checker registry entry, the chaos scenario and the MC scope member.
+      Must be unique across instances (and distinct from the register
+      families existing apps use). *)
+
+  val policy : policy
+
+  val initial : state
+
+  val apply : state -> op -> state * ret
+
+  val render : state -> string
+  (** The query return: a canonical, total rendering of the state ([=] on
+      renderings must coincide with the spec's state equality). *)
+
+  val encode : op -> string
+  (** Serialize an update into an op-log cell payload.  Must not contain
+      [';'] (reserved by the frontier prefix, {!Causal_object}). *)
+
+  val decode : string -> op option
+end

@@ -1,0 +1,43 @@
+(** A two-phase set under remove-wins resolution: adds and removes
+    accumulate in separate grow-only phases and membership is
+    [added \ removed], so a removed element never returns and concurrent
+    add/remove of one element resolves for the remove under {e every}
+    linearization — the policy is folded into the state, keeping the spec
+    commutative. *)
+
+module S = struct
+  type state = { added : string list; removed : string list } (* both sorted, unique *)
+
+  type op = Add of string | Remove of string
+
+  type ret = unit
+
+  let name = "tpset"
+
+  let policy = Spec.Remove_wins
+
+  let initial = { added = []; removed = [] }
+
+  let insert e l = if List.mem e l then l else List.sort compare (e :: l)
+
+  let apply st = function
+    | Add e -> ({ st with added = insert e st.added }, ())
+    | Remove e -> ({ st with removed = insert e st.removed }, ())
+
+  let render st =
+    String.concat "," (List.filter (fun e -> not (List.mem e st.removed)) st.added)
+
+  let encode = function Add e -> "add:" ^ e | Remove e -> "rem:" ^ e
+
+  let decode s =
+    match String.split_on_char ':' s with
+    | [ "add"; e ] -> Some (Add e)
+    | [ "rem"; e ] -> Some (Remove e)
+    | _ -> None
+end
+
+include Causal_object.Make (S)
+
+let add e = S.Add e
+
+let remove e = S.Remove e

@@ -47,6 +47,7 @@ let () =
       ("board", Test_board.suite);
       ("dynamic-ownership", Test_dynamic.suite);
       ("properties", Test_properties.suite);
+      ("objects", Test_objects.suite);
       ("session", Test_session.suite);
       ("traces", Test_traces.suite);
       ("linearizability", Test_linearizability.suite);

@@ -215,6 +215,203 @@ let test_fig5_through_protocol () =
   Alcotest.(check bool) "and the checker accepts the fig5 history" true
     (Dsm_checker.Causal_check.is_correct Histories.fig5)
 
+(* ------------------------------------------------------------------ *)
+(* The same figure shapes, lifted from registers to causal objects:     *)
+(* counter and G-set programs whose op-log writes and probes ride the   *)
+(* protocol, with a Query folding what each process observed.  Every    *)
+(* scope is explored exhaustively; [cex = None] certifies that no       *)
+(* interleaving produces a query return outside its spec-legal set      *)
+(* (the generalized checker runs inside the MC), and the outcome        *)
+(* assertions pin which returns the protocol actually produces.         *)
+(* ------------------------------------------------------------------ *)
+
+let ctr w k = Loc.cell "ctr" w k
+
+let gs w k = Loc.cell "gset" w k
+
+(* Query returns of process [pid] at a terminal state, in program order. *)
+let rets sys pid =
+  Dsm_mc.System.queries sys
+  |> List.filter (fun (q : Dsm_checker.Obj_check.query) -> q.Dsm_checker.Obj_check.q_pid = pid)
+  |> List.map (fun (q : Dsm_checker.Obj_check.query) -> q.Dsm_checker.Obj_check.q_ret)
+
+let explore_objects scope ~outcomes =
+  (* [outcomes] maps a terminal to a key; returns the set of keys seen. *)
+  let seen = Hashtbl.create 8 in
+  let report =
+    Explore.explore scope ~on_terminal:(fun sys -> Hashtbl.replace seen (outcomes sys) ())
+  in
+  Alcotest.(check bool)
+    (scope.Gen.sname ^ ": no interleaving yields a spec-illegal return")
+    true (report.Explore.cex = None);
+  Alcotest.(check bool) (scope.Gen.sname ^ " explored exhaustively") false
+    report.Explore.stats.Explore.truncated;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
+
+(* Figure 1 on a counter: P0 publishes two increments in program order and
+   queries; P1 probes the op log newest-first and queries.  P1 may see
+   both ("2"), neither ("0") — stale is causally legal — but never the
+   second without the first: its probes rode the same causal machinery,
+   so "1" at P1 can only mean inc#1 alone. *)
+let obj_fig1_counter () =
+  let scope =
+    mk_scope "obj-fig1-ctr" ~nodes:2
+      ~owner:(fun _ -> 0)
+      ~programs:
+        [|
+          (* The MC's query folds the process's probe reads, so P0 probes
+             its own op log (cache hits) before querying. *)
+          [ Gen.Write (ctr 0 0, Value.Str "inc"); Gen.Write (ctr 0 1, Value.Str "inc");
+            Gen.Read (ctr 0 0); Gen.Read (ctr 0 1); Gen.Query "ctr" ];
+          [ Gen.Read (ctr 0 1); Gen.Read (ctr 0 0); Gen.Query "ctr" ];
+        |]
+  in
+  let outcomes =
+    explore_objects scope ~outcomes:(fun sys ->
+        (rets sys 0, rets sys 1, MSys.read_values sys 1))
+  in
+  Alcotest.(check bool) "P0 always sees its own two increments" true
+    (List.for_all (fun (r0, _, _) -> r0 = [ "2" ]) outcomes);
+  Alcotest.(check bool) "full publication is an execution" true
+    (List.exists (fun (_, r1, _) -> r1 = [ "2" ]) outcomes);
+  (* "1" is legal only as inc#1-alone (the newest-first probe missed
+     inc#2); observing inc#2 while its prerequisite reads Free is the
+     causally illegal view and must be unreachable. *)
+  List.iter
+    (fun (_, r1, reads1) ->
+      Alcotest.(check bool) "P1 return causally closed" true
+        (List.mem r1 [ [ "0" ]; [ "1" ]; [ "2" ] ]);
+      Alcotest.(check bool) "inc#2 never visible without inc#1" true
+        (reads1 <> [ Value.Str "inc"; Value.Free ]))
+    outcomes
+
+(* Figure 3 on a counter: P1's increment is causally after P0's (it probed
+   it first).  No interleaving may let P2 fold P1's increment while P0's
+   prerequisite is invisible — the query-level reply-before-post anomaly. *)
+let obj_fig3_counter () =
+  let scope =
+    mk_scope "obj-fig3-ctr" ~nodes:3
+      ~owner:(fun (loc : Loc.t) ->
+        match loc with Loc.Cell (_, w, _) -> (w : int) mod 2 | _ -> 0)
+      ~programs:
+        [|
+          [ Gen.Write (ctr 0 0, Value.Str "inc") ];
+          [ Gen.Read (ctr 0 0); Gen.Write (ctr 1 0, Value.Str "inc") ];
+          [ Gen.Read (ctr 1 0); Gen.Read (ctr 0 0); Gen.Query "ctr" ];
+        |]
+  in
+  let outcomes =
+    explore_objects scope ~outcomes:(fun sys ->
+        (MSys.read_values sys 1, MSys.read_values sys 2, rets sys 2))
+  in
+  let dependent = ref false in
+  List.iter
+    (fun (reads1, reads2, r2) ->
+      match (reads1, reads2) with
+      | [ Value.Str "inc" ], [ Value.Str "inc"; second ] ->
+          (* P1 probed the prerequisite before incrementing, and P2 saw
+             P1's dependent increment: the prerequisite must be visible at
+             P2 too, and the fold must count both. *)
+          dependent := true;
+          Alcotest.(check bool) "prerequisite visible" true
+            (Value.equal second (Value.Str "inc"));
+          Alcotest.(check (list string)) "fold counts both" [ "2" ] r2
+      | _ -> ())
+    outcomes;
+  Alcotest.(check bool) "the dependent-visibility outcome is reachable" true !dependent
+
+(* Figure 5 on a counter (store buffering): each process probes the
+   other's op log first (caching the empty view), increments, re-probes
+   its own log and queries.  Both queries returning "1" — each side blind
+   to the other's concurrent increment — is causally legal and actually
+   producible; both returning "2" is not (the probe-first shape forces the
+   same cycle that makes fig5's all-fresh outcome impossible). *)
+let obj_fig5_counter () =
+  let scope =
+    mk_scope "obj-fig5-ctr" ~nodes:2
+      ~owner:(fun (loc : Loc.t) ->
+        match loc with Loc.Cell (_, w, _) -> (w : int) | _ -> 0)
+      ~programs:
+        [|
+          [ Gen.Read (ctr 1 0); Gen.Write (ctr 0 0, Value.Str "inc"); Gen.Read (ctr 0 0);
+            Gen.Query "ctr" ];
+          [ Gen.Read (ctr 0 0); Gen.Write (ctr 1 0, Value.Str "inc"); Gen.Read (ctr 1 0);
+            Gen.Query "ctr" ];
+        |]
+  in
+  let outcomes = explore_objects scope ~outcomes:(fun sys -> (rets sys 0, rets sys 1)) in
+  Alcotest.(check bool) "both-stale is an execution" true
+    (List.mem ([ "1" ], [ "1" ]) outcomes);
+  Alcotest.(check bool) "mutual convergence is not" false
+    (List.mem ([ "2" ], [ "2" ]) outcomes)
+
+(* Figure 1 on a G-set: publication with set semantics.  Seeing [b]
+   (published second) without [a] is the causally illegal view; the
+   reachable returns at P1 are exactly {}, {a}, {a,b}. *)
+let obj_fig1_gset () =
+  let scope =
+    mk_scope "obj-fig1-gset" ~nodes:2
+      ~owner:(fun _ -> 0)
+      ~programs:
+        [|
+          [ Gen.Write (gs 0 0, Value.Str "add:a"); Gen.Write (gs 0 1, Value.Str "add:b");
+            Gen.Read (gs 0 0); Gen.Read (gs 0 1); Gen.Query "gset" ];
+          [ Gen.Read (gs 0 1); Gen.Read (gs 0 0); Gen.Query "gset" ];
+        |]
+  in
+  let outcomes = explore_objects scope ~outcomes:(fun sys -> (rets sys 0, rets sys 1)) in
+  Alcotest.(check bool) "P0 renders its own publication" true
+    (List.for_all (fun (r0, _) -> r0 = [ "a,b" ]) outcomes);
+  List.iter
+    (fun (_, r1) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "P1 view %s causally closed"
+           (match r1 with [ s ] -> s | _ -> "?"))
+        true
+        (List.mem r1 [ [ "" ]; [ "a" ]; [ "a,b" ] ]))
+    outcomes;
+  Alcotest.(check bool) "full set reachable" true
+    (List.exists (fun (_, r1) -> r1 = [ "a,b" ]) outcomes)
+
+(* Figure 5 on a G-set: concurrent adds of distinct elements under the
+   same probe-first shape; each side seeing only its own element is an
+   execution, mutual full visibility is not. *)
+let obj_fig5_gset () =
+  let scope =
+    mk_scope "obj-fig5-gset" ~nodes:2
+      ~owner:(fun (loc : Loc.t) ->
+        match loc with Loc.Cell (_, w, _) -> (w : int) | _ -> 0)
+      ~programs:
+        [|
+          [ Gen.Read (gs 1 0); Gen.Write (gs 0 0, Value.Str "add:a"); Gen.Read (gs 0 0);
+            Gen.Query "gset" ];
+          [ Gen.Read (gs 0 0); Gen.Write (gs 1 0, Value.Str "add:b"); Gen.Read (gs 1 0);
+            Gen.Query "gset" ];
+        |]
+  in
+  let outcomes = explore_objects scope ~outcomes:(fun sys -> (rets sys 0, rets sys 1)) in
+  Alcotest.(check bool) "both-stale is an execution" true
+    (List.mem ([ "a" ], [ "b" ]) outcomes);
+  Alcotest.(check bool) "mutual convergence is not" false
+    (List.mem ([ "a,b" ], [ "a,b" ]) outcomes)
+
+(* The planted merge bug on the shipped objects scope: the model checker
+   must find it and shrink the schedule to a replayable 1-minimal
+   counterexample (the matrix pins the same pairing; this test keeps the
+   litmus family self-contained). *)
+let obj_merge_drops_op_caught () =
+  let scope = { Gen.objects_scope with Gen.mutation = Config.Merge_drops_op } in
+  let report = Explore.run scope in
+  match report.Explore.cex with
+  | None -> Alcotest.fail "merge-drops-op not caught on the objects scope"
+  | Some cex ->
+      Alcotest.(check bool) "shrunk schedule nonempty" true (cex.Explore.schedule <> []);
+      Alcotest.(check bool) "shrunk schedule still violates" true
+        (Explore.violates scope cex.Explore.schedule);
+      let _, reason = cex.Explore.cex_violation in
+      Alcotest.(check bool) "violation is object-level" true
+        (Str_contains.contains reason "ctr")
+
 let suite =
   List.map
     (fun (c : Litmus.case) -> Alcotest.test_case c.Litmus.name `Quick (case_test c))
@@ -228,4 +425,10 @@ let suite =
       Alcotest.test_case "fig2 through the protocol" `Quick test_fig2_through_protocol;
       Alcotest.test_case "fig3 anomaly unreachable" `Quick test_fig3_anomaly_unreachable;
       Alcotest.test_case "fig5 through the protocol" `Quick test_fig5_through_protocol;
+      Alcotest.test_case "obj fig1 on counter" `Quick obj_fig1_counter;
+      Alcotest.test_case "obj fig3 on counter" `Quick obj_fig3_counter;
+      Alcotest.test_case "obj fig5 on counter" `Quick obj_fig5_counter;
+      Alcotest.test_case "obj fig1 on g-set" `Quick obj_fig1_gset;
+      Alcotest.test_case "obj fig5 on g-set" `Quick obj_fig5_gset;
+      Alcotest.test_case "obj merge-drops-op caught" `Quick obj_merge_drops_op_caught;
     ]

@@ -89,6 +89,63 @@ let test_subscriptions_canonical () =
     [ (0, [ 0; 1 ]); (1, [ 0; 2; 3 ]) ]
     (Shard.subscriptions s)
 
+(* Share-set garbage collection, end to end: an outsider's read grows the
+   share-set via subscribe-on-access; after [unsubscribe_idle] of access
+   quiet the cluster's GC sweep unsubscribes it again (the share-set
+   shrinks back to the ring) and drops its cached copies, so the next
+   access misses, fetches the owner's current value and resubscribes —
+   the catch-up is causally safe and the recorded history stays correct. *)
+let test_share_set_gc () =
+  let e = Dsm_sim.Engine.create () in
+  let sched = Dsm_runtime.Proc.scheduler e in
+  let module Proc = Dsm_runtime.Proc in
+  let module Cluster = Dsm_causal.Cluster in
+  let module Value = Dsm_memory.Value in
+  let s = Shard.make ~nodes:6 ~shards:2 in
+  let c =
+    Cluster.create ~sched ~owner:(Shard.owner s) ~sharding:s ~unsubscribe_idle:10.0
+      ~latency:(Dsm_net.Latency.Constant 1.0) ()
+  in
+  (* A location in shard 0, so node 4 (a ring-1 member) is an outsider. *)
+  let x =
+    let rec find i =
+      let loc = Loc.indexed "v" i in
+      if Shard.of_loc s loc = 0 then loc else find (i + 1)
+    in
+    find 0
+  in
+  let owner_pid = Owner.owner (Shard.owner s) x in
+  let h_owner = Cluster.handle c owner_pid in
+  let h4 = Cluster.handle c 4 in
+  let grown = ref false and shrunk = ref false and resub = ref false in
+  let second_read = ref Value.Free in
+  ignore
+    (Proc.spawn sched (fun () ->
+         Cluster.write h_owner x (Value.Int 1);
+         Alcotest.(check bool) "first read" true
+           (Value.equal (Cluster.read h4 x) (Value.Int 1));
+         grown := Shard.subscribed s ~shard:0 ~node:4;
+         (* Three idle windows: the sweep (period window/2) must collect. *)
+         Proc.sleep 30.0;
+         shrunk := not (Shard.subscribed s ~shard:0 ~node:4);
+         Alcotest.(check (list int)) "share-set back to the ring" [ 0; 1; 2 ]
+           (Shard.subscribers s 0);
+         (* A write the collected node never saw an invalidation for ... *)
+         Cluster.write h_owner x (Value.Int 2);
+         (* ... is still what its next read returns: the cached copy went
+            with the subscription, so the read misses and catches up. *)
+         second_read := Cluster.read h4 x;
+         resub := Shard.subscribed s ~shard:0 ~node:4));
+  Dsm_sim.Engine.run e;
+  Proc.check sched;
+  Alcotest.(check bool) "subscribe-on-access grew the share-set" true !grown;
+  Alcotest.(check bool) "idle subscriber collected" true !shrunk;
+  Alcotest.(check bool) "re-access resubscribed" true !resub;
+  Alcotest.(check bool) "catch-up read is current" true
+    (Value.equal !second_read (Value.Int 2));
+  Alcotest.(check bool) "history causally correct" true
+    (Dsm_checker.Causal_check.is_correct (Cluster.history c))
+
 let test_make_validates () =
   Alcotest.check_raises "zero shards" (Invalid_argument "Shard.make: need 1 <= shards <= nodes")
     (fun () -> ignore (Shard.make ~nodes:4 ~shards:0));
@@ -106,5 +163,6 @@ let suite =
     Alcotest.test_case "membership matches subscribers" `Quick test_membership_matches_subscribers;
     Alcotest.test_case "induced owner consistent" `Quick test_induced_owner_consistent;
     Alcotest.test_case "subscriptions canonical" `Quick test_subscriptions_canonical;
+    Alcotest.test_case "share-set GC collects idle subscribers" `Quick test_share_set_gc;
     Alcotest.test_case "make validates" `Quick test_make_validates;
   ]

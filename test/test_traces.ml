@@ -117,6 +117,14 @@ let test_golden_power_failure =
 let test_golden_partition =
   golden_scenario ~scenario:"partition" ~file:"partition_heal.trace.jsonl"
 
+(* traces/objects_counter.trace.jsonl covers the causal-object embedding:
+   the counter clients' op-log writes and probe reads riding the ordinary
+   WRITE/invalidation path, plus the [query] milestones the chaos runner
+   publishes for every spec-level fold.  Regenerate with
+   [dsm trace obj-counter --milestones]. *)
+let test_golden_objects_counter =
+  golden_scenario ~scenario:"obj-counter" ~file:"objects_counter.trace.jsonl"
+
 let suite =
   [
     Alcotest.test_case "corpus verdicts" `Quick test_corpus;
@@ -125,4 +133,5 @@ let suite =
     Alcotest.test_case "golden failover trace" `Quick test_golden_failover;
     Alcotest.test_case "golden power-failure trace" `Quick test_golden_power_failure;
     Alcotest.test_case "golden partition trace" `Quick test_golden_partition;
+    Alcotest.test_case "golden objects-counter trace" `Quick test_golden_objects_counter;
   ]
