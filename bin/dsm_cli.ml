@@ -362,21 +362,24 @@ let bench_cmd =
   let module Partition = Dsm_apps.Partition_bench in
   let module Shard_bench = Dsm_apps.Shard_bench in
   let module Objects_bench = Dsm_apps.Objects_bench in
+  let module Core_bench = Dsm_apps.Core_bench in
   let which =
     Arg.(value
          & pos 0
              (enum
                 [ ("transport", `Transport); ("recovery", `Recovery);
                   ("partition", `Partition); ("shard", `Shard);
-                  ("objects", `Objects) ])
+                  ("objects", `Objects); ("core", `Core) ])
              `Transport
          & info [] ~docv:"BENCH"
              ~doc:"Which benchmark to run: transport (batching on vs off), recovery \
                    (whole-cluster restart replay with vs without checkpointing), \
                    partition (majority-side availability through a quorum-fenced \
                    partition window), shard (full vs partial replication on \
-                   messages/op and metadata bytes/op at 16-64 nodes), or objects \
-                   (wire cost and checker verdicts per Causal_object instance).")
+                   messages/op and metadata bytes/op at 16-64 nodes), objects \
+                   (wire cost and checker verdicts per Causal_object instance), or \
+                   core (flat data path vs Protocol.step, the domain-parallel \
+                   engine at 1/2/4 domains, and windowed-checker overhead).")
   in
   let quick =
     Arg.(value & flag
@@ -397,6 +400,13 @@ let bench_cmd =
              ~doc:"Where to write the JSON result (default BENCH_transport.json or \
                    BENCH_recovery.json; \"-\" prints to stdout only).")
   in
+  let micro_only =
+    Arg.(value & flag
+         & info [ "micro-only" ]
+             ~doc:"Core bench only: run just the flat-vs-step microbenchmark and its \
+                   >=5x / ALLOC=0 gate, skipping the sim and checker cells.  The \
+                   blocking CI allocation-gate step uses this.")
+  in
   let write_json out ~default json =
     let out = Option.value out ~default in
     if out <> "-" then begin
@@ -406,7 +416,7 @@ let bench_cmd =
       Printf.printf "wrote %s\n" out
     end
   in
-  let run which quick seeds out =
+  let run which quick seeds out micro_only =
     match which with
     | `Transport ->
         let seeds = Option.map (List.map Int64.of_int) seeds in
@@ -452,6 +462,23 @@ let bench_cmd =
         (* The acceptance gate: every instance spec-legal, converged and
            healthy. *)
         if Objects_bench.healthy r then exit 0 else exit 1
+    | `Core when micro_only ->
+        let m = Core_bench.run_micro ~quick () in
+        Printf.printf "micro: step %.1f ns/op, flat %.1f ns/op — %.1fx (%.4f minor words/op)\n"
+          m.Core_bench.step_ns m.Core_bench.flat_ns m.Core_bench.speedup
+          m.Core_bench.flat_minor_words_per_op;
+        Printf.printf "gate (>=5x, <=0.01 words/op): %s\n"
+          (if Core_bench.micro_healthy m then "PASS" else "FAIL");
+        if Core_bench.micro_healthy m then exit 0 else exit 1
+    | `Core ->
+        let seed = match seeds with Some (s :: _) -> s | _ -> 1 in
+        let r = Core_bench.run ~quick ~seed () in
+        Format.printf "%a" Core_bench.pp r;
+        write_json out ~default:"BENCH_core.json" (Core_bench.to_json r);
+        (* The tentpole gates: >=5x flat-vs-step with ~0 allocs/op,
+           digest-identical runs across 1/2/4 domains, and checked
+           throughput at least half of unchecked. *)
+        if Core_bench.healthy r then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "bench"
@@ -460,7 +487,7 @@ let bench_cmd =
              with frame batching + ack coalescing on vs off (BENCH_transport.json); \
              $(b,recovery) measures whole-cluster restart replay with vs without \
              checkpointing (BENCH_recovery.json)")
-    Term.(const run $ which $ quick $ seeds $ out)
+    Term.(const run $ which $ quick $ seeds $ out $ micro_only)
 
 (* ------------------------------------------------------------------ *)
 (* mc                                                                  *)

@@ -22,6 +22,7 @@ type knobs = {
   detector : Dsm_causal.Detector.config option;
   checkpoint_every : float option;
   online_check : bool;
+  online_window : int option;
   mutation : Dsm_causal.Config.mutation;
   trace : Trace.t option;
 }
@@ -36,6 +37,7 @@ let default_knobs =
     detector = None;
     checkpoint_every = None;
     online_check = false;
+    online_window = None;
     mutation = Dsm_causal.Config.No_mutation;
     trace = None;
   }
@@ -77,8 +79,8 @@ let check_history history =
    and feed them to the incremental checker as they complete.  A violation
    is published back onto the same bus, so a trace dump shows it in
    place. *)
-let attach_online bus =
-  let ck = Online.create () in
+let attach_online ?window bus =
+  let ck = Online.create ?window () in
   let next = Hashtbl.create 8 in
   let index pid =
     let i = match Hashtbl.find_opt next pid with Some i -> i | None -> 0 in
@@ -99,6 +101,10 @@ let attach_online bus =
       | Trace.Op_write { node; loc; value; wid } ->
           feed ev.Trace.time node
             (Op.write ~pid:node ~index:(index node) ~loc ~value ~wid)
+      (* A crashed node's uncertified writes never arrive: give up the reads
+         pending on them so the checker's deferred state stays bounded over
+         a crash-heavy run. *)
+      | Trace.Crash { node } -> Online.note_crashed ck ~node
       | _ -> ());
   ck
 
@@ -116,7 +122,11 @@ let make_cluster ~knobs ~seed ~owner ?config ?sharding sched =
     | Some _ as t -> t
     | None -> if knobs.online_check then Some (Trace.create ~record:false ()) else None
   in
-  let online = if knobs.online_check then Option.map attach_online trace else None in
+  let online =
+    if knobs.online_check then
+      Option.map (fun bus -> attach_online ?window:knobs.online_window bus) trace
+    else None
+  in
   let c =
     Causal.create ~sched ~owner ?config ~latency:knobs.latency
       ~fault:(Network.fault ~drop:knobs.drop ~duplicate:knobs.duplicate ())
@@ -135,6 +145,8 @@ let build_report ~scenario ~sched ~engine ~crashes ~notes ?online c =
         ("online_ops", string_of_int (Online.ops_seen ck))
         :: ("online_checks", string_of_int (Online.checks ck))
         :: ("online_edges", string_of_int (Online.edges ck))
+        :: ("online_pending", string_of_int (Online.pending_reads ck))
+        :: ("online_dropped", string_of_int (Online.dropped_reads ck))
         :: notes
   in
   {

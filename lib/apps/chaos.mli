@@ -31,6 +31,10 @@ type knobs = {
           scenario executes; the first illegal read fails the run
           ({!healthy}) even if the post-hoc check would be cut off by the
           history-size cap *)
+  online_window : int option;
+      (** bound the online checker's memory to O(window^2)
+          ({!Dsm_checker.Online.create}); [None] = unbounded.  Only
+          meaningful with [online_check = true]. *)
   mutation : Dsm_causal.Config.mutation;
       (** fault injection: break one Figure-4 rule (see
           {!Dsm_causal.Config.mutation}), deliberately compromising causal

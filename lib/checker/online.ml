@@ -11,24 +11,72 @@ type violation = { v_op : Op.t; v_reason : string }
    is deferred, and crucially its causal association is unvalidated — it
    must not serve as intervening evidence against other reads until the
    write shows up (the write might even close a cycle, making the pending
-   read the culprit rather than the evidence). *)
-type src = S_write | S_initial | S_resolved of int | S_pending of Wid.t
+   read the culprit rather than the evidence).
+
+   Two terminal states exist only under windowing / crash accounting:
+   [S_severed] is a read whose association {e was} validated but whose
+   source write has since been retired from the window — its verdict
+   stands and it remains admissible evidence; [S_dropped] is a pending
+   read whose write will never arrive (crashed writer, or the wid sank
+   below the stable frontier) — never validated, never evidence, its
+   provisional verdict becomes final.  Both are counted in
+   {!dropped_reads} when they result from giving a pending read up. *)
+type src =
+  | S_write
+  | S_initial
+  | S_resolved of int
+  | S_pending of Wid.t
+  | S_severed
+  | S_dropped
 
 type t = {
   mutable ops : Op.t array; (* capacity-managed; first [n] slots valid *)
   mutable pred : int array; (* program predecessor's global index, -1 if first *)
   mutable source : src array; (* parallel to [ops] *)
-  mutable n : int;
+  mutable n : int; (* live ops *)
+  mutable total : int; (* ops ever added, live + retired *)
+  mutable retired : int;
+  mutable dropped : int; (* pending reads given up on *)
+  window : int option;
+  mutable next_compact : int; (* live count that next triggers compaction *)
   mutable closed : Bitrel.t; (* transitively closed over inserted edges *)
-  last_of_pid : (int, int) Hashtbl.t; (* pid -> global index of its latest op *)
+  mutable rev : Bitrel.t; (* transpose of [closed]: predecessor rows *)
+  (* Compaction scratch (windowed instances only): the arenas rebuilt into
+     at each compaction, swapped with the live ones afterwards so steady-
+     state compaction allocates nothing. *)
+  mutable s_ops : Op.t array;
+  mutable s_pred : int array;
+  mutable s_source : src array;
+  mutable s_closed : Bitrel.t;
+  mutable s_rev : Bitrel.t;
+  mutable s_keep : bool array;
+  mutable s_map : int array;
+  mutable s_lid : int array;
+  (* The per-op bookkeeping the hot path touches on every single add is
+     array-indexed, not hashed: locations are interned to dense ints once
+     (the interner is the only hash lookup left per op) and pids index a
+     growable array directly.  This also makes compaction's index remap a
+     couple of array sweeps instead of five hashtable rebuilds. *)
+  mutable lid : int array; (* interned location of each live op, parallel to [ops] *)
+  loc_ids : (Loc.t, int) Hashtbl.t; (* location -> dense id; never retired *)
+  mutable n_locs : int;
+  mutable by_loc : int list array; (* loc id -> live ops on it, newest first *)
+  mutable last_of_pid : int array; (* pid -> global index of its latest op, -1 if none *)
+  mutable retired_wseq : int array;
+      (* node -> highest [Wid.seq] among that node's retired writes, -1 if
+         none.  A node's writes carry increasing seqs and arrive in that
+         order (program order), so a read naming a seq at or below this
+         watermark whose write is not live arrived after its source was
+         retired: it is given up on the spot instead of waiting forever in
+         [pending_rf] for a write that already came and went. *)
   writers : (Wid.t, int) Hashtbl.t;
   pending_rf : (Wid.t, int list) Hashtbl.t; (* wid -> readers awaiting it *)
   pending_recheck : (Wid.t, int list) Hashtbl.t;
       (* wid -> reads checked clean while a read from wid was excluded as
          evidence; re-checked when the write arrives *)
-  by_loc : (Loc.t, int list) Hashtbl.t; (* ops on a location, newest first *)
   flagged : (int, unit) Hashtbl.t; (* reads already reported, by index *)
   mutable violation_log : violation list; (* newest first *)
+  mutable first_v : violation option; (* oldest, O(1) *)
   mutable checks : int;
   mutable edges : int;
 }
@@ -37,32 +85,64 @@ let dummy =
   Op.write ~pid:0 ~index:0 ~loc:(Loc.named "_") ~value:Value.initial
     ~wid:Wid.initial
 
-let create () =
+let create ?window () =
+  (match window with
+  | Some w when w < 2 -> invalid_arg "Online.create: window must be >= 2"
+  | _ -> ());
   {
     ops = Array.make 64 dummy;
     pred = Array.make 64 (-1);
     source = Array.make 64 S_write;
     n = 0;
+    total = 0;
+    retired = 0;
+    dropped = 0;
+    window;
+    next_compact = (match window with Some w -> 2 * w | None -> max_int);
     closed = Bitrel.create 64;
-    last_of_pid = Hashtbl.create 16;
+    rev = Bitrel.create 64;
+    s_ops = (if window = None then [||] else Array.make 64 dummy);
+    s_pred = (if window = None then [||] else Array.make 64 (-1));
+    s_source = (if window = None then [||] else Array.make 64 S_write);
+    s_closed = Bitrel.create (if window = None then 0 else 64);
+    s_rev = Bitrel.create (if window = None then 0 else 64);
+    s_keep = (if window = None then [||] else Array.make 64 false);
+    s_map = (if window = None then [||] else Array.make 64 (-1));
+    s_lid = (if window = None then [||] else Array.make 64 (-1));
+    lid = Array.make 64 (-1);
+    loc_ids = Hashtbl.create 16;
+    n_locs = 0;
+    by_loc = Array.make 16 [];
+    last_of_pid = Array.make 16 (-1);
+    retired_wseq = Array.make 16 (-1);
     writers = Hashtbl.create 64;
     pending_rf = Hashtbl.create 16;
     pending_recheck = Hashtbl.create 16;
-    by_loc = Hashtbl.create 16;
     flagged = Hashtbl.create 16;
     violation_log = [];
+    first_v = None;
     checks = 0;
     edges = 0;
   }
 
-let ops_seen t = t.n
+let ops_seen t = t.total
+
+let live_ops t = t.n
+
+let retired_ops t = t.retired
+
+let dropped_reads t = t.dropped
+
+let window t = t.window
 
 let pending_reads t = Hashtbl.fold (fun _ rs acc -> acc + List.length rs) t.pending_rf 0
 
+let pending_rechecks t =
+  Hashtbl.fold (fun _ rs acc -> acc + List.length rs) t.pending_recheck 0
+
 let violations t = List.rev t.violation_log
 
-let first_violation t =
-  match List.rev t.violation_log with [] -> None | v :: _ -> Some v
+let first_violation t = t.first_v
 
 let checks t = t.checks
 
@@ -70,7 +150,32 @@ let edges t = t.edges
 
 (* Double capacity: the relation is rebuilt by re-adding every closed pair,
    so no re-closure is needed.  Amortised O(n^2) bits over a run — the same
-   order as the final relation itself. *)
+   order as the final relation itself.  (Windowed instances compact before
+   they would grow, so their capacity — and closure memory — stays
+   O(window^2).) *)
+let intern_loc t loc =
+  match Hashtbl.find_opt t.loc_ids loc with
+  | Some l -> l
+  | None ->
+      let l = t.n_locs in
+      Hashtbl.add t.loc_ids loc l;
+      t.n_locs <- l + 1;
+      let len = Array.length t.by_loc in
+      if l >= len then begin
+        let a = Array.make (2 * len) [] in
+        Array.blit t.by_loc 0 a 0 len;
+        t.by_loc <- a
+      end;
+      l
+
+let ensure_pid t pid =
+  let len = Array.length t.last_of_pid in
+  if pid >= len then begin
+    let a = Array.make (max (pid + 1) (2 * len)) (-1) in
+    Array.blit t.last_of_pid 0 a 0 len;
+    t.last_of_pid <- a
+  end
+
 let grow t =
   let cap = 2 * Array.length t.ops in
   let ops = Array.make cap dummy in
@@ -79,27 +184,231 @@ let grow t =
   Array.blit t.pred 0 pred 0 t.n;
   let source = Array.make cap S_write in
   Array.blit t.source 0 source 0 t.n;
+  let lid = Array.make cap (-1) in
+  Array.blit t.lid 0 lid 0 t.n;
   let closed = Bitrel.create cap in
+  let rev = Bitrel.create cap in
   for i = 0 to t.n - 1 do
-    List.iter (fun j -> Bitrel.add closed i j) (Bitrel.successors t.closed i)
+    Bitrel.iter_row t.closed i (fun j ->
+        Bitrel.add closed i j;
+        Bitrel.add rev j i)
   done;
   t.ops <- ops;
   t.pred <- pred;
   t.source <- source;
-  t.closed <- closed
+  t.lid <- lid;
+  t.closed <- closed;
+  t.rev <- rev;
+  if t.window <> None then begin
+    t.s_ops <- Array.make cap dummy;
+    t.s_pred <- Array.make cap (-1);
+    t.s_source <- Array.make cap S_write;
+    t.s_closed <- Bitrel.create cap;
+    t.s_rev <- Bitrel.create cap;
+    t.s_keep <- Array.make cap false;
+    t.s_map <- Array.make cap (-1);
+    t.s_lid <- Array.make cap (-1)
+  end
 
-(* Insert u -> v and restore closure: row u absorbs {v} + row v, then every
-   predecessor of u absorbs the updated row u.  One O(n) scan of mem bits
-   plus word-wise row ORs — no global re-closure. *)
+(* {2 Window compaction}
+
+   Retire everything below the stable frontier, i.e. all but the newest
+   [window] ops — except anchors that later arrivals may still name: each
+   pid's latest op (the program-order predecessor of its next op), the
+   newest write per location (the likely reads-from target of a late
+   read), and still-pending reads.  Anchors are only honoured within two
+   further windows below the frontier — an idle pid's last op or a
+   location's long-stale newest write eventually retires like anything
+   else, which keeps the live set O(window) regardless of how many
+   processes or locations the run touches.  Pending reads that {e would}
+   retire are given up instead: their write sank below the frontier
+   without arriving, so it is treated as never coming ([S_dropped],
+   counted).
+
+   Retirement only removes {e evidence} (ops and closure pairs); it can
+   suppress a future detection, never manufacture one — the windowed
+   checker stays sound, trading completeness for O(window^2) closure
+   memory.  Live indices are remapped densely and the closure restricted
+   to the survivors, so [add_edge]'s predecessor scan is bounded by the
+   live count from here on. *)
+(* Record a retired write in the per-node seq watermark (see [retired_wseq]). *)
+let note_retired_write t (wid : Wid.t) =
+  if (not (Wid.is_initial wid)) && wid.Wid.node >= 0 then begin
+    let node = wid.Wid.node in
+    let len = Array.length t.retired_wseq in
+    if node >= len then begin
+      let a = Array.make (max (node + 1) (2 * len)) (-1) in
+      Array.blit t.retired_wseq 0 a 0 len;
+      t.retired_wseq <- a
+    end;
+    if wid.Wid.seq > t.retired_wseq.(node) then t.retired_wseq.(node) <- wid.Wid.seq
+  end
+
+let compact t w =
+  let frontier = t.n - w in
+  if frontier > 0 then begin
+    let keep = t.s_keep in
+    Array.fill keep 0 t.n false;
+    for i = frontier to t.n - 1 do
+      keep.(i) <- true
+    done;
+    let cutoff = max 0 (frontier - (2 * w)) in
+    Array.iter (fun i -> if i >= cutoff then keep.(i) <- true) t.last_of_pid;
+    for l = 0 to t.n_locs - 1 do
+      match List.find_opt (fun i -> i >= cutoff && Op.is_write t.ops.(i)) t.by_loc.(l) with
+      | Some i -> keep.(i) <- true
+      | None -> ()
+    done;
+    (* Give up retiring pending reads; forget wids with no waiting reader
+       left (their deferred rechecks can never gain evidence either). *)
+    let rf = Hashtbl.fold (fun wid rs acc -> (wid, rs) :: acc) t.pending_rf [] in
+    List.iter
+      (fun (wid, readers) ->
+        let kept = List.filter (fun r -> keep.(r)) readers in
+        t.dropped <- t.dropped + (List.length readers - List.length kept);
+        if kept = [] then begin
+          Hashtbl.remove t.pending_rf wid;
+          Hashtbl.remove t.pending_recheck wid
+        end
+        else Hashtbl.replace t.pending_rf wid kept)
+      rf;
+    let map = t.s_map in
+    let m = ref 0 in
+    for i = 0 to t.n - 1 do
+      if keep.(i) then begin
+        map.(i) <- !m;
+        incr m
+      end
+      else map.(i) <- -1
+    done;
+    let n' = !m in
+    if n' < t.n then begin
+      let ops = t.s_ops in
+      let pred = t.s_pred in
+      let source = t.s_source in
+      let lid = t.s_lid in
+      let closed = t.s_closed in
+      let rev = t.s_rev in
+      for i = 0 to t.n - 1 do
+        if keep.(i) then begin
+          let j = map.(i) in
+          ops.(j) <- t.ops.(i);
+          pred.(j) <- (let p = t.pred.(i) in if p >= 0 && keep.(p) then map.(p) else -1);
+          source.(j) <-
+            (match t.source.(i) with
+            | S_resolved iw -> if keep.(iw) then S_resolved map.(iw) else S_severed
+            | s -> s);
+          lid.(j) <- t.lid.(i);
+          Bitrel.remap_row_into t.closed ~src_row:i ~map ~dst:closed ~dst_rev:rev
+            ~dst_row:j
+        end
+        else if Op.is_write t.ops.(i) then note_retired_write t t.ops.(i).Op.wid
+      done;
+      for p = 0 to Array.length t.last_of_pid - 1 do
+        let v = t.last_of_pid.(p) in
+        if v >= 0 then t.last_of_pid.(p) <- (if keep.(v) then map.(v) else -1)
+      done;
+      for l = 0 to t.n_locs - 1 do
+        match t.by_loc.(l) with
+        | [] -> ()
+        | idxs ->
+            t.by_loc.(l) <-
+              List.filter_map (fun i -> if keep.(i) then Some map.(i) else None) idxs
+      done;
+      let remap_values tbl =
+        let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+        Hashtbl.reset tbl;
+        List.iter (fun (k, v) -> if keep.(v) then Hashtbl.replace tbl k map.(v)) entries
+      in
+      remap_values t.writers;
+      let flagged = Hashtbl.fold (fun i () acc -> i :: acc) t.flagged [] in
+      Hashtbl.reset t.flagged;
+      List.iter (fun i -> if keep.(i) then Hashtbl.replace t.flagged map.(i) ()) flagged;
+      let remap_lists tbl =
+        let entries = Hashtbl.fold (fun k rs acc -> (k, rs) :: acc) tbl [] in
+        Hashtbl.reset tbl;
+        List.iter
+          (fun (k, rs) ->
+            match List.filter_map (fun r -> if keep.(r) then Some map.(r) else None) rs with
+            | [] -> ()
+            | kept -> Hashtbl.replace tbl k kept)
+          entries
+      in
+      remap_lists t.pending_rf;
+      remap_lists t.pending_recheck;
+      t.retired <- t.retired + (t.n - n');
+      t.n <- n';
+      (* Swap the rebuilt arenas in; the old ones, cleared, become the next
+         compaction's scratch.  (The old op array keeps its stale tail of
+         retired Op records until overwritten — bounded by the capacity.) *)
+      t.s_ops <- t.ops;
+      t.ops <- ops;
+      t.s_pred <- t.pred;
+      t.pred <- pred;
+      t.s_source <- t.source;
+      t.source <- source;
+      t.s_lid <- t.lid;
+      t.lid <- lid;
+      Bitrel.clear t.closed;
+      Bitrel.clear t.rev;
+      t.s_closed <- t.closed;
+      t.closed <- closed;
+      t.s_rev <- t.rev;
+      t.rev <- rev
+    end
+  end
+
+(* A crashed node's uncertified writes will never arrive: give up the
+   reads waiting on them (they stay unvalidated — never evidence, never
+   re-checked) and forget the rechecks deferred on those wids.  Keeps
+   [pending_rf]/[pending_recheck] bounded across crash faults; if a
+   write-ahead-log replay does resurface such a write later, it is simply
+   a fresh write — the given-up readers stay given up (a missed detection,
+   never a false one). *)
+let note_crashed t ~node =
+  let doomed =
+    Hashtbl.fold
+      (fun (w : Wid.t) rs acc -> if w.Wid.node = node then (w, rs) :: acc else acc)
+      t.pending_rf []
+  in
+  List.iter
+    (fun (w, rs) ->
+      Hashtbl.remove t.pending_rf w;
+      Hashtbl.remove t.pending_recheck w;
+      List.iter
+        (fun r ->
+          t.source.(r) <- S_dropped;
+          t.dropped <- t.dropped + 1)
+        rs)
+    doomed
+
+(* Insert u -> v and restore closure.  [closed] stays transitively closed
+   and [rev] its transpose, which buys two things: predecessors of [u] are
+   enumerated from one transpose row instead of an O(n) column scan, and —
+   because closure means every predecessor row already contains row [u] —
+   when [v] has no successors of its own (the overwhelmingly common case:
+   [v] is the op being appended) each predecessor needs exactly the single
+   new bit [v], not a row union.  Full row pushes remain only for the rare
+   resolution edge whose target already has successors. *)
 let add_edge t u v =
   if not (Bitrel.mem t.closed u v) then begin
     t.edges <- t.edges + 1;
+    let v_fresh = Bitrel.row_is_empty t.closed v in
     Bitrel.add t.closed u v;
     Bitrel.union_row_into t.closed ~src:v ~dst:u;
-    for a = 0 to t.n - 1 do
-      if a <> u && Bitrel.mem t.closed a u then
-        Bitrel.union_row_into t.closed ~src:u ~dst:a
-    done
+    Bitrel.add t.rev v u;
+    Bitrel.union_row_into t.rev ~src:u ~dst:v;
+    if v_fresh then
+      (* [rev v] already absorbed [rev u] through the union above, and a
+         fresh [v] cannot sit in [rev u] (that would make row [v]
+         non-empty), so the predecessors need exactly the one new bit. *)
+      Bitrel.add_col t.closed ~sel:t.rev ~sel_row:u v
+    else begin
+      Bitrel.iter_row t.rev u (fun a ->
+          if a <> v then Bitrel.union_row_into t.closed ~src:u ~dst:a);
+      Bitrel.iter_row t.closed v (fun x ->
+          if x <> u then Bitrel.union_row_into t.rev ~src:v ~dst:x)
+    end
   end
 
 let precedes t a b = Bitrel.mem t.closed a b
@@ -111,19 +420,22 @@ let precedes_excl_rf t a ~reader =
   | -1 -> false
   | p -> a = p || precedes t a p
 
-let ops_on t loc = match Hashtbl.find_opt t.by_loc loc with Some l -> l | None -> []
+(* Live ops on the same location as op [i], newest first. *)
+let ops_on t i = t.by_loc.(t.lid.(i))
 
-let is_pending t i = match t.source.(i) with S_pending _ -> true | _ -> false
+(* Reads whose causal association was never validated: not evidence. *)
+let unvalidated t i =
+  match t.source.(i) with S_pending _ | S_dropped -> true | _ -> false
 
 (* Mirrors Causal_check.intervenes over the online state, except that reads
-   whose reads-from edge is still deferred are not admitted as evidence:
-   their association is unvalidated until their write arrives (it could
-   even turn out to close a causality cycle). *)
+   whose reads-from edge is still deferred (or given up) are not admitted
+   as evidence: their association is unvalidated until their write arrives
+   (it could even turn out to close a causality cycle). *)
 let intervenes t ~ops_x ~io ~cand_wid ~cand_idx =
   List.exists
     (fun i'' ->
       i'' <> io
-      && (not (is_pending t i''))
+      && (not (unvalidated t i''))
       && (match cand_idx with Some iw -> i'' <> iw | None -> true)
       && (not (Wid.equal t.ops.(i'').Op.wid cand_wid))
       && (match cand_idx with
@@ -146,16 +458,17 @@ let register_rechecks t ~ops_x ~io =
               match Hashtbl.find_opt t.pending_recheck w with Some l -> l | None -> []
             in
             Hashtbl.replace t.pending_recheck w (io :: waiting)
-        | S_write | S_initial | S_resolved _ -> ())
+        | S_write | S_initial | S_resolved _ | S_severed | S_dropped -> ())
     ops_x
 
 (* Is the value the read at [io] returned live for it (Definition 1),
    given the prefix seen so far?  The read's source must be resolved
-   ([S_initial] or [S_resolved]) before it can be checked. *)
+   ([S_initial] or [S_resolved]) before it can be checked; severed or
+   given-up reads keep their existing verdict. *)
 let check_read t io =
   t.checks <- t.checks + 1;
   let o = t.ops.(io) in
-  let ops_x = ops_on t o.Op.loc in
+  let ops_x = ops_on t io in
   let bad reason = Some { v_op = o; v_reason = reason } in
   let verdict =
     match t.source.(io) with
@@ -179,6 +492,7 @@ let check_read t io =
             (Printf.sprintf "%s reads from its own causal future (%s)"
                (Op.to_string o) (Wid.to_string o.Op.wid))
         else (* concurrent with its source: always live *) None
+    | S_severed | S_dropped -> None
     | S_write | S_pending _ -> assert false
   in
   if verdict = None then register_rechecks t ~ops_x ~io;
@@ -191,21 +505,33 @@ let record_violation t idx = function
       else begin
         Hashtbl.replace t.flagged idx ();
         t.violation_log <- v :: t.violation_log;
+        if t.first_v = None then t.first_v <- Some v;
         [ v ]
       end
 
 let add_op t (op : Op.t) =
+  (match t.window with
+  | Some w when t.n >= t.next_compact ->
+      compact t w;
+      (* The keep-set's anchors (pid-latest, newest write per location,
+         pending reads) can hold the live count above [2w]; re-arm a full
+         window out from wherever compaction landed so a saturated keep-set
+         cannot re-trigger the O(live^2) rebuild on every append. *)
+      t.next_compact <- max (2 * w) (t.n + w)
+  | _ -> ());
   if t.n >= Array.length t.ops then grow t;
   let idx = t.n in
   t.ops.(idx) <- op;
   t.n <- t.n + 1;
-  let p =
-    if op.Op.index = 0 then -1
-    else match Hashtbl.find_opt t.last_of_pid op.Op.pid with Some p -> p | None -> -1
-  in
+  t.total <- t.total + 1;
+  let l = intern_loc t op.Op.loc in
+  t.lid.(idx) <- l;
+  let pid = op.Op.pid in
+  ensure_pid t pid;
+  let p = if op.Op.index = 0 then -1 else t.last_of_pid.(pid) in
   t.pred.(idx) <- p;
-  Hashtbl.replace t.last_of_pid op.Op.pid idx;
-  Hashtbl.replace t.by_loc op.Op.loc (idx :: ops_on t op.Op.loc);
+  t.last_of_pid.(pid) <- idx;
+  t.by_loc.(l) <- idx :: t.by_loc.(l);
   if p >= 0 then add_edge t p idx;
   let found = ref [] in
   if Op.is_write op then begin
@@ -215,11 +541,23 @@ let add_op t (op : Op.t) =
        reads-from edges, then give each its first real check.  A reader
        that causally precedes its own source is flagged without inserting
        the edge (it would close a cycle) and stays [S_pending] forever —
-       its association is part of the cycle, never valid evidence. *)
+       its association is part of the cycle, never valid evidence.
+
+       The no-cycle check is only {e conclusive} while nothing has ever
+       been retired or dropped: the closure is then complete, so a clean
+       answer really means no cycle.  Once evidence has been severed the
+       path from the reader to this write may simply have been forgotten —
+       inserting the edge on a stale answer would assert causality that
+       runs backward through a real cycle, and every pair derived from it
+       would be an invented fact (the one way a windowed checker could
+       manufacture a violation on its own).  So past that point waiting
+       readers are given up instead, exactly like readers whose write sank
+       below the frontier. *)
     (match Hashtbl.find_opt t.pending_rf op.Op.wid with
     | None -> ()
     | Some readers ->
         Hashtbl.remove t.pending_rf op.Op.wid;
+        let conclusive = t.retired = 0 && t.dropped = 0 in
         List.iter
           (fun r ->
             if precedes t r idx then begin
@@ -236,6 +574,10 @@ let add_op t (op : Op.t) =
                      })
                 @ !found
             end
+            else if not conclusive then begin
+              t.source.(r) <- S_dropped;
+              t.dropped <- t.dropped + 1
+            end
             else begin
               t.source.(r) <- S_resolved idx;
               add_edge t idx r;
@@ -251,11 +593,11 @@ let add_op t (op : Op.t) =
         Hashtbl.remove t.pending_recheck op.Op.wid;
         List.iter
           (fun r ->
-            if (not (Hashtbl.mem t.flagged r)) && not (is_pending t r) then
+            if (not (Hashtbl.mem t.flagged r)) && not (unvalidated t r) then
               found := record_violation t r (check_read t r) @ !found)
           (List.sort_uniq compare (List.rev reads))
   end
-  else begin
+  else begin (* read *)
     let wid = op.Op.wid in
     if Wid.is_initial wid then begin
       t.source.(idx) <- S_initial;
@@ -268,12 +610,30 @@ let add_op t (op : Op.t) =
           add_edge t iw idx;
           found := record_violation t idx (check_read t idx)
       | None ->
-          (* Source not seen yet: defer both the edge and the verdict. *)
-          t.source.(idx) <- S_pending wid;
-          let waiting =
-            match Hashtbl.find_opt t.pending_rf wid with Some l -> l | None -> []
+          let already_retired =
+            wid.Wid.node >= 0
+            && wid.Wid.node < Array.length t.retired_wseq
+            && wid.Wid.seq <= t.retired_wseq.(wid.Wid.node)
           in
-          Hashtbl.replace t.pending_rf wid (idx :: waiting)
+          if already_retired then begin
+            (* The source write arrived long ago and has been retired below
+               the window frontier — the read showed up too late to ever be
+               validated.  Give it up now rather than leaving it in
+               [pending_rf] waiting for a write that already came and went.
+               (Even if the watermark were wrong this is safe: a dropped
+               read is never evidence and its provisional verdict stands —
+               a possible missed detection, never a false one.) *)
+            t.source.(idx) <- S_dropped;
+            t.dropped <- t.dropped + 1
+          end
+          else begin
+            (* Source not seen yet: defer both the edge and the verdict. *)
+            t.source.(idx) <- S_pending wid;
+            let waiting =
+              match Hashtbl.find_opt t.pending_rf wid with Some l -> l | None -> []
+            in
+            Hashtbl.replace t.pending_rf wid (idx :: waiting)
+          end
   end;
   List.rev !found
 
@@ -288,43 +648,55 @@ let add_op t (op : Op.t) =
    reaches is therefore also a post-hoc violation (same soundness contract
    as [add_op]).  A query whose observed source writes have not all
    arrived is deferred wholesale to the post-hoc check: an unvalidated
-   association must not anchor evidence, exactly as for pending reads. *)
+   association must not anchor evidence, exactly as for pending reads.
+   Once windowing has retired anything, queries defer entirely — a missing
+   update could otherwise make a legal return look impossible (the one
+   place where losing evidence would flip a verdict the wrong way). *)
 let add_query t ~sem ~pid ~observed ~ret =
-  t.checks <- t.checks + 1;
-  let obj = sem.Obj_check.obj in
-  let updates = ref [] in
-  for i = 0 to t.n - 1 do
-    let o = t.ops.(i) in
-    if Op.is_write o then
-      match o.Op.loc with
-      | Loc.Cell (name, ci, cj) when String.equal name obj ->
-          updates :=
-            { Obj_check.u_key = i; u_cell = (ci, cj); u_payload = Obj_check.payload o.Op.value }
-            :: !updates
-      | _ -> ()
-  done;
-  let anchor = Hashtbl.find_opt t.last_of_pid pid in
-  let resolved =
-    List.fold_left
-      (fun acc (_, wid) ->
-        match acc with
-        | None -> None
-        | Some keys ->
-            if Wid.is_initial wid then Some keys
-            else (
-              match Hashtbl.find_opt t.writers wid with
-              | Some iw -> Some (iw :: keys)
-              | None -> None))
-      (Some []) observed
-  in
-  match resolved with
-  | None -> None (* an observed source is still pending: post-hoc will rule *)
-  | Some keys ->
-      if Obj_check.legal ~sem ~precedes:(precedes t) ~updates:!updates ~observed:keys ~anchor ~ret
-      then None
-      else
-        Some
-          (Printf.sprintf
-             "%s query by process %d returned %S, which no causal-past linearization of its \
-              observed context produces"
-             obj pid ret)
+  if t.retired > 0 then None
+  else begin
+    t.checks <- t.checks + 1;
+    let obj = sem.Obj_check.obj in
+    let updates = ref [] in
+    for i = 0 to t.n - 1 do
+      let o = t.ops.(i) in
+      if Op.is_write o then
+        match o.Op.loc with
+        | Loc.Cell (name, ci, cj) when String.equal name obj ->
+            updates :=
+              { Obj_check.u_key = i; u_cell = (ci, cj); u_payload = Obj_check.payload o.Op.value }
+              :: !updates
+        | _ -> ()
+    done;
+    let anchor =
+      if pid >= 0 && pid < Array.length t.last_of_pid && t.last_of_pid.(pid) >= 0 then
+        Some t.last_of_pid.(pid)
+      else None
+    in
+    let resolved =
+      List.fold_left
+        (fun acc (_, wid) ->
+          match acc with
+          | None -> None
+          | Some keys ->
+              if Wid.is_initial wid then Some keys
+              else (
+                match Hashtbl.find_opt t.writers wid with
+                | Some iw -> Some (iw :: keys)
+                | None -> None))
+        (Some []) observed
+    in
+    match resolved with
+    | None -> None (* an observed source is still pending: post-hoc will rule *)
+    | Some keys ->
+        if
+          Obj_check.legal ~sem ~precedes:(precedes t) ~updates:!updates ~observed:keys ~anchor
+            ~ret
+        then None
+        else
+          Some
+            (Printf.sprintf
+               "%s query by process %d returned %S, which no causal-past linearization of its \
+                observed context produces"
+               obj pid ret)
+  end

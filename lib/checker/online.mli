@@ -23,11 +23,35 @@
     post-hoc {!Causal_check.check} over the full history remains the
     authoritative verdict and chaos still runs it at the end.
 
-    {b Cost.}  [add_op] is [O(n)] bitset-row unions per inserted edge (the
-    predecessor scan of the incremental closure) plus one live-set check
-    per read, against [O(n^2)] to rebuild and re-close the whole relation;
-    {!checks} and {!edges} expose the work done for the cost accounting in
-    docs/CHECKERS.md. *)
+    {b Windowing.}  By default the checker keeps every operation forever:
+    the closure is O(n^2) bits and an unbounded run leaks without bound.
+    [create ~window:w] bounds it: once the live set reaches [2w], every op
+    below the stable frontier (all but the newest [w]) is retired, except
+    anchors later arrivals may still name — each pid's latest op, the
+    newest write per location, and still-pending reads.  A pending read
+    whose source sank below the frontier is {e given up}: its write is
+    treated as never coming, the read stays unvalidated (never evidence),
+    and {!dropped_reads} counts it.
+
+    Soundness needs one further rule: a late write's waiting readers are
+    resolved — reads-from edge wired, verdict issued — only while nothing
+    has ever been retired or dropped.  Past that point the no-cycle check
+    behind the edge insertion is inconclusive (the path from reader to
+    write may have been forgotten), and inserting on a stale answer would
+    manufacture causality, the one way retirement could {e invent} a
+    violation rather than merely miss one.  Such readers are given up like
+    any other dropped read.  With that rule the closure is always a subset
+    of true causality, so every reported violation is real — the checker
+    trades completeness (violations whose evidence spans more than the
+    window can be missed) for O(window^2) closure memory regardless of run
+    length.
+
+    {b Cost.}  [add_op] is [O(live)] bitset-row unions per inserted edge
+    (the predecessor scan of the incremental closure) plus one live-set
+    check per read, against [O(n^2)] to rebuild and re-close the whole
+    relation; {!checks} and {!edges} expose the work done for the cost
+    accounting in docs/CHECKERS.md.  Compaction is O(window^2) and
+    amortises to O(window) per op. *)
 
 type violation = {
   v_op : Dsm_memory.Op.t;  (** the read that returned a non-live value *)
@@ -36,7 +60,8 @@ type violation = {
 
 type t
 
-val create : unit -> t
+val create : ?window:int -> unit -> t
+(** [window], when given, must be at least 2; omitted means unbounded. *)
 
 val add_op : t -> Dsm_memory.Op.t -> violation list
 (** Append one completed operation.  Returns the violations {e newly}
@@ -45,16 +70,50 @@ val add_op : t -> Dsm_memory.Op.t -> violation list
     nothing new is known to be wrong. *)
 
 val ops_seen : t -> int
+(** Total operations ever added, including retired ones. *)
+
+val live_ops : t -> int
+(** Operations currently held ([ops_seen] minus retired); bounded by
+    roughly [2 * window] plus the anchor set when windowed. *)
+
+val retired_ops : t -> int
+(** Operations compacted away by windowing. *)
 
 val pending_reads : t -> int
 (** Reads still waiting for their source write to arrive.  Nonzero at the
     end of a run means a dangling reads-from — the post-hoc checker will
     reject the history outright. *)
 
+val dropped_reads : t -> int
+(** Pending reads given up on — source write retired below the window
+    frontier, declared dead by {!note_crashed}, arrived too late for a
+    conclusive cycle check (see the windowing notes above), or the read
+    itself arrived after its source write had already been retired (a
+    per-node seq watermark over retired writes detects this, so a late
+    read is dropped on arrival instead of pending forever).  Each is a
+    reads-from edge the checker could not validate: its provisional
+    verdict stands (a possible missed detection, never a false one). *)
+
+val pending_rechecks : t -> int
+(** Provisional clean verdicts registered for re-checking when a pending
+    source write arrives.  Bounded alongside {!pending_reads}: giving up a
+    wid forgets its rechecks too. *)
+
+val window : t -> int option
+
+val note_crashed : t -> node:int -> unit
+(** Declare that [node] crashed: writes it issued but never certified will
+    never arrive.  Every read pending on a wid of that node is given up
+    (counted in {!dropped_reads}) and its deferred rechecks are forgotten,
+    so a crash-heavy run cannot leak pending state.  If a recovered node
+    later re-announces such a write (write-ahead-log replay), it is simply
+    treated as a fresh write — given-up readers stay given up. *)
+
 val violations : t -> violation list
 (** All violations found so far, oldest first. *)
 
 val first_violation : t -> violation option
+(** The oldest violation, O(1). *)
 
 val checks : t -> int
 (** Read live-set checks performed (including deferred re-checks). *)
@@ -79,4 +138,6 @@ val add_query :
     source write has not arrived yet — such a query defers wholesale to
     the post-hoc {!Obj_check.check}, which remains authoritative).
     Queries are checked statelessly: they insert no operation and no
-    edges. *)
+    edges.  Once windowing has retired any operation, queries always defer
+    to the post-hoc check — a retired update could otherwise make a legal
+    return look impossible. *)

@@ -128,7 +128,11 @@ let init ?(tracing = false) (scope : Gen.scope) =
     ops = Array.make n [];
     op_index = Array.make n 0;
     wal = Array.make n [];
-    online = Online.create ();
+    (* Windowed: model-checked scopes are far smaller than the window, so
+       compaction never fires and verdicts match the unbounded checker —
+       this exercises the windowed configuration on every explored
+       interleaving without weakening the check. *)
+    online = Online.create ~window:64 ();
     owner_stamp = Hashtbl.create 16;
     read_stamp = Hashtbl.create 16;
     violation = None;

@@ -62,7 +62,12 @@ let run_until t deadline =
     end
   in
   loop ();
-  if Dsm_util.Heap.length t.queue > 0 && t.clock < deadline then t.clock <- deadline
+  (* The full window elapsed whether or not events filled it: a caller that
+     schedules ~delay after we return measures from the deadline, never from
+     whenever the queue happened to drain.  (The old [Heap.length > 0] guard
+     left the clock behind the deadline exactly when the queue drained early,
+     silently compressing every timer armed afterwards.) *)
+  if t.clock < deadline then t.clock <- deadline
 
 let stop t = t.stopping <- true
 

@@ -29,8 +29,9 @@ val run : t -> unit
 (** Dispatch events until the queue is empty (quiescence) or [stop]. *)
 
 val run_until : t -> float -> unit
-(** Dispatch events with time [<= deadline]; afterwards [now t] is the
-    deadline if any events remain, else the time of the last event. *)
+(** Dispatch events with time [<= deadline]; afterwards [now t] is exactly
+    the deadline — even when the queue drained early — so relative
+    scheduling after a bounded run always measures from the deadline. *)
 
 val step : t -> bool
 (** Dispatch a single event; [false] if the queue was empty. *)

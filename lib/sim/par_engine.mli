@@ -1,0 +1,71 @@
+(** Conservative domain-parallel simulation of the flat Figure-4 data path.
+
+    Nodes are partitioned into a fixed number of {e logical} shards; time
+    advances in epochs of one network latency (the conservative lookahead),
+    all cross-node traffic crosses epochs through double-buffered
+    int-encoded mailboxes, and shards are scheduled over any number of
+    OCaml domains.  Because the shard layout and all processing orders are
+    fixed independently of the domain count, a run is {e bit-identical for
+    any [~domains]} — [~domains:1] is the reference semantics.
+
+    The workload is one blocking client per node over
+    {!Dsm_protocol.Flat}: local reads/writes complete immediately; a read
+    miss or a write to a non-owned location blocks the client for a
+    request/reply round trip through the owner (R_REQ/R_REPLY install,
+    W_REQ certification/W_REPLY adoption).
+
+    Op streams are delivered per node in packed int logs at each epoch
+    barrier, on the calling domain, in ascending node order — preserving
+    per-process program order for the online causal checker. *)
+
+type params = {
+  nodes : int;
+  locs : int;  (** location [l] is owned by node [l mod nodes] *)
+  shards : int;  (** logical shards; fixed per run, independent of domains *)
+  seed : int;
+  read_pct : int;  (** percent of issued ops that are reads *)
+  remote_pct : int;
+      (** percent of ops aimed at a uniformly random (mostly non-owned) location *)
+  ops_per_node_per_epoch : int;  (** issue budget per idle node per epoch *)
+}
+
+val default_params : nodes:int -> params
+(** [locs = nodes], [shards = min nodes 16], 60% reads, 30% remote,
+    4 ops/node/epoch. *)
+
+type t
+
+val create : params -> t
+
+val log_stride : int
+(** Packed op-log record width: [kind(0=read,1=write); loc; value;
+    wid_node; wid_seq].  For reads the wid is the reads-from wid. *)
+
+type stats = {
+  epochs : int;
+  issued : int;
+  completed : int;  (** every issued op completes before {!run} returns *)
+  reads : int;
+  writes : int;
+  remote_ops : int;  (** round trips through an owner *)
+  digest : int;  (** {!Dsm_protocol.Flat.digest} of the final memory *)
+  domains_used : int;
+}
+
+val run :
+  ?domains:int ->
+  ?target_ops:int ->
+  ?max_epochs:int ->
+  ?on_ops:(node:int -> buf:int array -> len:int -> unit) ->
+  t ->
+  stats
+(** Run epochs until at least [target_ops] operations completed (then a
+    short drain until every outstanding request is answered), on
+    [domains] domains (clamped to [[1, shards]]).  [on_ops] receives each
+    node's packed ops at each epoch barrier; the buffer is reused — consume
+    before returning.  Single-shot: a [t] runs once. *)
+
+val flat : t -> Dsm_protocol.Flat.t
+(** The simulated memory (for digests and post-run inspection). *)
+
+val params : t -> params

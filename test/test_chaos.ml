@@ -56,6 +56,22 @@ let test_crash_restart_soak () =
   assert_healthy "crash-restart" r;
   Alcotest.(check int) "one crash injected" 1 r.Chaos.crashes
 
+let test_crash_restart_online_windowed () =
+  (* The checker-leak half of this PR: a crash-restart soak with the
+     {e windowed} online checker riding along must end with (almost) no
+     reads still pending — reads from a crashed writer's unannounced wids
+     are given up (note_crashed / window retirement), not leaked — and the
+     windowed verdict must still be clean on the real protocol. *)
+  let knobs =
+    { (knobs ()) with Chaos.online_check = true; online_window = Some 64 }
+  in
+  let r = Chaos.crash_restart ~knobs ~seed:11L ~ops_per_client:60 () in
+  assert_healthy "crash-restart windowed" r;
+  Alcotest.(check (option string)) "windowed online clean" None r.Chaos.online_violation;
+  let note name = int_of_string (List.assoc name r.Chaos.notes) in
+  Alcotest.(check bool) "online saw the workload" true (note "online_ops" > 100);
+  Alcotest.(check int) "no pending-read leak" 0 (note "online_pending")
+
 let test_determinism () =
   (* Same (scenario, knobs, seed) must reproduce the identical report:
      identical history size, message counts and retransmission counts. *)
@@ -214,6 +230,8 @@ let suite =
     Alcotest.test_case "solver soak" `Quick test_solver_soak;
     Alcotest.test_case "heavy loss (10%)" `Quick test_heavy_loss_mix;
     Alcotest.test_case "crash-restart soak" `Quick test_crash_restart_soak;
+    Alcotest.test_case "crash-restart, windowed online checker" `Quick
+      test_crash_restart_online_windowed;
     Alcotest.test_case "determinism" `Slow test_determinism;
     Alcotest.test_case "identical histories" `Quick test_histories_identical_across_runs;
     Alcotest.test_case "fault-free is quiet" `Quick test_fault_free_chaos_is_quiet;

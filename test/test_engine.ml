@@ -61,6 +61,26 @@ let test_run_until () =
   Engine.run e;
   Alcotest.(check int) "drained" 0 (Engine.pending e)
 
+(* Regression: a [run_until] whose queue drains before the deadline must
+   still land the clock on the deadline, so a subsequent relative schedule
+   measures its delay from the deadline — not from whenever the last event
+   happened to fire.  (The old implementation only advanced the clock when
+   events remained queued, so timers armed after an idle window fired
+   early.) *)
+let test_run_until_drained_clock () =
+  let e = Engine.create () in
+  Engine.schedule_at e 1.0 (fun () -> ());
+  Engine.run_until e 10.0;
+  Alcotest.(check int) "queue drained" 0 (Engine.pending e);
+  Alcotest.(check (float 0.0)) "clock at deadline, not last event" 10.0 (Engine.now e);
+  let fired_at = ref 0.0 in
+  Engine.schedule e ~delay:5.0 (fun () -> fired_at := Engine.now e);
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "delay measured from deadline" 15.0 !fired_at;
+  (* An empty run_until is pure time passage. *)
+  Engine.run_until e 20.0;
+  Alcotest.(check (float 0.0)) "idle window advances clock" 20.0 (Engine.now e)
+
 let test_stop () =
   let e = Engine.create () in
   let count = ref 0 in
@@ -115,6 +135,7 @@ let suite =
     Alcotest.test_case "past rejected" `Quick test_schedule_past_rejected;
     Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
     Alcotest.test_case "run_until" `Quick test_run_until;
+    Alcotest.test_case "run_until drained clock" `Quick test_run_until_drained_clock;
     Alcotest.test_case "stop" `Quick test_stop;
     Alcotest.test_case "step" `Quick test_step;
     Alcotest.test_case "step limit" `Quick test_step_limit;

@@ -1,0 +1,287 @@
+(* Tests for Dsm_protocol.Flat: the flattened Figure-4 data path.
+
+   Two pillars:
+
+   - {e agreement}: random service-call sequences applied both to an array
+     of reference {!Node}s (Config.default) and to one {!Flat} state must
+     leave identical clocks, identical per-(node, location) entries, and
+     report identical per-call verdicts.  The flat engine is only allowed
+     to be a faster spelling of the same machine.
+
+   - {e the ALLOC=0 gate}: after [create], a sustained mix of every hot
+     operation must not grow [Gc.minor_words].  This is the property the
+     microbench speedup rests on; the test fails if anyone adds an
+     allocating step to the hot path. *)
+
+module Node = Dsm_protocol.Node
+module Config = Dsm_protocol.Config
+module Flat = Dsm_protocol.Flat
+module Stamped = Dsm_protocol.Stamped
+module Loc = Dsm_memory.Loc
+module Value = Dsm_memory.Value
+module Wid = Dsm_memory.Wid
+module Owner = Dsm_memory.Owner
+
+let nodes = 4
+
+let locs = 6
+
+let loc_of id = Loc.indexed "x" id
+
+let owner_of_loc id = id mod nodes
+
+(* One reference cluster + one flat state, with matching layouts. *)
+let make_pair () =
+  let owner = Owner.by_index ~nodes in
+  let ref_nodes = Array.init nodes (fun id -> Node.create ~id ~owner ~config:Config.default) in
+  (* Sanity: the interner-style dense layout must agree with Owner.by_index
+     for the locations the test uses. *)
+  for l = 0 to locs - 1 do
+    assert (Owner.owner owner (loc_of l) = owner_of_loc l)
+  done;
+  let flat =
+    Flat.create ~nodes ~locs ~owner:(Array.init locs owner_of_loc) ()
+  in
+  (ref_nodes, flat)
+
+(* {2 The op language}
+
+   Encoded as plain int tuples so QCheck can generate, shrink, and print
+   them.  [stamp] entries ride along for Certify; other ops ignore them. *)
+
+type op = int * int * int * int list
+
+let interpret_stamp raw = List.map (fun x -> abs x mod 5) raw
+
+let pp_op (tag, a, b, stamp) =
+  Printf.sprintf "(%d,%d,%d,[%s])" tag a b
+    (String.concat ";" (List.map string_of_int (interpret_stamp stamp)))
+
+let gen_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat " " (List.map pp_op ops))
+    QCheck.Gen.(
+      list_size (int_range 1 60)
+        (quad (int_range 0 5) (int_range 0 23) (int_range 0 99)
+           (list_size (return nodes) (int_range 0 4))))
+
+(* Apply one op to both sides; return false on any verdict mismatch. *)
+let apply (ref_nodes : Node.t array) (flat : Flat.t) ((tag, a, b, stamp) : op) : bool =
+  let l = a mod locs in
+  let o = owner_of_loc l in
+  let v = b mod 10 in
+  match tag with
+  | 0 ->
+      (* Owner write. *)
+      let entry = Node.local_write ref_nodes.(o) (loc_of l) (Value.Int v) in
+      Flat.owner_write flat ~node:o ~loc:l ~value:v;
+      Flat.last_accepted flat ~node:o
+      && Flat.last_value flat ~node:o = v
+      && Flat.last_wid_node flat ~node:o = (entry.Stamped.wid : Wid.t).Wid.node
+      && Flat.last_wid_seq flat ~node:o = entry.Stamped.wid.Wid.seq
+  | 1 ->
+      (* Certify an externally stamped write (covers After / Before / Equal /
+         Concurrent against whatever the owner currently stores). *)
+      let st = Array.of_list (interpret_stamp stamp) in
+      let wid_node = b mod nodes and wid_seq = a mod 7 in
+      let incoming =
+        Stamped.make ~value:(Value.Int v) ~stamp:(Vclock.of_array st)
+          ~wid:(Wid.make ~node:wid_node ~seq:wid_seq)
+      in
+      let accepted = ref false in
+      let stored = Node.certify_write ref_nodes.(o) (loc_of l) incoming ~accepted in
+      Flat.certify flat ~node:o ~loc:l ~value:v ~wid_node ~wid_seq ~stamp:st ~stamp_off:0;
+      Flat.last_accepted flat ~node:o = !accepted
+      && Flat.last_wid_node flat ~node:o = stored.Stamped.wid.Wid.node
+      && Flat.last_wid_seq flat ~node:o = stored.Stamped.wid.Wid.seq
+  | 2 | 3 ->
+      (* Ship the owner's current entry to a non-owner: R_REPLY install
+         (tag 2) or W_REPLY adoption (tag 3).  The entry is read from the
+         reference side; entry agreement at the end catches divergence. *)
+      let n = b mod nodes in
+      if n = o then true
+      else begin
+        match Node.lookup ref_nodes.(o) (loc_of l) with
+        | None -> true (* owner entries are always present; unreachable *)
+        | Some entry ->
+            let st = Vclock.to_array entry.Stamped.stamp in
+            let ev = Value.to_int entry.Stamped.value in
+            let wn = entry.Stamped.wid.Wid.node and ws = entry.Stamped.wid.Wid.seq in
+            if tag = 2 then begin
+              Node.install_remote ref_nodes.(n) (loc_of l) entry;
+              Flat.install_remote flat ~node:n ~loc:l ~value:ev ~wid_node:wn ~wid_seq:ws
+                ~stamp:st ~stamp_off:0
+            end
+            else begin
+              Node.adopt_write_reply ref_nodes.(n) (loc_of l) entry;
+              Flat.adopt_write_reply flat ~node:n ~loc:l ~value:ev ~wid_node:wn ~wid_seq:ws
+                ~stamp:st ~stamp_off:0
+            end;
+            true
+      end
+  | 4 ->
+      (* Duplicate certification: re-submit exactly what the owner stores
+         (the RPC-retry branch). *)
+      ( match Node.lookup ref_nodes.(o) (loc_of l) with
+      | None -> true
+      | Some entry when Wid.is_initial entry.Stamped.wid -> true
+      | Some entry ->
+          let st = Vclock.to_array entry.Stamped.stamp in
+          let accepted = ref false in
+          let _ = Node.certify_write ref_nodes.(o) (loc_of l) entry ~accepted in
+          Flat.certify flat ~node:o ~loc:l
+            ~value:(Value.to_int entry.Stamped.value)
+            ~wid_node:entry.Stamped.wid.Wid.node ~wid_seq:entry.Stamped.wid.Wid.seq ~stamp:st
+            ~stamp_off:0;
+          !accepted && Flat.last_accepted flat ~node:o )
+  | _ ->
+      (* Read. *)
+      let n = b mod nodes in
+      Flat.read flat ~node:n ~loc:l;
+      let hit = Flat.last_accepted flat ~node:n in
+      ( match Node.lookup ref_nodes.(n) (loc_of l) with
+      | None -> not hit
+      | Some entry ->
+          hit
+          && Flat.last_value flat ~node:n = Value.to_int entry.Stamped.value
+          && Flat.last_wid_node flat ~node:n = entry.Stamped.wid.Wid.node
+          && Flat.last_wid_seq flat ~node:n = entry.Stamped.wid.Wid.seq )
+
+(* Full-state agreement: clocks, and every (node, loc) entry. *)
+let states_agree (ref_nodes : Node.t array) (flat : Flat.t) : bool =
+  let ok = ref true in
+  for n = 0 to nodes - 1 do
+    if Vclock.to_array (Node.vt ref_nodes.(n)) <> Flat.clock_of flat n then ok := false;
+    for l = 0 to locs - 1 do
+      match (Node.lookup ref_nodes.(n) (loc_of l), Flat.entry_view flat ~node:n ~loc:l) with
+      | None, None -> ()
+      | Some entry, Some (v, st, wn, ws) ->
+          if
+            Value.to_int entry.Stamped.value <> v
+            || Vclock.to_array entry.Stamped.stamp <> st
+            || entry.Stamped.wid.Wid.node <> wn
+            || entry.Stamped.wid.Wid.seq <> ws
+          then ok := false
+      | None, Some _ | Some _, None -> ok := false
+    done
+  done;
+  !ok
+
+let prop_flat_agrees_with_node =
+  QCheck.Test.make ~name:"flat data path agrees with Node step for step" ~count:400 gen_ops
+    (fun ops ->
+      let ref_nodes, flat = make_pair () in
+      List.for_all (apply ref_nodes flat) ops && states_agree ref_nodes flat)
+
+let prop_flat_counters_consistent =
+  QCheck.Test.make ~name:"flat counters add up" ~count:200 gen_ops (fun ops ->
+      let ref_nodes, flat = make_pair () in
+      List.iter (fun op -> ignore (apply ref_nodes flat op)) ops;
+      let c = Flat.counters flat in
+      c.Flat.writes_owned >= 0
+      && c.Flat.writes_rejected <= c.Flat.writes_certified
+      && c.Flat.read_hits + c.Flat.read_misses >= 0
+      && c.Flat.invalidations >= 0)
+
+(* {2 The ALLOC=0 gate}
+
+   Drives every hot operation — owner writes, remote-write round trips
+   (bump / certify / adopt), installs, reads — through preallocated state
+   and asserts the minor heap did not grow.  [Gc.minor_words] itself boxes
+   its float result, so the measured delta has a small constant overhead
+   independent of the iteration count; anything an inner-loop allocation
+   would add scales with ITERS and trips the bound. *)
+
+let alloc_iters = 200_000
+
+let alloc_bound_words = 256.0
+
+let drive_hot_loop flat ~iters =
+  let n = Flat.nodes flat in
+  let locs = Flat.locations flat in
+  let clock = Flat.clock_arena flat in
+  let stamps = Flat.stamp_arena flat in
+  for i = 0 to iters - 1 do
+    let l = i mod locs in
+    let o = Flat.owner_of flat l in
+    let w = (o + 1 + (i mod (n - 1))) mod n in
+    (* Owner write on the hot location. *)
+    Flat.owner_write flat ~node:o ~loc:l ~value:i;
+    (* Remote write round trip: the writer stamps with its own clock row,
+       the owner certifies, the writer adopts the certified entry. *)
+    Vclock.Flat.bump clock ~off:(Flat.clock_off flat w) w;
+    Flat.certify flat ~node:o ~loc:l ~value:(i + 1) ~wid_node:w ~wid_seq:i ~stamp:clock
+      ~stamp_off:(Flat.clock_off flat w);
+    let e = Flat.entry_off flat ~node:o ~loc:l in
+    Flat.adopt_write_reply flat ~node:w ~loc:l ~value:(Flat.last_value flat ~node:o)
+      ~wid_node:(Flat.last_wid_node flat ~node:o) ~wid_seq:(Flat.last_wid_seq flat ~node:o)
+      ~stamp:stamps ~stamp_off:e;
+    (* R_REPLY install at a third node, then reads everywhere. *)
+    let r = (w + 1) mod n in
+    if r <> o then
+      Flat.install_remote flat ~node:r ~loc:l ~value:(Flat.last_value flat ~node:o)
+        ~wid_node:(Flat.last_wid_node flat ~node:o) ~wid_seq:(Flat.last_wid_seq flat ~node:o)
+        ~stamp:stamps ~stamp_off:e;
+    Flat.read flat ~node:o ~loc:l;
+    Flat.read flat ~node:w ~loc:l;
+    Flat.read flat ~node:r ~loc:((l + 1) mod locs)
+  done
+
+let test_alloc_free_hot_path () =
+  let flat =
+    Flat.create ~nodes:8 ~locs:16 ~owner:(Array.init 16 (fun l -> l mod 8)) ()
+  in
+  (* Warm up: fault in every branch once before measuring. *)
+  drive_hot_loop flat ~iters:1_000;
+  let before = Gc.minor_words () in
+  drive_hot_loop flat ~iters:alloc_iters;
+  let after = Gc.minor_words () in
+  let delta = after -. before in
+  if delta > alloc_bound_words then
+    Alcotest.failf "hot path allocated: %.0f minor words over %d iterations" delta alloc_iters;
+  let c = Flat.counters flat in
+  Alcotest.(check bool) "did real work" true (c.Flat.writes_owned > alloc_iters)
+
+(* A focused semantic check the property above covers statistically:
+   certification of a stale stamp must reject and must not clobber. *)
+let test_certify_rejects_stale () =
+  let flat = Flat.create ~nodes:2 ~locs:1 ~owner:[| 0 |] () in
+  Flat.owner_write flat ~node:0 ~loc:0 ~value:7;
+  let stale = [| 0; 0 |] in
+  Flat.certify flat ~node:0 ~loc:0 ~value:9 ~wid_node:1 ~wid_seq:0 ~stamp:stale ~stamp_off:0;
+  Alcotest.(check bool) "rejected" false (Flat.last_accepted flat ~node:0);
+  Alcotest.(check int) "value kept" 7 (Flat.last_value flat ~node:0);
+  match Flat.entry_view flat ~node:0 ~loc:0 with
+  | Some (v, _, _, _) -> Alcotest.(check int) "stored kept" 7 v
+  | None -> Alcotest.fail "owner entry missing"
+
+let test_install_invalidates_older () =
+  (* Node 2 caches an old x.0; installing a newer y (owned elsewhere) whose
+     stamp dominates must invalidate the cached x.0. *)
+  let flat = Flat.create ~nodes:3 ~locs:2 ~owner:[| 0; 1 |] () in
+  Flat.owner_write flat ~node:0 ~loc:0 ~value:1;
+  let e0 = Flat.entry_off flat ~node:0 ~loc:0 in
+  let st = Flat.stamp_arena flat in
+  Flat.install_remote flat ~node:2 ~loc:0 ~value:1 ~wid_node:0 ~wid_seq:0 ~stamp:st
+    ~stamp_off:e0;
+  Alcotest.(check bool) "cached" true (Flat.cached_hit flat ~node:2 ~loc:0);
+  Alcotest.(check int) "one cached" 1 (Flat.cached_count flat 2);
+  (* A later write at node 1 whose stamp has heard node 0's write. *)
+  let dom = [| 1; 1; 0 |] in
+  Flat.certify flat ~node:1 ~loc:1 ~value:5 ~wid_node:2 ~wid_seq:0 ~stamp:dom ~stamp_off:0;
+  Alcotest.(check bool) "accepted" true (Flat.last_accepted flat ~node:1);
+  let e1 = Flat.entry_off flat ~node:1 ~loc:1 in
+  Flat.install_remote flat ~node:2 ~loc:1 ~value:5 ~wid_node:2 ~wid_seq:0 ~stamp:st
+    ~stamp_off:e1;
+  Alcotest.(check bool) "older cache invalidated" false (Flat.cached_hit flat ~node:2 ~loc:0);
+  Alcotest.(check bool) "new cache present" true (Flat.cached_hit flat ~node:2 ~loc:1);
+  Alcotest.(check int) "swap-remove bookkeeping" 1 (Flat.cached_count flat 2)
+
+let suite =
+  [
+    Alcotest.test_case "certify rejects stale" `Quick test_certify_rejects_stale;
+    Alcotest.test_case "install invalidates older" `Quick test_install_invalidates_older;
+    Alcotest.test_case "hot path is allocation-free" `Quick test_alloc_free_hot_path;
+    QCheck_alcotest.to_alcotest prop_flat_agrees_with_node;
+    QCheck_alcotest.to_alcotest prop_flat_counters_consistent;
+  ]

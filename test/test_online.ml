@@ -206,6 +206,296 @@ let test_agrees_with_posthoc_on_corpus () =
           false (Check.is_correct h))
     Histories.all
 
+(* ------------------------------------------------------------------ *)
+(* Windowed checking                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let violation_ops ck =
+  List.map (fun v -> v.Online.v_op) (Online.violations ck)
+
+(* With a window at least as large as the history, compaction never fires:
+   the windowed checker must be {e identical} to the unbounded one on the
+   whole figure corpus. *)
+let test_windowed_identical_when_window_covers () =
+  List.iter
+    (fun (name, h, _) ->
+      let full = Online.create () in
+      let windowed = Online.create ~window:64 () in
+      let vs_full = feed_round_robin full h in
+      let vs_win = feed_round_robin windowed h in
+      Alcotest.(check int)
+        (name ^ ": same incremental verdicts")
+        (List.length vs_full) (List.length vs_win);
+      Alcotest.(check bool)
+        (name ^ ": same violation ops")
+        true
+        (violation_ops full = violation_ops windowed);
+      Alcotest.(check int) (name ^ ": nothing retired") 0 (Online.retired_ops windowed);
+      Alcotest.(check int)
+        (name ^ ": ops_seen counts every op")
+        (Online.ops_seen full) (Online.ops_seen windowed))
+    Histories.all
+
+(* A tiny window that definitely compacts on the corpus: the windowed
+   checker may miss violations (evidence retired) but must never invent
+   one — every violation it reports is also reported unbounded. *)
+let test_windowed_sound_on_corpus () =
+  List.iter
+    (fun (name, h, _) ->
+      let full = Online.create () in
+      let windowed = Online.create ~window:2 () in
+      ignore (feed_round_robin full h);
+      ignore (feed_round_robin windowed h);
+      let full_ops = violation_ops full in
+      List.iter
+        (fun op ->
+          Alcotest.(check bool)
+            (name ^ ": windowed violation also found unbounded")
+            true
+            (List.exists (fun o -> o = op) full_ops))
+        (violation_ops windowed))
+    Histories.all
+
+(* Randomized equivalence/soundness: random multiprograms with reads wired
+   to arbitrary writes (including not-yet-delivered ones and a stale-prone
+   mix), delivered in a random program-order-preserving interleaving. *)
+let gen_history_and_order =
+  let open QCheck.Gen in
+  let pids = 3 and locs = 2 in
+  let* lens = list_repeat pids (int_range 2 8) in
+  let* skeleton =
+    (* true = write *)
+    flatten_l (List.map (fun len -> list_repeat len bool) lens)
+  in
+  let seq = ref 0 in
+  let shaped =
+    List.mapi
+      (fun pid row ->
+        List.mapi
+          (fun index is_write ->
+            if is_write then begin
+              incr seq;
+              `W (pid, index, !seq)
+            end
+            else `R (pid, index))
+          row)
+      skeleton
+  in
+  let wids =
+    List.concat_map
+      (List.filter_map (function `W (p, _, s) -> Some (Wid.make ~node:p ~seq:s) | `R _ -> None))
+      shaped
+  in
+  let* rows =
+    flatten_l
+      (List.map
+         (fun row ->
+           flatten_l
+             (List.map
+                (fun cell ->
+                  let loc_of i = Loc.indexed "w" i in
+                  let* l = int_range 0 (locs - 1) in
+                  match cell with
+                  | `W (pid, index, s) ->
+                      return
+                        (Op.write ~pid ~index ~loc:(loc_of l) ~value:(Value.Int s)
+                           ~wid:(Wid.make ~node:pid ~seq:s))
+                  | `R (pid, index) ->
+                      let* from =
+                        if wids = [] then return Wid.initial
+                        else
+                          let* use_initial = frequency [ (1, return true); (3, return false) ] in
+                          if use_initial then return Wid.initial else oneofl wids
+                      in
+                      return
+                        (Op.read ~pid ~index ~loc:(loc_of l) ~value:(Value.Int 0) ~from))
+                row))
+         shaped)
+  in
+  (* Random interleaving preserving per-pid program order: repeatedly pick a
+     nonempty row. *)
+  let* picks = list_repeat (List.fold_left (fun a r -> a + List.length r) 0 rows) (int_bound 1000) in
+  let rows = Array.of_list (List.map ref rows) in
+  let order =
+    List.map
+      (fun pick ->
+        let nonempty =
+          Array.to_list rows |> List.filter (fun r -> !r <> []) |> Array.of_list
+        in
+        let r = nonempty.(pick mod Array.length nonempty) in
+        match !r with
+        | op :: rest ->
+            r := rest;
+            op
+        | [] -> assert false)
+      picks
+  in
+  return order
+
+let print_order order =
+  String.concat "\n"
+    (List.map
+       (fun (o : Op.t) ->
+         Printf.sprintf "%s wid=%s loc=%s" (Op.to_string o) (Wid.to_string o.Op.wid)
+           (Loc.to_string o.Op.loc))
+       order)
+
+let prop_windowed_sound_and_bounded =
+  QCheck.Test.make ~count:300 ~name:"windowed checker: sound and bounded vs unbounded"
+    (QCheck.make ~print:print_order gen_history_and_order)
+    (fun order ->
+      let n = List.length order in
+      let full = Online.create () in
+      let big = Online.create ~window:(2 * n) () in
+      let w = 4 in
+      let small = Online.create ~window:w () in
+      List.iter
+        (fun op ->
+          ignore (Online.add_op full op);
+          ignore (Online.add_op big op);
+          ignore (Online.add_op small op))
+        order;
+      (* Window covering the whole run: bit-identical verdicts. *)
+      if violation_ops big <> violation_ops full then
+        QCheck.Test.fail_report "covering window diverged from unbounded";
+      if Online.retired_ops big <> 0 then QCheck.Test.fail_report "covering window compacted";
+      (* Small window: sound (subset) and bounded. *)
+      let full_ops = violation_ops full in
+      List.iter
+        (fun op ->
+          if not (List.exists (fun o -> o = op) full_ops) then
+            QCheck.Test.fail_report "windowed checker invented a violation")
+        (violation_ops small);
+      if Online.ops_seen small <> n then QCheck.Test.fail_report "ops_seen must count retired ops";
+      let bound = (2 * w) + 3 + 2 + Online.pending_reads small + 1 in
+      if Online.live_ops small > bound then
+        QCheck.Test.fail_report
+          (Printf.sprintf "live ops %d exceeded bound %d" (Online.live_ops small) bound);
+      true)
+
+(* Regression, found by [prop_windowed_sound_and_bounded]: a causal cycle
+   whose only witness was a pending read dropped at compaction.  The
+   windowed checker's no-cycle answer for the late write w#1.3 was stale,
+   and wiring the reads-from edge anyway asserted causality running
+   backward through the real cycle — deriving w#1.3 -> w#2.5 and inventing
+   an "already overwritten" verdict on pid 2's fourth read, which the
+   unbounded checker never flags.  Resolution must drop the waiting reader
+   once any evidence has been severed. *)
+let test_windowed_no_invented_violation_on_severed_cycle () =
+  let loc i = Loc.indexed "w" i in
+  let w ~pid ~index ~l ~seq =
+    Op.write ~pid ~index ~loc:(loc l) ~value:(Value.Int seq) ~wid:(Wid.make ~node:pid ~seq)
+  in
+  let r ~pid ~index ~l ~from = Op.read ~pid ~index ~loc:(loc l) ~value:(Value.Int 0) ~from in
+  let wid node seq = Wid.make ~node ~seq in
+  let order =
+    [
+      r ~pid:1 ~index:0 ~l:0 ~from:(wid 1 3);
+      r ~pid:1 ~index:1 ~l:1 ~from:(wid 2 5);
+      r ~pid:0 ~index:0 ~l:1 ~from:(wid 2 4);
+      w ~pid:0 ~index:1 ~l:0 ~seq:1;
+      w ~pid:2 ~index:0 ~l:1 ~seq:4;
+      r ~pid:2 ~index:1 ~l:1 ~from:(wid 1 3);
+      w ~pid:1 ~index:2 ~l:1 ~seq:2;
+      r ~pid:1 ~index:3 ~l:0 ~from:(wid 2 6);
+      r ~pid:2 ~index:2 ~l:0 ~from:Wid.initial;
+      r ~pid:1 ~index:4 ~l:0 ~from:(wid 2 4);
+      w ~pid:2 ~index:3 ~l:1 ~seq:5;
+      w ~pid:1 ~index:5 ~l:1 ~seq:3;
+      r ~pid:2 ~index:4 ~l:1 ~from:(wid 1 3);
+      r ~pid:2 ~index:5 ~l:0 ~from:Wid.initial;
+      w ~pid:2 ~index:6 ~l:1 ~seq:6;
+    ]
+  in
+  let full = Online.create () in
+  let small = Online.create ~window:4 () in
+  List.iter
+    (fun op ->
+      ignore (Online.add_op full op);
+      ignore (Online.add_op small op))
+    order;
+  let full_ops = violation_ops full in
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "windowed violation also flagged unbounded" true
+        (List.exists (fun o -> o = op) full_ops))
+    (violation_ops small);
+  Alcotest.(check bool) "pid 2's fourth read not flagged" true
+    (not
+       (List.exists
+          (fun (o : Op.t) -> o.Op.pid = 2 && o.Op.index = 4)
+          (violation_ops small)))
+
+(* The leak this PR fixes: reads pending on writes that never arrive must
+   not accumulate without bound in a windowed checker — once their source
+   sinks below the stable frontier they are given up and counted. *)
+let test_pending_reads_bounded () =
+  let w = 8 in
+  let ck = Online.create ~window:w () in
+  let x = Loc.named "x" in
+  let total = 200 in
+  for i = 0 to total - 1 do
+    let pid = i mod 3 in
+    let op =
+      Op.read ~pid ~index:(i / 3) ~loc:x ~value:(Value.Int 1)
+        ~from:(Wid.make ~node:5 ~seq:(1000 + i))
+    in
+    ignore (Online.add_op ck op)
+  done;
+  Alcotest.(check int) "every op counted" total (Online.ops_seen ck);
+  Alcotest.(check bool) "pending bounded by the window" true
+    (Online.pending_reads ck <= (2 * w) + 3);
+  Alcotest.(check bool) "live bounded by the window" true
+    (Online.live_ops ck <= (2 * w) + 3);
+  Alcotest.(check bool) "the rest were given up" true
+    (Online.dropped_reads ck >= total - ((2 * w) + 3));
+  Alcotest.(check int) "rechecks do not leak either" 0 (Online.pending_rechecks ck);
+  Alcotest.(check bool) "no violation invented" true (Online.first_violation ck = None)
+
+(* Crash accounting: a crashed node's in-flight writes never arrive, so its
+   pending readers are given up immediately — and if a WAL replay does
+   resurface the wid later, it is a fresh write, not a resolution. *)
+let test_note_crashed_clears_pending () =
+  let ck = Online.create () in
+  let x = Loc.named "x" in
+  let r1 = Op.read ~pid:1 ~index:0 ~loc:x ~value:(Value.Int 1) ~from:(Wid.make ~node:3 ~seq:1) in
+  let r2 = Op.read ~pid:2 ~index:0 ~loc:x ~value:(Value.Int 2) ~from:(Wid.make ~node:3 ~seq:2) in
+  let r3 = Op.read ~pid:1 ~index:1 ~loc:x ~value:(Value.Int 9) ~from:(Wid.make ~node:4 ~seq:1) in
+  List.iter (fun op -> ignore (Online.add_op ck op)) [ r1; r2; r3 ];
+  Alcotest.(check int) "three reads pending" 3 (Online.pending_reads ck);
+  Online.note_crashed ck ~node:3;
+  Alcotest.(check int) "node-3 wids given up" 1 (Online.pending_reads ck);
+  Alcotest.(check int) "given-up reads counted" 2 (Online.dropped_reads ck);
+  (* The crashed node's write replayed later: treated as a fresh write, no
+     resolution of the given-up readers, no violation. *)
+  let replay = Op.write ~pid:3 ~index:0 ~loc:x ~value:(Value.Int 1) ~wid:(Wid.make ~node:3 ~seq:1) in
+  Alcotest.(check int) "replay resolves nothing" 0 (List.length (Online.add_op ck replay));
+  Alcotest.(check int) "node-4 wid still pending" 1 (Online.pending_reads ck);
+  Online.note_crashed ck ~node:4;
+  Alcotest.(check int) "nothing pending" 0 (Online.pending_reads ck)
+
+let test_first_violation_is_oldest () =
+  let ck = Online.create () in
+  let x = Loc.named "x" in
+  let mk_stale pid =
+    (* Same message-passing shape as [test_stale_read_detected], one per pid. *)
+    let wx = Wid.make ~node:pid ~seq:1 and wy = Wid.make ~node:pid ~seq:2 in
+    let y = Loc.indexed "y" pid in
+    [
+      Op.write ~pid ~index:0 ~loc:x ~value:(Value.Int pid) ~wid:wx;
+      Op.write ~pid ~index:1 ~loc:y ~value:(Value.Int 1) ~wid:wy;
+      Op.read ~pid:(pid + 4) ~index:0 ~loc:y ~value:(Value.Int 1) ~from:wy;
+      Op.read ~pid:(pid + 4) ~index:1 ~loc:x ~value:Value.initial ~from:Wid.initial;
+    ]
+  in
+  List.iter (fun op -> ignore (Online.add_op ck op)) (mk_stale 0 @ mk_stale 1);
+  Alcotest.(check int) "both stale reads flagged" 2 (List.length (Online.violations ck));
+  match (Online.first_violation ck, Online.violations ck) with
+  | Some first, oldest :: _ ->
+      Alcotest.(check bool) "first_violation is the oldest" true (first.Online.v_op = oldest.Online.v_op);
+      Alcotest.(check int) "oldest is pid 4's read" 4 first.Online.v_op.Op.pid
+  | _ -> Alcotest.fail "expected two violations"
+
 let suite =
   [
     Alcotest.test_case "correct histories stay clean" `Quick test_correct_histories_clean;
@@ -217,4 +507,14 @@ let suite =
     Alcotest.test_case "pending evidence cycle variant" `Quick
       test_pending_evidence_cycle_variant;
     Alcotest.test_case "sound on corpus" `Quick test_agrees_with_posthoc_on_corpus;
+    Alcotest.test_case "windowed = unbounded when window covers" `Quick
+      test_windowed_identical_when_window_covers;
+    Alcotest.test_case "windowed sound on corpus" `Quick test_windowed_sound_on_corpus;
+    QCheck_alcotest.to_alcotest prop_windowed_sound_and_bounded;
+    Alcotest.test_case "no invented violation on severed cycle" `Quick
+      test_windowed_no_invented_violation_on_severed_cycle;
+    Alcotest.test_case "pending reads bounded under windowing" `Quick
+      test_pending_reads_bounded;
+    Alcotest.test_case "note_crashed clears pending" `Quick test_note_crashed_clears_pending;
+    Alcotest.test_case "first violation is the oldest" `Quick test_first_violation_is_oldest;
   ]
